@@ -1,0 +1,728 @@
+//! Experiment harness: one subcommand per table/figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p dbep-bench --bin experiments -- <id> [--sf N]
+//!     [--threads N] [--reps N] [--no-tag]
+//! ```
+//!
+//! Ids: `fig3 table1 fig4 fig5 ssb table2 fig6 fig7 fig8 fig9 fig10
+//! table3 table4 table5 fig11 oltp table6 all`. Each prints the same
+//! rows/series the paper reports (EXPERIMENTS.md records paper-versus-
+//! measured). Scale-factor defaults are sized for a ~20 GB host; pass
+//! `--sf` to reproduce the paper's exact scales on bigger machines.
+
+use dbep_bench::{counters_note, fmt_ms, measure_counters, per_tuple_header, per_tuple_row, time_median};
+use dbep_queries::{run, Engine, ExecCfg, QueryId};
+use dbep_runtime::hash::HashFn;
+use dbep_storage::Database;
+use dbep_vectorized::SimdPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+struct Args {
+    id: String,
+    sf: Option<f64>,
+    threads: Option<usize>,
+    reps: usize,
+    no_tag: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { id: String::new(), sf: None, threads: None, reps: 3, no_tag: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sf" => args.sf = Some(it.next().expect("--sf N").parse().expect("numeric sf")),
+            "--threads" => args.threads = Some(it.next().expect("--threads N").parse().expect("numeric threads")),
+            "--reps" => args.reps = it.next().expect("--reps N").parse().expect("numeric reps"),
+            "--no-tag" => args.no_tag = true,
+            other if args.id.is_empty() && !other.starts_with('-') => args.id = other.to_string(),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    if args.id.is_empty() {
+        args.id = "all".to_string();
+    }
+    args
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn gen_tpch(sf: f64) -> Database {
+    let t = Instant::now();
+    let db = dbep_datagen::tpch::generate_par(sf, 42, cores());
+    eprintln!(
+        "[gen] TPC-H SF={sf} in {:.1}s ({} lineitem rows)",
+        t.elapsed().as_secs_f64(),
+        db.table("lineitem").len()
+    );
+    db
+}
+
+fn gen_ssb(sf: f64) -> Database {
+    let t = Instant::now();
+    let db = dbep_datagen::ssb::generate_par(sf, 42, cores());
+    eprintln!(
+        "[gen] SSB SF={sf} in {:.1}s ({} lineorder rows)",
+        t.elapsed().as_secs_f64(),
+        db.table("lineorder").len()
+    );
+    db
+}
+
+// ---------------------------------------------------------------------
+// Fig. 3: single-threaded runtimes, Typer vs Tectorwise, TPC-H SF=1.
+// ---------------------------------------------------------------------
+fn fig3(a: &Args) {
+    let db = gen_tpch(a.sf.unwrap_or(1.0));
+    let cfg = ExecCfg::default();
+    println!("# Fig. 3 — TPC-H SF={}, 1 thread, runtime [ms]", a.sf.unwrap_or(1.0));
+    println!("{:<6} {:>10} {:>10} {:>9}", "query", "Typer", "TW", "TW/Typer");
+    for q in QueryId::TPCH {
+        let t = time_median(a.reps, || std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
+        let w = time_median(a.reps, || std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
+        println!(
+            "{:<6} {:>10} {:>10} {:>9.2}",
+            q.name(),
+            fmt_ms(t),
+            fmt_ms(w),
+            w.as_secs_f64() / t.as_secs_f64()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 1: CPU counters per tuple, TPC-H SF=1, 1 thread.
+// ---------------------------------------------------------------------
+fn table1(a: &Args) {
+    let db = gen_tpch(a.sf.unwrap_or(1.0));
+    let cfg = ExecCfg::default();
+    println!("# Table 1 — TPC-H SF={}, 1 thread, counters normalized per tuple scanned", a.sf.unwrap_or(1.0));
+    println!("# ({})", counters_note());
+    println!("{}", per_tuple_header());
+    for q in QueryId::TPCH {
+        let tuples = q.tuples_scanned(&db);
+        let v = measure_counters(|| std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
+        println!("{}", per_tuple_row(&format!("{} Typer", q.name()), &v, tuples));
+        let v = measure_counters(|| std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
+        println!("{}", per_tuple_row(&format!("{} TW", q.name()), &v, tuples));
+    }
+    // §4.1 hash-function ablation on the join-heaviest query.
+    println!("\n## hash-function ablation (cycles/tuple, Q9)");
+    for (label, hash) in [("default", None), ("murmur2", Some(HashFn::Murmur2)), ("crc", Some(HashFn::Crc))] {
+        let cfg = ExecCfg { hash, ..Default::default() };
+        let tuples = QueryId::Q9.tuples_scanned(&db) as f64;
+        let t = measure_counters(|| std::mem::drop(run(Engine::Typer, QueryId::Q9, &db, &cfg)));
+        let w = measure_counters(|| std::mem::drop(run(Engine::Tectorwise, QueryId::Q9, &db, &cfg)));
+        println!(
+            "{label:<8} Typer {:>7.1} c/t   TW {:>7.1} c/t",
+            t.cycles_estimate() as f64 / tuples,
+            w.cycles_estimate() as f64 / tuples
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 4: memory-stall vs other cycles across data sizes.
+// ---------------------------------------------------------------------
+fn fig4(a: &Args) {
+    let max_sf = a.sf.unwrap_or(10.0);
+    let sfs: Vec<f64> = [1.0, 3.0, 10.0, 30.0, 100.0].into_iter().filter(|&s| s <= max_sf).collect();
+    println!("# Fig. 4 — cycles/tuple vs scale factor (paper sweeps 1..100), 1 thread");
+    println!("# ({})", counters_note());
+    println!(
+        "{:<6} {:>5} {:>12} {:>12} {:>12} {:>12}",
+        "query", "SF", "Typer c/t", "TW c/t", "Typer stall", "TW stall"
+    );
+    for &sf in &sfs {
+        let db = gen_tpch(sf);
+        let cfg = ExecCfg::default();
+        for q in QueryId::TPCH {
+            let tuples = q.tuples_scanned(&db) as f64;
+            let t = measure_counters(|| std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
+            let w = measure_counters(|| std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
+            let stall = |v: &dbep_runtime::CounterValues| match v.stalled_backend {
+                Some(s) => format!("{:.1}", s as f64 / tuples),
+                None => "-".to_string(),
+            };
+            println!(
+                "{:<6} {:>5} {:>12.1} {:>12.1} {:>12} {:>12}",
+                q.name(),
+                sf,
+                t.cycles_estimate() as f64 / tuples,
+                w.cycles_estimate() as f64 / tuples,
+                stall(&t),
+                stall(&w)
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 5: Tectorwise vector-size sweep, normalized to 1K.
+// ---------------------------------------------------------------------
+fn fig5(a: &Args) {
+    let db = gen_tpch(a.sf.unwrap_or(1.0));
+    let sizes: [(usize, &str); 9] = [
+        (1, "1"),
+        (16, "16"),
+        (256, "256"),
+        (1024, "1K"),
+        (4096, "4K"),
+        (65536, "64K"),
+        (1 << 20, "1M"),
+        (1 << 24, "16M"),
+        (usize::MAX >> 1, "Max"),
+    ];
+    println!("# Fig. 5 — TW vector-size sweep, time relative to 1K vectors");
+    print!("{:<6}", "query");
+    for (_, label) in sizes {
+        print!(" {label:>7}");
+    }
+    println!();
+    for q in QueryId::TPCH {
+        let base_cfg = ExecCfg { vector_size: 1024, ..Default::default() };
+        let base = time_median(a.reps, || std::mem::drop(run(Engine::Tectorwise, q, &db, &base_cfg)));
+        print!("{:<6}", q.name());
+        for (vs, _) in sizes {
+            let cfg = ExecCfg { vector_size: vs, ..Default::default() };
+            let t = time_median(a.reps.min(2), || std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
+            print!(" {:>7.2}", t.as_secs_f64() / base.as_secs_f64());
+        }
+        println!();
+    }
+}
+
+// ---------------------------------------------------------------------
+// §4.4: SSB counter table (paper: SF=30; default here SF=5).
+// ---------------------------------------------------------------------
+fn ssb(a: &Args) {
+    let sf = a.sf.unwrap_or(5.0);
+    let db = gen_ssb(sf);
+    let cfg = ExecCfg::default();
+    println!("# §4.4 — SSB SF={sf} (paper: 30), 1 thread, counters per tuple scanned");
+    println!("# ({})", counters_note());
+    println!("{}", per_tuple_header());
+    for q in QueryId::SSB {
+        let tuples = q.tuples_scanned(&db);
+        let v = measure_counters(|| std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
+        println!("{}", per_tuple_row(&format!("{} Typer", q.name()), &v, tuples));
+        let v = measure_counters(|| std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
+        println!("{}", per_tuple_row(&format!("{} TW", q.name()), &v, tuples));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 2: prototypes vs the interpretation baseline (substitution 5).
+// ---------------------------------------------------------------------
+fn table2(a: &Args) {
+    let db = gen_tpch(a.sf.unwrap_or(1.0));
+    let cfg = ExecCfg::default();
+    println!("# Table 2 — TPC-H SF={}, 1 thread, runtime [ms]", a.sf.unwrap_or(1.0));
+    println!("# (production systems HyPer/VectorWise are quoted in EXPERIMENTS.md; the");
+    println!("#  Volcano interpreter stands in for the traditional-engine gap)");
+    println!("{:<6} {:>10} {:>10} {:>10}", "query", "Volcano", "Typer", "TW");
+    for q in QueryId::TPCH {
+        let v = time_median(1, || std::mem::drop(run(Engine::Volcano, q, &db, &cfg)));
+        let t = time_median(a.reps, || std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
+        let w = time_median(a.reps, || std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
+        println!("{:<6} {:>10} {:>10} {:>10}", q.name(), fmt_ms(v), fmt_ms(t), fmt_ms(w));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 6: scalar vs SIMD selection (dense, sparse, Q6).
+// ---------------------------------------------------------------------
+fn fig6(a: &Args) {
+    use dbep_vectorized::sel;
+    let n = 8192usize;
+    let mut rng = StdRng::seed_from_u64(7);
+    let col: Vec<i32> = (0..n).map(|_| rng.gen_range(0..100)).collect();
+    let cutoff = 40; // 40% selectivity
+    let reps = 20_000;
+    let cycles_per_elem = |policy: SimdPolicy| {
+        let mut out = Vec::new();
+        let v = measure_counters(|| {
+            for _ in 0..reps {
+                sel::sel_lt_i32_dense(&col, cutoff, 0, &mut out, policy);
+                std::hint::black_box(&out);
+            }
+        });
+        v.cycles_estimate() as f64 / (n * reps) as f64
+    };
+    println!("# Fig. 6a — dense selection, 8192 ints in L1, 40% selectivity [cycles/elem]");
+    let s = cycles_per_elem(SimdPolicy::Scalar);
+    let v = cycles_per_elem(SimdPolicy::Simd);
+    println!("scalar {s:.3}   simd {v:.3}   speedup {:.1}x", s / v);
+
+    // 6b: sparse input (selection vector selects 40%), selection selects 40%.
+    let mut in_sel = Vec::new();
+    sel::sel_lt_i32_dense(&col, cutoff, 0, &mut in_sel, SimdPolicy::Scalar);
+    let col2: Vec<i32> = (0..n).map(|_| rng.gen_range(0..100)).collect();
+    let sparse_cycles = |policy: SimdPolicy| {
+        let mut out = Vec::new();
+        let v = measure_counters(|| {
+            for _ in 0..reps {
+                sel::sel_lt_i32_sparse(&col2, cutoff, &in_sel, &mut out, policy);
+                std::hint::black_box(&out);
+            }
+        });
+        v.cycles_estimate() as f64 / (in_sel.len() * reps) as f64
+    };
+    println!("# Fig. 6b — sparse selection (40% input sel., 40% output) [cycles/elem]");
+    let s = sparse_cycles(SimdPolicy::Scalar);
+    let v = sparse_cycles(SimdPolicy::Simd);
+    println!("scalar {s:.3}   simd {v:.3}   speedup {:.1}x", s / v);
+
+    println!("# Fig. 6c — TPC-H Q6 (TW), SF={} [ms]", a.sf.unwrap_or(1.0));
+    let db = gen_tpch(a.sf.unwrap_or(1.0));
+    let sc = time_median(a.reps, || {
+        std::mem::drop(run(Engine::Tectorwise, QueryId::Q6, &db, &ExecCfg::default()))
+    });
+    let si = time_median(a.reps, || {
+        let cfg = ExecCfg { policy: SimdPolicy::Simd, ..Default::default() };
+        std::mem::drop(run(Engine::Tectorwise, QueryId::Q6, &db, &cfg))
+    });
+    println!(
+        "scalar {}   simd {}   speedup {:.1}x",
+        fmt_ms(sc),
+        fmt_ms(si),
+        sc.as_secs_f64() / si.as_secs_f64()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7: sparse selection vs input selectivity on out-of-cache data.
+// ---------------------------------------------------------------------
+fn fig7(a: &Args) {
+    use dbep_vectorized::sel;
+    // Paper: 4 GB. Default 1 GiB so modest hosts can run it; --sf = GiB.
+    let gib = a.sf.unwrap_or(1.0);
+    let n = (gib * 1024.0 * 1024.0 * 1024.0 / 4.0) as usize;
+    let mut rng = StdRng::seed_from_u64(9);
+    eprintln!("[gen] {n} i32s ({gib} GiB)");
+    let col: Vec<i32> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+    println!("# Fig. 7 — sparse selection on {gib} GiB of i32, output selectivity 40%");
+    println!("# cycles per input-selected element; ({})", counters_note());
+    println!("{:<10} {:>10} {:>10}", "input sel", "scalar", "simd");
+    for pct in [10usize, 20, 40, 60, 80, 100] {
+        let in_sel: Vec<u32> = (0..n).filter(|i| i % 100 < pct).map(|i| i as u32).collect();
+        let cutoff = 400; // 40% of values < 400
+        let mut out = Vec::new();
+        let cycles = |policy: SimdPolicy, out: &mut Vec<u32>| {
+            let v = measure_counters(|| {
+                sel::sel_lt_i32_sparse(&col, cutoff, &in_sel, out, policy);
+                std::hint::black_box(&out);
+            });
+            v.cycles_estimate() as f64 / in_sel.len().max(1) as f64
+        };
+        println!(
+            "{:<10} {:>10.2} {:>10.2}",
+            format!("{pct}%"),
+            cycles(SimdPolicy::Scalar, &mut out),
+            cycles(SimdPolicy::Simd, &mut out)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8: scalar vs SIMD join probing components + full queries.
+// ---------------------------------------------------------------------
+fn fig8(a: &Args) {
+    use dbep_runtime::JoinHt;
+    use dbep_vectorized::{gather, hashp, probe};
+    let mut rng = StdRng::seed_from_u64(11);
+    let reps = 20_000;
+    // (a) hashing.
+    let keys: Vec<u64> = (0..8192u64).map(|_| rng.gen()).collect();
+    let mut out = Vec::new();
+    let hash_cycles = |policy: SimdPolicy, out: &mut Vec<u64>| {
+        let v = measure_counters(|| {
+            for _ in 0..reps {
+                hashp::murmur2_u64_vec(&keys, policy, out);
+                std::hint::black_box(&out);
+            }
+        });
+        v.cycles_estimate() as f64 / (keys.len() * reps) as f64
+    };
+    let s = hash_cycles(SimdPolicy::Scalar, &mut out);
+    let v = hash_cycles(SimdPolicy::Simd, &mut out);
+    println!("# Fig. 8a — Murmur2 hashing, dense, L1-resident [cycles/elem]");
+    println!("scalar {s:.3}   simd {v:.3}   speedup {:.1}x", s / v);
+
+    // (b) gather from an L1-resident array.
+    let table: Vec<i64> = (0..4096).map(|i| i as i64).collect();
+    let sel: Vec<u32> = (0..8192).map(|_| rng.gen_range(0..4096u32)).collect();
+    let mut outs = Vec::new();
+    let gather_cycles = |policy: SimdPolicy, outs: &mut Vec<i64>| {
+        let v = measure_counters(|| {
+            for _ in 0..reps {
+                gather::gather_i64(&table, &sel, policy, outs);
+                std::hint::black_box(&outs);
+            }
+        });
+        v.cycles_estimate() as f64 / (sel.len() * reps) as f64
+    };
+    let s = gather_cycles(SimdPolicy::Scalar, &mut outs);
+    let v = gather_cycles(SimdPolicy::Simd, &mut outs);
+    println!("# Fig. 8b — gather, L1-resident [cycles/elem]");
+    println!("scalar {s:.3}   simd {v:.3}   speedup {:.1}x", s / v);
+
+    // (c) TW probe primitive on a cache-resident hash table.
+    let build_n = 2048usize;
+    let ht = JoinHt::build((0..build_n as u64).map(|k| (dbep_runtime::murmur2(k), (k as i32, k as i64))));
+    let probe_keys: Vec<i32> = (0..8192).map(|_| rng.gen_range(0..build_n as i32 * 2)).collect();
+    let tuples: Vec<u32> = (0..probe_keys.len() as u32).collect();
+    let mut hashes = Vec::new();
+    hashp::hash_i32(&probe_keys, &tuples, HashFn::Murmur2, &mut hashes);
+    let mut bufs = probe::ProbeBuffers::new();
+    let probe_reps = reps / 4;
+    let mut probe_cycles = |policy: SimdPolicy| {
+        let v = measure_counters(|| {
+            for _ in 0..probe_reps {
+                probe::probe_join(&ht, &hashes, &tuples, |r, t| r.0 == probe_keys[t as usize], policy, &mut bufs);
+                std::hint::black_box(&bufs.match_tuple);
+            }
+        });
+        v.cycles_estimate() as f64 / (probe_keys.len() * probe_reps) as f64
+    };
+    let s = probe_cycles(SimdPolicy::Scalar);
+    let v = probe_cycles(SimdPolicy::Simd);
+    println!("# Fig. 8c — TW join-probe primitive, cache-resident HT [cycles/lookup]");
+    println!("scalar {s:.3}   simd {v:.3}   speedup {:.1}x", s / v);
+
+    // (d) full TPC-H join queries.
+    println!("# Fig. 8d — TPC-H Q3/Q9 (TW), SF={} [ms]", a.sf.unwrap_or(1.0));
+    let db = gen_tpch(a.sf.unwrap_or(1.0));
+    for q in [QueryId::Q3, QueryId::Q9] {
+        let sc = time_median(a.reps, || std::mem::drop(run(Engine::Tectorwise, q, &db, &ExecCfg::default())));
+        let si = time_median(a.reps, || {
+            let cfg = ExecCfg { policy: SimdPolicy::Simd, ..Default::default() };
+            std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg))
+        });
+        println!(
+            "{:<4} scalar {}   simd {}   speedup {:.2}x",
+            q.name(),
+            fmt_ms(sc),
+            fmt_ms(si),
+            sc.as_secs_f64() / si.as_secs_f64()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 9: probe cost vs working-set size (+ Bloom-tag ablation).
+// ---------------------------------------------------------------------
+fn fig9(a: &Args) {
+    use dbep_runtime::join_ht::{JoinHt, JoinHtShard};
+    use dbep_vectorized::{hashp, probe};
+    println!("# Fig. 9 — TW hash-table lookup: cycles/lookup vs working-set size");
+    println!("# tag filter {}; 50% probe-miss rate", if a.no_tag { "OFF (ablation)" } else { "ON" });
+    println!("{:<12} {:>10} {:>10}", "working set", "scalar", "simd");
+    let mut rng = StdRng::seed_from_u64(13);
+    let probes = 4_000_000usize;
+    for shift in [12usize, 14, 16, 18, 20, 22, 24, 25] {
+        let n = 1usize << shift;
+        let mut shard = JoinHtShard::with_capacity(n);
+        for k in 0..n as u64 {
+            shard.push(dbep_runtime::murmur2(k), (k as i32, k as i64));
+        }
+        let ht = JoinHt::from_shards_cfg(vec![shard], 1, !a.no_tag);
+        let ws = ht.memory_bytes();
+        // 50% hit rate: keys drawn from twice the build domain.
+        let keys: Vec<i32> = (0..probes).map(|_| rng.gen_range(0..(n as i32).saturating_mul(2))).collect();
+        let tuples: Vec<u32> = (0..keys.len() as u32).collect();
+        let mut hashes = Vec::new();
+        hashp::hash_i32(&keys, &tuples, HashFn::Murmur2, &mut hashes);
+        let mut bufs = probe::ProbeBuffers::new();
+        let mut cyc = [0f64; 2];
+        for (slot, policy) in [(0usize, SimdPolicy::Scalar), (1, SimdPolicy::Simd)] {
+            // Probe in vector-sized batches like the engine does.
+            let v = measure_counters(|| {
+                for c in hashes.chunks(1024).zip(tuples.chunks(1024)) {
+                    probe::probe_join(&ht, c.0, c.1, |r, t| r.0 == keys[t as usize], policy, &mut bufs);
+                    std::hint::black_box(&bufs.match_tuple);
+                }
+            });
+            cyc[slot] = v.cycles_estimate() as f64 / probes as f64;
+        }
+        let label = if ws >= 1 << 20 {
+            format!("{:.0} MiB", ws as f64 / (1 << 20) as f64)
+        } else {
+            format!("{:.0} KiB", ws as f64 / 1024.0)
+        };
+        println!("{label:<12} {:>10.2} {:>10.2}", cyc[0], cyc[1]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 10: auto-vectorization vs scalar vs manual SIMD (substitution 2).
+// ---------------------------------------------------------------------
+fn fig10(a: &Args) {
+    let db = gen_tpch(a.sf.unwrap_or(1.0));
+    println!("# Fig. 10 — rustc/LLVM auto-vectorization (paper: ICC 18)");
+    println!("# time reduction vs scalar TW, per query [%] (positive = faster)");
+    println!("{:<6} {:>8} {:>8}", "query", "auto", "manual");
+    for q in QueryId::TPCH {
+        let base = time_median(a.reps, || std::mem::drop(run(Engine::Tectorwise, q, &db, &ExecCfg::default())));
+        let reduction = |policy: SimdPolicy| {
+            let cfg = ExecCfg { policy, ..Default::default() };
+            let t = time_median(a.reps, || std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
+            (1.0 - t.as_secs_f64() / base.as_secs_f64()) * 100.0
+        };
+        println!("{:<6} {:>8.1} {:>8.1}", q.name(), reduction(SimdPolicy::Auto), reduction(SimdPolicy::Simd));
+    }
+    if dbep_runtime::CounterSet::available() {
+        println!("\n## instruction reduction vs scalar [%] (per tuple)");
+        println!("{:<6} {:>8} {:>8}", "query", "auto", "manual");
+        for q in QueryId::TPCH {
+            let instr = |policy: SimdPolicy| {
+                let cfg = ExecCfg { policy, ..Default::default() };
+                let v = measure_counters(|| std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
+                v.instructions.unwrap_or(0) as f64
+            };
+            let base = instr(SimdPolicy::Scalar);
+            println!(
+                "{:<6} {:>8.1} {:>8.1}",
+                q.name(),
+                (1.0 - instr(SimdPolicy::Auto) / base) * 100.0,
+                (1.0 - instr(SimdPolicy::Simd) / base) * 100.0
+            );
+        }
+    } else {
+        println!("# (instruction-count panel skipped: {})", counters_note());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 3: multi-threaded execution (paper: SF=100; default SF=10).
+// ---------------------------------------------------------------------
+fn table3(a: &Args) {
+    let sf = a.sf.unwrap_or(10.0);
+    let db = gen_tpch(sf);
+    let max_t = a.threads.unwrap_or_else(cores);
+    let thread_points = [1, (max_t / 2).max(2), max_t];
+    println!("# Table 3 — TPC-H SF={sf} (paper: 100), {max_t}-core host, runtime [ms]");
+    println!(
+        "{:<6} {:>4} {:>10} {:>8} {:>10} {:>8} {:>7}",
+        "query", "thr", "Typer", "spdup", "TW", "spdup", "ratio"
+    );
+    for q in QueryId::TPCH {
+        let mut base = (0f64, 0f64);
+        for &t in &thread_points {
+            let cfg = ExecCfg::with_threads(t);
+            let ty = time_median(a.reps.min(2), || std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
+            let tw = time_median(a.reps.min(2), || std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
+            if t == 1 {
+                base = (ty.as_secs_f64(), tw.as_secs_f64());
+            }
+            println!(
+                "{:<6} {:>4} {:>10} {:>8.1} {:>10} {:>8.1} {:>7.2}",
+                q.name(),
+                t,
+                fmt_ms(ty),
+                base.0 / ty.as_secs_f64(),
+                fmt_ms(tw),
+                base.1 / tw.as_secs_f64(),
+                ty.as_secs_f64() / tw.as_secs_f64()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 4: hardware inventory.
+// ---------------------------------------------------------------------
+fn table4(_a: &Args) {
+    println!("# Table 4 — host hardware (paper compares Skylake-X / Threadripper / KNL)");
+    println!("{}", dbep_bench::hwinfo::report());
+}
+
+// ---------------------------------------------------------------------
+// Table 5: out-of-memory via bandwidth throttle (substitution 4).
+// ---------------------------------------------------------------------
+fn table5(a: &Args) {
+    let sf = a.sf.unwrap_or(10.0);
+    let db = gen_tpch(sf);
+    let threads = a.threads.unwrap_or_else(cores);
+    println!("# Table 5 — TPC-H SF={sf}, {threads} threads: memory vs emulated 1.4 GB/s SSD [ms]");
+    println!(
+        "{:<6} {:>10} {:>10} {:>7} {:>12} {:>12} {:>7}",
+        "query", "Typer", "TW", "ratio", "Typer(ssd)", "TW(ssd)", "ratio"
+    );
+    for q in QueryId::TPCH {
+        let cfg = ExecCfg::with_threads(threads);
+        let tm = time_median(a.reps.min(2), || std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
+        let wm = time_median(a.reps.min(2), || std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
+        let ssd_run = |engine| {
+            let throttle = dbep_storage::throttle::Throttle::paper_ssd();
+            let cfg = ExecCfg { threads, throttle: Some(&throttle), ..Default::default() };
+            let t = Instant::now();
+            std::mem::drop(run(engine, q, &db, &cfg));
+            t.elapsed()
+        };
+        let ts = ssd_run(Engine::Typer);
+        let ws = ssd_run(Engine::Tectorwise);
+        println!(
+            "{:<6} {:>10} {:>10} {:>7.2} {:>12} {:>12} {:>7.2}",
+            q.name(),
+            fmt_ms(tm),
+            fmt_ms(wm),
+            tm.as_secs_f64() / wm.as_secs_f64(),
+            fmt_ms(ts),
+            fmt_ms(ws),
+            ts.as_secs_f64() / ws.as_secs_f64()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figs. 11/12: queries/second vs % cores used.
+// ---------------------------------------------------------------------
+fn fig11(a: &Args) {
+    let sf = a.sf.unwrap_or(10.0);
+    let db = gen_tpch(sf);
+    let max_t = a.threads.unwrap_or_else(cores);
+    let points: Vec<usize> =
+        [1, 2, 4, 8, 12, 16, 24, 32, 48].into_iter().filter(|&t| t <= max_t).collect();
+    println!("# Figs. 11/12 — queries/second vs cores used, TPC-H SF={sf}");
+    println!("{:<6} {:>5} {:>12} {:>12}", "query", "thr", "Typer q/s", "TW q/s");
+    for q in QueryId::TPCH {
+        for &t in &points {
+            let cfg = ExecCfg::with_threads(t);
+            let ty = time_median(a.reps.min(2), || std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
+            let tw = time_median(a.reps.min(2), || std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
+            println!(
+                "{:<6} {:>5} {:>12.2} {:>12.2}",
+                q.name(),
+                t,
+                1.0 / ty.as_secs_f64(),
+                1.0 / tw.as_secs_f64()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// §8.1: OLTP point lookups.
+// ---------------------------------------------------------------------
+fn oltp(a: &Args) {
+    use dbep_queries::oltp;
+    let db = gen_tpch(a.sf.unwrap_or(1.0));
+    let idx = oltp::OltpIndex::build(&db, HashFn::Crc);
+    let n_orders = db.table("orders").len() as i32;
+    let mut rng = StdRng::seed_from_u64(17);
+    let keys: Vec<i32> = (0..100_000).map(|_| rng.gen_range(1..=n_orders)).collect();
+    println!("# §8.1 — OLTP stored-procedure lookups (order + lineitem aggregate)");
+    let t = time_median(a.reps, || {
+        for &k in &keys {
+            std::hint::black_box(oltp::lookup_typer(&db, &idx, k));
+        }
+    });
+    println!("Typer (compiled procedure):       {:>12.0} lookups/s", keys.len() as f64 / t.as_secs_f64());
+    let mut scratch = oltp::TwLookupScratch::new();
+    let t = time_median(a.reps, || {
+        for &k in &keys {
+            std::hint::black_box(oltp::lookup_tectorwise(&db, &idx, k, &mut scratch));
+        }
+    });
+    println!("Tectorwise (vector-of-one):       {:>12.0} lookups/s", keys.len() as f64 / t.as_secs_f64());
+    let few = &keys[..8];
+    let t = time_median(1, || {
+        for &k in few {
+            std::hint::black_box(oltp::lookup_volcano(&db, k));
+        }
+    });
+    println!("Volcano (interpreted, no index):  {:>12.0} lookups/s", few.len() as f64 / t.as_secs_f64());
+}
+
+// ---------------------------------------------------------------------
+// Table 6 / Fig. 13: the processing-model taxonomy, demonstrated live.
+// ---------------------------------------------------------------------
+fn table6(a: &Args) {
+    let db = gen_tpch(a.sf.unwrap_or(1.0));
+    println!("# Table 6 — processing models on TPC-H Q1/Q6, SF={}, 1 thread [ms]", a.sf.unwrap_or(1.0));
+    println!("{:<42} {:>9} {:>9}", "model (pipelining + execution)", "q1", "q6");
+    let q = |engine, query: QueryId, cfg: &ExecCfg| {
+        fmt_ms(time_median(a.reps.min(2), || std::mem::drop(run(engine, query, &db, cfg))))
+    };
+    let d = ExecCfg::default();
+    println!(
+        "{:<42} {:>9} {:>9}",
+        "pull + interpretation (System R / Volcano)",
+        q(Engine::Volcano, QueryId::Q1, &d),
+        q(Engine::Volcano, QueryId::Q6, &d)
+    );
+    let vs1 = ExecCfg { vector_size: 1, ..Default::default() };
+    println!(
+        "{:<42} {:>9} {:>9}",
+        "pull + vectorization, vectors of 1",
+        q(Engine::Tectorwise, QueryId::Q1, &vs1),
+        q(Engine::Tectorwise, QueryId::Q6, &vs1)
+    );
+    println!(
+        "{:<42} {:>9} {:>9}",
+        "pull + vectorization (VectorWise, 1K)",
+        q(Engine::Tectorwise, QueryId::Q1, &d),
+        q(Engine::Tectorwise, QueryId::Q6, &d)
+    );
+    let vsmax = ExecCfg { vector_size: usize::MAX >> 1, ..Default::default() };
+    println!(
+        "{:<42} {:>9} {:>9}",
+        "full materialization (MonetDB)",
+        q(Engine::Tectorwise, QueryId::Q1, &vsmax),
+        q(Engine::Tectorwise, QueryId::Q6, &vsmax)
+    );
+    println!(
+        "{:<42} {:>9} {:>9}",
+        "push + compilation (HyPer / Typer)",
+        q(Engine::Typer, QueryId::Q1, &d),
+        q(Engine::Typer, QueryId::Q6, &d)
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let t = Instant::now();
+    let all: Vec<(&str, fn(&Args))> = vec![
+        ("fig3", fig3),
+        ("table1", table1),
+        ("fig4", fig4),
+        ("fig5", fig5),
+        ("ssb", ssb),
+        ("table2", table2),
+        ("fig6", fig6),
+        ("fig7", fig7),
+        ("fig8", fig8),
+        ("fig9", fig9),
+        ("fig10", fig10),
+        ("table3", table3),
+        ("table4", table4),
+        ("table5", table5),
+        ("fig11", fig11),
+        ("oltp", oltp),
+        ("table6", table6),
+    ];
+    if args.id == "all" {
+        for (name, f) in &all {
+            println!("\n================ {name} ================");
+            f(&args);
+        }
+    } else {
+        match all.iter().find(|(n, _)| *n == args.id) {
+            Some((_, f)) => f(&args),
+            None => {
+                eprintln!(
+                    "unknown experiment '{}'; known: {} all",
+                    args.id,
+                    all.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("[done] {} in {:.1}s", args.id, t.elapsed().as_secs_f64());
+}

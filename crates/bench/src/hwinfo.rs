@@ -1,0 +1,72 @@
+//! Host hardware inventory (the Table 4 report).
+//!
+//! The paper tabulates three platforms (Skylake-X, Threadripper, Knights
+//! Landing). We run on whatever host executes the harness and print the
+//! same attribute rows for it (DESIGN.md substitution 3).
+
+use std::fs;
+
+fn read(path: &str) -> Option<String> {
+    fs::read_to_string(path).ok().map(|s| s.trim().to_string())
+}
+
+fn cpuinfo_field(field: &str) -> Option<String> {
+    let text = fs::read_to_string("/proc/cpuinfo").ok()?;
+    text.lines()
+        .find(|l| l.starts_with(field))
+        .and_then(|l| l.split(':').nth(1))
+        .map(|v| v.trim().to_string())
+}
+
+fn meminfo_gib(field: &str) -> Option<f64> {
+    let text = fs::read_to_string("/proc/meminfo").ok()?;
+    let line = text.lines().find(|l| l.starts_with(field))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0 / 1024.0)
+}
+
+fn cache(index: usize) -> Option<String> {
+    let base = format!("/sys/devices/system/cpu/cpu0/cache/index{index}");
+    let level = read(&format!("{base}/level"))?;
+    let typ = read(&format!("{base}/type"))?;
+    let size = read(&format!("{base}/size"))?;
+    if typ == "Instruction" {
+        return None;
+    }
+    Some(format!("L{level} cache: {size}"))
+}
+
+/// Multi-line host description in the spirit of the paper's Table 4.
+pub fn report() -> String {
+    let mut lines = Vec::new();
+    lines.push(format!(
+        "model: {}",
+        cpuinfo_field("model name").unwrap_or_else(|| "unknown".into())
+    ));
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    lines.push(format!("logical cores: {cores}"));
+    if let Some(mhz) = cpuinfo_field("cpu MHz") {
+        lines.push(format!("clock: {mhz} MHz (current)"));
+    }
+    lines.push(format!("tsc rate: {:.2} GHz", dbep_runtime::counters::tsc_per_ns()));
+    for i in 0..4 {
+        if let Some(c) = cache(i) {
+            lines.push(c);
+        }
+    }
+    if let Some(gib) = meminfo_gib("MemTotal") {
+        lines.push(format!("memory: {gib:.1} GiB"));
+    }
+    lines.push(format!("simd: {}", dbep_runtime::simd::describe()));
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_has_core_fields() {
+        let r = super::report();
+        assert!(r.contains("logical cores:"));
+        assert!(r.contains("simd:"));
+    }
+}

@@ -1,0 +1,28 @@
+//! **Typer** — the data-centric compiled engine (§2, Fig. 2a).
+//!
+//! Data-centric code generation fuses all non-blocking operators of a
+//! query pipeline into one tight loop that keeps attribute values in CPU
+//! registers. The paper generates that code at query time (HyPer emits
+//! LLVM IR, the paper's test system emits C++) and explicitly excludes
+//! compilation time from every measurement; what is measured is the
+//! *execution of the fused loops*. This crate therefore represents the
+//! generator's **output** directly in Rust (see DESIGN.md substitution 1):
+//!
+//! * [`pipeline`] — a produce/consume operator framework whose generic
+//!   composition monomorphizes into exactly the fused loops a
+//!   produce/consume code generator would emit. It exists to demonstrate
+//!   and test the codegen structure (push-based, consume called from
+//!   inside the scan loop, no materialization between operators).
+//! * The per-query Typer implementations in `dbep-queries::tpch`/`ssb`
+//!   are the "generated code" for each physical plan — hand-written
+//!   fused loops exactly in the shape of Fig. 2a, over the shared
+//!   substrate (`dbep-runtime`'s hash tables, hash functions and
+//!   morsel-driven scheduler).
+//!
+//! Pipeline breakers (hash-table build, pre-aggregation) end a fused
+//! loop; the next pipeline starts after all workers finish the previous
+//! one, mirroring HyPer's barrier-separated pipeline phases (§6.1).
+
+pub mod pipeline;
+
+pub use pipeline::{Filter, Map, Pipeline, Sink};

@@ -1,0 +1,24 @@
+//! `dbep-core` — the public facade of the db-engine-paradigms
+//! reproduction.
+//!
+//! Re-exports every sub-crate plus a [`prelude`] with the types needed
+//! for the common "generate data, run a query on N engines, compare"
+//! workflow. See the workspace README for the architecture overview and
+//! `DESIGN.md` for the paper-to-module mapping.
+
+pub use dbep_compiled as compiled;
+pub use dbep_datagen as datagen;
+pub use dbep_queries as queries;
+pub use dbep_runtime as runtime;
+pub use dbep_storage as storage;
+pub use dbep_vectorized as vectorized;
+pub use dbep_volcano as volcano;
+
+/// Everything needed for the common benchmark workflow.
+pub mod prelude {
+    pub use dbep_datagen;
+    pub use dbep_queries::{self, result::QueryResult, run, Engine, ExecCfg, QueryId};
+    pub use dbep_runtime::hash::HashFn;
+    pub use dbep_storage::{self, Database, Table, Value};
+    pub use dbep_vectorized::SimdPolicy;
+}

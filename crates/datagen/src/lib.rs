@@ -1,0 +1,29 @@
+//! Deterministic benchmark data generators.
+//!
+//! The paper evaluates on TPC-H (§3.3) and the Star Schema Benchmark
+//! (§4.4). We reimplement both generators ("dbgen equivalents"): the
+//! studied queries are sensitive to *selectivities, group cardinalities
+//! and join fan-outs*, so those follow the official generators' formulas:
+//!
+//! * lineitem/order fan-out (1–7 lines per order, ≈4.0 average),
+//! * `l_shipdate`/`l_receiptdate` offsets driving Q1's four
+//!   (returnflag, linestatus) groups and Q6's ≈2 % conjunctive filter,
+//! * partsupp's 4-suppliers-per-part key formula (Q9's composite-key
+//!   join must actually hit),
+//! * `p_name` as five distinct color words (Q9's `LIKE '%green%'`
+//!   ≈5/92 selectivity),
+//! * SSB's dictionary-encoded region/nation/category/brand hierarchy.
+//!
+//! Generation is seeded and chunk-deterministic: the same `(sf, seed)`
+//! yields byte-identical databases regardless of thread count.
+
+pub mod ssb;
+pub mod tpch;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-chunk RNG so parallel generation stays deterministic.
+pub(crate) fn chunk_rng(seed: u64, table: u64, chunk: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ table.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ chunk.wrapping_mul(0xD1B5_4A32_D192_ED03))
+}

@@ -1,0 +1,323 @@
+//! Star Schema Benchmark generator (§4.4).
+//!
+//! SSB denormalizes TPC-H into one fact table (`lineorder`) and four
+//! dimensions (`date`, `customer`, `supplier`, `part`). The paper runs
+//! the four Q*.1 flights, all dominated by hash-table probes into the
+//! dimensions.
+//!
+//! Hierarchical attributes (region → nation → city, mfgr → category →
+//! brand1) are dictionary-encoded as integers; the query plans resolve
+//! string constants like `'MFGR#12'` to codes at plan time and results
+//! decode back to strings. Both engines see identical encodings, so the
+//! comparison is unaffected (DESIGN.md).
+
+use crate::chunk_rng;
+use dbep_storage::column::ColumnData;
+use dbep_storage::types::{civil, date};
+use dbep_storage::{Database, Table};
+use rand::Rng;
+
+pub use crate::tpch::{NATIONS, REGIONS};
+
+/// `d_datekey`-style yyyymmdd encoding of a day.
+#[inline]
+pub fn datekey(days: i32) -> i32 {
+    let (y, m, d) = civil(days);
+    y * 10_000 + m as i32 * 100 + d as i32
+}
+
+/// Region code of nation `n` (index into [`REGIONS`]).
+#[inline]
+pub fn nation_region(n: i32) -> i32 {
+    NATIONS[n as usize].1
+}
+
+/// Resolve a region name (e.g. `"ASIA"`) to its code.
+pub fn region_code(name: &str) -> i32 {
+    REGIONS
+        .iter()
+        .position(|r| *r == name)
+        .unwrap_or_else(|| panic!("unknown region {name}")) as i32
+}
+
+/// Resolve a category name `"MFGR#mc"` (m = mfgr 1–5, c = 1–5) to its
+/// code `m*10 + c`.
+pub fn category_code(name: &str) -> i32 {
+    let digits = name.strip_prefix("MFGR#").expect("category like MFGR#12");
+    digits.parse().expect("two-digit category")
+}
+
+/// Brand1 string for a brand code (category*40 + 0..40). Zero-padded so
+/// lexicographic order equals numeric brand order.
+pub fn brand_name(code: i32) -> String {
+    format!("MFGR#{}{:02}", code / 40, code % 40 + 1)
+}
+
+/// Generate an SSB database at scale factor `sf` with a fixed seed.
+///
+/// Cardinalities: lineorder ≈6 000 000·sf, customer 30 000·sf, supplier
+/// 2 000·sf, part 200 000·⌊1+log2(sf)⌋, date 2 556 (7 years).
+pub fn generate(sf: f64, seed: u64) -> Database {
+    generate_par(sf, seed, 1)
+}
+
+/// As [`generate`] with parallel fact-table generation (output identical
+/// for any thread count).
+pub fn generate_par(sf: f64, seed: u64, threads: usize) -> Database {
+    assert!(sf > 0.0, "scale factor must be positive");
+    let mut db = Database::new();
+    db.add(gen_date());
+    let customer_cnt = ((30_000.0 * sf) as usize).max(1);
+    let supplier_cnt = ((2_000.0 * sf) as usize).max(1);
+    let part_cnt = (200_000.0 * (1.0 + sf.log2().max(0.0)).floor()) as usize;
+    let part_cnt = part_cnt.max(1_000);
+    db.add(gen_ssb_customer(customer_cnt, seed));
+    db.add(gen_ssb_supplier(supplier_cnt, seed));
+    db.add(gen_ssb_part(part_cnt, seed));
+    let lo_cnt = ((6_000_000.0 * sf) as usize).max(1);
+    db.add(gen_lineorder(lo_cnt, customer_cnt as i32, supplier_cnt as i32, part_cnt as i32, seed, threads));
+    db
+}
+
+const DATE_LO: i32 = date(1992, 1, 1);
+const DATE_HI: i32 = date(1998, 12, 31);
+
+fn gen_date() -> Table {
+    let days: Vec<i32> = (DATE_LO..=DATE_HI).collect();
+    let mut t = Table::new("date");
+    t.add_column("d_datekey", ColumnData::I32(days.iter().map(|&d| datekey(d)).collect()))
+        .add_column("d_year", ColumnData::I32(days.iter().map(|&d| civil(d).0).collect()))
+        .add_column(
+            "d_yearmonthnum",
+            ColumnData::I32(days.iter().map(|&d| civil(d).0 * 100 + civil(d).1 as i32).collect()),
+        );
+    t
+}
+
+fn gen_ssb_customer(count: usize, seed: u64) -> Table {
+    let mut rng = chunk_rng(seed, 11, 0);
+    let mut nation = Vec::with_capacity(count);
+    let mut region = Vec::with_capacity(count);
+    let mut city = Vec::with_capacity(count);
+    for _ in 0..count {
+        let n = rng.gen_range(0..NATIONS.len() as i32);
+        nation.push(n);
+        region.push(nation_region(n));
+        city.push(n * 10 + rng.gen_range(0..10)); // 10 cities per nation
+    }
+    let mut t = Table::new("ssb_customer");
+    t.add_column("c_custkey", ColumnData::I32((1..=count as i32).collect()))
+        .add_column("c_nation", ColumnData::I32(nation))
+        .add_column("c_region", ColumnData::I32(region))
+        .add_column("c_city", ColumnData::I32(city));
+    t
+}
+
+fn gen_ssb_supplier(count: usize, seed: u64) -> Table {
+    let mut rng = chunk_rng(seed, 12, 0);
+    let mut nation = Vec::with_capacity(count);
+    let mut region = Vec::with_capacity(count);
+    let mut city = Vec::with_capacity(count);
+    for _ in 0..count {
+        let n = rng.gen_range(0..NATIONS.len() as i32);
+        nation.push(n);
+        region.push(nation_region(n));
+        city.push(n * 10 + rng.gen_range(0..10));
+    }
+    let mut t = Table::new("ssb_supplier");
+    t.add_column("s_suppkey", ColumnData::I32((1..=count as i32).collect()))
+        .add_column("s_nation", ColumnData::I32(nation))
+        .add_column("s_region", ColumnData::I32(region))
+        .add_column("s_city", ColumnData::I32(city));
+    t
+}
+
+fn gen_ssb_part(count: usize, seed: u64) -> Table {
+    let mut rng = chunk_rng(seed, 13, 0);
+    let mut mfgr = Vec::with_capacity(count);
+    let mut category = Vec::with_capacity(count);
+    let mut brand = Vec::with_capacity(count);
+    for _ in 0..count {
+        let m = rng.gen_range(1..=5);
+        let c = m * 10 + rng.gen_range(1..=5);
+        mfgr.push(m);
+        category.push(c);
+        brand.push(c * 40 + rng.gen_range(0..40));
+    }
+    let mut t = Table::new("ssb_part");
+    t.add_column("p_partkey", ColumnData::I32((1..=count as i32).collect()))
+        .add_column("p_mfgr", ColumnData::I32(mfgr))
+        .add_column("p_category", ColumnData::I32(category))
+        .add_column("p_brand1", ColumnData::I32(brand));
+    t
+}
+
+#[derive(Default)]
+struct LoChunk {
+    custkey: Vec<i32>,
+    suppkey: Vec<i32>,
+    partkey: Vec<i32>,
+    orderdate: Vec<i32>,
+    quantity: Vec<i64>,
+    extendedprice: Vec<i64>,
+    discount: Vec<i64>,
+    revenue: Vec<i64>,
+    supplycost: Vec<i64>,
+}
+
+const LO_PER_CHUNK: usize = 262_144;
+
+fn gen_lo_chunk(chunk: usize, n: usize, customers: i32, suppliers: i32, parts: i32, seed: u64) -> LoChunk {
+    let mut rng = chunk_rng(seed, 14, chunk as u64);
+    let mut c = LoChunk::default();
+    c.custkey.reserve(n);
+    for _ in 0..n {
+        let qty = rng.gen_range(1..=50i64);
+        let price = rng.gen_range(90_000..=200_000i64); // cents
+        let disc = rng.gen_range(0..=10i64);
+        let extended = qty * price;
+        c.custkey.push(rng.gen_range(1..=customers));
+        c.suppkey.push(rng.gen_range(1..=suppliers));
+        c.partkey.push(rng.gen_range(1..=parts));
+        c.orderdate.push(datekey(rng.gen_range(DATE_LO..=DATE_HI)));
+        c.quantity.push(qty * 100);
+        c.extendedprice.push(extended);
+        c.discount.push(disc);
+        c.revenue.push(extended * (100 - disc) / 100);
+        c.supplycost.push(extended * 6 / 10);
+    }
+    c
+}
+
+fn gen_lineorder(count: usize, customers: i32, suppliers: i32, parts: i32, seed: u64, threads: usize) -> Table {
+    let chunks = count.div_ceil(LO_PER_CHUNK);
+    let gen_one = |i: usize| {
+        let n = LO_PER_CHUNK.min(count - i * LO_PER_CHUNK);
+        gen_lo_chunk(i, n, customers, suppliers, parts, seed)
+    };
+    let parts_vec: Vec<LoChunk> = if threads <= 1 || chunks == 1 {
+        (0..chunks).map(gen_one).collect()
+    } else {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let out: Vec<Mutex<Option<LoChunk>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads.min(chunks) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= chunks {
+                        break;
+                    }
+                    *out[i].lock().expect("chunk slot") = Some(gen_one(i));
+                });
+            }
+        });
+        out.into_iter()
+            .map(|m| m.into_inner().expect("chunk slot").expect("chunk generated"))
+            .collect()
+    };
+    let mut all = LoChunk::default();
+    for p in parts_vec {
+        all.custkey.extend_from_slice(&p.custkey);
+        all.suppkey.extend_from_slice(&p.suppkey);
+        all.partkey.extend_from_slice(&p.partkey);
+        all.orderdate.extend_from_slice(&p.orderdate);
+        all.quantity.extend_from_slice(&p.quantity);
+        all.extendedprice.extend_from_slice(&p.extendedprice);
+        all.discount.extend_from_slice(&p.discount);
+        all.revenue.extend_from_slice(&p.revenue);
+        all.supplycost.extend_from_slice(&p.supplycost);
+    }
+    let mut t = Table::new("lineorder");
+    t.add_column("lo_custkey", ColumnData::I32(all.custkey))
+        .add_column("lo_suppkey", ColumnData::I32(all.suppkey))
+        .add_column("lo_partkey", ColumnData::I32(all.partkey))
+        .add_column("lo_orderdate", ColumnData::I32(all.orderdate))
+        .add_column("lo_quantity", ColumnData::I64(all.quantity))
+        .add_column("lo_extendedprice", ColumnData::I64(all.extendedprice))
+        .add_column("lo_discount", ColumnData::I64(all.discount))
+        .add_column("lo_revenue", ColumnData::I64(all.revenue))
+        .add_column("lo_supplycost", ColumnData::I64(all.supplycost));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities() {
+        let db = generate(0.01, 1);
+        assert_eq!(db.table("lineorder").len(), 60_000);
+        assert_eq!(db.table("ssb_customer").len(), 300);
+        assert_eq!(db.table("ssb_supplier").len(), 20);
+        assert_eq!(db.table("date").len(), 2_557);
+    }
+
+    #[test]
+    fn date_dim_covers_fact_dates() {
+        let db = generate(0.01, 1);
+        let dkeys: std::collections::HashSet<i32> =
+            db.table("date").col("d_datekey").i32s().iter().copied().collect();
+        for &od in db.table("lineorder").col("lo_orderdate").i32s() {
+            assert!(dkeys.contains(&od), "lo_orderdate {od} missing from date dim");
+        }
+    }
+
+    #[test]
+    fn datekey_encoding() {
+        assert_eq!(datekey(date(1993, 7, 4)), 19_930_704);
+        assert_eq!(datekey(date(1998, 12, 31)), 19_981_231);
+    }
+
+    #[test]
+    fn code_resolvers() {
+        assert_eq!(region_code("ASIA"), 2);
+        assert_eq!(region_code("AMERICA"), 1);
+        assert_eq!(category_code("MFGR#12"), 12);
+        assert_eq!(brand_name(12 * 40 + 7), "MFGR#1208");
+    }
+
+    #[test]
+    fn hierarchy_is_consistent() {
+        let db = generate(0.01, 5);
+        let c = db.table("ssb_customer");
+        let nat = c.col("c_nation").i32s();
+        let reg = c.col("c_region").i32s();
+        for i in 0..c.len() {
+            assert_eq!(reg[i], nation_region(nat[i]));
+        }
+        let p = db.table("ssb_part");
+        let mfgr = p.col("p_mfgr").i32s();
+        let cat = p.col("p_category").i32s();
+        let brand = p.col("p_brand1").i32s();
+        for i in 0..p.len() {
+            assert_eq!(cat[i] / 10, mfgr[i]);
+            assert_eq!(brand[i] / 40, cat[i]);
+        }
+    }
+
+    #[test]
+    fn revenue_matches_price_and_discount() {
+        let db = generate(0.005, 8);
+        let lo = db.table("lineorder");
+        let ext = lo.col("lo_extendedprice").i64s();
+        let disc = lo.col("lo_discount").i64s();
+        let rev = lo.col("lo_revenue").i64s();
+        for i in 0..lo.len() {
+            assert_eq!(rev[i], ext[i] * (100 - disc[i]) / 100);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_threads() {
+        let a = generate_par(0.02, 3, 1);
+        let b = generate_par(0.02, 3, 4);
+        let ta = a.table("lineorder");
+        let tb = b.table("lineorder");
+        for (name, col) in ta.columns() {
+            assert_eq!(col, tb.col(name), "lineorder.{name}");
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! TPC-H data generator (dbgen equivalent).
+//!
+//! Cardinalities at scale factor `sf`: orders 1 500 000·sf, lineitem
+//! ≈6 000 000·sf (1–7 lines per order), customer 150 000·sf, part
+//! 200 000·sf, partsupp 800 000·sf, supplier 10 000·sf, nation 25,
+//! region 5. Money columns are scale-2 fixed point, dates are
+//! days-since-epoch.
+
+use crate::chunk_rng;
+use dbep_storage::column::{ColumnData, StrColumn};
+use dbep_storage::types::{date, Date};
+use dbep_storage::{Database, Table};
+use rand::Rng;
+
+/// The 92 color words dbgen draws `p_name` from; `LIKE '%green%'`
+/// therefore selects ≈ 5/92 ≈ 5.4 % of parts (five distinct words per
+/// name).
+pub const COLORS: &[&str] = &[
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime",
+    "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+    "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru", "pink",
+    "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
+    "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow", "cadet",
+];
+
+/// Market segments (`c_mktsegment`), uniform — Q3's BUILDING filter
+/// selects 20 %.
+pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// The 25 TPC-H nations with their region keys.
+pub const NATIONS: &[(&str, i32)] = &[
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+];
+
+pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Number of suppliers for a given scale factor.
+pub fn supplier_count(sf: f64) -> usize {
+    ((10_000.0 * sf) as usize).max(1)
+}
+
+/// dbgen's part→supplier assignment: part `pk` (1-based) is supplied by
+/// exactly four suppliers given by this formula, which both partsupp
+/// generation and `l_suppkey` selection must share for Q9's composite
+/// join to find matches.
+#[inline]
+pub fn part_supplier(pk: i32, i: i32, supplier_cnt: i32) -> i32 {
+    let s = supplier_cnt as i64;
+    let pk = pk as i64 - 1;
+    let i = i as i64;
+    ((pk + i * (s / 4 + pk / s)) % s) as i32 + 1
+}
+
+/// dbgen's deterministic part price (cents): 900.00 .. 2098.99.
+#[inline]
+pub fn part_retail_price(pk: i32) -> i64 {
+    let pk = pk as i64;
+    90_000 + (pk / 10) % 20_001 + 100 * (pk % 1_000)
+}
+
+const ORDER_DATE_LO: Date = date(1992, 1, 1);
+const ORDER_DATE_HI: Date = date(1998, 8, 2); // inclusive
+/// Cutoff splitting `l_linestatus` (F/O) and driving `l_returnflag`.
+const STATUS_CUT: Date = date(1995, 6, 17);
+
+/// Generate a TPC-H database at scale factor `sf` (may be fractional)
+/// with a fixed `seed`. Deterministic for a given `(sf, seed)`.
+pub fn generate(sf: f64, seed: u64) -> Database {
+    generate_par(sf, seed, 1)
+}
+
+/// As [`generate`], using up to `threads` worker threads. The output is
+/// identical for any thread count.
+pub fn generate_par(sf: f64, seed: u64, threads: usize) -> Database {
+    assert!(sf > 0.0, "scale factor must be positive");
+    let mut db = Database::new();
+    db.add(gen_region());
+    db.add(gen_nation());
+    let supplier_cnt = supplier_count(sf);
+    db.add(gen_supplier(supplier_cnt, seed));
+    let part_cnt = ((200_000.0 * sf) as usize).max(1);
+    db.add(gen_part(part_cnt, seed));
+    db.add(gen_partsupp(part_cnt, supplier_cnt as i32, seed));
+    let customer_cnt = ((150_000.0 * sf) as usize).max(1);
+    db.add(gen_customer(customer_cnt, seed));
+    let order_cnt = ((1_500_000.0 * sf) as usize).max(1);
+    let (orders, lineitem) =
+        gen_orders_lineitem(order_cnt, customer_cnt as i32, part_cnt as i32, supplier_cnt as i32, seed, threads);
+    db.add(orders);
+    db.add(lineitem);
+    db
+}
+
+fn gen_region() -> Table {
+    let mut t = Table::new("region");
+    t.add_column("r_regionkey", ColumnData::I32((0..REGIONS.len() as i32).collect()))
+        .add_column("r_name", ColumnData::Str(REGIONS.iter().copied().collect()));
+    t
+}
+
+fn gen_nation() -> Table {
+    let mut t = Table::new("nation");
+    t.add_column("n_nationkey", ColumnData::I32((0..NATIONS.len() as i32).collect()))
+        .add_column("n_name", ColumnData::Str(NATIONS.iter().map(|(n, _)| *n).collect()))
+        .add_column("n_regionkey", ColumnData::I32(NATIONS.iter().map(|(_, r)| *r).collect()));
+    t
+}
+
+fn gen_supplier(count: usize, seed: u64) -> Table {
+    let mut rng = chunk_rng(seed, 1, 0);
+    let mut nationkey = Vec::with_capacity(count);
+    let mut name = StrColumn::with_capacity(count, count * 18);
+    let mut acctbal = Vec::with_capacity(count);
+    for k in 1..=count {
+        nationkey.push(rng.gen_range(0..NATIONS.len() as i32));
+        name.push(&format!("Supplier#{k:09}"));
+        acctbal.push(rng.gen_range(-99_999..=999_999i64)); // -999.99 .. 9999.99
+    }
+    let mut t = Table::new("supplier");
+    t.add_column("s_suppkey", ColumnData::I32((1..=count as i32).collect()))
+        .add_column("s_name", ColumnData::Str(name))
+        .add_column("s_nationkey", ColumnData::I32(nationkey))
+        .add_column("s_acctbal", ColumnData::I64(acctbal));
+    t
+}
+
+fn gen_part(count: usize, seed: u64) -> Table {
+    let mut rng = chunk_rng(seed, 2, 0);
+    let mut name = StrColumn::with_capacity(count, count * 34);
+    let mut retail = Vec::with_capacity(count);
+    let mut brand = Vec::with_capacity(count);
+    let mut word_buf = String::with_capacity(40);
+    for pk in 1..=count as i32 {
+        // Five distinct color words.
+        word_buf.clear();
+        let mut picked = [usize::MAX; 5];
+        for slot in 0..5 {
+            let w = loop {
+                let w = rng.gen_range(0..COLORS.len());
+                if !picked[..slot].contains(&w) {
+                    break w;
+                }
+            };
+            picked[slot] = w;
+            if slot > 0 {
+                word_buf.push(' ');
+            }
+            word_buf.push_str(COLORS[w]);
+        }
+        name.push(&word_buf);
+        retail.push(part_retail_price(pk));
+        brand.push(rng.gen_range(11..=55i32));
+    }
+    let mut t = Table::new("part");
+    t.add_column("p_partkey", ColumnData::I32((1..=count as i32).collect()))
+        .add_column("p_name", ColumnData::Str(name))
+        .add_column("p_brand", ColumnData::I32(brand))
+        .add_column("p_retailprice", ColumnData::I64(retail));
+    t
+}
+
+fn gen_partsupp(part_cnt: usize, supplier_cnt: i32, seed: u64) -> Table {
+    let mut rng = chunk_rng(seed, 3, 0);
+    let n = part_cnt * 4;
+    let mut partkey = Vec::with_capacity(n);
+    let mut suppkey = Vec::with_capacity(n);
+    let mut supplycost = Vec::with_capacity(n);
+    let mut availqty = Vec::with_capacity(n);
+    for pk in 1..=part_cnt as i32 {
+        for i in 0..4 {
+            partkey.push(pk);
+            suppkey.push(part_supplier(pk, i, supplier_cnt));
+            supplycost.push(rng.gen_range(100..=100_000i64)); // 1.00 .. 1000.00
+            availqty.push(rng.gen_range(1..=9_999i32));
+        }
+    }
+    let mut t = Table::new("partsupp");
+    t.add_column("ps_partkey", ColumnData::I32(partkey))
+        .add_column("ps_suppkey", ColumnData::I32(suppkey))
+        .add_column("ps_supplycost", ColumnData::I64(supplycost))
+        .add_column("ps_availqty", ColumnData::I32(availqty));
+    t
+}
+
+fn gen_customer(count: usize, seed: u64) -> Table {
+    let mut rng = chunk_rng(seed, 4, 0);
+    let mut name = StrColumn::with_capacity(count, count * 18);
+    let mut segment = StrColumn::with_capacity(count, count * 10);
+    let mut nationkey = Vec::with_capacity(count);
+    let mut acctbal = Vec::with_capacity(count);
+    for k in 1..=count {
+        name.push(&format!("Customer#{k:09}"));
+        segment.push(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]);
+        nationkey.push(rng.gen_range(0..NATIONS.len() as i32));
+        acctbal.push(rng.gen_range(-99_999..=999_999i64));
+    }
+    let mut t = Table::new("customer");
+    t.add_column("c_custkey", ColumnData::I32((1..=count as i32).collect()))
+        .add_column("c_name", ColumnData::Str(name))
+        .add_column("c_mktsegment", ColumnData::Str(segment))
+        .add_column("c_nationkey", ColumnData::I32(nationkey))
+        .add_column("c_acctbal", ColumnData::I64(acctbal));
+    t
+}
+
+/// Column-struct accumulators for one chunk of orders + their lineitems.
+#[derive(Default)]
+struct OrdersChunk {
+    o_orderkey: Vec<i32>,
+    o_custkey: Vec<i32>,
+    o_orderdate: Vec<Date>,
+    o_totalprice: Vec<i64>,
+    o_shippriority: Vec<i32>,
+    l_orderkey: Vec<i32>,
+    l_partkey: Vec<i32>,
+    l_suppkey: Vec<i32>,
+    l_quantity: Vec<i64>,
+    l_extendedprice: Vec<i64>,
+    l_discount: Vec<i64>,
+    l_tax: Vec<i64>,
+    l_shipdate: Vec<Date>,
+    l_receiptdate: Vec<Date>,
+    l_returnflag: Vec<u8>,
+    l_linestatus: Vec<u8>,
+}
+
+const ORDERS_PER_CHUNK: usize = 65_536;
+
+fn gen_orders_chunk(
+    chunk: usize,
+    order_lo: i32,
+    order_hi: i32,
+    customer_cnt: i32,
+    part_cnt: i32,
+    supplier_cnt: i32,
+    seed: u64,
+) -> OrdersChunk {
+    let mut rng = chunk_rng(seed, 5, chunk as u64);
+    let n = (order_hi - order_lo) as usize;
+    let mut c = OrdersChunk::default();
+    c.o_orderkey.reserve(n);
+    c.l_orderkey.reserve(n * 4);
+    for ok in order_lo..order_hi {
+        let lines = rng.gen_range(1..=7);
+        let orderdate = rng.gen_range(ORDER_DATE_LO..=ORDER_DATE_HI);
+        let mut total = 0i64;
+        for _ in 0..lines {
+            let pk = rng.gen_range(1..=part_cnt);
+            let sk = part_supplier(pk, rng.gen_range(0..4), supplier_cnt);
+            let qty_units = rng.gen_range(1..=50i64);
+            let extended = qty_units * part_retail_price(pk);
+            let shipdate = orderdate + rng.gen_range(1..=121);
+            let receiptdate = shipdate + rng.gen_range(1..=30);
+            c.l_orderkey.push(ok);
+            c.l_partkey.push(pk);
+            c.l_suppkey.push(sk);
+            c.l_quantity.push(qty_units * 100);
+            c.l_extendedprice.push(extended);
+            c.l_discount.push(rng.gen_range(0..=10i64)); // 0.00 .. 0.10
+            c.l_tax.push(rng.gen_range(0..=8i64)); // 0.00 .. 0.08
+            c.l_shipdate.push(shipdate);
+            c.l_receiptdate.push(receiptdate);
+            // dbgen: R or A (50/50) when the item was received before the
+            // cutoff, N afterwards; linestatus F/O splits on shipdate.
+            c.l_returnflag.push(if receiptdate <= STATUS_CUT {
+                if rng.gen_bool(0.5) {
+                    b'R'
+                } else {
+                    b'A'
+                }
+            } else {
+                b'N'
+            });
+            c.l_linestatus.push(if shipdate <= STATUS_CUT { b'F' } else { b'O' });
+            total += extended;
+        }
+        c.o_orderkey.push(ok);
+        c.o_custkey.push(rng.gen_range(1..=customer_cnt));
+        c.o_orderdate.push(orderdate);
+        c.o_totalprice.push(total);
+        c.o_shippriority.push(0);
+    }
+    c
+}
+
+fn gen_orders_lineitem(
+    order_cnt: usize,
+    customer_cnt: i32,
+    part_cnt: i32,
+    supplier_cnt: i32,
+    seed: u64,
+    threads: usize,
+) -> (Table, Table) {
+    let chunks = order_cnt.div_ceil(ORDERS_PER_CHUNK);
+    let gen_one = |i: usize| {
+        let lo = (i * ORDERS_PER_CHUNK) as i32 + 1;
+        let hi = ((i + 1) * ORDERS_PER_CHUNK).min(order_cnt) as i32 + 1;
+        gen_orders_chunk(i, lo, hi, customer_cnt, part_cnt, supplier_cnt, seed)
+    };
+    let parts: Vec<OrdersChunk> = if threads <= 1 || chunks == 1 {
+        (0..chunks).map(gen_one).collect()
+    } else {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let out: Vec<Mutex<Option<OrdersChunk>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads.min(chunks) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= chunks {
+                        break;
+                    }
+                    *out[i].lock().expect("chunk slot") = Some(gen_one(i));
+                });
+            }
+        });
+        out.into_iter()
+            .map(|m| m.into_inner().expect("chunk slot").expect("chunk generated"))
+            .collect()
+    };
+
+    // Concatenate chunks in order (determinism).
+    let mut all = OrdersChunk::default();
+    for p in parts {
+        all.o_orderkey.extend_from_slice(&p.o_orderkey);
+        all.o_custkey.extend_from_slice(&p.o_custkey);
+        all.o_orderdate.extend_from_slice(&p.o_orderdate);
+        all.o_totalprice.extend_from_slice(&p.o_totalprice);
+        all.o_shippriority.extend_from_slice(&p.o_shippriority);
+        all.l_orderkey.extend_from_slice(&p.l_orderkey);
+        all.l_partkey.extend_from_slice(&p.l_partkey);
+        all.l_suppkey.extend_from_slice(&p.l_suppkey);
+        all.l_quantity.extend_from_slice(&p.l_quantity);
+        all.l_extendedprice.extend_from_slice(&p.l_extendedprice);
+        all.l_discount.extend_from_slice(&p.l_discount);
+        all.l_tax.extend_from_slice(&p.l_tax);
+        all.l_shipdate.extend_from_slice(&p.l_shipdate);
+        all.l_receiptdate.extend_from_slice(&p.l_receiptdate);
+        all.l_returnflag.extend_from_slice(&p.l_returnflag);
+        all.l_linestatus.extend_from_slice(&p.l_linestatus);
+    }
+
+    let mut orders = Table::new("orders");
+    orders
+        .add_column("o_orderkey", ColumnData::I32(all.o_orderkey))
+        .add_column("o_custkey", ColumnData::I32(all.o_custkey))
+        .add_column("o_orderdate", ColumnData::Date(all.o_orderdate))
+        .add_column("o_totalprice", ColumnData::I64(all.o_totalprice))
+        .add_column("o_shippriority", ColumnData::I32(all.o_shippriority));
+
+    let mut lineitem = Table::new("lineitem");
+    lineitem
+        .add_column("l_orderkey", ColumnData::I32(all.l_orderkey))
+        .add_column("l_partkey", ColumnData::I32(all.l_partkey))
+        .add_column("l_suppkey", ColumnData::I32(all.l_suppkey))
+        .add_column("l_quantity", ColumnData::I64(all.l_quantity))
+        .add_column("l_extendedprice", ColumnData::I64(all.l_extendedprice))
+        .add_column("l_discount", ColumnData::I64(all.l_discount))
+        .add_column("l_tax", ColumnData::I64(all.l_tax))
+        .add_column("l_shipdate", ColumnData::Date(all.l_shipdate))
+        .add_column("l_receiptdate", ColumnData::Date(all.l_receiptdate))
+        .add_column("l_returnflag", ColumnData::Char(all.l_returnflag))
+        .add_column("l_linestatus", ColumnData::Char(all.l_linestatus));
+
+    (orders, lineitem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_scale() {
+        let db = generate(0.01, 1);
+        assert_eq!(db.table("orders").len(), 15_000);
+        assert_eq!(db.table("customer").len(), 1_500);
+        assert_eq!(db.table("part").len(), 2_000);
+        assert_eq!(db.table("partsupp").len(), 8_000);
+        assert_eq!(db.table("supplier").len(), 100);
+        assert_eq!(db.table("nation").len(), 25);
+        assert_eq!(db.table("region").len(), 5);
+        let li = db.table("lineitem").len() as f64;
+        // 1..7 lines/order, mean 4: expect ~60k +- a few percent.
+        assert!((54_000.0..66_000.0).contains(&li), "lineitem {li}");
+    }
+
+    #[test]
+    fn deterministic_and_thread_invariant() {
+        let a = generate_par(0.01, 7, 1);
+        let b = generate_par(0.01, 7, 4);
+        for t in ["orders", "lineitem", "customer", "part"] {
+            let ta = a.table(t);
+            let tb = b.table(t);
+            assert_eq!(ta.len(), tb.len(), "{t} len");
+            for (name, col) in ta.columns() {
+                assert_eq!(col, tb.col(name), "{t}.{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn q1_has_four_groups() {
+        let db = generate(0.01, 1);
+        let li = db.table("lineitem");
+        let rf = li.col("l_returnflag").chars();
+        let ls = li.col("l_linestatus").chars();
+        let mut groups = std::collections::HashSet::new();
+        for i in 0..li.len() {
+            groups.insert((rf[i], ls[i]));
+        }
+        let mut g: Vec<(u8, u8)> = groups.into_iter().collect();
+        g.sort_unstable();
+        assert_eq!(g, vec![(b'A', b'F'), (b'N', b'F'), (b'N', b'O'), (b'R', b'F')]);
+    }
+
+    #[test]
+    fn q6_selectivity_is_about_two_percent() {
+        let db = generate(0.05, 1);
+        let li = db.table("lineitem");
+        let ship = li.col("l_shipdate").dates();
+        let disc = li.col("l_discount").i64s();
+        let qty = li.col("l_quantity").i64s();
+        let lo = date(1994, 1, 1);
+        let hi = date(1995, 1, 1);
+        let hits = (0..li.len())
+            .filter(|&i| ship[i] >= lo && ship[i] < hi && (5..=7).contains(&disc[i]) && qty[i] < 2400)
+            .count();
+        let sel = hits as f64 / li.len() as f64;
+        assert!((0.01..0.035).contains(&sel), "Q6 selectivity {sel}");
+    }
+
+    #[test]
+    fn lineitem_suppkeys_exist_in_partsupp() {
+        let db = generate(0.01, 3);
+        let ps = db.table("partsupp");
+        let mut pairs = std::collections::HashSet::new();
+        let pk = ps.col("ps_partkey").i32s();
+        let sk = ps.col("ps_suppkey").i32s();
+        for i in 0..ps.len() {
+            pairs.insert((pk[i], sk[i]));
+        }
+        let li = db.table("lineitem");
+        let lpk = li.col("l_partkey").i32s();
+        let lsk = li.col("l_suppkey").i32s();
+        for i in 0..li.len() {
+            assert!(pairs.contains(&(lpk[i], lsk[i])), "lineitem {i} references missing partsupp");
+        }
+    }
+
+    #[test]
+    fn part_names_have_five_distinct_words() {
+        let db = generate(0.01, 2);
+        let names = db.table("part").col("p_name").strs();
+        let mut green = 0usize;
+        for i in 0..names.len() {
+            let words: Vec<&str> = names.get(i).split(' ').collect();
+            assert_eq!(words.len(), 5);
+            let set: std::collections::HashSet<&&str> = words.iter().collect();
+            assert_eq!(set.len(), 5, "duplicate word in {:?}", names.get(i));
+            if words.contains(&"green") {
+                green += 1;
+            }
+        }
+        let sel = green as f64 / names.len() as f64;
+        assert!((0.03..0.08).contains(&sel), "green selectivity {sel}");
+    }
+
+    #[test]
+    fn supplier_formula_covers_four_distinct_suppliers() {
+        for pk in [1, 2, 7, 199_999] {
+            let ks: Vec<i32> = (0..4).map(|i| part_supplier(pk, i, 10_000)).collect();
+            let set: std::collections::HashSet<&i32> = ks.iter().collect();
+            assert_eq!(set.len(), 4, "part {pk}: {ks:?}");
+            for k in ks {
+                assert!((1..=10_000).contains(&k));
+            }
+        }
+    }
+
+    #[test]
+    fn totalprice_matches_line_sums() {
+        let db = generate(0.005, 9);
+        let li = db.table("lineitem");
+        let lok = li.col("l_orderkey").i32s();
+        let ext = li.col("l_extendedprice").i64s();
+        let ord = db.table("orders");
+        let mut sums = vec![0i64; ord.len() + 1];
+        for i in 0..li.len() {
+            sums[lok[i] as usize] += ext[i];
+        }
+        let ok = ord.col("o_orderkey").i32s();
+        let tp = ord.col("o_totalprice").i64s();
+        for i in 0..ord.len() {
+            assert_eq!(tp[i], sums[ok[i] as usize], "order {}", ok[i]);
+        }
+    }
+}

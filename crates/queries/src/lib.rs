@@ -1,0 +1,179 @@
+//! Physical query plans for the paper's workload, in **all three**
+//! engines.
+//!
+//! Per the methodology (§3), every query uses *the same physical plan*
+//! in Typer and Tectorwise — same join order, same build sides, same
+//! hash functions, same data structures — so the execution paradigm is
+//! the only variable. The Volcano implementations run the same plans
+//! tuple-at-a-time for the interpretation baseline and for result
+//! cross-validation.
+//!
+//! * [`tpch`] — Q1, Q6, Q3, Q9, Q18 (the paper's representative subset,
+//!   §3.3 lists each query's bottleneck).
+//! * [`ssb`] — Star Schema Benchmark Q1.1, Q2.1, Q3.1, Q4.1 (§4.4).
+//! * [`oltp`] — the stored-procedure-style point-lookup workload used to
+//!   discuss OLTP behaviour (§8.1).
+//! * [`result`] — engine-independent result rows with deterministic
+//!   ordering, so `typer == tectorwise == volcano` is a meaningful
+//!   assertion.
+
+pub mod oltp;
+pub mod result;
+pub mod ssb;
+pub mod tpch;
+
+use dbep_runtime::hash::HashFn;
+use dbep_storage::throttle::Throttle;
+use dbep_vectorized::SimdPolicy;
+
+/// Execution configuration shared by all engines.
+///
+/// `vector_size` and `policy` only affect Tectorwise; `hash` defaults to
+/// each engine's §4.1 choice (Murmur2 for TW, CRC for Typer) unless
+/// overridden for the ablation.
+#[derive(Clone, Copy)]
+pub struct ExecCfg<'a> {
+    pub threads: usize,
+    pub vector_size: usize,
+    pub policy: SimdPolicy,
+    /// `None` = engine default (§4.1); `Some` = force for both engines.
+    pub hash: Option<HashFn>,
+    /// Optional bandwidth-limited storage device (Table 5).
+    pub throttle: Option<&'a Throttle>,
+}
+
+impl Default for ExecCfg<'_> {
+    fn default() -> Self {
+        ExecCfg {
+            threads: 1,
+            vector_size: dbep_vectorized::DEFAULT_VECTOR_SIZE,
+            policy: SimdPolicy::Scalar,
+            hash: None,
+            throttle: None,
+        }
+    }
+}
+
+impl<'a> ExecCfg<'a> {
+    pub fn with_threads(threads: usize) -> Self {
+        ExecCfg { threads, ..Default::default() }
+    }
+
+    /// The hash function Typer uses under this configuration.
+    pub fn typer_hash(&self) -> HashFn {
+        self.hash.unwrap_or(HashFn::Crc)
+    }
+
+    /// The hash function Tectorwise uses under this configuration.
+    pub fn tw_hash(&self) -> HashFn {
+        self.hash.unwrap_or(HashFn::Murmur2)
+    }
+
+    /// Pace a scan morsel against the configured storage device.
+    #[inline]
+    pub fn pace(&self, rows: usize, bytes_per_row: usize) {
+        if let Some(t) = self.throttle {
+            t.consume(rows * bytes_per_row);
+        }
+    }
+}
+
+/// The three execution paradigms (Table 6 taxonomy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Push + compiled (HyPer model).
+    Typer,
+    /// Pull + vectorized (VectorWise model).
+    Tectorwise,
+    /// Pull + interpreted (System R model).
+    Volcano,
+}
+
+/// Identifiers for every benchmark query in the study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryId {
+    Q1,
+    Q6,
+    Q3,
+    Q9,
+    Q18,
+    Ssb1_1,
+    Ssb2_1,
+    Ssb3_1,
+    Ssb4_1,
+}
+
+impl QueryId {
+    /// The TPC-H subset in the paper's presentation order (§3.3).
+    pub const TPCH: [QueryId; 5] = [QueryId::Q1, QueryId::Q6, QueryId::Q3, QueryId::Q9, QueryId::Q18];
+    /// The SSB flights of §4.4.
+    pub const SSB: [QueryId; 4] = [QueryId::Ssb1_1, QueryId::Ssb2_1, QueryId::Ssb3_1, QueryId::Ssb4_1];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryId::Q1 => "q1",
+            QueryId::Q6 => "q6",
+            QueryId::Q3 => "q3",
+            QueryId::Q9 => "q9",
+            QueryId::Q18 => "q18",
+            QueryId::Ssb1_1 => "ssb-q1.1",
+            QueryId::Ssb2_1 => "ssb-q2.1",
+            QueryId::Ssb3_1 => "ssb-q3.1",
+            QueryId::Ssb4_1 => "ssb-q4.1",
+        }
+    }
+
+    /// Total tuples scanned by this query's plan — the paper's
+    /// normalization denominator ("the sum of the cardinalities of all
+    /// tables scanned", §3.4).
+    pub fn tuples_scanned(self, db: &dbep_storage::Database) -> usize {
+        let t = |n: &str| db.table(n).len();
+        match self {
+            QueryId::Q1 | QueryId::Q6 => t("lineitem"),
+            QueryId::Q3 => t("customer") + t("orders") + t("lineitem"),
+            QueryId::Q9 => t("part") + t("partsupp") + t("supplier") + t("lineitem") + t("orders"),
+            QueryId::Q18 => t("lineitem") * 2 + t("orders") + t("customer"),
+            QueryId::Ssb1_1 => t("lineorder") + t("date"),
+            QueryId::Ssb2_1 => t("lineorder") + t("date") + t("ssb_part") + t("ssb_supplier"),
+            QueryId::Ssb3_1 => t("lineorder") + t("date") + t("ssb_customer") + t("ssb_supplier"),
+            QueryId::Ssb4_1 => {
+                t("lineorder") + t("date") + t("ssb_customer") + t("ssb_supplier") + t("ssb_part")
+            }
+        }
+    }
+}
+
+/// Run any benchmark query on any engine (harness entry point).
+pub fn run(engine: Engine, query: QueryId, db: &dbep_storage::Database, cfg: &ExecCfg) -> result::QueryResult {
+    use Engine::*;
+    use QueryId::*;
+    match (engine, query) {
+        (Typer, Q1) => tpch::q1::typer(db, cfg),
+        (Typer, Q6) => tpch::q6::typer(db, cfg),
+        (Typer, Q3) => tpch::q3::typer(db, cfg),
+        (Typer, Q9) => tpch::q9::typer(db, cfg),
+        (Typer, Q18) => tpch::q18::typer(db, cfg),
+        (Typer, Ssb1_1) => ssb::q1_1::typer(db, cfg),
+        (Typer, Ssb2_1) => ssb::q2_1::typer(db, cfg),
+        (Typer, Ssb3_1) => ssb::q3_1::typer(db, cfg),
+        (Typer, Ssb4_1) => ssb::q4_1::typer(db, cfg),
+        (Tectorwise, Q1) => tpch::q1::tectorwise(db, cfg),
+        (Tectorwise, Q6) => tpch::q6::tectorwise(db, cfg),
+        (Tectorwise, Q3) => tpch::q3::tectorwise(db, cfg),
+        (Tectorwise, Q9) => tpch::q9::tectorwise(db, cfg),
+        (Tectorwise, Q18) => tpch::q18::tectorwise(db, cfg),
+        (Tectorwise, Ssb1_1) => ssb::q1_1::tectorwise(db, cfg),
+        (Tectorwise, Ssb2_1) => ssb::q2_1::tectorwise(db, cfg),
+        (Tectorwise, Ssb3_1) => ssb::q3_1::tectorwise(db, cfg),
+        (Tectorwise, Ssb4_1) => ssb::q4_1::tectorwise(db, cfg),
+        (Volcano, Q1) => tpch::q1::volcano(db),
+        (Volcano, Q6) => tpch::q6::volcano(db),
+        (Volcano, Q3) => tpch::q3::volcano(db),
+        (Volcano, Q9) => tpch::q9::volcano(db),
+        (Volcano, Q18) => tpch::q18::volcano(db),
+        (Volcano, Ssb1_1) => ssb::q1_1::volcano(db),
+        (Volcano, Ssb2_1) => ssb::q2_1::volcano(db),
+        (Volcano, Ssb3_1) => ssb::q3_1::volcano(db),
+        (Volcano, Ssb4_1) => ssb::q4_1::volcano(db),
+    }
+}

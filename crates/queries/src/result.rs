@@ -1,0 +1,173 @@
+//! Engine-independent query results.
+//!
+//! All three engines of the study funnel their output through
+//! [`QueryResult`], with ordering applied by one shared deterministic
+//! sort, so cross-engine equality is exact (no float rounding, no tie
+//! ambiguity: rows equal on all ORDER BY keys fall back to full-row
+//! order).
+
+pub use dbep_storage::types::Value;
+
+/// A finished query result: named columns, ordered rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// One ORDER BY key: column position and direction.
+#[derive(Clone, Copy, Debug)]
+pub struct OrderBy {
+    pub col: usize,
+    pub desc: bool,
+}
+
+impl OrderBy {
+    pub fn asc(col: usize) -> Self {
+        OrderBy { col, desc: false }
+    }
+
+    pub fn desc(col: usize) -> Self {
+        OrderBy { col, desc: true }
+    }
+}
+
+impl QueryResult {
+    /// Assemble a result: sorts by `order` (ties broken by full-row
+    /// comparison, making every engine's output identical), applies the
+    /// optional LIMIT.
+    pub fn new(
+        columns: &[&str],
+        mut rows: Vec<Vec<Value>>,
+        order: &[OrderBy],
+        limit: Option<usize>,
+    ) -> Self {
+        for row in &rows {
+            assert_eq!(row.len(), columns.len(), "row arity mismatch");
+        }
+        rows.sort_unstable_by(|a, b| {
+            for k in order {
+                let ord = a[k.col].cmp(&b[k.col]);
+                let ord = if k.desc { ord.reverse() } else { ord };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            a.cmp(b)
+        });
+        if let Some(l) = limit {
+            rows.truncate(l);
+        }
+        QueryResult { columns: columns.iter().map(|s| s.to_string()).collect(), rows }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text table (examples, debugging).
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (w, c) in widths.iter().zip(&self.columns) {
+            out.push_str(&format!("{c:>w$} "));
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (w, cell) in widths.iter().zip(row) {
+                out.push_str(&format!("{cell:>w$} "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Fixed-point average at the summand's scale: `sum / count`, truncating
+/// toward zero (shared by every engine so results agree bit-for-bit).
+pub fn avg_i64(sum: i64, count: i64) -> i64 {
+    if count == 0 {
+        0
+    } else {
+        sum / count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_desc_with_tiebreak_and_limit() {
+        let rows = vec![
+            vec![Value::I64(1), Value::I64(10)],
+            vec![Value::I64(2), Value::I64(30)],
+            vec![Value::I64(3), Value::I64(30)],
+            vec![Value::I64(4), Value::I64(20)],
+        ];
+        let r = QueryResult::new(&["k", "v"], rows, &[OrderBy::desc(1)], Some(3));
+        assert_eq!(r.len(), 3);
+        // 30-ties resolved by full-row comparison: k=2 before k=3.
+        assert_eq!(r.rows[0][0], Value::I64(2));
+        assert_eq!(r.rows[1][0], Value::I64(3));
+        assert_eq!(r.rows[2][0], Value::I64(4));
+    }
+
+    #[test]
+    fn multi_key_order() {
+        let rows = vec![
+            vec![Value::Str("b".into()), Value::I64(1)],
+            vec![Value::Str("a".into()), Value::I64(2)],
+            vec![Value::Str("a".into()), Value::I64(1)],
+        ];
+        let r = QueryResult::new(&["s", "v"], rows, &[OrderBy::asc(0), OrderBy::desc(1)], None);
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Str("a".into()), Value::I64(2)],
+                vec![Value::Str("a".into()), Value::I64(1)],
+                vec![Value::Str("b".into()), Value::I64(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn averages_truncate_consistently() {
+        assert_eq!(avg_i64(725, 2), 362);
+        assert_eq!(avg_i64(-725, 2), -362);
+        assert_eq!(avg_i64(10, 0), 0);
+    }
+
+    #[test]
+    fn to_table_renders() {
+        let r = QueryResult::new(
+            &["flag", "sum"],
+            vec![vec![Value::Str("A".into()), Value::dec2(123456)]],
+            &[],
+            None,
+        );
+        let s = r.to_table();
+        assert!(s.contains("flag"));
+        assert!(s.contains("1234.56"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        QueryResult::new(&["a"], vec![vec![Value::I64(1), Value::I64(2)]], &[], None);
+    }
+}

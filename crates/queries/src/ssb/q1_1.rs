@@ -1,0 +1,134 @@
+//! SSB Q1.1: selective fact filter + one dimension probe.
+//!
+//! ```sql
+//! SELECT sum(lo_extendedprice * lo_discount) AS revenue
+//! FROM lineorder, date
+//! WHERE lo_orderdate = d_datekey AND d_year = 1993
+//!   AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25
+//! ```
+
+use crate::result::{QueryResult, Value};
+use crate::ExecCfg;
+use dbep_runtime::{scope_workers, JoinHt, Morsels};
+use dbep_storage::Database;
+use dbep_vectorized as tw;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+const YEAR: i32 = 1993;
+const DISC_LO: i64 = 1;
+const DISC_HI: i64 = 3;
+const QTY_HI: i64 = 2500; // 25.00
+const LO_BYTES: usize = 4 + 8 + 8 + 8;
+
+fn finish(revenue: i64) -> QueryResult {
+    QueryResult::new(&["revenue"], vec![vec![Value::dec4(revenue as i128)]], &[], None)
+}
+
+fn build_date_ht(db: &Database, hf: dbep_runtime::hash::HashFn) -> JoinHt<i32> {
+    let d = db.table("date");
+    let dk = d.col("d_datekey").i32s();
+    let dy = d.col("d_year").i32s();
+    JoinHt::build(
+        (0..d.len())
+            .filter(|&i| dy[i] == YEAR)
+            .map(|i| (hf.hash(dk[i] as u64), dk[i])),
+    )
+}
+
+/// Typer: fused filter + probe + sum.
+pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.typer_hash();
+    let ht_d = build_date_ht(db, hf);
+    let lo = db.table("lineorder");
+    let od = lo.col("lo_orderdate").i32s();
+    let disc = lo.col("lo_discount").i64s();
+    let qty = lo.col("lo_quantity").i64s();
+    let ext = lo.col("lo_extendedprice").i64s();
+    let m = Morsels::new(lo.len());
+    let total = AtomicI64::new(0);
+    scope_workers(cfg.threads, |_| {
+        let mut local = 0i64;
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), LO_BYTES);
+            for i in r {
+                if disc[i] >= DISC_LO && disc[i] <= DISC_HI && qty[i] < QTY_HI {
+                    let h = hf.hash(od[i] as u64);
+                    if ht_d.probe(h).any(|e| e.row == od[i]) {
+                        local += ext[i] * disc[i];
+                    }
+                }
+            }
+        }
+        total.fetch_add(local, Ordering::Relaxed);
+    });
+    finish(total.load(Ordering::Relaxed))
+}
+
+/// Tectorwise: two selections, one probe, gather/multiply/sum.
+pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.tw_hash();
+    let policy = cfg.policy;
+    let ht_d = build_date_ht(db, hf);
+    let lo = db.table("lineorder");
+    let od = lo.col("lo_orderdate").i32s();
+    let disc = lo.col("lo_discount").i64s();
+    let qty = lo.col("lo_quantity").i64s();
+    let ext = lo.col("lo_extendedprice").i64s();
+    let m = Morsels::new(lo.len());
+    let total = AtomicI64::new(0);
+    scope_workers(cfg.threads, |_| {
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let (mut s1, mut s2, mut hashes) = (Vec::new(), Vec::new(), Vec::new());
+        let mut bufs = tw::ProbeBuffers::new();
+        let (mut v_ext, mut v_disc, mut v_rev) = (Vec::new(), Vec::new(), Vec::new());
+        let mut local = 0i64;
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), LO_BYTES);
+            if tw::sel::sel_between_i64_dense(&disc[c.clone()], DISC_LO, DISC_HI, c.start as u32, &mut s1, policy) == 0 {
+                continue;
+            }
+            if tw::sel::sel_lt_i64_sparse(qty, QTY_HI, &s1, &mut s2, policy) == 0 {
+                continue;
+            }
+            tw::hashp::hash_i32(od, &s2, hf, &mut hashes);
+            if tw::probe::probe_join(&ht_d, &hashes, &s2, |row, t| *row == od[t as usize], policy, &mut bufs) == 0 {
+                continue;
+            }
+            tw::gather::gather_i64(ext, &bufs.match_tuple, policy, &mut v_ext);
+            tw::gather::gather_i64(disc, &bufs.match_tuple, policy, &mut v_disc);
+            tw::map::map_mul_i64(&v_ext, &v_disc, &mut v_rev);
+            local += tw::map::sum_i64(&v_rev, policy);
+        }
+        total.fetch_add(local, Ordering::Relaxed);
+    });
+    finish(total.load(Ordering::Relaxed))
+}
+
+/// Volcano: interpreted join + aggregate.
+pub fn volcano(db: &Database) -> QueryResult {
+    use dbep_volcano::{AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Scan, Select};
+    let dates = Select {
+        input: Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"])),
+        pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(YEAR)),
+    };
+    let fact = Select {
+        input: Box::new(Scan::new(
+            db.table("lineorder"),
+            &["lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice"],
+        )),
+        pred: Expr::And(vec![
+            Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i64(DISC_LO)),
+            Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit_i64(DISC_HI)),
+            Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit_i64(QTY_HI)),
+        ]),
+    };
+    // [d_datekey, d_year, lo_orderdate, lo_discount, lo_quantity, lo_ext]
+    let join = HashJoin::new(Box::new(dates), vec![Expr::col(0)], Box::new(fact), vec![Expr::col(0)]);
+    let agg = Aggregate::new(
+        Box::new(join),
+        vec![],
+        vec![AggSpec::SumI64(Expr::arith(BinOp::Mul, Expr::col(5), Expr::col(3)))],
+    );
+    let rows = dbep_volcano::ops::collect(Box::new(agg));
+    finish(rows.first().map(|r| r[0].as_i64()).unwrap_or(0))
+}

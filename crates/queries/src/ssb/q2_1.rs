@@ -1,0 +1,221 @@
+//! SSB Q2.1: three dimension probes + (year, brand) aggregation.
+//!
+//! ```sql
+//! SELECT sum(lo_revenue), d_year, p_brand1
+//! FROM lineorder, date, part, supplier
+//! WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey
+//!   AND lo_suppkey = s_suppkey AND p_category = 'MFGR#12'
+//!   AND s_region = 'AMERICA'
+//! GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1
+//! ```
+
+use crate::result::{OrderBy, QueryResult, Value};
+use crate::ssb::{realign_i32, realign_u32, ProbeScratch};
+use crate::ExecCfg;
+use dbep_datagen::ssb::{brand_name, category_code, region_code};
+use dbep_runtime::agg_ht::merge_partitions;
+use dbep_runtime::{map_workers, GroupByShard, JoinHt, Morsels};
+use dbep_storage::Database;
+use dbep_vectorized as tw;
+
+const LO_BYTES: usize = 4 * 3 + 8;
+const PREAGG_GROUPS: usize = 1 << 12;
+
+fn finish(groups: Vec<((i32, i32), i64)>) -> QueryResult {
+    let rows = groups
+        .into_iter()
+        .map(|((year, brand), rev)| vec![Value::dec2(rev), Value::I32(year), Value::Str(brand_name(brand))])
+        .collect();
+    QueryResult::new(
+        &["sum_revenue", "d_year", "p_brand1"],
+        rows,
+        &[OrderBy::asc(1), OrderBy::asc(2)],
+        None,
+    )
+}
+
+/// Dimension hash tables shared by Typer and Tectorwise (tiny builds).
+struct Dims {
+    ht_p: JoinHt<(i32, i32)>, // partkey → brand
+    ht_s: JoinHt<i32>,        // suppkey (semi-join)
+    ht_d: JoinHt<(i32, i32)>, // datekey → year
+}
+
+fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn) -> Dims {
+    let category = category_code("MFGR#12");
+    let america = region_code("AMERICA");
+    let p = db.table("ssb_part");
+    let (pk, pcat, pbrand) = (p.col("p_partkey").i32s(), p.col("p_category").i32s(), p.col("p_brand1").i32s());
+    let ht_p = JoinHt::build(
+        (0..p.len())
+            .filter(|&i| pcat[i] == category)
+            .map(|i| (hf.hash(pk[i] as u64), (pk[i], pbrand[i]))),
+    );
+    let s = db.table("ssb_supplier");
+    let (sk, sreg) = (s.col("s_suppkey").i32s(), s.col("s_region").i32s());
+    let ht_s = JoinHt::build(
+        (0..s.len())
+            .filter(|&i| sreg[i] == america)
+            .map(|i| (hf.hash(sk[i] as u64), sk[i])),
+    );
+    let d = db.table("date");
+    let (dk, dy) = (d.col("d_datekey").i32s(), d.col("d_year").i32s());
+    let ht_d = JoinHt::build((0..d.len()).map(|i| (hf.hash(dk[i] as u64), (dk[i], dy[i]))));
+    Dims { ht_p, ht_s, ht_d }
+}
+
+/// Typer: one fused probe chain per fact tuple.
+pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.typer_hash();
+    let dims = build_dims(db, hf);
+    let lo = db.table("lineorder");
+    let lpk = lo.col("lo_partkey").i32s();
+    let lsk = lo.col("lo_suppkey").i32s();
+    let lod = lo.col("lo_orderdate").i32s();
+    let rev = lo.col("lo_revenue").i64s();
+    let m = Morsels::new(lo.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut shard: GroupByShard<(i32, i32), i64> = GroupByShard::new(PREAGG_GROUPS);
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), LO_BYTES);
+            for i in r {
+                let hp = hf.hash(lpk[i] as u64);
+                let Some(e_p) = dims.ht_p.probe(hp).find(|e| e.row.0 == lpk[i]) else {
+                    continue;
+                };
+                let hs = hf.hash(lsk[i] as u64);
+                if !dims.ht_s.probe(hs).any(|e| e.row == lsk[i]) {
+                    continue;
+                }
+                let hd = hf.hash(lod[i] as u64);
+                let Some(e_d) = dims.ht_d.probe(hd).find(|e| e.row.0 == lod[i]) else {
+                    continue;
+                };
+                let key = (e_d.row.1, e_p.row.1);
+                let gh = hf.rehash(hf.hash(key.0 as u64), key.1 as u64);
+                shard.update(gh, key, || 0, |a| *a += rev[i]);
+            }
+        }
+        shard.finish()
+    });
+    finish(merge_partitions(shards, cfg.threads, |a, b| *a += b))
+}
+
+/// Tectorwise: probe steps with carried-vector realignment.
+pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.tw_hash();
+    let policy = cfg.policy;
+    let dims = build_dims(db, hf);
+    let lo = db.table("lineorder");
+    let lpk = lo.col("lo_partkey").i32s();
+    let lsk = lo.col("lo_suppkey").i32s();
+    let lod = lo.col("lo_orderdate").i32s();
+    let rev = lo.col("lo_revenue").i64s();
+    let m = Morsels::new(lo.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut shard: GroupByShard<(i32, i32), i64> = GroupByShard::new(PREAGG_GROUPS);
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let mut scratch = ProbeScratch::new();
+        let mut gb = tw::grouping::GroupBuffers::new();
+        let (mut rows0, mut rows1, mut rows2, mut rows3) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let (mut v_brand, mut v_brand2, mut v_brand3, mut v_year) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let (mut v_rev, mut ghash, mut ordinals, mut v_rev_sel) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), LO_BYTES);
+            tw::hashp::iota(c.start as u32, c.len(), &mut rows0);
+            // part probe: fetch brand.
+            if scratch.probe_step(&dims.ht_p, lpk, &rows0, hf, policy, |e, k| e.0 == k) == 0 {
+                continue;
+            }
+            tw::gather::gather_build(&dims.ht_p, &scratch.bufs.match_entry, |r| r.1, &mut v_brand);
+            realign_u32(&rows0, &scratch.bufs.match_tuple, &mut rows1);
+            // supplier semi-join.
+            if scratch.probe_step(&dims.ht_s, lsk, &rows1, hf, policy, |e, k| *e == k) == 0 {
+                continue;
+            }
+            realign_i32(&v_brand, &scratch.bufs.match_tuple, &mut v_brand2);
+            realign_u32(&rows1, &scratch.bufs.match_tuple, &mut rows2);
+            // date probe: fetch year.
+            let n = scratch.probe_step(&dims.ht_d, lod, &rows2, hf, policy, |e, k| e.0 == k);
+            if n == 0 {
+                continue;
+            }
+            tw::gather::gather_build(&dims.ht_d, &scratch.bufs.match_entry, |r| r.1, &mut v_year);
+            realign_i32(&v_brand2, &scratch.bufs.match_tuple, &mut v_brand3);
+            realign_u32(&rows2, &scratch.bufs.match_tuple, &mut rows3);
+            // Aggregate by (year, brand).
+            tw::gather::gather_i64(rev, &rows3, policy, &mut v_rev);
+            tw::hashp::iota(0, n, &mut ordinals);
+            tw::hashp::hash_i32_dense(&v_year, hf, &mut ghash);
+            tw::hashp::rehash_i32(&v_brand3, &ordinals, hf, &mut ghash);
+            tw::grouping::find_groups(
+                &shard.ht,
+                &ghash,
+                &ordinals,
+                |k, j| {
+                    let j = j as usize;
+                    k.0 == v_year[j] && k.1 == v_brand3[j]
+                },
+                &mut gb,
+            );
+            for &j in &gb.miss_sel {
+                let j = j as usize;
+                shard.update(ghash[j], (v_year[j], v_brand3[j]), || 0, |a| *a += v_rev[j]);
+            }
+            if gb.groups.is_empty() {
+                continue;
+            }
+            tw::gather::gather_i64(&v_rev, &gb.group_sel, policy, &mut v_rev_sel);
+            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_rev_sel, |a, v| *a += v);
+        }
+        shard.finish()
+    });
+    finish(merge_partitions(shards, cfg.threads, |a, b| *a += b))
+}
+
+/// Volcano: interpreted joins.
+pub fn volcano(db: &Database) -> QueryResult {
+    use dbep_volcano::{AggSpec, Aggregate, CmpOp, Expr, HashJoin, Scan, Select, Val};
+    let part_f = Select {
+        input: Box::new(Scan::new(db.table("ssb_part"), &["p_partkey", "p_brand1", "p_category"])),
+        pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(category_code("MFGR#12"))),
+    };
+    // [p_partkey, p_brand1, p_category, lo_partkey, lo_suppkey, lo_orderdate, lo_revenue]
+    let j_p = HashJoin::new(
+        Box::new(part_f),
+        vec![Expr::col(0)],
+        Box::new(Scan::new(db.table("lineorder"), &["lo_partkey", "lo_suppkey", "lo_orderdate", "lo_revenue"])),
+        vec![Expr::col(0)],
+    );
+    let supp_f = Select {
+        input: Box::new(Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_region"])),
+        pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(region_code("AMERICA"))),
+    };
+    // [s_suppkey, s_region] ++ 7 cols
+    let j_s = HashJoin::new(Box::new(supp_f), vec![Expr::col(0)], Box::new(j_p), vec![Expr::col(4)]);
+    // [d_datekey, d_year] ++ 9 cols
+    let j_d = HashJoin::new(
+        Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"])),
+        vec![Expr::col(0)],
+        Box::new(j_s),
+        vec![Expr::col(7)],
+    );
+    let agg = Aggregate::new(
+        Box::new(j_d),
+        vec![Expr::col(1), Expr::col(5)], // d_year, p_brand1
+        vec![AggSpec::SumI64(Expr::col(10))], // lo_revenue
+    );
+    let groups = dbep_volcano::ops::collect(Box::new(agg))
+        .into_iter()
+        .map(|r| {
+            let key = match (&r[0], &r[1]) {
+                (Val::I32(y), Val::I32(b)) => (*y, *b),
+                other => panic!("unexpected group key {other:?}"),
+            };
+            (key, r[2].as_i64())
+        })
+        .collect();
+    finish(groups)
+}

@@ -1,0 +1,235 @@
+//! SSB Q3.1: customer × supplier region filters, (c_nation, s_nation,
+//! d_year) aggregation.
+//!
+//! ```sql
+//! SELECT c_nation, s_nation, d_year, sum(lo_revenue) AS revenue
+//! FROM customer, lineorder, supplier, date
+//! WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+//!   AND lo_orderdate = d_datekey AND c_region = 'ASIA'
+//!   AND s_region = 'ASIA' AND d_year >= 1992 AND d_year <= 1997
+//! GROUP BY c_nation, s_nation, d_year ORDER BY d_year ASC, revenue DESC
+//! ```
+
+use crate::result::{OrderBy, QueryResult, Value};
+use crate::ssb::{realign_i32, realign_u32, ProbeScratch};
+use crate::ExecCfg;
+use dbep_datagen::ssb::{region_code, NATIONS};
+use dbep_runtime::agg_ht::merge_partitions;
+use dbep_runtime::{map_workers, GroupByShard, JoinHt, Morsels};
+use dbep_storage::Database;
+use dbep_vectorized as tw;
+
+const LO_BYTES: usize = 4 * 3 + 8;
+const PREAGG_GROUPS: usize = 1 << 12;
+
+type Key = (i32, i32, i32); // (c_nation, s_nation, d_year)
+
+fn finish(groups: Vec<(Key, i64)>) -> QueryResult {
+    let rows = groups
+        .into_iter()
+        .map(|((cn, sn, y), rev)| {
+            vec![
+                Value::Str(NATIONS[cn as usize].0.to_string()),
+                Value::Str(NATIONS[sn as usize].0.to_string()),
+                Value::I32(y),
+                Value::dec2(rev),
+            ]
+        })
+        .collect();
+    QueryResult::new(
+        &["c_nation", "s_nation", "d_year", "revenue"],
+        rows,
+        &[OrderBy::asc(2), OrderBy::desc(3)],
+        None,
+    )
+}
+
+struct Dims {
+    ht_s: JoinHt<(i32, i32)>, // suppkey → s_nation
+    ht_c: JoinHt<(i32, i32)>, // custkey → c_nation
+    ht_d: JoinHt<(i32, i32)>, // datekey → year
+}
+
+fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn) -> Dims {
+    let asia = region_code("ASIA");
+    let s = db.table("ssb_supplier");
+    let (sk, sreg, snat) = (s.col("s_suppkey").i32s(), s.col("s_region").i32s(), s.col("s_nation").i32s());
+    let ht_s = JoinHt::build(
+        (0..s.len())
+            .filter(|&i| sreg[i] == asia)
+            .map(|i| (hf.hash(sk[i] as u64), (sk[i], snat[i]))),
+    );
+    let c = db.table("ssb_customer");
+    let (ck, creg, cnat) = (c.col("c_custkey").i32s(), c.col("c_region").i32s(), c.col("c_nation").i32s());
+    let ht_c = JoinHt::build(
+        (0..c.len())
+            .filter(|&i| creg[i] == asia)
+            .map(|i| (hf.hash(ck[i] as u64), (ck[i], cnat[i]))),
+    );
+    let d = db.table("date");
+    let (dk, dy) = (d.col("d_datekey").i32s(), d.col("d_year").i32s());
+    let ht_d = JoinHt::build(
+        (0..d.len())
+            .filter(|&i| (1992..=1997).contains(&dy[i]))
+            .map(|i| (hf.hash(dk[i] as u64), (dk[i], dy[i]))),
+    );
+    Dims { ht_s, ht_c, ht_d }
+}
+
+/// Typer: fused probe chain.
+pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.typer_hash();
+    let dims = build_dims(db, hf);
+    let lo = db.table("lineorder");
+    let lck = lo.col("lo_custkey").i32s();
+    let lsk = lo.col("lo_suppkey").i32s();
+    let lod = lo.col("lo_orderdate").i32s();
+    let rev = lo.col("lo_revenue").i64s();
+    let m = Morsels::new(lo.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut shard: GroupByShard<Key, i64> = GroupByShard::new(PREAGG_GROUPS);
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), LO_BYTES);
+            for i in r {
+                let hs = hf.hash(lsk[i] as u64);
+                let Some(e_s) = dims.ht_s.probe(hs).find(|e| e.row.0 == lsk[i]) else {
+                    continue;
+                };
+                let hc = hf.hash(lck[i] as u64);
+                let Some(e_c) = dims.ht_c.probe(hc).find(|e| e.row.0 == lck[i]) else {
+                    continue;
+                };
+                let hd = hf.hash(lod[i] as u64);
+                let Some(e_d) = dims.ht_d.probe(hd).find(|e| e.row.0 == lod[i]) else {
+                    continue;
+                };
+                let key = (e_c.row.1, e_s.row.1, e_d.row.1);
+                let gh = hf.rehash(hf.rehash(hf.hash(key.0 as u64), key.1 as u64), key.2 as u64);
+                shard.update(gh, key, || 0, |a| *a += rev[i]);
+            }
+        }
+        shard.finish()
+    });
+    finish(merge_partitions(shards, cfg.threads, |a, b| *a += b))
+}
+
+/// Tectorwise: probe steps with realignment of both nation vectors.
+pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.tw_hash();
+    let policy = cfg.policy;
+    let dims = build_dims(db, hf);
+    let lo = db.table("lineorder");
+    let lck = lo.col("lo_custkey").i32s();
+    let lsk = lo.col("lo_suppkey").i32s();
+    let lod = lo.col("lo_orderdate").i32s();
+    let rev = lo.col("lo_revenue").i64s();
+    let m = Morsels::new(lo.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut shard: GroupByShard<Key, i64> = GroupByShard::new(PREAGG_GROUPS);
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let mut scratch = ProbeScratch::new();
+        let mut gb = tw::grouping::GroupBuffers::new();
+        let (mut rows0, mut rows1, mut rows2, mut rows3) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let (mut v_snat, mut v_snat2, mut v_snat3) = (Vec::new(), Vec::new(), Vec::new());
+        let (mut v_cnat, mut v_cnat2, mut v_year) = (Vec::new(), Vec::new(), Vec::new());
+        let (mut v_rev, mut ghash, mut ordinals, mut v_rev_sel) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), LO_BYTES);
+            tw::hashp::iota(c.start as u32, c.len(), &mut rows0);
+            if scratch.probe_step(&dims.ht_s, lsk, &rows0, hf, policy, |e, k| e.0 == k) == 0 {
+                continue;
+            }
+            tw::gather::gather_build(&dims.ht_s, &scratch.bufs.match_entry, |r| r.1, &mut v_snat);
+            realign_u32(&rows0, &scratch.bufs.match_tuple, &mut rows1);
+            if scratch.probe_step(&dims.ht_c, lck, &rows1, hf, policy, |e, k| e.0 == k) == 0 {
+                continue;
+            }
+            tw::gather::gather_build(&dims.ht_c, &scratch.bufs.match_entry, |r| r.1, &mut v_cnat);
+            realign_i32(&v_snat, &scratch.bufs.match_tuple, &mut v_snat2);
+            realign_u32(&rows1, &scratch.bufs.match_tuple, &mut rows2);
+            let n = scratch.probe_step(&dims.ht_d, lod, &rows2, hf, policy, |e, k| e.0 == k);
+            if n == 0 {
+                continue;
+            }
+            tw::gather::gather_build(&dims.ht_d, &scratch.bufs.match_entry, |r| r.1, &mut v_year);
+            realign_i32(&v_snat2, &scratch.bufs.match_tuple, &mut v_snat3);
+            realign_i32(&v_cnat, &scratch.bufs.match_tuple, &mut v_cnat2);
+            realign_u32(&rows2, &scratch.bufs.match_tuple, &mut rows3);
+            tw::gather::gather_i64(rev, &rows3, policy, &mut v_rev);
+            tw::hashp::iota(0, n, &mut ordinals);
+            tw::hashp::hash_i32_dense(&v_cnat2, hf, &mut ghash);
+            tw::hashp::rehash_i32(&v_snat3, &ordinals, hf, &mut ghash);
+            tw::hashp::rehash_i32(&v_year, &ordinals, hf, &mut ghash);
+            tw::grouping::find_groups(
+                &shard.ht,
+                &ghash,
+                &ordinals,
+                |k, j| {
+                    let j = j as usize;
+                    k.0 == v_cnat2[j] && k.1 == v_snat3[j] && k.2 == v_year[j]
+                },
+                &mut gb,
+            );
+            for &j in &gb.miss_sel {
+                let j = j as usize;
+                shard.update(ghash[j], (v_cnat2[j], v_snat3[j], v_year[j]), || 0, |a| *a += v_rev[j]);
+            }
+            if gb.groups.is_empty() {
+                continue;
+            }
+            tw::gather::gather_i64(&v_rev, &gb.group_sel, policy, &mut v_rev_sel);
+            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_rev_sel, |a, v| *a += v);
+        }
+        shard.finish()
+    });
+    finish(merge_partitions(shards, cfg.threads, |a, b| *a += b))
+}
+
+/// Volcano: interpreted joins.
+pub fn volcano(db: &Database) -> QueryResult {
+    use dbep_volcano::{AggSpec, Aggregate, CmpOp, Expr, HashJoin, Scan, Select, Val};
+    let asia = region_code("ASIA");
+    let supp_f = Select {
+        input: Box::new(Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_nation", "s_region"])),
+        pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(asia)),
+    };
+    // [s_suppkey, s_nation, s_region, lo_custkey, lo_suppkey, lo_orderdate, lo_revenue]
+    let j_s = HashJoin::new(
+        Box::new(supp_f),
+        vec![Expr::col(0)],
+        Box::new(Scan::new(db.table("lineorder"), &["lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue"])),
+        vec![Expr::col(1)],
+    );
+    let cust_f = Select {
+        input: Box::new(Scan::new(db.table("ssb_customer"), &["c_custkey", "c_nation", "c_region"])),
+        pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(asia)),
+    };
+    // [c_custkey, c_nation, c_region] ++ 7 cols
+    let j_c = HashJoin::new(Box::new(cust_f), vec![Expr::col(0)], Box::new(j_s), vec![Expr::col(3)]);
+    let date_f = Select {
+        input: Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"])),
+        pred: Expr::And(vec![
+            Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i32(1992)),
+            Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit_i32(1997)),
+        ]),
+    };
+    // [d_datekey, d_year] ++ 10 cols
+    let j_d = HashJoin::new(Box::new(date_f), vec![Expr::col(0)], Box::new(j_c), vec![Expr::col(8)]);
+    let agg = Aggregate::new(
+        Box::new(j_d),
+        vec![Expr::col(3), Expr::col(6), Expr::col(1)], // c_nation, s_nation, d_year
+        vec![AggSpec::SumI64(Expr::col(11))],           // lo_revenue
+    );
+    let groups = dbep_volcano::ops::collect(Box::new(agg))
+        .into_iter()
+        .map(|r| {
+            let key = match (&r[0], &r[1], &r[2]) {
+                (Val::I32(c), Val::I32(s), Val::I32(y)) => (*c, *s, *y),
+                other => panic!("unexpected group key {other:?}"),
+            };
+            (key, r[3].as_i64())
+        })
+        .collect();
+    finish(groups)
+}

@@ -1,0 +1,251 @@
+//! SSB Q4.1: four dimension probes, profit aggregation.
+//!
+//! ```sql
+//! SELECT d_year, c_nation, sum(lo_revenue - lo_supplycost) AS profit
+//! FROM date, customer, supplier, part, lineorder
+//! WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+//!   AND lo_partkey = p_partkey AND lo_orderdate = d_datekey
+//!   AND c_region = 'AMERICA' AND s_region = 'AMERICA'
+//!   AND (p_mfgr = 'MFGR#1' OR p_mfgr = 'MFGR#2')
+//! GROUP BY d_year, c_nation ORDER BY d_year, c_nation
+//! ```
+
+use crate::result::{OrderBy, QueryResult, Value};
+use crate::ssb::{realign_i32, realign_u32, ProbeScratch};
+use crate::ExecCfg;
+use dbep_datagen::ssb::{region_code, NATIONS};
+use dbep_runtime::agg_ht::merge_partitions;
+use dbep_runtime::{map_workers, GroupByShard, JoinHt, Morsels};
+use dbep_storage::Database;
+use dbep_vectorized as tw;
+
+const LO_BYTES: usize = 4 * 4 + 8 * 2;
+const PREAGG_GROUPS: usize = 1 << 12;
+
+type Key = (i32, i32); // (d_year, c_nation)
+
+fn finish(groups: Vec<(Key, i64)>) -> QueryResult {
+    let rows = groups
+        .into_iter()
+        .map(|((y, cn), profit)| {
+            vec![Value::I32(y), Value::Str(NATIONS[cn as usize].0.to_string()), Value::dec2(profit)]
+        })
+        .collect();
+    QueryResult::new(&["d_year", "c_nation", "profit"], rows, &[OrderBy::asc(0), OrderBy::asc(1)], None)
+}
+
+struct Dims {
+    ht_s: JoinHt<i32>,        // suppkey (semi-join)
+    ht_c: JoinHt<(i32, i32)>, // custkey → c_nation
+    ht_p: JoinHt<i32>,        // partkey (semi-join)
+    ht_d: JoinHt<(i32, i32)>, // datekey → year
+}
+
+fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn) -> Dims {
+    let america = region_code("AMERICA");
+    let s = db.table("ssb_supplier");
+    let (sk, sreg) = (s.col("s_suppkey").i32s(), s.col("s_region").i32s());
+    let ht_s = JoinHt::build(
+        (0..s.len())
+            .filter(|&i| sreg[i] == america)
+            .map(|i| (hf.hash(sk[i] as u64), sk[i])),
+    );
+    let c = db.table("ssb_customer");
+    let (ck, creg, cnat) = (c.col("c_custkey").i32s(), c.col("c_region").i32s(), c.col("c_nation").i32s());
+    let ht_c = JoinHt::build(
+        (0..c.len())
+            .filter(|&i| creg[i] == america)
+            .map(|i| (hf.hash(ck[i] as u64), (ck[i], cnat[i]))),
+    );
+    let p = db.table("ssb_part");
+    let (pk, mfgr) = (p.col("p_partkey").i32s(), p.col("p_mfgr").i32s());
+    let ht_p = JoinHt::build(
+        (0..p.len())
+            .filter(|&i| mfgr[i] == 1 || mfgr[i] == 2)
+            .map(|i| (hf.hash(pk[i] as u64), pk[i])),
+    );
+    let d = db.table("date");
+    let (dk, dy) = (d.col("d_datekey").i32s(), d.col("d_year").i32s());
+    let ht_d = JoinHt::build((0..d.len()).map(|i| (hf.hash(dk[i] as u64), (dk[i], dy[i]))));
+    Dims { ht_s, ht_c, ht_p, ht_d }
+}
+
+/// Typer: fused probe chain over four tables.
+pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.typer_hash();
+    let dims = build_dims(db, hf);
+    let lo = db.table("lineorder");
+    let lck = lo.col("lo_custkey").i32s();
+    let lsk = lo.col("lo_suppkey").i32s();
+    let lpk = lo.col("lo_partkey").i32s();
+    let lod = lo.col("lo_orderdate").i32s();
+    let rev = lo.col("lo_revenue").i64s();
+    let cost = lo.col("lo_supplycost").i64s();
+    let m = Morsels::new(lo.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut shard: GroupByShard<Key, i64> = GroupByShard::new(PREAGG_GROUPS);
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), LO_BYTES);
+            for i in r {
+                let hs = hf.hash(lsk[i] as u64);
+                if !dims.ht_s.probe(hs).any(|e| e.row == lsk[i]) {
+                    continue;
+                }
+                let hc = hf.hash(lck[i] as u64);
+                let Some(e_c) = dims.ht_c.probe(hc).find(|e| e.row.0 == lck[i]) else {
+                    continue;
+                };
+                let hp = hf.hash(lpk[i] as u64);
+                if !dims.ht_p.probe(hp).any(|e| e.row == lpk[i]) {
+                    continue;
+                }
+                let hd = hf.hash(lod[i] as u64);
+                let Some(e_d) = dims.ht_d.probe(hd).find(|e| e.row.0 == lod[i]) else {
+                    continue;
+                };
+                let key = (e_d.row.1, e_c.row.1);
+                let gh = hf.rehash(hf.hash(key.0 as u64), key.1 as u64);
+                shard.update(gh, key, || 0, |a| *a += rev[i] - cost[i]);
+            }
+        }
+        shard.finish()
+    });
+    finish(merge_partitions(shards, cfg.threads, |a, b| *a += b))
+}
+
+/// Tectorwise: probe steps with realignment.
+pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.tw_hash();
+    let policy = cfg.policy;
+    let dims = build_dims(db, hf);
+    let lo = db.table("lineorder");
+    let lck = lo.col("lo_custkey").i32s();
+    let lsk = lo.col("lo_suppkey").i32s();
+    let lpk = lo.col("lo_partkey").i32s();
+    let lod = lo.col("lo_orderdate").i32s();
+    let rev = lo.col("lo_revenue").i64s();
+    let cost = lo.col("lo_supplycost").i64s();
+    let m = Morsels::new(lo.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut shard: GroupByShard<Key, i64> = GroupByShard::new(PREAGG_GROUPS);
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let mut scratch = ProbeScratch::new();
+        let mut gb = tw::grouping::GroupBuffers::new();
+        let (mut rows0, mut rows1, mut rows2, mut rows3, mut rows4) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let (mut v_cnat, mut v_cnat2, mut v_cnat3, mut v_year) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let (mut v_rev, mut v_cost, mut v_profit) = (Vec::new(), Vec::new(), Vec::new());
+        let (mut ghash, mut ordinals, mut v_profit_sel) = (Vec::new(), Vec::new(), Vec::new());
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), LO_BYTES);
+            tw::hashp::iota(c.start as u32, c.len(), &mut rows0);
+            if scratch.probe_step(&dims.ht_s, lsk, &rows0, hf, policy, |e, k| *e == k) == 0 {
+                continue;
+            }
+            realign_u32(&rows0, &scratch.bufs.match_tuple, &mut rows1);
+            if scratch.probe_step(&dims.ht_c, lck, &rows1, hf, policy, |e, k| e.0 == k) == 0 {
+                continue;
+            }
+            tw::gather::gather_build(&dims.ht_c, &scratch.bufs.match_entry, |r| r.1, &mut v_cnat);
+            realign_u32(&rows1, &scratch.bufs.match_tuple, &mut rows2);
+            if scratch.probe_step(&dims.ht_p, lpk, &rows2, hf, policy, |e, k| *e == k) == 0 {
+                continue;
+            }
+            realign_i32(&v_cnat, &scratch.bufs.match_tuple, &mut v_cnat2);
+            realign_u32(&rows2, &scratch.bufs.match_tuple, &mut rows3);
+            let n = scratch.probe_step(&dims.ht_d, lod, &rows3, hf, policy, |e, k| e.0 == k);
+            if n == 0 {
+                continue;
+            }
+            tw::gather::gather_build(&dims.ht_d, &scratch.bufs.match_entry, |r| r.1, &mut v_year);
+            realign_i32(&v_cnat2, &scratch.bufs.match_tuple, &mut v_cnat3);
+            realign_u32(&rows3, &scratch.bufs.match_tuple, &mut rows4);
+            tw::gather::gather_i64(rev, &rows4, policy, &mut v_rev);
+            tw::gather::gather_i64(cost, &rows4, policy, &mut v_cost);
+            tw::map::map_sub_i64(&v_rev, &v_cost, &mut v_profit);
+            tw::hashp::iota(0, n, &mut ordinals);
+            tw::hashp::hash_i32_dense(&v_year, hf, &mut ghash);
+            tw::hashp::rehash_i32(&v_cnat3, &ordinals, hf, &mut ghash);
+            tw::grouping::find_groups(
+                &shard.ht,
+                &ghash,
+                &ordinals,
+                |k, j| {
+                    let j = j as usize;
+                    k.0 == v_year[j] && k.1 == v_cnat3[j]
+                },
+                &mut gb,
+            );
+            for &j in &gb.miss_sel {
+                let j = j as usize;
+                shard.update(ghash[j], (v_year[j], v_cnat3[j]), || 0, |a| *a += v_profit[j]);
+            }
+            if gb.groups.is_empty() {
+                continue;
+            }
+            tw::gather::gather_i64(&v_profit, &gb.group_sel, policy, &mut v_profit_sel);
+            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_profit_sel, |a, v| *a += v);
+        }
+        shard.finish()
+    });
+    finish(merge_partitions(shards, cfg.threads, |a, b| *a += b))
+}
+
+/// Volcano: interpreted joins.
+pub fn volcano(db: &Database) -> QueryResult {
+    use dbep_volcano::{AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Scan, Select, Val};
+    let america = region_code("AMERICA");
+    let supp_f = Select {
+        input: Box::new(Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_region"])),
+        pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(america)),
+    };
+    // [s_suppkey, s_region] ++ [lo_custkey, lo_suppkey, lo_partkey, lo_orderdate, lo_revenue, lo_supplycost]
+    let j_s = HashJoin::new(
+        Box::new(supp_f),
+        vec![Expr::col(0)],
+        Box::new(Scan::new(
+            db.table("lineorder"),
+            &["lo_custkey", "lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue", "lo_supplycost"],
+        )),
+        vec![Expr::col(1)],
+    );
+    let cust_f = Select {
+        input: Box::new(Scan::new(db.table("ssb_customer"), &["c_custkey", "c_nation", "c_region"])),
+        pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(america)),
+    };
+    // [c_custkey, c_nation, c_region] ++ 8 cols (3..11)
+    let j_c = HashJoin::new(Box::new(cust_f), vec![Expr::col(0)], Box::new(j_s), vec![Expr::col(2)]);
+    let part_f = Select {
+        input: Box::new(Scan::new(db.table("ssb_part"), &["p_partkey", "p_mfgr"])),
+        pred: Expr::Or(vec![
+            Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(1)),
+            Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(2)),
+        ]),
+    };
+    // [p_partkey, p_mfgr] ++ 11 cols (2..13)
+    let j_p = HashJoin::new(Box::new(part_f), vec![Expr::col(0)], Box::new(j_c), vec![Expr::col(7)]);
+    // [d_datekey, d_year] ++ 13 cols (2..15)
+    let j_d = HashJoin::new(
+        Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"])),
+        vec![Expr::col(0)],
+        Box::new(j_p),
+        vec![Expr::col(10)],
+    );
+    let agg = Aggregate::new(
+        Box::new(j_d),
+        vec![Expr::col(1), Expr::col(5)], // d_year, c_nation
+        vec![AggSpec::SumI64(Expr::arith(BinOp::Sub, Expr::col(13), Expr::col(14)))],
+    );
+    let groups = dbep_volcano::ops::collect(Box::new(agg))
+        .into_iter()
+        .map(|r| {
+            let key = match (&r[0], &r[1]) {
+                (Val::I32(y), Val::I32(c)) => (*y, *c),
+                other => panic!("unexpected group key {other:?}"),
+            };
+            (key, r[2].as_i64())
+        })
+        .collect();
+    finish(groups)
+}

@@ -1,0 +1,18 @@
+//! TPC-H physical plans (§3.3).
+//!
+//! The subset and its bottlenecks, as the paper selects them:
+//!
+//! * **Q1** — fixed-point arithmetic, 4-group aggregation
+//! * **Q6** — selective filters
+//! * **Q3** — join (build ≈147 K, probe ≈3.2 M at SF 1)
+//! * **Q9** — join (build ≈320 K, probe ≈1.5 M at SF 1), composite keys
+//! * **Q18** — high-cardinality aggregation (1.5 M groups per SF)
+//!
+//! Every query module exposes `typer(db, cfg)`, `tectorwise(db, cfg)`
+//! and `volcano(db)`, all returning identical [`crate::result::QueryResult`]s.
+
+pub mod q1;
+pub mod q18;
+pub mod q3;
+pub mod q6;
+pub mod q9;

@@ -1,0 +1,268 @@
+//! TPC-H Q1: scan-dominated fixed-point arithmetic over a 4-group
+//! aggregation.
+//!
+//! ```sql
+//! SELECT l_returnflag, l_linestatus, sum(l_quantity), sum(l_extendedprice),
+//!        sum(l_extendedprice*(1-l_discount)),
+//!        sum(l_extendedprice*(1-l_discount)*(1+l_tax)),
+//!        avg(l_quantity), avg(l_extendedprice), avg(l_discount), count(*)
+//! FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'
+//! GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus
+//! ```
+//!
+//! This is the query where Typer's register-resident intermediates pay
+//! off most (§4.1): the Tectorwise version must materialize every
+//! arithmetic step into vectors.
+
+use crate::result::{avg_i64, OrderBy, QueryResult, Value};
+use crate::ExecCfg;
+use dbep_runtime::agg_ht::merge_partitions;
+use dbep_runtime::{map_workers, GroupByShard, Morsels};
+use dbep_storage::types::date;
+use dbep_storage::Database;
+use dbep_vectorized as tw;
+
+const SHIP_CUT: i32 = date(1998, 9, 2);
+/// Bytes read per scanned lineitem row (5×i64 + date + 2×char).
+const BYTES_PER_ROW: usize = 5 * 8 + 4 + 2;
+/// Pre-aggregation capacity: Q1 has 4 groups, but sizing generously
+/// keeps the shard generic.
+const PREAGG_GROUPS: usize = 1 << 12;
+
+/// Per-group aggregate state (sums at scales 2/2/4/6/2 plus count).
+#[derive(Clone, Copy, Default)]
+pub struct Q1Agg {
+    qty: i64,
+    base: i64,
+    disc_price: i64,
+    charge: i128,
+    disc: i64,
+    count: i64,
+}
+
+impl Q1Agg {
+    fn merge(a: &mut Q1Agg, b: Q1Agg) {
+        a.qty += b.qty;
+        a.base += b.base;
+        a.disc_price += b.disc_price;
+        a.charge += b.charge;
+        a.disc += b.disc;
+        a.count += b.count;
+    }
+}
+
+/// Shared result assembly: identical ordering/averages for all engines.
+fn finish(groups: Vec<((u8, u8), Q1Agg)>) -> QueryResult {
+    let rows = groups
+        .into_iter()
+        .map(|((rf, ls), a)| {
+            vec![
+                Value::Str((rf as char).to_string()),
+                Value::Str((ls as char).to_string()),
+                Value::dec2(a.qty),
+                Value::dec2(a.base),
+                Value::dec4(a.disc_price as i128),
+                Value::dec6(a.charge),
+                Value::dec2(avg_i64(a.qty, a.count)),
+                Value::dec2(avg_i64(a.base, a.count)),
+                Value::dec2(avg_i64(a.disc, a.count)),
+                Value::I64(a.count),
+            ]
+        })
+        .collect();
+    QueryResult::new(
+        &[
+            "l_returnflag",
+            "l_linestatus",
+            "sum_qty",
+            "sum_base_price",
+            "sum_disc_price",
+            "sum_charge",
+            "avg_qty",
+            "avg_price",
+            "avg_disc",
+            "count_order",
+        ],
+        rows,
+        &[OrderBy::asc(0), OrderBy::asc(1)],
+        None,
+    )
+}
+
+/// Typer: the fused loop a data-centric generator emits (Fig. 2a shape).
+pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let li = db.table("lineitem");
+    let ship = li.col("l_shipdate").dates();
+    let qty = li.col("l_quantity").i64s();
+    let ext = li.col("l_extendedprice").i64s();
+    let disc = li.col("l_discount").i64s();
+    let tax = li.col("l_tax").i64s();
+    let rf = li.col("l_returnflag").chars();
+    let ls = li.col("l_linestatus").chars();
+    let hf = cfg.typer_hash();
+    let morsels = Morsels::new(li.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut shard: GroupByShard<(u8, u8), Q1Agg> = GroupByShard::new(PREAGG_GROUPS);
+        while let Some(r) = morsels.claim() {
+            cfg.pace(r.len(), BYTES_PER_ROW);
+            for i in r {
+                if ship[i] <= SHIP_CUT {
+                    // All intermediates live in registers until the
+                    // single aggregate update — the fused pipeline.
+                    let disc_price = ext[i] * (100 - disc[i]);
+                    let charge = disc_price as i128 * (100 + tax[i]) as i128;
+                    let key = (rf[i], ls[i]);
+                    let h = hf.rehash(hf.hash(key.0 as u64), key.1 as u64);
+                    shard.update(h, key, Q1Agg::default, |a| {
+                        a.qty += qty[i];
+                        a.base += ext[i];
+                        a.disc_price += disc_price;
+                        a.charge += charge;
+                        a.disc += disc[i];
+                        a.count += 1;
+                    });
+                }
+            }
+        }
+        shard.finish()
+    });
+    finish(merge_partitions(shards, cfg.threads, Q1Agg::merge))
+}
+
+/// Tectorwise: selection → hash → find-groups → one aggregate-update
+/// primitive per sum, with every intermediate materialized (Fig. 2b
+/// shape).
+pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let li = db.table("lineitem");
+    let ship = li.col("l_shipdate").dates();
+    let qty = li.col("l_quantity").i64s();
+    let ext = li.col("l_extendedprice").i64s();
+    let disc = li.col("l_discount").i64s();
+    let tax = li.col("l_tax").i64s();
+    let rf = li.col("l_returnflag").chars();
+    let ls = li.col("l_linestatus").chars();
+    let hf = cfg.tw_hash();
+    let policy = cfg.policy;
+    let morsels = Morsels::new(li.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut shard: GroupByShard<(u8, u8), Q1Agg> = GroupByShard::new(PREAGG_GROUPS);
+        let mut src = tw::ChunkSource::new(&morsels, cfg.vector_size);
+        let mut sel = Vec::new();
+        let mut hashes = Vec::new();
+        let mut gb = tw::grouping::GroupBuffers::new();
+        let (mut v_qty, mut v_ext, mut v_disc, mut v_tax) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let (mut v_om, mut v_dp, mut v_ot, mut v_ch) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), BYTES_PER_ROW);
+            let n = tw::sel::sel_le_i32_dense(&ship[c.clone()], SHIP_CUT, c.start as u32, &mut sel, policy);
+            if n == 0 {
+                continue;
+            }
+            tw::hashp::hash_u8(rf, &sel, hf, &mut hashes);
+            tw::hashp::rehash_u8(ls, &sel, hf, &mut hashes);
+            tw::grouping::find_groups(&shard.ht, &hashes, &sel, |k, t| k.0 == rf[t as usize] && k.1 == ls[t as usize], &mut gb);
+            // Misses: per-tuple find-or-insert on the private shard
+            // (DESIGN.md simplification of the equal-key shuffle).
+            for &t in &gb.miss_sel {
+                let t = t as usize;
+                let key = (rf[t], ls[t]);
+                let h = hf.rehash(hf.hash(key.0 as u64), key.1 as u64);
+                let disc_price = ext[t] * (100 - disc[t]);
+                shard.update(h, key, Q1Agg::default, |a| {
+                    a.qty += qty[t];
+                    a.base += ext[t];
+                    a.disc_price += disc_price;
+                    a.charge += disc_price as i128 * (100 + tax[t]) as i128;
+                    a.disc += disc[t];
+                    a.count += 1;
+                });
+            }
+            if gb.groups.is_empty() {
+                continue;
+            }
+            // Hits: vector-at-a-time, one primitive per step/aggregate.
+            tw::gather::gather_i64(qty, &gb.group_sel, policy, &mut v_qty);
+            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_qty, |a, v| a.qty += v);
+            tw::gather::gather_i64(ext, &gb.group_sel, policy, &mut v_ext);
+            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_ext, |a, v| a.base += v);
+            tw::gather::gather_i64(disc, &gb.group_sel, policy, &mut v_disc);
+            tw::map::map_rsub_const_i64(100, &v_disc, &mut v_om);
+            tw::map::map_mul_i64(&v_ext, &v_om, &mut v_dp);
+            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_dp, |a, v| a.disc_price += v);
+            tw::gather::gather_i64(tax, &gb.group_sel, policy, &mut v_tax);
+            tw::map::map_add_const_i64(100, &v_tax, &mut v_ot);
+            tw::map::map_mul_i64(&v_dp, &v_ot, &mut v_ch);
+            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_ch, |a, v| a.charge += v as i128);
+            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_disc, |a, v| a.disc += v);
+            tw::grouping::agg_update_unit(&mut shard.ht, &gb.groups, |a| a.count += 1);
+        }
+        shard.finish()
+    });
+    finish(merge_partitions(shards, cfg.threads, Q1Agg::merge))
+}
+
+/// Volcano: interpreted tuple-at-a-time plan.
+pub fn volcano(db: &Database) -> QueryResult {
+    use dbep_volcano::{AggSpec, Aggregate, BinOp, CmpOp, Expr, Project, Scan, Select, Val};
+    let li = db.table("lineitem");
+    let scan = Scan::new(li, &[
+        "l_returnflag",
+        "l_linestatus",
+        "l_quantity",
+        "l_extendedprice",
+        "l_discount",
+        "l_tax",
+        "l_shipdate",
+    ]);
+    let filtered = Select {
+        input: Box::new(scan),
+        pred: Expr::cmp(CmpOp::Le, Expr::col(6), Expr::lit_i32(SHIP_CUT)),
+    };
+    let disc_price = Expr::arith(
+        BinOp::Mul,
+        Expr::col(3),
+        Expr::arith(BinOp::Sub, Expr::lit_i64(100), Expr::col(4)),
+    );
+    let charge = Expr::arith(
+        BinOp::Mul,
+        disc_price.clone(),
+        Expr::arith(BinOp::Add, Expr::lit_i64(100), Expr::col(5)),
+    );
+    let projected = Project {
+        input: Box::new(filtered),
+        exprs: vec![Expr::col(0), Expr::col(1), Expr::col(2), Expr::col(3), disc_price, charge, Expr::col(4)],
+    };
+    let agg = Aggregate::new(
+        Box::new(projected),
+        vec![Expr::col(0), Expr::col(1)],
+        vec![
+            AggSpec::SumI64(Expr::col(2)),
+            AggSpec::SumI64(Expr::col(3)),
+            AggSpec::SumI64(Expr::col(4)),
+            AggSpec::SumI128(Expr::col(5)),
+            AggSpec::SumI64(Expr::col(6)),
+            AggSpec::Count,
+        ],
+    );
+    let groups = dbep_volcano::ops::collect(Box::new(agg))
+        .into_iter()
+        .map(|row| {
+            let key = match (&row[0], &row[1]) {
+                (Val::Byte(a), Val::Byte(b)) => (*a, *b),
+                other => panic!("unexpected group key {other:?}"),
+            };
+            (
+                key,
+                Q1Agg {
+                    qty: row[2].as_i64(),
+                    base: row[3].as_i64(),
+                    disc_price: row[4].as_i64(),
+                    charge: row[5].as_i128(),
+                    disc: row[6].as_i64(),
+                    count: row[7].as_i64(),
+                },
+            )
+        })
+        .collect();
+    finish(groups)
+}

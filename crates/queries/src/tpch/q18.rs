@@ -1,0 +1,233 @@
+//! TPC-H Q18: high-cardinality aggregation — 1.5 M groups per scale
+//! factor (§3.3), the workload where the two-phase partitioned group-by
+//! earns its keep.
+//!
+//! ```sql
+//! SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+//!        sum(l_quantity)
+//! FROM customer, orders, lineitem
+//! WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem
+//!                      GROUP BY l_orderkey HAVING sum(l_quantity) > 300)
+//!   AND c_custkey = o_custkey AND o_orderkey = l_orderkey
+//! GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+//! ORDER BY o_totalprice DESC, o_orderdate LIMIT 100
+//! ```
+//!
+//! Physical plan: Γ(lineitem by l_orderkey) → HAVING filter → HT_sel;
+//! orders ⋈ HT_sel → HT_cust (keyed by o_custkey); customer ⋈ HT_cust →
+//! result. Because `o_orderkey` is unique, the outer GROUP BY needs no
+//! second aggregation.
+
+use crate::result::{OrderBy, QueryResult, Value};
+use crate::ExecCfg;
+use dbep_runtime::agg_ht::merge_partitions;
+use dbep_runtime::join_ht::JoinHtShard;
+use dbep_runtime::{map_workers, GroupByShard, JoinHt, Morsels};
+use dbep_storage::Database;
+use dbep_vectorized as tw;
+use std::sync::Mutex;
+
+const QTY_LIMIT: i64 = 300 * 100; // 300.00 at scale 2
+const LI_BYTES: usize = 4 + 8;
+const ORD_BYTES: usize = 4 + 4 + 4 + 8;
+const CUST_BYTES: usize = 4 + 18;
+/// Pre-aggregation shard capacity. Q18's group count is huge, so shards
+/// spill heavily — exactly the §3.2 design point.
+const PREAGG_GROUPS: usize = 1 << 16;
+
+/// (custkey, orderkey, orderdate, totalprice, sum_qty)
+type OrdRow = (i32, i32, i32, i64, i64);
+
+fn finish(db: &Database, rows_raw: Vec<(i32, OrdRow)>) -> QueryResult {
+    let names = db.table("customer").col("c_name").strs();
+    let custkeys = db.table("customer").col("c_custkey").i32s();
+    let rows = rows_raw
+        .into_iter()
+        .map(|(cust_row, (ck, ok, od, tp, qty))| {
+            debug_assert_eq!(custkeys[cust_row as usize], ck);
+            vec![
+                Value::Str(names.get(cust_row as usize).to_string()),
+                Value::I32(ck),
+                Value::I32(ok),
+                Value::Date(od),
+                Value::dec2(tp),
+                Value::dec2(qty),
+            ]
+        })
+        .collect();
+    QueryResult::new(
+        &["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice", "sum_qty"],
+        rows,
+        &[OrderBy::desc(4), OrderBy::asc(3)],
+        Some(100),
+    )
+}
+
+/// Shared phase 2+3 (identical logic in Typer and Tectorwise once the
+/// big aggregation delivered the qualifying orders).
+fn join_phases(
+    db: &Database,
+    cfg: &ExecCfg,
+    big_orders: Vec<(i32, i64)>,
+    hf: dbep_runtime::hash::HashFn,
+) -> QueryResult {
+    // HT_sel: qualifying orderkeys (tiny).
+    let ht_sel = JoinHt::build(big_orders.into_iter().map(|(k, q)| (hf.hash(k as u64), (k, q))));
+    // Pipeline: orders ⋈ HT_sel → HT_cust (keyed by custkey).
+    let ord = db.table("orders");
+    let okey = ord.col("o_orderkey").i32s();
+    let ocust = ord.col("o_custkey").i32s();
+    let odate = ord.col("o_orderdate").dates();
+    let ototal = ord.col("o_totalprice").i64s();
+    let m = Morsels::new(ord.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<OrdRow> = JoinHtShard::new();
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), ORD_BYTES);
+            for i in r {
+                let h = hf.hash(okey[i] as u64);
+                for e in ht_sel.probe(h) {
+                    if e.row.0 == okey[i] {
+                        sh.push(
+                            hf.hash(ocust[i] as u64),
+                            (ocust[i], okey[i], odate[i], ototal[i], e.row.1),
+                        );
+                    }
+                }
+            }
+        }
+        sh
+    });
+    let ht_cust = JoinHt::from_shards(shards, cfg.threads);
+    // Pipeline: customer ⋈ HT_cust → result rows.
+    let cust = db.table("customer");
+    let ckey = cust.col("c_custkey").i32s();
+    let m = Morsels::new(cust.len());
+    let out = Mutex::new(Vec::new());
+    dbep_runtime::scope_workers(cfg.threads, |_| {
+        let mut local = Vec::new();
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), CUST_BYTES);
+            for i in r {
+                let h = hf.hash(ckey[i] as u64);
+                for e in ht_cust.probe(h) {
+                    if e.row.0 == ckey[i] {
+                        local.push((i as i32, e.row));
+                    }
+                }
+            }
+        }
+        out.lock().expect("result lock").extend(local);
+    });
+    finish(db, out.into_inner().expect("result lock"))
+}
+
+/// Typer: fused 1.5 M-group aggregation, then the two join pipelines.
+pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.typer_hash();
+    let li = db.table("lineitem");
+    let lok = li.col("l_orderkey").i32s();
+    let qty = li.col("l_quantity").i64s();
+    let m = Morsels::new(li.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut shard: GroupByShard<i32, i64> = GroupByShard::new(PREAGG_GROUPS);
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), LI_BYTES);
+            for i in r {
+                shard.update(hf.hash(lok[i] as u64), lok[i], || 0, |a| *a += qty[i]);
+            }
+        }
+        shard.finish()
+    });
+    let groups = merge_partitions(shards, cfg.threads, |a, b| *a += b);
+    let big: Vec<(i32, i64)> = groups.into_iter().filter(|(_, q)| *q > QTY_LIMIT).collect();
+    join_phases(db, cfg, big, hf)
+}
+
+/// Tectorwise: the same plan with vectorized find-groups/aggregate
+/// primitives in the heavy phase.
+pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.tw_hash();
+    let policy = cfg.policy;
+    let li = db.table("lineitem");
+    let lok = li.col("l_orderkey").i32s();
+    let qty = li.col("l_quantity").i64s();
+    let m = Morsels::new(li.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut shard: GroupByShard<i32, i64> = GroupByShard::new(PREAGG_GROUPS);
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let (mut all, mut hashes, mut v_qty) = (Vec::new(), Vec::new(), Vec::new());
+        let mut gb = tw::grouping::GroupBuffers::new();
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), LI_BYTES);
+            tw::hashp::iota(c.start as u32, c.len(), &mut all);
+            tw::hashp::hash_i32(lok, &all, hf, &mut hashes);
+            tw::grouping::find_groups(&shard.ht, &hashes, &all, |k, t| *k == lok[t as usize], &mut gb);
+            for &t in &gb.miss_sel {
+                let t = t as usize;
+                shard.update(hf.hash(lok[t] as u64), lok[t], || 0, |a| *a += qty[t]);
+            }
+            if gb.groups.is_empty() {
+                continue;
+            }
+            tw::gather::gather_i64(qty, &gb.group_sel, policy, &mut v_qty);
+            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_qty, |a, v| *a += v);
+        }
+        shard.finish()
+    });
+    let groups = merge_partitions(shards, cfg.threads, |a, b| *a += b);
+    let big: Vec<(i32, i64)> = groups.into_iter().filter(|(_, q)| *q > QTY_LIMIT).collect();
+    join_phases(db, cfg, big, hf)
+}
+
+/// Volcano: interpreted plan (HAVING via Select over the aggregate).
+pub fn volcano(db: &Database) -> QueryResult {
+    use dbep_volcano::{AggSpec, Aggregate, CmpOp, Expr, HashJoin, Scan, Select, Val};
+    // Γ(lineitem) with HAVING.
+    let agg = Aggregate::new(
+        Box::new(Scan::new(db.table("lineitem"), &["l_orderkey", "l_quantity"])),
+        vec![Expr::col(0)],
+        vec![AggSpec::SumI64(Expr::col(1))],
+    );
+    let having = Select {
+        input: Box::new(agg),
+        pred: Expr::cmp(CmpOp::Gt, Expr::col(1), Expr::lit_i64(QTY_LIMIT)),
+    };
+    // ⋈ orders: [l_orderkey, sum_qty, o_orderkey, o_custkey, o_orderdate, o_totalprice]
+    let j_o = HashJoin::new(
+        Box::new(having),
+        vec![Expr::col(0)],
+        Box::new(Scan::new(db.table("orders"), &["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"])),
+        vec![Expr::col(0)],
+    );
+    // ⋈ customer: [c_custkey, c_name] ++ previous 6.
+    let j_c = HashJoin::new(
+        Box::new(Scan::new(db.table("customer"), &["c_custkey", "c_name"])),
+        vec![Expr::col(0)],
+        Box::new(j_o),
+        vec![Expr::col(3)],
+    );
+    let rows = dbep_volcano::ops::collect(Box::new(j_c))
+        .into_iter()
+        .map(|r| {
+            let get_i32 = |v: &Val| match v {
+                Val::I32(x) => *x,
+                other => panic!("unexpected value {other:?}"),
+            };
+            vec![
+                Value::Str(r[1].as_str().to_string()),
+                Value::I32(get_i32(&r[0])),
+                Value::I32(get_i32(&r[4])),
+                Value::Date(get_i32(&r[6])),
+                Value::dec2(r[7].as_i64()),
+                Value::dec2(r[3].as_i64()),
+            ]
+        })
+        .collect();
+    QueryResult::new(
+        &["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice", "sum_qty"],
+        rows,
+        &[OrderBy::desc(4), OrderBy::asc(3)],
+        Some(100),
+    )
+}

@@ -1,0 +1,290 @@
+//! TPC-H Q3: two hash joins feeding a grouped aggregation
+//! (build ≈147 K, probe ≈3.2 M tuples at SF 1 — §3.3).
+//!
+//! ```sql
+//! SELECT l_orderkey, sum(l_extendedprice*(1-l_discount)) AS revenue,
+//!        o_orderdate, o_shippriority
+//! FROM customer, orders, lineitem
+//! WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+//!   AND l_orderkey = o_orderkey AND o_orderdate < DATE '1995-03-15'
+//!   AND l_shipdate > DATE '1995-03-15'
+//! GROUP BY l_orderkey, o_orderdate, o_shippriority
+//! ORDER BY revenue DESC, o_orderdate LIMIT 10
+//! ```
+//!
+//! Physical plan (identical in all engines): filter customer → HT₁;
+//! filter orders, probe HT₁ → HT₂; filter lineitem, probe HT₂, group by
+//! order.
+
+use crate::result::{OrderBy, QueryResult, Value};
+use crate::ExecCfg;
+use dbep_runtime::agg_ht::merge_partitions;
+use dbep_runtime::join_ht::JoinHtShard;
+use dbep_runtime::{map_workers, GroupByShard, JoinHt, Morsels};
+use dbep_storage::types::date;
+use dbep_storage::Database;
+use dbep_vectorized as tw;
+
+const CUT: i32 = date(1995, 3, 15);
+const SEGMENT: &[u8] = b"BUILDING";
+const CUST_BYTES: usize = 4 + 10; // custkey + segment text
+const ORD_BYTES: usize = 4 + 4 + 4 + 4;
+const LI_BYTES: usize = 4 + 8 + 8 + 4;
+const PREAGG_GROUPS: usize = 1 << 14;
+
+type GroupKey = (i32, i32, i32); // (o_orderkey, o_orderdate, o_shippriority)
+
+fn finish(groups: Vec<(GroupKey, i64)>) -> QueryResult {
+    let rows = groups
+        .into_iter()
+        .map(|((okey, odate, prio), rev)| {
+            vec![Value::I32(okey), Value::dec4(rev as i128), Value::Date(odate), Value::I32(prio)]
+        })
+        .collect();
+    QueryResult::new(
+        &["l_orderkey", "revenue", "o_orderdate", "o_shippriority"],
+        rows,
+        &[OrderBy::desc(1), OrderBy::asc(2)],
+        Some(10),
+    )
+}
+
+/// Typer: three fused pipelines separated by hash-table builds.
+pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.typer_hash();
+    // Pipeline 1: σ(customer) → HT_c.
+    let cust = db.table("customer");
+    let seg = cust.col("c_mktsegment").strs();
+    let ckey = cust.col("c_custkey").i32s();
+    let m = Morsels::new(cust.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<i32> = JoinHtShard::new();
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), CUST_BYTES);
+            for i in r {
+                if seg.get_bytes(i) == SEGMENT {
+                    sh.push(hf.hash(ckey[i] as u64), ckey[i]);
+                }
+            }
+        }
+        sh
+    });
+    let ht_c = JoinHt::from_shards(shards, cfg.threads);
+
+    // Pipeline 2: σ(orders) ⋈ HT_c → HT_o.
+    let ord = db.table("orders");
+    let okey = ord.col("o_orderkey").i32s();
+    let ocust = ord.col("o_custkey").i32s();
+    let odate = ord.col("o_orderdate").dates();
+    let oprio = ord.col("o_shippriority").i32s();
+    let m = Morsels::new(ord.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<GroupKey> = JoinHtShard::new();
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), ORD_BYTES);
+            for i in r {
+                if odate[i] < CUT {
+                    let h = hf.hash(ocust[i] as u64);
+                    if ht_c.probe(h).any(|e| e.row == ocust[i]) {
+                        sh.push(hf.hash(okey[i] as u64), (okey[i], odate[i], oprio[i]));
+                    }
+                }
+            }
+        }
+        sh
+    });
+    let ht_o = JoinHt::from_shards(shards, cfg.threads);
+
+    // Pipeline 3: σ(lineitem) ⋈ HT_o → Γ.
+    let li = db.table("lineitem");
+    let lokey = li.col("l_orderkey").i32s();
+    let ext = li.col("l_extendedprice").i64s();
+    let disc = li.col("l_discount").i64s();
+    let ship = li.col("l_shipdate").dates();
+    let m = Morsels::new(li.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut shard: GroupByShard<GroupKey, i64> = GroupByShard::new(PREAGG_GROUPS);
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), LI_BYTES);
+            for i in r {
+                if ship[i] > CUT {
+                    let h = hf.hash(lokey[i] as u64);
+                    for e in ht_o.probe(h) {
+                        if e.row.0 == lokey[i] {
+                            let rev = ext[i] * (100 - disc[i]);
+                            shard.update(h, e.row, || 0, |a| *a += rev);
+                        }
+                    }
+                }
+            }
+        }
+        shard.finish()
+    });
+    finish(merge_partitions(shards, cfg.threads, |a, b| *a += b))
+}
+
+/// Tectorwise: the same three pipelines as vector primitives.
+pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.tw_hash();
+    let policy = cfg.policy;
+    // Pipeline 1: σ(customer) → HT_c.
+    let cust = db.table("customer");
+    let seg = cust.col("c_mktsegment").strs();
+    let ckey = cust.col("c_custkey").i32s();
+    let m = Morsels::new(cust.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<i32> = JoinHtShard::new();
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let mut sel = Vec::new();
+        let mut hashes = Vec::new();
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), CUST_BYTES);
+            if tw::sel::sel_eq_str_dense(seg, SEGMENT, c, &mut sel) == 0 {
+                continue;
+            }
+            tw::hashp::hash_i32(ckey, &sel, hf, &mut hashes);
+            for (j, &t) in sel.iter().enumerate() {
+                sh.push(hashes[j], ckey[t as usize]);
+            }
+        }
+        sh
+    });
+    let ht_c = JoinHt::from_shards(shards, cfg.threads);
+
+    // Pipeline 2: σ(orders) ⋈ HT_c → HT_o.
+    let ord = db.table("orders");
+    let okey = ord.col("o_orderkey").i32s();
+    let ocust = ord.col("o_custkey").i32s();
+    let odate = ord.col("o_orderdate").dates();
+    let oprio = ord.col("o_shippriority").i32s();
+    let m = Morsels::new(ord.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<GroupKey> = JoinHtShard::new();
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let mut sel = Vec::new();
+        let mut hashes = Vec::new();
+        let mut h2 = Vec::new();
+        let mut bufs = tw::ProbeBuffers::new();
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), ORD_BYTES);
+            if tw::sel::sel_lt_i32_dense(&odate[c.clone()], CUT, c.start as u32, &mut sel, policy) == 0 {
+                continue;
+            }
+            tw::hashp::hash_i32(ocust, &sel, hf, &mut hashes);
+            if tw::probe::probe_join(&ht_c, &hashes, &sel, |row, t| *row == ocust[t as usize], policy, &mut bufs) == 0 {
+                continue;
+            }
+            tw::hashp::hash_i32(okey, &bufs.match_tuple, hf, &mut h2);
+            for (j, &t) in bufs.match_tuple.iter().enumerate() {
+                let t = t as usize;
+                sh.push(h2[j], (okey[t], odate[t], oprio[t]));
+            }
+        }
+        sh
+    });
+    let ht_o = JoinHt::from_shards(shards, cfg.threads);
+
+    // Pipeline 3: σ(lineitem) ⋈ HT_o → Γ.
+    let li = db.table("lineitem");
+    let lokey = li.col("l_orderkey").i32s();
+    let ext = li.col("l_extendedprice").i64s();
+    let disc = li.col("l_discount").i64s();
+    let ship = li.col("l_shipdate").dates();
+    let m = Morsels::new(li.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut shard: GroupByShard<GroupKey, i64> = GroupByShard::new(PREAGG_GROUPS);
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let (mut sel, mut hashes) = (Vec::new(), Vec::new());
+        let mut bufs = tw::ProbeBuffers::new();
+        let mut gb = tw::grouping::GroupBuffers::new();
+        let (mut k_okey, mut k_odate, mut k_prio) = (Vec::new(), Vec::new(), Vec::new());
+        let (mut v_ext, mut v_disc, mut v_om, mut v_rev, mut v_rev_sel) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let (mut ghash, mut ordinals) = (Vec::new(), Vec::new());
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), LI_BYTES);
+            if tw::sel::sel_gt_i32_dense(&ship[c.clone()], CUT, c.start as u32, &mut sel, policy) == 0 {
+                continue;
+            }
+            tw::hashp::hash_i32(lokey, &sel, hf, &mut hashes);
+            let nm = tw::probe::probe_join(&ht_o, &hashes, &sel, |row, t| row.0 == lokey[t as usize], policy, &mut bufs);
+            if nm == 0 {
+                continue;
+            }
+            // buildGather: key columns out of the matched entries.
+            tw::gather::gather_build(&ht_o, &bufs.match_entry, |r| r.0, &mut k_okey);
+            tw::gather::gather_build(&ht_o, &bufs.match_entry, |r| r.1, &mut k_odate);
+            tw::gather::gather_build(&ht_o, &bufs.match_entry, |r| r.2, &mut k_prio);
+            // Probe-side values.
+            tw::gather::gather_i64(ext, &bufs.match_tuple, policy, &mut v_ext);
+            tw::gather::gather_i64(disc, &bufs.match_tuple, policy, &mut v_disc);
+            tw::map::map_rsub_const_i64(100, &v_disc, &mut v_om);
+            tw::map::map_mul_i64(&v_ext, &v_om, &mut v_rev);
+            // Group lookup over match ordinals.
+            tw::hashp::hash_i32_dense(&k_okey, hf, &mut ghash);
+            tw::hashp::iota(0, nm, &mut ordinals);
+            tw::grouping::find_groups(
+                &shard.ht,
+                &ghash,
+                &ordinals,
+                |k, j| {
+                    let j = j as usize;
+                    k.0 == k_okey[j] && k.1 == k_odate[j] && k.2 == k_prio[j]
+                },
+                &mut gb,
+            );
+            for &j in &gb.miss_sel {
+                let j = j as usize;
+                shard.update(ghash[j], (k_okey[j], k_odate[j], k_prio[j]), || 0, |a| *a += v_rev[j]);
+            }
+            if gb.groups.is_empty() {
+                continue;
+            }
+            tw::gather::gather_i64(&v_rev, &gb.group_sel, policy, &mut v_rev_sel);
+            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_rev_sel, |a, v| *a += v);
+        }
+        shard.finish()
+    });
+    finish(merge_partitions(shards, cfg.threads, |a, b| *a += b))
+}
+
+/// Volcano: the same plan, interpreted.
+pub fn volcano(db: &Database) -> QueryResult {
+    use dbep_volcano::{AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Scan, Select, Val};
+    let cust_filtered = Select {
+        input: Box::new(Scan::new(db.table("customer"), &["c_custkey", "c_mktsegment"])),
+        pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::Const(Val::Str("BUILDING".into()))),
+    };
+    let ord_filtered = Select {
+        input: Box::new(Scan::new(db.table("orders"), &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"])),
+        pred: Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit_i32(CUT)),
+    };
+    // rows: [c_custkey, c_mktsegment, o_orderkey, o_custkey, o_orderdate, o_prio]
+    let join1 = HashJoin::new(Box::new(cust_filtered), vec![Expr::col(0)], Box::new(ord_filtered), vec![Expr::col(1)]);
+    let li_filtered = Select {
+        input: Box::new(Scan::new(db.table("lineitem"), &["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"])),
+        pred: Expr::cmp(CmpOp::Gt, Expr::col(3), Expr::lit_i32(CUT)),
+    };
+    // rows: join1 row (6 cols) ++ [l_orderkey, ext, disc, ship]
+    let join2 = HashJoin::new(Box::new(join1), vec![Expr::col(2)], Box::new(li_filtered), vec![Expr::col(0)]);
+    let agg = Aggregate::new(
+        Box::new(join2),
+        vec![Expr::col(2), Expr::col(4), Expr::col(5)],
+        vec![AggSpec::SumI64(Expr::arith(
+            BinOp::Mul,
+            Expr::col(7),
+            Expr::arith(BinOp::Sub, Expr::lit_i64(100), Expr::col(8)),
+        ))],
+    );
+    let groups = dbep_volcano::ops::collect(Box::new(agg))
+        .into_iter()
+        .map(|row| {
+            let key = match (&row[0], &row[1], &row[2]) {
+                (Val::I32(a), Val::I32(b), Val::I32(c)) => (*a, *b, *c),
+                other => panic!("unexpected group key {other:?}"),
+            };
+            (key, row[3].as_i64())
+        })
+        .collect();
+    finish(groups)
+}

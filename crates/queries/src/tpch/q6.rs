@@ -1,0 +1,131 @@
+//! TPC-H Q6: highly selective conjunctive filter (≈2 % of lineitem).
+//!
+//! ```sql
+//! SELECT sum(l_extendedprice * l_discount) AS revenue
+//! FROM lineitem
+//! WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+//!   AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24
+//! ```
+//!
+//! Typer evaluates the whole conjunction branch-free per tuple (the
+//! implementation §6.2's footnote 8 refers to: it always reads all four
+//! columns, costing memory bandwidth at high thread counts). Tectorwise
+//! runs the paper's five-primitive selection cascade — one dense
+//! selection, four sparse ones (§5.1) — which is also the SIMD showcase
+//! of Fig. 6c.
+
+use crate::result::{QueryResult, Value};
+use crate::ExecCfg;
+use dbep_runtime::{scope_workers, Morsels};
+use dbep_storage::types::date;
+use dbep_storage::Database;
+use dbep_vectorized as tw;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+const SHIP_LO: i32 = date(1994, 1, 1);
+const SHIP_HI: i32 = date(1995, 1, 1);
+const DISC_LO: i64 = 5;
+const DISC_HI: i64 = 7;
+const QTY_HI: i64 = 2400; // 24.00 at scale 2
+/// Bytes read per scanned row (date + 3×i64).
+const BYTES_PER_ROW: usize = 4 + 3 * 8;
+
+fn finish(revenue: i64) -> QueryResult {
+    QueryResult::new(&["revenue"], vec![vec![Value::dec4(revenue as i128)]], &[], None)
+}
+
+/// Typer: one fused, branch-free loop.
+pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let li = db.table("lineitem");
+    let ship = li.col("l_shipdate").dates();
+    let disc = li.col("l_discount").i64s();
+    let qty = li.col("l_quantity").i64s();
+    let ext = li.col("l_extendedprice").i64s();
+    let morsels = Morsels::new(li.len());
+    let total = AtomicI64::new(0);
+    scope_workers(cfg.threads, |_| {
+        let mut local = 0i64;
+        while let Some(r) = morsels.claim() {
+            cfg.pace(r.len(), BYTES_PER_ROW);
+            for i in r {
+                // Predicated evaluation: no branches, all columns read.
+                let ok = (ship[i] >= SHIP_LO)
+                    & (ship[i] < SHIP_HI)
+                    & (disc[i] >= DISC_LO)
+                    & (disc[i] <= DISC_HI)
+                    & (qty[i] < QTY_HI);
+                local += (ok as i64) * ext[i] * disc[i];
+            }
+        }
+        total.fetch_add(local, Ordering::Relaxed);
+    });
+    finish(total.load(Ordering::Relaxed))
+}
+
+/// Tectorwise: five selection primitives, then gather/multiply/sum.
+pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let li = db.table("lineitem");
+    let ship = li.col("l_shipdate").dates();
+    let disc = li.col("l_discount").i64s();
+    let qty = li.col("l_quantity").i64s();
+    let ext = li.col("l_extendedprice").i64s();
+    let policy = cfg.policy;
+    let morsels = Morsels::new(li.len());
+    let total = AtomicI64::new(0);
+    scope_workers(cfg.threads, |_| {
+        let mut src = tw::ChunkSource::new(&morsels, cfg.vector_size);
+        let (mut s1, mut s2, mut s3, mut s4, mut s5) = (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let (mut v_ext, mut v_disc, mut v_rev) = (Vec::new(), Vec::new(), Vec::new());
+        let mut local = 0i64;
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), BYTES_PER_ROW);
+            // 1 dense + 4 sparse selections (§5.1's cascade).
+            if tw::sel::sel_ge_i32_dense(&ship[c.clone()], SHIP_LO, c.start as u32, &mut s1, policy) == 0 {
+                continue;
+            }
+            if tw::sel::sel_lt_i32_sparse(ship, SHIP_HI, &s1, &mut s2, policy) == 0 {
+                continue;
+            }
+            if tw::sel::sel_ge_i64_sparse(disc, DISC_LO, &s2, &mut s3, policy) == 0 {
+                continue;
+            }
+            if tw::sel::sel_le_i64_sparse(disc, DISC_HI, &s3, &mut s4, policy) == 0 {
+                continue;
+            }
+            if tw::sel::sel_lt_i64_sparse(qty, QTY_HI, &s4, &mut s5, policy) == 0 {
+                continue;
+            }
+            tw::gather::gather_i64(ext, &s5, policy, &mut v_ext);
+            tw::gather::gather_i64(disc, &s5, policy, &mut v_disc);
+            tw::map::map_mul_i64(&v_ext, &v_disc, &mut v_rev);
+            local += tw::map::sum_i64(&v_rev, policy);
+        }
+        total.fetch_add(local, Ordering::Relaxed);
+    });
+    finish(total.load(Ordering::Relaxed))
+}
+
+/// Volcano: interpreted conjunction, one tuple at a time.
+pub fn volcano(db: &Database) -> QueryResult {
+    use dbep_volcano::{AggSpec, Aggregate, BinOp, CmpOp, Expr, Scan, Select};
+    let li = db.table("lineitem");
+    let scan = Scan::new(li, &["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"]);
+    let filtered = Select {
+        input: Box::new(scan),
+        pred: Expr::And(vec![
+            Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit_i32(SHIP_LO)),
+            Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit_i32(SHIP_HI)),
+            Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i64(DISC_LO)),
+            Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit_i64(DISC_HI)),
+            Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit_i64(QTY_HI)),
+        ]),
+    };
+    let agg = Aggregate::new(
+        Box::new(filtered),
+        vec![],
+        vec![AggSpec::SumI64(Expr::arith(BinOp::Mul, Expr::col(3), Expr::col(1)))],
+    );
+    let rows = dbep_volcano::ops::collect(Box::new(agg));
+    let revenue = rows.first().map(|r| r[0].as_i64()).unwrap_or(0);
+    finish(revenue)
+}

@@ -1,0 +1,476 @@
+//! TPC-H Q9: the join-heaviest query of the subset (build ≈320 K,
+//! probe ≈1.5 M at SF 1 — §3.3), with a **composite-key** join
+//! (partsupp on (partkey, suppkey)) that forces Tectorwise to compose
+//! hash/rehash and per-column compare primitives (§2.2).
+//!
+//! ```sql
+//! SELECT nation, o_year, sum(amount) AS sum_profit FROM (
+//!   SELECT n_name AS nation, extract(year FROM o_orderdate) AS o_year,
+//!          l_extendedprice*(1-l_discount) - ps_supplycost*l_quantity AS amount
+//!   FROM part, supplier, lineitem, partsupp, orders, nation
+//!   WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey
+//!     AND ps_partkey = l_partkey AND p_partkey = l_partkey
+//!     AND o_orderkey = l_orderkey AND n_nationkey = s_nationkey
+//!     AND p_name LIKE '%green%') AS profit
+//! GROUP BY nation, o_year ORDER BY nation, o_year DESC
+//! ```
+//!
+//! Physical plan: σ(part) → HT_p; partsupp ⋈ HT_p → HT_ps (composite);
+//! supplier → HT_s; lineitem ⋈ HT_ps ⋈ HT_s → HT_li (keyed by
+//! orderkey, the paper's 320 K-entry build); orders ⋈ HT_li → Γ(nation,
+//! year).
+
+use crate::result::{OrderBy, QueryResult, Value};
+use crate::ExecCfg;
+use dbep_runtime::agg_ht::merge_partitions;
+use dbep_runtime::join_ht::JoinHtShard;
+use dbep_runtime::{map_workers, GroupByShard, JoinHt, Morsels};
+use dbep_storage::types::year_of;
+use dbep_storage::Database;
+use dbep_vectorized as tw;
+
+const NEEDLE: &str = "green";
+const PART_BYTES: usize = 4 + 33;
+const PS_BYTES: usize = 4 + 4 + 8;
+const SUPP_BYTES: usize = 4 + 4;
+const LI_BYTES: usize = 4 + 4 + 4 + 8 + 8 + 8;
+const ORD_BYTES: usize = 4 + 4;
+const PREAGG_GROUPS: usize = 1 << 10; // 25 nations x 7 years
+
+type LiRow = (i32, i32, i64); // (l_orderkey, nationkey, amount s4)
+
+fn finish(db: &Database, groups: Vec<((i32, i32), i64)>) -> QueryResult {
+    let nation_names = db.table("nation").col("n_name").strs();
+    let rows = groups
+        .into_iter()
+        .map(|((nat, year), amount)| {
+            vec![
+                Value::Str(nation_names.get(nat as usize).to_string()),
+                Value::I32(year),
+                Value::dec4(amount as i128),
+            ]
+        })
+        .collect();
+    QueryResult::new(
+        &["nation", "o_year", "sum_profit"],
+        rows,
+        &[OrderBy::asc(0), OrderBy::desc(1)],
+        None,
+    )
+}
+
+/// Typer: five fused pipelines.
+pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.typer_hash();
+    // P1: σ(part, name ~ green) → HT_p.
+    let part = db.table("part");
+    let pkey = part.col("p_partkey").i32s();
+    let pname = part.col("p_name").strs();
+    let m = Morsels::new(part.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<i32> = JoinHtShard::new();
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), PART_BYTES);
+            for i in r {
+                if pname.get(i).contains(NEEDLE) {
+                    sh.push(hf.hash(pkey[i] as u64), pkey[i]);
+                }
+            }
+        }
+        sh
+    });
+    let ht_p = JoinHt::from_shards(shards, cfg.threads);
+
+    // P2: partsupp ⋈ HT_p → HT_ps keyed (partkey, suppkey).
+    let ps = db.table("partsupp");
+    let pspk = ps.col("ps_partkey").i32s();
+    let pssk = ps.col("ps_suppkey").i32s();
+    let cost = ps.col("ps_supplycost").i64s();
+    let m = Morsels::new(ps.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<(i32, i32, i64)> = JoinHtShard::new();
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), PS_BYTES);
+            for i in r {
+                let h = hf.hash(pspk[i] as u64);
+                if ht_p.probe(h).any(|e| e.row == pspk[i]) {
+                    let hc = hf.rehash(h, pssk[i] as u64);
+                    sh.push(hc, (pspk[i], pssk[i], cost[i]));
+                }
+            }
+        }
+        sh
+    });
+    let ht_ps = JoinHt::from_shards(shards, cfg.threads);
+
+    // P3: supplier → HT_s (suppkey → nationkey).
+    let supp = db.table("supplier");
+    let skey = supp.col("s_suppkey").i32s();
+    let snat = supp.col("s_nationkey").i32s();
+    let m = Morsels::new(supp.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<(i32, i32)> = JoinHtShard::new();
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), SUPP_BYTES);
+            for i in r {
+                sh.push(hf.hash(skey[i] as u64), (skey[i], snat[i]));
+            }
+        }
+        sh
+    });
+    let ht_s = JoinHt::from_shards(shards, cfg.threads);
+
+    // P4: lineitem ⋈ HT_ps ⋈ HT_s → HT_li (keyed by orderkey).
+    let li = db.table("lineitem");
+    let lok = li.col("l_orderkey").i32s();
+    let lpk = li.col("l_partkey").i32s();
+    let lsk = li.col("l_suppkey").i32s();
+    let qty = li.col("l_quantity").i64s();
+    let ext = li.col("l_extendedprice").i64s();
+    let disc = li.col("l_discount").i64s();
+    let m = Morsels::new(li.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<LiRow> = JoinHtShard::new();
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), LI_BYTES);
+            for i in r {
+                // Composite-key probe: the generated code checks both key
+                // parts in one expression (Fig. 2a).
+                let hc = hf.rehash(hf.hash(lpk[i] as u64), lsk[i] as u64);
+                for e in ht_ps.probe(hc) {
+                    if e.row.0 == lpk[i] && e.row.1 == lsk[i] {
+                        let hs = hf.hash(lsk[i] as u64);
+                        for s in ht_s.probe(hs) {
+                            if s.row.0 == lsk[i] {
+                                // Both terms are scale-4 fixed point.
+                                let amount = ext[i] * (100 - disc[i]) - e.row.2 * qty[i];
+                                sh.push(hf.hash(lok[i] as u64), (lok[i], s.row.1, amount));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        sh
+    });
+    let ht_li = JoinHt::from_shards(shards, cfg.threads);
+
+    // P5: orders ⋈ HT_li → Γ(nation, year).
+    let ord = db.table("orders");
+    let okey = ord.col("o_orderkey").i32s();
+    let odate = ord.col("o_orderdate").dates();
+    let m = Morsels::new(ord.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut shard: GroupByShard<(i32, i32), i64> = GroupByShard::new(PREAGG_GROUPS);
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), ORD_BYTES);
+            for i in r {
+                let h = hf.hash(okey[i] as u64);
+                for e in ht_li.probe(h) {
+                    if e.row.0 == okey[i] {
+                        let key = (e.row.1, year_of(odate[i]));
+                        let gh = hf.rehash(hf.hash(key.0 as u64), key.1 as u64);
+                        shard.update(gh, key, || 0, |a| *a += e.row.2);
+                    }
+                }
+            }
+        }
+        shard.finish()
+    });
+    finish(db, merge_partitions(shards, cfg.threads, |a, b| *a += b))
+}
+
+/// Tectorwise: the same five pipelines as vector primitives. The
+/// composite key uses hash + rehash and two compare primitives.
+pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.tw_hash();
+    let policy = cfg.policy;
+    // P1: σ(part) → HT_p (string filter is a scalar primitive).
+    let part = db.table("part");
+    let pkey = part.col("p_partkey").i32s();
+    let pname = part.col("p_name").strs();
+    let m = Morsels::new(part.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<i32> = JoinHtShard::new();
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let (mut sel, mut hashes) = (Vec::new(), Vec::new());
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), PART_BYTES);
+            sel.clear();
+            for i in c {
+                if pname.get(i).contains(NEEDLE) {
+                    sel.push(i as u32);
+                }
+            }
+            if sel.is_empty() {
+                continue;
+            }
+            tw::hashp::hash_i32(pkey, &sel, hf, &mut hashes);
+            for (j, &t) in sel.iter().enumerate() {
+                sh.push(hashes[j], pkey[t as usize]);
+            }
+        }
+        sh
+    });
+    let ht_p = JoinHt::from_shards(shards, cfg.threads);
+
+    // P2: partsupp ⋈ HT_p → HT_ps (composite key build).
+    let ps = db.table("partsupp");
+    let pspk = ps.col("ps_partkey").i32s();
+    let pssk = ps.col("ps_suppkey").i32s();
+    let cost = ps.col("ps_supplycost").i64s();
+    let m = Morsels::new(ps.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<(i32, i32, i64)> = JoinHtShard::new();
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let (mut all, mut hashes, mut hc) = (Vec::new(), Vec::new(), Vec::new());
+        let mut bufs = tw::ProbeBuffers::new();
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), PS_BYTES);
+            tw::hashp::iota(c.start as u32, c.len(), &mut all);
+            tw::hashp::hash_i32(pspk, &all, hf, &mut hashes);
+            if tw::probe::probe_join(&ht_p, &hashes, &all, |row, t| *row == pspk[t as usize], policy, &mut bufs) == 0 {
+                continue;
+            }
+            tw::hashp::hash_i32(pspk, &bufs.match_tuple, hf, &mut hc);
+            tw::hashp::rehash_i32(pssk, &bufs.match_tuple, hf, &mut hc);
+            for (j, &t) in bufs.match_tuple.iter().enumerate() {
+                let t = t as usize;
+                sh.push(hc[j], (pspk[t], pssk[t], cost[t]));
+            }
+        }
+        sh
+    });
+    let ht_ps = JoinHt::from_shards(shards, cfg.threads);
+
+    // P3: supplier → HT_s.
+    let supp = db.table("supplier");
+    let skey = supp.col("s_suppkey").i32s();
+    let snat = supp.col("s_nationkey").i32s();
+    let m = Morsels::new(supp.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<(i32, i32)> = JoinHtShard::new();
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let (mut all, mut hashes) = (Vec::new(), Vec::new());
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), SUPP_BYTES);
+            tw::hashp::iota(c.start as u32, c.len(), &mut all);
+            tw::hashp::hash_i32(skey, &all, hf, &mut hashes);
+            for (j, &t) in all.iter().enumerate() {
+                let t = t as usize;
+                sh.push(hashes[j], (skey[t], snat[t]));
+            }
+        }
+        sh
+    });
+    let ht_s = JoinHt::from_shards(shards, cfg.threads);
+
+    // P4: lineitem ⋈ HT_ps ⋈ HT_s → HT_li.
+    let li = db.table("lineitem");
+    let lok = li.col("l_orderkey").i32s();
+    let lpk = li.col("l_partkey").i32s();
+    let lsk = li.col("l_suppkey").i32s();
+    let qty = li.col("l_quantity").i64s();
+    let ext = li.col("l_extendedprice").i64s();
+    let disc = li.col("l_discount").i64s();
+    let m = Morsels::new(li.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<LiRow> = JoinHtShard::new();
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let (mut all, mut hc, mut hs, mut hok, mut ordinals) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let mut bufs = tw::ProbeBuffers::new();
+        let mut bufs2 = tw::ProbeBuffers::new();
+        let (mut v_cost, mut v_ext, mut v_disc, mut v_qty) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let (mut v_om, mut v_rev, mut v_costq, mut v_amount) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let mut v_nat: Vec<i32> = Vec::new();
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), LI_BYTES);
+            tw::hashp::iota(c.start as u32, c.len(), &mut all);
+            // Composite key: hash partkey, fold suppkey in, compare both
+            // parts with one primitive each (§2.2).
+            tw::hashp::hash_i32(lpk, &all, hf, &mut hc);
+            tw::hashp::rehash_i32(lsk, &all, hf, &mut hc);
+            let nm = tw::probe::probe_join(
+                &ht_ps,
+                &hc,
+                &all,
+                |row, t| row.0 == lpk[t as usize] && row.1 == lsk[t as usize],
+                policy,
+                &mut bufs,
+            );
+            if nm == 0 {
+                continue;
+            }
+            tw::gather::gather_build(&ht_ps, &bufs.match_entry, |r| r.2, &mut v_cost);
+            // Second probe: suppkey → nationkey. Tuple ids are ordinals
+            // into the first probe's match list.
+            tw::hashp::hash_i32(lsk, &bufs.match_tuple, hf, &mut hs);
+            tw::hashp::iota(0, nm, &mut ordinals);
+            let first_matches = &bufs.match_tuple;
+            let n2 = tw::probe::probe_join(
+                &ht_s,
+                &hs,
+                &ordinals,
+                |row, j| row.0 == lsk[first_matches[j as usize] as usize],
+                policy,
+                &mut bufs2,
+            );
+            if n2 == 0 {
+                continue;
+            }
+            // Align everything to the second probe's matches.
+            let rows2: Vec<u32> = bufs2.match_tuple.iter().map(|&j| first_matches[j as usize]).collect();
+            tw::gather::gather_build(&ht_s, &bufs2.match_entry, |r| r.1, &mut v_nat);
+            let cost2: Vec<i64> = bufs2.match_tuple.iter().map(|&j| v_cost[j as usize]).collect();
+            tw::gather::gather_i64(ext, &rows2, policy, &mut v_ext);
+            tw::gather::gather_i64(disc, &rows2, policy, &mut v_disc);
+            tw::gather::gather_i64(qty, &rows2, policy, &mut v_qty);
+            tw::map::map_rsub_const_i64(100, &v_disc, &mut v_om);
+            tw::map::map_mul_i64(&v_ext, &v_om, &mut v_rev);
+            tw::map::map_mul_i64(&cost2, &v_qty, &mut v_costq);
+            // Both products are scale-4 fixed point.
+            tw::map::map_sub_i64(&v_rev, &v_costq, &mut v_amount);
+            tw::hashp::hash_i32(lok, &rows2, hf, &mut hok);
+            for (j, &t) in rows2.iter().enumerate() {
+                sh.push(hok[j], (lok[t as usize], v_nat[j], v_amount[j]));
+            }
+        }
+        sh
+    });
+    let ht_li = JoinHt::from_shards(shards, cfg.threads);
+
+    // P5: orders ⋈ HT_li → Γ(nation, year).
+    let ord = db.table("orders");
+    let okey = ord.col("o_orderkey").i32s();
+    let odate = ord.col("o_orderdate").dates();
+    let m = Morsels::new(ord.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut shard: GroupByShard<(i32, i32), i64> = GroupByShard::new(PREAGG_GROUPS);
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let (mut all, mut hashes, mut ghash, mut ordinals) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let mut bufs = tw::ProbeBuffers::new();
+        let mut gb = tw::grouping::GroupBuffers::new();
+        let (mut k_nat, mut v_amt, mut v_date, mut k_year, mut v_amt_sel) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), ORD_BYTES);
+            tw::hashp::iota(c.start as u32, c.len(), &mut all);
+            tw::hashp::hash_i32(okey, &all, hf, &mut hashes);
+            let nm = tw::probe::probe_join(&ht_li, &hashes, &all, |row, t| row.0 == okey[t as usize], policy, &mut bufs);
+            if nm == 0 {
+                continue;
+            }
+            tw::gather::gather_build(&ht_li, &bufs.match_entry, |r| r.1, &mut k_nat);
+            tw::gather::gather_build(&ht_li, &bufs.match_entry, |r| r.2, &mut v_amt);
+            tw::gather::gather_i32(odate, &bufs.match_tuple, &mut v_date);
+            tw::map::map_year(&v_date, &mut k_year);
+            tw::hashp::iota(0, nm, &mut ordinals);
+            tw::hashp::hash_i32_dense(&k_nat, hf, &mut ghash);
+            tw::hashp::rehash_i32(&k_year, &ordinals, hf, &mut ghash);
+            tw::grouping::find_groups(
+                &shard.ht,
+                &ghash,
+                &ordinals,
+                |k, j| {
+                    let j = j as usize;
+                    k.0 == k_nat[j] && k.1 == k_year[j]
+                },
+                &mut gb,
+            );
+            for &j in &gb.miss_sel {
+                let j = j as usize;
+                shard.update(ghash[j], (k_nat[j], k_year[j]), || 0, |a| *a += v_amt[j]);
+            }
+            if gb.groups.is_empty() {
+                continue;
+            }
+            tw::gather::gather_i64(&v_amt, &gb.group_sel, policy, &mut v_amt_sel);
+            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_amt_sel, |a, v| *a += v);
+        }
+        shard.finish()
+    });
+    finish(db, merge_partitions(shards, cfg.threads, |a, b| *a += b))
+}
+
+/// Volcano: the same plan, interpreted.
+pub fn volcano(db: &Database) -> QueryResult {
+    use dbep_volcano::{AggSpec, Aggregate, BinOp, Expr, HashJoin, Project, Scan, Select, Val};
+    let part_f = Select {
+        input: Box::new(Scan::new(db.table("part"), &["p_partkey", "p_name"])),
+        pred: Expr::Contains(Box::new(Expr::col(1)), NEEDLE.into()),
+    };
+    // [p_partkey, p_name, ps_partkey, ps_suppkey, ps_supplycost]
+    let j_ps = HashJoin::new(
+        Box::new(part_f),
+        vec![Expr::col(0)],
+        Box::new(Scan::new(db.table("partsupp"), &["ps_partkey", "ps_suppkey", "ps_supplycost"])),
+        vec![Expr::col(0)],
+    );
+    // Prune to [ps_partkey, ps_suppkey, ps_supplycost].
+    let ps_view = Project { input: Box::new(j_ps), exprs: vec![Expr::col(2), Expr::col(3), Expr::col(4)] };
+    // ⋈ lineitem on (partkey, suppkey):
+    // [ps_pk, ps_sk, cost, l_orderkey, l_partkey, l_suppkey, qty, ext, disc]
+    let j_li = HashJoin::new(
+        Box::new(ps_view),
+        vec![Expr::col(0), Expr::col(1)],
+        Box::new(Scan::new(
+            db.table("lineitem"),
+            &["l_orderkey", "l_partkey", "l_suppkey", "l_quantity", "l_extendedprice", "l_discount"],
+        )),
+        vec![Expr::col(1), Expr::col(2)],
+    );
+    // ⋈ supplier: [s_suppkey, s_nationkey] ++ previous 9 cols.
+    let j_s = HashJoin::new(
+        Box::new(Scan::new(db.table("supplier"), &["s_suppkey", "s_nationkey"])),
+        vec![Expr::col(0)],
+        Box::new(j_li),
+        vec![Expr::col(5)], // l_suppkey position after build++probe concat
+    );
+    // amount = ext*(100-disc) - cost*qty/100 ; key cols: nationkey, orderkey.
+    let amount = Expr::arith(
+        BinOp::Sub,
+        Expr::arith(BinOp::Mul, Expr::col(9), Expr::arith(BinOp::Sub, Expr::lit_i64(100), Expr::col(10))),
+        Expr::arith(BinOp::Mul, Expr::col(4), Expr::col(8)),
+    );
+    let li_view = Project {
+        input: Box::new(j_s),
+        exprs: vec![Expr::col(1), Expr::col(5), amount],
+    };
+    // ⋈ orders: [nationkey, l_orderkey, amount, o_orderkey, o_year]
+    let year_expr = Expr::col(4);
+    let j_o = HashJoin::new(
+        Box::new(li_view),
+        vec![Expr::col(1)],
+        Box::new(Project {
+            input: Box::new(Scan::new(db.table("orders"), &["o_orderkey", "o_orderdate"])),
+            exprs: vec![Expr::col(0), Expr::col(1)],
+        }),
+        vec![Expr::col(0)],
+    );
+    let agg = Aggregate::new(
+        Box::new(j_o),
+        vec![Expr::col(0), year_expr],
+        vec![AggSpec::SumI64(Expr::col(2))],
+    );
+    let groups = dbep_volcano::ops::collect(Box::new(agg))
+        .into_iter()
+        .map(|row| {
+            let nat = match &row[0] {
+                Val::I32(v) => *v,
+                other => panic!("unexpected nation key {other:?}"),
+            };
+            let year = year_of(match &row[1] {
+                Val::I32(v) => *v,
+                other => panic!("unexpected date {other:?}"),
+            });
+            ((nat, year), row[2].as_i64())
+        })
+        .collect::<Vec<_>>();
+    // Dates group per-day above; re-aggregate per year.
+    let mut byyear: std::collections::HashMap<(i32, i32), i64> = std::collections::HashMap::new();
+    for (k, v) in groups {
+        *byyear.entry(k).or_insert(0) += v;
+    }
+    finish(db, byyear.into_iter().collect())
+}

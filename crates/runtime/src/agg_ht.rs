@@ -1,0 +1,364 @@
+//! Aggregation hash table and the two-phase parallel group-by (§3.2).
+//!
+//! "The group by operator is split into two phases for cache friendly
+//! parallelization. A pre-aggregation handles heavy hitters and spills
+//! groups into partitions. Afterwards, a final step aggregates the groups
+//! in each partition."
+//!
+//! * [`AggHt`] — single-writer chaining table (index-linked, no atomics)
+//!   used for each thread's pre-aggregation and for each final partition.
+//! * [`GroupByShard`] — a bounded pre-aggregation table plus
+//!   [`PARTITION_COUNT`] spill buffers keyed by hash radix.
+//! * [`merge_partitions`] — the final phase: each partition is merged by
+//!   exactly one worker, so no synchronization on group state is needed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of spill partitions. 64 keeps every partition's final table
+/// well inside L2 for the paper's workloads while giving 64-way final
+/// parallelism.
+pub const PARTITION_COUNT: usize = 64;
+
+/// Radix partition of a hash. Uses bits 56..62, disjoint from the
+/// directory slot bits (low) of any reasonably sized table.
+#[inline]
+pub fn partition_of(hash: u64) -> usize {
+    ((hash >> 56) & (PARTITION_COUNT as u64 - 1)) as usize
+}
+
+struct AggEntry<K, A> {
+    hash: u64,
+    /// Index+1 of the next chain entry; 0 terminates.
+    next: u32,
+    key: K,
+    agg: A,
+}
+
+/// Single-writer chaining aggregation hash table.
+///
+/// Entries are identified by dense `u32` indices, which the vectorized
+/// engine uses as its "group pointers" (gather/scatter targets).
+pub struct AggHt<K, A> {
+    dir: Vec<u32>,
+    mask: u64,
+    entries: Vec<AggEntry<K, A>>,
+}
+
+impl<K: PartialEq, A> AggHt<K, A> {
+    /// Table expecting roughly `groups` distinct keys (it grows if
+    /// exceeded).
+    pub fn with_capacity(groups: usize) -> Self {
+        let dir_size = (groups.max(8) * 2).next_power_of_two();
+        AggHt {
+            dir: vec![0; dir_size],
+            mask: (dir_size - 1) as u64,
+            entries: Vec::with_capacity(groups),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Index of the group for `(hash, key)`, if present.
+    #[inline]
+    pub fn find(&self, hash: u64, key: &K) -> Option<u32> {
+        let mut idx = self.dir[(hash & self.mask) as usize];
+        while idx != 0 {
+            let e = &self.entries[idx as usize - 1];
+            if e.hash == hash && e.key == *key {
+                return Some(idx - 1);
+            }
+            idx = e.next;
+        }
+        None
+    }
+
+    /// Insert a group known to be absent; returns its index.
+    pub fn insert_new(&mut self, hash: u64, key: K, agg: A) -> u32 {
+        if self.entries.len() + 1 > self.dir.len() / 2 {
+            self.grow();
+        }
+        let slot = (hash & self.mask) as usize;
+        let idx = self.entries.len() as u32 + 1;
+        self.entries.push(AggEntry { hash, next: self.dir[slot], key, agg });
+        self.dir[slot] = idx;
+        idx - 1
+    }
+
+    fn grow(&mut self) {
+        let new_size = self.dir.len() * 2;
+        self.dir.clear();
+        self.dir.resize(new_size, 0);
+        self.mask = (new_size - 1) as u64;
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            let slot = (e.hash & self.mask) as usize;
+            e.next = self.dir[slot];
+            self.dir[slot] = i as u32 + 1;
+        }
+    }
+
+    /// Find-or-insert, folding one row into the group's aggregate.
+    #[inline]
+    pub fn update(&mut self, hash: u64, key: K, init: impl FnOnce() -> A, fold: impl FnOnce(&mut A)) {
+        match self.find(hash, &key) {
+            Some(idx) => fold(&mut self.entries[idx as usize].agg),
+            None => {
+                let mut agg = init();
+                fold(&mut agg);
+                self.insert_new(hash, key, agg);
+            }
+        }
+    }
+
+    #[inline]
+    pub fn agg_mut(&mut self, idx: u32) -> &mut A {
+        &mut self.entries[idx as usize].agg
+    }
+
+    #[inline]
+    pub fn key(&self, idx: u32) -> &K {
+        &self.entries[idx as usize].key
+    }
+
+    // --- raw chain access for the vectorized engine's primitives ---
+
+    /// Head of the bucket chain for `hash` (index+1; 0 = empty).
+    #[inline]
+    pub fn head(&self, hash: u64) -> u32 {
+        self.dir[(hash & self.mask) as usize]
+    }
+
+    /// Stored hash of chain node `idx_plus_1`.
+    #[inline]
+    pub fn node_hash(&self, idx_plus_1: u32) -> u64 {
+        self.entries[idx_plus_1 as usize - 1].hash
+    }
+
+    /// Next chain node after `idx_plus_1` (index+1; 0 = end).
+    #[inline]
+    pub fn node_next(&self, idx_plus_1: u32) -> u32 {
+        self.entries[idx_plus_1 as usize - 1].next
+    }
+
+    /// Consume the table, yielding `(hash, key, aggregate)` per group.
+    pub fn drain(self) -> impl Iterator<Item = (u64, K, A)> {
+        self.entries.into_iter().map(|e| (e.hash, e.key, e.agg))
+    }
+
+    /// Iterate `(key, aggregate)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &A)> + '_ {
+        self.entries.iter().map(|e| (&e.key, &e.agg))
+    }
+}
+
+/// One worker's pre-aggregation state: a bounded [`AggHt`] plus spill
+/// buffers partitioned by hash radix.
+pub struct GroupByShard<K, A> {
+    pub ht: AggHt<K, A>,
+    max_groups: usize,
+    spill: Vec<Vec<(u64, K, A)>>,
+}
+
+impl<K: PartialEq, A> GroupByShard<K, A> {
+    /// `max_groups` bounds the pre-aggregation table; rows for further
+    /// groups spill. The paper sizes this to stay cache-resident.
+    pub fn new(max_groups: usize) -> Self {
+        GroupByShard {
+            ht: AggHt::with_capacity(max_groups.min(1 << 16)),
+            max_groups,
+            spill: (0..PARTITION_COUNT).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Fold one row into its group, spilling if the group is new and the
+    /// pre-aggregation table is full.
+    #[inline]
+    pub fn update(&mut self, hash: u64, key: K, init: impl FnOnce() -> A, fold: impl FnOnce(&mut A)) {
+        if let Some(idx) = self.ht.find(hash, &key) {
+            fold(self.ht.agg_mut(idx));
+        } else if self.ht.len() < self.max_groups {
+            let mut agg = init();
+            fold(&mut agg);
+            self.ht.insert_new(hash, key, agg);
+        } else {
+            let mut agg = init();
+            fold(&mut agg);
+            self.spill[partition_of(hash)].push((hash, key, agg));
+        }
+    }
+
+    /// End of phase 1: flush the pre-aggregation table into the
+    /// partitions and hand the buffers to the merge phase.
+    pub fn finish(mut self) -> Vec<Vec<(u64, K, A)>> {
+        for (hash, key, agg) in self.ht.drain() {
+            self.spill[partition_of(hash)].push((hash, key, agg));
+        }
+        self.spill
+    }
+}
+
+/// Final phase: merge all shards' partition buffers. Each partition is
+/// processed by exactly one worker; `combine` folds a partial aggregate
+/// into the surviving one. Result order is unspecified.
+pub fn merge_partitions<K, A>(
+    shards: Vec<Vec<Vec<(u64, K, A)>>>,
+    threads: usize,
+    combine: impl Fn(&mut A, A) + Sync,
+) -> Vec<(K, A)>
+where
+    K: PartialEq + Send + Sync,
+    A: Send + Sync,
+{
+    use std::sync::Mutex;
+    let results: Vec<Mutex<Vec<(K, A)>>> = (0..PARTITION_COUNT).map(|_| Mutex::new(Vec::new())).collect();
+    let shards: Vec<Vec<Mutex<Vec<(u64, K, A)>>>> = shards
+        .into_iter()
+        .map(|s| s.into_iter().map(Mutex::new).collect())
+        .collect();
+    let next = AtomicUsize::new(0);
+    let merge_one = |p: usize| {
+        let expected: usize = shards.iter().map(|s| s[p].lock().expect("spill lock").len()).sum();
+        if expected == 0 {
+            return;
+        }
+        let mut ht: AggHt<K, A> = AggHt::with_capacity(expected);
+        for shard in &shards {
+            let buf = std::mem::take(&mut *shard[p].lock().expect("spill lock"));
+            for (hash, key, agg) in buf {
+                match ht.find(hash, &key) {
+                    Some(idx) => combine(ht.agg_mut(idx), agg),
+                    None => {
+                        ht.insert_new(hash, key, agg);
+                    }
+                }
+            }
+        }
+        let groups: Vec<(K, A)> = ht.drain().map(|(_, k, a)| (k, a)).collect();
+        *results[p].lock().expect("result lock") = groups;
+    };
+    crate::morsel::scope_workers(threads, |_| loop {
+        let p = next.fetch_add(1, Ordering::Relaxed);
+        if p >= PARTITION_COUNT {
+            break;
+        }
+        merge_one(p);
+    });
+    results
+        .into_iter()
+        .flat_map(|m| m.into_inner().expect("result lock"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::murmur2;
+
+    #[test]
+    fn update_and_find() {
+        let mut ht: AggHt<u64, i64> = AggHt::with_capacity(4);
+        for i in 0..100u64 {
+            let key = i % 7;
+            ht.update(murmur2(key), key, || 0, |a| *a += i as i64);
+        }
+        assert_eq!(ht.len(), 7);
+        let mut sums = [0i64; 7];
+        for i in 0..100u64 {
+            sums[(i % 7) as usize] += i as i64;
+        }
+        for key in 0..7u64 {
+            let idx = ht.find(murmur2(key), &key).expect("group exists");
+            assert_eq!(*ht.key(idx), key);
+            assert_eq!(*ht.agg_mut(idx), sums[key as usize]);
+        }
+        assert!(ht.find(murmur2(7), &7).is_none());
+    }
+
+    #[test]
+    fn growth_preserves_groups() {
+        let mut ht: AggHt<u64, u64> = AggHt::with_capacity(8);
+        for k in 0..10_000u64 {
+            ht.update(murmur2(k), k, || 0, |a| *a += 1);
+        }
+        assert_eq!(ht.len(), 10_000);
+        for k in 0..10_000u64 {
+            assert!(ht.find(murmur2(k), &k).is_some(), "lost key {k}");
+        }
+    }
+
+    #[test]
+    fn chain_walk_api() {
+        let mut ht: AggHt<u64, u64> = AggHt::with_capacity(8);
+        for k in 0..64u64 {
+            ht.update(murmur2(k), k, || 0, |a| *a += 1);
+        }
+        // Every key must be reachable through head/node_next alone.
+        for k in 0..64u64 {
+            let h = murmur2(k);
+            let mut node = ht.head(h);
+            let mut found = false;
+            while node != 0 {
+                if ht.node_hash(node) == h && *ht.key(node - 1) == k {
+                    found = true;
+                    break;
+                }
+                node = ht.node_next(node);
+            }
+            assert!(found, "key {k} unreachable via chain");
+        }
+    }
+
+    #[test]
+    fn shard_spills_beyond_capacity() {
+        let mut shard: GroupByShard<u64, i64> = GroupByShard::new(4);
+        for i in 0..1000u64 {
+            let key = i % 100; // 100 groups, only 4 fit
+            shard.update(murmur2(key), key, || 0, |a| *a += 1);
+        }
+        let parts = shard.finish();
+        let total_rows: usize = parts.iter().map(|p| p.len()).sum();
+        assert!(total_rows >= 100, "all groups must surface");
+        let merged = merge_partitions(vec![parts], 1, |a, b| *a += b);
+        assert_eq!(merged.len(), 100);
+        for (_k, count) in merged {
+            assert_eq!(count, 10);
+        }
+    }
+
+    #[test]
+    fn multi_shard_merge_parallel() {
+        // 4 shards, overlapping groups; merged counts must match a
+        // sequential model.
+        let mut shards = Vec::new();
+        for s in 0..4u64 {
+            let mut shard: GroupByShard<u64, i64> = GroupByShard::new(16);
+            for i in 0..5000u64 {
+                let key = (i + s) % 997;
+                shard.update(murmur2(key), key, || 0, |a| *a += 1);
+            }
+            shards.push(shard.finish());
+        }
+        let merged = merge_partitions(shards, 4, |a, b| *a += b);
+        assert_eq!(merged.len(), 997);
+        let total: i64 = merged.iter().map(|(_, c)| *c).sum();
+        assert_eq!(total, 4 * 5000);
+    }
+
+    #[test]
+    fn empty_merge() {
+        let merged: Vec<(u64, i64)> = merge_partitions(Vec::new(), 2, |a, b| *a += b);
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn partition_of_is_in_range() {
+        for k in 0..100_000u64 {
+            assert!(partition_of(murmur2(k)) < PARTITION_COUNT);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! CPU performance counters via `perf_event_open`, with graceful
+//! degradation.
+//!
+//! The paper normalizes counters "by the total number of tuples scanned
+//! by that query" (§3.4) to produce Table 1, Fig. 4 and Fig. 7. We open
+//! one counter per hardware event for the calling thread; on kernels or
+//! containers where perf is unavailable every event reads as `None` and
+//! callers fall back to wall-clock/TSC cycles (documented in
+//! EXPERIMENTS.md).
+
+use std::time::{Duration, Instant};
+
+const PERF_TYPE_HARDWARE: u32 = 0;
+const PERF_TYPE_HW_CACHE: u32 = 3;
+
+const PERF_COUNT_HW_CPU_CYCLES: u64 = 0;
+const PERF_COUNT_HW_INSTRUCTIONS: u64 = 1;
+const PERF_COUNT_HW_CACHE_MISSES: u64 = 3; // LLC misses
+const PERF_COUNT_HW_BRANCH_MISSES: u64 = 5;
+const PERF_COUNT_HW_STALLED_CYCLES_BACKEND: u64 = 7;
+
+// PERF_COUNT_HW_CACHE_L1D (0) | READ (0) << 8 | MISS (1) << 16
+const L1D_READ_MISS: u64 = 1 << 16;
+
+const PERF_EVENT_IOC_ENABLE: libc::c_ulong = 0x2400;
+const PERF_EVENT_IOC_DISABLE: libc::c_ulong = 0x2401;
+const PERF_EVENT_IOC_RESET: libc::c_ulong = 0x2403;
+
+/// Subset of `struct perf_event_attr` (PERF_ATTR_SIZE_VER5 layout);
+/// trailing fields we never set are zero-initialized padding.
+#[repr(C)]
+#[derive(Default)]
+struct PerfEventAttr {
+    type_: u32,
+    size: u32,
+    config: u64,
+    sample_period_or_freq: u64,
+    sample_type: u64,
+    read_format: u64,
+    flags: u64,
+    wakeup: u32,
+    bp_type: u32,
+    config1: u64,
+    config2: u64,
+    branch_sample_type: u64,
+    sample_regs_user: u64,
+    sample_stack_user: u32,
+    clockid: i32,
+    sample_regs_intr: u64,
+    aux_watermark: u32,
+    sample_max_stack: u16,
+    reserved_2: u16,
+}
+
+const FLAG_DISABLED: u64 = 1 << 0;
+const FLAG_EXCLUDE_KERNEL: u64 = 1 << 5;
+const FLAG_EXCLUDE_HV: u64 = 1 << 6;
+
+struct Counter {
+    fd: i32,
+}
+
+impl Counter {
+    fn open(type_: u32, config: u64) -> Option<Counter> {
+        let mut attr = PerfEventAttr {
+            type_,
+            size: std::mem::size_of::<PerfEventAttr>() as u32,
+            config,
+            flags: FLAG_DISABLED | FLAG_EXCLUDE_KERNEL | FLAG_EXCLUDE_HV,
+            ..Default::default()
+        };
+        // SAFETY: attr is a properly sized, zero-padded perf_event_attr;
+        // pid=0 (self), cpu=-1 (any), group=-1, flags=0.
+        let fd = unsafe {
+            libc::syscall(libc::SYS_perf_event_open, &mut attr as *mut PerfEventAttr, 0, -1, -1, 0)
+        };
+        if fd < 0 {
+            return None;
+        }
+        Some(Counter { fd: fd as i32 })
+    }
+
+    fn ioctl(&self, req: libc::c_ulong) {
+        // SAFETY: fd is a valid perf event fd owned by self.
+        unsafe {
+            libc::ioctl(self.fd, req, 0);
+        }
+    }
+
+    fn read(&self) -> Option<u64> {
+        let mut value: u64 = 0;
+        // SAFETY: reading 8 bytes into a u64 from our own fd.
+        let n = unsafe { libc::read(self.fd, &mut value as *mut u64 as *mut libc::c_void, 8) };
+        (n == 8).then_some(value)
+    }
+}
+
+impl Drop for Counter {
+    fn drop(&mut self) {
+        // SAFETY: closing our own fd exactly once.
+        unsafe {
+            libc::close(self.fd);
+        }
+    }
+}
+
+/// Read the time-stamp counter (x86) or 0 elsewhere.
+#[inline]
+pub fn rdtsc() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `rdtsc` is always available on x86-64.
+    unsafe {
+        std::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    0
+}
+
+/// Estimated TSC ticks per nanosecond (calibrated once). Used to express
+/// wall time in cycles when perf counters are unavailable.
+pub fn tsc_per_ns() -> f64 {
+    use std::sync::OnceLock;
+    static RATE: OnceLock<f64> = OnceLock::new();
+    *RATE.get_or_init(|| {
+        let t0 = Instant::now();
+        let c0 = rdtsc();
+        std::thread::sleep(Duration::from_millis(20));
+        let c1 = rdtsc();
+        let ns = t0.elapsed().as_nanos() as f64;
+        if c1 > c0 && ns > 0.0 {
+            (c1 - c0) as f64 / ns
+        } else {
+            1.0 // non-x86 fallback: treat 1 ns as 1 "cycle"
+        }
+    })
+}
+
+/// One measurement region's counter deltas. Missing events are `None`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CounterValues {
+    pub wall: Duration,
+    pub tsc_cycles: u64,
+    pub cycles: Option<u64>,
+    pub instructions: Option<u64>,
+    pub l1d_miss: Option<u64>,
+    pub llc_miss: Option<u64>,
+    pub branch_miss: Option<u64>,
+    pub stalled_backend: Option<u64>,
+}
+
+impl CounterValues {
+    /// Core cycles: the perf counter when available, TSC delta otherwise.
+    pub fn cycles_estimate(&self) -> u64 {
+        self.cycles.unwrap_or(self.tsc_cycles)
+    }
+
+    /// Instructions per cycle, if both events were measured.
+    pub fn ipc(&self) -> Option<f64> {
+        match (self.instructions, self.cycles) {
+            (Some(i), Some(c)) if c > 0 => Some(i as f64 / c as f64),
+            _ => None,
+        }
+    }
+
+    /// True if real hardware counters (not just TSC) were captured.
+    pub fn has_hw_counters(&self) -> bool {
+        self.cycles.is_some()
+    }
+}
+
+/// A set of per-thread hardware counters bracketing a measurement region.
+pub struct CounterSet {
+    cycles: Option<Counter>,
+    instructions: Option<Counter>,
+    l1d_miss: Option<Counter>,
+    llc_miss: Option<Counter>,
+    branch_miss: Option<Counter>,
+    stalled_backend: Option<Counter>,
+    start_wall: Instant,
+    start_tsc: u64,
+}
+
+impl CounterSet {
+    /// Open, reset and enable all events that the kernel permits.
+    pub fn start() -> CounterSet {
+        let open_hw = |config| Counter::open(PERF_TYPE_HARDWARE, config);
+        let set = CounterSet {
+            cycles: open_hw(PERF_COUNT_HW_CPU_CYCLES),
+            instructions: open_hw(PERF_COUNT_HW_INSTRUCTIONS),
+            l1d_miss: Counter::open(PERF_TYPE_HW_CACHE, L1D_READ_MISS),
+            llc_miss: open_hw(PERF_COUNT_HW_CACHE_MISSES),
+            branch_miss: open_hw(PERF_COUNT_HW_BRANCH_MISSES),
+            stalled_backend: open_hw(PERF_COUNT_HW_STALLED_CYCLES_BACKEND),
+            start_wall: Instant::now(),
+            start_tsc: rdtsc(),
+        };
+        for c in set.all() {
+            c.ioctl(PERF_EVENT_IOC_RESET);
+            c.ioctl(PERF_EVENT_IOC_ENABLE);
+        }
+        set
+    }
+
+    fn all(&self) -> impl Iterator<Item = &Counter> {
+        [
+            &self.cycles,
+            &self.instructions,
+            &self.l1d_miss,
+            &self.llc_miss,
+            &self.branch_miss,
+            &self.stalled_backend,
+        ]
+        .into_iter()
+        .flatten()
+    }
+
+    /// Disable and read all events.
+    pub fn stop(self) -> CounterValues {
+        let tsc_cycles = rdtsc().saturating_sub(self.start_tsc);
+        let wall = self.start_wall.elapsed();
+        for c in self.all() {
+            c.ioctl(PERF_EVENT_IOC_DISABLE);
+        }
+        CounterValues {
+            wall,
+            tsc_cycles,
+            cycles: self.cycles.as_ref().and_then(Counter::read),
+            instructions: self.instructions.as_ref().and_then(Counter::read),
+            l1d_miss: self.l1d_miss.as_ref().and_then(Counter::read),
+            llc_miss: self.llc_miss.as_ref().and_then(Counter::read),
+            branch_miss: self.branch_miss.as_ref().and_then(Counter::read),
+            stalled_backend: self.stalled_backend.as_ref().and_then(Counter::read),
+        }
+    }
+
+    /// Whether this process can read hardware counters at all.
+    pub fn available() -> bool {
+        Counter::open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES).is_some()
+    }
+}
+
+/// Measure a closure, returning its result and the counter deltas.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, CounterValues) {
+    let set = CounterSet::start();
+    let out = f();
+    (out, set.stop())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_never_panics_and_tracks_wall_time() {
+        let (sum, vals) = measure(|| {
+            let mut s = 0u64;
+            for i in 0..2_000_000u64 {
+                s = s.wrapping_add(i * i);
+            }
+            std::hint::black_box(s)
+        });
+        assert_ne!(sum, 0);
+        assert!(vals.wall > Duration::ZERO);
+        // TSC must move forward on x86.
+        #[cfg(target_arch = "x86_64")]
+        assert!(vals.tsc_cycles > 0);
+    }
+
+    #[test]
+    fn counters_plausible_when_available() {
+        if !CounterSet::available() {
+            eprintln!("perf counters unavailable; skipping plausibility check");
+            return;
+        }
+        let (_, vals) = measure(|| {
+            let mut s = 0u64;
+            for i in 0..5_000_000u64 {
+                s = s.wrapping_add(std::hint::black_box(i));
+            }
+            s
+        });
+        let instr = vals.instructions.expect("instructions counted");
+        assert!(instr > 5_000_000, "loop must retire > 1 instr/iter, got {instr}");
+        assert!(vals.ipc().expect("ipc") > 0.1);
+    }
+
+    #[test]
+    fn tsc_rate_is_sane() {
+        let r = tsc_per_ns();
+        // Any real machine is between 0.5 and 6 GHz; fallback is 1.0.
+        assert!((0.4..=7.0).contains(&r), "tsc rate {r}");
+    }
+}

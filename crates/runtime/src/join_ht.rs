@@ -1,0 +1,333 @@
+//! Chaining join hash table with tagged directory pointers.
+//!
+//! This is the §3.2 join structure shared by both engines:
+//!
+//! * one directory word per bucket, chaining for collisions;
+//! * entries in **row format** (hash + packed key/payload) for cache
+//!   locality during probes;
+//! * the 16 unused high bits of each directory pointer hold a tiny
+//!   Bloom-filter-like tag: every key in a bucket sets one of 16 bits
+//!   chosen by its hash, so a probe whose tag bit is absent skips the
+//!   chain walk entirely — "a probe miss usually does not have to
+//!   traverse the collision list".
+//!
+//! The build is morsel-friendly and mirrors HyPer's two phases: worker
+//! threads first materialize entries into thread-local shards
+//! ([`JoinHtShard`]), then — after a pipeline barrier — the directory is
+//! allocated at a power-of-two size and all workers publish their entries
+//! with lock-free CAS prepends.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+const PTR_MASK: u64 = 0x0000_FFFF_FFFF_FFFF;
+
+/// Tag bit for a hash, positioned in the high 16 bits of a directory word.
+#[inline]
+fn tag_of(hash: u64) -> u64 {
+    1u64 << (48 + ((hash >> 48) & 15) as u32)
+}
+
+/// One hash-table entry in row format.
+#[repr(C)]
+pub struct Entry<T> {
+    /// Tagged word of the bucket head this entry was prepended over.
+    /// Follow with [`JoinHt::next_addr`], which masks the tag bits.
+    next: AtomicU64,
+    pub hash: u64,
+    pub row: T,
+}
+
+/// Thread-local build-side buffer (phase 1 of the build).
+pub struct JoinHtShard<T> {
+    entries: Vec<Entry<T>>,
+}
+
+impl<T> Default for JoinHtShard<T> {
+    fn default() -> Self {
+        JoinHtShard { entries: Vec::new() }
+    }
+}
+
+impl<T> JoinHtShard<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        JoinHtShard { entries: Vec::with_capacity(n) }
+    }
+
+    #[inline]
+    pub fn push(&mut self, hash: u64, row: T) {
+        self.entries.push(Entry { next: AtomicU64::new(0), hash, row });
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The shared chaining hash table (probe side is fully concurrent).
+pub struct JoinHt<T> {
+    dir: Vec<AtomicU64>,
+    mask: u64,
+    // Entry storage. Directory words point directly into these buffers,
+    // so they are never touched again after the build.
+    shards: Vec<Vec<Entry<T>>>,
+    len: usize,
+    use_tags: bool,
+}
+
+impl<T: Send + Sync> JoinHt<T> {
+    /// Finalize a set of thread-local shards into a probe-ready table
+    /// (phase 2 of the build). `threads` workers publish entries
+    /// concurrently; pass 1 for a single-threaded build.
+    pub fn from_shards(shards: Vec<JoinHtShard<T>>, threads: usize) -> Self {
+        Self::from_shards_cfg(shards, threads, true)
+    }
+
+    /// As [`JoinHt::from_shards`], with the Bloom-tag optimization
+    /// switchable for the `fig9 --no-tag` ablation.
+    pub fn from_shards_cfg(shards: Vec<JoinHtShard<T>>, threads: usize, use_tags: bool) -> Self {
+        let len: usize = shards.iter().map(|s| s.entries.len()).sum();
+        // Load factor <= 0.5, like the paper's test system.
+        let dir_size = (len * 2).next_power_of_two().max(2);
+        let mut dir = Vec::with_capacity(dir_size);
+        dir.resize_with(dir_size, || AtomicU64::new(0));
+        let ht = JoinHt {
+            dir,
+            mask: (dir_size - 1) as u64,
+            shards: shards.into_iter().map(|s| s.entries).collect(),
+            len,
+            use_tags,
+        };
+        let next_shard = AtomicUsize::new(0);
+        let insert_shard = |shard: &Vec<Entry<T>>| {
+            for e in shard {
+                let addr = e as *const Entry<T> as u64;
+                debug_assert_eq!(addr & !PTR_MASK, 0, "entry address exceeds 48 bits");
+                let slot = &ht.dir[(e.hash & ht.mask) as usize];
+                let tag = if use_tags { tag_of(e.hash) } else { 0 };
+                let mut old = slot.load(Ordering::Relaxed);
+                loop {
+                    e.next.store(old, Ordering::Relaxed);
+                    let new = (old & !PTR_MASK) | tag | addr;
+                    match slot.compare_exchange_weak(old, new, Ordering::Release, Ordering::Relaxed) {
+                        Ok(_) => break,
+                        Err(cur) => old = cur,
+                    }
+                }
+            }
+        };
+        if threads <= 1 {
+            for shard in &ht.shards {
+                insert_shard(shard);
+            }
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| {
+                        loop {
+                            let i = next_shard.fetch_add(1, Ordering::Relaxed);
+                            if i >= ht.shards.len() {
+                                break;
+                            }
+                            insert_shard(&ht.shards[i]);
+                        }
+                    });
+                }
+            });
+        }
+        ht
+    }
+
+    /// Convenience single-threaded build from `(hash, row)` pairs.
+    pub fn build(rows: impl IntoIterator<Item = (u64, T)>) -> Self {
+        let mut shard = JoinHtShard::new();
+        for (h, r) in rows {
+            shard.push(h, r);
+        }
+        Self::from_shards(vec![shard], 1)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes of directory + entries — the probe working set (Fig. 9).
+    pub fn memory_bytes(&self) -> usize {
+        self.dir.len() * 8 + self.len * std::mem::size_of::<Entry<T>>()
+    }
+
+    /// Address of the first chain entry for `hash`, or 0.
+    ///
+    /// A zero return means "definitely no match in this bucket" — either
+    /// the bucket is empty or the tag filter proves the key absent.
+    #[inline]
+    pub fn chain_head(&self, hash: u64) -> u64 {
+        let word = self.dir[(hash & self.mask) as usize].load(Ordering::Relaxed);
+        if self.use_tags && word & tag_of(hash) == 0 {
+            return 0;
+        }
+        word & PTR_MASK
+    }
+
+    /// Dereference an entry address obtained from [`JoinHt::chain_head`] /
+    /// [`JoinHt::next_addr`] **of this table**.
+    ///
+    /// # Safety
+    /// `addr` must be a non-zero address produced by this table's chain
+    /// traversal; the table keeps all entry storage alive and immutable,
+    /// so such addresses are valid for `&self`'s lifetime.
+    #[inline]
+    pub unsafe fn entry_at(&self, addr: u64) -> &Entry<T> {
+        &*(addr as *const Entry<T>)
+    }
+
+    /// Address of the next chain entry after `e`, or 0 at chain end.
+    #[inline]
+    pub fn next_addr(e: &Entry<T>) -> u64 {
+        e.next.load(Ordering::Relaxed) & PTR_MASK
+    }
+
+    /// Iterate all entries whose stored hash equals `hash` (callers
+    /// re-check the key, as both engines do).
+    #[inline]
+    pub fn probe(&self, hash: u64) -> ProbeIter<'_, T> {
+        ProbeIter { ht: self, addr: self.chain_head(hash), hash }
+    }
+
+    /// Iterate every entry in the table (used by tests and by the final
+    /// phases of some plans).
+    pub fn iter(&self) -> impl Iterator<Item = &Entry<T>> + '_ {
+        self.shards.iter().flatten()
+    }
+}
+
+/// Iterator over hash-equal candidate entries of one bucket chain.
+pub struct ProbeIter<'a, T> {
+    ht: &'a JoinHt<T>,
+    addr: u64,
+    hash: u64,
+}
+
+impl<'a, T: Send + Sync> Iterator for ProbeIter<'a, T> {
+    type Item = &'a Entry<T>;
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a Entry<T>> {
+        while self.addr != 0 {
+            // SAFETY: addr originates from this table's chain.
+            let e = unsafe { self.ht.entry_at(self.addr) };
+            self.addr = JoinHt::next_addr(e);
+            if e.hash == self.hash {
+                return Some(e);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::murmur2;
+
+    fn probe_keys(ht: &JoinHt<(u64, u64)>, key: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = ht
+            .probe(murmur2(key))
+            .filter(|e| e.row.0 == key)
+            .map(|e| e.row.1)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn build_and_probe() {
+        let ht = JoinHt::build((0..1000u64).map(|k| (murmur2(k), (k, k * 10))));
+        assert_eq!(ht.len(), 1000);
+        for k in 0..1000 {
+            assert_eq!(probe_keys(&ht, k), vec![k * 10], "key {k}");
+        }
+        // Misses.
+        for k in 1000..2000 {
+            assert!(probe_keys(&ht, k).is_empty());
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_yield_all_matches() {
+        let mut rows = Vec::new();
+        for k in 0..100u64 {
+            for dup in 0..3 {
+                rows.push((murmur2(k), (k, dup)));
+            }
+        }
+        let ht = JoinHt::build(rows);
+        for k in 0..100 {
+            assert_eq!(probe_keys(&ht, k), vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn empty_table() {
+        let ht: JoinHt<(u64, u64)> = JoinHt::build(std::iter::empty());
+        assert!(ht.is_empty());
+        assert_eq!(ht.chain_head(murmur2(7)), 0);
+        assert!(probe_keys(&ht, 7).is_empty());
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let per_shard = 5000usize;
+        let shards: Vec<JoinHtShard<(u64, u64)>> = (0..4)
+            .map(|s| {
+                let mut shard = JoinHtShard::with_capacity(per_shard);
+                for i in 0..per_shard as u64 {
+                    let k = s as u64 * per_shard as u64 + i;
+                    shard.push(murmur2(k), (k, k + 1));
+                }
+                shard
+            })
+            .collect();
+        let ht = JoinHt::from_shards(shards, 4);
+        assert_eq!(ht.len(), 4 * per_shard);
+        for k in [0u64, 1, 4999, 5000, 19_999] {
+            assert_eq!(probe_keys(&ht, k), vec![k + 1]);
+        }
+        assert_eq!(ht.iter().count(), 4 * per_shard);
+    }
+
+    #[test]
+    fn tags_do_not_change_results() {
+        let rows: Vec<(u64, (u64, u64))> = (0..2000u64).map(|k| (murmur2(k), (k, k))).collect();
+        let mut s1 = JoinHtShard::new();
+        let mut s2 = JoinHtShard::new();
+        for &(h, r) in &rows {
+            s1.push(h, r);
+            s2.push(h, r);
+        }
+        let tagged = JoinHt::from_shards_cfg(vec![s1], 1, true);
+        let untagged = JoinHt::from_shards_cfg(vec![s2], 1, false);
+        for k in 0..4000 {
+            assert_eq!(probe_keys(&tagged, k), probe_keys(&untagged, k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let ht = JoinHt::build((0..100u64).map(|k| (murmur2(k), (k, k))));
+        // 256-slot directory (100 * 2 -> 256) + 100 entries of 32 bytes.
+        assert_eq!(ht.memory_bytes(), 256 * 8 + 100 * 32);
+    }
+}

@@ -1,0 +1,79 @@
+//! Runtime SIMD capability detection (§5).
+//!
+//! The paper's SIMD study targets AVX-512 ("compress store" selections,
+//! gathers, masking). We dispatch at runtime so the same binary runs the
+//! scalar baselines unvectorized on any x86-64 and uses 512-bit (or
+//! 256-bit) paths where present. The scalar fallback keeps non-x86 hosts
+//! working.
+
+/// Best instruction set available for the hand-written SIMD primitives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    Scalar,
+    Avx2,
+    /// AVX-512 F+BW+DQ+VL: compress-store, 16-lane gathers, masking.
+    Avx512,
+}
+
+/// Detected once, cached.
+pub fn simd_level() -> SimdLevel {
+    use std::sync::OnceLock;
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+            {
+                return SimdLevel::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdLevel::Avx2;
+            }
+        }
+        SimdLevel::Scalar
+    })
+}
+
+/// Human-readable ISA summary for the Table 4 hardware report.
+pub fn describe() -> String {
+    let mut parts = vec![format!("dispatch={:?}", simd_level())];
+    #[cfg(target_arch = "x86_64")]
+    {
+        for (name, have) in [
+            ("sse4.2", std::arch::is_x86_feature_detected!("sse4.2")),
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+            ("avx512bw", std::arch::is_x86_feature_detected!("avx512bw")),
+            ("avx512vl", std::arch::is_x86_feature_detected!("avx512vl")),
+        ] {
+            if have {
+                parts.push(name.to_string());
+            }
+        }
+    }
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_is_stable() {
+        assert_eq!(simd_level(), simd_level());
+    }
+
+    #[test]
+    fn describe_mentions_dispatch() {
+        assert!(describe().contains("dispatch="));
+    }
+
+    #[test]
+    fn ordering_reflects_capability() {
+        assert!(SimdLevel::Avx512 > SimdLevel::Avx2);
+        assert!(SimdLevel::Avx2 > SimdLevel::Scalar);
+    }
+}

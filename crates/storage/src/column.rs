@@ -1,0 +1,206 @@
+//! Column representations.
+//!
+//! Columns are plain contiguous arrays — exactly what both execution
+//! paradigms in the paper scan. Accessors return slices so hot loops work
+//! on `&[T]` with no indirection.
+
+use crate::types::Date;
+
+/// Variable-length string column: one contiguous byte buffer plus
+/// `len + 1` offsets. Equivalent to the paper's test-system string
+/// columns; no per-string allocation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StrColumn {
+    offsets: Vec<u32>,
+    bytes: Vec<u8>,
+}
+
+impl StrColumn {
+    pub fn new() -> Self {
+        StrColumn { offsets: vec![0], bytes: Vec::new() }
+    }
+
+    pub fn with_capacity(rows: usize, bytes: usize) -> Self {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        StrColumn { offsets, bytes: Vec::with_capacity(bytes) }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn push(&mut self, s: &str) {
+        self.bytes.extend_from_slice(s.as_bytes());
+        debug_assert!(self.bytes.len() <= u32::MAX as usize, "StrColumn overflow");
+        self.offsets.push(self.bytes.len() as u32);
+    }
+
+    /// Byte slice of row `i` (strings are ASCII in TPC-H/SSB).
+    #[inline]
+    pub fn get_bytes(&self, i: usize) -> &[u8] {
+        &self.bytes[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> &str {
+        // Generators only ever push &str, so the bytes are valid UTF-8.
+        std::str::from_utf8(self.get_bytes(i)).expect("StrColumn holds UTF-8")
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Total payload bytes (used by the Table 5 bandwidth model).
+    #[inline]
+    pub fn byte_size(&self) -> usize {
+        self.bytes.len() + self.offsets.len() * 4
+    }
+}
+
+impl<'a> FromIterator<&'a str> for StrColumn {
+    fn from_iter<T: IntoIterator<Item = &'a str>>(iter: T) -> Self {
+        let mut c = StrColumn::new();
+        for s in iter {
+            c.push(s);
+        }
+        c
+    }
+}
+
+/// A typed column. The engines match on this once per query (plan
+/// construction), never per tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnData {
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    /// Days since epoch.
+    Date(Vec<Date>),
+    /// Single-character codes such as `l_returnflag`.
+    Char(Vec<u8>),
+    Str(StrColumn),
+}
+
+impl ColumnData {
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::I32(v) => v.len(),
+            ColumnData::I64(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+            ColumnData::Char(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes occupied by the column payload (Table 5 bandwidth model).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            ColumnData::I32(v) => v.len() * 4,
+            ColumnData::I64(v) => v.len() * 8,
+            ColumnData::Date(v) => v.len() * 4,
+            ColumnData::Char(v) => v.len(),
+            ColumnData::Str(v) => v.byte_size(),
+        }
+    }
+
+    #[inline]
+    pub fn i32s(&self) -> &[i32] {
+        match self {
+            ColumnData::I32(v) => v,
+            other => panic!("expected I32 column, found {}", other.type_name()),
+        }
+    }
+
+    #[inline]
+    pub fn i64s(&self) -> &[i64] {
+        match self {
+            ColumnData::I64(v) => v,
+            other => panic!("expected I64 column, found {}", other.type_name()),
+        }
+    }
+
+    #[inline]
+    pub fn dates(&self) -> &[Date] {
+        match self {
+            ColumnData::Date(v) => v,
+            other => panic!("expected Date column, found {}", other.type_name()),
+        }
+    }
+
+    #[inline]
+    pub fn chars(&self) -> &[u8] {
+        match self {
+            ColumnData::Char(v) => v,
+            other => panic!("expected Char column, found {}", other.type_name()),
+        }
+    }
+
+    #[inline]
+    pub fn strs(&self) -> &StrColumn {
+        match self {
+            ColumnData::Str(v) => v,
+            other => panic!("expected Str column, found {}", other.type_name()),
+        }
+    }
+
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ColumnData::I32(_) => "i32",
+            ColumnData::I64(_) => "i64",
+            ColumnData::Date(_) => "date",
+            ColumnData::Char(_) => "char",
+            ColumnData::Str(_) => "str",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn str_column_roundtrip() {
+        let mut c = StrColumn::new();
+        c.push("BUILDING");
+        c.push("");
+        c.push("green almond antique");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), "BUILDING");
+        assert_eq!(c.get(1), "");
+        assert_eq!(c.get(2), "green almond antique");
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec!["BUILDING", "", "green almond antique"]);
+    }
+
+    #[test]
+    fn str_column_from_iter() {
+        let c: StrColumn = ["a", "bb", "ccc"].into_iter().collect();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(2), "ccc");
+        assert_eq!(c.byte_size(), 6 + 4 * 4);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let c = ColumnData::I32(vec![1, 2, 3]);
+        assert_eq!(c.i32s(), &[1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.byte_size(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected I64 column")]
+    fn wrong_accessor_panics() {
+        ColumnData::I32(vec![1]).i64s();
+    }
+}

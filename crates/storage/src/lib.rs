@@ -1,0 +1,26 @@
+//! Columnar in-memory storage substrate.
+//!
+//! Both engines of the paper operate over the same physical data: typed,
+//! contiguous column arrays grouped into [`Table`]s and a [`Database`]
+//! catalog. The representation mirrors the paper's test system:
+//!
+//! * integers are `i32`/`i64`,
+//! * money values are 64-bit fixed-point decimals with scale 2
+//!   ([`types::dec`]),
+//! * dates are days since the Unix epoch ([`types::Date`]),
+//! * single-character codes (`l_returnflag`, …) are raw `u8` columns,
+//! * variable-length strings are offset+bytes columns ([`column::StrColumn`]).
+//!
+//! [`throttle::Throttle`] provides the bandwidth-limited scan substrate
+//! used to emulate the paper's out-of-memory SSD experiment (Table 5).
+
+pub mod column;
+pub mod database;
+pub mod table;
+pub mod throttle;
+pub mod types;
+
+pub use column::{ColumnData, StrColumn};
+pub use database::Database;
+pub use table::Table;
+pub use types::{date, dec, Date, Value};

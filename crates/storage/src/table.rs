@@ -1,0 +1,121 @@
+//! Tables: named collections of equal-length columns.
+
+use crate::column::ColumnData;
+use std::collections::HashMap;
+
+/// An in-memory columnar table.
+///
+/// Lookup by column name happens once per query during plan construction;
+/// execution holds on to the column slices directly.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    name: String,
+    len: usize,
+    columns: Vec<(String, ColumnData)>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>) -> Self {
+        Table { name: name.into(), len: 0, columns: Vec::new(), by_name: HashMap::new() }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Add a column. Panics if the length disagrees with existing columns
+    /// or the name is duplicated — both are construction-time programmer
+    /// errors, not runtime conditions.
+    pub fn add_column(&mut self, name: impl Into<String>, data: ColumnData) -> &mut Self {
+        let name = name.into();
+        assert!(
+            self.columns.is_empty() || data.len() == self.len,
+            "column {} has {} rows, table {} has {}",
+            name,
+            data.len(),
+            self.name,
+            self.len
+        );
+        assert!(!self.by_name.contains_key(&name), "duplicate column {name}");
+        self.len = data.len();
+        self.by_name.insert(name.clone(), self.columns.len());
+        self.columns.push((name, data));
+        self
+    }
+
+    /// Column by name; panics with the table/column name on a miss
+    /// (plan-construction error).
+    pub fn col(&self, name: &str) -> &ColumnData {
+        match self.by_name.get(name) {
+            Some(&i) => &self.columns[i].1,
+            None => panic!("table {} has no column {name}", self.name),
+        }
+    }
+
+    pub fn has_column(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    pub fn column_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.columns.iter().map(|(n, _)| n.as_str())
+    }
+
+    pub fn columns(&self) -> impl Iterator<Item = (&str, &ColumnData)> + '_ {
+        self.columns.iter().map(|(n, c)| (n.as_str(), c))
+    }
+
+    /// Total payload bytes across all columns (Table 5 bandwidth model).
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(|(_, c)| c.byte_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_access() {
+        let mut t = Table::new("part");
+        t.add_column("p_partkey", ColumnData::I32(vec![1, 2, 3]))
+            .add_column("p_size", ColumnData::I32(vec![10, 20, 30]));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.col("p_size").i32s(), &[10, 20, 30]);
+        assert!(t.has_column("p_partkey"));
+        assert!(!t.has_column("p_name"));
+        assert_eq!(t.column_names().collect::<Vec<_>>(), vec!["p_partkey", "p_size"]);
+        assert_eq!(t.byte_size(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no column")]
+    fn missing_column_panics() {
+        Table::new("t").col("nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "rows")]
+    fn length_mismatch_panics() {
+        let mut t = Table::new("t");
+        t.add_column("a", ColumnData::I32(vec![1, 2]));
+        t.add_column("b", ColumnData::I32(vec![1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_column_panics() {
+        let mut t = Table::new("t");
+        t.add_column("a", ColumnData::I32(vec![1]));
+        t.add_column("a", ColumnData::I32(vec![2]));
+    }
+}

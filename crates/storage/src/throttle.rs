@@ -1,0 +1,89 @@
+//! Bandwidth throttle emulating a secondary-storage device.
+//!
+//! The paper's Table 5 reads table data from a RAID-5 of SATA SSDs with
+//! ~1.4 GB/s aggregate read bandwidth instead of ~55 GB/s main memory.
+//! We do not have that hardware, so scans can be paced through a shared
+//! [`Throttle`] that models a device with a fixed byte/s budget: every
+//! morsel "reads" its bytes from the device before processing, and the
+//! device is shared across all worker threads — exactly the contention
+//! profile of the paper's setup (DESIGN.md substitution 4).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A shared, thread-safe bandwidth limiter.
+pub struct Throttle {
+    bytes_per_sec: f64,
+    start: Instant,
+    consumed: AtomicU64,
+}
+
+impl Throttle {
+    /// A device delivering at most `bytes_per_sec` (must be > 0).
+    pub fn new(bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        Throttle { bytes_per_sec, start: Instant::now(), consumed: AtomicU64::new(0) }
+    }
+
+    /// The paper's SSD array: 1.4 GB/s.
+    pub fn paper_ssd() -> Self {
+        Throttle::new(1.4e9)
+    }
+
+    /// Account for `bytes` read and block until the device could have
+    /// delivered them. Callers from any thread share the budget.
+    pub fn consume(&self, bytes: usize) {
+        let total = self.consumed.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+        let target = Duration::from_secs_f64(total as f64 / self.bytes_per_sec);
+        let elapsed = self.start.elapsed();
+        if target > elapsed {
+            std::thread::sleep(target - elapsed);
+        }
+    }
+
+    /// Bytes consumed so far.
+    pub fn total_consumed(&self) -> u64 {
+        self.consumed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paces_to_bandwidth() {
+        // 10 MB at 100 MB/s must take >= ~100 ms.
+        let t = Throttle::new(100.0e6);
+        let start = Instant::now();
+        for _ in 0..10 {
+            t.consume(1_000_000);
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(90), "finished too fast: {elapsed:?}");
+        assert_eq!(t.total_consumed(), 10_000_000);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        // Two threads share one device: combined 8 MB at 200 MB/s >= ~40 ms.
+        let t = Throttle::new(200.0e6);
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..4 {
+                        t.consume(1_000_000);
+                    }
+                });
+            }
+        });
+        assert!(start.elapsed() >= Duration::from_millis(35));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        Throttle::new(0.0);
+    }
+}

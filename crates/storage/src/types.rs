@@ -1,0 +1,184 @@
+//! Scalar value types shared by all engines.
+//!
+//! The prototypes in the paper use plain machine types: 64-bit fixed-point
+//! arithmetic for money (no overflow checking, §3.2) and 32-bit
+//! days-since-epoch dates. [`Value`] is only used at the query *result*
+//! boundary — execution never touches it.
+
+use std::fmt;
+
+/// Days since 1970-01-01 (can be negative).
+pub type Date = i32;
+
+/// Fixed-point decimal helper: `dec(7, 25)` is the scale-2 value `7.25`.
+#[inline]
+pub const fn dec(units: i64, cents: i64) -> i64 {
+    units * 100 + cents
+}
+
+/// Convert a Gregorian calendar date to days since the Unix epoch.
+///
+/// Uses Howard Hinnant's `days_from_civil` algorithm; valid for all dates
+/// the TPC-H/SSB generators produce (1992–1998).
+pub const fn date(y: i32, m: u32, d: u32) -> Date {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i32 - 719468
+}
+
+/// Convert days since the Unix epoch back to `(year, month, day)`.
+pub const fn civil(days: Date) -> (i32, u32, u32) {
+    let z = days + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Extract the year of a [`Date`] (used by Q9's `extract(year from ...)`).
+#[inline]
+pub const fn year_of(d: Date) -> i32 {
+    civil(d).0
+}
+
+/// Parse `"YYYY-MM-DD"`.
+pub fn parse_date(s: &str) -> Option<Date> {
+    let b = s.as_bytes();
+    if b.len() != 10 || b[4] != b'-' || b[7] != b'-' {
+        return None;
+    }
+    let y: i32 = s[0..4].parse().ok()?;
+    let m: u32 = s[5..7].parse().ok()?;
+    let d: u32 = s[8..10].parse().ok()?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(date(y, m, d))
+}
+
+/// Format a [`Date`] as `YYYY-MM-DD`.
+pub fn format_date(d: Date) -> String {
+    let (y, m, dd) = civil(d);
+    format!("{y:04}-{m:02}-{dd:02}")
+}
+
+/// A scalar value at the query-result boundary.
+///
+/// Execution never allocates `Value`s; they exist so results of all three
+/// engines can be compared field-by-field and printed.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    I32(i32),
+    I64(i64),
+    /// Fixed-point decimal: `digits / 10^scale`.
+    Dec {
+        digits: i128,
+        scale: u8,
+    },
+    Date(Date),
+    Str(String),
+}
+
+impl Value {
+    /// Scale-2 decimal from a raw fixed-point i64.
+    pub fn dec2(v: i64) -> Self {
+        Value::Dec { digits: v as i128, scale: 2 }
+    }
+    pub fn dec4(v: i128) -> Self {
+        Value::Dec { digits: v, scale: 4 }
+    }
+    pub fn dec6(v: i128) -> Self {
+        Value::Dec { digits: v, scale: 6 }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I32(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::Dec { digits, scale } => {
+                let pow = 10i128.pow(*scale as u32);
+                let (sign, abs) = if *digits < 0 { ("-", -digits) } else { ("", *digits) };
+                write!(f, "{sign}{}.{:0width$}", abs / pow, abs % pow, width = *scale as usize)
+            }
+            Value::Date(d) => write!(f, "{}", format_date(*d)),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(date(1970, 1, 1), 0);
+        assert_eq!(civil(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // TPC-H boundary dates used by the studied queries.
+        assert_eq!(format_date(date(1998, 9, 2)), "1998-09-02");
+        assert_eq!(format_date(date(1995, 3, 15)), "1995-03-15");
+        assert!(date(1994, 1, 1) < date(1995, 1, 1));
+        // Leap years.
+        assert_eq!(date(1996, 2, 29) + 1, date(1996, 3, 1));
+        assert_eq!(date(1900, 2, 28) + 1, date(1900, 3, 1)); // 1900 not a leap year
+        assert_eq!(date(2000, 2, 29) + 1, date(2000, 3, 1)); // 2000 is
+    }
+
+    #[test]
+    fn roundtrip_range() {
+        // Every day in the TPC-H date range survives a round trip.
+        let lo = date(1992, 1, 1);
+        let hi = date(1998, 12, 31);
+        for d in lo..=hi {
+            let (y, m, dd) = civil(d);
+            assert_eq!(date(y, m, dd), d);
+        }
+    }
+
+    #[test]
+    fn year_extraction() {
+        assert_eq!(year_of(date(1995, 6, 17)), 1995);
+        assert_eq!(year_of(date(1992, 1, 1)), 1992);
+        assert_eq!(year_of(date(1998, 12, 31)), 1998);
+    }
+
+    #[test]
+    fn parse_and_format() {
+        assert_eq!(parse_date("1997-04-09"), Some(date(1997, 4, 9)));
+        assert_eq!(parse_date("1997-13-09"), None);
+        assert_eq!(parse_date("97-04-09"), None);
+        assert_eq!(format_date(parse_date("1992-02-29").unwrap()), "1992-02-29");
+    }
+
+    #[test]
+    fn dec_helper() {
+        assert_eq!(dec(7, 25), 725);
+        assert_eq!(dec(0, 5), 5);
+        assert_eq!(Value::dec2(725).to_string(), "7.25");
+        assert_eq!(Value::dec2(-725).to_string(), "-7.25");
+        assert_eq!(Value::dec4(10000).to_string(), "1.0000");
+        assert_eq!(Value::dec6(1).to_string(), "0.000001");
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::I32(42).to_string(), "42");
+        assert_eq!(Value::Date(date(1998, 9, 2)).to_string(), "1998-09-02");
+        assert_eq!(Value::Str("BUILDING".into()).to_string(), "BUILDING");
+    }
+}

@@ -1,0 +1,253 @@
+//! Micro-adaptive selection cascades (§8.4).
+//!
+//! "Vectorized execution is interpreted, and thus amenable for
+//! adaptivity. The combination of fine-grained profiling and adaptivity
+//! allows VectorWise to make various micro-adaptive decisions \[39\]."
+//!
+//! This module implements the canonical example: adaptive re-ordering of
+//! a conjunctive filter cascade. Because every primitive call processes
+//! a whole vector, per-call profiling (TSC cycles, observed selectivity)
+//! costs almost nothing, and the interpreter can swap the cascade order
+//! *mid-query* — something a fused compiled loop cannot do without
+//! recompilation. Predicates are ranked by the classic
+//! `cost / (1 - selectivity)` rule (cheapest most-selective first).
+
+use dbep_runtime::counters::rdtsc;
+
+/// One predicate of a cascade. `sel` is `None` for the dense (first)
+/// position and `Some(input selection vector)` otherwise; implementations
+/// dispatch to the matching `*_dense` / `*_sparse` primitive.
+pub trait CascadePredicate {
+    fn eval(&self, chunk: std::ops::Range<usize>, sel: Option<&[u32]>, out: &mut Vec<u32>) -> usize;
+}
+
+impl<F> CascadePredicate for F
+where
+    F: Fn(std::ops::Range<usize>, Option<&[u32]>, &mut Vec<u32>) -> usize,
+{
+    fn eval(&self, chunk: std::ops::Range<usize>, sel: Option<&[u32]>, out: &mut Vec<u32>) -> usize {
+        self(chunk, sel, out)
+    }
+}
+
+impl CascadePredicate for Box<dyn CascadePredicate + '_> {
+    fn eval(&self, chunk: std::ops::Range<usize>, sel: Option<&[u32]>, out: &mut Vec<u32>) -> usize {
+        (**self).eval(chunk, sel, out)
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct PredStats {
+    tuples_in: u64,
+    tuples_out: u64,
+    cycles: u64,
+}
+
+impl PredStats {
+    fn selectivity(&self) -> f64 {
+        if self.tuples_in == 0 {
+            0.5 // uninformed prior
+        } else {
+            self.tuples_out as f64 / self.tuples_in as f64
+        }
+    }
+
+    fn cost_per_tuple(&self) -> f64 {
+        if self.tuples_in == 0 {
+            1.0
+        } else {
+            self.cycles as f64 / self.tuples_in as f64
+        }
+    }
+
+    /// Classic conjunct ranking: ascending `cost / (1 - selectivity)`.
+    fn rank(&self) -> f64 {
+        let drop_rate = (1.0 - self.selectivity()).max(1e-6);
+        self.cost_per_tuple() / drop_rate
+    }
+}
+
+/// An adaptive conjunctive filter: evaluates its predicates in the
+/// currently-believed cheapest order and re-ranks every
+/// `reorder_interval` chunks.
+pub struct AdaptiveCascade<P> {
+    preds: Vec<P>,
+    order: Vec<usize>,
+    stats: Vec<PredStats>,
+    chunks_seen: usize,
+    reorder_interval: usize,
+    reorders: usize,
+    scratch: Vec<Vec<u32>>,
+}
+
+impl<P: CascadePredicate> AdaptiveCascade<P> {
+    /// `reorder_interval` follows VectorWise's idea of periodic
+    /// re-evaluation; 64 chunks ≈ 64 K tuples at the default vector
+    /// size.
+    pub fn new(preds: Vec<P>, reorder_interval: usize) -> Self {
+        assert!(!preds.is_empty(), "cascade needs at least one predicate");
+        let n = preds.len();
+        AdaptiveCascade {
+            preds,
+            order: (0..n).collect(),
+            stats: vec![PredStats::default(); n],
+            chunks_seen: 0,
+            reorder_interval: reorder_interval.max(1),
+            reorders: 0,
+            scratch: vec![Vec::new(); 2],
+        }
+    }
+
+    /// Current evaluation order (indexes into the predicate list).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// How many times the order changed so far.
+    pub fn reorders(&self) -> usize {
+        self.reorders
+    }
+
+    /// Observed selectivity of predicate `i` so far.
+    pub fn observed_selectivity(&self, i: usize) -> f64 {
+        self.stats[i].selectivity()
+    }
+
+    /// Run the cascade over one chunk; the surviving selection vector is
+    /// left in `out`. Returns the number of survivors.
+    pub fn eval_chunk(&mut self, chunk: std::ops::Range<usize>, out: &mut Vec<u32>) -> usize {
+        let mut current: Option<usize> = None; // scratch slot holding input
+        let mut n_in = chunk.len() as u64;
+        for (step, &p) in self.order.iter().enumerate() {
+            let last = step + 1 == self.order.len();
+            // Ping-pong between the two scratch buffers; final step
+            // writes straight into `out`.
+            let t0 = rdtsc();
+            let produced = {
+                let (input, target) = match current {
+                    None => (None, 0),
+                    Some(slot) => (Some(slot), 1 - slot),
+                };
+                let in_sel_owned = input.map(|slot| std::mem::take(&mut self.scratch[slot]));
+                let dst: &mut Vec<u32> = if last { out } else { &mut self.scratch[target] };
+                let k = self.preds[p].eval(chunk.clone(), in_sel_owned.as_deref(), dst);
+                if let (Some(slot), Some(buf)) = (input, in_sel_owned) {
+                    self.scratch[slot] = buf; // return the borrowed buffer
+                }
+                if !last {
+                    current = Some(target);
+                }
+                k
+            };
+            let st = &mut self.stats[p];
+            st.cycles += rdtsc().saturating_sub(t0);
+            st.tuples_in += n_in;
+            st.tuples_out += produced as u64;
+            n_in = produced as u64;
+            if produced == 0 {
+                if last {
+                    return 0;
+                }
+                out.clear();
+                return 0;
+            }
+        }
+        self.chunks_seen += 1;
+        if self.chunks_seen % self.reorder_interval == 0 {
+            self.maybe_reorder();
+        }
+        out.len()
+    }
+
+    fn maybe_reorder(&mut self) {
+        let mut new_order = self.order.clone();
+        new_order.sort_by(|&a, &b| {
+            self.stats[a].rank().partial_cmp(&self.stats[b].rank()).expect("finite ranks")
+        });
+        if new_order != self.order {
+            self.order = new_order;
+            self.reorders += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sel;
+    use crate::SimdPolicy;
+
+    /// Build a Q6-style cascade over two columns with very different
+    /// selectivities, deliberately ordered worst-first.
+    fn cascade<'a>(
+        cheap_selective: &'a [i32],
+        expensive_unselective: &'a [i64],
+    ) -> AdaptiveCascade<Box<dyn CascadePredicate + 'a>> {
+        let p_bad: Box<dyn CascadePredicate> =
+            Box::new(move |chunk: std::ops::Range<usize>, in_sel: Option<&[u32]>, out: &mut Vec<u32>| {
+                match in_sel {
+                    None => sel::sel_lt_i64_dense(
+                        &expensive_unselective[chunk.clone()],
+                        i64::MAX - 1,
+                        chunk.start as u32,
+                        out,
+                        SimdPolicy::Scalar,
+                    ),
+                    Some(s) => sel::sel_lt_i64_sparse(expensive_unselective, i64::MAX - 1, s, out, SimdPolicy::Scalar),
+                }
+            });
+        let p_good: Box<dyn CascadePredicate> =
+            Box::new(move |chunk: std::ops::Range<usize>, in_sel: Option<&[u32]>, out: &mut Vec<u32>| {
+                match in_sel {
+                    None => sel::sel_lt_i32_dense(
+                        &cheap_selective[chunk.clone()],
+                        10,
+                        chunk.start as u32,
+                        out,
+                        SimdPolicy::Scalar,
+                    ),
+                    Some(s) => sel::sel_lt_i32_sparse(cheap_selective, 10, s, out, SimdPolicy::Scalar),
+                }
+            });
+        // Worst order first: the pass-everything predicate leads.
+        AdaptiveCascade::new(vec![p_bad, p_good], 4)
+    }
+
+    #[test]
+    fn converges_to_selective_first_and_keeps_results() {
+        let n = 64 * 1024;
+        let cheap: Vec<i32> = (0..n as i32).map(|i| i % 100).collect(); // 10% pass
+        let expensive: Vec<i64> = vec![0; n]; // 100% pass
+        let model: Vec<u32> = (0..n as u32).filter(|&i| cheap[i as usize] < 10).collect();
+
+        let mut c = cascade(&cheap, &expensive);
+        assert_eq!(c.order(), &[0, 1], "starts in the given order");
+        let mut got = Vec::new();
+        let mut out = Vec::new();
+        for start in (0..n).step_by(1024) {
+            c.eval_chunk(start..(start + 1024).min(n), &mut out);
+            got.extend_from_slice(&out);
+        }
+        assert_eq!(got, model, "adaptivity must never change results");
+        assert_eq!(c.order(), &[1, 0], "selective predicate must migrate to front");
+        assert!(c.reorders() >= 1);
+        assert!(c.observed_selectivity(1) < 0.2);
+        assert!(c.observed_selectivity(0) > 0.9);
+    }
+
+    #[test]
+    fn zero_survivors_short_circuits() {
+        let cheap: Vec<i32> = vec![50; 4096]; // nothing < 10
+        let expensive: Vec<i64> = vec![0; 4096];
+        let mut c = cascade(&cheap, &expensive);
+        let mut out = Vec::new();
+        assert_eq!(c.eval_chunk(0..1024, &mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one predicate")]
+    fn empty_cascade_rejected() {
+        let _ = AdaptiveCascade::<Box<dyn CascadePredicate>>::new(vec![], 4);
+    }
+}

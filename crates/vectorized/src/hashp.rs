@@ -1,0 +1,203 @@
+//! Hash primitives (§2.2, §5.2).
+//!
+//! `hash_*` computes hashes for one key column into a dense vector;
+//! `rehash_*` folds further key columns in (composite keys invoke one
+//! primitive per column, exactly as Fig. 2b's `probeHash_` expression).
+//! The hash function is a plan-level choice (§4.1): Murmur2 for
+//! Tectorwise, CRC for Typer, switchable for the ablation.
+
+use crate::SimdPolicy;
+use dbep_runtime::hash::{crc64, murmur2, rehash_crc, rehash_murmur2, HashFn};
+use dbep_runtime::{simd_level, SimdLevel};
+
+#[inline(always)]
+fn prep(out: &mut Vec<u64>, n: usize) {
+    out.clear();
+    out.resize(n, 0);
+}
+
+macro_rules! hash_gather {
+    ($name:ident, $rename:ident, $ty:ty) => {
+        /// Hash `col[sel[i]]` into `out[i]`.
+        pub fn $name(col: &[$ty], sel: &[u32], hf: HashFn, out: &mut Vec<u64>) {
+            prep(out, sel.len());
+            match hf {
+                HashFn::Murmur2 => {
+                    for (o, &i) in out.iter_mut().zip(sel) {
+                        debug_assert!((i as usize) < col.len());
+                        // SAFETY: selection vectors index their source table.
+                        *o = murmur2(unsafe { *col.get_unchecked(i as usize) } as u64);
+                    }
+                }
+                HashFn::Crc => {
+                    for (o, &i) in out.iter_mut().zip(sel) {
+                        debug_assert!((i as usize) < col.len());
+                        // SAFETY: as above.
+                        *o = crc64(unsafe { *col.get_unchecked(i as usize) } as u64);
+                    }
+                }
+            }
+        }
+
+        /// Fold `col[sel[i]]` into the existing hashes (composite keys).
+        pub fn $rename(col: &[$ty], sel: &[u32], hf: HashFn, hashes: &mut [u64]) {
+            assert_eq!(sel.len(), hashes.len(), "rehash inputs must align");
+            match hf {
+                HashFn::Murmur2 => {
+                    for (h, &i) in hashes.iter_mut().zip(sel) {
+                        // SAFETY: as above.
+                        *h = rehash_murmur2(*h, unsafe { *col.get_unchecked(i as usize) } as u64);
+                    }
+                }
+                HashFn::Crc => {
+                    for (h, &i) in hashes.iter_mut().zip(sel) {
+                        // SAFETY: as above.
+                        *h = rehash_crc(*h, unsafe { *col.get_unchecked(i as usize) } as u64);
+                    }
+                }
+            }
+        }
+    };
+}
+hash_gather!(hash_i32, rehash_i32, i32);
+hash_gather!(hash_i64, rehash_i64, i64);
+hash_gather!(hash_u8, rehash_u8, u8);
+
+/// Hash a dense chunk slice (scan without preceding selection).
+pub fn hash_i32_dense(col: &[i32], hf: HashFn, out: &mut Vec<u64>) {
+    prep(out, col.len());
+    match hf {
+        HashFn::Murmur2 => {
+            for (o, &v) in out.iter_mut().zip(col) {
+                *o = murmur2(v as u64);
+            }
+        }
+        HashFn::Crc => {
+            for (o, &v) in out.iter_mut().zip(col) {
+                *o = crc64(v as u64);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SIMD hashing (Fig. 8a): 8-lane Murmur2 with AVX-512DQ 64-bit multiply.
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn murmur2_u64_avx512(keys: &[u64], out: &mut Vec<u64>) {
+    use std::arch::x86_64::*;
+    prep(out, keys.len());
+    const M: i64 = 0xc6a4_a793_5bd1_e995u64 as i64;
+    const SEED: u64 = 0x8445_d61a_4e77_4912;
+    let m = _mm512_set1_epi64(M);
+    let h0 = _mm512_set1_epi64((SEED ^ (0xc6a4_a793_5bd1_e995u64).wrapping_mul(8)) as i64);
+    let p = out.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 8 <= keys.len() {
+        let key = _mm512_loadu_si512(keys.as_ptr().add(i) as *const _);
+        let mut k = _mm512_mullo_epi64(key, m);
+        k = _mm512_xor_si512(k, _mm512_srli_epi64::<47>(k));
+        k = _mm512_mullo_epi64(k, m);
+        let mut h = _mm512_xor_si512(h0, k);
+        h = _mm512_mullo_epi64(h, m);
+        h = _mm512_xor_si512(h, _mm512_srli_epi64::<47>(h));
+        h = _mm512_mullo_epi64(h, m);
+        h = _mm512_xor_si512(h, _mm512_srli_epi64::<47>(h));
+        _mm512_storeu_si512(p.add(i) as *mut _, h);
+        i += 8;
+    }
+    while i < keys.len() {
+        *p.add(i) = murmur2(*keys.get_unchecked(i));
+        i += 1;
+    }
+}
+
+/// Hash a dense vector of 64-bit keys with Murmur2 (micro-benchmark
+/// kernel of Fig. 8a; falls back to scalar without AVX-512).
+pub fn murmur2_u64_vec(keys: &[u64], policy: SimdPolicy, out: &mut Vec<u64>) {
+    #[cfg(target_arch = "x86_64")]
+    if policy.wants_simd() && simd_level() >= SimdLevel::Avx512 {
+        // SAFETY: ISA presence checked by simd_level().
+        unsafe { murmur2_u64_avx512(keys, out) };
+        return;
+    }
+    let _ = policy;
+    prep(out, keys.len());
+    for (o, &k) in out.iter_mut().zip(keys) {
+        *o = murmur2(k);
+    }
+}
+
+/// Fill `out` with `base..base + n` (positions vector for dense probes).
+pub fn iota(base: u32, n: usize, out: &mut Vec<u32>) {
+    out.clear();
+    out.extend(base..base + n as u32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_hash_matches_scalar_model() {
+        let col: Vec<i32> = (0..500).map(|i| i * 3 - 250).collect();
+        let sel: Vec<u32> = (0..500).step_by(7).map(|i| i as u32).collect();
+        let mut out = Vec::new();
+        hash_i32(&col, &sel, HashFn::Murmur2, &mut out);
+        for (j, &i) in sel.iter().enumerate() {
+            assert_eq!(out[j], murmur2(col[i as usize] as u64));
+        }
+        hash_i32(&col, &sel, HashFn::Crc, &mut out);
+        for (j, &i) in sel.iter().enumerate() {
+            assert_eq!(out[j], crc64(col[i as usize] as u64));
+        }
+    }
+
+    #[test]
+    fn rehash_composes_like_scalar() {
+        let a: Vec<i32> = (0..100).collect();
+        let b: Vec<i64> = (0..100).map(|i| i as i64 * 11).collect();
+        let sel: Vec<u32> = (0..100).collect();
+        let mut h = Vec::new();
+        hash_i32(&a, &sel, HashFn::Murmur2, &mut h);
+        rehash_i64(&b, &sel, HashFn::Murmur2, &mut h);
+        for i in 0..100usize {
+            assert_eq!(h[i], rehash_murmur2(murmur2(a[i] as u64), b[i] as u64));
+        }
+    }
+
+    #[test]
+    fn simd_murmur_matches_scalar() {
+        let keys: Vec<u64> = (0..1001u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let mut scalar = Vec::new();
+        let mut simd = Vec::new();
+        murmur2_u64_vec(&keys, SimdPolicy::Scalar, &mut scalar);
+        murmur2_u64_vec(&keys, SimdPolicy::Simd, &mut simd);
+        assert_eq!(scalar, simd);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(scalar[i], murmur2(k));
+        }
+    }
+
+    #[test]
+    fn iota_fills_positions() {
+        let mut out = Vec::new();
+        iota(5, 4, &mut out);
+        assert_eq!(out, vec![5, 6, 7, 8]);
+        iota(0, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dense_hash_matches_gathered() {
+        let col: Vec<i32> = (100..200).collect();
+        let mut dense = Vec::new();
+        hash_i32_dense(&col, HashFn::Crc, &mut dense);
+        let sel: Vec<u32> = (0..100).collect();
+        let mut gathered = Vec::new();
+        hash_i32(&col, &sel, HashFn::Crc, &mut gathered);
+        assert_eq!(dense, gathered);
+    }
+}

@@ -1,0 +1,153 @@
+//! Projection ("map") primitives (§2.1).
+//!
+//! Expressions are split by arithmetic operator into one primitive per
+//! operation; every primitive materializes a dense output vector aligned
+//! with its inputs — the per-step load/store traffic that Table 1's
+//! instruction counts attribute to Tectorwise.
+
+use crate::SimdPolicy;
+use dbep_runtime::{simd_level, SimdLevel};
+
+#[inline(always)]
+fn prep<T: Copy + Default>(out: &mut Vec<T>, n: usize) {
+    out.clear();
+    out.resize(n, T::default());
+}
+
+/// `out[i] = c - a[i]` (e.g. `1 - l_discount` at scale 2).
+pub fn map_rsub_const_i64(c: i64, a: &[i64], out: &mut Vec<i64>) {
+    prep(out, a.len());
+    for (o, &v) in out.iter_mut().zip(a) {
+        *o = c - v;
+    }
+}
+
+/// `out[i] = c + a[i]` (e.g. `1 + l_tax` at scale 2).
+pub fn map_add_const_i64(c: i64, a: &[i64], out: &mut Vec<i64>) {
+    prep(out, a.len());
+    for (o, &v) in out.iter_mut().zip(a) {
+        *o = c + v;
+    }
+}
+
+/// `out[i] = a[i] * b[i]`.
+pub fn map_mul_i64(a: &[i64], b: &[i64], out: &mut Vec<i64>) {
+    assert_eq!(a.len(), b.len(), "map inputs must align");
+    prep(out, a.len());
+    for i in 0..a.len() {
+        out[i] = a[i] * b[i];
+    }
+}
+
+/// `out[i] = a[i] - b[i]`.
+pub fn map_sub_i64(a: &[i64], b: &[i64], out: &mut Vec<i64>) {
+    assert_eq!(a.len(), b.len(), "map inputs must align");
+    prep(out, a.len());
+    for i in 0..a.len() {
+        out[i] = a[i] - b[i];
+    }
+}
+
+/// `out[i] = extract(year from dates[i])` (Q9's `o_year`).
+pub fn map_year(dates: &[i32], out: &mut Vec<i32>) {
+    prep(out, dates.len());
+    for (o, &d) in out.iter_mut().zip(dates) {
+        *o = dbep_storage::types::year_of(d);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sum primitives (aggregation without grouping, e.g. Q6 / SSB Q1.1).
+// ---------------------------------------------------------------------
+
+fn sum_i64_scalar(vals: &[i64]) -> i64 {
+    let mut s = 0i64;
+    for &v in vals {
+        s = s.wrapping_add(v);
+    }
+    s
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn sum_i64_avx512(vals: &[i64]) -> i64 {
+    use std::arch::x86_64::*;
+    let mut acc = _mm512_setzero_si512();
+    let mut i = 0usize;
+    while i + 8 <= vals.len() {
+        let v = _mm512_loadu_si512(vals.as_ptr().add(i) as *const _);
+        acc = _mm512_add_epi64(acc, v);
+        i += 8;
+    }
+    let mut s = _mm512_reduce_add_epi64(acc);
+    while i < vals.len() {
+        s = s.wrapping_add(*vals.get_unchecked(i));
+        i += 1;
+    }
+    s
+}
+
+/// Sum a dense i64 vector. Wrapping, like the paper's prototypes
+/// (no overflow checks, §3.2).
+pub fn sum_i64(vals: &[i64], policy: SimdPolicy) -> i64 {
+    #[cfg(target_arch = "x86_64")]
+    if policy.wants_simd() && simd_level() >= SimdLevel::Avx512 {
+        // SAFETY: ISA presence checked by simd_level().
+        return unsafe { sum_i64_avx512(vals) };
+    }
+    let _ = policy;
+    sum_i64_scalar(vals)
+}
+
+/// Widening sum into i128 (Q1's scale-6 charge column).
+pub fn sum_i64_to_i128(vals: &[i64]) -> i128 {
+    let mut s = 0i128;
+    for &v in vals {
+        s += v as i128;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_maps() {
+        let a = vec![1i64, 2, 3];
+        let b = vec![10i64, 20, 30];
+        let mut out = Vec::new();
+        map_rsub_const_i64(100, &a, &mut out);
+        assert_eq!(out, vec![99, 98, 97]);
+        map_add_const_i64(100, &a, &mut out);
+        assert_eq!(out, vec![101, 102, 103]);
+        map_mul_i64(&a, &b, &mut out);
+        assert_eq!(out, vec![10, 40, 90]);
+        map_sub_i64(&b, &a, &mut out);
+        assert_eq!(out, vec![9, 18, 27]);
+    }
+
+    #[test]
+    fn sums_agree_across_policies() {
+        let vals: Vec<i64> = (0..1003).map(|i| (i * i) as i64 - 500).collect();
+        let model: i64 = vals.iter().sum();
+        assert_eq!(sum_i64(&vals, SimdPolicy::Scalar), model);
+        assert_eq!(sum_i64(&vals, SimdPolicy::Simd), model);
+        assert_eq!(sum_i64_to_i128(&vals), model as i128);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut out = Vec::new();
+        map_mul_i64(&[], &[], &mut out);
+        assert!(out.is_empty());
+        assert_eq!(sum_i64(&[], SimdPolicy::Simd), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn misaligned_inputs_panic() {
+        let mut out = Vec::new();
+        map_mul_i64(&[1], &[1, 2], &mut out);
+    }
+}

@@ -1,0 +1,646 @@
+//! Selection primitives (§2.1, §5.1).
+//!
+//! Each primitive evaluates one comparison on one column type and
+//! produces a selection vector of global row indices:
+//!
+//! * `*_dense` — first selection of a cascade: scans `col[chunk]` and
+//!   emits `base + i`;
+//! * `*_sparse` — subsequent selections: consumes an input selection
+//!   vector and gathers `col[sel[i]]` from non-contiguous locations
+//!   (§5.1's "sparse data loading").
+//!
+//! Three implementations are provided per primitive (Fig. 6/7/10):
+//! branch-free scalar (predicated `*res = i; res += cond`), hand-written
+//! SIMD (AVX-512 compress-store; AVX2 permutation-table emulation), and
+//! an auto-vectorization variant (plain loop compiled with 512-bit
+//! features enabled).
+
+use crate::SimdPolicy;
+use dbep_runtime::{simd_level, SimdLevel};
+use dbep_storage::StrColumn;
+
+/// Comparison codes matching `_MM_CMPINT_*` so scalar, SIMD and autovec
+/// variants share one const-generic parameter.
+pub const CMP_EQ: i32 = 0;
+pub const CMP_LT: i32 = 1;
+pub const CMP_LE: i32 = 2;
+pub const CMP_GE: i32 = 5;
+pub const CMP_GT: i32 = 6;
+
+#[inline(always)]
+fn cmp_scalar<const OP: i32, T: PartialOrd>(a: T, b: T) -> bool {
+    match OP {
+        CMP_EQ => a == b,
+        CMP_LT => a < b,
+        CMP_LE => a <= b,
+        CMP_GE => a >= b,
+        CMP_GT => a > b,
+        _ => unreachable!("unknown comparison code"),
+    }
+}
+
+/// Prepare `out` for up to `n` index writes, returning the write cursor.
+///
+/// The buffer is written through a raw pointer and the length set
+/// afterwards, so no time is spent zero-filling (§2.1 footprint: the
+/// materialization itself is the cost we measure, not bookkeeping).
+#[inline(always)]
+fn out_ptr(out: &mut Vec<u32>, n: usize) -> *mut u32 {
+    out.clear();
+    out.reserve(n);
+    out.as_mut_ptr()
+}
+
+// ---------------------------------------------------------------------
+// Scalar variants (branch-free predicated evaluation).
+// ---------------------------------------------------------------------
+
+macro_rules! scalar_dense {
+    ($name:ident, $ty:ty) => {
+        fn $name<const OP: i32>(col: &[$ty], c: $ty, base: u32, out: &mut Vec<u32>) -> usize {
+            let p = out_ptr(out, col.len());
+            let mut k = 0usize;
+            for (i, &v) in col.iter().enumerate() {
+                // SAFETY: k <= i < col.len() <= reserved capacity.
+                unsafe { *p.add(k) = base + i as u32 };
+                k += cmp_scalar::<OP, $ty>(v, c) as usize;
+            }
+            // SAFETY: the first k slots were initialized above.
+            unsafe { out.set_len(k) };
+            k
+        }
+    };
+}
+scalar_dense!(dense_i32_scalar, i32);
+scalar_dense!(dense_i64_scalar, i64);
+
+macro_rules! scalar_sparse {
+    ($name:ident, $ty:ty) => {
+        fn $name<const OP: i32>(col: &[$ty], c: $ty, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+            let p = out_ptr(out, in_sel.len());
+            let mut k = 0usize;
+            for &i in in_sel {
+                debug_assert!((i as usize) < col.len());
+                // SAFETY: selection vectors only contain indices produced
+                // by a prior primitive over this column's table.
+                let v = unsafe { *col.get_unchecked(i as usize) };
+                unsafe { *p.add(k) = i };
+                k += cmp_scalar::<OP, $ty>(v, c) as usize;
+            }
+            unsafe { out.set_len(k) };
+            k
+        }
+    };
+}
+scalar_sparse!(sparse_i32_scalar, i32);
+scalar_sparse!(sparse_i64_scalar, i64);
+
+fn dense_between_i64_scalar(col: &[i64], lo: i64, hi: i64, base: u32, out: &mut Vec<u32>) -> usize {
+    let p = out_ptr(out, col.len());
+    let mut k = 0usize;
+    for (i, &v) in col.iter().enumerate() {
+        // SAFETY: as in scalar_dense.
+        unsafe { *p.add(k) = base + i as u32 };
+        k += (v >= lo && v <= hi) as usize;
+    }
+    unsafe { out.set_len(k) };
+    k
+}
+
+fn sparse_between_i64_scalar(col: &[i64], lo: i64, hi: i64, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+    let p = out_ptr(out, in_sel.len());
+    let mut k = 0usize;
+    for &i in in_sel {
+        debug_assert!((i as usize) < col.len());
+        // SAFETY: as in scalar_sparse.
+        let v = unsafe { *col.get_unchecked(i as usize) };
+        unsafe { *p.add(k) = i };
+        k += (v >= lo && v <= hi) as usize;
+    }
+    unsafe { out.set_len(k) };
+    k
+}
+
+// ---------------------------------------------------------------------
+// AVX-512 variants (compress-store, gathers).
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn dense_i32<const OP: i32>(col: &[i32], c: i32, base: u32, out: &mut Vec<u32>) -> usize {
+        let n = col.len();
+        let p = out_ptr(out, n);
+        let cv = _mm512_set1_epi32(c);
+        let mut idx = _mm512_add_epi32(
+            _mm512_set1_epi32(base as i32),
+            _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15),
+        );
+        let step = _mm512_set1_epi32(16);
+        let mut k = 0usize;
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let v = _mm512_loadu_si512(col.as_ptr().add(i) as *const _);
+            let m = _mm512_cmp_epi32_mask::<OP>(v, cv);
+            _mm512_mask_compressstoreu_epi32(p.add(k) as *mut _, m, idx);
+            k += m.count_ones() as usize;
+            idx = _mm512_add_epi32(idx, step);
+            i += 16;
+        }
+        while i < n {
+            *p.add(k) = base + i as u32;
+            k += cmp_scalar::<OP, i32>(*col.get_unchecked(i), c) as usize;
+            i += 1;
+        }
+        out.set_len(k);
+        k
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn sparse_i32<const OP: i32>(col: &[i32], c: i32, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+        let n = in_sel.len();
+        let p = out_ptr(out, n);
+        let cv = _mm512_set1_epi32(c);
+        let mut k = 0usize;
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let iv = _mm512_loadu_si512(in_sel.as_ptr().add(i) as *const _);
+            let v = _mm512_i32gather_epi32::<4>(iv, col.as_ptr());
+            let m = _mm512_cmp_epi32_mask::<OP>(v, cv);
+            _mm512_mask_compressstoreu_epi32(p.add(k) as *mut _, m, iv);
+            k += m.count_ones() as usize;
+            i += 16;
+        }
+        while i < n {
+            let row = *in_sel.get_unchecked(i);
+            *p.add(k) = row;
+            k += cmp_scalar::<OP, i32>(*col.get_unchecked(row as usize), c) as usize;
+            i += 1;
+        }
+        out.set_len(k);
+        k
+    }
+
+    #[target_feature(enable = "avx512f,avx512vl")]
+    pub unsafe fn sparse_i64<const OP: i32>(col: &[i64], c: i64, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+        let n = in_sel.len();
+        let p = out_ptr(out, n);
+        let cv = _mm512_set1_epi64(c);
+        let mut k = 0usize;
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let iv = _mm256_loadu_si256(in_sel.as_ptr().add(i) as *const _);
+            let v = _mm512_i32gather_epi64::<8>(iv, col.as_ptr());
+            let m = _mm512_cmp_epi64_mask::<OP>(v, cv);
+            _mm256_mask_compressstoreu_epi32(p.add(k) as *mut _, m, iv);
+            k += m.count_ones() as usize;
+            i += 8;
+        }
+        while i < n {
+            let row = *in_sel.get_unchecked(i);
+            *p.add(k) = row;
+            k += cmp_scalar::<OP, i64>(*col.get_unchecked(row as usize), c) as usize;
+            i += 1;
+        }
+        out.set_len(k);
+        k
+    }
+
+    #[target_feature(enable = "avx512f,avx512vl")]
+    pub unsafe fn sparse_between_i64(col: &[i64], lo: i64, hi: i64, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+        let n = in_sel.len();
+        let p = out_ptr(out, n);
+        let lov = _mm512_set1_epi64(lo);
+        let hiv = _mm512_set1_epi64(hi);
+        let mut k = 0usize;
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let iv = _mm256_loadu_si256(in_sel.as_ptr().add(i) as *const _);
+            let v = _mm512_i32gather_epi64::<8>(iv, col.as_ptr());
+            let m = _mm512_cmp_epi64_mask::<{ CMP_GE }>(v, lov) & _mm512_cmp_epi64_mask::<{ CMP_LE }>(v, hiv);
+            _mm256_mask_compressstoreu_epi32(p.add(k) as *mut _, m, iv);
+            k += m.count_ones() as usize;
+            i += 8;
+        }
+        while i < n {
+            let row = *in_sel.get_unchecked(i);
+            let v = *col.get_unchecked(row as usize);
+            *p.add(k) = row;
+            k += (v >= lo && v <= hi) as usize;
+            i += 1;
+        }
+        out.set_len(k);
+        k
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn dense_between_i64(col: &[i64], lo: i64, hi: i64, base: u32, out: &mut Vec<u32>) -> usize {
+        let n = col.len();
+        let p = out_ptr(out, n);
+        let lov = _mm512_set1_epi64(lo);
+        let hiv = _mm512_set1_epi64(hi);
+        let mut idx = _mm256_add_epi32(
+            _mm256_set1_epi32(base as i32),
+            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+        );
+        let step = _mm256_set1_epi32(8);
+        let mut k = 0usize;
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let v = _mm512_loadu_si512(col.as_ptr().add(i) as *const _);
+            let m = _mm512_cmp_epi64_mask::<{ CMP_GE }>(v, lov) & _mm512_cmp_epi64_mask::<{ CMP_LE }>(v, hiv);
+            // Compress 8 32-bit indices under an 8-bit mask: widen the
+            // mask path through the 512-bit unit to stay on avx512f only.
+            _mm512_mask_compressstoreu_epi32(p.add(k) as *mut _, m as u16, _mm512_castsi256_si512(idx));
+            k += m.count_ones() as usize;
+            idx = _mm256_add_epi32(idx, step);
+            i += 8;
+        }
+        while i < n {
+            let v = *col.get_unchecked(i);
+            *p.add(k) = base + i as u32;
+            k += (v >= lo && v <= hi) as usize;
+            i += 1;
+        }
+        out.set_len(k);
+        k
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 variants (permutation-table compress, as in the paper's fn. 6).
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// 256-entry table: for each 8-bit mask, the lane permutation that
+    /// packs selected lanes to the front (the AVX2 "left-packing" trick).
+    fn lut() -> &'static [[i32; 8]; 256] {
+        use std::sync::OnceLock;
+        static LUT: OnceLock<Box<[[i32; 8]; 256]>> = OnceLock::new();
+        LUT.get_or_init(|| {
+            let mut t = Box::new([[0i32; 8]; 256]);
+            for (mask, row) in t.iter_mut().enumerate() {
+                let mut k = 0;
+                for lane in 0..8 {
+                    if mask & (1 << lane) != 0 {
+                        row[k] = lane as i32;
+                        k += 1;
+                    }
+                }
+            }
+            t
+        })
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dense_i32<const OP: i32>(col: &[i32], c: i32, base: u32, out: &mut Vec<u32>) -> usize {
+        let n = col.len();
+        let p = out_ptr(out, n + 8); // +8: full-lane stores may overhang
+        let lut = lut();
+        let cv = _mm256_set1_epi32(c);
+        let mut idx = _mm256_add_epi32(_mm256_set1_epi32(base as i32), _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+        let step = _mm256_set1_epi32(8);
+        let mut k = 0usize;
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let v = _mm256_loadu_si256(col.as_ptr().add(i) as *const _);
+            // AVX2 has no unsigned/ordered compare family; build the mask
+            // from gt/eq.
+            let m = match OP {
+                CMP_EQ => _mm256_cmpeq_epi32(v, cv),
+                CMP_LT => _mm256_cmpgt_epi32(cv, v),
+                CMP_LE => _mm256_or_si256(_mm256_cmpgt_epi32(cv, v), _mm256_cmpeq_epi32(v, cv)),
+                CMP_GE => _mm256_or_si256(_mm256_cmpgt_epi32(v, cv), _mm256_cmpeq_epi32(v, cv)),
+                CMP_GT => _mm256_cmpgt_epi32(v, cv),
+                _ => unreachable!(),
+            };
+            let mask = _mm256_movemask_ps(_mm256_castsi256_ps(m)) as usize;
+            let perm = _mm256_loadu_si256(lut[mask].as_ptr() as *const _);
+            let packed = _mm256_permutevar8x32_epi32(idx, perm);
+            _mm256_storeu_si256(p.add(k) as *mut _, packed);
+            k += mask.count_ones() as usize;
+            idx = _mm256_add_epi32(idx, step);
+            i += 8;
+        }
+        while i < n {
+            *p.add(k) = base + i as u32;
+            k += cmp_scalar::<OP, i32>(*col.get_unchecked(i), c) as usize;
+            i += 1;
+        }
+        out.set_len(k);
+        k
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sparse_i32<const OP: i32>(col: &[i32], c: i32, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+        let n = in_sel.len();
+        let p = out_ptr(out, n + 8);
+        let lut = lut();
+        let cv = _mm256_set1_epi32(c);
+        let mut k = 0usize;
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let iv = _mm256_loadu_si256(in_sel.as_ptr().add(i) as *const _);
+            let v = _mm256_i32gather_epi32::<4>(col.as_ptr(), iv);
+            let m = match OP {
+                CMP_EQ => _mm256_cmpeq_epi32(v, cv),
+                CMP_LT => _mm256_cmpgt_epi32(cv, v),
+                CMP_LE => _mm256_or_si256(_mm256_cmpgt_epi32(cv, v), _mm256_cmpeq_epi32(v, cv)),
+                CMP_GE => _mm256_or_si256(_mm256_cmpgt_epi32(v, cv), _mm256_cmpeq_epi32(v, cv)),
+                CMP_GT => _mm256_cmpgt_epi32(v, cv),
+                _ => unreachable!(),
+            };
+            let mask = _mm256_movemask_ps(_mm256_castsi256_ps(m)) as usize;
+            let perm = _mm256_loadu_si256(lut[mask].as_ptr() as *const _);
+            let packed = _mm256_permutevar8x32_epi32(iv, perm);
+            _mm256_storeu_si256(p.add(k) as *mut _, packed);
+            k += mask.count_ones() as usize;
+            i += 8;
+        }
+        while i < n {
+            let row = *in_sel.get_unchecked(i);
+            *p.add(k) = row;
+            k += cmp_scalar::<OP, i32>(*col.get_unchecked(row as usize), c) as usize;
+            i += 1;
+        }
+        out.set_len(k);
+        k
+    }
+}
+
+// ---------------------------------------------------------------------
+// Auto-vectorization variants (Fig. 10 substitution): the *scalar* loop
+// compiled with 512-bit features enabled — whatever LLVM makes of it is
+// the experiment's result.
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod autovec {
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub unsafe fn dense_i32<const OP: i32>(col: &[i32], c: i32, base: u32, out: &mut Vec<u32>) -> usize {
+        super::dense_i32_scalar::<OP>(col, c, base, out)
+    }
+
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub unsafe fn sparse_i32<const OP: i32>(col: &[i32], c: i32, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+        super::sparse_i32_scalar::<OP>(col, c, in_sel, out)
+    }
+
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub unsafe fn sparse_i64<const OP: i32>(col: &[i64], c: i64, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+        super::sparse_i64_scalar::<OP>(col, c, in_sel, out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public dispatching primitives.
+// ---------------------------------------------------------------------
+
+macro_rules! dispatch_dense_i32 {
+    ($name:ident, $op:expr) => {
+        /// Dense selection over a chunk slice; emits `base + i`.
+        pub fn $name(col: &[i32], c: i32, base: u32, out: &mut Vec<u32>, policy: SimdPolicy) -> usize {
+            #[cfg(target_arch = "x86_64")]
+            match (policy, simd_level()) {
+                (SimdPolicy::Simd, SimdLevel::Avx512) => {
+                    // SAFETY: ISA presence checked by simd_level().
+                    return unsafe { avx512::dense_i32::<{ $op }>(col, c, base, out) };
+                }
+                (SimdPolicy::Simd, SimdLevel::Avx2) => {
+                    return unsafe { avx2::dense_i32::<{ $op }>(col, c, base, out) };
+                }
+                (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                    return unsafe { autovec::dense_i32::<{ $op }>(col, c, base, out) };
+                }
+                _ => {}
+            }
+            dense_i32_scalar::<{ $op }>(col, c, base, out)
+        }
+    };
+}
+dispatch_dense_i32!(sel_lt_i32_dense, CMP_LT);
+dispatch_dense_i32!(sel_le_i32_dense, CMP_LE);
+dispatch_dense_i32!(sel_ge_i32_dense, CMP_GE);
+dispatch_dense_i32!(sel_gt_i32_dense, CMP_GT);
+dispatch_dense_i32!(sel_eq_i32_dense, CMP_EQ);
+
+macro_rules! dispatch_sparse_i32 {
+    ($name:ident, $op:expr) => {
+        /// Sparse selection refining an input selection vector.
+        pub fn $name(col: &[i32], c: i32, in_sel: &[u32], out: &mut Vec<u32>, policy: SimdPolicy) -> usize {
+            #[cfg(target_arch = "x86_64")]
+            match (policy, simd_level()) {
+                (SimdPolicy::Simd, SimdLevel::Avx512) => {
+                    // SAFETY: ISA presence checked by simd_level().
+                    return unsafe { avx512::sparse_i32::<{ $op }>(col, c, in_sel, out) };
+                }
+                (SimdPolicy::Simd, SimdLevel::Avx2) => {
+                    return unsafe { avx2::sparse_i32::<{ $op }>(col, c, in_sel, out) };
+                }
+                (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                    return unsafe { autovec::sparse_i32::<{ $op }>(col, c, in_sel, out) };
+                }
+                _ => {}
+            }
+            sparse_i32_scalar::<{ $op }>(col, c, in_sel, out)
+        }
+    };
+}
+dispatch_sparse_i32!(sel_lt_i32_sparse, CMP_LT);
+dispatch_sparse_i32!(sel_le_i32_sparse, CMP_LE);
+dispatch_sparse_i32!(sel_ge_i32_sparse, CMP_GE);
+dispatch_sparse_i32!(sel_gt_i32_sparse, CMP_GT);
+dispatch_sparse_i32!(sel_eq_i32_sparse, CMP_EQ);
+
+macro_rules! dispatch_sparse_i64 {
+    ($name:ident, $op:expr) => {
+        /// Sparse selection on a 64-bit column.
+        pub fn $name(col: &[i64], c: i64, in_sel: &[u32], out: &mut Vec<u32>, policy: SimdPolicy) -> usize {
+            #[cfg(target_arch = "x86_64")]
+            match (policy, simd_level()) {
+                (SimdPolicy::Simd, SimdLevel::Avx512) => {
+                    // SAFETY: ISA presence checked by simd_level().
+                    return unsafe { avx512::sparse_i64::<{ $op }>(col, c, in_sel, out) };
+                }
+                (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                    return unsafe { autovec::sparse_i64::<{ $op }>(col, c, in_sel, out) };
+                }
+                _ => {}
+            }
+            sparse_i64_scalar::<{ $op }>(col, c, in_sel, out)
+        }
+    };
+}
+dispatch_sparse_i64!(sel_lt_i64_sparse, CMP_LT);
+dispatch_sparse_i64!(sel_ge_i64_sparse, CMP_GE);
+dispatch_sparse_i64!(sel_le_i64_sparse, CMP_LE);
+
+/// Dense `v < c` on a 64-bit column (scalar and autovec only; the
+/// studied plans never need a dense 64-bit SIMD compare).
+pub fn sel_lt_i64_dense(col: &[i64], c: i64, base: u32, out: &mut Vec<u32>, _policy: SimdPolicy) -> usize {
+    dense_i64_scalar::<{ CMP_LT }>(col, c, base, out)
+}
+
+/// Dense `lo <= v <= hi` on a 64-bit column.
+pub fn sel_between_i64_dense(col: &[i64], lo: i64, hi: i64, base: u32, out: &mut Vec<u32>, policy: SimdPolicy) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if policy == SimdPolicy::Simd && simd_level() >= SimdLevel::Avx512 {
+        // SAFETY: ISA presence checked by simd_level().
+        return unsafe { avx512::dense_between_i64(col, lo, hi, base, out) };
+    }
+    dense_between_i64_scalar(col, lo, hi, base, out)
+}
+
+/// Sparse `lo <= v <= hi` on a 64-bit column.
+pub fn sel_between_i64_sparse(col: &[i64], lo: i64, hi: i64, in_sel: &[u32], out: &mut Vec<u32>, policy: SimdPolicy) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if policy == SimdPolicy::Simd && simd_level() >= SimdLevel::Avx512 {
+        // SAFETY: ISA presence checked by simd_level().
+        return unsafe { avx512::sparse_between_i64(col, lo, hi, in_sel, out) };
+    }
+    sparse_between_i64_scalar(col, lo, hi, in_sel, out)
+}
+
+/// Dense string-equality selection over `chunk` (scalar only: the paper's
+/// string primitives are not SIMD candidates).
+pub fn sel_eq_str_dense(col: &StrColumn, val: &[u8], chunk: std::ops::Range<usize>, out: &mut Vec<u32>) -> usize {
+    out.clear();
+    out.reserve(chunk.len());
+    for i in chunk {
+        if col.get_bytes(i) == val {
+            out.push(i as u32);
+        }
+    }
+    out.len()
+}
+
+/// Dense single-byte-code equality (e.g. `l_returnflag`).
+pub fn sel_eq_char_dense(col: &[u8], c: u8, base: u32, out: &mut Vec<u32>) -> usize {
+    let p = out_ptr(out, col.len());
+    let mut k = 0usize;
+    for (i, &v) in col.iter().enumerate() {
+        // SAFETY: k <= i < reserved capacity.
+        unsafe { *p.add(k) = base + i as u32 };
+        k += (v == c) as usize;
+    }
+    unsafe { out.set_len(k) };
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policies() -> Vec<SimdPolicy> {
+        vec![SimdPolicy::Scalar, SimdPolicy::Simd, SimdPolicy::Auto]
+    }
+
+    fn pseudo_i32(n: usize, m: i32) -> Vec<i32> {
+        (0..n).map(|i| ((i as u64).wrapping_mul(2654435761) % m as u64) as i32).collect()
+    }
+
+    #[test]
+    fn dense_matches_model_all_policies() {
+        let col = pseudo_i32(1000, 100);
+        let model: Vec<u32> =
+            (0..1000).filter(|&i| col[i] < 40).map(|i| i as u32 + 7).collect();
+        for policy in policies() {
+            let mut out = Vec::new();
+            let k = sel_lt_i32_dense(&col, 40, 7, &mut out, policy);
+            assert_eq!(k, out.len());
+            assert_eq!(out, model, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_matches_model_all_policies() {
+        let col = pseudo_i32(4096, 1000);
+        let in_sel: Vec<u32> = (0..4096).step_by(3).map(|i| i as u32).collect();
+        let model: Vec<u32> = in_sel.iter().copied().filter(|&i| col[i as usize] >= 500).collect();
+        for policy in policies() {
+            let mut out = Vec::new();
+            sel_ge_i32_sparse(&col, 500, &in_sel, &mut out, policy);
+            assert_eq!(out, model, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_i64_between_matches_model() {
+        let col: Vec<i64> = (0..2048).map(|i| (i * 37 % 11) as i64).collect();
+        let in_sel: Vec<u32> = (0..2048).filter(|i| i % 2 == 0).map(|i| i as u32).collect();
+        let model: Vec<u32> =
+            in_sel.iter().copied().filter(|&i| (5..=7).contains(&col[i as usize])).collect();
+        for policy in policies() {
+            let mut out = Vec::new();
+            sel_between_i64_sparse(&col, 5, 7, &in_sel, &mut out, policy);
+            assert_eq!(out, model, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn dense_i64_between_matches_model() {
+        let col: Vec<i64> = (0..777).map(|i| (i * 13 % 29) as i64).collect();
+        let model: Vec<u32> = (0..777u32).filter(|&i| (10..=20).contains(&col[i as usize])).collect();
+        for policy in policies() {
+            let mut out = Vec::new();
+            sel_between_i64_dense(&col, 10, 20, 0, &mut out, policy);
+            assert_eq!(out, model, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tail_sizes() {
+        // Lengths around the SIMD width must all work (tail handling).
+        for n in [0usize, 1, 7, 8, 15, 16, 17, 31, 33] {
+            let col = pseudo_i32(n, 10);
+            for policy in policies() {
+                let mut out = Vec::new();
+                sel_lt_i32_dense(&col, 5, 0, &mut out, policy);
+                let model: Vec<u32> = (0..n).filter(|&i| col[i] < 5).map(|i| i as u32).collect();
+                assert_eq!(out, model, "n={n} {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_and_none_selected() {
+        let col = vec![5i32; 100];
+        for policy in policies() {
+            let mut out = Vec::new();
+            assert_eq!(sel_eq_i32_dense(&col, 5, 0, &mut out, policy), 100);
+            assert_eq!(sel_eq_i32_dense(&col, 6, 0, &mut out, policy), 0);
+        }
+    }
+
+    #[test]
+    fn string_and_char_selection() {
+        let col: StrColumn = ["BUILDING", "AUTOMOBILE", "BUILDING", "MACHINERY"].into_iter().collect();
+        let mut out = Vec::new();
+        sel_eq_str_dense(&col, b"BUILDING", 0..4, &mut out);
+        assert_eq!(out, vec![0, 2]);
+        let flags = vec![b'N', b'A', b'N', b'R', b'N'];
+        sel_eq_char_dense(&flags, b'N', 10, &mut out);
+        assert_eq!(out, vec![10, 12, 14]);
+    }
+
+    #[test]
+    fn comparison_ops_agree_with_semantics() {
+        let col = vec![-5i32, 0, 3, 7, 7, 9];
+        let mut out = Vec::new();
+        for policy in policies() {
+            sel_le_i32_dense(&col, 7, 0, &mut out, policy);
+            assert_eq!(out, vec![0, 1, 2, 3, 4], "{policy:?} le");
+            sel_gt_i32_dense(&col, 7, 0, &mut out, policy);
+            assert_eq!(out, vec![5], "{policy:?} gt");
+            sel_ge_i32_dense(&col, 7, 0, &mut out, policy);
+            assert_eq!(out, vec![3, 4, 5], "{policy:?} ge");
+        }
+    }
+}

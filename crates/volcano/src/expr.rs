@@ -1,0 +1,195 @@
+//! Interpreted expressions over tuple values.
+//!
+//! Every evaluation performs runtime type dispatch — the per-tuple
+//! interpretation overhead that vectorization amortizes and compilation
+//! eliminates (§4.2).
+
+use std::fmt;
+
+/// A runtime-typed value. Strings are owned (the traditional engine
+//  copies freely).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Val {
+    I32(i32),
+    I64(i64),
+    I128(i128),
+    Str(String),
+    Byte(u8),
+}
+
+impl Val {
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Val::I32(v) => *v as i64,
+            Val::I64(v) => *v,
+            Val::Byte(v) => *v as i64,
+            other => panic!("expected numeric value, found {other:?}"),
+        }
+    }
+
+    pub fn as_i128(&self) -> i128 {
+        match self {
+            Val::I128(v) => *v,
+            other => other.as_i64() as i128,
+        }
+    }
+
+    pub fn as_str(&self) -> &str {
+        match self {
+            Val::Str(s) => s,
+            other => panic!("expected string value, found {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::I32(v) => write!(f, "{v}"),
+            Val::I64(v) => write!(f, "{v}"),
+            Val::I128(v) => write!(f, "{v}"),
+            Val::Str(s) => write!(f, "{s}"),
+            Val::Byte(b) => write!(f, "{}", *b as char),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Arithmetic operators (fixed-point semantics are the plan's concern).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+}
+
+/// An interpreted expression tree.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Column of the input row by position.
+    Col(usize),
+    Const(Val),
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+    Arith(BinOp, Box<Expr>, Box<Expr>),
+    /// SQL `LIKE '%needle%'`.
+    Contains(Box<Expr>, String),
+}
+
+impl Expr {
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    pub fn lit_i64(v: i64) -> Expr {
+        Expr::Const(Val::I64(v))
+    }
+
+    pub fn lit_i32(v: i32) -> Expr {
+        Expr::Const(Val::I32(v))
+    }
+
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(a), Box::new(b))
+    }
+
+    pub fn arith(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Arith(op, Box::new(a), Box::new(b))
+    }
+
+    /// Evaluate against a row; full runtime dispatch per node.
+    pub fn eval(&self, row: &[Val]) -> Val {
+        match self {
+            Expr::Col(i) => row[*i].clone(),
+            Expr::Const(v) => v.clone(),
+            Expr::Cmp(op, a, b) => {
+                let (a, b) = (a.eval(row), b.eval(row));
+                let r = match (&a, &b) {
+                    (Val::Str(x), Val::Str(y)) => x.cmp(y),
+                    _ => a.as_i128().cmp(&b.as_i128()),
+                };
+                let out = match op {
+                    CmpOp::Eq => r.is_eq(),
+                    CmpOp::Ne => r.is_ne(),
+                    CmpOp::Lt => r.is_lt(),
+                    CmpOp::Le => r.is_le(),
+                    CmpOp::Gt => r.is_gt(),
+                    CmpOp::Ge => r.is_ge(),
+                };
+                Val::I32(out as i32)
+            }
+            Expr::And(es) => Val::I32(es.iter().all(|e| e.eval(row).as_i64() != 0) as i32),
+            Expr::Or(es) => Val::I32(es.iter().any(|e| e.eval(row).as_i64() != 0) as i32),
+            Expr::Arith(op, a, b) => {
+                let (a, b) = (a.eval(row).as_i64(), b.eval(row).as_i64());
+                Val::I64(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                })
+            }
+            Expr::Contains(e, needle) => {
+                let v = e.eval(row);
+                Val::I32(v.as_str().contains(needle.as_str()) as i32)
+            }
+        }
+    }
+
+    /// Evaluate as a predicate.
+    pub fn eval_bool(&self, row: &[Val]) -> bool {
+        self.eval(row).as_i64() != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let row = vec![Val::I64(7), Val::I64(3)];
+        let e = Expr::arith(BinOp::Mul, Expr::col(0), Expr::col(1));
+        assert_eq!(e.eval(&row), Val::I64(21));
+        let c = Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::col(1));
+        assert!(c.eval_bool(&row));
+        let c = Expr::cmp(CmpOp::Le, Expr::col(0), Expr::lit_i64(6));
+        assert!(!c.eval_bool(&row));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let row = vec![Val::I64(5)];
+        let t = Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::lit_i64(5));
+        let f = Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::lit_i64(6));
+        assert!(Expr::And(vec![t.clone(), t.clone()]).eval_bool(&row));
+        assert!(!Expr::And(vec![t.clone(), f.clone()]).eval_bool(&row));
+        assert!(Expr::Or(vec![f.clone(), t.clone()]).eval_bool(&row));
+        assert!(!Expr::Or(vec![f.clone(), f]).eval_bool(&row));
+    }
+
+    #[test]
+    fn string_ops() {
+        let row = vec![Val::Str("forest green linen".into())];
+        assert!(Expr::Contains(Box::new(Expr::col(0)), "green".into()).eval_bool(&row));
+        assert!(!Expr::Contains(Box::new(Expr::col(0)), "azure".into()).eval_bool(&row));
+        let eq = Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::Const(Val::Str("forest green linen".into())));
+        assert!(eq.eval_bool(&row));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected numeric")]
+    fn type_errors_are_loud() {
+        Val::Str("x".into()).as_i64();
+    }
+}

@@ -1,0 +1,23 @@
+//! Classic **Volcano-style** tuple-at-a-time interpreter.
+//!
+//! The paper's introduction frames both modern paradigms against this
+//! traditional model: pull-based `next()` returning one tuple, virtual
+//! dispatch per operator per tuple, and expression *interpretation* with
+//! type dispatch per value (§1, §4.2, Table 6 row "System R"). We build
+//! it as the third engine to
+//!
+//! * stand in for the interpretation-overhead baseline of Table 2
+//!   (DESIGN.md substitution 5),
+//! * cover the pull+interpretation corner of the §9.2 taxonomy, and
+//! * cross-validate results: every query must return the same rows on
+//!   Volcano, Typer and Tectorwise.
+//!
+//! It is intentionally naive — boxed operators, `Vec<Val>` rows, hash
+//! tables keyed by value vectors — because that *is* the model being
+//! contrasted.
+
+pub mod expr;
+pub mod ops;
+
+pub use expr::{BinOp, CmpOp, Expr, Val};
+pub use ops::{Aggregate, AggSpec, BoxOp, HashJoin, Operator, Project, Row, Scan, Select, Sort, SortKey};

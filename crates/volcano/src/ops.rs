@@ -1,0 +1,330 @@
+//! Volcano operators: boxed, pull-based, one tuple per `next()` call.
+
+use crate::expr::{Expr, Val};
+use dbep_storage::{ColumnData, Table};
+use std::collections::HashMap;
+
+/// One tuple.
+pub type Row = Vec<Val>;
+
+/// The iterator interface every operator implements (§1).
+pub trait Operator {
+    /// Produce the next tuple, or `None` when exhausted.
+    fn next(&mut self) -> Option<Row>;
+}
+
+/// Full-table scan producing the named columns in order.
+pub struct Scan<'a> {
+    cols: Vec<&'a ColumnData>,
+    pos: usize,
+    len: usize,
+}
+
+impl<'a> Scan<'a> {
+    pub fn new(table: &'a Table, columns: &[&str]) -> Self {
+        Scan {
+            cols: columns.iter().map(|c| table.col(c)).collect(),
+            pos: 0,
+            len: table.len(),
+        }
+    }
+}
+
+impl<'a> Operator for Scan<'a> {
+    fn next(&mut self) -> Option<Row> {
+        if self.pos >= self.len {
+            return None;
+        }
+        let i = self.pos;
+        self.pos += 1;
+        Some(
+            self.cols
+                .iter()
+                .map(|c| match c {
+                    ColumnData::I32(v) => Val::I32(v[i]),
+                    ColumnData::I64(v) => Val::I64(v[i]),
+                    ColumnData::Date(v) => Val::I32(v[i]),
+                    ColumnData::Char(v) => Val::Byte(v[i]),
+                    ColumnData::Str(v) => Val::Str(v.get(i).to_string()),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// A boxed operator with borrowed table data.
+pub type BoxOp<'a> = Box<dyn Operator + 'a>;
+
+/// Tuple-at-a-time selection.
+pub struct Select<'a> {
+    pub input: BoxOp<'a>,
+    pub pred: Expr,
+}
+
+impl<'a> Operator for Select<'a> {
+    fn next(&mut self) -> Option<Row> {
+        loop {
+            let row = self.input.next()?;
+            if self.pred.eval_bool(&row) {
+                return Some(row);
+            }
+        }
+    }
+}
+
+/// Tuple-at-a-time projection.
+pub struct Project<'a> {
+    pub input: BoxOp<'a>,
+    pub exprs: Vec<Expr>,
+}
+
+impl<'a> Operator for Project<'a> {
+    fn next(&mut self) -> Option<Row> {
+        let row = self.input.next()?;
+        Some(self.exprs.iter().map(|e| e.eval(&row)).collect())
+    }
+}
+
+/// Blocking hash join: materializes the whole build side into a value-
+/// keyed hash map, then streams the probe side (inner join, all matches).
+pub struct HashJoin<'a> {
+    probe: BoxOp<'a>,
+    build_keys: Vec<Expr>,
+    probe_keys: Vec<Expr>,
+    table: HashMap<Vec<Val>, Vec<Row>>,
+    pending: Vec<Row>,
+}
+
+impl<'a> HashJoin<'a> {
+    /// Fully consumes `build` on construction (the pipeline breaker).
+    pub fn new(
+        mut build: BoxOp<'_>,
+        build_keys: Vec<Expr>,
+        probe: BoxOp<'a>,
+        probe_keys: Vec<Expr>,
+    ) -> Self {
+        let mut table: HashMap<Vec<Val>, Vec<Row>> = HashMap::new();
+        while let Some(row) = build.next() {
+            let key: Vec<Val> = build_keys.iter().map(|e| e.eval(&row)).collect();
+            table.entry(key).or_default().push(row);
+        }
+        HashJoin { probe, build_keys, probe_keys, table, pending: Vec::new() }
+    }
+}
+
+impl<'a> Operator for HashJoin<'a> {
+    fn next(&mut self) -> Option<Row> {
+        loop {
+            if let Some(row) = self.pending.pop() {
+                return Some(row);
+            }
+            let probe_row = self.probe.next()?;
+            let key: Vec<Val> = self.probe_keys.iter().map(|e| e.eval(&probe_row)).collect();
+            debug_assert_eq!(key.len(), self.build_keys.len());
+            if let Some(matches) = self.table.get(&key) {
+                for b in matches {
+                    let mut out = b.clone();
+                    out.extend(probe_row.iter().cloned());
+                    self.pending.push(out);
+                }
+            }
+        }
+    }
+}
+
+/// Aggregate function specifications.
+#[derive(Clone, Debug)]
+pub enum AggSpec {
+    /// 64-bit sum of an expression.
+    SumI64(Expr),
+    /// 128-bit sum (for scale-6 decimals).
+    SumI128(Expr),
+    Count,
+}
+
+/// Blocking hash aggregation (group by a list of expressions).
+pub struct Aggregate {
+    out: std::vec::IntoIter<Row>,
+}
+
+impl Aggregate {
+    pub fn new(mut input: BoxOp<'_>, group_by: Vec<Expr>, aggs: Vec<AggSpec>) -> Self {
+        let mut groups: HashMap<Vec<Val>, Vec<Val>> = HashMap::new();
+        while let Some(row) = input.next() {
+            let key: Vec<Val> = group_by.iter().map(|e| e.eval(&row)).collect();
+            let state = groups.entry(key).or_insert_with(|| {
+                aggs.iter()
+                    .map(|a| match a {
+                        AggSpec::SumI64(_) => Val::I64(0),
+                        AggSpec::SumI128(_) => Val::I128(0),
+                        AggSpec::Count => Val::I64(0),
+                    })
+                    .collect()
+            });
+            for (slot, spec) in state.iter_mut().zip(&aggs) {
+                match spec {
+                    AggSpec::SumI64(e) => {
+                        *slot = Val::I64(slot.as_i64().wrapping_add(e.eval(&row).as_i64()));
+                    }
+                    AggSpec::SumI128(e) => {
+                        *slot = Val::I128(slot.as_i128() + e.eval(&row).as_i128());
+                    }
+                    AggSpec::Count => *slot = Val::I64(slot.as_i64() + 1),
+                }
+            }
+        }
+        let rows: Vec<Row> = groups
+            .into_iter()
+            .map(|(mut k, v)| {
+                k.extend(v);
+                k
+            })
+            .collect();
+        Aggregate { out: rows.into_iter() }
+    }
+}
+
+impl Operator for Aggregate {
+    fn next(&mut self) -> Option<Row> {
+        self.out.next()
+    }
+}
+
+/// Sort key: column position + direction.
+#[derive(Clone, Copy, Debug)]
+pub struct SortKey {
+    pub col: usize,
+    pub desc: bool,
+}
+
+/// Blocking sort with optional LIMIT.
+pub struct Sort {
+    out: std::vec::IntoIter<Row>,
+}
+
+impl Sort {
+    pub fn new(mut input: BoxOp<'_>, keys: Vec<SortKey>, limit: Option<usize>) -> Self {
+        let mut rows = Vec::new();
+        while let Some(r) = input.next() {
+            rows.push(r);
+        }
+        rows.sort_by(|a, b| {
+            for k in &keys {
+                let ord = a[k.col].partial_cmp(&b[k.col]).expect("comparable vals");
+                let ord = if k.desc { ord.reverse() } else { ord };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        if let Some(l) = limit {
+            rows.truncate(l);
+        }
+        Sort { out: rows.into_iter() }
+    }
+}
+
+impl Operator for Sort {
+    fn next(&mut self) -> Option<Row> {
+        self.out.next()
+    }
+}
+
+/// Drain an operator into a vector of rows.
+pub fn collect(mut op: BoxOp<'_>) -> Vec<Row> {
+    let mut out = Vec::new();
+    while let Some(r) = op.next() {
+        out.push(r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, CmpOp};
+    use dbep_storage::column::ColumnData;
+
+    fn test_table() -> Table {
+        let mut t = Table::new("t");
+        t.add_column("k", ColumnData::I32(vec![1, 2, 3, 4]))
+            .add_column("v", ColumnData::I64(vec![10, 20, 30, 40]))
+            .add_column("s", ColumnData::Str(["a", "b", "a", "b"].into_iter().collect()));
+        t
+    }
+
+    #[test]
+    fn scan_select_project() {
+        let t = test_table();
+        let plan = Project {
+            input: Box::new(Select {
+                input: Box::new(Scan::new(&t, &["k", "v"])),
+                pred: Expr::cmp(CmpOp::Gt, Expr::col(1), Expr::lit_i64(15)),
+            }),
+            exprs: vec![Expr::arith(BinOp::Mul, Expr::col(0), Expr::lit_i64(2))],
+        };
+        let rows = collect(Box::new(plan));
+        assert_eq!(rows, vec![vec![Val::I64(4)], vec![Val::I64(6)], vec![Val::I64(8)]]);
+    }
+
+    #[test]
+    fn join_produces_all_matches() {
+        let t = test_table();
+        // Self-join on s: 'a' x 'a' (2x2=4 rows) + 'b' x 'b' (4) = 8.
+        let join = HashJoin::new(
+            Box::new(Scan::new(&t, &["k", "s"])),
+            vec![Expr::col(1)],
+            Box::new(Scan::new(&t, &["k", "s"])),
+            vec![Expr::col(1)],
+        );
+        let rows = collect(Box::new(join));
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert_eq!(r[1], r[3], "join key mismatch in {r:?}");
+        }
+    }
+
+    #[test]
+    fn aggregate_groups_and_sums() {
+        let t = test_table();
+        let agg = Aggregate::new(
+            Box::new(Scan::new(&t, &["s", "v"])),
+            vec![Expr::col(0)],
+            vec![AggSpec::SumI64(Expr::col(1)), AggSpec::Count],
+        );
+        let mut rows = collect(Box::new(agg));
+        rows.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+        assert_eq!(
+            rows,
+            vec![
+                vec![Val::Str("a".into()), Val::I64(40), Val::I64(2)],
+                vec![Val::Str("b".into()), Val::I64(60), Val::I64(2)],
+            ]
+        );
+    }
+
+    #[test]
+    fn sort_with_limit() {
+        let t = test_table();
+        let sort = Sort::new(
+            Box::new(Scan::new(&t, &["k", "v"])),
+            vec![SortKey { col: 1, desc: true }],
+            Some(2),
+        );
+        let rows = collect(Box::new(sort));
+        assert_eq!(rows, vec![vec![Val::I32(4), Val::I64(40)], vec![Val::I32(3), Val::I64(30)]]);
+    }
+
+    #[test]
+    fn empty_inputs_everywhere() {
+        let mut t = Table::new("e");
+        t.add_column("k", ColumnData::I32(vec![]));
+        let agg = Aggregate::new(
+            Box::new(Scan::new(&t, &["k"])),
+            vec![Expr::col(0)],
+            vec![AggSpec::Count],
+        );
+        assert!(collect(Box::new(agg)).is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! A realistic OLAP scenario: a month-end reporting run executing the
+//! pricing summary (Q1), revenue forecast (Q6) and profit-by-nation (Q9)
+//! reports on all available cores, comparing the two modern paradigms.
+//!
+//! ```text
+//! cargo run --release --example analytics_report [sf]
+//! ```
+
+use db_engine_paradigms::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("generating TPC-H SF={sf} with {threads} threads...");
+    let db = dbep_datagen::tpch::generate_par(sf, 42, threads);
+
+    let cfg = ExecCfg::with_threads(threads);
+    let reports = [
+        (QueryId::Q1, "Pricing summary (Q1)"),
+        (QueryId::Q6, "Revenue change forecast (Q6)"),
+        (QueryId::Q9, "Product-type profit by nation/year (Q9)"),
+    ];
+    for (q, title) in reports {
+        println!("\n=== {title} ===");
+        let t = Instant::now();
+        let compiled = run(Engine::Typer, q, &db, &cfg);
+        let t_typer = t.elapsed();
+        let t = Instant::now();
+        let vectorized = run(Engine::Tectorwise, q, &db, &cfg);
+        let t_tw = t.elapsed();
+        assert_eq!(compiled, vectorized);
+        println!("Typer {t_typer:?} | Tectorwise {t_tw:?} | {} rows", compiled.len());
+        // Print the first few report lines.
+        let preview = QueryResult {
+            columns: compiled.columns.clone(),
+            rows: compiled.rows.iter().take(6).cloned().collect(),
+        };
+        println!("{}", preview.to_table());
+    }
+}

@@ -1,0 +1,35 @@
+//! Quickstart: generate a small TPC-H database, run one query on all
+//! three execution paradigms, verify they agree, and print the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use db_engine_paradigms::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // 1. Data: a deterministic TPC-H instance at scale factor 0.1
+    //    (~600k lineitem rows).
+    let t = Instant::now();
+    let db = dbep_datagen::tpch::generate(0.1, 42);
+    println!("generated TPC-H SF=0.1 in {:?} ({} bytes)\n", t.elapsed(), db.byte_size());
+
+    // 2. One configuration shared by all engines: single-threaded,
+    //    default vector size (1024), scalar primitives.
+    let cfg = ExecCfg::default();
+
+    // 3. Run TPC-H Q3 under each paradigm.
+    for engine in [Engine::Volcano, Engine::Tectorwise, Engine::Typer] {
+        let t = Instant::now();
+        let result = run(engine, QueryId::Q3, &db, &cfg);
+        println!("{engine:?}: {} rows in {:?}", result.len(), t.elapsed());
+    }
+
+    // 4. The engines must agree bit-for-bit.
+    let typer = run(Engine::Typer, QueryId::Q3, &db, &cfg);
+    let tw = run(Engine::Tectorwise, QueryId::Q3, &db, &cfg);
+    assert_eq!(typer, tw, "engines disagree!");
+
+    println!("\nTPC-H Q3 top orders by revenue:\n{}", typer.to_table());
+}

@@ -1,0 +1,42 @@
+//! Star-schema dashboard workload (§4.4): the four SSB query flights a
+//! BI dashboard would fire, run on both modern engines with the SIMD
+//! policy of your choice.
+//!
+//! ```text
+//! cargo run --release --example star_schema_dashboard [sf] [scalar|simd|auto]
+//! ```
+
+use db_engine_paradigms::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let policy = match std::env::args().nth(2).as_deref() {
+        Some("simd") => SimdPolicy::Simd,
+        Some("auto") => SimdPolicy::Auto,
+        _ => SimdPolicy::Scalar,
+    };
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("generating SSB SF={sf}...");
+    let db = dbep_datagen::ssb::generate_par(sf, 42, threads);
+    let cfg = ExecCfg { threads, policy, ..Default::default() };
+
+    for q in QueryId::SSB {
+        let t = Instant::now();
+        let typer = run(Engine::Typer, q, &db, &cfg);
+        let t_typer = t.elapsed();
+        let t = Instant::now();
+        let tw = run(Engine::Tectorwise, q, &db, &cfg);
+        let t_tw = t.elapsed();
+        assert_eq!(typer, tw);
+        println!(
+            "\n=== {} ({policy:?}) — Typer {t_typer:?}, Tectorwise {t_tw:?} ===",
+            q.name()
+        );
+        let preview = QueryResult {
+            columns: tw.columns.clone(),
+            rows: tw.rows.iter().take(5).cloned().collect(),
+        };
+        println!("{}", preview.to_table());
+    }
+}

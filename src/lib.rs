@@ -1,0 +1,36 @@
+//! # db-engine-paradigms
+//!
+//! A Rust reproduction of the test system from *"Everything You Always
+//! Wanted to Know About Compiled and Vectorized Queries But Were Afraid to
+//! Ask"* (Kersten, Leis, Kemper, Neumann, Pavlo, Boncz — VLDB 2018).
+//!
+//! Two query engines share one set of algorithms, data structures and a
+//! morsel-driven parallelization framework, so that the only difference
+//! between them is the execution paradigm:
+//!
+//! * [`compiled`] — **Typer**: data-centric, push-based, fused pipelines
+//!   (what a HyPer-style code generator emits).
+//! * [`vectorized`] — **Tectorwise**: pull-based, vector-at-a-time
+//!   interpretation over type-specialized primitives (VectorWise style).
+//! * [`volcano`] — classic tuple-at-a-time interpreter, the traditional
+//!   baseline.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use db_engine_paradigms::prelude::*;
+//!
+//! // Generate a tiny TPC-H database (scale factor 0.01) and run Q6 on
+//! // all three engines — results must be identical.
+//! let db = dbep_datagen::tpch::generate(0.01, 42);
+//! let cfg = ExecCfg::default();
+//! let typer = run(Engine::Typer, QueryId::Q6, &db, &cfg);
+//! let tw = run(Engine::Tectorwise, QueryId::Q6, &db, &cfg);
+//! let volcano = run(Engine::Volcano, QueryId::Q6, &db, &cfg);
+//! assert_eq!(typer, tw);
+//! assert_eq!(typer, volcano);
+//! ```
+pub use dbep_core::*;

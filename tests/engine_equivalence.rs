@@ -1,0 +1,184 @@
+//! Cross-engine result validation: the paper's methodology only holds if
+//! Typer, Tectorwise and the Volcano baseline compute identical results
+//! for identical plans. Every query is checked at two scale factors,
+//! plus Tectorwise under SIMD, odd vector sizes, multiple threads, and
+//! hash-function swaps — none of which may change a single output row.
+
+use db_engine_paradigms::prelude::*;
+
+fn tpch_db() -> &'static Database {
+    static DB: std::sync::OnceLock<Database> = std::sync::OnceLock::new();
+    DB.get_or_init(|| dbep_datagen::tpch::generate(0.05, 42))
+}
+
+fn ssb_db() -> &'static Database {
+    static DB: std::sync::OnceLock<Database> = std::sync::OnceLock::new();
+    DB.get_or_init(|| dbep_datagen::ssb::generate(0.05, 42))
+}
+
+fn db_for(q: QueryId) -> &'static Database {
+    if QueryId::TPCH.contains(&q) {
+        tpch_db()
+    } else {
+        ssb_db()
+    }
+}
+
+fn assert_equal(q: QueryId, a: &QueryResult, b: &QueryResult, what: &str) {
+    assert_eq!(a.columns, b.columns, "{}: column mismatch on {what}", q.name());
+    assert_eq!(a.rows.len(), b.rows.len(), "{}: row count mismatch on {what}", q.name());
+    for (i, (ra, rb)) in a.rows.iter().zip(&b.rows).enumerate() {
+        assert_eq!(ra, rb, "{}: row {i} differs on {what}", q.name());
+    }
+}
+
+const ALL: [QueryId; 9] = [
+    QueryId::Q1,
+    QueryId::Q6,
+    QueryId::Q3,
+    QueryId::Q9,
+    QueryId::Q18,
+    QueryId::Ssb1_1,
+    QueryId::Ssb2_1,
+    QueryId::Ssb3_1,
+    QueryId::Ssb4_1,
+];
+
+#[test]
+fn typer_equals_tectorwise_equals_volcano() {
+    for q in ALL {
+        let db = db_for(q);
+        let cfg = ExecCfg::default();
+        let typer = run(Engine::Typer, q, db, &cfg);
+        let tw = run(Engine::Tectorwise, q, db, &cfg);
+        let volcano = run(Engine::Volcano, q, db, &cfg);
+        assert!(!typer.is_empty(), "{}: empty result", q.name());
+        assert_equal(q, &typer, &tw, "typer vs tectorwise");
+        assert_equal(q, &typer, &volcano, "typer vs volcano");
+    }
+}
+
+#[test]
+fn simd_policy_does_not_change_results() {
+    for q in ALL {
+        let db = db_for(q);
+        let scalar = run(Engine::Tectorwise, q, db, &ExecCfg::default());
+        for policy in [SimdPolicy::Simd, SimdPolicy::Auto] {
+            let cfg = ExecCfg { policy, ..Default::default() };
+            let r = run(Engine::Tectorwise, q, db, &cfg);
+            assert_equal(q, &scalar, &r, &format!("{policy:?}"));
+        }
+    }
+}
+
+#[test]
+fn vector_size_does_not_change_results() {
+    for q in ALL {
+        let db = db_for(q);
+        let reference = run(Engine::Tectorwise, q, db, &ExecCfg::default());
+        for vs in [1usize, 3, 17, 255, 8192, usize::MAX] {
+            let cfg = ExecCfg { vector_size: vs.min(1 << 20), ..Default::default() };
+            let r = run(Engine::Tectorwise, q, db, &cfg);
+            assert_equal(q, &reference, &r, &format!("vector size {vs}"));
+        }
+    }
+}
+
+#[test]
+fn threads_do_not_change_results() {
+    for q in ALL {
+        let db = db_for(q);
+        let single = run(Engine::Typer, q, db, &ExecCfg::default());
+        for threads in [2usize, 4, 8] {
+            let cfg = ExecCfg::with_threads(threads);
+            let typer = run(Engine::Typer, q, db, &cfg);
+            assert_equal(q, &single, &typer, &format!("typer {threads} threads"));
+            let tw = run(Engine::Tectorwise, q, db, &cfg);
+            assert_equal(q, &single, &tw, &format!("tectorwise {threads} threads"));
+        }
+    }
+}
+
+#[test]
+fn hash_function_swap_does_not_change_results() {
+    for q in ALL {
+        let db = db_for(q);
+        let reference = run(Engine::Typer, q, db, &ExecCfg::default());
+        for hash in [HashFn::Murmur2, HashFn::Crc] {
+            let cfg = ExecCfg { hash: Some(hash), ..Default::default() };
+            assert_equal(q, &reference, &run(Engine::Typer, q, db, &cfg), &format!("typer {hash:?}"));
+            assert_equal(
+                q,
+                &reference,
+                &run(Engine::Tectorwise, q, db, &cfg),
+                &format!("tectorwise {hash:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn throttled_scan_changes_time_not_results() {
+    let db = tpch_db();
+    let reference = run(Engine::Typer, QueryId::Q6, db, &ExecCfg::default());
+    let throttle = dbep_storage::throttle::Throttle::new(200.0e6);
+    let cfg = ExecCfg { throttle: Some(&throttle), ..Default::default() };
+    let throttled = run(Engine::Typer, QueryId::Q6, db, &cfg);
+    assert_equal(QueryId::Q6, &reference, &throttled, "throttled");
+    assert!(throttle.total_consumed() > 0, "throttle must have been exercised");
+}
+
+#[test]
+fn q1_shape_matches_spec() {
+    // Q1 must produce exactly the four (returnflag, linestatus) groups in
+    // order.
+    let r = run(Engine::Typer, QueryId::Q1, tpch_db(), &ExecCfg::default());
+    let keys: Vec<(String, String)> = r
+        .rows
+        .iter()
+        .map(|row| (row[0].to_string(), row[1].to_string()))
+        .collect();
+    assert_eq!(
+        keys,
+        vec![
+            ("A".into(), "F".into()),
+            ("N".into(), "F".into()),
+            ("N".into(), "O".into()),
+            ("R".into(), "F".into()),
+        ]
+    );
+}
+
+#[test]
+fn q3_and_q18_respect_limits() {
+    let q3 = run(Engine::Typer, QueryId::Q3, tpch_db(), &ExecCfg::default());
+    assert!(q3.len() <= 10);
+    // Revenue must be non-increasing.
+    for w in q3.rows.windows(2) {
+        assert!(w[0][1] >= w[1][1], "q3 not sorted by revenue desc");
+    }
+    let q18 = run(Engine::Typer, QueryId::Q18, tpch_db(), &ExecCfg::default());
+    assert!(q18.len() <= 100);
+    for w in q18.rows.windows(2) {
+        assert!(w[0][4] >= w[1][4], "q18 not sorted by totalprice desc");
+    }
+}
+
+#[test]
+fn oltp_lookups_agree_across_engines() {
+    let db = tpch_db();
+    let idx = dbep_queries::oltp::OltpIndex::build(db, HashFn::Crc);
+    let mut scratch = dbep_queries::oltp::TwLookupScratch::new();
+    let n_orders = db.table("orders").len() as i32;
+    for orderkey in [1, 2, 77, n_orders / 2, n_orders] {
+        let t = dbep_queries::oltp::lookup_typer(db, &idx, orderkey).expect("order exists");
+        let v = dbep_queries::oltp::lookup_tectorwise(db, &idx, orderkey, &mut scratch).expect("order exists");
+        let w = dbep_queries::oltp::lookup_volcano(db, orderkey).expect("order exists");
+        assert_eq!(t, v, "typer vs tectorwise, order {orderkey}");
+        assert_eq!(t, w, "typer vs volcano, order {orderkey}");
+        assert!(t.line_count >= 1 && t.line_count <= 7);
+    }
+    // Missing key behaves identically.
+    assert!(dbep_queries::oltp::lookup_typer(db, &idx, n_orders + 1).is_none());
+    assert!(dbep_queries::oltp::lookup_volcano(db, n_orders + 1).is_none());
+}

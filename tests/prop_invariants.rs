@@ -1,0 +1,217 @@
+//! Property-based tests on the core data structures and primitives.
+//!
+//! Strategy: every SIMD/vectorized/concurrent fast path must agree with
+//! a trivially correct model (`std` collections, plain loops) on
+//! arbitrary inputs — the invariants the whole study rests on.
+
+use db_engine_paradigms::prelude::*;
+use dbep_core::runtime::agg_ht::merge_partitions;
+use dbep_core::runtime::join_ht::{JoinHt, JoinHtShard};
+use dbep_core::runtime::{murmur2, GroupByShard, Morsels};
+use dbep_core::storage::types::{civil, date, format_date, parse_date};
+use dbep_core::storage::StrColumn;
+use dbep_core::vectorized::{gather, hashp, sel};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn all_policies() -> Vec<SimdPolicy> {
+    vec![SimdPolicy::Scalar, SimdPolicy::Simd, SimdPolicy::Auto]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ----- selection primitives ≡ filter model, every policy -----
+
+    #[test]
+    fn dense_selection_matches_model(col in prop::collection::vec(-1000i32..1000, 0..300), c in -1000i32..1000) {
+        let model: Vec<u32> = (0..col.len()).filter(|&i| col[i] < c).map(|i| i as u32).collect();
+        for policy in all_policies() {
+            let mut out = Vec::new();
+            sel::sel_lt_i32_dense(&col, c, 0, &mut out, policy);
+            prop_assert_eq!(&out, &model, "policy {:?}", policy);
+        }
+    }
+
+    #[test]
+    fn sparse_selection_matches_model(
+        col in prop::collection::vec(-100i64..100, 1..300),
+        mask in prop::collection::vec(any::<bool>(), 1..300),
+        lo in -100i64..100,
+        span in 0i64..50,
+    ) {
+        let n = col.len().min(mask.len());
+        let in_sel: Vec<u32> = (0..n).filter(|&i| mask[i]).map(|i| i as u32).collect();
+        let hi = lo + span;
+        let model: Vec<u32> = in_sel.iter().copied()
+            .filter(|&i| col[i as usize] >= lo && col[i as usize] <= hi)
+            .collect();
+        for policy in all_policies() {
+            let mut out = Vec::new();
+            sel::sel_between_i64_sparse(&col, lo, hi, &in_sel, &mut out, policy);
+            prop_assert_eq!(&out, &model, "policy {:?}", policy);
+        }
+    }
+
+    // ----- gathers and hash primitives ≡ map model -----
+
+    #[test]
+    fn gather_matches_model(
+        col in prop::collection::vec(any::<i64>(), 1..500),
+        idx in prop::collection::vec(any::<prop::sample::Index>(), 0..200),
+    ) {
+        let sel_v: Vec<u32> = idx.iter().map(|i| i.index(col.len()) as u32).collect();
+        let model: Vec<i64> = sel_v.iter().map(|&i| col[i as usize]).collect();
+        for policy in [SimdPolicy::Scalar, SimdPolicy::Simd] {
+            let mut out = Vec::new();
+            gather::gather_i64(&col, &sel_v, policy, &mut out);
+            prop_assert_eq!(&out, &model, "policy {:?}", policy);
+        }
+    }
+
+    #[test]
+    fn simd_hash_matches_scalar(keys in prop::collection::vec(any::<u64>(), 0..200)) {
+        let mut scalar = Vec::new();
+        let mut simd = Vec::new();
+        hashp::murmur2_u64_vec(&keys, SimdPolicy::Scalar, &mut scalar);
+        hashp::murmur2_u64_vec(&keys, SimdPolicy::Simd, &mut simd);
+        prop_assert_eq!(scalar, simd);
+    }
+
+    // ----- join hash table ≡ HashMap multimap model -----
+
+    #[test]
+    fn join_ht_matches_multimap(
+        build in prop::collection::vec((0i32..64, any::<i64>()), 0..300),
+        probe in prop::collection::vec(0i32..128, 0..300),
+    ) {
+        let ht = JoinHt::build(build.iter().map(|&(k, v)| (murmur2(k as u64), (k, v))));
+        let mut model: HashMap<i32, Vec<i64>> = HashMap::new();
+        for &(k, v) in &build {
+            model.entry(k).or_default().push(v);
+        }
+        for &k in &probe {
+            let mut got: Vec<i64> = ht.probe(murmur2(k as u64))
+                .filter(|e| e.row.0 == k)
+                .map(|e| e.row.1)
+                .collect();
+            got.sort_unstable();
+            let mut want = model.get(&k).cloned().unwrap_or_default();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "key {}", k);
+        }
+    }
+
+    #[test]
+    fn parallel_join_build_matches_serial(
+        rows in prop::collection::vec((any::<i32>(), any::<i64>()), 0..500),
+    ) {
+        let serial = JoinHt::build(rows.iter().map(|&(k, v)| (murmur2(k as u64), (k, v))));
+        let mut shards: Vec<JoinHtShard<(i32, i64)>> = (0..4).map(|_| JoinHtShard::new()).collect();
+        for (i, &(k, v)) in rows.iter().enumerate() {
+            shards[i % 4].push(murmur2(k as u64), (k, v));
+        }
+        let parallel = JoinHt::from_shards(shards, 4);
+        prop_assert_eq!(serial.len(), parallel.len());
+        for &(k, _) in &rows {
+            let count = |ht: &JoinHt<(i32, i64)>| {
+                ht.probe(murmur2(k as u64)).filter(|e| e.row.0 == k).count()
+            };
+            prop_assert_eq!(count(&serial), count(&parallel), "key {}", k);
+        }
+    }
+
+    // ----- two-phase group-by ≡ HashMap aggregation model -----
+
+    #[test]
+    fn group_by_matches_hashmap(
+        keys in prop::collection::vec(0u64..100, 0..1000),
+        cap in 1usize..64,
+        shard_count in 1usize..4,
+    ) {
+        let mut shards = Vec::new();
+        for s in 0..shard_count {
+            let mut shard: GroupByShard<u64, i64> = GroupByShard::new(cap);
+            for (i, &k) in keys.iter().enumerate() {
+                if i % shard_count == s {
+                    shard.update(murmur2(k), k, || 0, |a| *a += 1);
+                }
+            }
+            shards.push(shard.finish());
+        }
+        let merged = merge_partitions(shards, 2, |a, b| *a += b);
+        let mut model: HashMap<u64, i64> = HashMap::new();
+        for &k in &keys {
+            *model.entry(k).or_insert(0) += 1;
+        }
+        prop_assert_eq!(merged.len(), model.len());
+        for (k, v) in merged {
+            prop_assert_eq!(v, model[&k], "group {}", k);
+        }
+    }
+
+    // ----- storage scalar types -----
+
+    #[test]
+    fn date_roundtrip(days in -200_000i32..200_000) {
+        let (y, m, d) = civil(days);
+        prop_assert_eq!(date(y, m, d), days);
+        prop_assert_eq!(parse_date(&format_date(days)), Some(days));
+    }
+
+    #[test]
+    fn str_column_roundtrip(strings in prop::collection::vec(".{0,40}", 0..50)) {
+        let col: StrColumn = strings.iter().map(|s| s.as_str()).collect();
+        prop_assert_eq!(col.len(), strings.len());
+        for (i, s) in strings.iter().enumerate() {
+            prop_assert_eq!(col.get(i), s.as_str());
+        }
+    }
+
+    // ----- morsel dispenser covers every tuple exactly once -----
+
+    #[test]
+    fn morsels_tile_exactly(total in 0usize..100_000, size in 1usize..5_000) {
+        let m = Morsels::with_size(total, size);
+        let mut covered = 0usize;
+        let mut next_expected = 0usize;
+        while let Some(r) = m.claim() {
+            prop_assert_eq!(r.start, next_expected);
+            covered += r.len();
+            next_expected = r.end;
+        }
+        prop_assert_eq!(covered, total);
+    }
+
+    // ----- shared result ordering is total and deterministic -----
+
+    #[test]
+    fn result_sort_is_total(vals in prop::collection::vec((any::<i64>(), 0i64..5), 0..100)) {
+        use dbep_core::queries::result::{OrderBy, QueryResult};
+        let rows: Vec<Vec<Value>> = vals.iter()
+            .map(|&(a, b)| vec![Value::I64(a), Value::I64(b)])
+            .collect();
+        let r1 = QueryResult::new(&["a", "b"], rows.clone(), &[OrderBy::desc(1)], None);
+        let mut shuffled = rows;
+        shuffled.reverse();
+        let r2 = QueryResult::new(&["a", "b"], shuffled, &[OrderBy::desc(1)], None);
+        prop_assert_eq!(r1, r2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // ----- end-to-end: arbitrary tiny databases, all engines agree -----
+
+    #[test]
+    fn engines_agree_on_arbitrary_seeds(seed in 0u64..1000) {
+        let db = dbep_datagen::tpch::generate(0.01, seed);
+        let cfg = ExecCfg::default();
+        for q in [QueryId::Q6, QueryId::Q1] {
+            let typer = run(Engine::Typer, q, &db, &cfg);
+            let tw = run(Engine::Tectorwise, q, &db, &cfg);
+            prop_assert_eq!(&typer, &tw, "{} seed {}", q.name(), seed);
+        }
+    }
+}
