@@ -1,84 +1,76 @@
-//! Criterion micro-benchmarks of the Tectorwise primitives — the §5
-//! kernels (selection, hashing, gather) in their scalar, hand-SIMD and
+//! Micro-benchmarks of the Tectorwise primitives — the §5 kernels
+//! (selection, hashing, gather) in their scalar, hand-SIMD and
 //! auto-vectorized variants.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbep_bench::harness::Bench;
 use dbep_runtime::hash::HashFn;
+use dbep_runtime::rng::SmallRng;
 use dbep_vectorized::{gather, hashp, sel, SimdPolicy};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const N: usize = 8192;
 
 fn policies() -> [(&'static str, SimdPolicy); 3] {
-    [("scalar", SimdPolicy::Scalar), ("simd", SimdPolicy::Simd), ("auto", SimdPolicy::Auto)]
+    [
+        ("scalar", SimdPolicy::Scalar),
+        ("simd", SimdPolicy::Simd),
+        ("auto", SimdPolicy::Auto),
+    ]
 }
 
-fn bench_selection(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(1);
+fn bench_selection(b: &Bench) {
+    let mut rng = SmallRng::seed_from_u64(1);
     let col: Vec<i32> = (0..N).map(|_| rng.gen_range(0..100)).collect();
-    let mut group = c.benchmark_group("sel_dense_i32_40pct");
-    group.throughput(Throughput::Elements(N as u64));
     for (name, policy) in policies() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
-            let mut out = Vec::new();
-            b.iter(|| sel::sel_lt_i32_dense(&col, 40, 0, &mut out, p));
+        let mut out = Vec::new();
+        b.run(&format!("sel_dense_i32_40pct/{name}"), N as u64, || {
+            sel::sel_lt_i32_dense(&col, 40, 0, &mut out, policy)
         });
     }
-    group.finish();
-
     let in_sel: Vec<u32> = (0..N).step_by(2).map(|i| i as u32).collect();
-    let mut group = c.benchmark_group("sel_sparse_i32_40pct");
-    group.throughput(Throughput::Elements(in_sel.len() as u64));
     for (name, policy) in policies() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
-            let mut out = Vec::new();
-            b.iter(|| sel::sel_lt_i32_sparse(&col, 40, &in_sel, &mut out, p));
-        });
+        let mut out = Vec::new();
+        b.run(
+            &format!("sel_sparse_i32_40pct/{name}"),
+            in_sel.len() as u64,
+            || sel::sel_lt_i32_sparse(&col, 40, &in_sel, &mut out, policy),
+        );
     }
-    group.finish();
 }
 
-fn bench_hashing(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(2);
-    let keys: Vec<u64> = (0..N as u64).map(|_| rng.gen()).collect();
-    let mut group = c.benchmark_group("murmur2_dense");
-    group.throughput(Throughput::Elements(N as u64));
+fn bench_hashing(b: &Bench) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let keys: Vec<u64> = (0..N as u64).map(|_| rng.next_u64()).collect();
     for (name, policy) in [("scalar", SimdPolicy::Scalar), ("simd", SimdPolicy::Simd)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
-            let mut out = Vec::new();
-            b.iter(|| hashp::murmur2_u64_vec(&keys, p, &mut out));
+        let mut out = Vec::new();
+        b.run(&format!("murmur2_dense/{name}"), N as u64, || {
+            hashp::murmur2_u64_vec(&keys, policy, &mut out)
         });
     }
-    group.finish();
-
     let col: Vec<i32> = (0..N as i32).collect();
     let sel_v: Vec<u32> = (0..N as u32).collect();
-    let mut group = c.benchmark_group("hash_i32_gathered");
-    group.throughput(Throughput::Elements(N as u64));
     for (name, hf) in [("murmur2", HashFn::Murmur2), ("crc", HashFn::Crc)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &hf, |b, &hf| {
-            let mut out = Vec::new();
-            b.iter(|| hashp::hash_i32(&col, &sel_v, hf, &mut out));
+        let mut out = Vec::new();
+        b.run(&format!("hash_i32_gathered/{name}"), N as u64, || {
+            hashp::hash_i32(&col, &sel_v, hf, &mut out)
         });
     }
-    group.finish();
 }
 
-fn bench_gather(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(3);
+fn bench_gather(b: &Bench) {
+    let mut rng = SmallRng::seed_from_u64(3);
     let table: Vec<i64> = (0..1 << 16).map(|i| i as i64).collect();
     let sel_v: Vec<u32> = (0..N).map(|_| rng.gen_range(0..1u32 << 16)).collect();
-    let mut group = c.benchmark_group("gather_i64_l2");
-    group.throughput(Throughput::Elements(N as u64));
     for (name, policy) in [("scalar", SimdPolicy::Scalar), ("simd", SimdPolicy::Simd)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
-            let mut out = Vec::new();
-            b.iter(|| gather::gather_i64(&table, &sel_v, p, &mut out));
+        let mut out = Vec::new();
+        b.run(&format!("gather_i64_l2/{name}"), N as u64, || {
+            gather::gather_i64(&table, &sel_v, policy, &mut out)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_selection, bench_hashing, bench_gather);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::from_env();
+    bench_selection(&b);
+    bench_hashing(&b);
+    bench_gather(&b);
+}

@@ -1,27 +1,23 @@
-//! Criterion end-to-end benchmarks: every query of the study on Typer
-//! and Tectorwise at SF 0.1 (kept small so `cargo bench` finishes
-//! quickly; the `experiments` binary runs the paper-scale versions).
+//! End-to-end benchmarks: every query of the study on Typer and
+//! Tectorwise at SF 0.1 (kept small so `cargo bench` finishes quickly;
+//! the `experiments` binary runs the paper-scale versions).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbep_bench::harness::Bench;
 use dbep_queries::{run, Engine, ExecCfg, QueryId};
 
-fn bench_queries(c: &mut Criterion) {
+fn main() {
+    let b = Bench::from_env();
     let tpch = dbep_datagen::tpch::generate_par(0.1, 42, 8);
     let ssb = dbep_datagen::ssb::generate_par(0.1, 42, 8);
     let cfg = ExecCfg::default();
     let all = QueryId::TPCH.iter().chain(QueryId::SSB.iter());
     for &q in all {
         let db = if QueryId::TPCH.contains(&q) { &tpch } else { &ssb };
-        let mut group = c.benchmark_group(q.name());
-        group.sample_size(10);
+        let tuples = q.tuples_scanned(db) as u64;
         for (name, engine) in [("typer", Engine::Typer), ("tectorwise", Engine::Tectorwise)] {
-            group.bench_with_input(BenchmarkId::from_parameter(name), &engine, |b, &e| {
-                b.iter(|| run(e, q, db, &cfg));
+            b.run(&format!("{}/{name}", q.name()), tuples, || {
+                run(engine, q, db, &cfg)
             });
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_queries);
-criterion_main!(benches);

@@ -14,10 +14,9 @@
 use dbep_bench::{counters_note, fmt_ms, measure_counters, per_tuple_header, per_tuple_row, time_median};
 use dbep_queries::{run, Engine, ExecCfg, QueryId};
 use dbep_runtime::hash::HashFn;
+use dbep_runtime::rng::SmallRng;
 use dbep_storage::Database;
 use dbep_vectorized::SimdPolicy;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 struct Args {
@@ -29,12 +28,20 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { id: String::new(), sf: None, threads: None, reps: 3, no_tag: false };
+    let mut args = Args {
+        id: String::new(),
+        sf: None,
+        threads: None,
+        reps: 3,
+        no_tag: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--sf" => args.sf = Some(it.next().expect("--sf N").parse().expect("numeric sf")),
-            "--threads" => args.threads = Some(it.next().expect("--threads N").parse().expect("numeric threads")),
+            "--threads" => {
+                args.threads = Some(it.next().expect("--threads N").parse().expect("numeric threads"))
+            }
             "--reps" => args.reps = it.next().expect("--reps N").parse().expect("numeric reps"),
             "--no-tag" => args.no_tag = true,
             other if args.id.is_empty() && !other.starts_with('-') => args.id = other.to_string(),
@@ -79,7 +86,10 @@ fn gen_ssb(sf: f64) -> Database {
 fn fig3(a: &Args) {
     let db = gen_tpch(a.sf.unwrap_or(1.0));
     let cfg = ExecCfg::default();
-    println!("# Fig. 3 — TPC-H SF={}, 1 thread, runtime [ms]", a.sf.unwrap_or(1.0));
+    println!(
+        "# Fig. 3 — TPC-H SF={}, 1 thread, runtime [ms]",
+        a.sf.unwrap_or(1.0)
+    );
     println!("{:<6} {:>10} {:>10} {:>9}", "query", "Typer", "TW", "TW/Typer");
     for q in QueryId::TPCH {
         let t = time_median(a.reps, || std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
@@ -100,7 +110,10 @@ fn fig3(a: &Args) {
 fn table1(a: &Args) {
     let db = gen_tpch(a.sf.unwrap_or(1.0));
     let cfg = ExecCfg::default();
-    println!("# Table 1 — TPC-H SF={}, 1 thread, counters normalized per tuple scanned", a.sf.unwrap_or(1.0));
+    println!(
+        "# Table 1 — TPC-H SF={}, 1 thread, counters normalized per tuple scanned",
+        a.sf.unwrap_or(1.0)
+    );
     println!("# ({})", counters_note());
     println!("{}", per_tuple_header());
     for q in QueryId::TPCH {
@@ -112,8 +125,15 @@ fn table1(a: &Args) {
     }
     // §4.1 hash-function ablation on the join-heaviest query.
     println!("\n## hash-function ablation (cycles/tuple, Q9)");
-    for (label, hash) in [("default", None), ("murmur2", Some(HashFn::Murmur2)), ("crc", Some(HashFn::Crc))] {
-        let cfg = ExecCfg { hash, ..Default::default() };
+    for (label, hash) in [
+        ("default", None),
+        ("murmur2", Some(HashFn::Murmur2)),
+        ("crc", Some(HashFn::Crc)),
+    ] {
+        let cfg = ExecCfg {
+            hash,
+            ..Default::default()
+        };
         let tuples = QueryId::Q9.tuples_scanned(&db) as f64;
         let t = measure_counters(|| std::mem::drop(run(Engine::Typer, QueryId::Q9, &db, &cfg)));
         let w = measure_counters(|| std::mem::drop(run(Engine::Tectorwise, QueryId::Q9, &db, &cfg)));
@@ -130,7 +150,10 @@ fn table1(a: &Args) {
 // ---------------------------------------------------------------------
 fn fig4(a: &Args) {
     let max_sf = a.sf.unwrap_or(10.0);
-    let sfs: Vec<f64> = [1.0, 3.0, 10.0, 30.0, 100.0].into_iter().filter(|&s| s <= max_sf).collect();
+    let sfs: Vec<f64> = [1.0, 3.0, 10.0, 30.0, 100.0]
+        .into_iter()
+        .filter(|&s| s <= max_sf)
+        .collect();
     println!("# Fig. 4 — cycles/tuple vs scale factor (paper sweeps 1..100), 1 thread");
     println!("# ({})", counters_note());
     println!(
@@ -184,12 +207,22 @@ fn fig5(a: &Args) {
     }
     println!();
     for q in QueryId::TPCH {
-        let base_cfg = ExecCfg { vector_size: 1024, ..Default::default() };
-        let base = time_median(a.reps, || std::mem::drop(run(Engine::Tectorwise, q, &db, &base_cfg)));
+        let base_cfg = ExecCfg {
+            vector_size: 1024,
+            ..Default::default()
+        };
+        let base = time_median(a.reps, || {
+            std::mem::drop(run(Engine::Tectorwise, q, &db, &base_cfg))
+        });
         print!("{:<6}", q.name());
         for (vs, _) in sizes {
-            let cfg = ExecCfg { vector_size: vs, ..Default::default() };
-            let t = time_median(a.reps.min(2), || std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
+            let cfg = ExecCfg {
+                vector_size: vs,
+                ..Default::default()
+            };
+            let t = time_median(a.reps.min(2), || {
+                std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg))
+            });
             print!(" {:>7.2}", t.as_secs_f64() / base.as_secs_f64());
         }
         println!();
@@ -221,7 +254,10 @@ fn ssb(a: &Args) {
 fn table2(a: &Args) {
     let db = gen_tpch(a.sf.unwrap_or(1.0));
     let cfg = ExecCfg::default();
-    println!("# Table 2 — TPC-H SF={}, 1 thread, runtime [ms]", a.sf.unwrap_or(1.0));
+    println!(
+        "# Table 2 — TPC-H SF={}, 1 thread, runtime [ms]",
+        a.sf.unwrap_or(1.0)
+    );
     println!("# (production systems HyPer/VectorWise are quoted in EXPERIMENTS.md; the");
     println!("#  Volcano interpreter stands in for the traditional-engine gap)");
     println!("{:<6} {:>10} {:>10} {:>10}", "query", "Volcano", "Typer", "TW");
@@ -229,7 +265,13 @@ fn table2(a: &Args) {
         let v = time_median(1, || std::mem::drop(run(Engine::Volcano, q, &db, &cfg)));
         let t = time_median(a.reps, || std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
         let w = time_median(a.reps, || std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
-        println!("{:<6} {:>10} {:>10} {:>10}", q.name(), fmt_ms(v), fmt_ms(t), fmt_ms(w));
+        println!(
+            "{:<6} {:>10} {:>10} {:>10}",
+            q.name(),
+            fmt_ms(v),
+            fmt_ms(t),
+            fmt_ms(w)
+        );
     }
 }
 
@@ -239,7 +281,7 @@ fn table2(a: &Args) {
 fn fig6(a: &Args) {
     use dbep_vectorized::sel;
     let n = 8192usize;
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SmallRng::seed_from_u64(7);
     let col: Vec<i32> = (0..n).map(|_| rng.gen_range(0..100)).collect();
     let cutoff = 40; // 40% selectivity
     let reps = 20_000;
@@ -283,7 +325,10 @@ fn fig6(a: &Args) {
         std::mem::drop(run(Engine::Tectorwise, QueryId::Q6, &db, &ExecCfg::default()))
     });
     let si = time_median(a.reps, || {
-        let cfg = ExecCfg { policy: SimdPolicy::Simd, ..Default::default() };
+        let cfg = ExecCfg {
+            policy: SimdPolicy::Simd,
+            ..Default::default()
+        };
         std::mem::drop(run(Engine::Tectorwise, QueryId::Q6, &db, &cfg))
     });
     println!(
@@ -302,7 +347,7 @@ fn fig7(a: &Args) {
     // Paper: 4 GB. Default 1 GiB so modest hosts can run it; --sf = GiB.
     let gib = a.sf.unwrap_or(1.0);
     let n = (gib * 1024.0 * 1024.0 * 1024.0 / 4.0) as usize;
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = SmallRng::seed_from_u64(9);
     eprintln!("[gen] {n} i32s ({gib} GiB)");
     let col: Vec<i32> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
     println!("# Fig. 7 — sparse selection on {gib} GiB of i32, output selectivity 40%");
@@ -334,10 +379,10 @@ fn fig7(a: &Args) {
 fn fig8(a: &Args) {
     use dbep_runtime::JoinHt;
     use dbep_vectorized::{gather, hashp, probe};
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = SmallRng::seed_from_u64(11);
     let reps = 20_000;
     // (a) hashing.
-    let keys: Vec<u64> = (0..8192u64).map(|_| rng.gen()).collect();
+    let keys: Vec<u64> = (0..8192u64).map(|_| rng.next_u64()).collect();
     let mut out = Vec::new();
     let hash_cycles = |policy: SimdPolicy, out: &mut Vec<u64>| {
         let v = measure_counters(|| {
@@ -383,7 +428,14 @@ fn fig8(a: &Args) {
     let mut probe_cycles = |policy: SimdPolicy| {
         let v = measure_counters(|| {
             for _ in 0..probe_reps {
-                probe::probe_join(&ht, &hashes, &tuples, |r, t| r.0 == probe_keys[t as usize], policy, &mut bufs);
+                probe::probe_join(
+                    &ht,
+                    &hashes,
+                    &tuples,
+                    |r, t| r.0 == probe_keys[t as usize],
+                    policy,
+                    &mut bufs,
+                );
                 std::hint::black_box(&bufs.match_tuple);
             }
         });
@@ -398,9 +450,14 @@ fn fig8(a: &Args) {
     println!("# Fig. 8d — TPC-H Q3/Q9 (TW), SF={} [ms]", a.sf.unwrap_or(1.0));
     let db = gen_tpch(a.sf.unwrap_or(1.0));
     for q in [QueryId::Q3, QueryId::Q9] {
-        let sc = time_median(a.reps, || std::mem::drop(run(Engine::Tectorwise, q, &db, &ExecCfg::default())));
+        let sc = time_median(a.reps, || {
+            std::mem::drop(run(Engine::Tectorwise, q, &db, &ExecCfg::default()))
+        });
         let si = time_median(a.reps, || {
-            let cfg = ExecCfg { policy: SimdPolicy::Simd, ..Default::default() };
+            let cfg = ExecCfg {
+                policy: SimdPolicy::Simd,
+                ..Default::default()
+            };
             std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg))
         });
         println!(
@@ -420,9 +477,12 @@ fn fig9(a: &Args) {
     use dbep_runtime::join_ht::{JoinHt, JoinHtShard};
     use dbep_vectorized::{hashp, probe};
     println!("# Fig. 9 — TW hash-table lookup: cycles/lookup vs working-set size");
-    println!("# tag filter {}; 50% probe-miss rate", if a.no_tag { "OFF (ablation)" } else { "ON" });
+    println!(
+        "# tag filter {}; 50% probe-miss rate",
+        if a.no_tag { "OFF (ablation)" } else { "ON" }
+    );
     println!("{:<12} {:>10} {:>10}", "working set", "scalar", "simd");
-    let mut rng = StdRng::seed_from_u64(13);
+    let mut rng = SmallRng::seed_from_u64(13);
     let probes = 4_000_000usize;
     for shift in [12usize, 14, 16, 18, 20, 22, 24, 25] {
         let n = 1usize << shift;
@@ -433,7 +493,9 @@ fn fig9(a: &Args) {
         let ht = JoinHt::from_shards_cfg(vec![shard], 1, !a.no_tag);
         let ws = ht.memory_bytes();
         // 50% hit rate: keys drawn from twice the build domain.
-        let keys: Vec<i32> = (0..probes).map(|_| rng.gen_range(0..(n as i32).saturating_mul(2))).collect();
+        let keys: Vec<i32> = (0..probes)
+            .map(|_| rng.gen_range(0..(n as i32).saturating_mul(2)))
+            .collect();
         let tuples: Vec<u32> = (0..keys.len() as u32).collect();
         let mut hashes = Vec::new();
         hashp::hash_i32(&keys, &tuples, HashFn::Murmur2, &mut hashes);
@@ -467,20 +529,33 @@ fn fig10(a: &Args) {
     println!("# time reduction vs scalar TW, per query [%] (positive = faster)");
     println!("{:<6} {:>8} {:>8}", "query", "auto", "manual");
     for q in QueryId::TPCH {
-        let base = time_median(a.reps, || std::mem::drop(run(Engine::Tectorwise, q, &db, &ExecCfg::default())));
+        let base = time_median(a.reps, || {
+            std::mem::drop(run(Engine::Tectorwise, q, &db, &ExecCfg::default()))
+        });
         let reduction = |policy: SimdPolicy| {
-            let cfg = ExecCfg { policy, ..Default::default() };
+            let cfg = ExecCfg {
+                policy,
+                ..Default::default()
+            };
             let t = time_median(a.reps, || std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
             (1.0 - t.as_secs_f64() / base.as_secs_f64()) * 100.0
         };
-        println!("{:<6} {:>8.1} {:>8.1}", q.name(), reduction(SimdPolicy::Auto), reduction(SimdPolicy::Simd));
+        println!(
+            "{:<6} {:>8.1} {:>8.1}",
+            q.name(),
+            reduction(SimdPolicy::Auto),
+            reduction(SimdPolicy::Simd)
+        );
     }
     if dbep_runtime::CounterSet::available() {
         println!("\n## instruction reduction vs scalar [%] (per tuple)");
         println!("{:<6} {:>8} {:>8}", "query", "auto", "manual");
         for q in QueryId::TPCH {
             let instr = |policy: SimdPolicy| {
-                let cfg = ExecCfg { policy, ..Default::default() };
+                let cfg = ExecCfg {
+                    policy,
+                    ..Default::default()
+                };
                 let v = measure_counters(|| std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
                 v.instructions.unwrap_or(0) as f64
             };
@@ -515,7 +590,9 @@ fn table3(a: &Args) {
         for &t in &thread_points {
             let cfg = ExecCfg::with_threads(t);
             let ty = time_median(a.reps.min(2), || std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
-            let tw = time_median(a.reps.min(2), || std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
+            let tw = time_median(a.reps.min(2), || {
+                std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg))
+            });
             if t == 1 {
                 base = (ty.as_secs_f64(), tw.as_secs_f64());
             }
@@ -556,10 +633,16 @@ fn table5(a: &Args) {
     for q in QueryId::TPCH {
         let cfg = ExecCfg::with_threads(threads);
         let tm = time_median(a.reps.min(2), || std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
-        let wm = time_median(a.reps.min(2), || std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
+        let wm = time_median(a.reps.min(2), || {
+            std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg))
+        });
         let ssd_run = |engine| {
             let throttle = dbep_storage::throttle::Throttle::paper_ssd();
-            let cfg = ExecCfg { threads, throttle: Some(&throttle), ..Default::default() };
+            let cfg = ExecCfg {
+                threads,
+                throttle: Some(&throttle),
+                ..Default::default()
+            };
             let t = Instant::now();
             std::mem::drop(run(engine, q, &db, &cfg));
             t.elapsed()
@@ -586,15 +669,19 @@ fn fig11(a: &Args) {
     let sf = a.sf.unwrap_or(10.0);
     let db = gen_tpch(sf);
     let max_t = a.threads.unwrap_or_else(cores);
-    let points: Vec<usize> =
-        [1, 2, 4, 8, 12, 16, 24, 32, 48].into_iter().filter(|&t| t <= max_t).collect();
+    let points: Vec<usize> = [1, 2, 4, 8, 12, 16, 24, 32, 48]
+        .into_iter()
+        .filter(|&t| t <= max_t)
+        .collect();
     println!("# Figs. 11/12 — queries/second vs cores used, TPC-H SF={sf}");
     println!("{:<6} {:>5} {:>12} {:>12}", "query", "thr", "Typer q/s", "TW q/s");
     for q in QueryId::TPCH {
         for &t in &points {
             let cfg = ExecCfg::with_threads(t);
             let ty = time_median(a.reps.min(2), || std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
-            let tw = time_median(a.reps.min(2), || std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
+            let tw = time_median(a.reps.min(2), || {
+                std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg))
+            });
             println!(
                 "{:<6} {:>5} {:>12.2} {:>12.2}",
                 q.name(),
@@ -614,7 +701,7 @@ fn oltp(a: &Args) {
     let db = gen_tpch(a.sf.unwrap_or(1.0));
     let idx = oltp::OltpIndex::build(&db, HashFn::Crc);
     let n_orders = db.table("orders").len() as i32;
-    let mut rng = StdRng::seed_from_u64(17);
+    let mut rng = SmallRng::seed_from_u64(17);
     let keys: Vec<i32> = (0..100_000).map(|_| rng.gen_range(1..=n_orders)).collect();
     println!("# §8.1 — OLTP stored-procedure lookups (order + lineitem aggregate)");
     let t = time_median(a.reps, || {
@@ -622,21 +709,30 @@ fn oltp(a: &Args) {
             std::hint::black_box(oltp::lookup_typer(&db, &idx, k));
         }
     });
-    println!("Typer (compiled procedure):       {:>12.0} lookups/s", keys.len() as f64 / t.as_secs_f64());
+    println!(
+        "Typer (compiled procedure):       {:>12.0} lookups/s",
+        keys.len() as f64 / t.as_secs_f64()
+    );
     let mut scratch = oltp::TwLookupScratch::new();
     let t = time_median(a.reps, || {
         for &k in &keys {
             std::hint::black_box(oltp::lookup_tectorwise(&db, &idx, k, &mut scratch));
         }
     });
-    println!("Tectorwise (vector-of-one):       {:>12.0} lookups/s", keys.len() as f64 / t.as_secs_f64());
+    println!(
+        "Tectorwise (vector-of-one):       {:>12.0} lookups/s",
+        keys.len() as f64 / t.as_secs_f64()
+    );
     let few = &keys[..8];
     let t = time_median(1, || {
         for &k in few {
             std::hint::black_box(oltp::lookup_volcano(&db, k));
         }
     });
-    println!("Volcano (interpreted, no index):  {:>12.0} lookups/s", few.len() as f64 / t.as_secs_f64());
+    println!(
+        "Volcano (interpreted, no index):  {:>12.0} lookups/s",
+        few.len() as f64 / t.as_secs_f64()
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -644,10 +740,15 @@ fn oltp(a: &Args) {
 // ---------------------------------------------------------------------
 fn table6(a: &Args) {
     let db = gen_tpch(a.sf.unwrap_or(1.0));
-    println!("# Table 6 — processing models on TPC-H Q1/Q6, SF={}, 1 thread [ms]", a.sf.unwrap_or(1.0));
+    println!(
+        "# Table 6 — processing models on TPC-H Q1/Q6, SF={}, 1 thread [ms]",
+        a.sf.unwrap_or(1.0)
+    );
     println!("{:<42} {:>9} {:>9}", "model (pipelining + execution)", "q1", "q6");
     let q = |engine, query: QueryId, cfg: &ExecCfg| {
-        fmt_ms(time_median(a.reps.min(2), || std::mem::drop(run(engine, query, &db, cfg))))
+        fmt_ms(time_median(a.reps.min(2), || {
+            std::mem::drop(run(engine, query, &db, cfg))
+        }))
     };
     let d = ExecCfg::default();
     println!(
@@ -656,7 +757,10 @@ fn table6(a: &Args) {
         q(Engine::Volcano, QueryId::Q1, &d),
         q(Engine::Volcano, QueryId::Q6, &d)
     );
-    let vs1 = ExecCfg { vector_size: 1, ..Default::default() };
+    let vs1 = ExecCfg {
+        vector_size: 1,
+        ..Default::default()
+    };
     println!(
         "{:<42} {:>9} {:>9}",
         "pull + vectorization, vectors of 1",
@@ -669,7 +773,10 @@ fn table6(a: &Args) {
         q(Engine::Tectorwise, QueryId::Q1, &d),
         q(Engine::Tectorwise, QueryId::Q6, &d)
     );
-    let vsmax = ExecCfg { vector_size: usize::MAX >> 1, ..Default::default() };
+    let vsmax = ExecCfg {
+        vector_size: usize::MAX >> 1,
+        ..Default::default()
+    };
     println!(
         "{:<42} {:>9} {:>9}",
         "full materialization (MonetDB)",
@@ -684,10 +791,12 @@ fn table6(a: &Args) {
     );
 }
 
+type Experiment = fn(&Args);
+
 fn main() {
     let args = parse_args();
     let t = Instant::now();
-    let all: Vec<(&str, fn(&Args))> = vec![
+    let all: Vec<(&str, Experiment)> = vec![
         ("fig3", fig3),
         ("table1", table1),
         ("fig4", fig4),

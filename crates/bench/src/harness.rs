@@ -1,0 +1,74 @@
+//! Tiny self-contained benchmark harness (`harness = false` targets).
+//!
+//! The workspace is dependency-free, so the micro-benchmarks use this
+//! instead of criterion: median-of-N wall timing after warm-up, with
+//! per-element throughput reporting and a substring filter, mirroring
+//! the `cargo bench <filter>` workflow.
+//!
+//! When the binary is executed without `--bench` (e.g. by `cargo test`,
+//! which builds bench targets), it runs every benchmark once as a smoke
+//! test and skips the timed repetitions.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark run context, constructed from the process arguments.
+pub struct Bench {
+    filter: Option<String>,
+    timed: bool,
+    reps: usize,
+}
+
+impl Bench {
+    /// Parse `[filter] [--bench] [--reps N]` from `std::env::args`.
+    pub fn from_env() -> Self {
+        let mut b = Bench {
+            filter: None,
+            timed: false,
+            reps: 15,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" => b.timed = true,
+                "--reps" => {
+                    b.reps = args.next().and_then(|v| v.parse().ok()).unwrap_or(b.reps);
+                }
+                // libtest-style flags cargo may forward; ignore.
+                other if other.starts_with('-') => {}
+                other => b.filter = Some(other.to_string()),
+            }
+        }
+        b
+    }
+
+    /// Run one benchmark: `elems` is the per-iteration element count used
+    /// for throughput reporting (pass 1 for "per op").
+    pub fn run<T>(&self, name: &str, elems: u64, mut f: impl FnMut() -> T) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        std::hint::black_box(f()); // warm-up / smoke run
+        if !self.timed {
+            println!("{name:<44} ok (smoke)");
+            return;
+        }
+        let mut times: Vec<Duration> = (0..self.reps)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let ns = median.as_nanos() as f64;
+        let per_elem = ns / elems.max(1) as f64;
+        let meps = elems as f64 / median.as_secs_f64() / 1e6;
+        println!(
+            "{name:<44} {per_elem:>9.2} ns/elem {meps:>10.1} Melem/s   (median of {})",
+            self.reps
+        );
+    }
+}

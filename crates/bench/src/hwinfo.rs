@@ -48,7 +48,10 @@ pub fn report() -> String {
     if let Some(mhz) = cpuinfo_field("cpu MHz") {
         lines.push(format!("clock: {mhz} MHz (current)"));
     }
-    lines.push(format!("tsc rate: {:.2} GHz", dbep_runtime::counters::tsc_per_ns()));
+    lines.push(format!(
+        "tsc rate: {:.2} GHz",
+        dbep_runtime::counters::tsc_per_ns()
+    ));
     for i in 0..4 {
         if let Some(c) = cache(i) {
             lines.push(c);

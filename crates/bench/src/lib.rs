@@ -1,6 +1,7 @@
 //! Shared measurement utilities for the experiment harness and the
-//! Criterion micro-benchmarks.
+//! in-tree micro-benchmarks.
 
+pub mod harness;
 pub mod hwinfo;
 
 use dbep_runtime::counters::{self, CounterValues};
@@ -100,7 +101,10 @@ mod tests {
         assert_eq!(fmt_ms(Duration::from_millis(250)), "250");
         assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.5");
         assert!(per_tuple_header().contains("cycles"));
-        let v = CounterValues { tsc_cycles: 1000, ..Default::default() };
+        let v = CounterValues {
+            tsc_cycles: 1000,
+            ..Default::default()
+        };
         let row = per_tuple_row("q1 Typer", &v, 100);
         assert!(row.contains("q1 Typer"));
         assert!(row.contains("10.0"));

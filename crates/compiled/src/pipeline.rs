@@ -114,8 +114,11 @@ mod tests {
             10_000,
             4,
             |_w| Filter {
-                pred: |i: &usize| i % 3 == 0,
-                next: Map { f: |i: usize| i as i64 * 2, next: SumSink { local: 0 } },
+                pred: |i: &usize| i.is_multiple_of(3),
+                next: Map {
+                    f: |i: usize| i as i64 * 2,
+                    next: SumSink { local: 0 },
+                },
             },
             |_w, sink| {
                 total.fetch_add(sink.next.next.local, Ordering::Relaxed);

@@ -20,10 +20,11 @@
 pub mod ssb;
 pub mod tpch;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dbep_runtime::rng::SmallRng;
 
 /// Per-chunk RNG so parallel generation stays deterministic.
-pub(crate) fn chunk_rng(seed: u64, table: u64, chunk: u64) -> StdRng {
-    StdRng::seed_from_u64(seed ^ table.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ chunk.wrapping_mul(0xD1B5_4A32_D192_ED03))
+pub(crate) fn chunk_rng(seed: u64, table: u64, chunk: u64) -> SmallRng {
+    SmallRng::seed_from_u64(
+        seed ^ table.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ chunk.wrapping_mul(0xD1B5_4A32_D192_ED03),
+    )
 }

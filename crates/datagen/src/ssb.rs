@@ -15,7 +15,6 @@ use crate::chunk_rng;
 use dbep_storage::column::ColumnData;
 use dbep_storage::types::{civil, date};
 use dbep_storage::{Database, Table};
-use rand::Rng;
 
 pub use crate::tpch::{NATIONS, REGIONS};
 
@@ -75,7 +74,14 @@ pub fn generate_par(sf: f64, seed: u64, threads: usize) -> Database {
     db.add(gen_ssb_supplier(supplier_cnt, seed));
     db.add(gen_ssb_part(part_cnt, seed));
     let lo_cnt = ((6_000_000.0 * sf) as usize).max(1);
-    db.add(gen_lineorder(lo_cnt, customer_cnt as i32, supplier_cnt as i32, part_cnt as i32, seed, threads));
+    db.add(gen_lineorder(
+        lo_cnt,
+        customer_cnt as i32,
+        supplier_cnt as i32,
+        part_cnt as i32,
+        seed,
+        threads,
+    ));
     db
 }
 
@@ -85,12 +91,22 @@ const DATE_HI: i32 = date(1998, 12, 31);
 fn gen_date() -> Table {
     let days: Vec<i32> = (DATE_LO..=DATE_HI).collect();
     let mut t = Table::new("date");
-    t.add_column("d_datekey", ColumnData::I32(days.iter().map(|&d| datekey(d)).collect()))
-        .add_column("d_year", ColumnData::I32(days.iter().map(|&d| civil(d).0).collect()))
-        .add_column(
-            "d_yearmonthnum",
-            ColumnData::I32(days.iter().map(|&d| civil(d).0 * 100 + civil(d).1 as i32).collect()),
-        );
+    t.add_column(
+        "d_datekey",
+        ColumnData::I32(days.iter().map(|&d| datekey(d)).collect()),
+    )
+    .add_column(
+        "d_year",
+        ColumnData::I32(days.iter().map(|&d| civil(d).0).collect()),
+    )
+    .add_column(
+        "d_yearmonthnum",
+        ColumnData::I32(
+            days.iter()
+                .map(|&d| civil(d).0 * 100 + civil(d).1 as i32)
+                .collect(),
+        ),
+    );
     t
 }
 
@@ -189,7 +205,14 @@ fn gen_lo_chunk(chunk: usize, n: usize, customers: i32, suppliers: i32, parts: i
     c
 }
 
-fn gen_lineorder(count: usize, customers: i32, suppliers: i32, parts: i32, seed: u64, threads: usize) -> Table {
+fn gen_lineorder(
+    count: usize,
+    customers: i32,
+    suppliers: i32,
+    parts: i32,
+    seed: u64,
+    threads: usize,
+) -> Table {
     let chunks = count.div_ceil(LO_PER_CHUNK);
     let gen_one = |i: usize| {
         let n = LO_PER_CHUNK.min(count - i * LO_PER_CHUNK);

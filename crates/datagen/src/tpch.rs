@@ -10,22 +10,104 @@ use crate::chunk_rng;
 use dbep_storage::column::{ColumnData, StrColumn};
 use dbep_storage::types::{date, Date};
 use dbep_storage::{Database, Table};
-use rand::Rng;
 
 /// The 92 color words dbgen draws `p_name` from; `LIKE '%green%'`
 /// therefore selects ≈ 5/92 ≈ 5.4 % of parts (five distinct words per
 /// name).
 pub const COLORS: &[&str] = &[
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
-    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
-    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime",
-    "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
-    "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru", "pink",
-    "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
-    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
-    "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow", "cadet",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "indian",
+    "ivory",
+    "khaki",
+    "lace",
+    "lavender",
+    "lawn",
+    "lemon",
+    "light",
+    "lime",
+    "linen",
+    "magenta",
+    "maroon",
+    "medium",
+    "metallic",
+    "midnight",
+    "mint",
+    "misty",
+    "moccasin",
+    "navajo",
+    "navy",
+    "olive",
+    "orange",
+    "orchid",
+    "pale",
+    "papaya",
+    "peach",
+    "peru",
+    "pink",
+    "plum",
+    "powder",
+    "puff",
+    "purple",
+    "red",
+    "rose",
+    "rosy",
+    "royal",
+    "saddle",
+    "salmon",
+    "sandy",
+    "seashell",
+    "sienna",
+    "sky",
+    "slate",
+    "smoke",
+    "snow",
+    "spring",
+    "steel",
+    "tan",
+    "thistle",
+    "tomato",
+    "turquoise",
+    "violet",
+    "wheat",
+    "white",
+    "yellow",
+    "cadet",
 ];
 
 /// Market segments (`c_mktsegment`), uniform — Q3's BUILDING filter
@@ -34,11 +116,31 @@ pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINER
 
 /// The 25 TPC-H nations with their region keys.
 pub const NATIONS: &[(&str, i32)] = &[
-    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
-    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
-    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
-    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
-    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
 ];
 
 pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
@@ -93,8 +195,14 @@ pub fn generate_par(sf: f64, seed: u64, threads: usize) -> Database {
     let customer_cnt = ((150_000.0 * sf) as usize).max(1);
     db.add(gen_customer(customer_cnt, seed));
     let order_cnt = ((1_500_000.0 * sf) as usize).max(1);
-    let (orders, lineitem) =
-        gen_orders_lineitem(order_cnt, customer_cnt as i32, part_cnt as i32, supplier_cnt as i32, seed, threads);
+    let (orders, lineitem) = gen_orders_lineitem(
+        order_cnt,
+        customer_cnt as i32,
+        part_cnt as i32,
+        supplier_cnt as i32,
+        seed,
+        threads,
+    );
     db.add(orders);
     db.add(lineitem);
     db
@@ -102,16 +210,28 @@ pub fn generate_par(sf: f64, seed: u64, threads: usize) -> Database {
 
 fn gen_region() -> Table {
     let mut t = Table::new("region");
-    t.add_column("r_regionkey", ColumnData::I32((0..REGIONS.len() as i32).collect()))
-        .add_column("r_name", ColumnData::Str(REGIONS.iter().copied().collect()));
+    t.add_column(
+        "r_regionkey",
+        ColumnData::I32((0..REGIONS.len() as i32).collect()),
+    )
+    .add_column("r_name", ColumnData::Str(REGIONS.iter().copied().collect()));
     t
 }
 
 fn gen_nation() -> Table {
     let mut t = Table::new("nation");
-    t.add_column("n_nationkey", ColumnData::I32((0..NATIONS.len() as i32).collect()))
-        .add_column("n_name", ColumnData::Str(NATIONS.iter().map(|(n, _)| *n).collect()))
-        .add_column("n_regionkey", ColumnData::I32(NATIONS.iter().map(|(_, r)| *r).collect()));
+    t.add_column(
+        "n_nationkey",
+        ColumnData::I32((0..NATIONS.len() as i32).collect()),
+    )
+    .add_column(
+        "n_name",
+        ColumnData::Str(NATIONS.iter().map(|(n, _)| *n).collect()),
+    )
+    .add_column(
+        "n_regionkey",
+        ColumnData::I32(NATIONS.iter().map(|(_, r)| *r).collect()),
+    );
     t
 }
 
@@ -280,7 +400,8 @@ fn gen_orders_chunk(
             } else {
                 b'N'
             });
-            c.l_linestatus.push(if shipdate <= STATUS_CUT { b'F' } else { b'O' });
+            c.l_linestatus
+                .push(if shipdate <= STATUS_CUT { b'F' } else { b'O' });
             total += extended;
         }
         c.o_orderkey.push(ok);
@@ -453,7 +574,10 @@ mod tests {
         let lpk = li.col("l_partkey").i32s();
         let lsk = li.col("l_suppkey").i32s();
         for i in 0..li.len() {
-            assert!(pairs.contains(&(lpk[i], lsk[i])), "lineitem {i} references missing partsupp");
+            assert!(
+                pairs.contains(&(lpk[i], lsk[i])),
+                "lineitem {i} references missing partsupp"
+            );
         }
     }
 

@@ -56,7 +56,10 @@ impl Default for ExecCfg<'_> {
 
 impl<'a> ExecCfg<'a> {
     pub fn with_threads(threads: usize) -> Self {
-        ExecCfg { threads, ..Default::default() }
+        ExecCfg {
+            threads,
+            ..Default::default()
+        }
     }
 
     /// The hash function Typer uses under this configuration.
@@ -108,6 +111,18 @@ impl QueryId {
     pub const TPCH: [QueryId; 5] = [QueryId::Q1, QueryId::Q6, QueryId::Q3, QueryId::Q9, QueryId::Q18];
     /// The SSB flights of §4.4.
     pub const SSB: [QueryId; 4] = [QueryId::Ssb1_1, QueryId::Ssb2_1, QueryId::Ssb3_1, QueryId::Ssb4_1];
+    /// Every query of the study (registry order).
+    pub const ALL: [QueryId; 9] = [
+        QueryId::Q1,
+        QueryId::Q6,
+        QueryId::Q3,
+        QueryId::Q9,
+        QueryId::Q18,
+        QueryId::Ssb1_1,
+        QueryId::Ssb2_1,
+        QueryId::Ssb3_1,
+        QueryId::Ssb4_1,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -125,55 +140,77 @@ impl QueryId {
 
     /// Total tuples scanned by this query's plan — the paper's
     /// normalization denominator ("the sum of the cardinalities of all
-    /// tables scanned", §3.4).
+    /// tables scanned", §3.4). Delegates to the registered plan.
     pub fn tuples_scanned(self, db: &dbep_storage::Database) -> usize {
-        let t = |n: &str| db.table(n).len();
-        match self {
-            QueryId::Q1 | QueryId::Q6 => t("lineitem"),
-            QueryId::Q3 => t("customer") + t("orders") + t("lineitem"),
-            QueryId::Q9 => t("part") + t("partsupp") + t("supplier") + t("lineitem") + t("orders"),
-            QueryId::Q18 => t("lineitem") * 2 + t("orders") + t("customer"),
-            QueryId::Ssb1_1 => t("lineorder") + t("date"),
-            QueryId::Ssb2_1 => t("lineorder") + t("date") + t("ssb_part") + t("ssb_supplier"),
-            QueryId::Ssb3_1 => t("lineorder") + t("date") + t("ssb_customer") + t("ssb_supplier"),
-            QueryId::Ssb4_1 => {
-                t("lineorder") + t("date") + t("ssb_customer") + t("ssb_supplier") + t("ssb_part")
-            }
+        plan(self).tuples_scanned(db)
+    }
+}
+
+/// One physical query plan of the study, implemented under every
+/// execution paradigm.
+///
+/// Per the methodology (§3) all three implementations share the plan —
+/// join order, build sides, hash functions, data structures — so the
+/// paradigm is the only variable. Adding a query to the harness is one
+/// struct implementing this trait plus a [`REGISTRY`] entry; the
+/// dispatcher, benchmarks and equivalence tests pick it up from there.
+pub trait QueryPlan: Sync {
+    /// The identifier this plan is registered under.
+    fn id(&self) -> QueryId;
+
+    /// Total tuples scanned by the plan (the §3.4 normalization
+    /// denominator).
+    fn tuples_scanned(&self, db: &dbep_storage::Database) -> usize;
+
+    /// Data-centric compiled execution (push, fused pipelines).
+    fn typer(&self, db: &dbep_storage::Database, cfg: &ExecCfg) -> result::QueryResult;
+
+    /// Vector-at-a-time execution (pull, primitives).
+    fn tectorwise(&self, db: &dbep_storage::Database, cfg: &ExecCfg) -> result::QueryResult;
+
+    /// Tuple-at-a-time interpretation (pull, boxed operators). Takes the
+    /// same [`ExecCfg`] as the other engines: `threads` runs an
+    /// exchange-style parallel union, `throttle` paces every scan.
+    fn volcano(&self, db: &dbep_storage::Database, cfg: &ExecCfg) -> result::QueryResult;
+
+    /// Dispatch on the execution paradigm.
+    fn run(&self, engine: Engine, db: &dbep_storage::Database, cfg: &ExecCfg) -> result::QueryResult {
+        match engine {
+            Engine::Typer => self.typer(db, cfg),
+            Engine::Tectorwise => self.tectorwise(db, cfg),
+            Engine::Volcano => self.volcano(db, cfg),
         }
     }
 }
 
+/// Every registered query plan, in the paper's presentation order.
+pub static REGISTRY: &[&dyn QueryPlan] = &[
+    &tpch::q1::Q1,
+    &tpch::q6::Q6,
+    &tpch::q3::Q3,
+    &tpch::q9::Q9,
+    &tpch::q18::Q18,
+    &ssb::q1_1::Q11,
+    &ssb::q2_1::Q21,
+    &ssb::q3_1::Q31,
+    &ssb::q4_1::Q41,
+];
+
+/// Look up the registered plan for a query.
+pub fn plan(query: QueryId) -> &'static dyn QueryPlan {
+    REGISTRY
+        .iter()
+        .copied()
+        .find(|p| p.id() == query)
+        .unwrap_or_else(|| panic!("no registered plan for {:?}", query))
+}
+
 /// Run any benchmark query on any engine (harness entry point).
-pub fn run(engine: Engine, query: QueryId, db: &dbep_storage::Database, cfg: &ExecCfg) -> result::QueryResult {
-    use Engine::*;
-    use QueryId::*;
-    match (engine, query) {
-        (Typer, Q1) => tpch::q1::typer(db, cfg),
-        (Typer, Q6) => tpch::q6::typer(db, cfg),
-        (Typer, Q3) => tpch::q3::typer(db, cfg),
-        (Typer, Q9) => tpch::q9::typer(db, cfg),
-        (Typer, Q18) => tpch::q18::typer(db, cfg),
-        (Typer, Ssb1_1) => ssb::q1_1::typer(db, cfg),
-        (Typer, Ssb2_1) => ssb::q2_1::typer(db, cfg),
-        (Typer, Ssb3_1) => ssb::q3_1::typer(db, cfg),
-        (Typer, Ssb4_1) => ssb::q4_1::typer(db, cfg),
-        (Tectorwise, Q1) => tpch::q1::tectorwise(db, cfg),
-        (Tectorwise, Q6) => tpch::q6::tectorwise(db, cfg),
-        (Tectorwise, Q3) => tpch::q3::tectorwise(db, cfg),
-        (Tectorwise, Q9) => tpch::q9::tectorwise(db, cfg),
-        (Tectorwise, Q18) => tpch::q18::tectorwise(db, cfg),
-        (Tectorwise, Ssb1_1) => ssb::q1_1::tectorwise(db, cfg),
-        (Tectorwise, Ssb2_1) => ssb::q2_1::tectorwise(db, cfg),
-        (Tectorwise, Ssb3_1) => ssb::q3_1::tectorwise(db, cfg),
-        (Tectorwise, Ssb4_1) => ssb::q4_1::tectorwise(db, cfg),
-        (Volcano, Q1) => tpch::q1::volcano(db),
-        (Volcano, Q6) => tpch::q6::volcano(db),
-        (Volcano, Q3) => tpch::q3::volcano(db),
-        (Volcano, Q9) => tpch::q9::volcano(db),
-        (Volcano, Q18) => tpch::q18::volcano(db),
-        (Volcano, Ssb1_1) => ssb::q1_1::volcano(db),
-        (Volcano, Ssb2_1) => ssb::q2_1::volcano(db),
-        (Volcano, Ssb3_1) => ssb::q3_1::volcano(db),
-        (Volcano, Ssb4_1) => ssb::q4_1::volcano(db),
-    }
+pub fn run(
+    engine: Engine,
+    query: QueryId,
+    db: &dbep_storage::Database,
+    cfg: &ExecCfg,
+) -> result::QueryResult {
+    plan(query).run(engine, db, cfg)
 }

@@ -64,7 +64,11 @@ impl OltpIndex {
             ranges.push((k, start as u32, (i - start) as u32));
         }
         let lineitem_ranges = JoinHt::build(ranges.into_iter().map(|r| (hf.hash(r.0 as u64), r)));
-        OltpIndex { orders, lineitem_ranges, hf }
+        OltpIndex {
+            orders,
+            lineitem_ranges,
+            hf,
+        }
     }
 }
 
@@ -97,7 +101,12 @@ pub fn lookup_typer(db: &Database, idx: &OltpIndex, orderkey: i32) -> Option<Ord
 /// Tectorwise: the same procedure through vector primitives with a
 /// single-tuple "vector" for the probe and tiny vectors for the line
 /// aggregation — the §8.1 overhead regime.
-pub fn lookup_tectorwise(db: &Database, idx: &OltpIndex, orderkey: i32, scratch: &mut TwLookupScratch) -> Option<OrderDetails> {
+pub fn lookup_tectorwise(
+    db: &Database,
+    idx: &OltpIndex,
+    orderkey: i32,
+    scratch: &mut TwLookupScratch,
+) -> Option<OrderDetails> {
     let keys = [orderkey];
     tw::hashp::hash_i32(&keys, &[0], idx.hf, &mut scratch.hashes);
     let n = tw::probe::probe_join(
@@ -135,13 +144,33 @@ pub fn lookup_tectorwise(db: &Database, idx: &OltpIndex, orderkey: i32, scratch:
         return Some(out);
     }
     let mut range = Vec::new();
-    tw::gather::gather_build(&idx.lineitem_ranges, &scratch.bufs.match_entry, |r| (r.1, r.2), &mut range);
+    tw::gather::gather_build(
+        &idx.lineitem_ranges,
+        &scratch.bufs.match_entry,
+        |r| (r.1, r.2),
+        &mut range,
+    );
     let (start, cnt) = (range[0].0, range[0].1 as usize);
     let li = db.table("lineitem");
     tw::hashp::iota(start, cnt, &mut scratch.sel);
-    tw::gather::gather_i64(li.col("l_quantity").i64s(), &scratch.sel, SimdPolicy::Scalar, &mut scratch.v_qty);
-    tw::gather::gather_i64(li.col("l_extendedprice").i64s(), &scratch.sel, SimdPolicy::Scalar, &mut scratch.v_ext);
-    tw::gather::gather_i64(li.col("l_discount").i64s(), &scratch.sel, SimdPolicy::Scalar, &mut scratch.v_disc);
+    tw::gather::gather_i64(
+        li.col("l_quantity").i64s(),
+        &scratch.sel,
+        SimdPolicy::Scalar,
+        &mut scratch.v_qty,
+    );
+    tw::gather::gather_i64(
+        li.col("l_extendedprice").i64s(),
+        &scratch.sel,
+        SimdPolicy::Scalar,
+        &mut scratch.v_ext,
+    );
+    tw::gather::gather_i64(
+        li.col("l_discount").i64s(),
+        &scratch.sel,
+        SimdPolicy::Scalar,
+        &mut scratch.v_disc,
+    );
     tw::map::map_rsub_const_i64(100, &scratch.v_disc, &mut scratch.v_om);
     tw::map::map_mul_i64(&scratch.v_ext, &scratch.v_om, &mut scratch.v_rev);
     out.line_count = cnt as i64;
@@ -165,7 +194,10 @@ pub struct TwLookupScratch {
 
 impl TwLookupScratch {
     pub fn new() -> Self {
-        TwLookupScratch { bufs: tw::ProbeBuffers::new(), ..Default::default() }
+        TwLookupScratch {
+            bufs: tw::ProbeBuffers::new(),
+            ..Default::default()
+        }
     }
 }
 
@@ -174,7 +206,10 @@ impl TwLookupScratch {
 pub fn lookup_volcano(db: &Database, orderkey: i32) -> Option<OrderDetails> {
     use dbep_volcano::{AggSpec, Aggregate, BinOp, CmpOp, Expr, Scan, Select};
     let ord_rows = dbep_volcano::ops::collect(Box::new(Select {
-        input: Box::new(Scan::new(db.table("orders"), &["o_orderkey", "o_custkey", "o_totalprice"])),
+        input: Box::new(Scan::new(
+            db.table("orders"),
+            &["o_orderkey", "o_custkey", "o_totalprice"],
+        )),
         pred: Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::lit_i32(orderkey)),
     }));
     let ord = ord_rows.first()?;

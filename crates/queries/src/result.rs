@@ -36,12 +36,7 @@ impl QueryResult {
     /// Assemble a result: sorts by `order` (ties broken by full-row
     /// comparison, making every engine's output identical), applies the
     /// optional LIMIT.
-    pub fn new(
-        columns: &[&str],
-        mut rows: Vec<Vec<Value>>,
-        order: &[OrderBy],
-        limit: Option<usize>,
-    ) -> Self {
+    pub fn new(columns: &[&str], mut rows: Vec<Vec<Value>>, order: &[OrderBy], limit: Option<usize>) -> Self {
         for row in &rows {
             assert_eq!(row.len(), columns.len(), "row arity mismatch");
         }
@@ -58,7 +53,10 @@ impl QueryResult {
         if let Some(l) = limit {
             rows.truncate(l);
         }
-        QueryResult { columns: columns.iter().map(|s| s.to_string()).collect(), rows }
+        QueryResult {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows,
+        }
     }
 
     pub fn len(&self) -> usize {

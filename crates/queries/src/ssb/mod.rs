@@ -30,7 +30,11 @@ pub(crate) struct ProbeScratch {
 
 impl ProbeScratch {
     pub(crate) fn new() -> Self {
-        ProbeScratch { hashes: Vec::new(), ordinals: Vec::new(), bufs: tw::ProbeBuffers::new() }
+        ProbeScratch {
+            hashes: Vec::new(),
+            ordinals: Vec::new(),
+            bufs: tw::ProbeBuffers::new(),
+        }
     }
 
     /// Probe `ht` with `fact_keys[rows[i]]`. After the call,

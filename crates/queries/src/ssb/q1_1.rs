@@ -84,14 +84,30 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
         let mut local = 0i64;
         while let Some(c) = src.next_chunk() {
             cfg.pace(c.len(), LO_BYTES);
-            if tw::sel::sel_between_i64_dense(&disc[c.clone()], DISC_LO, DISC_HI, c.start as u32, &mut s1, policy) == 0 {
+            if tw::sel::sel_between_i64_dense(
+                &disc[c.clone()],
+                DISC_LO,
+                DISC_HI,
+                c.start as u32,
+                &mut s1,
+                policy,
+            ) == 0
+            {
                 continue;
             }
             if tw::sel::sel_lt_i64_sparse(qty, QTY_HI, &s1, &mut s2, policy) == 0 {
                 continue;
             }
             tw::hashp::hash_i32(od, &s2, hf, &mut hashes);
-            if tw::probe::probe_join(&ht_d, &hashes, &s2, |row, t| *row == od[t as usize], policy, &mut bufs) == 0 {
+            if tw::probe::probe_join(
+                &ht_d,
+                &hashes,
+                &s2,
+                |row, t| *row == od[t as usize],
+                policy,
+                &mut bufs,
+            ) == 0
+            {
                 continue;
             }
             tw::gather::gather_i64(ext, &bufs.match_tuple, policy, &mut v_ext);
@@ -104,31 +120,73 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
     finish(total.load(Ordering::Relaxed))
 }
 
-/// Volcano: interpreted join + aggregate.
-pub fn volcano(db: &Database) -> QueryResult {
-    use dbep_volcano::{AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Scan, Select};
-    let dates = Select {
-        input: Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"])),
-        pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(YEAR)),
-    };
-    let fact = Select {
-        input: Box::new(Scan::new(
-            db.table("lineorder"),
-            &["lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice"],
-        )),
-        pred: Expr::And(vec![
-            Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i64(DISC_LO)),
-            Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit_i64(DISC_HI)),
-            Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit_i64(QTY_HI)),
-        ]),
-    };
-    // [d_datekey, d_year, lo_orderdate, lo_discount, lo_quantity, lo_ext]
-    let join = HashJoin::new(Box::new(dates), vec![Expr::col(0)], Box::new(fact), vec![Expr::col(0)]);
-    let agg = Aggregate::new(
-        Box::new(join),
-        vec![],
-        vec![AggSpec::SumI64(Expr::arith(BinOp::Mul, Expr::col(5), Expr::col(3)))],
-    );
-    let rows = dbep_volcano::ops::collect(Box::new(agg));
-    finish(rows.first().map(|r| r[0].as_i64()).unwrap_or(0))
+/// Volcano: interpreted join + aggregate; `threads` partition the fact
+/// scan through the exchange union, partial sums merge here.
+pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Scan, Select};
+    let lo = db.table("lineorder");
+    let m = Morsels::new(lo.len());
+    let partials = exchange::union(cfg.threads, |_| {
+        let dates = Select {
+            input: Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"]).paced(cfg.throttle)),
+            pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(YEAR)),
+        };
+        let fact = Select {
+            input: Box::new(
+                Scan::new(
+                    lo,
+                    &["lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice"],
+                )
+                .paced(cfg.throttle)
+                .morsel_driven(&m),
+            ),
+            pred: Expr::And(vec![
+                Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i64(DISC_LO)),
+                Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit_i64(DISC_HI)),
+                Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit_i64(QTY_HI)),
+            ]),
+        };
+        // [d_datekey, d_year, lo_orderdate, lo_discount, lo_quantity, lo_ext]
+        let join = HashJoin::new(
+            Box::new(dates),
+            vec![Expr::col(0)],
+            Box::new(fact),
+            vec![Expr::col(0)],
+        );
+        Box::new(Aggregate::new(
+            Box::new(join),
+            vec![],
+            vec![AggSpec::SumI64(Expr::arith(
+                BinOp::Mul,
+                Expr::col(5),
+                Expr::col(3),
+            ))],
+        ))
+    });
+    finish(partials.iter().map(|r| r[0].as_i64()).sum())
+}
+
+/// Registry entry (see [`crate::QueryPlan`]).
+pub struct Q11;
+
+impl crate::QueryPlan for Q11 {
+    fn id(&self) -> crate::QueryId {
+        crate::QueryId::Ssb1_1
+    }
+
+    fn tuples_scanned(&self, db: &Database) -> usize {
+        db.table("lineorder").len() + db.table("date").len()
+    }
+
+    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        typer(db, cfg)
+    }
+
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        tectorwise(db, cfg)
+    }
+
+    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        volcano(db, cfg)
+    }
 }

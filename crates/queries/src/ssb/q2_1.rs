@@ -45,7 +45,11 @@ fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn) -> Dims {
     let category = category_code("MFGR#12");
     let america = region_code("AMERICA");
     let p = db.table("ssb_part");
-    let (pk, pcat, pbrand) = (p.col("p_partkey").i32s(), p.col("p_category").i32s(), p.col("p_brand1").i32s());
+    let (pk, pcat, pbrand) = (
+        p.col("p_partkey").i32s(),
+        p.col("p_category").i32s(),
+        p.col("p_brand1").i32s(),
+    );
     let ht_p = JoinHt::build(
         (0..p.len())
             .filter(|&i| pcat[i] == category)
@@ -175,39 +179,63 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
     finish(merge_partitions(shards, cfg.threads, |a, b| *a += b))
 }
 
-/// Volcano: interpreted joins.
-pub fn volcano(db: &Database) -> QueryResult {
-    use dbep_volcano::{AggSpec, Aggregate, CmpOp, Expr, HashJoin, Scan, Select, Val};
-    let part_f = Select {
-        input: Box::new(Scan::new(db.table("ssb_part"), &["p_partkey", "p_brand1", "p_category"])),
-        pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(category_code("MFGR#12"))),
-    };
-    // [p_partkey, p_brand1, p_category, lo_partkey, lo_suppkey, lo_orderdate, lo_revenue]
-    let j_p = HashJoin::new(
-        Box::new(part_f),
-        vec![Expr::col(0)],
-        Box::new(Scan::new(db.table("lineorder"), &["lo_partkey", "lo_suppkey", "lo_orderdate", "lo_revenue"])),
-        vec![Expr::col(0)],
+/// Volcano: interpreted joins. The fact scan is morsel-partitioned
+/// across `cfg.threads` workers; partial groups re-aggregate in a final
+/// merge pass.
+pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    use dbep_volcano::{exchange, AggSpec, Aggregate, CmpOp, Expr, HashJoin, Rows, Scan, Select, Val};
+    let lo = db.table("lineorder");
+    let m = Morsels::new(lo.len());
+    let partials = exchange::union(cfg.threads, |_| {
+        let part_f = Select {
+            input: Box::new(
+                Scan::new(db.table("ssb_part"), &["p_partkey", "p_brand1", "p_category"]).paced(cfg.throttle),
+            ),
+            pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(category_code("MFGR#12"))),
+        };
+        // [p_partkey, p_brand1, p_category, lo_partkey, lo_suppkey, lo_orderdate, lo_revenue]
+        let j_p = HashJoin::new(
+            Box::new(part_f),
+            vec![Expr::col(0)],
+            Box::new(
+                Scan::new(lo, &["lo_partkey", "lo_suppkey", "lo_orderdate", "lo_revenue"])
+                    .paced(cfg.throttle)
+                    .morsel_driven(&m),
+            ),
+            vec![Expr::col(0)],
+        );
+        let supp_f = Select {
+            input: Box::new(
+                Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_region"]).paced(cfg.throttle),
+            ),
+            pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(region_code("AMERICA"))),
+        };
+        // [s_suppkey, s_region] ++ 7 cols
+        let j_s = HashJoin::new(
+            Box::new(supp_f),
+            vec![Expr::col(0)],
+            Box::new(j_p),
+            vec![Expr::col(4)],
+        );
+        // [d_datekey, d_year] ++ 9 cols
+        let j_d = HashJoin::new(
+            Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"]).paced(cfg.throttle)),
+            vec![Expr::col(0)],
+            Box::new(j_s),
+            vec![Expr::col(7)],
+        );
+        Box::new(Aggregate::new(
+            Box::new(j_d),
+            vec![Expr::col(1), Expr::col(5)],     // d_year, p_brand1
+            vec![AggSpec::SumI64(Expr::col(10))], // lo_revenue
+        ))
+    });
+    let merge = Aggregate::new(
+        Box::new(Rows::new(partials)),
+        vec![Expr::col(0), Expr::col(1)],
+        vec![AggSpec::SumI64(Expr::col(2))],
     );
-    let supp_f = Select {
-        input: Box::new(Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_region"])),
-        pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(region_code("AMERICA"))),
-    };
-    // [s_suppkey, s_region] ++ 7 cols
-    let j_s = HashJoin::new(Box::new(supp_f), vec![Expr::col(0)], Box::new(j_p), vec![Expr::col(4)]);
-    // [d_datekey, d_year] ++ 9 cols
-    let j_d = HashJoin::new(
-        Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"])),
-        vec![Expr::col(0)],
-        Box::new(j_s),
-        vec![Expr::col(7)],
-    );
-    let agg = Aggregate::new(
-        Box::new(j_d),
-        vec![Expr::col(1), Expr::col(5)], // d_year, p_brand1
-        vec![AggSpec::SumI64(Expr::col(10))], // lo_revenue
-    );
-    let groups = dbep_volcano::ops::collect(Box::new(agg))
+    let groups = dbep_volcano::ops::collect(Box::new(merge))
         .into_iter()
         .map(|r| {
             let key = match (&r[0], &r[1]) {
@@ -218,4 +246,32 @@ pub fn volcano(db: &Database) -> QueryResult {
         })
         .collect();
     finish(groups)
+}
+
+/// Registry entry (see [`crate::QueryPlan`]).
+pub struct Q21;
+
+impl crate::QueryPlan for Q21 {
+    fn id(&self) -> crate::QueryId {
+        crate::QueryId::Ssb2_1
+    }
+
+    fn tuples_scanned(&self, db: &Database) -> usize {
+        db.table("lineorder").len()
+            + db.table("date").len()
+            + db.table("ssb_part").len()
+            + db.table("ssb_supplier").len()
+    }
+
+    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        typer(db, cfg)
+    }
+
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        tectorwise(db, cfg)
+    }
+
+    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        volcano(db, cfg)
+    }
 }

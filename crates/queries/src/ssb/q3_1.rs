@@ -53,14 +53,22 @@ struct Dims {
 fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn) -> Dims {
     let asia = region_code("ASIA");
     let s = db.table("ssb_supplier");
-    let (sk, sreg, snat) = (s.col("s_suppkey").i32s(), s.col("s_region").i32s(), s.col("s_nation").i32s());
+    let (sk, sreg, snat) = (
+        s.col("s_suppkey").i32s(),
+        s.col("s_region").i32s(),
+        s.col("s_nation").i32s(),
+    );
     let ht_s = JoinHt::build(
         (0..s.len())
             .filter(|&i| sreg[i] == asia)
             .map(|i| (hf.hash(sk[i] as u64), (sk[i], snat[i]))),
     );
     let c = db.table("ssb_customer");
-    let (ck, creg, cnat) = (c.col("c_custkey").i32s(), c.col("c_region").i32s(), c.col("c_nation").i32s());
+    let (ck, creg, cnat) = (
+        c.col("c_custkey").i32s(),
+        c.col("c_region").i32s(),
+        c.col("c_nation").i32s(),
+    );
     let ht_c = JoinHt::build(
         (0..c.len())
             .filter(|&i| creg[i] == asia)
@@ -173,7 +181,12 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
             );
             for &j in &gb.miss_sel {
                 let j = j as usize;
-                shard.update(ghash[j], (v_cnat2[j], v_snat3[j], v_year[j]), || 0, |a| *a += v_rev[j]);
+                shard.update(
+                    ghash[j],
+                    (v_cnat2[j], v_snat3[j], v_year[j]),
+                    || 0,
+                    |a| *a += v_rev[j],
+                );
             }
             if gb.groups.is_empty() {
                 continue;
@@ -186,42 +199,73 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
     finish(merge_partitions(shards, cfg.threads, |a, b| *a += b))
 }
 
-/// Volcano: interpreted joins.
-pub fn volcano(db: &Database) -> QueryResult {
-    use dbep_volcano::{AggSpec, Aggregate, CmpOp, Expr, HashJoin, Scan, Select, Val};
+/// Volcano: interpreted joins. The fact scan is morsel-partitioned
+/// across `cfg.threads` workers; partial groups re-aggregate in a final
+/// merge pass.
+pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    use dbep_volcano::{exchange, AggSpec, Aggregate, CmpOp, Expr, HashJoin, Rows, Scan, Select, Val};
     let asia = region_code("ASIA");
-    let supp_f = Select {
-        input: Box::new(Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_nation", "s_region"])),
-        pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(asia)),
-    };
-    // [s_suppkey, s_nation, s_region, lo_custkey, lo_suppkey, lo_orderdate, lo_revenue]
-    let j_s = HashJoin::new(
-        Box::new(supp_f),
-        vec![Expr::col(0)],
-        Box::new(Scan::new(db.table("lineorder"), &["lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue"])),
-        vec![Expr::col(1)],
+    let lo = db.table("lineorder");
+    let m = Morsels::new(lo.len());
+    let partials = exchange::union(cfg.threads, |_| {
+        let supp_f = Select {
+            input: Box::new(
+                Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_nation", "s_region"])
+                    .paced(cfg.throttle),
+            ),
+            pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(asia)),
+        };
+        // [s_suppkey, s_nation, s_region, lo_custkey, lo_suppkey, lo_orderdate, lo_revenue]
+        let j_s = HashJoin::new(
+            Box::new(supp_f),
+            vec![Expr::col(0)],
+            Box::new(
+                Scan::new(lo, &["lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue"])
+                    .paced(cfg.throttle)
+                    .morsel_driven(&m),
+            ),
+            vec![Expr::col(1)],
+        );
+        let cust_f = Select {
+            input: Box::new(
+                Scan::new(db.table("ssb_customer"), &["c_custkey", "c_nation", "c_region"])
+                    .paced(cfg.throttle),
+            ),
+            pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(asia)),
+        };
+        // [c_custkey, c_nation, c_region] ++ 7 cols
+        let j_c = HashJoin::new(
+            Box::new(cust_f),
+            vec![Expr::col(0)],
+            Box::new(j_s),
+            vec![Expr::col(3)],
+        );
+        let date_f = Select {
+            input: Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"]).paced(cfg.throttle)),
+            pred: Expr::And(vec![
+                Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i32(1992)),
+                Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit_i32(1997)),
+            ]),
+        };
+        // [d_datekey, d_year] ++ 10 cols
+        let j_d = HashJoin::new(
+            Box::new(date_f),
+            vec![Expr::col(0)],
+            Box::new(j_c),
+            vec![Expr::col(8)],
+        );
+        Box::new(Aggregate::new(
+            Box::new(j_d),
+            vec![Expr::col(3), Expr::col(6), Expr::col(1)], // c_nation, s_nation, d_year
+            vec![AggSpec::SumI64(Expr::col(11))],           // lo_revenue
+        ))
+    });
+    let merge = Aggregate::new(
+        Box::new(Rows::new(partials)),
+        vec![Expr::col(0), Expr::col(1), Expr::col(2)],
+        vec![AggSpec::SumI64(Expr::col(3))],
     );
-    let cust_f = Select {
-        input: Box::new(Scan::new(db.table("ssb_customer"), &["c_custkey", "c_nation", "c_region"])),
-        pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(asia)),
-    };
-    // [c_custkey, c_nation, c_region] ++ 7 cols
-    let j_c = HashJoin::new(Box::new(cust_f), vec![Expr::col(0)], Box::new(j_s), vec![Expr::col(3)]);
-    let date_f = Select {
-        input: Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"])),
-        pred: Expr::And(vec![
-            Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i32(1992)),
-            Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit_i32(1997)),
-        ]),
-    };
-    // [d_datekey, d_year] ++ 10 cols
-    let j_d = HashJoin::new(Box::new(date_f), vec![Expr::col(0)], Box::new(j_c), vec![Expr::col(8)]);
-    let agg = Aggregate::new(
-        Box::new(j_d),
-        vec![Expr::col(3), Expr::col(6), Expr::col(1)], // c_nation, s_nation, d_year
-        vec![AggSpec::SumI64(Expr::col(11))],           // lo_revenue
-    );
-    let groups = dbep_volcano::ops::collect(Box::new(agg))
+    let groups = dbep_volcano::ops::collect(Box::new(merge))
         .into_iter()
         .map(|r| {
             let key = match (&r[0], &r[1], &r[2]) {
@@ -232,4 +276,32 @@ pub fn volcano(db: &Database) -> QueryResult {
         })
         .collect();
     finish(groups)
+}
+
+/// Registry entry (see [`crate::QueryPlan`]).
+pub struct Q31;
+
+impl crate::QueryPlan for Q31 {
+    fn id(&self) -> crate::QueryId {
+        crate::QueryId::Ssb3_1
+    }
+
+    fn tuples_scanned(&self, db: &Database) -> usize {
+        db.table("lineorder").len()
+            + db.table("date").len()
+            + db.table("ssb_customer").len()
+            + db.table("ssb_supplier").len()
+    }
+
+    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        typer(db, cfg)
+    }
+
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        tectorwise(db, cfg)
+    }
+
+    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        volcano(db, cfg)
+    }
 }

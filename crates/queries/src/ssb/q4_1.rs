@@ -28,10 +28,19 @@ fn finish(groups: Vec<(Key, i64)>) -> QueryResult {
     let rows = groups
         .into_iter()
         .map(|((y, cn), profit)| {
-            vec![Value::I32(y), Value::Str(NATIONS[cn as usize].0.to_string()), Value::dec2(profit)]
+            vec![
+                Value::I32(y),
+                Value::Str(NATIONS[cn as usize].0.to_string()),
+                Value::dec2(profit),
+            ]
         })
         .collect();
-    QueryResult::new(&["d_year", "c_nation", "profit"], rows, &[OrderBy::asc(0), OrderBy::asc(1)], None)
+    QueryResult::new(
+        &["d_year", "c_nation", "profit"],
+        rows,
+        &[OrderBy::asc(0), OrderBy::asc(1)],
+        None,
+    )
 }
 
 struct Dims {
@@ -51,7 +60,11 @@ fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn) -> Dims {
             .map(|i| (hf.hash(sk[i] as u64), sk[i])),
     );
     let c = db.table("ssb_customer");
-    let (ck, creg, cnat) = (c.col("c_custkey").i32s(), c.col("c_region").i32s(), c.col("c_nation").i32s());
+    let (ck, creg, cnat) = (
+        c.col("c_custkey").i32s(),
+        c.col("c_region").i32s(),
+        c.col("c_nation").i32s(),
+    );
     let ht_c = JoinHt::build(
         (0..c.len())
             .filter(|&i| creg[i] == america)
@@ -67,7 +80,12 @@ fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn) -> Dims {
     let d = db.table("date");
     let (dk, dy) = (d.col("d_datekey").i32s(), d.col("d_year").i32s());
     let ht_d = JoinHt::build((0..d.len()).map(|i| (hf.hash(dk[i] as u64), (dk[i], dy[i]))));
-    Dims { ht_s, ht_c, ht_p, ht_d }
+    Dims {
+        ht_s,
+        ht_c,
+        ht_p,
+        ht_d,
+    }
 }
 
 /// Typer: fused probe chain over four tables.
@@ -192,52 +210,93 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
     finish(merge_partitions(shards, cfg.threads, |a, b| *a += b))
 }
 
-/// Volcano: interpreted joins.
-pub fn volcano(db: &Database) -> QueryResult {
-    use dbep_volcano::{AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Scan, Select, Val};
+/// Volcano: interpreted joins. The fact scan is morsel-partitioned
+/// across `cfg.threads` workers; partial groups re-aggregate in a final
+/// merge pass.
+pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Rows, Scan, Select, Val};
     let america = region_code("AMERICA");
-    let supp_f = Select {
-        input: Box::new(Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_region"])),
-        pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(america)),
-    };
-    // [s_suppkey, s_region] ++ [lo_custkey, lo_suppkey, lo_partkey, lo_orderdate, lo_revenue, lo_supplycost]
-    let j_s = HashJoin::new(
-        Box::new(supp_f),
-        vec![Expr::col(0)],
-        Box::new(Scan::new(
-            db.table("lineorder"),
-            &["lo_custkey", "lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue", "lo_supplycost"],
-        )),
-        vec![Expr::col(1)],
+    let lo = db.table("lineorder");
+    let m = Morsels::new(lo.len());
+    let partials = exchange::union(cfg.threads, |_| {
+        let supp_f = Select {
+            input: Box::new(
+                Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_region"]).paced(cfg.throttle),
+            ),
+            pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(america)),
+        };
+        // [s_suppkey, s_region] ++ [lo_custkey, lo_suppkey, lo_partkey, lo_orderdate, lo_revenue, lo_supplycost]
+        let j_s = HashJoin::new(
+            Box::new(supp_f),
+            vec![Expr::col(0)],
+            Box::new(
+                Scan::new(
+                    lo,
+                    &[
+                        "lo_custkey",
+                        "lo_suppkey",
+                        "lo_partkey",
+                        "lo_orderdate",
+                        "lo_revenue",
+                        "lo_supplycost",
+                    ],
+                )
+                .paced(cfg.throttle)
+                .morsel_driven(&m),
+            ),
+            vec![Expr::col(1)],
+        );
+        let cust_f = Select {
+            input: Box::new(
+                Scan::new(db.table("ssb_customer"), &["c_custkey", "c_nation", "c_region"])
+                    .paced(cfg.throttle),
+            ),
+            pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(america)),
+        };
+        // [c_custkey, c_nation, c_region] ++ 8 cols (3..11)
+        let j_c = HashJoin::new(
+            Box::new(cust_f),
+            vec![Expr::col(0)],
+            Box::new(j_s),
+            vec![Expr::col(2)],
+        );
+        let part_f = Select {
+            input: Box::new(Scan::new(db.table("ssb_part"), &["p_partkey", "p_mfgr"]).paced(cfg.throttle)),
+            pred: Expr::Or(vec![
+                Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(1)),
+                Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(2)),
+            ]),
+        };
+        // [p_partkey, p_mfgr] ++ 11 cols (2..13)
+        let j_p = HashJoin::new(
+            Box::new(part_f),
+            vec![Expr::col(0)],
+            Box::new(j_c),
+            vec![Expr::col(7)],
+        );
+        // [d_datekey, d_year] ++ 13 cols (2..15)
+        let j_d = HashJoin::new(
+            Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"]).paced(cfg.throttle)),
+            vec![Expr::col(0)],
+            Box::new(j_p),
+            vec![Expr::col(10)],
+        );
+        Box::new(Aggregate::new(
+            Box::new(j_d),
+            vec![Expr::col(1), Expr::col(5)], // d_year, c_nation
+            vec![AggSpec::SumI64(Expr::arith(
+                BinOp::Sub,
+                Expr::col(13),
+                Expr::col(14),
+            ))],
+        ))
+    });
+    let merge = Aggregate::new(
+        Box::new(Rows::new(partials)),
+        vec![Expr::col(0), Expr::col(1)],
+        vec![AggSpec::SumI64(Expr::col(2))],
     );
-    let cust_f = Select {
-        input: Box::new(Scan::new(db.table("ssb_customer"), &["c_custkey", "c_nation", "c_region"])),
-        pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(america)),
-    };
-    // [c_custkey, c_nation, c_region] ++ 8 cols (3..11)
-    let j_c = HashJoin::new(Box::new(cust_f), vec![Expr::col(0)], Box::new(j_s), vec![Expr::col(2)]);
-    let part_f = Select {
-        input: Box::new(Scan::new(db.table("ssb_part"), &["p_partkey", "p_mfgr"])),
-        pred: Expr::Or(vec![
-            Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(1)),
-            Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(2)),
-        ]),
-    };
-    // [p_partkey, p_mfgr] ++ 11 cols (2..13)
-    let j_p = HashJoin::new(Box::new(part_f), vec![Expr::col(0)], Box::new(j_c), vec![Expr::col(7)]);
-    // [d_datekey, d_year] ++ 13 cols (2..15)
-    let j_d = HashJoin::new(
-        Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"])),
-        vec![Expr::col(0)],
-        Box::new(j_p),
-        vec![Expr::col(10)],
-    );
-    let agg = Aggregate::new(
-        Box::new(j_d),
-        vec![Expr::col(1), Expr::col(5)], // d_year, c_nation
-        vec![AggSpec::SumI64(Expr::arith(BinOp::Sub, Expr::col(13), Expr::col(14)))],
-    );
-    let groups = dbep_volcano::ops::collect(Box::new(agg))
+    let groups = dbep_volcano::ops::collect(Box::new(merge))
         .into_iter()
         .map(|r| {
             let key = match (&r[0], &r[1]) {
@@ -248,4 +307,33 @@ pub fn volcano(db: &Database) -> QueryResult {
         })
         .collect();
     finish(groups)
+}
+
+/// Registry entry (see [`crate::QueryPlan`]).
+pub struct Q41;
+
+impl crate::QueryPlan for Q41 {
+    fn id(&self) -> crate::QueryId {
+        crate::QueryId::Ssb4_1
+    }
+
+    fn tuples_scanned(&self, db: &Database) -> usize {
+        db.table("lineorder").len()
+            + db.table("date").len()
+            + db.table("ssb_customer").len()
+            + db.table("ssb_supplier").len()
+            + db.table("ssb_part").len()
+    }
+
+    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        typer(db, cfg)
+    }
+
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        tectorwise(db, cfg)
+    }
+
+    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        volcano(db, cfg)
+    }
 }

@@ -9,7 +9,10 @@
 //! * **Q18** — high-cardinality aggregation (1.5 M groups per SF)
 //!
 //! Every query module exposes `typer(db, cfg)`, `tectorwise(db, cfg)`
-//! and `volcano(db)`, all returning identical [`crate::result::QueryResult`]s.
+//! and `volcano(db, cfg)` — one uniform signature per paradigm — plus a
+//! unit struct implementing [`crate::QueryPlan`] that the dispatch
+//! registry ([`crate::REGISTRY`]) points at. All three return identical
+//! [`crate::result::QueryResult`]s.
 
 pub mod q1;
 pub mod q18;

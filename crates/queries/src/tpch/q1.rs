@@ -160,7 +160,13 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
             }
             tw::hashp::hash_u8(rf, &sel, hf, &mut hashes);
             tw::hashp::rehash_u8(ls, &sel, hf, &mut hashes);
-            tw::grouping::find_groups(&shard.ht, &hashes, &sel, |k, t| k.0 == rf[t as usize] && k.1 == ls[t as usize], &mut gb);
+            tw::grouping::find_groups(
+                &shard.ht,
+                &hashes,
+                &sel,
+                |k, t| k.0 == rf[t as usize] && k.1 == ls[t as usize],
+                &mut gb,
+            );
             // Misses: per-tuple find-or-insert on the private shard
             // (DESIGN.md simplification of the equal-key shuffle).
             for &t in &gb.miss_sel {
@@ -201,39 +207,71 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
     finish(merge_partitions(shards, cfg.threads, Q1Agg::merge))
 }
 
-/// Volcano: interpreted tuple-at-a-time plan.
-pub fn volcano(db: &Database) -> QueryResult {
-    use dbep_volcano::{AggSpec, Aggregate, BinOp, CmpOp, Expr, Project, Scan, Select, Val};
+/// Volcano: interpreted tuple-at-a-time plan; `threads` partition the
+/// scan through the exchange union, and the per-worker partial groups
+/// re-aggregate through a final merge pass.
+pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, Project, Rows, Scan, Select, Val};
     let li = db.table("lineitem");
-    let scan = Scan::new(li, &[
-        "l_returnflag",
-        "l_linestatus",
-        "l_quantity",
-        "l_extendedprice",
-        "l_discount",
-        "l_tax",
-        "l_shipdate",
-    ]);
-    let filtered = Select {
-        input: Box::new(scan),
-        pred: Expr::cmp(CmpOp::Le, Expr::col(6), Expr::lit_i32(SHIP_CUT)),
-    };
-    let disc_price = Expr::arith(
-        BinOp::Mul,
-        Expr::col(3),
-        Expr::arith(BinOp::Sub, Expr::lit_i64(100), Expr::col(4)),
-    );
-    let charge = Expr::arith(
-        BinOp::Mul,
-        disc_price.clone(),
-        Expr::arith(BinOp::Add, Expr::lit_i64(100), Expr::col(5)),
-    );
-    let projected = Project {
-        input: Box::new(filtered),
-        exprs: vec![Expr::col(0), Expr::col(1), Expr::col(2), Expr::col(3), disc_price, charge, Expr::col(4)],
-    };
-    let agg = Aggregate::new(
-        Box::new(projected),
+    let m = Morsels::new(li.len());
+    let partials = exchange::union(cfg.threads, |_| {
+        let scan = Scan::new(
+            li,
+            &[
+                "l_returnflag",
+                "l_linestatus",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+                "l_tax",
+                "l_shipdate",
+            ],
+        )
+        .paced(cfg.throttle)
+        .morsel_driven(&m);
+        let filtered = Select {
+            input: Box::new(scan),
+            pred: Expr::cmp(CmpOp::Le, Expr::col(6), Expr::lit_i32(SHIP_CUT)),
+        };
+        let disc_price = Expr::arith(
+            BinOp::Mul,
+            Expr::col(3),
+            Expr::arith(BinOp::Sub, Expr::lit_i64(100), Expr::col(4)),
+        );
+        let charge = Expr::arith(
+            BinOp::Mul,
+            disc_price.clone(),
+            Expr::arith(BinOp::Add, Expr::lit_i64(100), Expr::col(5)),
+        );
+        let projected = Project {
+            input: Box::new(filtered),
+            exprs: vec![
+                Expr::col(0),
+                Expr::col(1),
+                Expr::col(2),
+                Expr::col(3),
+                disc_price,
+                charge,
+                Expr::col(4),
+            ],
+        };
+        Box::new(Aggregate::new(
+            Box::new(projected),
+            vec![Expr::col(0), Expr::col(1)],
+            vec![
+                AggSpec::SumI64(Expr::col(2)),
+                AggSpec::SumI64(Expr::col(3)),
+                AggSpec::SumI64(Expr::col(4)),
+                AggSpec::SumI128(Expr::col(5)),
+                AggSpec::SumI64(Expr::col(6)),
+                AggSpec::Count,
+            ],
+        ))
+    });
+    // Merge: re-aggregate the partial groups (counts sum like any other
+    // partial aggregate).
+    let merge = Aggregate::new(
+        Box::new(Rows::new(partials)),
         vec![Expr::col(0), Expr::col(1)],
         vec![
             AggSpec::SumI64(Expr::col(2)),
@@ -241,10 +279,10 @@ pub fn volcano(db: &Database) -> QueryResult {
             AggSpec::SumI64(Expr::col(4)),
             AggSpec::SumI128(Expr::col(5)),
             AggSpec::SumI64(Expr::col(6)),
-            AggSpec::Count,
+            AggSpec::SumI64(Expr::col(7)),
         ],
     );
-    let groups = dbep_volcano::ops::collect(Box::new(agg))
+    let groups = dbep_volcano::ops::collect(Box::new(merge))
         .into_iter()
         .map(|row| {
             let key = match (&row[0], &row[1]) {
@@ -265,4 +303,29 @@ pub fn volcano(db: &Database) -> QueryResult {
         })
         .collect();
     finish(groups)
+}
+
+/// Registry entry (see [`crate::QueryPlan`]).
+pub struct Q1;
+
+impl crate::QueryPlan for Q1 {
+    fn id(&self) -> crate::QueryId {
+        crate::QueryId::Q1
+    }
+
+    fn tuples_scanned(&self, db: &Database) -> usize {
+        db.table("lineitem").len()
+    }
+
+    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        typer(db, cfg)
+    }
+
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        tectorwise(db, cfg)
+    }
+
+    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        volcano(db, cfg)
+    }
 }

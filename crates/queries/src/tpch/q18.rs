@@ -56,11 +56,43 @@ fn finish(db: &Database, rows_raw: Vec<(i32, OrdRow)>) -> QueryResult {
         })
         .collect();
     QueryResult::new(
-        &["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice", "sum_qty"],
+        &[
+            "c_name",
+            "c_custkey",
+            "o_orderkey",
+            "o_orderdate",
+            "o_totalprice",
+            "sum_qty",
+        ],
         rows,
         &[OrderBy::desc(4), OrderBy::asc(3)],
         Some(100),
     )
+}
+
+/// Registry entry (see [`crate::QueryPlan`]).
+pub struct Q18;
+
+impl crate::QueryPlan for Q18 {
+    fn id(&self) -> crate::QueryId {
+        crate::QueryId::Q18
+    }
+
+    fn tuples_scanned(&self, db: &Database) -> usize {
+        db.table("lineitem").len() * 2 + db.table("orders").len() + db.table("customer").len()
+    }
+
+    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        typer(db, cfg)
+    }
+
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        tectorwise(db, cfg)
+    }
+
+    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        volcano(db, cfg)
+    }
 }
 
 /// Shared phase 2+3 (identical logic in Typer and Tectorwise once the
@@ -181,33 +213,44 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
 }
 
 /// Volcano: interpreted plan (HAVING via Select over the aggregate).
-pub fn volcano(db: &Database) -> QueryResult {
-    use dbep_volcano::{AggSpec, Aggregate, CmpOp, Expr, HashJoin, Scan, Select, Val};
-    // Γ(lineitem) with HAVING.
-    let agg = Aggregate::new(
-        Box::new(Scan::new(db.table("lineitem"), &["l_orderkey", "l_quantity"])),
-        vec![Expr::col(0)],
-        vec![AggSpec::SumI64(Expr::col(1))],
-    );
-    let having = Select {
-        input: Box::new(agg),
-        pred: Expr::cmp(CmpOp::Gt, Expr::col(1), Expr::lit_i64(QTY_LIMIT)),
-    };
-    // ⋈ orders: [l_orderkey, sum_qty, o_orderkey, o_custkey, o_orderdate, o_totalprice]
-    let j_o = HashJoin::new(
-        Box::new(having),
-        vec![Expr::col(0)],
-        Box::new(Scan::new(db.table("orders"), &["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"])),
-        vec![Expr::col(0)],
-    );
-    // ⋈ customer: [c_custkey, c_name] ++ previous 6.
-    let j_c = HashJoin::new(
-        Box::new(Scan::new(db.table("customer"), &["c_custkey", "c_name"])),
-        vec![Expr::col(0)],
-        Box::new(j_o),
-        vec![Expr::col(3)],
-    );
-    let rows = dbep_volcano::ops::collect(Box::new(j_c))
+/// The driving orders scan is morsel-partitioned across `cfg.threads`
+/// workers; since `o_orderkey` is unique, each worker's output rows are
+/// disjoint and the union needs no re-aggregation.
+pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    use dbep_volcano::{exchange, AggSpec, Aggregate, CmpOp, Expr, HashJoin, Scan, Select, Val};
+    let ord = db.table("orders");
+    let m = Morsels::new(ord.len());
+    let rows_raw = exchange::union(cfg.threads, |_| {
+        // Γ(lineitem) with HAVING.
+        let agg = Aggregate::new(
+            Box::new(Scan::new(db.table("lineitem"), &["l_orderkey", "l_quantity"]).paced(cfg.throttle)),
+            vec![Expr::col(0)],
+            vec![AggSpec::SumI64(Expr::col(1))],
+        );
+        let having = Select {
+            input: Box::new(agg),
+            pred: Expr::cmp(CmpOp::Gt, Expr::col(1), Expr::lit_i64(QTY_LIMIT)),
+        };
+        // ⋈ orders: [l_orderkey, sum_qty, o_orderkey, o_custkey, o_orderdate, o_totalprice]
+        let j_o = HashJoin::new(
+            Box::new(having),
+            vec![Expr::col(0)],
+            Box::new(
+                Scan::new(ord, &["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"])
+                    .paced(cfg.throttle)
+                    .morsel_driven(&m),
+            ),
+            vec![Expr::col(0)],
+        );
+        // ⋈ customer: [c_custkey, c_name] ++ previous 6.
+        Box::new(HashJoin::new(
+            Box::new(Scan::new(db.table("customer"), &["c_custkey", "c_name"]).paced(cfg.throttle)),
+            vec![Expr::col(0)],
+            Box::new(j_o),
+            vec![Expr::col(3)],
+        ))
+    });
+    let rows = rows_raw
         .into_iter()
         .map(|r| {
             let get_i32 = |v: &Val| match v {
@@ -225,7 +268,14 @@ pub fn volcano(db: &Database) -> QueryResult {
         })
         .collect();
     QueryResult::new(
-        &["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice", "sum_qty"],
+        &[
+            "c_name",
+            "c_custkey",
+            "o_orderkey",
+            "o_orderdate",
+            "o_totalprice",
+            "sum_qty",
+        ],
         rows,
         &[OrderBy::desc(4), OrderBy::asc(3)],
         Some(100),

@@ -38,7 +38,12 @@ fn finish(groups: Vec<(GroupKey, i64)>) -> QueryResult {
     let rows = groups
         .into_iter()
         .map(|((okey, odate, prio), rev)| {
-            vec![Value::I32(okey), Value::dec4(rev as i128), Value::Date(odate), Value::I32(prio)]
+            vec![
+                Value::I32(okey),
+                Value::dec4(rev as i128),
+                Value::Date(odate),
+                Value::I32(prio),
+            ]
         })
         .collect();
     QueryResult::new(
@@ -171,7 +176,15 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
                 continue;
             }
             tw::hashp::hash_i32(ocust, &sel, hf, &mut hashes);
-            if tw::probe::probe_join(&ht_c, &hashes, &sel, |row, t| *row == ocust[t as usize], policy, &mut bufs) == 0 {
+            if tw::probe::probe_join(
+                &ht_c,
+                &hashes,
+                &sel,
+                |row, t| *row == ocust[t as usize],
+                policy,
+                &mut bufs,
+            ) == 0
+            {
                 continue;
             }
             tw::hashp::hash_i32(okey, &bufs.match_tuple, hf, &mut h2);
@@ -207,7 +220,14 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
                 continue;
             }
             tw::hashp::hash_i32(lokey, &sel, hf, &mut hashes);
-            let nm = tw::probe::probe_join(&ht_o, &hashes, &sel, |row, t| row.0 == lokey[t as usize], policy, &mut bufs);
+            let nm = tw::probe::probe_join(
+                &ht_o,
+                &hashes,
+                &sel,
+                |row, t| row.0 == lokey[t as usize],
+                policy,
+                &mut bufs,
+            );
             if nm == 0 {
                 continue;
             }
@@ -235,7 +255,12 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
             );
             for &j in &gb.miss_sel {
                 let j = j as usize;
-                shard.update(ghash[j], (k_okey[j], k_odate[j], k_prio[j]), || 0, |a| *a += v_rev[j]);
+                shard.update(
+                    ghash[j],
+                    (k_okey[j], k_odate[j], k_prio[j]),
+                    || 0,
+                    |a| *a += v_rev[j],
+                );
             }
             if gb.groups.is_empty() {
                 continue;
@@ -248,35 +273,69 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
     finish(merge_partitions(shards, cfg.threads, |a, b| *a += b))
 }
 
-/// Volcano: the same plan, interpreted.
-pub fn volcano(db: &Database) -> QueryResult {
-    use dbep_volcano::{AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Scan, Select, Val};
-    let cust_filtered = Select {
-        input: Box::new(Scan::new(db.table("customer"), &["c_custkey", "c_mktsegment"])),
-        pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::Const(Val::Str("BUILDING".into()))),
-    };
-    let ord_filtered = Select {
-        input: Box::new(Scan::new(db.table("orders"), &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"])),
-        pred: Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit_i32(CUT)),
-    };
-    // rows: [c_custkey, c_mktsegment, o_orderkey, o_custkey, o_orderdate, o_prio]
-    let join1 = HashJoin::new(Box::new(cust_filtered), vec![Expr::col(0)], Box::new(ord_filtered), vec![Expr::col(1)]);
-    let li_filtered = Select {
-        input: Box::new(Scan::new(db.table("lineitem"), &["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"])),
-        pred: Expr::cmp(CmpOp::Gt, Expr::col(3), Expr::lit_i32(CUT)),
-    };
-    // rows: join1 row (6 cols) ++ [l_orderkey, ext, disc, ship]
-    let join2 = HashJoin::new(Box::new(join1), vec![Expr::col(2)], Box::new(li_filtered), vec![Expr::col(0)]);
-    let agg = Aggregate::new(
-        Box::new(join2),
-        vec![Expr::col(2), Expr::col(4), Expr::col(5)],
-        vec![AggSpec::SumI64(Expr::arith(
-            BinOp::Mul,
-            Expr::col(7),
-            Expr::arith(BinOp::Sub, Expr::lit_i64(100), Expr::col(8)),
-        ))],
+/// Volcano: the same plan, interpreted. The driving lineitem scan is
+/// morsel-partitioned across `cfg.threads` workers (each worker builds
+/// its own copies of the small join tables); partial groups re-aggregate
+/// in a final merge pass.
+pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Rows, Scan, Select, Val};
+    let li = db.table("lineitem");
+    let m = Morsels::new(li.len());
+    let partials = exchange::union(cfg.threads, |_| {
+        let cust_filtered = Select {
+            input: Box::new(
+                Scan::new(db.table("customer"), &["c_custkey", "c_mktsegment"]).paced(cfg.throttle),
+            ),
+            pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::Const(Val::Str("BUILDING".into()))),
+        };
+        let ord_filtered = Select {
+            input: Box::new(
+                Scan::new(
+                    db.table("orders"),
+                    &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+                )
+                .paced(cfg.throttle),
+            ),
+            pred: Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit_i32(CUT)),
+        };
+        // rows: [c_custkey, c_mktsegment, o_orderkey, o_custkey, o_orderdate, o_prio]
+        let join1 = HashJoin::new(
+            Box::new(cust_filtered),
+            vec![Expr::col(0)],
+            Box::new(ord_filtered),
+            vec![Expr::col(1)],
+        );
+        let li_filtered = Select {
+            input: Box::new(
+                Scan::new(li, &["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"])
+                    .paced(cfg.throttle)
+                    .morsel_driven(&m),
+            ),
+            pred: Expr::cmp(CmpOp::Gt, Expr::col(3), Expr::lit_i32(CUT)),
+        };
+        // rows: join1 row (6 cols) ++ [l_orderkey, ext, disc, ship]
+        let join2 = HashJoin::new(
+            Box::new(join1),
+            vec![Expr::col(2)],
+            Box::new(li_filtered),
+            vec![Expr::col(0)],
+        );
+        Box::new(Aggregate::new(
+            Box::new(join2),
+            vec![Expr::col(2), Expr::col(4), Expr::col(5)],
+            vec![AggSpec::SumI64(Expr::arith(
+                BinOp::Mul,
+                Expr::col(7),
+                Expr::arith(BinOp::Sub, Expr::lit_i64(100), Expr::col(8)),
+            ))],
+        ))
+    });
+    let merge = Aggregate::new(
+        Box::new(Rows::new(partials)),
+        vec![Expr::col(0), Expr::col(1), Expr::col(2)],
+        vec![AggSpec::SumI64(Expr::col(3))],
     );
-    let groups = dbep_volcano::ops::collect(Box::new(agg))
+    let groups = dbep_volcano::ops::collect(Box::new(merge))
         .into_iter()
         .map(|row| {
             let key = match (&row[0], &row[1], &row[2]) {
@@ -287,4 +346,29 @@ pub fn volcano(db: &Database) -> QueryResult {
         })
         .collect();
     finish(groups)
+}
+
+/// Registry entry (see [`crate::QueryPlan`]).
+pub struct Q3;
+
+impl crate::QueryPlan for Q3 {
+    fn id(&self) -> crate::QueryId {
+        crate::QueryId::Q3
+    }
+
+    fn tuples_scanned(&self, db: &Database) -> usize {
+        db.table("customer").len() + db.table("orders").len() + db.table("lineitem").len()
+    }
+
+    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        typer(db, cfg)
+    }
+
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        tectorwise(db, cfg)
+    }
+
+    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        volcano(db, cfg)
+    }
 }

@@ -74,7 +74,8 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
     let total = AtomicI64::new(0);
     scope_workers(cfg.threads, |_| {
         let mut src = tw::ChunkSource::new(&morsels, cfg.vector_size);
-        let (mut s1, mut s2, mut s3, mut s4, mut s5) = (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let (mut s1, mut s2, mut s3, mut s4, mut s5) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
         let (mut v_ext, mut v_disc, mut v_rev) = (Vec::new(), Vec::new(), Vec::new());
         let mut local = 0i64;
         while let Some(c) = src.next_chunk() {
@@ -105,27 +106,61 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
     finish(total.load(Ordering::Relaxed))
 }
 
-/// Volcano: interpreted conjunction, one tuple at a time.
-pub fn volcano(db: &Database) -> QueryResult {
-    use dbep_volcano::{AggSpec, Aggregate, BinOp, CmpOp, Expr, Scan, Select};
+/// Volcano: interpreted conjunction, one tuple at a time; `threads`
+/// partition the scan through the exchange union, partial sums merge
+/// here.
+pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, Scan, Select};
     let li = db.table("lineitem");
-    let scan = Scan::new(li, &["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"]);
-    let filtered = Select {
-        input: Box::new(scan),
-        pred: Expr::And(vec![
-            Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit_i32(SHIP_LO)),
-            Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit_i32(SHIP_HI)),
-            Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i64(DISC_LO)),
-            Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit_i64(DISC_HI)),
-            Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit_i64(QTY_HI)),
-        ]),
-    };
-    let agg = Aggregate::new(
-        Box::new(filtered),
-        vec![],
-        vec![AggSpec::SumI64(Expr::arith(BinOp::Mul, Expr::col(3), Expr::col(1)))],
-    );
-    let rows = dbep_volcano::ops::collect(Box::new(agg));
-    let revenue = rows.first().map(|r| r[0].as_i64()).unwrap_or(0);
-    finish(revenue)
+    let m = Morsels::new(li.len());
+    let partials = exchange::union(cfg.threads, |_| {
+        let scan = Scan::new(li, &["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"])
+            .paced(cfg.throttle)
+            .morsel_driven(&m);
+        let filtered = Select {
+            input: Box::new(scan),
+            pred: Expr::And(vec![
+                Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit_i32(SHIP_LO)),
+                Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit_i32(SHIP_HI)),
+                Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i64(DISC_LO)),
+                Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit_i64(DISC_HI)),
+                Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit_i64(QTY_HI)),
+            ]),
+        };
+        Box::new(Aggregate::new(
+            Box::new(filtered),
+            vec![],
+            vec![AggSpec::SumI64(Expr::arith(
+                BinOp::Mul,
+                Expr::col(3),
+                Expr::col(1),
+            ))],
+        ))
+    });
+    finish(partials.iter().map(|r| r[0].as_i64()).sum())
+}
+
+/// Registry entry (see [`crate::QueryPlan`]).
+pub struct Q6;
+
+impl crate::QueryPlan for Q6 {
+    fn id(&self) -> crate::QueryId {
+        crate::QueryId::Q6
+    }
+
+    fn tuples_scanned(&self, db: &Database) -> usize {
+        db.table("lineitem").len()
+    }
+
+    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        typer(db, cfg)
+    }
+
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        tectorwise(db, cfg)
+    }
+
+    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        volcano(db, cfg)
+    }
 }

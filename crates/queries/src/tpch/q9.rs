@@ -229,7 +229,15 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
             cfg.pace(c.len(), PS_BYTES);
             tw::hashp::iota(c.start as u32, c.len(), &mut all);
             tw::hashp::hash_i32(pspk, &all, hf, &mut hashes);
-            if tw::probe::probe_join(&ht_p, &hashes, &all, |row, t| *row == pspk[t as usize], policy, &mut bufs) == 0 {
+            if tw::probe::probe_join(
+                &ht_p,
+                &hashes,
+                &all,
+                |row, t| *row == pspk[t as usize],
+                policy,
+                &mut bufs,
+            ) == 0
+            {
                 continue;
             }
             tw::hashp::hash_i32(pspk, &bufs.match_tuple, hf, &mut hc);
@@ -282,7 +290,8 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
         let mut bufs = tw::ProbeBuffers::new();
         let mut bufs2 = tw::ProbeBuffers::new();
         let (mut v_cost, mut v_ext, mut v_disc, mut v_qty) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        let (mut v_om, mut v_rev, mut v_costq, mut v_amount) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let (mut v_om, mut v_rev, mut v_costq, mut v_amount) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
         let mut v_nat: Vec<i32> = Vec::new();
         while let Some(c) = src.next_chunk() {
             cfg.pace(c.len(), LI_BYTES);
@@ -320,7 +329,11 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
                 continue;
             }
             // Align everything to the second probe's matches.
-            let rows2: Vec<u32> = bufs2.match_tuple.iter().map(|&j| first_matches[j as usize]).collect();
+            let rows2: Vec<u32> = bufs2
+                .match_tuple
+                .iter()
+                .map(|&j| first_matches[j as usize])
+                .collect();
             tw::gather::gather_build(&ht_s, &bufs2.match_entry, |r| r.1, &mut v_nat);
             let cost2: Vec<i64> = bufs2.match_tuple.iter().map(|&j| v_cost[j as usize]).collect();
             tw::gather::gather_i64(ext, &rows2, policy, &mut v_ext);
@@ -357,7 +370,14 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
             cfg.pace(c.len(), ORD_BYTES);
             tw::hashp::iota(c.start as u32, c.len(), &mut all);
             tw::hashp::hash_i32(okey, &all, hf, &mut hashes);
-            let nm = tw::probe::probe_join(&ht_li, &hashes, &all, |row, t| row.0 == okey[t as usize], policy, &mut bufs);
+            let nm = tw::probe::probe_join(
+                &ht_li,
+                &hashes,
+                &all,
+                |row, t| row.0 == okey[t as usize],
+                policy,
+                &mut bufs,
+            );
             if nm == 0 {
                 continue;
             }
@@ -393,67 +413,102 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
     finish(db, merge_partitions(shards, cfg.threads, |a, b| *a += b))
 }
 
-/// Volcano: the same plan, interpreted.
-pub fn volcano(db: &Database) -> QueryResult {
-    use dbep_volcano::{AggSpec, Aggregate, BinOp, Expr, HashJoin, Project, Scan, Select, Val};
-    let part_f = Select {
-        input: Box::new(Scan::new(db.table("part"), &["p_partkey", "p_name"])),
-        pred: Expr::Contains(Box::new(Expr::col(1)), NEEDLE.into()),
-    };
-    // [p_partkey, p_name, ps_partkey, ps_suppkey, ps_supplycost]
-    let j_ps = HashJoin::new(
-        Box::new(part_f),
-        vec![Expr::col(0)],
-        Box::new(Scan::new(db.table("partsupp"), &["ps_partkey", "ps_suppkey", "ps_supplycost"])),
-        vec![Expr::col(0)],
-    );
-    // Prune to [ps_partkey, ps_suppkey, ps_supplycost].
-    let ps_view = Project { input: Box::new(j_ps), exprs: vec![Expr::col(2), Expr::col(3), Expr::col(4)] };
-    // ⋈ lineitem on (partkey, suppkey):
-    // [ps_pk, ps_sk, cost, l_orderkey, l_partkey, l_suppkey, qty, ext, disc]
-    let j_li = HashJoin::new(
-        Box::new(ps_view),
-        vec![Expr::col(0), Expr::col(1)],
-        Box::new(Scan::new(
-            db.table("lineitem"),
-            &["l_orderkey", "l_partkey", "l_suppkey", "l_quantity", "l_extendedprice", "l_discount"],
-        )),
-        vec![Expr::col(1), Expr::col(2)],
-    );
-    // ⋈ supplier: [s_suppkey, s_nationkey] ++ previous 9 cols.
-    let j_s = HashJoin::new(
-        Box::new(Scan::new(db.table("supplier"), &["s_suppkey", "s_nationkey"])),
-        vec![Expr::col(0)],
-        Box::new(j_li),
-        vec![Expr::col(5)], // l_suppkey position after build++probe concat
-    );
-    // amount = ext*(100-disc) - cost*qty/100 ; key cols: nationkey, orderkey.
-    let amount = Expr::arith(
-        BinOp::Sub,
-        Expr::arith(BinOp::Mul, Expr::col(9), Expr::arith(BinOp::Sub, Expr::lit_i64(100), Expr::col(10))),
-        Expr::arith(BinOp::Mul, Expr::col(4), Expr::col(8)),
-    );
-    let li_view = Project {
-        input: Box::new(j_s),
-        exprs: vec![Expr::col(1), Expr::col(5), amount],
-    };
-    // ⋈ orders: [nationkey, l_orderkey, amount, o_orderkey, o_year]
-    let year_expr = Expr::col(4);
-    let j_o = HashJoin::new(
-        Box::new(li_view),
-        vec![Expr::col(1)],
-        Box::new(Project {
-            input: Box::new(Scan::new(db.table("orders"), &["o_orderkey", "o_orderdate"])),
-            exprs: vec![Expr::col(0), Expr::col(1)],
-        }),
-        vec![Expr::col(0)],
-    );
-    let agg = Aggregate::new(
-        Box::new(j_o),
-        vec![Expr::col(0), year_expr],
-        vec![AggSpec::SumI64(Expr::col(2))],
-    );
-    let groups = dbep_volcano::ops::collect(Box::new(agg))
+/// Volcano: the same plan, interpreted. The driving orders scan is
+/// morsel-partitioned across `cfg.threads` workers (the heavy build
+/// chain is constructed per worker — the honest cost of a baseline
+/// interpreter without shared operator state); partial per-day groups
+/// merge in the per-year re-aggregation below.
+pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, Expr, HashJoin, Project, Scan, Select, Val};
+    let ord = db.table("orders");
+    let m = Morsels::new(ord.len());
+    let partials = exchange::union(cfg.threads, |_| {
+        let part_f = Select {
+            input: Box::new(Scan::new(db.table("part"), &["p_partkey", "p_name"]).paced(cfg.throttle)),
+            pred: Expr::Contains(Box::new(Expr::col(1)), NEEDLE.into()),
+        };
+        // [p_partkey, p_name, ps_partkey, ps_suppkey, ps_supplycost]
+        let j_ps = HashJoin::new(
+            Box::new(part_f),
+            vec![Expr::col(0)],
+            Box::new(
+                Scan::new(
+                    db.table("partsupp"),
+                    &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+                )
+                .paced(cfg.throttle),
+            ),
+            vec![Expr::col(0)],
+        );
+        // Prune to [ps_partkey, ps_suppkey, ps_supplycost].
+        let ps_view = Project {
+            input: Box::new(j_ps),
+            exprs: vec![Expr::col(2), Expr::col(3), Expr::col(4)],
+        };
+        // ⋈ lineitem on (partkey, suppkey):
+        // [ps_pk, ps_sk, cost, l_orderkey, l_partkey, l_suppkey, qty, ext, disc]
+        let j_li = HashJoin::new(
+            Box::new(ps_view),
+            vec![Expr::col(0), Expr::col(1)],
+            Box::new(
+                Scan::new(
+                    db.table("lineitem"),
+                    &[
+                        "l_orderkey",
+                        "l_partkey",
+                        "l_suppkey",
+                        "l_quantity",
+                        "l_extendedprice",
+                        "l_discount",
+                    ],
+                )
+                .paced(cfg.throttle),
+            ),
+            vec![Expr::col(1), Expr::col(2)],
+        );
+        // ⋈ supplier: [s_suppkey, s_nationkey] ++ previous 9 cols.
+        let j_s = HashJoin::new(
+            Box::new(Scan::new(db.table("supplier"), &["s_suppkey", "s_nationkey"]).paced(cfg.throttle)),
+            vec![Expr::col(0)],
+            Box::new(j_li),
+            vec![Expr::col(5)], // l_suppkey position after build++probe concat
+        );
+        // amount = ext*(100-disc) - cost*qty/100 ; key cols: nationkey, orderkey.
+        let amount = Expr::arith(
+            BinOp::Sub,
+            Expr::arith(
+                BinOp::Mul,
+                Expr::col(9),
+                Expr::arith(BinOp::Sub, Expr::lit_i64(100), Expr::col(10)),
+            ),
+            Expr::arith(BinOp::Mul, Expr::col(4), Expr::col(8)),
+        );
+        let li_view = Project {
+            input: Box::new(j_s),
+            exprs: vec![Expr::col(1), Expr::col(5), amount],
+        };
+        // ⋈ orders: [nationkey, l_orderkey, amount, o_orderkey, o_year]
+        let year_expr = Expr::col(4);
+        let j_o = HashJoin::new(
+            Box::new(li_view),
+            vec![Expr::col(1)],
+            Box::new(Project {
+                input: Box::new(
+                    Scan::new(ord, &["o_orderkey", "o_orderdate"])
+                        .paced(cfg.throttle)
+                        .morsel_driven(&m),
+                ),
+                exprs: vec![Expr::col(0), Expr::col(1)],
+            }),
+            vec![Expr::col(0)],
+        );
+        Box::new(Aggregate::new(
+            Box::new(j_o),
+            vec![Expr::col(0), year_expr],
+            vec![AggSpec::SumI64(Expr::col(2))],
+        ))
+    });
+    let groups = partials
         .into_iter()
         .map(|row| {
             let nat = match &row[0] {
@@ -467,10 +522,39 @@ pub fn volcano(db: &Database) -> QueryResult {
             ((nat, year), row[2].as_i64())
         })
         .collect::<Vec<_>>();
-    // Dates group per-day above; re-aggregate per year.
+    // Dates group per-day above (and per worker); re-aggregate per year.
     let mut byyear: std::collections::HashMap<(i32, i32), i64> = std::collections::HashMap::new();
     for (k, v) in groups {
         *byyear.entry(k).or_insert(0) += v;
     }
     finish(db, byyear.into_iter().collect())
+}
+
+/// Registry entry (see [`crate::QueryPlan`]).
+pub struct Q9;
+
+impl crate::QueryPlan for Q9 {
+    fn id(&self) -> crate::QueryId {
+        crate::QueryId::Q9
+    }
+
+    fn tuples_scanned(&self, db: &Database) -> usize {
+        db.table("part").len()
+            + db.table("partsupp").len()
+            + db.table("supplier").len()
+            + db.table("lineitem").len()
+            + db.table("orders").len()
+    }
+
+    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        typer(db, cfg)
+    }
+
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        tectorwise(db, cfg)
+    }
+
+    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        volcano(db, cfg)
+    }
 }

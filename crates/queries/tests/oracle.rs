@@ -62,7 +62,8 @@ fn q1_oracle() {
     let rf = li.col("l_returnflag").chars();
     let ls = li.col("l_linestatus").chars();
     // (sum_qty, sum_base, sum_dp, sum_charge, sum_disc, count)
-    let mut groups: HashMap<(u8, u8), (i64, i64, i64, i128, i64, i64)> = HashMap::new();
+    type Q1Sums = (i64, i64, i64, i128, i64, i64);
+    let mut groups: HashMap<(u8, u8), Q1Sums> = HashMap::new();
     for i in 0..li.len() {
         if ship[i] <= date(1998, 9, 2) {
             let e = groups.entry((rf[i], ls[i])).or_default();
@@ -138,14 +139,21 @@ fn q3_oracle() {
         if li.col("l_shipdate").dates()[i] > cut {
             let k = li.col("l_orderkey").i32s()[i];
             if let Some(&(odate, prio)) = order_info.get(&k) {
-                *groups.entry((k, odate, prio)).or_default() += li.col("l_extendedprice").i64s()[i]
-                    * (100 - li.col("l_discount").i64s()[i]);
+                *groups.entry((k, odate, prio)).or_default() +=
+                    li.col("l_extendedprice").i64s()[i] * (100 - li.col("l_discount").i64s()[i]);
             }
         }
     }
     let rows = groups
         .into_iter()
-        .map(|((k, d, p), rev)| vec![Value::I32(k), Value::dec4(rev as i128), Value::Date(d), Value::I32(p)])
+        .map(|((k, d, p), rev)| {
+            vec![
+                Value::I32(k),
+                Value::dec4(rev as i128),
+                Value::Date(d),
+                Value::I32(p),
+            ]
+        })
         .collect();
     let oracle = QueryResult::new(
         &["l_orderkey", "revenue", "o_orderdate", "o_shippriority"],
@@ -178,7 +186,12 @@ fn q9_oracle() {
         .collect();
     let ord = db.table("orders");
     let year_of_order: HashMap<i32, i32> = (0..ord.len())
-        .map(|i| (ord.col("o_orderkey").i32s()[i], year_of(ord.col("o_orderdate").dates()[i])))
+        .map(|i| {
+            (
+                ord.col("o_orderkey").i32s()[i],
+                year_of(ord.col("o_orderdate").dates()[i]),
+            )
+        })
         .collect();
     let li = db.table("lineitem");
     let mut groups: HashMap<(i32, i32), i64> = HashMap::new();
@@ -196,7 +209,13 @@ fn q9_oracle() {
     let names = db.table("nation").col("n_name").strs();
     let rows = groups
         .into_iter()
-        .map(|((n, y), a)| vec![Value::Str(names.get(n as usize).to_string()), Value::I32(y), Value::dec4(a as i128)])
+        .map(|((n, y), a)| {
+            vec![
+                Value::Str(names.get(n as usize).to_string()),
+                Value::I32(y),
+                Value::dec4(a as i128),
+            ]
+        })
         .collect();
     let oracle = QueryResult::new(
         &["nation", "o_year", "sum_profit"],
@@ -213,12 +232,16 @@ fn q18_oracle() {
     let li = db.table("lineitem");
     let mut qty_by_order: HashMap<i32, i64> = HashMap::new();
     for i in 0..li.len() {
-        *qty_by_order.entry(li.col("l_orderkey").i32s()[i]).or_default() +=
-            li.col("l_quantity").i64s()[i];
+        *qty_by_order.entry(li.col("l_orderkey").i32s()[i]).or_default() += li.col("l_quantity").i64s()[i];
     }
     let cust = db.table("customer");
     let cust_name: HashMap<i32, String> = (0..cust.len())
-        .map(|i| (cust.col("c_custkey").i32s()[i], cust.col("c_name").strs().get(i).to_string()))
+        .map(|i| {
+            (
+                cust.col("c_custkey").i32s()[i],
+                cust.col("c_name").strs().get(i).to_string(),
+            )
+        })
         .collect();
     let ord = db.table("orders");
     let mut rows = Vec::new();
@@ -239,7 +262,14 @@ fn q18_oracle() {
         }
     }
     let oracle = QueryResult::new(
-        &["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice", "sum_qty"],
+        &[
+            "c_name",
+            "c_custkey",
+            "o_orderkey",
+            "o_orderdate",
+            "o_totalprice",
+            "sum_qty",
+        ],
         rows,
         &[OrderBy::desc(4), OrderBy::asc(3)],
         Some(100),
@@ -297,7 +327,9 @@ fn ssb_q4_1_oracle() {
     let lo = db.table("lineorder");
     let mut groups: HashMap<(i32, i32), i64> = HashMap::new();
     for i in 0..lo.len() {
-        let Some(&cn) = cust_nation.get(&lo.col("lo_custkey").i32s()[i]) else { continue };
+        let Some(&cn) = cust_nation.get(&lo.col("lo_custkey").i32s()[i]) else {
+            continue;
+        };
         if !supp_ok.contains(&lo.col("lo_suppkey").i32s()[i]) {
             continue;
         }
@@ -318,8 +350,12 @@ fn ssb_q4_1_oracle() {
             ]
         })
         .collect();
-    let oracle =
-        QueryResult::new(&["d_year", "c_nation", "profit"], rows, &[OrderBy::asc(0), OrderBy::asc(1)], None);
+    let oracle = QueryResult::new(
+        &["d_year", "c_nation", "profit"],
+        rows,
+        &[OrderBy::asc(0), OrderBy::asc(1)],
+        None,
+    );
     check(QueryId::Ssb4_1, db, oracle);
 }
 
@@ -336,7 +372,11 @@ fn ssb_q2_1_and_q3_1_group_counts_are_plausible() {
             _ => panic!("year column"),
         };
         assert!((1992..=1998).contains(&year));
-        assert!(row[2].to_string().starts_with("MFGR#12"), "brand outside category: {}", row[2]);
+        assert!(
+            row[2].to_string().starts_with("MFGR#12"),
+            "brand outside category: {}",
+            row[2]
+        );
     }
     let q3 = run(Engine::Typer, QueryId::Ssb3_1, db, &ExecCfg::default());
     // ORDER BY d_year ASC must hold.

@@ -85,7 +85,12 @@ impl<K: PartialEq, A> AggHt<K, A> {
         }
         let slot = (hash & self.mask) as usize;
         let idx = self.entries.len() as u32 + 1;
-        self.entries.push(AggEntry { hash, next: self.dir[slot], key, agg });
+        self.entries.push(AggEntry {
+            hash,
+            next: self.dir[slot],
+            key,
+            agg,
+        });
         self.dir[slot] = idx;
         idx - 1
     }
@@ -215,14 +220,18 @@ where
     A: Send + Sync,
 {
     use std::sync::Mutex;
+    type SpillBuf<K, A> = Vec<(u64, K, A)>;
     let results: Vec<Mutex<Vec<(K, A)>>> = (0..PARTITION_COUNT).map(|_| Mutex::new(Vec::new())).collect();
-    let shards: Vec<Vec<Mutex<Vec<(u64, K, A)>>>> = shards
+    let shards: Vec<Vec<Mutex<SpillBuf<K, A>>>> = shards
         .into_iter()
         .map(|s| s.into_iter().map(Mutex::new).collect())
         .collect();
     let next = AtomicUsize::new(0);
     let merge_one = |p: usize| {
-        let expected: usize = shards.iter().map(|s| s[p].lock().expect("spill lock").len()).sum();
+        let expected: usize = shards
+            .iter()
+            .map(|s| s[p].lock().expect("spill lock").len())
+            .sum();
         if expected == 0 {
             return;
         }

@@ -10,6 +10,27 @@
 
 use std::time::{Duration, Instant};
 
+/// Minimal hand-rolled FFI to the platform C library (the workspace is
+/// dependency-free, so no `libc` crate). Only the four calls the perf
+/// wrapper needs; all are gated to Linux targets below.
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod sys {
+    #![allow(non_upper_case_globals)]
+    use std::ffi::{c_int, c_long, c_ulong, c_void};
+
+    extern "C" {
+        pub fn syscall(num: c_long, ...) -> c_long;
+        pub fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    pub const SYS_perf_event_open: c_long = 298;
+    #[cfg(target_arch = "aarch64")]
+    pub const SYS_perf_event_open: c_long = 241;
+}
+
 const PERF_TYPE_HARDWARE: u32 = 0;
 const PERF_TYPE_HW_CACHE: u32 = 3;
 
@@ -22,9 +43,9 @@ const PERF_COUNT_HW_STALLED_CYCLES_BACKEND: u64 = 7;
 // PERF_COUNT_HW_CACHE_L1D (0) | READ (0) << 8 | MISS (1) << 16
 const L1D_READ_MISS: u64 = 1 << 16;
 
-const PERF_EVENT_IOC_ENABLE: libc::c_ulong = 0x2400;
-const PERF_EVENT_IOC_DISABLE: libc::c_ulong = 0x2401;
-const PERF_EVENT_IOC_RESET: libc::c_ulong = 0x2403;
+const PERF_EVENT_IOC_ENABLE: u64 = 0x2400;
+const PERF_EVENT_IOC_DISABLE: u64 = 0x2401;
+const PERF_EVENT_IOC_RESET: u64 = 0x2403;
 
 /// Subset of `struct perf_event_attr` (PERF_ATTR_SIZE_VER5 layout);
 /// trailing fields we never set are zero-initialized padding.
@@ -61,6 +82,7 @@ struct Counter {
 }
 
 impl Counter {
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
     fn open(type_: u32, config: u64) -> Option<Counter> {
         let mut attr = PerfEventAttr {
             type_,
@@ -72,7 +94,14 @@ impl Counter {
         // SAFETY: attr is a properly sized, zero-padded perf_event_attr;
         // pid=0 (self), cpu=-1 (any), group=-1, flags=0.
         let fd = unsafe {
-            libc::syscall(libc::SYS_perf_event_open, &mut attr as *mut PerfEventAttr, 0, -1, -1, 0)
+            sys::syscall(
+                sys::SYS_perf_event_open,
+                &mut attr as *mut PerfEventAttr,
+                0i32,
+                -1i32,
+                -1i32,
+                0u64,
+            )
         };
         if fd < 0 {
             return None;
@@ -80,26 +109,41 @@ impl Counter {
         Some(Counter { fd: fd as i32 })
     }
 
-    fn ioctl(&self, req: libc::c_ulong) {
-        // SAFETY: fd is a valid perf event fd owned by self.
-        unsafe {
-            libc::ioctl(self.fd, req, 0);
-        }
+    #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    fn open(_type: u32, _config: u64) -> Option<Counter> {
+        None
     }
 
+    fn ioctl(&self, req: u64) {
+        #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+        // SAFETY: fd is a valid perf event fd owned by self.
+        unsafe {
+            sys::ioctl(self.fd, req, 0u64);
+        }
+        #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+        let _ = req;
+    }
+
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
     fn read(&self) -> Option<u64> {
         let mut value: u64 = 0;
         // SAFETY: reading 8 bytes into a u64 from our own fd.
-        let n = unsafe { libc::read(self.fd, &mut value as *mut u64 as *mut libc::c_void, 8) };
+        let n = unsafe { sys::read(self.fd, &mut value as *mut u64 as *mut std::ffi::c_void, 8) };
         (n == 8).then_some(value)
+    }
+
+    #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    fn read(&self) -> Option<u64> {
+        None
     }
 }
 
 impl Drop for Counter {
     fn drop(&mut self) {
+        #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
         // SAFETY: closing our own fd exactly once.
         unsafe {
-            libc::close(self.fd);
+            sys::close(self.fd);
         }
     }
 }

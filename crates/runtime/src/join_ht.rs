@@ -54,12 +54,18 @@ impl<T> JoinHtShard<T> {
     }
 
     pub fn with_capacity(n: usize) -> Self {
-        JoinHtShard { entries: Vec::with_capacity(n) }
+        JoinHtShard {
+            entries: Vec::with_capacity(n),
+        }
     }
 
     #[inline]
     pub fn push(&mut self, hash: u64, row: T) {
-        self.entries.push(Entry { next: AtomicU64::new(0), hash, row });
+        self.entries.push(Entry {
+            next: AtomicU64::new(0),
+            hash,
+            row,
+        });
     }
 
     pub fn len(&self) -> usize {
@@ -130,14 +136,12 @@ impl<T: Send + Sync> JoinHt<T> {
         } else {
             std::thread::scope(|s| {
                 for _ in 0..threads {
-                    s.spawn(|| {
-                        loop {
-                            let i = next_shard.fetch_add(1, Ordering::Relaxed);
-                            if i >= ht.shards.len() {
-                                break;
-                            }
-                            insert_shard(&ht.shards[i]);
+                    s.spawn(|| loop {
+                        let i = next_shard.fetch_add(1, Ordering::Relaxed);
+                        if i >= ht.shards.len() {
+                            break;
                         }
+                        insert_shard(&ht.shards[i]);
                     });
                 }
             });
@@ -203,7 +207,11 @@ impl<T: Send + Sync> JoinHt<T> {
     /// re-check the key, as both engines do).
     #[inline]
     pub fn probe(&self, hash: u64) -> ProbeIter<'_, T> {
-        ProbeIter { ht: self, addr: self.chain_head(hash), hash }
+        ProbeIter {
+            ht: self,
+            addr: self.chain_head(hash),
+            hash,
+        }
     }
 
     /// Iterate every entry in the table (used by tests and by the final

@@ -23,6 +23,7 @@ pub mod counters;
 pub mod hash;
 pub mod join_ht;
 pub mod morsel;
+pub mod rng;
 pub mod simd;
 
 pub use agg_ht::{AggHt, GroupByShard, PARTITION_COUNT};
@@ -30,4 +31,5 @@ pub use counters::{CounterSet, CounterValues};
 pub use hash::{crc64, hash_bytes_murmur2, murmur2, rehash_crc, rehash_murmur2, HashFn};
 pub use join_ht::JoinHt;
 pub use morsel::{map_workers, scope_workers, Morsels, MORSEL_TUPLES};
+pub use rng::SmallRng;
 pub use simd::{simd_level, SimdLevel};

@@ -28,7 +28,11 @@ impl Morsels {
 
     pub fn with_size(total: usize, morsel: usize) -> Self {
         assert!(morsel > 0, "morsel size must be positive");
-        Morsels { next: AtomicUsize::new(0), total, morsel }
+        Morsels {
+            next: AtomicUsize::new(0),
+            total,
+            morsel,
+        }
     }
 
     /// Claim the next morsel; `None` once the relation is exhausted.
@@ -81,7 +85,9 @@ pub fn map_workers<T: Send>(threads: usize, f: impl Fn(usize) -> T + Sync) -> Ve
             }
         });
     }
-    out.into_iter().map(|v| v.expect("worker produced a value")).collect()
+    out.into_iter()
+        .map(|v| v.expect("worker produced a value"))
+        .collect()
 }
 
 #[cfg(test)]

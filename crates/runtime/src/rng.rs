@@ -1,0 +1,164 @@
+//! Small deterministic PRNG (xoshiro256** seeded via SplitMix64).
+//!
+//! The workspace is dependency-free, so the data generators and the
+//! benchmark harness use this instead of the `rand` crate. The generator
+//! is seeded, portable and stable across platforms — the same `(sf,
+//! seed)` always yields byte-identical databases, which the cross-engine
+//! equivalence tests rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// xoshiro256** by Blackman & Vigna: 256-bit state, fast, and far better
+/// distributed than the benchmark data needs.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    /// Expand a 64-bit seed into the full state (never all-zero).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        SmallRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform value in `range` (half-open or inclusive integer ranges).
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // Compare against p scaled to the full 64-bit range; exact enough
+        // for data generation (p = 1.0 saturates to always-true).
+        if p >= 1.0 {
+            return true;
+        }
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < p
+    }
+}
+
+/// Multiply-shift bounded sampling (Lemire): uniform enough for data
+/// generation, branch-free, deterministic.
+#[inline]
+fn bounded(rng: &mut SmallRng, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    (((rng.next_u64() as u128) * (span as u128)) >> 64) as u64
+}
+
+/// Integer ranges a [`SmallRng`] can sample from.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($ty:ty) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded(rng, span) as i128) as $ty
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full-domain range: any value is uniform.
+                    return rng.next_u64() as $ty;
+                }
+                (lo as i128 + bounded(rng, span) as i128) as $ty
+            }
+        }
+    };
+}
+
+impl_sample_range!(i32);
+impl_sample_range!(i64);
+impl_sample_range!(u32);
+impl_sample_range!(u64);
+impl_sample_range!(usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(1i64..=7);
+            assert!((1..=7).contains(&w));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn all_range_values_reachable() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits {hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+}

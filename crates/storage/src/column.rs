@@ -17,13 +17,19 @@ pub struct StrColumn {
 
 impl StrColumn {
     pub fn new() -> Self {
-        StrColumn { offsets: vec![0], bytes: Vec::new() }
+        StrColumn {
+            offsets: vec![0],
+            bytes: Vec::new(),
+        }
     }
 
     pub fn with_capacity(rows: usize, bytes: usize) -> Self {
         let mut offsets = Vec::with_capacity(rows + 1);
         offsets.push(0);
-        StrColumn { offsets, bytes: Vec::with_capacity(bytes) }
+        StrColumn {
+            offsets,
+            bytes: Vec::with_capacity(bytes),
+        }
     }
 
     #[inline]
@@ -179,7 +185,10 @@ mod tests {
         assert_eq!(c.get(0), "BUILDING");
         assert_eq!(c.get(1), "");
         assert_eq!(c.get(2), "green almond antique");
-        assert_eq!(c.iter().collect::<Vec<_>>(), vec!["BUILDING", "", "green almond antique"]);
+        assert_eq!(
+            c.iter().collect::<Vec<_>>(),
+            vec!["BUILDING", "", "green almond antique"]
+        );
     }
 
     #[test]

@@ -17,7 +17,12 @@ pub struct Table {
 
 impl Table {
     pub fn new(name: impl Into<String>) -> Self {
-        Table { name: name.into(), len: 0, columns: Vec::new(), by_name: HashMap::new() }
+        Table {
+            name: name.into(),
+            len: 0,
+            columns: Vec::new(),
+            by_name: HashMap::new(),
+        }
     }
 
     pub fn name(&self) -> &str {

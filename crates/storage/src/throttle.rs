@@ -22,7 +22,11 @@ impl Throttle {
     /// A device delivering at most `bytes_per_sec` (must be > 0).
     pub fn new(bytes_per_sec: f64) -> Self {
         assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
-        Throttle { bytes_per_sec, start: Instant::now(), consumed: AtomicU64::new(0) }
+        Throttle {
+            bytes_per_sec,
+            start: Instant::now(),
+            consumed: AtomicU64::new(0),
+        }
     }
 
     /// The paper's SSD array: 1.4 GB/s.
@@ -60,7 +64,10 @@ mod tests {
             t.consume(1_000_000);
         }
         let elapsed = start.elapsed();
-        assert!(elapsed >= Duration::from_millis(90), "finished too fast: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(90),
+            "finished too fast: {elapsed:?}"
+        );
         assert_eq!(t.total_consumed(), 10_000_000);
     }
 

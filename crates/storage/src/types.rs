@@ -91,7 +91,10 @@ pub enum Value {
 impl Value {
     /// Scale-2 decimal from a raw fixed-point i64.
     pub fn dec2(v: i64) -> Self {
-        Value::Dec { digits: v as i128, scale: 2 }
+        Value::Dec {
+            digits: v as i128,
+            scale: 2,
+        }
     }
     pub fn dec4(v: i128) -> Self {
         Value::Dec { digits: v, scale: 4 }
@@ -108,8 +111,18 @@ impl fmt::Display for Value {
             Value::I64(v) => write!(f, "{v}"),
             Value::Dec { digits, scale } => {
                 let pow = 10i128.pow(*scale as u32);
-                let (sign, abs) = if *digits < 0 { ("-", -digits) } else { ("", *digits) };
-                write!(f, "{sign}{}.{:0width$}", abs / pow, abs % pow, width = *scale as usize)
+                let (sign, abs) = if *digits < 0 {
+                    ("-", -digits)
+                } else {
+                    ("", *digits)
+                };
+                write!(
+                    f,
+                    "{sign}{}.{:0width$}",
+                    abs / pow,
+                    abs % pow,
+                    width = *scale as usize
+                )
             }
             Value::Date(d) => write!(f, "{}", format_date(*d)),
             Value::Str(s) => write!(f, "{s}"),

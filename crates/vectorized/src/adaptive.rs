@@ -153,7 +153,7 @@ impl<P: CascadePredicate> AdaptiveCascade<P> {
             }
         }
         self.chunks_seen += 1;
-        if self.chunks_seen % self.reorder_interval == 0 {
+        if self.chunks_seen.is_multiple_of(self.reorder_interval) {
             self.maybe_reorder();
         }
         out.len()
@@ -162,7 +162,10 @@ impl<P: CascadePredicate> AdaptiveCascade<P> {
     fn maybe_reorder(&mut self) {
         let mut new_order = self.order.clone();
         new_order.sort_by(|&a, &b| {
-            self.stats[a].rank().partial_cmp(&self.stats[b].rank()).expect("finite ranks")
+            self.stats[a]
+                .rank()
+                .partial_cmp(&self.stats[b].rank())
+                .expect("finite ranks")
         });
         if new_order != self.order {
             self.order = new_order;
@@ -183,32 +186,32 @@ mod tests {
         cheap_selective: &'a [i32],
         expensive_unselective: &'a [i64],
     ) -> AdaptiveCascade<Box<dyn CascadePredicate + 'a>> {
-        let p_bad: Box<dyn CascadePredicate> =
-            Box::new(move |chunk: std::ops::Range<usize>, in_sel: Option<&[u32]>, out: &mut Vec<u32>| {
-                match in_sel {
-                    None => sel::sel_lt_i64_dense(
-                        &expensive_unselective[chunk.clone()],
-                        i64::MAX - 1,
-                        chunk.start as u32,
-                        out,
-                        SimdPolicy::Scalar,
-                    ),
-                    Some(s) => sel::sel_lt_i64_sparse(expensive_unselective, i64::MAX - 1, s, out, SimdPolicy::Scalar),
+        let p_bad: Box<dyn CascadePredicate> = Box::new(
+            move |chunk: std::ops::Range<usize>, in_sel: Option<&[u32]>, out: &mut Vec<u32>| match in_sel {
+                None => sel::sel_lt_i64_dense(
+                    &expensive_unselective[chunk.clone()],
+                    i64::MAX - 1,
+                    chunk.start as u32,
+                    out,
+                    SimdPolicy::Scalar,
+                ),
+                Some(s) => {
+                    sel::sel_lt_i64_sparse(expensive_unselective, i64::MAX - 1, s, out, SimdPolicy::Scalar)
                 }
-            });
-        let p_good: Box<dyn CascadePredicate> =
-            Box::new(move |chunk: std::ops::Range<usize>, in_sel: Option<&[u32]>, out: &mut Vec<u32>| {
-                match in_sel {
-                    None => sel::sel_lt_i32_dense(
-                        &cheap_selective[chunk.clone()],
-                        10,
-                        chunk.start as u32,
-                        out,
-                        SimdPolicy::Scalar,
-                    ),
-                    Some(s) => sel::sel_lt_i32_sparse(cheap_selective, 10, s, out, SimdPolicy::Scalar),
-                }
-            });
+            },
+        );
+        let p_good: Box<dyn CascadePredicate> = Box::new(
+            move |chunk: std::ops::Range<usize>, in_sel: Option<&[u32]>, out: &mut Vec<u32>| match in_sel {
+                None => sel::sel_lt_i32_dense(
+                    &cheap_selective[chunk.clone()],
+                    10,
+                    chunk.start as u32,
+                    out,
+                    SimdPolicy::Scalar,
+                ),
+                Some(s) => sel::sel_lt_i32_sparse(cheap_selective, 10, s, out, SimdPolicy::Scalar),
+            },
+        );
         // Worst order first: the pass-everything predicate leads.
         AdaptiveCascade::new(vec![p_bad, p_good], 4)
     }

@@ -23,7 +23,11 @@ pub struct ChunkSource<'a> {
 impl<'a> ChunkSource<'a> {
     pub fn new(morsels: &'a Morsels, vector_size: usize) -> Self {
         assert!(vector_size > 0, "vector size must be positive");
-        ChunkSource { morsels, current: 0..0, vector_size }
+        ChunkSource {
+            morsels,
+            current: 0..0,
+            vector_size,
+        }
     }
 
     /// Next chunk of up to `vector_size` tuples, or `None` when the scan

@@ -156,9 +156,9 @@ mod tests {
         // Gather the value per found tuple and update.
         let gathered: Vec<i64> = bufs.group_sel.iter().map(|&t| vals[t as usize]).collect();
         agg_update_i64(&mut ht, &bufs.groups, &gathered, |a, v| *a += v);
-        let mut model = vec![0i64; 13];
+        let mut model = [0i64; 13];
         for i in 0..1000usize {
-            model[(i % 13) as usize] += i as i64;
+            model[i % 13] += i as i64;
         }
         for k in 0..13u64 {
             let idx = ht.find(murmur2(k), &k).expect("group");

@@ -90,7 +90,11 @@ pub fn probe_join<T: Send + Sync>(
     bufs.match_entry.len()
 }
 
-fn probe_round_scalar<T: Send + Sync>(ht: &JoinHt<T>, eq: &impl Fn(&T, u32) -> bool, bufs: &mut ProbeBuffers) {
+fn probe_round_scalar<T: Send + Sync>(
+    ht: &JoinHt<T>,
+    eq: &impl Fn(&T, u32) -> bool,
+    bufs: &mut ProbeBuffers,
+) {
     for j in 0..bufs.cand_addr.len() {
         let addr = bufs.cand_addr[j];
         // SAFETY: candidate addresses originate from ht's chains.

@@ -160,7 +160,12 @@ mod avx512 {
     }
 
     #[target_feature(enable = "avx512f")]
-    pub unsafe fn sparse_i32<const OP: i32>(col: &[i32], c: i32, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+    pub unsafe fn sparse_i32<const OP: i32>(
+        col: &[i32],
+        c: i32,
+        in_sel: &[u32],
+        out: &mut Vec<u32>,
+    ) -> usize {
         let n = in_sel.len();
         let p = out_ptr(out, n);
         let cv = _mm512_set1_epi32(c);
@@ -185,7 +190,12 @@ mod avx512 {
     }
 
     #[target_feature(enable = "avx512f,avx512vl")]
-    pub unsafe fn sparse_i64<const OP: i32>(col: &[i64], c: i64, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+    pub unsafe fn sparse_i64<const OP: i32>(
+        col: &[i64],
+        c: i64,
+        in_sel: &[u32],
+        out: &mut Vec<u32>,
+    ) -> usize {
         let n = in_sel.len();
         let p = out_ptr(out, n);
         let cv = _mm512_set1_epi64(c);
@@ -210,7 +220,13 @@ mod avx512 {
     }
 
     #[target_feature(enable = "avx512f,avx512vl")]
-    pub unsafe fn sparse_between_i64(col: &[i64], lo: i64, hi: i64, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+    pub unsafe fn sparse_between_i64(
+        col: &[i64],
+        lo: i64,
+        hi: i64,
+        in_sel: &[u32],
+        out: &mut Vec<u32>,
+    ) -> usize {
         let n = in_sel.len();
         let p = out_ptr(out, n);
         let lov = _mm512_set1_epi64(lo);
@@ -290,7 +306,7 @@ mod avx2 {
                 let mut k = 0;
                 for lane in 0..8 {
                     if mask & (1 << lane) != 0 {
-                        row[k] = lane as i32;
+                        row[k] = lane;
                         k += 1;
                     }
                 }
@@ -305,7 +321,10 @@ mod avx2 {
         let p = out_ptr(out, n + 8); // +8: full-lane stores may overhang
         let lut = lut();
         let cv = _mm256_set1_epi32(c);
-        let mut idx = _mm256_add_epi32(_mm256_set1_epi32(base as i32), _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+        let mut idx = _mm256_add_epi32(
+            _mm256_set1_epi32(base as i32),
+            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+        );
         let step = _mm256_set1_epi32(8);
         let mut k = 0usize;
         let mut i = 0usize;
@@ -339,7 +358,12 @@ mod avx2 {
     }
 
     #[target_feature(enable = "avx2")]
-    pub unsafe fn sparse_i32<const OP: i32>(col: &[i32], c: i32, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+    pub unsafe fn sparse_i32<const OP: i32>(
+        col: &[i32],
+        c: i32,
+        in_sel: &[u32],
+        out: &mut Vec<u32>,
+    ) -> usize {
         let n = in_sel.len();
         let p = out_ptr(out, n + 8);
         let lut = lut();
@@ -389,12 +413,22 @@ mod autovec {
     }
 
     #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
-    pub unsafe fn sparse_i32<const OP: i32>(col: &[i32], c: i32, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+    pub unsafe fn sparse_i32<const OP: i32>(
+        col: &[i32],
+        c: i32,
+        in_sel: &[u32],
+        out: &mut Vec<u32>,
+    ) -> usize {
         super::sparse_i32_scalar::<OP>(col, c, in_sel, out)
     }
 
     #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
-    pub unsafe fn sparse_i64<const OP: i32>(col: &[i64], c: i64, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+    pub unsafe fn sparse_i64<const OP: i32>(
+        col: &[i64],
+        c: i64,
+        in_sel: &[u32],
+        out: &mut Vec<u32>,
+    ) -> usize {
         super::sparse_i64_scalar::<OP>(col, c, in_sel, out)
     }
 }
@@ -489,7 +523,14 @@ pub fn sel_lt_i64_dense(col: &[i64], c: i64, base: u32, out: &mut Vec<u32>, _pol
 }
 
 /// Dense `lo <= v <= hi` on a 64-bit column.
-pub fn sel_between_i64_dense(col: &[i64], lo: i64, hi: i64, base: u32, out: &mut Vec<u32>, policy: SimdPolicy) -> usize {
+pub fn sel_between_i64_dense(
+    col: &[i64],
+    lo: i64,
+    hi: i64,
+    base: u32,
+    out: &mut Vec<u32>,
+    policy: SimdPolicy,
+) -> usize {
     #[cfg(target_arch = "x86_64")]
     if policy == SimdPolicy::Simd && simd_level() >= SimdLevel::Avx512 {
         // SAFETY: ISA presence checked by simd_level().
@@ -499,7 +540,14 @@ pub fn sel_between_i64_dense(col: &[i64], lo: i64, hi: i64, base: u32, out: &mut
 }
 
 /// Sparse `lo <= v <= hi` on a 64-bit column.
-pub fn sel_between_i64_sparse(col: &[i64], lo: i64, hi: i64, in_sel: &[u32], out: &mut Vec<u32>, policy: SimdPolicy) -> usize {
+pub fn sel_between_i64_sparse(
+    col: &[i64],
+    lo: i64,
+    hi: i64,
+    in_sel: &[u32],
+    out: &mut Vec<u32>,
+    policy: SimdPolicy,
+) -> usize {
     #[cfg(target_arch = "x86_64")]
     if policy == SimdPolicy::Simd && simd_level() >= SimdLevel::Avx512 {
         // SAFETY: ISA presence checked by simd_level().
@@ -510,7 +558,12 @@ pub fn sel_between_i64_sparse(col: &[i64], lo: i64, hi: i64, in_sel: &[u32], out
 
 /// Dense string-equality selection over `chunk` (scalar only: the paper's
 /// string primitives are not SIMD candidates).
-pub fn sel_eq_str_dense(col: &StrColumn, val: &[u8], chunk: std::ops::Range<usize>, out: &mut Vec<u32>) -> usize {
+pub fn sel_eq_str_dense(
+    col: &StrColumn,
+    val: &[u8],
+    chunk: std::ops::Range<usize>,
+    out: &mut Vec<u32>,
+) -> usize {
     out.clear();
     out.reserve(chunk.len());
     for i in chunk {
@@ -543,14 +596,15 @@ mod tests {
     }
 
     fn pseudo_i32(n: usize, m: i32) -> Vec<i32> {
-        (0..n).map(|i| ((i as u64).wrapping_mul(2654435761) % m as u64) as i32).collect()
+        (0..n)
+            .map(|i| ((i as u64).wrapping_mul(2654435761) % m as u64) as i32)
+            .collect()
     }
 
     #[test]
     fn dense_matches_model_all_policies() {
         let col = pseudo_i32(1000, 100);
-        let model: Vec<u32> =
-            (0..1000).filter(|&i| col[i] < 40).map(|i| i as u32 + 7).collect();
+        let model: Vec<u32> = (0..1000).filter(|&i| col[i] < 40).map(|i| i as u32 + 7).collect();
         for policy in policies() {
             let mut out = Vec::new();
             let k = sel_lt_i32_dense(&col, 40, 7, &mut out, policy);
@@ -563,7 +617,11 @@ mod tests {
     fn sparse_matches_model_all_policies() {
         let col = pseudo_i32(4096, 1000);
         let in_sel: Vec<u32> = (0..4096).step_by(3).map(|i| i as u32).collect();
-        let model: Vec<u32> = in_sel.iter().copied().filter(|&i| col[i as usize] >= 500).collect();
+        let model: Vec<u32> = in_sel
+            .iter()
+            .copied()
+            .filter(|&i| col[i as usize] >= 500)
+            .collect();
         for policy in policies() {
             let mut out = Vec::new();
             sel_ge_i32_sparse(&col, 500, &in_sel, &mut out, policy);
@@ -575,8 +633,11 @@ mod tests {
     fn sparse_i64_between_matches_model() {
         let col: Vec<i64> = (0..2048).map(|i| (i * 37 % 11) as i64).collect();
         let in_sel: Vec<u32> = (0..2048).filter(|i| i % 2 == 0).map(|i| i as u32).collect();
-        let model: Vec<u32> =
-            in_sel.iter().copied().filter(|&i| (5..=7).contains(&col[i as usize])).collect();
+        let model: Vec<u32> = in_sel
+            .iter()
+            .copied()
+            .filter(|&i| (5..=7).contains(&col[i as usize]))
+            .collect();
         for policy in policies() {
             let mut out = Vec::new();
             sel_between_i64_sparse(&col, 5, 7, &in_sel, &mut out, policy);
@@ -587,7 +648,9 @@ mod tests {
     #[test]
     fn dense_i64_between_matches_model() {
         let col: Vec<i64> = (0..777).map(|i| (i * 13 % 29) as i64).collect();
-        let model: Vec<u32> = (0..777u32).filter(|&i| (10..=20).contains(&col[i as usize])).collect();
+        let model: Vec<u32> = (0..777u32)
+            .filter(|&i| (10..=20).contains(&col[i as usize]))
+            .collect();
         for policy in policies() {
             let mut out = Vec::new();
             sel_between_i64_dense(&col, 10, 20, 0, &mut out, policy);
@@ -621,7 +684,9 @@ mod tests {
 
     #[test]
     fn string_and_char_selection() {
-        let col: StrColumn = ["BUILDING", "AUTOMOBILE", "BUILDING", "MACHINERY"].into_iter().collect();
+        let col: StrColumn = ["BUILDING", "AUTOMOBILE", "BUILDING", "MACHINERY"]
+            .into_iter()
+            .collect();
         let mut out = Vec::new();
         sel_eq_str_dense(&col, b"BUILDING", 0..4, &mut out);
         assert_eq!(out, vec![0, 2]);

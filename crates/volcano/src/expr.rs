@@ -183,7 +183,11 @@ mod tests {
         let row = vec![Val::Str("forest green linen".into())];
         assert!(Expr::Contains(Box::new(Expr::col(0)), "green".into()).eval_bool(&row));
         assert!(!Expr::Contains(Box::new(Expr::col(0)), "azure".into()).eval_bool(&row));
-        let eq = Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::Const(Val::Str("forest green linen".into())));
+        let eq = Expr::cmp(
+            CmpOp::Eq,
+            Expr::col(0),
+            Expr::Const(Val::Str("forest green linen".into())),
+        );
         assert!(eq.eval_bool(&row));
     }
 

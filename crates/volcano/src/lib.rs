@@ -16,8 +16,11 @@
 //! tables keyed by value vectors — because that *is* the model being
 //! contrasted.
 
+pub mod exchange;
 pub mod expr;
 pub mod ops;
 
 pub use expr::{BinOp, CmpOp, Expr, Val};
-pub use ops::{Aggregate, AggSpec, BoxOp, HashJoin, Operator, Project, Row, Scan, Select, Sort, SortKey};
+pub use ops::{
+    AggSpec, Aggregate, BoxOp, HashJoin, Operator, Project, Row, Rows, Scan, Select, Sort, SortKey,
+};

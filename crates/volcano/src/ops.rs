@@ -1,8 +1,11 @@
 //! Volcano operators: boxed, pull-based, one tuple per `next()` call.
 
 use crate::expr::{Expr, Val};
+use dbep_runtime::{Morsels, MORSEL_TUPLES};
+use dbep_storage::throttle::Throttle;
 use dbep_storage::{ColumnData, Table};
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// One tuple.
 pub type Row = Vec<Val>;
@@ -13,30 +16,89 @@ pub trait Operator {
     fn next(&mut self) -> Option<Row>;
 }
 
-/// Full-table scan producing the named columns in order.
+/// Table scan producing the named columns in order.
+///
+/// By default it walks the whole table. [`Scan::morsel_driven`] makes it
+/// claim tuple ranges from a shared [`Morsels`] cursor instead — the
+/// mechanism the exchange-style parallel union uses to partition the
+/// driving scan of a plan across workers (§6.1 applied to the baseline
+/// engine). [`Scan::paced`] debits every claimed range against a shared
+/// bandwidth [`Throttle`], giving Volcano the same emulated-SSD behaviour
+/// (Table 5) as the other two engines.
 pub struct Scan<'a> {
     cols: Vec<&'a ColumnData>,
-    pos: usize,
+    current: Range<usize>,
+    next_dense: usize,
     len: usize,
+    morsels: Option<&'a Morsels>,
+    throttle: Option<&'a Throttle>,
+    bytes_per_row: usize,
 }
 
 impl<'a> Scan<'a> {
     pub fn new(table: &'a Table, columns: &[&str]) -> Self {
+        let cols: Vec<&ColumnData> = columns.iter().map(|c| table.col(c)).collect();
+        let bytes_per_row = if table.is_empty() {
+            0
+        } else {
+            cols.iter().map(|c| c.byte_size() / table.len()).sum()
+        };
         Scan {
-            cols: columns.iter().map(|c| table.col(c)).collect(),
-            pos: 0,
+            cols,
+            current: 0..0,
+            next_dense: 0,
             len: table.len(),
+            morsels: None,
+            throttle: None,
+            bytes_per_row,
         }
+    }
+
+    /// Pace every claimed tuple range against `throttle` (no-op if `None`).
+    pub fn paced(mut self, throttle: Option<&'a Throttle>) -> Self {
+        self.throttle = throttle;
+        self
+    }
+
+    /// Claim tuple ranges from a shared cursor instead of scanning densely.
+    /// The cursor must dispense ranges within this table's row count.
+    pub fn morsel_driven(mut self, morsels: &'a Morsels) -> Self {
+        assert!(morsels.total() <= self.len, "morsel cursor exceeds table");
+        self.morsels = Some(morsels);
+        self
+    }
+
+    fn refill(&mut self) -> bool {
+        let range = match self.morsels {
+            Some(m) => match m.claim() {
+                Some(r) => r,
+                None => return false,
+            },
+            None => {
+                if self.next_dense >= self.len {
+                    return false;
+                }
+                let start = self.next_dense;
+                let end = (start + MORSEL_TUPLES).min(self.len);
+                self.next_dense = end;
+                start..end
+            }
+        };
+        if let Some(t) = self.throttle {
+            t.consume(range.len() * self.bytes_per_row);
+        }
+        self.current = range;
+        true
     }
 }
 
 impl<'a> Operator for Scan<'a> {
     fn next(&mut self) -> Option<Row> {
-        if self.pos >= self.len {
+        if self.current.is_empty() && !self.refill() {
             return None;
         }
-        let i = self.pos;
-        self.pos += 1;
+        let i = self.current.start;
+        self.current.start += 1;
         Some(
             self.cols
                 .iter()
@@ -49,6 +111,26 @@ impl<'a> Operator for Scan<'a> {
                 })
                 .collect(),
         )
+    }
+}
+
+/// Source over already-materialized rows (used to merge the partial
+/// results of a parallel union back through a final operator chain).
+pub struct Rows {
+    iter: std::vec::IntoIter<Row>,
+}
+
+impl Rows {
+    pub fn new(rows: Vec<Row>) -> Self {
+        Rows {
+            iter: rows.into_iter(),
+        }
+    }
+}
+
+impl Operator for Rows {
+    fn next(&mut self) -> Option<Row> {
+        self.iter.next()
     }
 }
 
@@ -97,18 +179,19 @@ pub struct HashJoin<'a> {
 
 impl<'a> HashJoin<'a> {
     /// Fully consumes `build` on construction (the pipeline breaker).
-    pub fn new(
-        mut build: BoxOp<'_>,
-        build_keys: Vec<Expr>,
-        probe: BoxOp<'a>,
-        probe_keys: Vec<Expr>,
-    ) -> Self {
+    pub fn new(mut build: BoxOp<'_>, build_keys: Vec<Expr>, probe: BoxOp<'a>, probe_keys: Vec<Expr>) -> Self {
         let mut table: HashMap<Vec<Val>, Vec<Row>> = HashMap::new();
         while let Some(row) = build.next() {
             let key: Vec<Val> = build_keys.iter().map(|e| e.eval(&row)).collect();
             table.entry(key).or_default().push(row);
         }
-        HashJoin { probe, build_keys, probe_keys, table, pending: Vec::new() }
+        HashJoin {
+            probe,
+            build_keys,
+            probe_keys,
+            table,
+            pending: Vec::new(),
+        }
     }
 }
 
@@ -180,7 +263,9 @@ impl Aggregate {
                 k
             })
             .collect();
-        Aggregate { out: rows.into_iter() }
+        Aggregate {
+            out: rows.into_iter(),
+        }
     }
 }
 
@@ -221,7 +306,9 @@ impl Sort {
         if let Some(l) = limit {
             rows.truncate(l);
         }
-        Sort { out: rows.into_iter() }
+        Sort {
+            out: rows.into_iter(),
+        }
     }
 }
 
@@ -265,7 +352,10 @@ mod tests {
             exprs: vec![Expr::arith(BinOp::Mul, Expr::col(0), Expr::lit_i64(2))],
         };
         let rows = collect(Box::new(plan));
-        assert_eq!(rows, vec![vec![Val::I64(4)], vec![Val::I64(6)], vec![Val::I64(8)]]);
+        assert_eq!(
+            rows,
+            vec![vec![Val::I64(4)], vec![Val::I64(6)], vec![Val::I64(8)]]
+        );
     }
 
     #[test]
@@ -313,7 +403,10 @@ mod tests {
             Some(2),
         );
         let rows = collect(Box::new(sort));
-        assert_eq!(rows, vec![vec![Val::I32(4), Val::I64(40)], vec![Val::I32(3), Val::I64(30)]]);
+        assert_eq!(
+            rows,
+            vec![vec![Val::I32(4), Val::I64(40)], vec![Val::I32(3), Val::I64(30)]]
+        );
     }
 
     #[test]

@@ -10,7 +10,10 @@ use db_engine_paradigms::prelude::*;
 use std::time::Instant;
 
 fn main() {
-    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("generating TPC-H SF={sf} with {threads} threads...");
     let db = dbep_datagen::tpch::generate_par(sf, 42, threads);
@@ -30,7 +33,10 @@ fn main() {
         let vectorized = run(Engine::Tectorwise, q, &db, &cfg);
         let t_tw = t.elapsed();
         assert_eq!(compiled, vectorized);
-        println!("Typer {t_typer:?} | Tectorwise {t_tw:?} | {} rows", compiled.len());
+        println!(
+            "Typer {t_typer:?} | Tectorwise {t_tw:?} | {} rows",
+            compiled.len()
+        );
         // Print the first few report lines.
         let preview = QueryResult {
             columns: compiled.columns.clone(),

@@ -11,7 +11,10 @@ use dbep_queries::oltp;
 use std::time::Instant;
 
 fn main() {
-    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
     println!("generating TPC-H SF={sf}...");
     let db = dbep_datagen::tpch::generate(sf, 42);
     let idx = oltp::OltpIndex::build(&db, HashFn::Crc);
@@ -26,16 +29,24 @@ fn main() {
         check += oltp::lookup_typer(&db, &idx, k).expect("order exists").sum_qty;
     }
     let typer = t.elapsed();
-    println!("Typer (compiled procedure):  {:>10.0} lookups/s", keys.len() as f64 / typer.as_secs_f64());
+    println!(
+        "Typer (compiled procedure):  {:>10.0} lookups/s",
+        keys.len() as f64 / typer.as_secs_f64()
+    );
 
     let mut scratch = oltp::TwLookupScratch::new();
     let t = Instant::now();
     let mut check_tw = 0i64;
     for &k in &keys {
-        check_tw += oltp::lookup_tectorwise(&db, &idx, k, &mut scratch).expect("order exists").sum_qty;
+        check_tw += oltp::lookup_tectorwise(&db, &idx, k, &mut scratch)
+            .expect("order exists")
+            .sum_qty;
     }
     let tw = t.elapsed();
-    println!("Tectorwise (vectors of 1):   {:>10.0} lookups/s", keys.len() as f64 / tw.as_secs_f64());
+    println!(
+        "Tectorwise (vectors of 1):   {:>10.0} lookups/s",
+        keys.len() as f64 / tw.as_secs_f64()
+    );
     assert_eq!(check, check_tw, "engines disagree");
 
     // Volcano re-plans and scans per statement — sample a few only.
@@ -44,7 +55,10 @@ fn main() {
         oltp::lookup_volcano(&db, k).expect("order exists");
     }
     let volcano = t.elapsed();
-    println!("Volcano (interpreted scan):  {:>10.0} lookups/s", 5.0 / volcano.as_secs_f64());
+    println!(
+        "Volcano (interpreted scan):  {:>10.0} lookups/s",
+        5.0 / volcano.as_secs_f64()
+    );
     println!(
         "\ncompiled vs vectorized advantage: {:.1}x (the §8.1 OLTP argument)",
         tw.as_secs_f64() / typer.as_secs_f64()

@@ -13,7 +13,11 @@ fn main() {
     //    (~600k lineitem rows).
     let t = Instant::now();
     let db = dbep_datagen::tpch::generate(0.1, 42);
-    println!("generated TPC-H SF=0.1 in {:?} ({} bytes)\n", t.elapsed(), db.byte_size());
+    println!(
+        "generated TPC-H SF=0.1 in {:?} ({} bytes)\n",
+        t.elapsed(),
+        db.byte_size()
+    );
 
     // 2. One configuration shared by all engines: single-threaded,
     //    default vector size (1024), scalar primitives.

@@ -10,7 +10,10 @@ use db_engine_paradigms::prelude::*;
 use std::time::Instant;
 
 fn main() {
-    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let policy = match std::env::args().nth(2).as_deref() {
         Some("simd") => SimdPolicy::Simd,
         Some("auto") => SimdPolicy::Auto,
@@ -19,7 +22,11 @@ fn main() {
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("generating SSB SF={sf}...");
     let db = dbep_datagen::ssb::generate_par(sf, 42, threads);
-    let cfg = ExecCfg { threads, policy, ..Default::default() };
+    let cfg = ExecCfg {
+        threads,
+        policy,
+        ..Default::default()
+    };
 
     for q in QueryId::SSB {
         let t = Instant::now();

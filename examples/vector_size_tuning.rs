@@ -11,22 +11,44 @@ use db_engine_paradigms::prelude::*;
 use std::time::Instant;
 
 fn main() {
-    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
     println!("generating TPC-H SF={sf}...");
     let db = dbep_datagen::tpch::generate(sf, 42);
 
     println!("\nTPC-H Q1 on Tectorwise, single thread:");
     println!("{:>12} {:>12}", "vector size", "runtime");
     let mut best = (0usize, f64::MAX);
-    for vs in [1usize, 4, 16, 64, 256, 1024, 4096, 1 << 14, 1 << 16, 1 << 20, usize::MAX >> 1] {
-        let cfg = ExecCfg { vector_size: vs, ..Default::default() };
+    for vs in [
+        1usize,
+        4,
+        16,
+        64,
+        256,
+        1024,
+        4096,
+        1 << 14,
+        1 << 16,
+        1 << 20,
+        usize::MAX >> 1,
+    ] {
+        let cfg = ExecCfg {
+            vector_size: vs,
+            ..Default::default()
+        };
         // Warm-up + measured run.
         run(Engine::Tectorwise, QueryId::Q1, &db, &cfg);
         let t = Instant::now();
         let r = run(Engine::Tectorwise, QueryId::Q1, &db, &cfg);
         let secs = t.elapsed().as_secs_f64();
         assert_eq!(r.len(), 4);
-        let label = if vs > 1 << 22 { "Max".to_string() } else { vs.to_string() };
+        let label = if vs > 1 << 22 {
+            "Max".to_string()
+        } else {
+            vs.to_string()
+        };
         println!("{label:>12} {:>9.1} ms", secs * 1e3);
         if secs < best.1 {
             best = (vs, secs);

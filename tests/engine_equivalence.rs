@@ -16,6 +16,16 @@ fn ssb_db() -> &'static Database {
     DB.get_or_init(|| dbep_datagen::ssb::generate(0.05, 42))
 }
 
+fn tpch_db_001() -> &'static Database {
+    static DB: std::sync::OnceLock<Database> = std::sync::OnceLock::new();
+    DB.get_or_init(|| dbep_datagen::tpch::generate(0.01, 42))
+}
+
+fn ssb_db_001() -> &'static Database {
+    static DB: std::sync::OnceLock<Database> = std::sync::OnceLock::new();
+    DB.get_or_init(|| dbep_datagen::ssb::generate(0.01, 42))
+}
+
 fn db_for(q: QueryId) -> &'static Database {
     if QueryId::TPCH.contains(&q) {
         tpch_db()
@@ -24,9 +34,22 @@ fn db_for(q: QueryId) -> &'static Database {
     }
 }
 
+fn db_for_001(q: QueryId) -> &'static Database {
+    if QueryId::TPCH.contains(&q) {
+        tpch_db_001()
+    } else {
+        ssb_db_001()
+    }
+}
+
 fn assert_equal(q: QueryId, a: &QueryResult, b: &QueryResult, what: &str) {
     assert_eq!(a.columns, b.columns, "{}: column mismatch on {what}", q.name());
-    assert_eq!(a.rows.len(), b.rows.len(), "{}: row count mismatch on {what}", q.name());
+    assert_eq!(
+        a.rows.len(),
+        b.rows.len(),
+        "{}: row count mismatch on {what}",
+        q.name()
+    );
     for (i, (ra, rb)) in a.rows.iter().zip(&b.rows).enumerate() {
         assert_eq!(ra, rb, "{}: row {i} differs on {what}", q.name());
     }
@@ -44,6 +67,37 @@ const ALL: [QueryId; 9] = [
     QueryId::Ssb4_1,
 ];
 
+/// All 27 (engine, query) pairs at SF 0.01: every registered query on
+/// every paradigm, identical `QueryResult`s (the acceptance bar of the
+/// registry refactor).
+#[test]
+fn all_27_engine_query_pairs_agree_at_sf_001() {
+    let engines = [Engine::Typer, Engine::Tectorwise, Engine::Volcano];
+    for q in ALL {
+        let db = db_for_001(q);
+        let cfg = ExecCfg::default();
+        let results: Vec<QueryResult> = engines.iter().map(|&e| run(e, q, db, &cfg)).collect();
+        assert!(!results[0].is_empty(), "{}: empty result", q.name());
+        assert_equal(q, &results[0], &results[1], "typer vs tectorwise");
+        assert_equal(q, &results[0], &results[2], "typer vs volcano");
+    }
+}
+
+/// The registry is complete and self-consistent: one plan per
+/// `QueryId`, ids unique, lookup total.
+#[test]
+fn registry_covers_every_query_exactly_once() {
+    use dbep_queries::{plan, QueryId, REGISTRY};
+    assert_eq!(REGISTRY.len(), QueryId::ALL.len());
+    for q in QueryId::ALL {
+        assert_eq!(plan(q).id(), q, "registry lookup roundtrip for {}", q.name());
+    }
+    let mut names: Vec<&str> = REGISTRY.iter().map(|p| p.id().name()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), REGISTRY.len(), "duplicate registry entries");
+}
+
 #[test]
 fn typer_equals_tectorwise_equals_volcano() {
     for q in ALL {
@@ -58,13 +112,30 @@ fn typer_equals_tectorwise_equals_volcano() {
     }
 }
 
+/// Volcano's exchange-style parallel union must not change results.
+#[test]
+fn volcano_threads_do_not_change_results() {
+    for q in ALL {
+        let db = db_for_001(q);
+        let single = run(Engine::Volcano, q, db, &ExecCfg::default());
+        for threads in [2usize, 4] {
+            let cfg = ExecCfg::with_threads(threads);
+            let parallel = run(Engine::Volcano, q, db, &cfg);
+            assert_equal(q, &single, &parallel, &format!("volcano {threads} threads"));
+        }
+    }
+}
+
 #[test]
 fn simd_policy_does_not_change_results() {
     for q in ALL {
         let db = db_for(q);
         let scalar = run(Engine::Tectorwise, q, db, &ExecCfg::default());
         for policy in [SimdPolicy::Simd, SimdPolicy::Auto] {
-            let cfg = ExecCfg { policy, ..Default::default() };
+            let cfg = ExecCfg {
+                policy,
+                ..Default::default()
+            };
             let r = run(Engine::Tectorwise, q, db, &cfg);
             assert_equal(q, &scalar, &r, &format!("{policy:?}"));
         }
@@ -77,7 +148,10 @@ fn vector_size_does_not_change_results() {
         let db = db_for(q);
         let reference = run(Engine::Tectorwise, q, db, &ExecCfg::default());
         for vs in [1usize, 3, 17, 255, 8192, usize::MAX] {
-            let cfg = ExecCfg { vector_size: vs.min(1 << 20), ..Default::default() };
+            let cfg = ExecCfg {
+                vector_size: vs.min(1 << 20),
+                ..Default::default()
+            };
             let r = run(Engine::Tectorwise, q, db, &cfg);
             assert_equal(q, &reference, &r, &format!("vector size {vs}"));
         }
@@ -105,8 +179,16 @@ fn hash_function_swap_does_not_change_results() {
         let db = db_for(q);
         let reference = run(Engine::Typer, q, db, &ExecCfg::default());
         for hash in [HashFn::Murmur2, HashFn::Crc] {
-            let cfg = ExecCfg { hash: Some(hash), ..Default::default() };
-            assert_equal(q, &reference, &run(Engine::Typer, q, db, &cfg), &format!("typer {hash:?}"));
+            let cfg = ExecCfg {
+                hash: Some(hash),
+                ..Default::default()
+            };
+            assert_equal(
+                q,
+                &reference,
+                &run(Engine::Typer, q, db, &cfg),
+                &format!("typer {hash:?}"),
+            );
             assert_equal(
                 q,
                 &reference,
@@ -122,10 +204,32 @@ fn throttled_scan_changes_time_not_results() {
     let db = tpch_db();
     let reference = run(Engine::Typer, QueryId::Q6, db, &ExecCfg::default());
     let throttle = dbep_storage::throttle::Throttle::new(200.0e6);
-    let cfg = ExecCfg { throttle: Some(&throttle), ..Default::default() };
+    let cfg = ExecCfg {
+        throttle: Some(&throttle),
+        ..Default::default()
+    };
     let throttled = run(Engine::Typer, QueryId::Q6, db, &cfg);
     assert_equal(QueryId::Q6, &reference, &throttled, "throttled");
     assert!(throttle.total_consumed() > 0, "throttle must have been exercised");
+}
+
+/// The throttle now applies to the Volcano paradigm too (unified
+/// `ExecCfg` across all three engines).
+#[test]
+fn volcano_throttled_scan_changes_time_not_results() {
+    let db = tpch_db_001();
+    let reference = run(Engine::Volcano, QueryId::Q6, db, &ExecCfg::default());
+    let throttle = dbep_storage::throttle::Throttle::new(500.0e6);
+    let cfg = ExecCfg {
+        throttle: Some(&throttle),
+        ..Default::default()
+    };
+    let throttled = run(Engine::Volcano, QueryId::Q6, db, &cfg);
+    assert_equal(QueryId::Q6, &reference, &throttled, "volcano throttled");
+    assert!(
+        throttle.total_consumed() > 0,
+        "volcano scans must debit the throttle"
+    );
 }
 
 #[test]
@@ -172,7 +276,8 @@ fn oltp_lookups_agree_across_engines() {
     let n_orders = db.table("orders").len() as i32;
     for orderkey in [1, 2, 77, n_orders / 2, n_orders] {
         let t = dbep_queries::oltp::lookup_typer(db, &idx, orderkey).expect("order exists");
-        let v = dbep_queries::oltp::lookup_tectorwise(db, &idx, orderkey, &mut scratch).expect("order exists");
+        let v =
+            dbep_queries::oltp::lookup_tectorwise(db, &idx, orderkey, &mut scratch).expect("order exists");
         let w = dbep_queries::oltp::lookup_volcano(db, orderkey).expect("order exists");
         assert_eq!(t, v, "typer vs tectorwise, order {orderkey}");
         assert_eq!(t, w, "typer vs volcano, order {orderkey}");

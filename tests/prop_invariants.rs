@@ -1,134 +1,165 @@
-//! Property-based tests on the core data structures and primitives.
+//! Property-style tests on the core data structures and primitives.
 //!
 //! Strategy: every SIMD/vectorized/concurrent fast path must agree with
 //! a trivially correct model (`std` collections, plain loops) on
-//! arbitrary inputs — the invariants the whole study rests on.
+//! randomized inputs — the invariants the whole study rests on. Inputs
+//! are drawn from the in-tree deterministic PRNG (the workspace is
+//! dependency-free, so no proptest): many seeded cases per property,
+//! fully reproducible.
 
 use db_engine_paradigms::prelude::*;
 use dbep_core::runtime::agg_ht::merge_partitions;
 use dbep_core::runtime::join_ht::{JoinHt, JoinHtShard};
+use dbep_core::runtime::rng::SmallRng;
 use dbep_core::runtime::{murmur2, GroupByShard, Morsels};
 use dbep_core::storage::types::{civil, date, format_date, parse_date};
 use dbep_core::storage::StrColumn;
 use dbep_core::vectorized::{gather, hashp, sel};
-use proptest::prelude::*;
 use std::collections::HashMap;
+
+const CASES: u64 = 64;
 
 fn all_policies() -> Vec<SimdPolicy> {
     vec![SimdPolicy::Scalar, SimdPolicy::Simd, SimdPolicy::Auto]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+// ----- selection primitives ≡ filter model, every policy -----
 
-    // ----- selection primitives ≡ filter model, every policy -----
-
-    #[test]
-    fn dense_selection_matches_model(col in prop::collection::vec(-1000i32..1000, 0..300), c in -1000i32..1000) {
-        let model: Vec<u32> = (0..col.len()).filter(|&i| col[i] < c).map(|i| i as u32).collect();
+#[test]
+fn dense_selection_matches_model() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5e1 ^ case);
+        let n = rng.gen_range(0usize..300);
+        let col: Vec<i32> = (0..n).map(|_| rng.gen_range(-1000i32..1000)).collect();
+        let c = rng.gen_range(-1000i32..1000);
+        let model: Vec<u32> = (0..n).filter(|&i| col[i] < c).map(|i| i as u32).collect();
         for policy in all_policies() {
             let mut out = Vec::new();
             sel::sel_lt_i32_dense(&col, c, 0, &mut out, policy);
-            prop_assert_eq!(&out, &model, "policy {:?}", policy);
+            assert_eq!(out, model, "case {case} policy {policy:?}");
         }
     }
+}
 
-    #[test]
-    fn sparse_selection_matches_model(
-        col in prop::collection::vec(-100i64..100, 1..300),
-        mask in prop::collection::vec(any::<bool>(), 1..300),
-        lo in -100i64..100,
-        span in 0i64..50,
-    ) {
-        let n = col.len().min(mask.len());
-        let in_sel: Vec<u32> = (0..n).filter(|&i| mask[i]).map(|i| i as u32).collect();
-        let hi = lo + span;
-        let model: Vec<u32> = in_sel.iter().copied()
+#[test]
+fn sparse_selection_matches_model() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5b2 ^ case);
+        let n = rng.gen_range(1usize..300);
+        let col: Vec<i64> = (0..n).map(|_| rng.gen_range(-100i64..100)).collect();
+        let in_sel: Vec<u32> = (0..n).filter(|_| rng.gen_bool(0.5)).map(|i| i as u32).collect();
+        let lo = rng.gen_range(-100i64..100);
+        let hi = lo + rng.gen_range(0i64..50);
+        let model: Vec<u32> = in_sel
+            .iter()
+            .copied()
             .filter(|&i| col[i as usize] >= lo && col[i as usize] <= hi)
             .collect();
         for policy in all_policies() {
             let mut out = Vec::new();
             sel::sel_between_i64_sparse(&col, lo, hi, &in_sel, &mut out, policy);
-            prop_assert_eq!(&out, &model, "policy {:?}", policy);
+            assert_eq!(out, model, "case {case} policy {policy:?}");
         }
     }
+}
 
-    // ----- gathers and hash primitives ≡ map model -----
+// ----- gathers and hash primitives ≡ map model -----
 
-    #[test]
-    fn gather_matches_model(
-        col in prop::collection::vec(any::<i64>(), 1..500),
-        idx in prop::collection::vec(any::<prop::sample::Index>(), 0..200),
-    ) {
-        let sel_v: Vec<u32> = idx.iter().map(|i| i.index(col.len()) as u32).collect();
+#[test]
+fn gather_matches_model() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x6a7 ^ case);
+        let n = rng.gen_range(1usize..500);
+        let col: Vec<i64> = (0..n).map(|_| rng.next_u64() as i64).collect();
+        let m = rng.gen_range(0usize..200);
+        let sel_v: Vec<u32> = (0..m).map(|_| rng.gen_range(0usize..n) as u32).collect();
         let model: Vec<i64> = sel_v.iter().map(|&i| col[i as usize]).collect();
         for policy in [SimdPolicy::Scalar, SimdPolicy::Simd] {
             let mut out = Vec::new();
             gather::gather_i64(&col, &sel_v, policy, &mut out);
-            prop_assert_eq!(&out, &model, "policy {:?}", policy);
+            assert_eq!(out, model, "case {case} policy {policy:?}");
         }
     }
+}
 
-    #[test]
-    fn simd_hash_matches_scalar(keys in prop::collection::vec(any::<u64>(), 0..200)) {
+#[test]
+fn simd_hash_matches_scalar() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x4a5 ^ case);
+        let n = rng.gen_range(0usize..200);
+        let keys: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         let mut scalar = Vec::new();
         let mut simd = Vec::new();
         hashp::murmur2_u64_vec(&keys, SimdPolicy::Scalar, &mut scalar);
         hashp::murmur2_u64_vec(&keys, SimdPolicy::Simd, &mut simd);
-        prop_assert_eq!(scalar, simd);
+        assert_eq!(scalar, simd, "case {case}");
     }
+}
 
-    // ----- join hash table ≡ HashMap multimap model -----
+// ----- join hash table ≡ HashMap multimap model -----
 
-    #[test]
-    fn join_ht_matches_multimap(
-        build in prop::collection::vec((0i32..64, any::<i64>()), 0..300),
-        probe in prop::collection::vec(0i32..128, 0..300),
-    ) {
+#[test]
+fn join_ht_matches_multimap() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1a1 ^ case);
+        let nb = rng.gen_range(0usize..300);
+        let build: Vec<(i32, i64)> = (0..nb)
+            .map(|_| (rng.gen_range(0i32..64), rng.next_u64() as i64))
+            .collect();
+        let np = rng.gen_range(0usize..300);
+        let probe: Vec<i32> = (0..np).map(|_| rng.gen_range(0i32..128)).collect();
         let ht = JoinHt::build(build.iter().map(|&(k, v)| (murmur2(k as u64), (k, v))));
         let mut model: HashMap<i32, Vec<i64>> = HashMap::new();
         for &(k, v) in &build {
             model.entry(k).or_default().push(v);
         }
         for &k in &probe {
-            let mut got: Vec<i64> = ht.probe(murmur2(k as u64))
+            let mut got: Vec<i64> = ht
+                .probe(murmur2(k as u64))
                 .filter(|e| e.row.0 == k)
                 .map(|e| e.row.1)
                 .collect();
             got.sort_unstable();
             let mut want = model.get(&k).cloned().unwrap_or_default();
             want.sort_unstable();
-            prop_assert_eq!(got, want, "key {}", k);
+            assert_eq!(got, want, "case {case} key {k}");
         }
     }
+}
 
-    #[test]
-    fn parallel_join_build_matches_serial(
-        rows in prop::collection::vec((any::<i32>(), any::<i64>()), 0..500),
-    ) {
+#[test]
+fn parallel_join_build_matches_serial() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x9b3 ^ case);
+        let n = rng.gen_range(0usize..500);
+        let rows: Vec<(i32, i64)> = (0..n)
+            .map(|_| (rng.next_u64() as i32, rng.next_u64() as i64))
+            .collect();
         let serial = JoinHt::build(rows.iter().map(|&(k, v)| (murmur2(k as u64), (k, v))));
         let mut shards: Vec<JoinHtShard<(i32, i64)>> = (0..4).map(|_| JoinHtShard::new()).collect();
         for (i, &(k, v)) in rows.iter().enumerate() {
             shards[i % 4].push(murmur2(k as u64), (k, v));
         }
         let parallel = JoinHt::from_shards(shards, 4);
-        prop_assert_eq!(serial.len(), parallel.len());
+        assert_eq!(serial.len(), parallel.len(), "case {case}");
         for &(k, _) in &rows {
-            let count = |ht: &JoinHt<(i32, i64)>| {
-                ht.probe(murmur2(k as u64)).filter(|e| e.row.0 == k).count()
-            };
-            prop_assert_eq!(count(&serial), count(&parallel), "key {}", k);
+            let count =
+                |ht: &JoinHt<(i32, i64)>| ht.probe(murmur2(k as u64)).filter(|e| e.row.0 == k).count();
+            assert_eq!(count(&serial), count(&parallel), "case {case} key {k}");
         }
     }
+}
 
-    // ----- two-phase group-by ≡ HashMap aggregation model -----
+// ----- two-phase group-by ≡ HashMap aggregation model -----
 
-    #[test]
-    fn group_by_matches_hashmap(
-        keys in prop::collection::vec(0u64..100, 0..1000),
-        cap in 1usize..64,
-        shard_count in 1usize..4,
-    ) {
+#[test]
+fn group_by_matches_hashmap() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x6b4 ^ case);
+        let n = rng.gen_range(0usize..1000);
+        let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..100)).collect();
+        let cap = rng.gen_range(1usize..64);
+        let shard_count = rng.gen_range(1usize..4);
         let mut shards = Vec::new();
         for s in 0..shard_count {
             let mut shard: GroupByShard<u64, i64> = GroupByShard::new(cap);
@@ -144,74 +175,114 @@ proptest! {
         for &k in &keys {
             *model.entry(k).or_insert(0) += 1;
         }
-        prop_assert_eq!(merged.len(), model.len());
+        assert_eq!(merged.len(), model.len(), "case {case}");
         for (k, v) in merged {
-            prop_assert_eq!(v, model[&k], "group {}", k);
+            assert_eq!(v, model[&k], "case {case} group {k}");
         }
     }
+}
 
-    // ----- storage scalar types -----
+// ----- storage scalar types -----
 
-    #[test]
-    fn date_roundtrip(days in -200_000i32..200_000) {
+#[test]
+fn date_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xda7e);
+    for case in 0..2000u32 {
+        let days = rng.gen_range(-200_000i32..200_000);
         let (y, m, d) = civil(days);
-        prop_assert_eq!(date(y, m, d), days);
-        prop_assert_eq!(parse_date(&format_date(days)), Some(days));
+        assert_eq!(date(y, m, d), days, "case {case}");
+        assert_eq!(parse_date(&format_date(days)), Some(days), "case {case}");
     }
+}
 
-    #[test]
-    fn str_column_roundtrip(strings in prop::collection::vec(".{0,40}", 0..50)) {
+#[test]
+fn str_column_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x57c);
+    for case in 0..CASES {
+        let n = rng.gen_range(0usize..50);
+        let strings: Vec<String> = (0..n)
+            .map(|_| {
+                // Mix ASCII with arbitrary multi-byte scalars so the
+                // byte-offset layout is exercised, not just 1-byte chars.
+                let len = rng.gen_range(0usize..40);
+                (0..len)
+                    .map(|_| {
+                        if rng.gen_bool(0.5) {
+                            char::from(rng.gen_range(32u32..127) as u8)
+                        } else {
+                            loop {
+                                if let Some(c) = char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+                                    break c;
+                                }
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
         let col: StrColumn = strings.iter().map(|s| s.as_str()).collect();
-        prop_assert_eq!(col.len(), strings.len());
+        assert_eq!(col.len(), strings.len(), "case {case}");
         for (i, s) in strings.iter().enumerate() {
-            prop_assert_eq!(col.get(i), s.as_str());
+            assert_eq!(col.get(i), s.as_str(), "case {case} row {i}");
         }
     }
+}
 
-    // ----- morsel dispenser covers every tuple exactly once -----
+// ----- morsel dispenser covers every tuple exactly once -----
 
-    #[test]
-    fn morsels_tile_exactly(total in 0usize..100_000, size in 1usize..5_000) {
+#[test]
+fn morsels_tile_exactly() {
+    let mut rng = SmallRng::seed_from_u64(0x305e1);
+    for case in 0..CASES {
+        let total = rng.gen_range(0usize..100_000);
+        let size = rng.gen_range(1usize..5_000);
         let m = Morsels::with_size(total, size);
         let mut covered = 0usize;
         let mut next_expected = 0usize;
         while let Some(r) = m.claim() {
-            prop_assert_eq!(r.start, next_expected);
+            assert_eq!(r.start, next_expected, "case {case}");
             covered += r.len();
             next_expected = r.end;
         }
-        prop_assert_eq!(covered, total);
+        assert_eq!(covered, total, "case {case}");
     }
+}
 
-    // ----- shared result ordering is total and deterministic -----
+// ----- shared result ordering is total and deterministic -----
 
-    #[test]
-    fn result_sort_is_total(vals in prop::collection::vec((any::<i64>(), 0i64..5), 0..100)) {
-        use dbep_core::queries::result::{OrderBy, QueryResult};
-        let rows: Vec<Vec<Value>> = vals.iter()
-            .map(|&(a, b)| vec![Value::I64(a), Value::I64(b)])
+#[test]
+fn result_sort_is_total() {
+    use dbep_core::queries::result::{OrderBy, QueryResult};
+    let mut rng = SmallRng::seed_from_u64(0x50f7);
+    for case in 0..CASES {
+        let n = rng.gen_range(0usize..100);
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|_| {
+                vec![
+                    Value::I64(rng.next_u64() as i64),
+                    Value::I64(rng.gen_range(0i64..5)),
+                ]
+            })
             .collect();
         let r1 = QueryResult::new(&["a", "b"], rows.clone(), &[OrderBy::desc(1)], None);
         let mut shuffled = rows;
         shuffled.reverse();
         let r2 = QueryResult::new(&["a", "b"], shuffled, &[OrderBy::desc(1)], None);
-        prop_assert_eq!(r1, r2);
+        assert_eq!(r1, r2, "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+// ----- end-to-end: arbitrary tiny databases, all engines agree -----
 
-    // ----- end-to-end: arbitrary tiny databases, all engines agree -----
-
-    #[test]
-    fn engines_agree_on_arbitrary_seeds(seed in 0u64..1000) {
-        let db = dbep_datagen::tpch::generate(0.01, seed);
+#[test]
+fn engines_agree_on_arbitrary_seeds() {
+    for seed in 0..16u64 {
+        let db = dbep_datagen::tpch::generate(0.01, seed * 61 + 1);
         let cfg = ExecCfg::default();
         for q in [QueryId::Q6, QueryId::Q1] {
             let typer = run(Engine::Typer, q, &db, &cfg);
             let tw = run(Engine::Tectorwise, q, &db, &cfg);
-            prop_assert_eq!(&typer, &tw, "{} seed {}", q.name(), seed);
+            assert_eq!(typer, tw, "{} seed {seed}", q.name());
         }
     }
 }
