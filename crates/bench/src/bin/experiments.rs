@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p dbep-bench --bin experiments -- <id> [--sf N]
-//!     [--threads N] [--reps N] [--no-tag]
+//!     [--threads N] [--reps N] [--no-tag] [--json]
 //! ```
 //!
 //! Ids: `fig3 table1 fig4 fig5 ssb table2 fig6 fig7 fig8 fig9 fig10
@@ -10,6 +10,16 @@
 //! rows/series the paper reports (EXPERIMENTS.md records paper-versus-
 //! measured). Scale-factor defaults are sized for a ~20 GB host; pass
 //! `--sf` to reproduce the paper's exact scales on bigger machines.
+//!
+//! `fig3` and `table1` run the full TPC-H workload (the paper's five
+//! plus Q4/Q12/Q14); the remaining paper-artifact subcommands stick to
+//! the §3.3 subset so their rows line up with the paper's figures.
+//!
+//! `--json` (supported by `fig3` and `table1`) switches stdout to one
+//! machine-readable JSON document — per-query runtimes (`fig3`, over
+//! **every** registered query, TPC-H and SSB, on all three engines) or
+//! per-query CPU counters (`table1`) — so perf trajectories can be
+//! recorded as `BENCH_*.json` files across PRs.
 
 use dbep_bench::{counters_note, fmt_ms, measure_counters, per_tuple_header, per_tuple_row, time_median};
 use dbep_queries::{run, Engine, ExecCfg, QueryId};
@@ -25,6 +35,7 @@ struct Args {
     threads: Option<usize>,
     reps: usize,
     no_tag: bool,
+    json: bool,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +45,7 @@ fn parse_args() -> Args {
         threads: None,
         reps: 3,
         no_tag: false,
+        json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -44,6 +56,7 @@ fn parse_args() -> Args {
             }
             "--reps" => args.reps = it.next().expect("--reps N").parse().expect("numeric reps"),
             "--no-tag" => args.no_tag = true,
+            "--json" => args.json = true,
             other if args.id.is_empty() && !other.starts_with('-') => args.id = other.to_string(),
             other => panic!("unknown argument {other}"),
         }
@@ -82,8 +95,13 @@ fn gen_ssb(sf: f64) -> Database {
 
 // ---------------------------------------------------------------------
 // Fig. 3: single-threaded runtimes, Typer vs Tectorwise, TPC-H SF=1.
+// With --json: machine-readable runtimes over *every* registered query
+// (TPC-H and SSB) on all three engines.
 // ---------------------------------------------------------------------
 fn fig3(a: &Args) {
+    if a.json {
+        return fig3_json(a);
+    }
     let db = gen_tpch(a.sf.unwrap_or(1.0));
     let cfg = ExecCfg::default();
     println!(
@@ -104,10 +122,48 @@ fn fig3(a: &Args) {
     }
 }
 
+fn fig3_json(a: &Args) {
+    use dbep_bench::json;
+    let sf = a.sf.unwrap_or(1.0);
+    let tpch = gen_tpch(sf);
+    let ssb_db = gen_ssb(sf);
+    let cfg = ExecCfg::default();
+    let queries = QueryId::ALL.iter().map(|&q| {
+        let db = if QueryId::SSB.contains(&q) { &ssb_db } else { &tpch };
+        let ms = |engine| {
+            let t = time_median(a.reps, || std::mem::drop(run(engine, q, db, &cfg)));
+            json::number(t.as_secs_f64() * 1e3)
+        };
+        json::Object::new()
+            .field("query", json::string(q.name()))
+            .field(
+                "benchmark",
+                json::string(if QueryId::SSB.contains(&q) { "ssb" } else { "tpch" }),
+            )
+            .field("tuples_scanned", format!("{}", q.tuples_scanned(db)))
+            .field("typer_ms", ms(Engine::Typer))
+            .field("tectorwise_ms", ms(Engine::Tectorwise))
+            .field("volcano_ms", ms(Engine::Volcano))
+            .build()
+    });
+    let doc = json::Object::new()
+        .field("experiment", json::string("fig3"))
+        .field("sf", json::number(sf))
+        .field("reps", format!("{}", a.reps))
+        .field("threads", "1".to_string())
+        .field("queries", json::array(queries))
+        .build();
+    println!("{doc}");
+}
+
 // ---------------------------------------------------------------------
 // Table 1: CPU counters per tuple, TPC-H SF=1, 1 thread.
+// With --json: machine-readable per-query counters.
 // ---------------------------------------------------------------------
 fn table1(a: &Args) {
+    if a.json {
+        return table1_json(a);
+    }
     let db = gen_tpch(a.sf.unwrap_or(1.0));
     let cfg = ExecCfg::default();
     println!(
@@ -145,6 +201,48 @@ fn table1(a: &Args) {
     }
 }
 
+fn table1_json(a: &Args) {
+    use dbep_bench::json;
+    let sf = a.sf.unwrap_or(1.0);
+    let db = gen_tpch(sf);
+    let cfg = ExecCfg::default();
+    let mut rows = Vec::new();
+    for q in QueryId::TPCH {
+        let tuples = q.tuples_scanned(&db);
+        for (engine, name) in [(Engine::Typer, "typer"), (Engine::Tectorwise, "tectorwise")] {
+            let v = measure_counters(|| std::mem::drop(run(engine, q, &db, &cfg)));
+            rows.push(
+                json::Object::new()
+                    .field("query", json::string(q.name()))
+                    .field("engine", json::string(name))
+                    .field("tuples_scanned", format!("{tuples}"))
+                    .field("cycles", format!("{}", v.cycles_estimate()))
+                    .field("instructions", json::opt_u64(v.instructions))
+                    .field("l1d_miss", json::opt_u64(v.l1d_miss))
+                    .field("llc_miss", json::opt_u64(v.llc_miss))
+                    .field("branch_miss", json::opt_u64(v.branch_miss))
+                    .field("stalled_backend", json::opt_u64(v.stalled_backend))
+                    .build(),
+            );
+        }
+    }
+    let doc = json::Object::new()
+        .field("experiment", json::string("table1"))
+        .field("sf", json::number(sf))
+        .field(
+            "hardware_counters",
+            if dbep_runtime::CounterSet::available() {
+                "true"
+            } else {
+                "false"
+            }
+            .to_string(),
+        )
+        .field("rows", json::array(rows))
+        .build();
+    println!("{doc}");
+}
+
 // ---------------------------------------------------------------------
 // Fig. 4: memory-stall vs other cycles across data sizes.
 // ---------------------------------------------------------------------
@@ -163,7 +261,7 @@ fn fig4(a: &Args) {
     for &sf in &sfs {
         let db = gen_tpch(sf);
         let cfg = ExecCfg::default();
-        for q in QueryId::TPCH {
+        for q in QueryId::TPCH_PAPER {
             let tuples = q.tuples_scanned(&db) as f64;
             let t = measure_counters(|| std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
             let w = measure_counters(|| std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
@@ -206,7 +304,7 @@ fn fig5(a: &Args) {
         print!(" {label:>7}");
     }
     println!();
-    for q in QueryId::TPCH {
+    for q in QueryId::TPCH_PAPER {
         let base_cfg = ExecCfg {
             vector_size: 1024,
             ..Default::default()
@@ -261,7 +359,7 @@ fn table2(a: &Args) {
     println!("# (production systems HyPer/VectorWise are quoted in EXPERIMENTS.md; the");
     println!("#  Volcano interpreter stands in for the traditional-engine gap)");
     println!("{:<6} {:>10} {:>10} {:>10}", "query", "Volcano", "Typer", "TW");
-    for q in QueryId::TPCH {
+    for q in QueryId::TPCH_PAPER {
         let v = time_median(1, || std::mem::drop(run(Engine::Volcano, q, &db, &cfg)));
         let t = time_median(a.reps, || std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
         let w = time_median(a.reps, || std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
@@ -528,7 +626,7 @@ fn fig10(a: &Args) {
     println!("# Fig. 10 — rustc/LLVM auto-vectorization (paper: ICC 18)");
     println!("# time reduction vs scalar TW, per query [%] (positive = faster)");
     println!("{:<6} {:>8} {:>8}", "query", "auto", "manual");
-    for q in QueryId::TPCH {
+    for q in QueryId::TPCH_PAPER {
         let base = time_median(a.reps, || {
             std::mem::drop(run(Engine::Tectorwise, q, &db, &ExecCfg::default()))
         });
@@ -550,7 +648,7 @@ fn fig10(a: &Args) {
     if dbep_runtime::CounterSet::available() {
         println!("\n## instruction reduction vs scalar [%] (per tuple)");
         println!("{:<6} {:>8} {:>8}", "query", "auto", "manual");
-        for q in QueryId::TPCH {
+        for q in QueryId::TPCH_PAPER {
             let instr = |policy: SimdPolicy| {
                 let cfg = ExecCfg {
                     policy,
@@ -585,7 +683,7 @@ fn table3(a: &Args) {
         "{:<6} {:>4} {:>10} {:>8} {:>10} {:>8} {:>7}",
         "query", "thr", "Typer", "spdup", "TW", "spdup", "ratio"
     );
-    for q in QueryId::TPCH {
+    for q in QueryId::TPCH_PAPER {
         let mut base = (0f64, 0f64);
         for &t in &thread_points {
             let cfg = ExecCfg::with_threads(t);
@@ -630,7 +728,7 @@ fn table5(a: &Args) {
         "{:<6} {:>10} {:>10} {:>7} {:>12} {:>12} {:>7}",
         "query", "Typer", "TW", "ratio", "Typer(ssd)", "TW(ssd)", "ratio"
     );
-    for q in QueryId::TPCH {
+    for q in QueryId::TPCH_PAPER {
         let cfg = ExecCfg::with_threads(threads);
         let tm = time_median(a.reps.min(2), || std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
         let wm = time_median(a.reps.min(2), || {
@@ -675,7 +773,7 @@ fn fig11(a: &Args) {
         .collect();
     println!("# Figs. 11/12 — queries/second vs cores used, TPC-H SF={sf}");
     println!("{:<6} {:>5} {:>12} {:>12}", "query", "thr", "Typer q/s", "TW q/s");
-    for q in QueryId::TPCH {
+    for q in QueryId::TPCH_PAPER {
         for &t in &points {
             let cfg = ExecCfg::with_threads(t);
             let ty = time_median(a.reps.min(2), || std::mem::drop(run(Engine::Typer, q, &db, &cfg)));

@@ -3,6 +3,7 @@
 
 pub mod harness;
 pub mod hwinfo;
+pub mod json;
 
 use dbep_runtime::counters::{self, CounterValues};
 use std::time::{Duration, Instant};

@@ -114,6 +114,22 @@ pub const COLORS: &[&str] = &[
 /// selects 20 %.
 pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
 
+/// Order priorities (`o_orderpriority`), uniform over the spec's five
+/// values (clause 4.2.3). Q4 groups by these; Q12's CASE counters split
+/// on the two "high" values (leading byte `'1'`/`'2'`).
+pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Ship modes (`l_shipmode`), uniform over the spec's seven values —
+/// Q12's `IN ('MAIL', 'SHIP')` list selects 2/7 ≈ 28.6 %.
+pub const SHIPMODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// `p_type` syllables (clause 4.2.2.13): "Syllable1 Syllable2 Syllable3"
+/// with each syllable drawn uniformly. `LIKE 'PROMO%'` therefore selects
+/// 1/6 ≈ 16.7 % of parts — Q14's promo-revenue numerator selectivity.
+pub const TYPE_SYLLABLE_1: &[&str] = &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_SYLLABLE_2: &[&str] = &["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+pub const TYPE_SYLLABLE_3: &[&str] = &["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
 /// The 25 TPC-H nations with their region keys.
 pub const NATIONS: &[(&str, i32)] = &[
     ("ALGERIA", 0),
@@ -255,7 +271,11 @@ fn gen_supplier(count: usize, seed: u64) -> Table {
 
 fn gen_part(count: usize, seed: u64) -> Table {
     let mut rng = chunk_rng(seed, 2, 0);
+    // Separate stream for the later-added p_type column, so the original
+    // columns stay byte-identical for a given (sf, seed).
+    let mut rng_type = chunk_rng(seed, 7, 0);
     let mut name = StrColumn::with_capacity(count, count * 34);
+    let mut ptype = StrColumn::with_capacity(count, count * 21);
     let mut retail = Vec::with_capacity(count);
     let mut brand = Vec::with_capacity(count);
     let mut word_buf = String::with_capacity(40);
@@ -279,10 +299,19 @@ fn gen_part(count: usize, seed: u64) -> Table {
         name.push(&word_buf);
         retail.push(part_retail_price(pk));
         brand.push(rng.gen_range(11..=55i32));
+        // p_type: one syllable per list (clause 4.2.2.13).
+        word_buf.clear();
+        word_buf.push_str(TYPE_SYLLABLE_1[rng_type.gen_range(0..TYPE_SYLLABLE_1.len())]);
+        word_buf.push(' ');
+        word_buf.push_str(TYPE_SYLLABLE_2[rng_type.gen_range(0..TYPE_SYLLABLE_2.len())]);
+        word_buf.push(' ');
+        word_buf.push_str(TYPE_SYLLABLE_3[rng_type.gen_range(0..TYPE_SYLLABLE_3.len())]);
+        ptype.push(&word_buf);
     }
     let mut t = Table::new("part");
     t.add_column("p_partkey", ColumnData::I32((1..=count as i32).collect()))
         .add_column("p_name", ColumnData::Str(name))
+        .add_column("p_type", ColumnData::Str(ptype))
         .add_column("p_brand", ColumnData::I32(brand))
         .add_column("p_retailprice", ColumnData::I64(retail));
     t
@@ -340,6 +369,8 @@ struct OrdersChunk {
     o_orderdate: Vec<Date>,
     o_totalprice: Vec<i64>,
     o_shippriority: Vec<i32>,
+    /// Index into [`PRIORITIES`]; rendered to strings at assembly.
+    o_orderpriority: Vec<u8>,
     l_orderkey: Vec<i32>,
     l_partkey: Vec<i32>,
     l_suppkey: Vec<i32>,
@@ -348,9 +379,12 @@ struct OrdersChunk {
     l_discount: Vec<i64>,
     l_tax: Vec<i64>,
     l_shipdate: Vec<Date>,
+    l_commitdate: Vec<Date>,
     l_receiptdate: Vec<Date>,
     l_returnflag: Vec<u8>,
     l_linestatus: Vec<u8>,
+    /// Index into [`SHIPMODES`]; rendered to strings at assembly.
+    l_shipmode: Vec<u8>,
 }
 
 const ORDERS_PER_CHUNK: usize = 65_536;
@@ -365,6 +399,9 @@ fn gen_orders_chunk(
     seed: u64,
 ) -> OrdersChunk {
     let mut rng = chunk_rng(seed, 5, chunk as u64);
+    // Separate stream for the later-added priority/commitdate/shipmode
+    // columns: the original columns stay byte-identical per (sf, seed).
+    let mut rng_ext = chunk_rng(seed, 6, chunk as u64);
     let n = (order_hi - order_lo) as usize;
     let mut c = OrdersChunk::default();
     c.o_orderkey.reserve(n);
@@ -379,6 +416,10 @@ fn gen_orders_chunk(
             let qty_units = rng.gen_range(1..=50i64);
             let extended = qty_units * part_retail_price(pk);
             let shipdate = orderdate + rng.gen_range(1..=121);
+            // dbgen: commitdate is drawn from the order date, independently
+            // of the ship date, so commit < receipt (Q4/Q12's "late" test)
+            // holds for only part of the lineitems.
+            let commitdate = orderdate + rng_ext.gen_range(30..=90);
             let receiptdate = shipdate + rng.gen_range(1..=30);
             c.l_orderkey.push(ok);
             c.l_partkey.push(pk);
@@ -388,7 +429,9 @@ fn gen_orders_chunk(
             c.l_discount.push(rng.gen_range(0..=10i64)); // 0.00 .. 0.10
             c.l_tax.push(rng.gen_range(0..=8i64)); // 0.00 .. 0.08
             c.l_shipdate.push(shipdate);
+            c.l_commitdate.push(commitdate);
             c.l_receiptdate.push(receiptdate);
+            c.l_shipmode.push(rng_ext.gen_range(0..SHIPMODES.len()) as u8);
             // dbgen: R or A (50/50) when the item was received before the
             // cutoff, N afterwards; linestatus F/O splits on shipdate.
             c.l_returnflag.push(if receiptdate <= STATUS_CUT {
@@ -409,6 +452,8 @@ fn gen_orders_chunk(
         c.o_orderdate.push(orderdate);
         c.o_totalprice.push(total);
         c.o_shippriority.push(0);
+        c.o_orderpriority
+            .push(rng_ext.gen_range(0..PRIORITIES.len()) as u8);
     }
     c
 }
@@ -458,6 +503,7 @@ fn gen_orders_lineitem(
         all.o_orderdate.extend_from_slice(&p.o_orderdate);
         all.o_totalprice.extend_from_slice(&p.o_totalprice);
         all.o_shippriority.extend_from_slice(&p.o_shippriority);
+        all.o_orderpriority.extend_from_slice(&p.o_orderpriority);
         all.l_orderkey.extend_from_slice(&p.l_orderkey);
         all.l_partkey.extend_from_slice(&p.l_partkey);
         all.l_suppkey.extend_from_slice(&p.l_suppkey);
@@ -466,9 +512,20 @@ fn gen_orders_lineitem(
         all.l_discount.extend_from_slice(&p.l_discount);
         all.l_tax.extend_from_slice(&p.l_tax);
         all.l_shipdate.extend_from_slice(&p.l_shipdate);
+        all.l_commitdate.extend_from_slice(&p.l_commitdate);
         all.l_receiptdate.extend_from_slice(&p.l_receiptdate);
         all.l_returnflag.extend_from_slice(&p.l_returnflag);
         all.l_linestatus.extend_from_slice(&p.l_linestatus);
+        all.l_shipmode.extend_from_slice(&p.l_shipmode);
+    }
+
+    let mut priority = StrColumn::with_capacity(all.o_orderpriority.len(), all.o_orderpriority.len() * 10);
+    for &p in &all.o_orderpriority {
+        priority.push(PRIORITIES[p as usize]);
+    }
+    let mut shipmode = StrColumn::with_capacity(all.l_shipmode.len(), all.l_shipmode.len() * 5);
+    for &m in &all.l_shipmode {
+        shipmode.push(SHIPMODES[m as usize]);
     }
 
     let mut orders = Table::new("orders");
@@ -477,7 +534,8 @@ fn gen_orders_lineitem(
         .add_column("o_custkey", ColumnData::I32(all.o_custkey))
         .add_column("o_orderdate", ColumnData::Date(all.o_orderdate))
         .add_column("o_totalprice", ColumnData::I64(all.o_totalprice))
-        .add_column("o_shippriority", ColumnData::I32(all.o_shippriority));
+        .add_column("o_shippriority", ColumnData::I32(all.o_shippriority))
+        .add_column("o_orderpriority", ColumnData::Str(priority));
 
     let mut lineitem = Table::new("lineitem");
     lineitem
@@ -489,9 +547,11 @@ fn gen_orders_lineitem(
         .add_column("l_discount", ColumnData::I64(all.l_discount))
         .add_column("l_tax", ColumnData::I64(all.l_tax))
         .add_column("l_shipdate", ColumnData::Date(all.l_shipdate))
+        .add_column("l_commitdate", ColumnData::Date(all.l_commitdate))
         .add_column("l_receiptdate", ColumnData::Date(all.l_receiptdate))
         .add_column("l_returnflag", ColumnData::Char(all.l_returnflag))
-        .add_column("l_linestatus", ColumnData::Char(all.l_linestatus));
+        .add_column("l_linestatus", ColumnData::Char(all.l_linestatus))
+        .add_column("l_shipmode", ColumnData::Str(shipmode));
 
     (orders, lineitem)
 }
@@ -608,6 +668,106 @@ mod tests {
             for k in ks {
                 assert!((1..=10_000).contains(&k));
             }
+        }
+    }
+
+    #[test]
+    fn orderpriority_and_shipmode_stay_in_domain() {
+        let db = generate(0.01, 5);
+        let ord = db.table("orders");
+        let prio = ord.col("o_orderpriority").strs();
+        let mut prio_counts = [0usize; 5];
+        for i in 0..ord.len() {
+            let p = PRIORITIES
+                .iter()
+                .position(|&v| v == prio.get(i))
+                .unwrap_or_else(|| panic!("priority {:?} outside domain", prio.get(i)));
+            prio_counts[p] += 1;
+        }
+        // Uniform over 5 values: each bucket near 20 %.
+        for (p, &n) in prio_counts.iter().enumerate() {
+            let frac = n as f64 / ord.len() as f64;
+            assert!((0.15..0.25).contains(&frac), "priority {p} fraction {frac}");
+        }
+        let li = db.table("lineitem");
+        let mode = li.col("l_shipmode").strs();
+        let mut mode_counts = [0usize; 7];
+        for i in 0..li.len() {
+            let m = SHIPMODES
+                .iter()
+                .position(|&v| v == mode.get(i))
+                .unwrap_or_else(|| panic!("shipmode {:?} outside domain", mode.get(i)));
+            mode_counts[m] += 1;
+        }
+        // Uniform over 7 values; Q12's IN ('MAIL','SHIP') must select ≈2/7.
+        for (m, &n) in mode_counts.iter().enumerate() {
+            let frac = n as f64 / li.len() as f64;
+            assert!((0.10..0.19).contains(&frac), "shipmode {m} fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn commitdate_sits_between_order_and_spec_window() {
+        let db = generate(0.01, 11);
+        let li = db.table("lineitem");
+        let lok = li.col("l_orderkey").i32s();
+        let ship = li.col("l_shipdate").dates();
+        let commit = li.col("l_commitdate").dates();
+        let receipt = li.col("l_receiptdate").dates();
+        let ord = db.table("orders");
+        let odate = ord.col("o_orderdate").dates();
+        let mut date_of = vec![0; ord.len() + 1];
+        let ok = ord.col("o_orderkey").i32s();
+        for i in 0..ord.len() {
+            date_of[ok[i] as usize] = odate[i];
+        }
+        let mut late = 0usize;
+        for i in 0..li.len() {
+            let od = date_of[lok[i] as usize];
+            assert!(
+                (od + 30..=od + 90).contains(&commit[i]),
+                "commitdate outside spec window"
+            );
+            assert!(ship[i] > od, "shipdate before orderdate");
+            assert!(receipt[i] > ship[i], "receiptdate before shipdate");
+            late += (commit[i] < receipt[i]) as usize;
+        }
+        // commit ~ U[30,90] from the order date, receipt = ship + U[1,30]
+        // with ship ~ U[1,121]: a substantial but partial fraction is
+        // "late" — Q4's EXISTS predicate must neither be empty nor total.
+        let frac = late as f64 / li.len() as f64;
+        assert!((0.3..0.9).contains(&frac), "late-lineitem fraction {frac}");
+    }
+
+    #[test]
+    fn part_type_promo_fraction_matches_spec() {
+        let db = generate(0.01, 13);
+        let types = db.table("part").col("p_type").strs();
+        let mut promo = 0usize;
+        for i in 0..types.len() {
+            let words: Vec<&str> = types.get(i).split(' ').collect();
+            assert_eq!(words.len(), 3, "p_type {:?} not three syllables", types.get(i));
+            assert!(TYPE_SYLLABLE_1.contains(&words[0]), "syllable 1 {:?}", words[0]);
+            assert!(TYPE_SYLLABLE_2.contains(&words[1]), "syllable 2 {:?}", words[1]);
+            assert!(TYPE_SYLLABLE_3.contains(&words[2]), "syllable 3 {:?}", words[2]);
+            promo += types.get(i).starts_with("PROMO") as usize;
+        }
+        // Uniform over 6 first syllables: LIKE 'PROMO%' selects ≈1/6.
+        let frac = promo as f64 / types.len() as f64;
+        assert!((0.13..0.21).contains(&frac), "PROMO fraction {frac}");
+    }
+
+    #[test]
+    fn new_columns_deterministic_across_threads() {
+        let a = generate_par(0.01, 23, 1);
+        let b = generate_par(0.01, 23, 3);
+        for (t, c) in [
+            ("orders", "o_orderpriority"),
+            ("lineitem", "l_shipmode"),
+            ("lineitem", "l_commitdate"),
+            ("part", "p_type"),
+        ] {
+            assert_eq!(a.table(t).col(c), b.table(t).col(c), "{t}.{c}");
         }
     }
 

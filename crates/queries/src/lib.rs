@@ -9,7 +9,8 @@
 //! cross-validation.
 //!
 //! * [`tpch`] — Q1, Q6, Q3, Q9, Q18 (the paper's representative subset,
-//!   §3.3 lists each query's bottleneck).
+//!   §3.3 lists each query's bottleneck), plus Q4, Q12 and Q14 for the
+//!   semi-join, string-predicate and conditional-aggregation shapes.
 //! * [`ssb`] — Star Schema Benchmark Q1.1, Q2.1, Q3.1, Q4.1 (§4.4).
 //! * [`oltp`] — the stored-procedure-style point-lookup workload used to
 //!   discuss OLTP behaviour (§8.1).
@@ -100,6 +101,9 @@ pub enum QueryId {
     Q3,
     Q9,
     Q18,
+    Q4,
+    Q12,
+    Q14,
     Ssb1_1,
     Ssb2_1,
     Ssb3_1,
@@ -107,17 +111,34 @@ pub enum QueryId {
 }
 
 impl QueryId {
-    /// The TPC-H subset in the paper's presentation order (§3.3).
-    pub const TPCH: [QueryId; 5] = [QueryId::Q1, QueryId::Q6, QueryId::Q3, QueryId::Q9, QueryId::Q18];
-    /// The SSB flights of §4.4.
-    pub const SSB: [QueryId; 4] = [QueryId::Ssb1_1, QueryId::Ssb2_1, QueryId::Ssb3_1, QueryId::Ssb4_1];
-    /// Every query of the study (registry order).
-    pub const ALL: [QueryId; 9] = [
+    /// The paper's TPC-H subset in its presentation order (§3.3) —
+    /// use this for reproducing the paper's figures/tables row-for-row.
+    pub const TPCH_PAPER: [QueryId; 5] = [QueryId::Q1, QueryId::Q6, QueryId::Q3, QueryId::Q9, QueryId::Q18];
+    /// All TPC-H queries: the paper's subset in its presentation order
+    /// (§3.3), then the workload-broadening additions (Q4 semi-join,
+    /// Q12 IN-list + CASE counters, Q14 prefix-match ratio).
+    pub const TPCH: [QueryId; 8] = [
         QueryId::Q1,
         QueryId::Q6,
         QueryId::Q3,
         QueryId::Q9,
         QueryId::Q18,
+        QueryId::Q4,
+        QueryId::Q12,
+        QueryId::Q14,
+    ];
+    /// The SSB flights of §4.4.
+    pub const SSB: [QueryId; 4] = [QueryId::Ssb1_1, QueryId::Ssb2_1, QueryId::Ssb3_1, QueryId::Ssb4_1];
+    /// Every query of the study (registry order).
+    pub const ALL: [QueryId; 12] = [
+        QueryId::Q1,
+        QueryId::Q6,
+        QueryId::Q3,
+        QueryId::Q9,
+        QueryId::Q18,
+        QueryId::Q4,
+        QueryId::Q12,
+        QueryId::Q14,
         QueryId::Ssb1_1,
         QueryId::Ssb2_1,
         QueryId::Ssb3_1,
@@ -131,6 +152,9 @@ impl QueryId {
             QueryId::Q3 => "q3",
             QueryId::Q9 => "q9",
             QueryId::Q18 => "q18",
+            QueryId::Q4 => "q4",
+            QueryId::Q12 => "q12",
+            QueryId::Q14 => "q14",
             QueryId::Ssb1_1 => "ssb-q1.1",
             QueryId::Ssb2_1 => "ssb-q2.1",
             QueryId::Ssb3_1 => "ssb-q3.1",
@@ -190,6 +214,9 @@ pub static REGISTRY: &[&dyn QueryPlan] = &[
     &tpch::q3::Q3,
     &tpch::q9::Q9,
     &tpch::q18::Q18,
+    &tpch::q4::Q4,
+    &tpch::q12::Q12,
+    &tpch::q14::Q14,
     &ssb::q1_1::Q11,
     &ssb::q2_1::Q21,
     &ssb::q3_1::Q31,

@@ -1,0 +1,316 @@
+//! TPC-H Q12: shipmode IN-list + three date predicates (two of them
+//! column-vs-column), a join against orders, and **dual CASE counters**
+//! per ship mode — the workload's conditional-aggregation shape.
+//!
+//! ```sql
+//! SELECT l_shipmode,
+//!        sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+//!                 THEN 1 ELSE 0 END) AS high_line_count,
+//!        sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+//!                 THEN 1 ELSE 0 END) AS low_line_count
+//! FROM orders, lineitem
+//! WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP')
+//!   AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+//!   AND l_receiptdate >= DATE '1994-01-01' AND l_receiptdate < DATE '1995-01-01'
+//! GROUP BY l_shipmode ORDER BY l_shipmode
+//! ```
+//!
+//! Physical plan (identical in all engines): orders → HT_ord keyed by
+//! `o_orderkey` carrying a precomputed "high priority" flag (leading
+//! byte ≤ '2'); σ(lineitem, IN-list + dates) probes HT_ord; the group-by
+//! domain equals the IN-list, so aggregation is a 2×2 counter matrix
+//! [mode][high/low].
+
+use crate::result::{OrderBy, QueryResult, Value};
+use crate::ExecCfg;
+use dbep_runtime::join_ht::JoinHtShard;
+use dbep_runtime::{map_workers, JoinHt, Morsels};
+use dbep_storage::types::date;
+use dbep_storage::Database;
+use dbep_vectorized as tw;
+
+const RECEIPT_LO: i32 = date(1994, 1, 1);
+const RECEIPT_HI: i32 = date(1995, 1, 1);
+/// The query's IN-list — also the group-by domain, in result order.
+const MODES: [&[u8]; 2] = [b"MAIL", b"SHIP"];
+const ORD_BYTES: usize = 4 + 9; // orderkey + priority text
+const LI_BYTES: usize = 4 + 3 * 4 + 5; // orderkey + 3 dates + shipmode text
+
+/// `counts[mode][1]` = high_line_count, `counts[mode][0]` = low.
+type ModeCounts = [[i64; 2]; 2];
+
+fn merge(parts: Vec<ModeCounts>) -> ModeCounts {
+    let mut all = [[0i64; 2]; 2];
+    for p in parts {
+        for g in 0..2 {
+            all[g][0] += p[g][0];
+            all[g][1] += p[g][1];
+        }
+    }
+    all
+}
+
+fn finish(counts: ModeCounts) -> QueryResult {
+    let rows = (0..2)
+        .filter(|&g| counts[g][0] + counts[g][1] > 0)
+        .map(|g| {
+            vec![
+                Value::Str(String::from_utf8(MODES[g].to_vec()).expect("ASCII mode")),
+                Value::I64(counts[g][1]),
+                Value::I64(counts[g][0]),
+            ]
+        })
+        .collect();
+    QueryResult::new(
+        &["l_shipmode", "high_line_count", "low_line_count"],
+        rows,
+        &[OrderBy::asc(0)],
+        None,
+    )
+}
+
+/// Shared build pipeline: orders → HT keyed by orderkey, payload
+/// `(o_orderkey, high_flag)`. Identical for Typer and Tectorwise (the
+/// per-tuple work is a byte compare; there is nothing to vectorize).
+fn build_orders_ht(db: &Database, cfg: &ExecCfg, hf: dbep_runtime::hash::HashFn) -> JoinHt<(i32, u8)> {
+    let ord = db.table("orders");
+    let okey = ord.col("o_orderkey").i32s();
+    let prio = ord.col("o_orderpriority").strs();
+    let m = Morsels::new(ord.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<(i32, u8)> = JoinHtShard::new();
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), ORD_BYTES);
+            for i in r {
+                // '1-URGENT' and '2-HIGH' are exactly the priorities whose
+                // leading byte is <= '2'.
+                let high = (prio.get_bytes(i)[0] <= b'2') as u8;
+                sh.push(hf.hash(okey[i] as u64), (okey[i], high));
+            }
+        }
+        sh
+    });
+    JoinHt::from_shards(shards, cfg.threads)
+}
+
+/// Typer: build, then one fused probe loop with branch-free counter
+/// updates (`counts[mode][flag] += 1`).
+pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.typer_hash();
+    let ht_ord = build_orders_ht(db, cfg, hf);
+    let li = db.table("lineitem");
+    let lok = li.col("l_orderkey").i32s();
+    let ship = li.col("l_shipdate").dates();
+    let commit = li.col("l_commitdate").dates();
+    let receipt = li.col("l_receiptdate").dates();
+    let mode = li.col("l_shipmode").strs();
+    let m = Morsels::new(li.len());
+    let parts = map_workers(cfg.threads, |_| {
+        let mut counts: ModeCounts = [[0; 2]; 2];
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), LI_BYTES);
+            for i in r {
+                let s = mode.get_bytes(i);
+                let g = match MODES.iter().position(|&v| v == s) {
+                    Some(g) => g,
+                    None => continue,
+                };
+                if commit[i] < receipt[i]
+                    && ship[i] < commit[i]
+                    && receipt[i] >= RECEIPT_LO
+                    && receipt[i] < RECEIPT_HI
+                {
+                    let h = hf.hash(lok[i] as u64);
+                    for e in ht_ord.probe(h) {
+                        if e.row.0 == lok[i] {
+                            counts[g][e.row.1 as usize] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        counts
+    });
+    finish(merge(parts))
+}
+
+/// Tectorwise: IN-list selection, column-column compares, probe, then
+/// the conditional-aggregation primitives (one char-selection per mode,
+/// one flag count per CASE arm).
+pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.tw_hash();
+    let policy = cfg.policy;
+    let ht_ord = build_orders_ht(db, cfg, hf);
+    let li = db.table("lineitem");
+    let lok = li.col("l_orderkey").i32s();
+    let ship = li.col("l_shipdate").dates();
+    let commit = li.col("l_commitdate").dates();
+    let receipt = li.col("l_receiptdate").dates();
+    let mode = li.col("l_shipmode").strs();
+    let m = Morsels::new(li.len());
+    let parts = map_workers(cfg.threads, |_| {
+        let mut counts: ModeCounts = [[0; 2]; 2];
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let (mut s1, mut s2, mut s3, mut s4, mut s5) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let mut hashes = Vec::new();
+        let mut bufs = tw::ProbeBuffers::new();
+        let (mut v_high, mut v_mode, mut mode_sel, mut f_sel) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), LI_BYTES);
+            // 1 dense IN-list + 4 sparse selections.
+            if tw::sel::sel_in_str_dense(mode, &MODES, c.clone(), &mut s1) == 0 {
+                continue;
+            }
+            if tw::sel::sel_lt_i32_col_sparse(commit, receipt, &s1, &mut s2, policy) == 0 {
+                continue;
+            }
+            if tw::sel::sel_lt_i32_col_sparse(ship, commit, &s2, &mut s3, policy) == 0 {
+                continue;
+            }
+            if tw::sel::sel_ge_i32_sparse(receipt, RECEIPT_LO, &s3, &mut s4, policy) == 0 {
+                continue;
+            }
+            if tw::sel::sel_lt_i32_sparse(receipt, RECEIPT_HI, &s4, &mut s5, policy) == 0 {
+                continue;
+            }
+            tw::hashp::hash_i32(lok, &s5, hf, &mut hashes);
+            if tw::probe::probe_join(
+                &ht_ord,
+                &hashes,
+                &s5,
+                |row, t| row.0 == lok[t as usize],
+                policy,
+                &mut bufs,
+            ) == 0
+            {
+                continue;
+            }
+            // Dual CASE counters: gather the build-side high flag and the
+            // mode leading byte, split per mode, count each arm.
+            tw::gather::gather_build(&ht_ord, &bufs.match_entry, |r| r.1, &mut v_high);
+            tw::gather::gather_str_byte0(mode, &bufs.match_tuple, &mut v_mode);
+            for (g, mode_val) in MODES.iter().enumerate() {
+                let n = tw::sel::sel_eq_char_dense(&v_mode, mode_val[0], 0, &mut mode_sel);
+                if n == 0 {
+                    continue;
+                }
+                tw::gather::gather_u8(&v_high, &mode_sel, &mut f_sel);
+                let high = tw::map::count_nonzero_u8(&f_sel, policy);
+                counts[g][1] += high;
+                counts[g][0] += n as i64 - high;
+            }
+        }
+        counts
+    });
+    finish(merge(parts))
+}
+
+/// Volcano: interpreted plan with the CASE arms as boolean-expression
+/// sums. The driving lineitem scan is morsel-partitioned across
+/// `cfg.threads` workers; partial groups re-aggregate in a merge pass.
+pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    use dbep_volcano::{exchange, AggSpec, Aggregate, CmpOp, Expr, HashJoin, Rows, Scan, Select, Val};
+    let li = db.table("lineitem");
+    let m = Morsels::new(li.len());
+    let str_lit = |s: &str| Expr::Const(Val::Str(s.to_string()));
+    let partials = exchange::union(cfg.threads, |_| {
+        let li_f = Select {
+            input: Box::new(
+                Scan::new(
+                    li,
+                    &[
+                        "l_orderkey",
+                        "l_shipmode",
+                        "l_shipdate",
+                        "l_commitdate",
+                        "l_receiptdate",
+                    ],
+                )
+                .paced(cfg.throttle)
+                .morsel_driven(&m),
+            ),
+            pred: Expr::And(vec![
+                Expr::Or(vec![
+                    Expr::cmp(CmpOp::Eq, Expr::col(1), str_lit("MAIL")),
+                    Expr::cmp(CmpOp::Eq, Expr::col(1), str_lit("SHIP")),
+                ]),
+                Expr::cmp(CmpOp::Lt, Expr::col(3), Expr::col(4)),
+                Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::col(3)),
+                Expr::cmp(CmpOp::Ge, Expr::col(4), Expr::lit_i32(RECEIPT_LO)),
+                Expr::cmp(CmpOp::Lt, Expr::col(4), Expr::lit_i32(RECEIPT_HI)),
+            ]),
+        };
+        // rows: [o_orderkey, o_orderpriority] ++ the 5 lineitem columns.
+        let join = HashJoin::new(
+            Box::new(Scan::new(db.table("orders"), &["o_orderkey", "o_orderpriority"]).paced(cfg.throttle)),
+            vec![Expr::col(0)],
+            Box::new(li_f),
+            vec![Expr::col(0)],
+        );
+        let high = Expr::Or(vec![
+            Expr::cmp(CmpOp::Eq, Expr::col(1), str_lit("1-URGENT")),
+            Expr::cmp(CmpOp::Eq, Expr::col(1), str_lit("2-HIGH")),
+        ]);
+        let low = Expr::And(vec![
+            Expr::cmp(CmpOp::Ne, Expr::col(1), str_lit("1-URGENT")),
+            Expr::cmp(CmpOp::Ne, Expr::col(1), str_lit("2-HIGH")),
+        ]);
+        Box::new(Aggregate::new(
+            Box::new(join),
+            vec![Expr::col(3)],
+            vec![AggSpec::SumI64(high), AggSpec::SumI64(low)],
+        ))
+    });
+    let merge = Aggregate::new(
+        Box::new(Rows::new(partials)),
+        vec![Expr::col(0)],
+        vec![AggSpec::SumI64(Expr::col(1)), AggSpec::SumI64(Expr::col(2))],
+    );
+    let rows = dbep_volcano::ops::collect(Box::new(merge))
+        .into_iter()
+        .map(|row| {
+            let mode = match &row[0] {
+                Val::Str(s) => s.clone(),
+                other => panic!("unexpected group key {other:?}"),
+            };
+            vec![
+                Value::Str(mode),
+                Value::I64(row[1].as_i64()),
+                Value::I64(row[2].as_i64()),
+            ]
+        })
+        .collect();
+    QueryResult::new(
+        &["l_shipmode", "high_line_count", "low_line_count"],
+        rows,
+        &[OrderBy::asc(0)],
+        None,
+    )
+}
+
+/// Registry entry (see [`crate::QueryPlan`]).
+pub struct Q12;
+
+impl crate::QueryPlan for Q12 {
+    fn id(&self) -> crate::QueryId {
+        crate::QueryId::Q12
+    }
+
+    fn tuples_scanned(&self, db: &Database) -> usize {
+        db.table("orders").len() + db.table("lineitem").len()
+    }
+
+    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        typer(db, cfg)
+    }
+
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        tectorwise(db, cfg)
+    }
+
+    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        volcano(db, cfg)
+    }
+}

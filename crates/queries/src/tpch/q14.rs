@@ -1,0 +1,244 @@
+//! TPC-H Q14: promo-revenue ratio — a string **prefix** predicate on the
+//! build side and a conditional/total aggregate pair on the probe side.
+//!
+//! ```sql
+//! SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%'
+//!                          THEN l_extendedprice * (1 - l_discount)
+//!                          ELSE 0 END)
+//!               / sum(l_extendedprice * (1 - l_discount)) AS promo_revenue
+//! FROM lineitem, part
+//! WHERE l_partkey = p_partkey
+//!   AND l_shipdate >= DATE '1995-09-01' AND l_shipdate < DATE '1995-10-01'
+//! ```
+//!
+//! Physical plan (identical in all engines): part → HT_part keyed by
+//! `p_partkey`, payload carries the precomputed `LIKE 'PROMO%'` flag;
+//! σ(lineitem, one-month ship window) probes HT_part and feeds two
+//! accumulators — the flagged (CASE) revenue and the total revenue. The
+//! final division is one shared fixed-point helper so all engines agree
+//! bit-for-bit.
+
+use crate::result::{QueryResult, Value};
+use crate::ExecCfg;
+use dbep_runtime::join_ht::JoinHtShard;
+use dbep_runtime::{map_workers, JoinHt, Morsels};
+use dbep_storage::types::date;
+use dbep_storage::Database;
+use dbep_vectorized as tw;
+
+const SHIP_LO: i32 = date(1995, 9, 1);
+const SHIP_HI: i32 = date(1995, 10, 1);
+const PREFIX: &[u8] = b"PROMO";
+const PART_BYTES: usize = 4 + 21; // partkey + type text
+const LI_BYTES: usize = 4 + 4 + 8 + 8; // partkey + shipdate + price + discount
+
+/// `100.00 * promo / total` as a scale-4 decimal (both sums are scale-4
+/// fixed point; truncating division, shared by every engine).
+fn finish(promo: i128, total: i128) -> QueryResult {
+    let digits = if total == 0 { 0 } else { promo * 1_000_000 / total };
+    QueryResult::new(&["promo_revenue"], vec![vec![Value::dec4(digits)]], &[], None)
+}
+
+/// Typer: build with a fused prefix test, then one probe loop with two
+/// register-resident accumulators (`promo += flag * rev`).
+pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.typer_hash();
+    // Pipeline 1: part → HT_part (partkey → PROMO flag).
+    let part = db.table("part");
+    let pkey = part.col("p_partkey").i32s();
+    let ptype = part.col("p_type").strs();
+    let m = Morsels::new(part.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<(i32, u8)> = JoinHtShard::new();
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), PART_BYTES);
+            for i in r {
+                let promo = ptype.get_bytes(i).starts_with(PREFIX) as u8;
+                sh.push(hf.hash(pkey[i] as u64), (pkey[i], promo));
+            }
+        }
+        sh
+    });
+    let ht_part = JoinHt::from_shards(shards, cfg.threads);
+
+    // Pipeline 2: σ(lineitem) ⋈ HT_part → (promo, total).
+    let li = db.table("lineitem");
+    let lpk = li.col("l_partkey").i32s();
+    let ship = li.col("l_shipdate").dates();
+    let ext = li.col("l_extendedprice").i64s();
+    let disc = li.col("l_discount").i64s();
+    let m = Morsels::new(li.len());
+    let parts = map_workers(cfg.threads, |_| {
+        let (mut promo, mut total) = (0i128, 0i128);
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), LI_BYTES);
+            for i in r {
+                if ship[i] >= SHIP_LO && ship[i] < SHIP_HI {
+                    let h = hf.hash(lpk[i] as u64);
+                    for e in ht_part.probe(h) {
+                        if e.row.0 == lpk[i] {
+                            let rev = ext[i] * (100 - disc[i]);
+                            // Branch-free CASE: the flag gates the summand.
+                            promo += (e.row.1 as i64 * rev) as i128;
+                            total += rev as i128;
+                        }
+                    }
+                }
+            }
+        }
+        (promo, total)
+    });
+    let (promo, total) = parts.into_iter().fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+    finish(promo, total)
+}
+
+/// Tectorwise: the prefix test is the vectorized string prefix-match
+/// primitive at build; the probe side uses the conditional-sum primitive
+/// for the CASE arm.
+pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.tw_hash();
+    let policy = cfg.policy;
+    // Pipeline 1: part → HT_part.
+    let part = db.table("part");
+    let pkey = part.col("p_partkey").i32s();
+    let ptype = part.col("p_type").strs();
+    let m = Morsels::new(part.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<(i32, u8)> = JoinHtShard::new();
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let (mut all, mut flags, mut hashes) = (Vec::new(), Vec::new(), Vec::new());
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), PART_BYTES);
+            tw::hashp::iota(c.start as u32, c.len(), &mut all);
+            tw::map::map_str_prefix_flags(ptype, &all, PREFIX, policy, &mut flags);
+            tw::hashp::hash_i32(pkey, &all, hf, &mut hashes);
+            for (j, &t) in all.iter().enumerate() {
+                sh.push(hashes[j], (pkey[t as usize], flags[j]));
+            }
+        }
+        sh
+    });
+    let ht_part = JoinHt::from_shards(shards, cfg.threads);
+
+    // Pipeline 2: σ(lineitem) ⋈ HT_part → (promo, total).
+    let li = db.table("lineitem");
+    let lpk = li.col("l_partkey").i32s();
+    let ship = li.col("l_shipdate").dates();
+    let ext = li.col("l_extendedprice").i64s();
+    let disc = li.col("l_discount").i64s();
+    let m = Morsels::new(li.len());
+    let parts = map_workers(cfg.threads, |_| {
+        let (mut promo, mut total) = (0i128, 0i128);
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let (mut s1, mut s2, mut hashes) = (Vec::new(), Vec::new(), Vec::new());
+        let mut bufs = tw::ProbeBuffers::new();
+        let (mut v_flag, mut v_ext, mut v_disc, mut v_om, mut v_rev) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), LI_BYTES);
+            if tw::sel::sel_ge_i32_dense(&ship[c.clone()], SHIP_LO, c.start as u32, &mut s1, policy) == 0 {
+                continue;
+            }
+            if tw::sel::sel_lt_i32_sparse(ship, SHIP_HI, &s1, &mut s2, policy) == 0 {
+                continue;
+            }
+            tw::hashp::hash_i32(lpk, &s2, hf, &mut hashes);
+            if tw::probe::probe_join(
+                &ht_part,
+                &hashes,
+                &s2,
+                |row, t| row.0 == lpk[t as usize],
+                policy,
+                &mut bufs,
+            ) == 0
+            {
+                continue;
+            }
+            tw::gather::gather_build(&ht_part, &bufs.match_entry, |r| r.1, &mut v_flag);
+            tw::gather::gather_i64(ext, &bufs.match_tuple, policy, &mut v_ext);
+            tw::gather::gather_i64(disc, &bufs.match_tuple, policy, &mut v_disc);
+            tw::map::map_rsub_const_i64(100, &v_disc, &mut v_om);
+            tw::map::map_mul_i64(&v_ext, &v_om, &mut v_rev);
+            // Conditional (CASE) and total sums, one primitive each.
+            promo += tw::map::sum_i64_where_u8(&v_rev, &v_flag, policy) as i128;
+            total += tw::map::sum_i64(&v_rev, policy) as i128;
+        }
+        (promo, total)
+    });
+    let (promo, total) = parts.into_iter().fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+    finish(promo, total)
+}
+
+/// Volcano: interpreted plan; the CASE arm is the revenue expression
+/// multiplied by the 0/1 `StartsWith` predicate. The driving lineitem
+/// scan is morsel-partitioned across `cfg.threads` workers; partial sums
+/// add up here.
+pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Scan, Select};
+    let li = db.table("lineitem");
+    let m = Morsels::new(li.len());
+    let partials = exchange::union(cfg.threads, |_| {
+        let li_f = Select {
+            input: Box::new(
+                Scan::new(li, &["l_partkey", "l_extendedprice", "l_discount", "l_shipdate"])
+                    .paced(cfg.throttle)
+                    .morsel_driven(&m),
+            ),
+            pred: Expr::And(vec![
+                Expr::cmp(CmpOp::Ge, Expr::col(3), Expr::lit_i32(SHIP_LO)),
+                Expr::cmp(CmpOp::Lt, Expr::col(3), Expr::lit_i32(SHIP_HI)),
+            ]),
+        };
+        // rows: [p_partkey, p_type] ++ the 4 lineitem columns.
+        let join = HashJoin::new(
+            Box::new(Scan::new(db.table("part"), &["p_partkey", "p_type"]).paced(cfg.throttle)),
+            vec![Expr::col(0)],
+            Box::new(li_f),
+            vec![Expr::col(0)],
+        );
+        let rev = Expr::arith(
+            BinOp::Mul,
+            Expr::col(3),
+            Expr::arith(BinOp::Sub, Expr::lit_i64(100), Expr::col(4)),
+        );
+        let promo = Expr::arith(
+            BinOp::Mul,
+            rev.clone(),
+            Expr::StartsWith(Box::new(Expr::col(1)), "PROMO".into()),
+        );
+        Box::new(Aggregate::new(
+            Box::new(join),
+            vec![],
+            vec![AggSpec::SumI64(promo), AggSpec::SumI64(rev)],
+        ))
+    });
+    let (promo, total) = partials.iter().fold((0i128, 0i128), |a, r| {
+        (a.0 + r[0].as_i128(), a.1 + r[1].as_i128())
+    });
+    finish(promo, total)
+}
+
+/// Registry entry (see [`crate::QueryPlan`]).
+pub struct Q14;
+
+impl crate::QueryPlan for Q14 {
+    fn id(&self) -> crate::QueryId {
+        crate::QueryId::Q14
+    }
+
+    fn tuples_scanned(&self, db: &Database) -> usize {
+        db.table("part").len() + db.table("lineitem").len()
+    }
+
+    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        typer(db, cfg)
+    }
+
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        tectorwise(db, cfg)
+    }
+
+    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        volcano(db, cfg)
+    }
+}

@@ -1,0 +1,321 @@
+//! TPC-H Q4: EXISTS semi-join (orders ⋉ lineitem) feeding a tiny
+//! priority grouping — the workload's semi-join shape.
+//!
+//! ```sql
+//! SELECT o_orderpriority, count(*) AS order_count
+//! FROM orders
+//! WHERE o_orderdate >= DATE '1993-07-01' AND o_orderdate < DATE '1993-10-01'
+//!   AND EXISTS (SELECT * FROM lineitem
+//!               WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate)
+//! GROUP BY o_orderpriority ORDER BY o_orderpriority
+//! ```
+//!
+//! Physical plan (identical in all engines): σ(lineitem,
+//! commit < receipt) → HT_late keyed by `l_orderkey`; σ(orders, 3-month
+//! window) probes HT_late **existence-only** — duplicate lineitems per
+//! order must not duplicate output — then counts per priority. The five
+//! priorities have distinct leading bytes, so the grouping runs on a
+//! 5-slot array keyed by `o_orderpriority[0]`; a representative row per
+//! slot recovers the full string for the result.
+
+use crate::result::{OrderBy, QueryResult, Value};
+use crate::ExecCfg;
+use dbep_runtime::join_ht::JoinHtShard;
+use dbep_runtime::{map_workers, JoinHt, Morsels};
+use dbep_storage::types::date;
+use dbep_storage::Database;
+use dbep_vectorized as tw;
+
+const DATE_LO: i32 = date(1993, 7, 1);
+const DATE_HI: i32 = date(1993, 10, 1);
+const LI_BYTES: usize = 4 + 4 + 4; // orderkey + commitdate + receiptdate
+const ORD_BYTES: usize = 4 + 4 + 9; // orderkey + orderdate + priority text
+/// Priority slots: leading bytes '1'..'5'.
+const SLOTS: usize = 5;
+
+/// Per-worker grouping state: count and a representative orders row per
+/// priority slot (all rows in a slot share the same priority string).
+#[derive(Clone, Copy)]
+struct PrioCounts {
+    counts: [i64; SLOTS],
+    rep: [u32; SLOTS],
+}
+
+impl PrioCounts {
+    fn new() -> Self {
+        PrioCounts {
+            counts: [0; SLOTS],
+            rep: [u32::MAX; SLOTS],
+        }
+    }
+
+    #[inline]
+    fn slot(byte0: u8) -> usize {
+        let s = byte0.wrapping_sub(b'1') as usize;
+        debug_assert!(s < SLOTS, "priority byte {byte0} outside domain");
+        s
+    }
+
+    #[inline]
+    fn add(&mut self, byte0: u8, row: u32, n: i64) {
+        let s = Self::slot(byte0);
+        self.counts[s] += n;
+        if self.rep[s] == u32::MAX {
+            self.rep[s] = row;
+        }
+    }
+
+    fn merge(mut parts: Vec<PrioCounts>) -> PrioCounts {
+        let mut all = PrioCounts::new();
+        for p in parts.drain(..) {
+            for s in 0..SLOTS {
+                all.counts[s] += p.counts[s];
+                if all.rep[s] == u32::MAX {
+                    all.rep[s] = p.rep[s];
+                }
+            }
+        }
+        all
+    }
+}
+
+fn finish(db: &Database, g: PrioCounts) -> QueryResult {
+    let prio = db.table("orders").col("o_orderpriority").strs();
+    let rows = (0..SLOTS)
+        .filter(|&s| g.counts[s] > 0)
+        .map(|s| {
+            vec![
+                Value::Str(prio.get(g.rep[s] as usize).to_string()),
+                Value::I64(g.counts[s]),
+            ]
+        })
+        .collect();
+    QueryResult::new(
+        &["o_orderpriority", "order_count"],
+        rows,
+        &[OrderBy::asc(0)],
+        None,
+    )
+}
+
+/// Typer: two fused pipelines around the semi-join build barrier; the
+/// probe uses the hash table's existence-only path.
+pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.typer_hash();
+    // Pipeline 1: σ(lineitem, commit < receipt) → HT_late.
+    let li = db.table("lineitem");
+    let lok = li.col("l_orderkey").i32s();
+    let commit = li.col("l_commitdate").dates();
+    let receipt = li.col("l_receiptdate").dates();
+    let m = Morsels::new(li.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<i32> = JoinHtShard::new();
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), LI_BYTES);
+            for i in r {
+                if commit[i] < receipt[i] {
+                    sh.push(hf.hash(lok[i] as u64), lok[i]);
+                }
+            }
+        }
+        sh
+    });
+    let ht_late = JoinHt::from_shards(shards, cfg.threads);
+
+    // Pipeline 2: σ(orders) ⋉ HT_late → Γ(priority).
+    let ord = db.table("orders");
+    let okey = ord.col("o_orderkey").i32s();
+    let odate = ord.col("o_orderdate").dates();
+    let prio = ord.col("o_orderpriority").strs();
+    let m = Morsels::new(ord.len());
+    let parts = map_workers(cfg.threads, |_| {
+        let mut g = PrioCounts::new();
+        while let Some(r) = m.claim() {
+            cfg.pace(r.len(), ORD_BYTES);
+            for i in r {
+                if odate[i] >= DATE_LO && odate[i] < DATE_HI {
+                    let h = hf.hash(okey[i] as u64);
+                    // Existence-only: stop at the first witness lineitem.
+                    if ht_late.contains(h, |k| *k == okey[i]) {
+                        g.add(prio.get_bytes(i)[0], i as u32, 1);
+                    }
+                }
+            }
+        }
+        g
+    });
+    finish(db, PrioCounts::merge(parts))
+}
+
+/// Tectorwise: the same plan as a primitive chain; the probe is the
+/// dedicated semi-join primitive (each order emitted at most once).
+pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    let hf = cfg.tw_hash();
+    let policy = cfg.policy;
+    // Pipeline 1: σ(lineitem, commit < receipt) → HT_late.
+    let li = db.table("lineitem");
+    let lok = li.col("l_orderkey").i32s();
+    let commit = li.col("l_commitdate").dates();
+    let receipt = li.col("l_receiptdate").dates();
+    let m = Morsels::new(li.len());
+    let shards = map_workers(cfg.threads, |_| {
+        let mut sh: JoinHtShard<i32> = JoinHtShard::new();
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let (mut sel, mut hashes) = (Vec::new(), Vec::new());
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), LI_BYTES);
+            // Column-vs-column compare: the first selection of the cascade.
+            if tw::sel::sel_lt_i32_col_dense(
+                &commit[c.clone()],
+                &receipt[c.clone()],
+                c.start as u32,
+                &mut sel,
+                policy,
+            ) == 0
+            {
+                continue;
+            }
+            tw::hashp::hash_i32(lok, &sel, hf, &mut hashes);
+            for (j, &t) in sel.iter().enumerate() {
+                sh.push(hashes[j], lok[t as usize]);
+            }
+        }
+        sh
+    });
+    let ht_late = JoinHt::from_shards(shards, cfg.threads);
+
+    // Pipeline 2: σ(orders) ⋉ HT_late → Γ(priority).
+    let ord = db.table("orders");
+    let okey = ord.col("o_orderkey").i32s();
+    let odate = ord.col("o_orderdate").dates();
+    let prio = ord.col("o_orderpriority").strs();
+    let m = Morsels::new(ord.len());
+    let parts = map_workers(cfg.threads, |_| {
+        let mut g = PrioCounts::new();
+        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
+        let (mut s1, mut s2, mut hashes) = (Vec::new(), Vec::new(), Vec::new());
+        let mut bufs = tw::ProbeBuffers::new();
+        let (mut v_byte, mut slot_sel) = (Vec::new(), Vec::new());
+        while let Some(c) = src.next_chunk() {
+            cfg.pace(c.len(), ORD_BYTES);
+            if tw::sel::sel_ge_i32_dense(&odate[c.clone()], DATE_LO, c.start as u32, &mut s1, policy) == 0 {
+                continue;
+            }
+            if tw::sel::sel_lt_i32_sparse(odate, DATE_HI, &s1, &mut s2, policy) == 0 {
+                continue;
+            }
+            tw::hashp::hash_i32(okey, &s2, hf, &mut hashes);
+            if tw::probe::probe_semijoin(
+                &ht_late,
+                &hashes,
+                &s2,
+                |k, t| *k == okey[t as usize],
+                policy,
+                &mut bufs,
+            ) == 0
+            {
+                continue;
+            }
+            // Conditional counting per priority slot: gather the leading
+            // byte, then one char-equality selection per slot.
+            tw::gather::gather_str_byte0(prio, &bufs.match_tuple, &mut v_byte);
+            for s in 0..SLOTS as u8 {
+                let n = tw::sel::sel_eq_char_dense(&v_byte, b'1' + s, 0, &mut slot_sel);
+                if n > 0 {
+                    g.add(b'1' + s, bufs.match_tuple[slot_sel[0] as usize], n as i64);
+                }
+            }
+        }
+        g
+    });
+    finish(db, PrioCounts::merge(parts))
+}
+
+/// Volcano: the same plan through the interpreted semi-join operator.
+/// The driving orders scan is morsel-partitioned across `cfg.threads`
+/// workers; partial priority counts re-aggregate in a final merge pass.
+pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+    use dbep_volcano::{exchange, AggSpec, Aggregate, CmpOp, Expr, Rows, Scan, Select, SemiJoin, Val};
+    let ord = db.table("orders");
+    let m = Morsels::new(ord.len());
+    let partials = exchange::union(cfg.threads, |_| {
+        let late = Select {
+            input: Box::new(
+                Scan::new(
+                    db.table("lineitem"),
+                    &["l_orderkey", "l_commitdate", "l_receiptdate"],
+                )
+                .paced(cfg.throttle),
+            ),
+            pred: Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::col(2)),
+        };
+        let ord_f = Select {
+            input: Box::new(
+                Scan::new(ord, &["o_orderkey", "o_orderdate", "o_orderpriority"])
+                    .paced(cfg.throttle)
+                    .morsel_driven(&m),
+            ),
+            pred: Expr::And(vec![
+                Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i32(DATE_LO)),
+                Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::lit_i32(DATE_HI)),
+            ]),
+        };
+        let semi = SemiJoin::new(
+            Box::new(late),
+            vec![Expr::col(0)],
+            Box::new(ord_f),
+            vec![Expr::col(0)],
+        );
+        Box::new(Aggregate::new(
+            Box::new(semi),
+            vec![Expr::col(2)],
+            vec![AggSpec::Count],
+        ))
+    });
+    let merge = Aggregate::new(
+        Box::new(Rows::new(partials)),
+        vec![Expr::col(0)],
+        vec![AggSpec::SumI64(Expr::col(1))],
+    );
+    let rows = dbep_volcano::ops::collect(Box::new(merge))
+        .into_iter()
+        .map(|row| {
+            let prio = match &row[0] {
+                Val::Str(s) => s.clone(),
+                other => panic!("unexpected group key {other:?}"),
+            };
+            vec![Value::Str(prio), Value::I64(row[1].as_i64())]
+        })
+        .collect();
+    QueryResult::new(
+        &["o_orderpriority", "order_count"],
+        rows,
+        &[OrderBy::asc(0)],
+        None,
+    )
+}
+
+/// Registry entry (see [`crate::QueryPlan`]).
+pub struct Q4;
+
+impl crate::QueryPlan for Q4 {
+    fn id(&self) -> crate::QueryId {
+        crate::QueryId::Q4
+    }
+
+    fn tuples_scanned(&self, db: &Database) -> usize {
+        db.table("lineitem").len() + db.table("orders").len()
+    }
+
+    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        typer(db, cfg)
+    }
+
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        tectorwise(db, cfg)
+    }
+
+    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
+        volcano(db, cfg)
+    }
+}

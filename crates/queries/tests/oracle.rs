@@ -279,6 +279,118 @@ fn q18_oracle() {
 }
 
 #[test]
+fn q4_oracle() {
+    let db = tpch();
+    let li = db.table("lineitem");
+    let mut late: std::collections::HashSet<i32> = std::collections::HashSet::new();
+    for i in 0..li.len() {
+        if li.col("l_commitdate").dates()[i] < li.col("l_receiptdate").dates()[i] {
+            late.insert(li.col("l_orderkey").i32s()[i]);
+        }
+    }
+    let ord = db.table("orders");
+    let mut groups: HashMap<String, i64> = HashMap::new();
+    for i in 0..ord.len() {
+        let d = ord.col("o_orderdate").dates()[i];
+        if d >= date(1993, 7, 1) && d < date(1993, 10, 1) && late.contains(&ord.col("o_orderkey").i32s()[i]) {
+            *groups
+                .entry(ord.col("o_orderpriority").strs().get(i).to_string())
+                .or_default() += 1;
+        }
+    }
+    let rows = groups
+        .into_iter()
+        .map(|(p, n)| vec![Value::Str(p), Value::I64(n)])
+        .collect();
+    let oracle = QueryResult::new(
+        &["o_orderpriority", "order_count"],
+        rows,
+        &[OrderBy::asc(0)],
+        None,
+    );
+    assert!(!oracle.is_empty(), "test DB must contain qualifying Q4 orders");
+    check(QueryId::Q4, db, oracle);
+}
+
+#[test]
+fn q12_oracle() {
+    let db = tpch();
+    let ord = db.table("orders");
+    let mut high_of: HashMap<i32, bool> = HashMap::new();
+    for i in 0..ord.len() {
+        let p = ord.col("o_orderpriority").strs().get(i);
+        high_of.insert(ord.col("o_orderkey").i32s()[i], p == "1-URGENT" || p == "2-HIGH");
+    }
+    let li = db.table("lineitem");
+    let mut groups: HashMap<String, (i64, i64)> = HashMap::new();
+    for i in 0..li.len() {
+        let mode = li.col("l_shipmode").strs().get(i);
+        if mode != "MAIL" && mode != "SHIP" {
+            continue;
+        }
+        let ship = li.col("l_shipdate").dates()[i];
+        let commit = li.col("l_commitdate").dates()[i];
+        let receipt = li.col("l_receiptdate").dates()[i];
+        if commit < receipt && ship < commit && receipt >= date(1994, 1, 1) && receipt < date(1995, 1, 1) {
+            let e = groups.entry(mode.to_string()).or_default();
+            if high_of[&li.col("l_orderkey").i32s()[i]] {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+    }
+    let rows = groups
+        .into_iter()
+        .map(|(m, (h, l))| vec![Value::Str(m), Value::I64(h), Value::I64(l)])
+        .collect();
+    let oracle = QueryResult::new(
+        &["l_shipmode", "high_line_count", "low_line_count"],
+        rows,
+        &[OrderBy::asc(0)],
+        None,
+    );
+    assert!(
+        !oracle.is_empty(),
+        "test DB must contain qualifying Q12 lineitems"
+    );
+    check(QueryId::Q12, db, oracle);
+}
+
+#[test]
+fn q14_oracle() {
+    let db = tpch();
+    let part = db.table("part");
+    let mut promo_of: HashMap<i32, bool> = HashMap::new();
+    for i in 0..part.len() {
+        promo_of.insert(
+            part.col("p_partkey").i32s()[i],
+            part.col("p_type").strs().get(i).starts_with("PROMO"),
+        );
+    }
+    let li = db.table("lineitem");
+    let (mut promo, mut total) = (0i128, 0i128);
+    for i in 0..li.len() {
+        let ship = li.col("l_shipdate").dates()[i];
+        if ship >= date(1995, 9, 1) && ship < date(1995, 10, 1) {
+            let rev = (li.col("l_extendedprice").i64s()[i] * (100 - li.col("l_discount").i64s()[i])) as i128;
+            if promo_of[&li.col("l_partkey").i32s()[i]] {
+                promo += rev;
+            }
+            total += rev;
+        }
+    }
+    assert!(total > 0, "test DB must contain Q14 window lineitems");
+    let oracle = QueryResult::new(
+        &["promo_revenue"],
+        vec![vec![Value::dec4(promo * 1_000_000 / total)]],
+        &[],
+        None,
+    );
+    check(QueryId::Q14, db, oracle);
+}
+
+#[test]
 fn ssb_q1_1_oracle() {
     let db = ssb();
     let d = db.table("date");

@@ -203,6 +203,16 @@ impl<T: Send + Sync> JoinHt<T> {
         e.next.load(Ordering::Relaxed) & PTR_MASK
     }
 
+    /// Existence-only probe (semi-join path): `true` iff any entry with
+    /// this hash satisfies `eq`. Stops at the first hit, so an EXISTS
+    /// subquery never walks past its witness — the compiled engines'
+    /// semi-join probe (Q4) and the scalar model the vectorized
+    /// `probe_semijoin` primitive must agree with.
+    #[inline]
+    pub fn contains(&self, hash: u64, eq: impl Fn(&T) -> bool) -> bool {
+        self.probe(hash).any(|e| eq(&e.row))
+    }
+
     /// Iterate all entries whose stored hash equals `hash` (callers
     /// re-check the key, as both engines do).
     #[inline]
@@ -284,6 +294,25 @@ mod tests {
         let ht = JoinHt::build(rows);
         for k in 0..100 {
             assert_eq!(probe_keys(&ht, k), vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn contains_is_existence_only() {
+        // Duplicate keys: contains() is true exactly once per key class,
+        // regardless of how many matching entries chain behind it.
+        let mut rows = Vec::new();
+        for k in 0..200u64 {
+            for dup in 0..(k % 3 + 1) {
+                rows.push((murmur2(k), (k, dup)));
+            }
+        }
+        let ht = JoinHt::build(rows);
+        for k in 0..200u64 {
+            assert!(ht.contains(murmur2(k), |r| r.0 == k), "key {k}");
+        }
+        for k in 200..500u64 {
+            assert!(!ht.contains(murmur2(k), |r| r.0 == k), "key {k}");
         }
     }
 

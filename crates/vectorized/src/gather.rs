@@ -69,6 +69,20 @@ pub fn gather_u8(col: &[u8], sel: &[u32], out: &mut Vec<u8>) {
     }
 }
 
+/// `out[i] = first byte of col[sel[i]]` (0 for empty strings).
+///
+/// Used to turn a low-cardinality string column whose filter pins the
+/// domain to values with distinct leading bytes (Q4's priorities, Q12's
+/// `IN ('MAIL','SHIP')`) into a dense byte vector the char-code
+/// selection and grouping primitives can work on.
+pub fn gather_str_byte0(col: &dbep_storage::StrColumn, sel: &[u32], out: &mut Vec<u8>) {
+    prep(out, sel.len());
+    for (o, &i) in out.iter_mut().zip(sel) {
+        debug_assert!((i as usize) < col.len());
+        *o = col.get_bytes(i as usize).first().copied().unwrap_or(0);
+    }
+}
+
 /// Build-side gather: extract one field from each matched entry
 /// (`entries` are addresses produced by the probe primitives over `ht`).
 pub fn gather_build<T: Send + Sync, U>(
@@ -121,6 +135,14 @@ mod tests {
             gather_i64(&col, &sel, SimdPolicy::Simd, &mut out);
             assert_eq!(out, (0..n as i64).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn str_byte0_gather() {
+        let col: dbep_storage::StrColumn = ["MAIL", "SHIP", "", "1-URGENT"].into_iter().collect();
+        let mut out = Vec::new();
+        gather_str_byte0(&col, &[3, 0, 1, 2, 0], &mut out);
+        assert_eq!(out, vec![b'1', b'M', b'S', 0, b'M']);
     }
 
     #[test]

@@ -182,6 +182,149 @@ unsafe fn probe_round_avx512<T: Send + Sync>(
     }
 }
 
+/// Semi-join probe (§2.2 applied to EXISTS): probe `ht` with `hashes`
+/// aligned with scanned-tuple indices `tuples` and emit each tuple **at
+/// most once** — on its first confirmed match — into
+/// `bufs.match_tuple`. Returns the number of qualifying tuples.
+///
+/// The candidate rounds mirror [`probe_join`], but a tuple whose key
+/// matched leaves the candidate set instead of following its chain, so
+/// duplicate build keys never duplicate probe output (the semi-join
+/// contract Q4's `EXISTS` relies on). `bufs.match_entry` is left empty:
+/// an existence probe has no build side to gather from.
+pub fn probe_semijoin<T: Send + Sync>(
+    ht: &JoinHt<T>,
+    hashes: &[u64],
+    tuples: &[u32],
+    eq: impl Fn(&T, u32) -> bool,
+    policy: SimdPolicy,
+    bufs: &mut ProbeBuffers,
+) -> usize {
+    assert_eq!(hashes.len(), tuples.len(), "probe inputs must align");
+    bufs.start();
+    for (j, &h) in hashes.iter().enumerate() {
+        let head = ht.chain_head(h);
+        if head != 0 {
+            bufs.cand_addr.push(head);
+            bufs.cand_hash.push(h);
+            bufs.cand_tuple.push(tuples[j]);
+        }
+    }
+    while !bufs.cand_addr.is_empty() {
+        bufs.next_addr.clear();
+        bufs.next_hash.clear();
+        bufs.next_tuple.clear();
+        #[cfg(target_arch = "x86_64")]
+        let simd = policy.wants_simd() && simd_level() >= SimdLevel::Avx512;
+        #[cfg(not(target_arch = "x86_64"))]
+        let simd = false;
+        let _ = policy;
+        if simd {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: ISA checked; candidate addresses come from `ht`.
+            unsafe {
+                semijoin_round_avx512(ht, &eq, bufs)
+            };
+        } else {
+            semijoin_round_scalar(ht, &eq, bufs);
+        }
+        std::mem::swap(&mut bufs.cand_addr, &mut bufs.next_addr);
+        std::mem::swap(&mut bufs.cand_hash, &mut bufs.next_hash);
+        std::mem::swap(&mut bufs.cand_tuple, &mut bufs.next_tuple);
+    }
+    bufs.match_tuple.len()
+}
+
+fn semijoin_round_scalar<T: Send + Sync>(
+    ht: &JoinHt<T>,
+    eq: &impl Fn(&T, u32) -> bool,
+    bufs: &mut ProbeBuffers,
+) {
+    for j in 0..bufs.cand_addr.len() {
+        // SAFETY: candidate addresses originate from ht's chains.
+        let e = unsafe { ht.entry_at(bufs.cand_addr[j]) };
+        if e.hash == bufs.cand_hash[j] && eq(&e.row, bufs.cand_tuple[j]) {
+            // First witness found: the tuple qualifies and retires.
+            bufs.match_tuple.push(bufs.cand_tuple[j]);
+            continue;
+        }
+        let nxt = JoinHt::next_addr(e);
+        if nxt != 0 {
+            bufs.next_addr.push(nxt);
+            bufs.next_hash.push(bufs.cand_hash[j]);
+            bufs.next_tuple.push(bufs.cand_tuple[j]);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl")]
+unsafe fn semijoin_round_avx512<T: Send + Sync>(
+    ht: &JoinHt<T>,
+    eq: &impl Fn(&T, u32) -> bool,
+    bufs: &mut ProbeBuffers,
+) {
+    use std::arch::x86_64::*;
+    let n = bufs.cand_addr.len();
+    const PTR_MASK: u64 = 0x0000_FFFF_FFFF_FFFF;
+    bufs.next_addr.reserve(n);
+    bufs.next_hash.reserve(n);
+    bufs.next_tuple.reserve(n);
+    let pa = bufs.next_addr.as_mut_ptr();
+    let ph = bufs.next_hash.as_mut_ptr();
+    let pt = bufs.next_tuple.as_mut_ptr();
+    let mut out = 0usize;
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let vaddr = _mm512_loadu_si512(bufs.cand_addr.as_ptr().add(j) as *const _);
+        let vhash_at = _mm512_add_epi64(vaddr, _mm512_set1_epi64(8));
+        let vent_hash = _mm512_i64gather_epi64::<1>(vhash_at, std::ptr::null());
+        let vexp_hash = _mm512_loadu_si512(bufs.cand_hash.as_ptr().add(j) as *const _);
+        let hit = _mm512_cmpeq_epi64_mask(vent_hash, vexp_hash);
+        // Hash hits run cmpKey per tuple; confirmed lanes retire.
+        let mut confirmed: __mmask8 = 0;
+        let mut m = hit;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            let e = ht.entry_at(bufs.cand_addr[j + b]);
+            if eq(&e.row, bufs.cand_tuple[j + b]) {
+                bufs.match_tuple.push(bufs.cand_tuple[j + b]);
+                confirmed |= 1 << b;
+            }
+            m &= m - 1;
+        }
+        // Advance only the unconfirmed candidates along their chains.
+        let vnext_tagged = _mm512_i64gather_epi64::<1>(vaddr, std::ptr::null());
+        let vnext = _mm512_and_si512(vnext_tagged, _mm512_set1_epi64(PTR_MASK as i64));
+        let alive = _mm512_cmpneq_epi64_mask(vnext, _mm512_setzero_si512()) & !confirmed;
+        _mm512_mask_compressstoreu_epi64(pa.add(out) as *mut _, alive, vnext);
+        _mm512_mask_compressstoreu_epi64(ph.add(out) as *mut _, alive, vexp_hash);
+        let vtup = _mm256_loadu_si256(bufs.cand_tuple.as_ptr().add(j) as *const _);
+        _mm256_mask_compressstoreu_epi32(pt.add(out) as *mut _, alive, vtup);
+        out += alive.count_ones() as usize;
+        j += 8;
+    }
+    bufs.next_addr.set_len(out);
+    bufs.next_hash.set_len(out);
+    bufs.next_tuple.set_len(out);
+    // Scalar tail.
+    while j < n {
+        let e = ht.entry_at(bufs.cand_addr[j]);
+        if e.hash == bufs.cand_hash[j] && eq(&e.row, bufs.cand_tuple[j]) {
+            bufs.match_tuple.push(bufs.cand_tuple[j]);
+            j += 1;
+            continue;
+        }
+        let nxt = JoinHt::next_addr(e);
+        if nxt != 0 {
+            bufs.next_addr.push(nxt);
+            bufs.next_hash.push(bufs.cand_hash[j]);
+            bufs.next_tuple.push(bufs.cand_tuple[j]);
+        }
+        j += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +407,65 @@ mod tests {
         let build = vec![(1, 10i64)];
         let probe: Vec<i32> = Vec::new();
         assert!(run(SimdPolicy::Simd, &build, &probe).is_empty());
+    }
+
+    fn model_semijoin(build: &[(i32, i64)], probe: &[i32]) -> Vec<u32> {
+        let keys: std::collections::HashSet<i32> = build.iter().map(|&(k, _)| k).collect();
+        (0..probe.len() as u32)
+            .filter(|&t| keys.contains(&probe[t as usize]))
+            .collect()
+    }
+
+    fn run_semi(policy: SimdPolicy, build: &[(i32, i64)], probe: &[i32]) -> Vec<u32> {
+        let ht = JoinHt::build(build.iter().map(|&(k, v)| (murmur2(k as u64), (k, v))));
+        let hashes: Vec<u64> = probe.iter().map(|&k| murmur2(k as u64)).collect();
+        let tuples: Vec<u32> = (0..probe.len() as u32).collect();
+        let mut bufs = ProbeBuffers::new();
+        let n = probe_semijoin(
+            &ht,
+            &hashes,
+            &tuples,
+            |row, t| row.0 == probe[t as usize],
+            policy,
+            &mut bufs,
+        );
+        assert_eq!(n, bufs.match_tuple.len());
+        let mut out = bufs.match_tuple.clone();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn semijoin_emits_each_tuple_at_most_once() {
+        // Heavy duplication on the build side: a plain join would fan out,
+        // the semi-join must not.
+        let mut build = Vec::new();
+        for k in 0..200 {
+            for dup in 0..3 {
+                build.push((k, dup as i64));
+            }
+        }
+        let probe: Vec<i32> = (0..1000).map(|i| (i * 13) % 400).collect();
+        let model = model_semijoin(&build, &probe);
+        assert!(!model.is_empty() && model.len() < probe.len());
+        assert_eq!(run_semi(SimdPolicy::Scalar, &build, &probe), model);
+        assert_eq!(run_semi(SimdPolicy::Simd, &build, &probe), model);
+        assert_eq!(run_semi(SimdPolicy::Auto, &build, &probe), model);
+    }
+
+    #[test]
+    fn semijoin_edge_sizes_and_misses() {
+        let build: Vec<(i32, i64)> = (0..64).map(|k| (k * 2, k as i64)).collect();
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 64] {
+            let probe: Vec<i32> = (0..n as i32).collect();
+            let model = model_semijoin(&build, &probe);
+            for policy in [SimdPolicy::Scalar, SimdPolicy::Simd] {
+                assert_eq!(run_semi(policy, &build, &probe), model, "n={n} {policy:?}");
+            }
+        }
+        // All misses.
+        let probe: Vec<i32> = (1000..1100).collect();
+        assert!(run_semi(SimdPolicy::Simd, &build, &probe).is_empty());
     }
 
     #[test]

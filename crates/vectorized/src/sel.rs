@@ -121,6 +121,38 @@ fn sparse_between_i64_scalar(col: &[i64], lo: i64, hi: i64, in_sel: &[u32], out:
     k
 }
 
+fn dense_cmp_i32_col_scalar<const OP: i32>(a: &[i32], b: &[i32], base: u32, out: &mut Vec<u32>) -> usize {
+    assert_eq!(a.len(), b.len(), "column-column compare inputs must align");
+    let p = out_ptr(out, a.len());
+    let mut k = 0usize;
+    for i in 0..a.len() {
+        // SAFETY: k <= i < reserved capacity.
+        unsafe { *p.add(k) = base + i as u32 };
+        k += cmp_scalar::<OP, i32>(a[i], b[i]) as usize;
+    }
+    unsafe { out.set_len(k) };
+    k
+}
+
+fn sparse_cmp_i32_col_scalar<const OP: i32>(
+    a: &[i32],
+    b: &[i32],
+    in_sel: &[u32],
+    out: &mut Vec<u32>,
+) -> usize {
+    let p = out_ptr(out, in_sel.len());
+    let mut k = 0usize;
+    for &i in in_sel {
+        debug_assert!((i as usize) < a.len() && (i as usize) < b.len());
+        // SAFETY: selection vectors index their source table.
+        let (va, vb) = unsafe { (*a.get_unchecked(i as usize), *b.get_unchecked(i as usize)) };
+        unsafe { *p.add(k) = i };
+        k += cmp_scalar::<OP, i32>(va, vb) as usize;
+    }
+    unsafe { out.set_len(k) };
+    k
+}
+
 // ---------------------------------------------------------------------
 // AVX-512 variants (compress-store, gathers).
 // ---------------------------------------------------------------------
@@ -246,6 +278,72 @@ mod avx512 {
             let v = *col.get_unchecked(row as usize);
             *p.add(k) = row;
             k += (v >= lo && v <= hi) as usize;
+            i += 1;
+        }
+        out.set_len(k);
+        k
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn dense_cmp_i32_col<const OP: i32>(
+        a: &[i32],
+        b: &[i32],
+        base: u32,
+        out: &mut Vec<u32>,
+    ) -> usize {
+        assert_eq!(a.len(), b.len(), "column-column compare inputs must align");
+        let n = a.len();
+        let p = out_ptr(out, n);
+        let mut idx = _mm512_add_epi32(
+            _mm512_set1_epi32(base as i32),
+            _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15),
+        );
+        let step = _mm512_set1_epi32(16);
+        let mut k = 0usize;
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let va = _mm512_loadu_si512(a.as_ptr().add(i) as *const _);
+            let vb = _mm512_loadu_si512(b.as_ptr().add(i) as *const _);
+            let m = _mm512_cmp_epi32_mask::<OP>(va, vb);
+            _mm512_mask_compressstoreu_epi32(p.add(k) as *mut _, m, idx);
+            k += m.count_ones() as usize;
+            idx = _mm512_add_epi32(idx, step);
+            i += 16;
+        }
+        while i < n {
+            *p.add(k) = base + i as u32;
+            k += cmp_scalar::<OP, i32>(*a.get_unchecked(i), *b.get_unchecked(i)) as usize;
+            i += 1;
+        }
+        out.set_len(k);
+        k
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn sparse_cmp_i32_col<const OP: i32>(
+        a: &[i32],
+        b: &[i32],
+        in_sel: &[u32],
+        out: &mut Vec<u32>,
+    ) -> usize {
+        let n = in_sel.len();
+        let p = out_ptr(out, n);
+        let mut k = 0usize;
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let iv = _mm512_loadu_si512(in_sel.as_ptr().add(i) as *const _);
+            let va = _mm512_i32gather_epi32::<4>(iv, a.as_ptr());
+            let vb = _mm512_i32gather_epi32::<4>(iv, b.as_ptr());
+            let m = _mm512_cmp_epi32_mask::<OP>(va, vb);
+            _mm512_mask_compressstoreu_epi32(p.add(k) as *mut _, m, iv);
+            k += m.count_ones() as usize;
+            i += 16;
+        }
+        while i < n {
+            let row = *in_sel.get_unchecked(i);
+            *p.add(k) = row;
+            k += cmp_scalar::<OP, i32>(*a.get_unchecked(row as usize), *b.get_unchecked(row as usize))
+                as usize;
             i += 1;
         }
         out.set_len(k);
@@ -431,6 +529,26 @@ mod autovec {
     ) -> usize {
         super::sparse_i64_scalar::<OP>(col, c, in_sel, out)
     }
+
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub unsafe fn dense_cmp_i32_col<const OP: i32>(
+        a: &[i32],
+        b: &[i32],
+        base: u32,
+        out: &mut Vec<u32>,
+    ) -> usize {
+        super::dense_cmp_i32_col_scalar::<OP>(a, b, base, out)
+    }
+
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub unsafe fn sparse_cmp_i32_col<const OP: i32>(
+        a: &[i32],
+        b: &[i32],
+        in_sel: &[u32],
+        out: &mut Vec<u32>,
+    ) -> usize {
+        super::sparse_cmp_i32_col_scalar::<OP>(a, b, in_sel, out)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -556,6 +674,50 @@ pub fn sel_between_i64_sparse(
     sparse_between_i64_scalar(col, lo, hi, in_sel, out)
 }
 
+macro_rules! dispatch_dense_i32_col {
+    ($name:ident, $op:expr) => {
+        /// Dense column-vs-column selection over aligned chunk slices
+        /// (e.g. Q4/Q12's `l_commitdate < l_receiptdate`); emits `base + i`.
+        pub fn $name(a: &[i32], b: &[i32], base: u32, out: &mut Vec<u32>, policy: SimdPolicy) -> usize {
+            #[cfg(target_arch = "x86_64")]
+            match (policy, simd_level()) {
+                (SimdPolicy::Simd, SimdLevel::Avx512) => {
+                    // SAFETY: ISA presence checked by simd_level().
+                    return unsafe { avx512::dense_cmp_i32_col::<{ $op }>(a, b, base, out) };
+                }
+                (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                    return unsafe { autovec::dense_cmp_i32_col::<{ $op }>(a, b, base, out) };
+                }
+                _ => {}
+            }
+            dense_cmp_i32_col_scalar::<{ $op }>(a, b, base, out)
+        }
+    };
+}
+dispatch_dense_i32_col!(sel_lt_i32_col_dense, CMP_LT);
+
+macro_rules! dispatch_sparse_i32_col {
+    ($name:ident, $op:expr) => {
+        /// Sparse column-vs-column selection refining an input selection
+        /// vector (both columns gathered at `in_sel[i]`).
+        pub fn $name(a: &[i32], b: &[i32], in_sel: &[u32], out: &mut Vec<u32>, policy: SimdPolicy) -> usize {
+            #[cfg(target_arch = "x86_64")]
+            match (policy, simd_level()) {
+                (SimdPolicy::Simd, SimdLevel::Avx512) => {
+                    // SAFETY: ISA presence checked by simd_level().
+                    return unsafe { avx512::sparse_cmp_i32_col::<{ $op }>(a, b, in_sel, out) };
+                }
+                (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                    return unsafe { autovec::sparse_cmp_i32_col::<{ $op }>(a, b, in_sel, out) };
+                }
+                _ => {}
+            }
+            sparse_cmp_i32_col_scalar::<{ $op }>(a, b, in_sel, out)
+        }
+    };
+}
+dispatch_sparse_i32_col!(sel_lt_i32_col_sparse, CMP_LT);
+
 /// Dense string-equality selection over `chunk` (scalar only: the paper's
 /// string primitives are not SIMD candidates).
 pub fn sel_eq_str_dense(
@@ -568,6 +730,27 @@ pub fn sel_eq_str_dense(
     out.reserve(chunk.len());
     for i in chunk {
         if col.get_bytes(i) == val {
+            out.push(i as u32);
+        }
+    }
+    out.len()
+}
+
+/// Dense IN-list selection over `chunk` (Q12's
+/// `l_shipmode IN ('MAIL','SHIP')`); one membership primitive instead of
+/// per-value equality cascades so the selection vector stays ascending.
+/// Scalar, like the other string primitives.
+pub fn sel_in_str_dense(
+    col: &StrColumn,
+    vals: &[&[u8]],
+    chunk: std::ops::Range<usize>,
+    out: &mut Vec<u32>,
+) -> usize {
+    out.clear();
+    out.reserve(chunk.len());
+    for i in chunk {
+        let s = col.get_bytes(i);
+        if vals.contains(&s) {
             out.push(i as u32);
         }
     }
@@ -693,6 +876,56 @@ mod tests {
         let flags = vec![b'N', b'A', b'N', b'R', b'N'];
         sel_eq_char_dense(&flags, b'N', 10, &mut out);
         assert_eq!(out, vec![10, 12, 14]);
+    }
+
+    #[test]
+    fn col_col_selection_matches_model() {
+        let a = pseudo_i32(1000, 50);
+        let b = pseudo_i32(1000, 50).into_iter().rev().collect::<Vec<_>>();
+        let dense_model: Vec<u32> = (0..1000).filter(|&i| a[i] < b[i]).map(|i| i as u32 + 3).collect();
+        let in_sel: Vec<u32> = (0..1000).step_by(3).map(|i| i as u32).collect();
+        let sparse_model: Vec<u32> = in_sel
+            .iter()
+            .copied()
+            .filter(|&i| a[i as usize] < b[i as usize])
+            .collect();
+        for policy in policies() {
+            let mut out = Vec::new();
+            let k = sel_lt_i32_col_dense(&a, &b, 3, &mut out, policy);
+            assert_eq!(k, out.len());
+            assert_eq!(out, dense_model, "dense {policy:?}");
+            sel_lt_i32_col_sparse(&a, &b, &in_sel, &mut out, policy);
+            assert_eq!(out, sparse_model, "sparse {policy:?}");
+        }
+    }
+
+    #[test]
+    fn col_col_tail_sizes() {
+        for n in [0usize, 1, 15, 16, 17, 31, 33] {
+            let a = pseudo_i32(n, 8);
+            let b = vec![4i32; n];
+            let model: Vec<u32> = (0..n).filter(|&i| a[i] < 4).map(|i| i as u32).collect();
+            for policy in policies() {
+                let mut out = Vec::new();
+                sel_lt_i32_col_dense(&a, &b, 0, &mut out, policy);
+                assert_eq!(out, model, "n={n} {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_list_string_selection() {
+        let col: StrColumn = ["MAIL", "SHIP", "AIR", "TRUCK", "SHIP", "FOB", "MAIL"]
+            .into_iter()
+            .collect();
+        let mut out = Vec::new();
+        let k = sel_in_str_dense(&col, &[b"MAIL", b"SHIP"], 0..7, &mut out);
+        assert_eq!(k, 4);
+        assert_eq!(out, vec![0, 1, 4, 6]);
+        // Empty list selects nothing; a sub-range respects bounds.
+        assert_eq!(sel_in_str_dense(&col, &[], 0..7, &mut out), 0);
+        sel_in_str_dense(&col, &[b"SHIP"], 2..5, &mut out);
+        assert_eq!(out, vec![4]);
     }
 
     #[test]

@@ -85,6 +85,8 @@ pub enum Expr {
     Arith(BinOp, Box<Expr>, Box<Expr>),
     /// SQL `LIKE '%needle%'`.
     Contains(Box<Expr>, String),
+    /// SQL `LIKE 'prefix%'` (anchored at the start).
+    StartsWith(Box<Expr>, String),
 }
 
 impl Expr {
@@ -143,6 +145,10 @@ impl Expr {
                 let v = e.eval(row);
                 Val::I32(v.as_str().contains(needle.as_str()) as i32)
             }
+            Expr::StartsWith(e, prefix) => {
+                let v = e.eval(row);
+                Val::I32(v.as_str().starts_with(prefix.as_str()) as i32)
+            }
         }
     }
 
@@ -183,6 +189,8 @@ mod tests {
         let row = vec![Val::Str("forest green linen".into())];
         assert!(Expr::Contains(Box::new(Expr::col(0)), "green".into()).eval_bool(&row));
         assert!(!Expr::Contains(Box::new(Expr::col(0)), "azure".into()).eval_bool(&row));
+        assert!(Expr::StartsWith(Box::new(Expr::col(0)), "forest".into()).eval_bool(&row));
+        assert!(!Expr::StartsWith(Box::new(Expr::col(0)), "green".into()).eval_bool(&row));
         let eq = Expr::cmp(
             CmpOp::Eq,
             Expr::col(0),

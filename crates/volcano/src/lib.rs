@@ -22,5 +22,5 @@ pub mod ops;
 
 pub use expr::{BinOp, CmpOp, Expr, Val};
 pub use ops::{
-    AggSpec, Aggregate, BoxOp, HashJoin, Operator, Project, Row, Rows, Scan, Select, Sort, SortKey,
+    AggSpec, Aggregate, BoxOp, HashJoin, Operator, Project, Row, Rows, Scan, Select, SemiJoin, Sort, SortKey,
 };

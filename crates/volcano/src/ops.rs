@@ -215,6 +215,43 @@ impl<'a> Operator for HashJoin<'a> {
     }
 }
 
+/// Blocking hash **semi**-join (SQL `EXISTS` / `IN` subquery):
+/// materializes the build side's key set, then streams probe tuples that
+/// have at least one build match — each probe tuple at most once, never
+/// widened with build columns.
+pub struct SemiJoin<'a> {
+    probe: BoxOp<'a>,
+    probe_keys: Vec<Expr>,
+    keys: std::collections::HashSet<Vec<Val>>,
+}
+
+impl<'a> SemiJoin<'a> {
+    /// Fully consumes `build` on construction (the pipeline breaker).
+    pub fn new(mut build: BoxOp<'_>, build_keys: Vec<Expr>, probe: BoxOp<'a>, probe_keys: Vec<Expr>) -> Self {
+        let mut keys = std::collections::HashSet::new();
+        while let Some(row) = build.next() {
+            keys.insert(build_keys.iter().map(|e| e.eval(&row)).collect::<Vec<Val>>());
+        }
+        SemiJoin {
+            probe,
+            probe_keys,
+            keys,
+        }
+    }
+}
+
+impl<'a> Operator for SemiJoin<'a> {
+    fn next(&mut self) -> Option<Row> {
+        loop {
+            let row = self.probe.next()?;
+            let key: Vec<Val> = self.probe_keys.iter().map(|e| e.eval(&row)).collect();
+            if self.keys.contains(&key) {
+                return Some(row);
+            }
+        }
+    }
+}
+
 /// Aggregate function specifications.
 #[derive(Clone, Debug)]
 pub enum AggSpec {
@@ -373,6 +410,45 @@ mod tests {
         for r in &rows {
             assert_eq!(r[1], r[3], "join key mismatch in {r:?}");
         }
+    }
+
+    #[test]
+    fn semi_join_emits_probe_rows_once() {
+        let t = test_table();
+        // Build side has duplicate s values; every probe row with a
+        // matching s must come out exactly once, unwidened.
+        let semi = SemiJoin::new(
+            Box::new(Select {
+                input: Box::new(Scan::new(&t, &["s", "v"])),
+                pred: Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::Const(Val::Str("a".into()))),
+            }),
+            vec![Expr::col(0)],
+            Box::new(Scan::new(&t, &["k", "s"])),
+            vec![Expr::col(1)],
+        );
+        let rows = collect(Box::new(semi));
+        assert_eq!(
+            rows,
+            vec![
+                vec![Val::I32(1), Val::Str("a".into())],
+                vec![Val::I32(3), Val::Str("a".into())],
+            ]
+        );
+    }
+
+    #[test]
+    fn semi_join_empty_build_side() {
+        let t = test_table();
+        let semi = SemiJoin::new(
+            Box::new(Select {
+                input: Box::new(Scan::new(&t, &["s"])),
+                pred: Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::Const(Val::Str("zzz".into()))),
+            }),
+            vec![Expr::col(0)],
+            Box::new(Scan::new(&t, &["k", "s"])),
+            vec![Expr::col(1)],
+        );
+        assert!(collect(Box::new(semi)).is_empty());
     }
 
     #[test]

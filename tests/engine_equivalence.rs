@@ -55,23 +55,15 @@ fn assert_equal(q: QueryId, a: &QueryResult, b: &QueryResult, what: &str) {
     }
 }
 
-const ALL: [QueryId; 9] = [
-    QueryId::Q1,
-    QueryId::Q6,
-    QueryId::Q3,
-    QueryId::Q9,
-    QueryId::Q18,
-    QueryId::Ssb1_1,
-    QueryId::Ssb2_1,
-    QueryId::Ssb3_1,
-    QueryId::Ssb4_1,
-];
+/// Every registered query — the paper's 5 TPC-H + the Q4/Q12/Q14
+/// workload broadening + the 4 SSB flights.
+const ALL: [QueryId; 12] = QueryId::ALL;
 
-/// All 27 (engine, query) pairs at SF 0.01: every registered query on
+/// All 36 (engine, query) pairs at SF 0.01: every registered query on
 /// every paradigm, identical `QueryResult`s (the acceptance bar of the
-/// registry refactor).
+/// registry refactor and of the Q4/Q12/Q14 expansion).
 #[test]
-fn all_27_engine_query_pairs_agree_at_sf_001() {
+fn all_36_engine_query_pairs_agree_at_sf_001() {
     let engines = [Engine::Typer, Engine::Tectorwise, Engine::Volcano];
     for q in ALL {
         let db = db_for_001(q);
@@ -265,6 +257,46 @@ fn q3_and_q18_respect_limits() {
     assert!(q18.len() <= 100);
     for w in q18.rows.windows(2) {
         assert!(w[0][4] >= w[1][4], "q18 not sorted by totalprice desc");
+    }
+}
+
+#[test]
+fn q4_q12_q14_shapes_match_spec() {
+    let db = tpch_db();
+    let cfg = ExecCfg::default();
+    // Q4: at most the five spec priorities, ordered ascending, all counts
+    // positive.
+    let q4 = run(Engine::Typer, QueryId::Q4, db, &cfg);
+    assert!((1..=5).contains(&q4.len()), "q4 group count {}", q4.len());
+    let prios: Vec<String> = q4.rows.iter().map(|r| r[0].to_string()).collect();
+    assert!(
+        prios.windows(2).all(|w| w[0] < w[1]),
+        "q4 not ordered by priority"
+    );
+    for row in &q4.rows {
+        assert!(row[0].to_string().as_bytes()[0].is_ascii_digit());
+        assert!(row[1] > Value::I64(0), "q4 empty group emitted");
+    }
+    // Q12: exactly the IN-list groups, MAIL before SHIP, both CASE arms
+    // populated at SF 0.05.
+    let q12 = run(Engine::Typer, QueryId::Q12, db, &cfg);
+    let modes: Vec<String> = q12.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(modes, vec!["MAIL".to_string(), "SHIP".to_string()]);
+    for row in &q12.rows {
+        assert!(row[1] > Value::I64(0) && row[2] > Value::I64(0), "empty CASE arm");
+    }
+    // Q14: a single ratio row; PROMO types are ~1/6 of parts, so the
+    // promo-revenue percentage sits well inside (0, 100).
+    let q14 = run(Engine::Typer, QueryId::Q14, db, &cfg);
+    assert_eq!(q14.len(), 1);
+    match q14.rows[0][0] {
+        Value::Dec { digits, scale: 4 } => {
+            assert!(
+                (50_000..500_000).contains(&digits),
+                "promo_revenue {digits} (scale 4) far from the ~16.7% spec selectivity"
+            );
+        }
+        ref other => panic!("unexpected promo_revenue value {other:?}"),
     }
 }
 

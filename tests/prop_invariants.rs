@@ -14,7 +14,7 @@ use dbep_core::runtime::rng::SmallRng;
 use dbep_core::runtime::{murmur2, GroupByShard, Morsels};
 use dbep_core::storage::types::{civil, date, format_date, parse_date};
 use dbep_core::storage::StrColumn;
-use dbep_core::vectorized::{gather, hashp, sel};
+use dbep_core::vectorized::{gather, hashp, map, probe, sel};
 use std::collections::HashMap;
 
 const CASES: u64 = 64;
@@ -59,6 +59,142 @@ fn sparse_selection_matches_model() {
             let mut out = Vec::new();
             sel::sel_between_i64_sparse(&col, lo, hi, &in_sel, &mut out, policy);
             assert_eq!(out, model, "case {case} policy {policy:?}");
+        }
+    }
+}
+
+#[test]
+fn col_col_selection_matches_model() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xcc1 ^ case);
+        let n = rng.gen_range(0usize..300);
+        let a: Vec<i32> = (0..n).map(|_| rng.gen_range(-50i32..50)).collect();
+        let b: Vec<i32> = (0..n).map(|_| rng.gen_range(-50i32..50)).collect();
+        let dense_model: Vec<u32> = (0..n).filter(|&i| a[i] < b[i]).map(|i| i as u32).collect();
+        let in_sel: Vec<u32> = (0..n).filter(|_| rng.gen_bool(0.6)).map(|i| i as u32).collect();
+        let sparse_model: Vec<u32> = in_sel
+            .iter()
+            .copied()
+            .filter(|&i| a[i as usize] < b[i as usize])
+            .collect();
+        for policy in all_policies() {
+            let mut out = Vec::new();
+            sel::sel_lt_i32_col_dense(&a, &b, 0, &mut out, policy);
+            assert_eq!(out, dense_model, "dense case {case} policy {policy:?}");
+            sel::sel_lt_i32_col_sparse(&a, &b, &in_sel, &mut out, policy);
+            assert_eq!(out, sparse_model, "sparse case {case} policy {policy:?}");
+        }
+    }
+}
+
+// ----- semi-join probe ≡ HashSet-membership model, every policy -----
+
+#[test]
+fn semijoin_probe_matches_model() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5e31 ^ case);
+        let nb = rng.gen_range(0usize..300);
+        // Duplicate-heavy build side: semi-join must not fan out.
+        let build: Vec<i32> = (0..nb).map(|_| rng.gen_range(0i32..64)).collect();
+        let np = rng.gen_range(0usize..300);
+        let probe_keys: Vec<i32> = (0..np).map(|_| rng.gen_range(0i32..128)).collect();
+        let ht = JoinHt::build(build.iter().map(|&k| (murmur2(k as u64), k)));
+        let set: std::collections::HashSet<i32> = build.iter().copied().collect();
+        let mut model: Vec<u32> = (0..np as u32)
+            .filter(|&t| set.contains(&probe_keys[t as usize]))
+            .collect();
+        model.sort_unstable();
+        // The runtime's scalar existence path agrees with the set model.
+        for (t, &k) in probe_keys.iter().enumerate() {
+            assert_eq!(
+                ht.contains(murmur2(k as u64), |r| *r == k),
+                set.contains(&k),
+                "case {case} tuple {t}"
+            );
+        }
+        // The vectorized primitive agrees under every policy.
+        let hashes: Vec<u64> = probe_keys.iter().map(|&k| murmur2(k as u64)).collect();
+        let tuples: Vec<u32> = (0..np as u32).collect();
+        for policy in all_policies() {
+            let mut bufs = probe::ProbeBuffers::new();
+            let n = probe::probe_semijoin(
+                &ht,
+                &hashes,
+                &tuples,
+                |r, t| *r == probe_keys[t as usize],
+                policy,
+                &mut bufs,
+            );
+            let mut got = bufs.match_tuple.clone();
+            got.sort_unstable();
+            assert_eq!(n, got.len(), "case {case} policy {policy:?}");
+            assert_eq!(got, model, "case {case} policy {policy:?}");
+        }
+    }
+}
+
+// ----- string prefix-match flags ≡ starts_with model, every policy -----
+
+#[test]
+fn str_prefix_flags_match_model() {
+    let alphabet = [b'P', b'R', b'O', b'M', b'X'];
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x9ef1 ^ case);
+        let n = rng.gen_range(0usize..200);
+        // Strings from a tiny alphabet so prefixes actually collide.
+        let strings: Vec<String> = (0..n)
+            .map(|_| {
+                let len = rng.gen_range(0usize..8);
+                (0..len)
+                    .map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char)
+                    .collect()
+            })
+            .collect();
+        let col: StrColumn = strings.iter().map(|s| s.as_str()).collect();
+        let sel_v: Vec<u32> = (0..n).filter(|_| rng.gen_bool(0.7)).map(|i| i as u32).collect();
+        let plen = rng.gen_range(0usize..5);
+        let prefix: Vec<u8> = (0..plen)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect();
+        let model: Vec<u8> = sel_v
+            .iter()
+            .map(|&i| strings[i as usize].as_bytes().starts_with(&prefix) as u8)
+            .collect();
+        for policy in all_policies() {
+            let mut out = Vec::new();
+            map::map_str_prefix_flags(&col, &sel_v, &prefix, policy, &mut out);
+            assert_eq!(out, model, "case {case} policy {policy:?}");
+        }
+    }
+}
+
+// ----- conditional aggregation primitives ≡ filter-sum model -----
+
+#[test]
+fn conditional_sum_and_count_match_model() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xca5e ^ case);
+        let n = rng.gen_range(0usize..400);
+        let vals: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000i64..1000)).collect();
+        let flags: Vec<u8> = (0..n).map(|_| rng.gen_range(0u32..3) as u8).collect();
+        let model_sum: i64 = vals
+            .iter()
+            .zip(&flags)
+            .filter(|(_, &f)| f != 0)
+            .map(|(&v, _)| v)
+            .sum();
+        let model_count = flags.iter().filter(|&&f| f != 0).count() as i64;
+        for policy in all_policies() {
+            assert_eq!(
+                map::sum_i64_where_u8(&vals, &flags, policy),
+                model_sum,
+                "case {case} policy {policy:?}"
+            );
+            assert_eq!(
+                map::count_nonzero_u8(&flags, policy),
+                model_count,
+                "case {case} policy {policy:?}"
+            );
         }
     }
 }
@@ -279,7 +415,7 @@ fn engines_agree_on_arbitrary_seeds() {
     for seed in 0..16u64 {
         let db = dbep_datagen::tpch::generate(0.01, seed * 61 + 1);
         let cfg = ExecCfg::default();
-        for q in [QueryId::Q6, QueryId::Q1] {
+        for q in [QueryId::Q6, QueryId::Q1, QueryId::Q4, QueryId::Q12, QueryId::Q14] {
             let typer = run(Engine::Typer, q, &db, &cfg);
             let tw = run(Engine::Tectorwise, q, &db, &cfg);
             assert_eq!(typer, tw, "{} seed {seed}", q.name());
