@@ -3,13 +3,20 @@
 //! ```text
 //! cargo run --release -p dbep-bench --bin experiments -- <id> [--sf N]
 //!     [--threads N] [--reps N] [--no-tag] [--json]
+//!     [--query <name>] [--engine <name>]
 //! ```
 //!
 //! Ids: `fig3 table1 fig4 fig5 ssb table2 fig6 fig7 fig8 fig9 fig10
-//! table3 table4 table5 fig11 oltp table6 all`. Each prints the same
-//! rows/series the paper reports (EXPERIMENTS.md records paper-versus-
-//! measured). Scale-factor defaults are sized for a ~20 GB host; pass
-//! `--sf` to reproduce the paper's exact scales on bigger machines.
+//! table3 table4 table5 fig11 oltp table6 query all`. Each prints the
+//! same rows/series the paper reports (EXPERIMENTS.md records paper-
+//! versus-measured). Scale-factor defaults are sized for a ~20 GB host;
+//! pass `--sf` to reproduce the paper's exact scales on bigger machines.
+//!
+//! `--query`/`--engine` take the canonical names (`q3`, `ssb-q4.1`,
+//! `typer`, …) via the registry's `FromStr` impls and narrow `fig3`,
+//! `table1` and the `query` subcommand — `query` runs one prepared
+//! query through the `Session` API and prints its result table, e.g.
+//! `experiments -- query --query q6 --engine tectorwise --sf 0.1`.
 //!
 //! `fig3` and `table1` run the full TPC-H workload (the paper's five
 //! plus Q4/Q12/Q14); the remaining paper-artifact subcommands stick to
@@ -22,6 +29,7 @@
 //! recorded as `BENCH_*.json` files across PRs.
 
 use dbep_bench::{counters_note, fmt_ms, measure_counters, per_tuple_header, per_tuple_row, time_median};
+use dbep_core::Session;
 use dbep_queries::{run, Engine, ExecCfg, QueryId};
 use dbep_runtime::hash::HashFn;
 use dbep_runtime::rng::SmallRng;
@@ -36,6 +44,44 @@ struct Args {
     reps: usize,
     no_tag: bool,
     json: bool,
+    /// `--query q3` narrows query loops to one registered query.
+    query: Option<QueryId>,
+    /// `--engine typer` narrows engine loops to one paradigm.
+    engine: Option<Engine>,
+}
+
+impl Args {
+    /// `base` filtered by `--query` (names resolve through
+    /// `QueryId::from_str`, never ad-hoc string matching). Exits with
+    /// an error when the selected query is not in this experiment's
+    /// set — a silently empty report would read as "ran fine".
+    fn queries(&self, base: &[QueryId]) -> Vec<QueryId> {
+        let selected: Vec<QueryId> = base
+            .iter()
+            .copied()
+            .filter(|q| self.query.is_none_or(|sel| sel == *q))
+            .collect();
+        if selected.is_empty() {
+            if let Some(q) = self.query {
+                let known: Vec<&str> = base.iter().map(|b| b.name()).collect();
+                eprintln!(
+                    "query {} is not part of this experiment's set ({})",
+                    q.name(),
+                    known.join(" ")
+                );
+                std::process::exit(2);
+            }
+        }
+        selected
+    }
+
+    /// `Engine::ALL` filtered by `--engine`.
+    fn engines(&self) -> Vec<Engine> {
+        match self.engine {
+            Some(e) => vec![e],
+            None => Engine::ALL.to_vec(),
+        }
+    }
 }
 
 fn parse_args() -> Args {
@@ -46,6 +92,8 @@ fn parse_args() -> Args {
         reps: 3,
         no_tag: false,
         json: false,
+        query: None,
+        engine: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -57,6 +105,14 @@ fn parse_args() -> Args {
             "--reps" => args.reps = it.next().expect("--reps N").parse().expect("numeric reps"),
             "--no-tag" => args.no_tag = true,
             "--json" => args.json = true,
+            "--query" => {
+                let name = it.next().expect("--query <name>");
+                args.query = Some(name.parse().unwrap_or_else(|e| panic!("{e}")));
+            }
+            "--engine" => {
+                let name = it.next().expect("--engine <name>");
+                args.engine = Some(name.parse().unwrap_or_else(|e| panic!("{e}")));
+            }
             other if args.id.is_empty() && !other.starts_with('-') => args.id = other.to_string(),
             other => panic!("unknown argument {other}"),
         }
@@ -109,7 +165,7 @@ fn fig3(a: &Args) {
         a.sf.unwrap_or(1.0)
     );
     println!("{:<6} {:>10} {:>10} {:>9}", "query", "Typer", "TW", "TW/Typer");
-    for q in QueryId::TPCH {
+    for q in a.queries(&QueryId::TPCH) {
         let t = time_median(a.reps, || std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
         let w = time_median(a.reps, || std::mem::drop(run(Engine::Tectorwise, q, &db, &cfg)));
         println!(
@@ -128,7 +184,7 @@ fn fig3_json(a: &Args) {
     let tpch = gen_tpch(sf);
     let ssb_db = gen_ssb(sf);
     let cfg = ExecCfg::default();
-    let queries = QueryId::ALL.iter().map(|&q| {
+    let queries = a.queries(&QueryId::ALL).into_iter().map(|q| {
         let db = if QueryId::SSB.contains(&q) { &ssb_db } else { &tpch };
         let ms = |engine| {
             let t = time_median(a.reps, || std::mem::drop(run(engine, q, db, &cfg)));
@@ -172,7 +228,7 @@ fn table1(a: &Args) {
     );
     println!("# ({})", counters_note());
     println!("{}", per_tuple_header());
-    for q in QueryId::TPCH {
+    for q in a.queries(&QueryId::TPCH) {
         let tuples = q.tuples_scanned(&db);
         let v = measure_counters(|| std::mem::drop(run(Engine::Typer, q, &db, &cfg)));
         println!("{}", per_tuple_row(&format!("{} Typer", q.name()), &v, tuples));
@@ -889,6 +945,37 @@ fn table6(a: &Args) {
     );
 }
 
+// ---------------------------------------------------------------------
+// `query`: run one prepared query through the Session API and print it.
+// ---------------------------------------------------------------------
+fn query(a: &Args) {
+    let q = a.query.unwrap_or(QueryId::Q6);
+    let sf = a.sf.unwrap_or(0.1);
+    let threads = a.threads.unwrap_or(1);
+    let db = if QueryId::SSB.contains(&q) {
+        gen_ssb(sf)
+    } else {
+        gen_tpch(sf)
+    };
+    let session = Session::with_cfg(db, ExecCfg::with_threads(threads));
+    let prepared = session.prepare(q);
+    println!(
+        "# {} — SF={sf}, {threads} thread(s), default (paper) parameters",
+        q.name()
+    );
+    let mut reference = None;
+    for engine in a.engines() {
+        let t = time_median(a.reps, || std::mem::drop(prepared.run(engine)));
+        let result = prepared.run(engine);
+        println!("{:<10} {:>10}  {} rows", engine.name(), fmt_ms(t), result.len());
+        if let Some(r) = &reference {
+            assert_eq!(r, &result, "{engine:?} disagrees");
+        }
+        reference.get_or_insert(result);
+    }
+    println!("\n{}", reference.expect("at least one engine").to_table());
+}
+
 type Experiment = fn(&Args);
 
 fn main() {
@@ -912,6 +999,7 @@ fn main() {
         ("fig11", fig11),
         ("oltp", oltp),
         ("table6", table6),
+        ("query", query),
     ];
     if args.id == "all" {
         for (name, f) in &all {

@@ -1,10 +1,13 @@
 //! `dbep-core` — the public facade of the db-engine-paradigms
 //! reproduction.
 //!
-//! Re-exports every sub-crate plus a [`prelude`] with the types needed
-//! for the common "generate data, run a query on N engines, compare"
+//! Re-exports every sub-crate plus the [`Session`]/[`PreparedQuery`]
+//! serving layer and a [`prelude`] with the types needed for the common
+//! "generate data, prepare a query, run it on N engines, compare"
 //! workflow. See the workspace README for the architecture overview and
 //! `DESIGN.md` for the paper-to-module mapping.
+
+pub mod session;
 
 pub use dbep_compiled as compiled;
 pub use dbep_datagen as datagen;
@@ -13,11 +16,15 @@ pub use dbep_runtime as runtime;
 pub use dbep_storage as storage;
 pub use dbep_vectorized as vectorized;
 pub use dbep_volcano as volcano;
+pub use session::{PreparedQuery, Session};
 
 /// Everything needed for the common benchmark workflow.
 pub mod prelude {
+    pub use crate::session::{PreparedQuery, Session};
     pub use dbep_datagen;
-    pub use dbep_queries::{self, result::QueryResult, run, Engine, ExecCfg, QueryId};
+    pub use dbep_queries::{
+        self, params::Params, result::QueryResult, run, run_with, Engine, ExecCfg, QueryId,
+    };
     pub use dbep_runtime::hash::HashFn;
     pub use dbep_storage::{self, Database, Table, Value};
     pub use dbep_vectorized::SimdPolicy;

@@ -1,0 +1,196 @@
+//! Prepare-once / run-many execution facade.
+//!
+//! Production analytical traffic is dominated by repeated parameterized
+//! templates, so the serving shape is: open a [`Session`] over a shared
+//! database, [`Session::prepare`] a query once (validating and binding
+//! its substitution parameters), then run the resulting
+//! [`PreparedQuery`] as many times as needed — from as many threads as
+//! needed — with per-call engine and [`ExecCfg`] overrides.
+//!
+//! With default parameters a prepared query reproduces the paper's
+//! workload instance byte-for-byte; with bound [`Params`] it runs any
+//! member of the query's substitution family.
+//!
+//! ```
+//! use dbep_core::prelude::*;
+//!
+//! let db = dbep_datagen::tpch::generate(0.01, 42);
+//! let session = Session::new(db);
+//! let q6 = session.prepare(QueryId::Q6);
+//! let typer = q6.run(Engine::Typer);
+//! let tw = q6.run(Engine::Tectorwise);
+//! assert_eq!(typer, tw);
+//!
+//! // Bind a different workload instance of the same template.
+//! let q6_95 = session.prepare_params(dbep_queries::params::Q6Params::new(1995, 3, 30)?);
+//! assert_eq!(q6_95.run(Engine::Typer), q6_95.run(Engine::Volcano));
+//! # Ok::<(), dbep_queries::params::ParamError>(())
+//! ```
+
+use dbep_queries::params::Params;
+use dbep_queries::result::QueryResult;
+use dbep_queries::{plan, Engine, ExecCfg, QueryId, QueryPlan};
+use dbep_storage::Database;
+use std::sync::Arc;
+
+/// A connection-like handle owning a shared database and a default
+/// execution configuration.
+///
+/// Cloning is cheap (the database is behind an [`Arc`]); sessions and
+/// the prepared queries they hand out are `Send + Sync`, so one session
+/// can serve concurrent callers.
+#[derive(Clone)]
+pub struct Session {
+    db: Arc<Database>,
+    cfg: ExecCfg<'static>,
+}
+
+impl Session {
+    /// Open a session with the default [`ExecCfg`] (single thread,
+    /// 1K vectors, scalar primitives).
+    pub fn new(db: impl Into<Arc<Database>>) -> Self {
+        Session::with_cfg(db, ExecCfg::default())
+    }
+
+    /// Open a session with an explicit default configuration; per-call
+    /// overrides remain possible via [`PreparedQuery::run_with`].
+    pub fn with_cfg(db: impl Into<Arc<Database>>, cfg: ExecCfg<'static>) -> Self {
+        Session { db: db.into(), cfg }
+    }
+
+    /// The shared database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The session's default execution configuration.
+    pub fn cfg(&self) -> &ExecCfg<'static> {
+        &self.cfg
+    }
+
+    /// Prepare `query` with the paper's default parameters (§3.3).
+    pub fn prepare(&self, query: QueryId) -> PreparedQuery {
+        self.prepare_params(Params::default_for(query))
+    }
+
+    /// Prepare the query bound by `params`.
+    ///
+    /// Parameters are validated and normalized when constructed (see
+    /// [`dbep_queries::params`]); preparation resolves the plan once so
+    /// every subsequent run is dispatch + execute.
+    pub fn prepare_params(&self, params: impl Into<Params>) -> PreparedQuery {
+        let params = params.into();
+        PreparedQuery {
+            db: Arc::clone(&self.db),
+            cfg: self.cfg,
+            plan: plan(params.query()),
+            params,
+        }
+    }
+}
+
+/// A validated, bound, re-runnable query: plan resolved, parameters
+/// normalized, database pinned.
+///
+/// `Sync` by construction — one prepared query may be run from many
+/// threads concurrently (each run is read-only over the database and
+/// allocates its own execution state).
+pub struct PreparedQuery {
+    db: Arc<Database>,
+    cfg: ExecCfg<'static>,
+    plan: &'static dyn QueryPlan,
+    params: Params,
+}
+
+impl PreparedQuery {
+    /// The query this plan executes.
+    pub fn query(&self) -> QueryId {
+        self.plan.id()
+    }
+
+    /// The bound parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Tuples scanned per execution (the §3.4 normalization
+    /// denominator).
+    pub fn tuples_scanned(&self) -> usize {
+        self.plan.tuples_scanned(&self.db)
+    }
+
+    /// Execute on `engine` with the session's default configuration.
+    pub fn run(&self, engine: Engine) -> QueryResult {
+        self.run_with(engine, &self.cfg)
+    }
+
+    /// Execute on `engine` with a per-call configuration override
+    /// (thread count, vector size, SIMD policy, hash function,
+    /// throttle).
+    pub fn run_with(&self, engine: Engine, cfg: &ExecCfg) -> QueryResult {
+        self.plan.run(engine, &self.db, cfg, &self.params)
+    }
+}
+
+// Both handles must stay shareable across serving threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+    assert_send_sync::<PreparedQuery>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbep_queries::params::{Q18Params, Q6Params};
+    use dbep_queries::run;
+
+    fn tiny_db() -> Arc<Database> {
+        static DB: std::sync::OnceLock<Arc<Database>> = std::sync::OnceLock::new();
+        Arc::clone(DB.get_or_init(|| Arc::new(dbep_datagen::tpch::generate(0.01, 42))))
+    }
+
+    #[test]
+    fn prepare_defaults_match_free_run() {
+        let session = Session::new(tiny_db());
+        for q in [QueryId::Q1, QueryId::Q6, QueryId::Q12] {
+            let prepared = session.prepare(q);
+            for engine in Engine::ALL {
+                assert_eq!(
+                    prepared.run(engine),
+                    run(engine, q, session.db(), session.cfg()),
+                    "{} on {engine:?}",
+                    q.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_query_is_rerunnable_and_overridable() {
+        let session = Session::new(tiny_db());
+        let q6 = session.prepare_params(Q6Params::new(1995, 3, 30).unwrap());
+        let first = q6.run(Engine::Typer);
+        assert_eq!(first, q6.run(Engine::Typer), "same binding, same result");
+        let threaded = q6.run_with(Engine::Typer, &ExecCfg::with_threads(4));
+        assert_eq!(first, threaded, "cfg override must not change results");
+        // The bound instance differs from the paper's default.
+        assert_ne!(first, session.prepare(QueryId::Q6).run(Engine::Typer));
+    }
+
+    #[test]
+    fn prepared_query_runs_concurrently() {
+        let session = Session::new(tiny_db());
+        let q18 = session.prepare_params(Q18Params::new(280).unwrap());
+        let reference = q18.run(Engine::Typer);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for engine in Engine::ALL {
+                        assert_eq!(q18.run(engine), reference);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -14,14 +14,21 @@
 //! * [`ssb`] — Star Schema Benchmark Q1.1, Q2.1, Q3.1, Q4.1 (§4.4).
 //! * [`oltp`] — the stored-procedure-style point-lookup workload used to
 //!   discuss OLTP behaviour (§8.1).
+//! * [`params`] — typed, validated substitution parameters per query;
+//!   `Default` is the paper's instance (§3.3), so `run()` reproduces the
+//!   paper while `run_with`/`Session::prepare_params` open the full
+//!   substitution family.
 //! * [`result`] — engine-independent result rows with deterministic
 //!   ordering, so `typer == tectorwise == volcano` is a meaningful
 //!   assertion.
 
 pub mod oltp;
+pub mod params;
 pub mod result;
 pub mod ssb;
 pub mod tpch;
+
+pub use params::Params;
 
 use dbep_runtime::hash::HashFn;
 use dbep_storage::throttle::Throttle;
@@ -93,6 +100,30 @@ pub enum Engine {
     Volcano,
 }
 
+impl Engine {
+    /// Every paradigm, in the paper's presentation order.
+    pub const ALL: [Engine; 3] = [Engine::Typer, Engine::Tectorwise, Engine::Volcano];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Typer => "typer",
+            Engine::Tectorwise => "tectorwise",
+            Engine::Volcano => "volcano",
+        }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Engine::ALL
+            .into_iter()
+            .find(|e| e.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown engine {s:?} (expected typer|tectorwise|volcano)"))
+    }
+}
+
 /// Identifiers for every benchmark query in the study.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum QueryId {
@@ -162,6 +193,12 @@ impl QueryId {
         }
     }
 
+    /// Inverse of [`QueryId::name`] (the single place names map back to
+    /// ids — harnesses must not re-implement this with string matches).
+    pub fn from_name(name: &str) -> Option<QueryId> {
+        QueryId::ALL.into_iter().find(|q| q.name() == name)
+    }
+
     /// Total tuples scanned by this query's plan — the paper's
     /// normalization denominator ("the sum of the cardinalities of all
     /// tables scanned", §3.4). Delegates to the registered plan.
@@ -170,14 +207,34 @@ impl QueryId {
     }
 }
 
+impl std::str::FromStr for QueryId {
+    type Err = String;
+
+    /// Case-insensitive (like `Engine::from_str` — the two feed the
+    /// same CLI flags); [`QueryId::from_name`] stays the exact inverse
+    /// of [`QueryId::name`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        QueryId::ALL
+            .into_iter()
+            .find(|q| q.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| {
+                let known: Vec<&str> = QueryId::ALL.iter().map(|q| q.name()).collect();
+                format!("unknown query {s:?} (expected one of {})", known.join(" "))
+            })
+    }
+}
+
 /// One physical query plan of the study, implemented under every
 /// execution paradigm.
 ///
 /// Per the methodology (§3) all three implementations share the plan —
 /// join order, build sides, hash functions, data structures — so the
-/// paradigm is the only variable. Adding a query to the harness is one
-/// struct implementing this trait plus a [`REGISTRY`] entry; the
-/// dispatcher, benchmarks and equivalence tests pick it up from there.
+/// paradigm is the only variable. Every engine entry point receives the
+/// query's bound substitution [`Params`] (see [`params`]); with
+/// [`Params::default_for`] the plan reproduces the paper's instance
+/// byte-for-byte. Adding a query to the harness is one struct
+/// implementing this trait plus a [`REGISTRY`] entry; the dispatcher,
+/// benchmarks and equivalence tests pick it up from there.
 pub trait QueryPlan: Sync {
     /// The identifier this plan is registered under.
     fn id(&self) -> QueryId;
@@ -187,22 +244,28 @@ pub trait QueryPlan: Sync {
     fn tuples_scanned(&self, db: &dbep_storage::Database) -> usize;
 
     /// Data-centric compiled execution (push, fused pipelines).
-    fn typer(&self, db: &dbep_storage::Database, cfg: &ExecCfg) -> result::QueryResult;
+    fn typer(&self, db: &dbep_storage::Database, cfg: &ExecCfg, params: &Params) -> result::QueryResult;
 
     /// Vector-at-a-time execution (pull, primitives).
-    fn tectorwise(&self, db: &dbep_storage::Database, cfg: &ExecCfg) -> result::QueryResult;
+    fn tectorwise(&self, db: &dbep_storage::Database, cfg: &ExecCfg, params: &Params) -> result::QueryResult;
 
     /// Tuple-at-a-time interpretation (pull, boxed operators). Takes the
     /// same [`ExecCfg`] as the other engines: `threads` runs an
     /// exchange-style parallel union, `throttle` paces every scan.
-    fn volcano(&self, db: &dbep_storage::Database, cfg: &ExecCfg) -> result::QueryResult;
+    fn volcano(&self, db: &dbep_storage::Database, cfg: &ExecCfg, params: &Params) -> result::QueryResult;
 
     /// Dispatch on the execution paradigm.
-    fn run(&self, engine: Engine, db: &dbep_storage::Database, cfg: &ExecCfg) -> result::QueryResult {
+    fn run(
+        &self,
+        engine: Engine,
+        db: &dbep_storage::Database,
+        cfg: &ExecCfg,
+        params: &Params,
+    ) -> result::QueryResult {
         match engine {
-            Engine::Typer => self.typer(db, cfg),
-            Engine::Tectorwise => self.tectorwise(db, cfg),
-            Engine::Volcano => self.volcano(db, cfg),
+            Engine::Typer => self.typer(db, cfg, params),
+            Engine::Tectorwise => self.tectorwise(db, cfg, params),
+            Engine::Volcano => self.volcano(db, cfg, params),
         }
     }
 }
@@ -232,12 +295,74 @@ pub fn plan(query: QueryId) -> &'static dyn QueryPlan {
         .unwrap_or_else(|| panic!("no registered plan for {:?}", query))
 }
 
-/// Run any benchmark query on any engine (harness entry point).
+/// Run any benchmark query on any engine with the paper's default
+/// parameters (harness entry point; see [`run_with`] for bound
+/// parameters and `dbep_core::Session` for the prepare-once API).
 pub fn run(
     engine: Engine,
     query: QueryId,
     db: &dbep_storage::Database,
     cfg: &ExecCfg,
 ) -> result::QueryResult {
-    plan(query).run(engine, db, cfg)
+    run_with(engine, query, db, cfg, &Params::default_for(query))
+}
+
+/// Run a query with explicitly bound [`Params`].
+///
+/// Panics if `params` binds a different query than `query` — prepared
+/// queries (`dbep_core::Session::prepare`) rule this out statically.
+pub fn run_with(
+    engine: Engine,
+    query: QueryId,
+    db: &dbep_storage::Database,
+    cfg: &ExecCfg,
+    params: &Params,
+) -> result::QueryResult {
+    assert_eq!(
+        params.query(),
+        query,
+        "params bind {} but {} was requested",
+        params.query().name(),
+        query.name()
+    );
+    plan(query).run(engine, db, cfg, params)
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    /// `QueryId::ALL` is documented as "registry order" — hold the two
+    /// to it so they cannot drift when a query is added.
+    #[test]
+    fn query_id_all_matches_registry_order() {
+        assert_eq!(REGISTRY.len(), QueryId::ALL.len());
+        for (i, p) in REGISTRY.iter().enumerate() {
+            assert_eq!(
+                p.id(),
+                QueryId::ALL[i],
+                "REGISTRY[{i}] is {} but QueryId::ALL[{i}] is {}",
+                p.id().name(),
+                QueryId::ALL[i].name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for q in QueryId::ALL {
+            assert_eq!(QueryId::from_name(q.name()), Some(q));
+            assert_eq!(q.name().parse::<QueryId>(), Ok(q));
+        }
+        assert!(QueryId::from_name("q99").is_none());
+        assert!("q99".parse::<QueryId>().is_err());
+        // FromStr is case-insensitive (like Engine's); from_name exact.
+        assert_eq!("Q6".parse::<QueryId>(), Ok(QueryId::Q6));
+        assert!(QueryId::from_name("Q6").is_none());
+        for e in Engine::ALL {
+            assert_eq!(e.name().parse::<Engine>(), Ok(e));
+        }
+        assert_eq!("TYPER".parse::<Engine>(), Ok(Engine::Typer));
+        assert!("spark".parse::<Engine>().is_err());
+    }
 }

@@ -1,0 +1,723 @@
+//! Typed substitution parameters for every query of the study.
+//!
+//! The paper fixes each TPC-H/SSB substitution parameter to one constant
+//! (§3.3); this module makes them first-class instead. Each query
+//! declares a typed parameter struct whose [`Default`] reproduces the
+//! paper's instance exactly, and whose validating constructor accepts
+//! the benchmark's substitution domain. Constructors **bind** at
+//! construction time — calendar dates become epoch-day ints, decimals
+//! become fixed-point ints at the column scale, dictionary strings
+//! become codes — so the engine bodies read pre-normalized scalars and
+//! pay no per-tuple translation cost.
+//!
+//! The [`Params`] enum ties a parameter struct to its query; plan bodies
+//! receive `&Params` through [`crate::QueryPlan`] and extract their
+//! variant with the typed accessors ([`Params::q6`], …).
+
+use crate::QueryId;
+use dbep_datagen::ssb::REGIONS;
+use dbep_datagen::tpch::{COLORS, SEGMENTS, SHIPMODES};
+use dbep_storage::types::{date, format_date, Date};
+use std::fmt;
+
+/// A rejected parameter binding: which query, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParamError {
+    pub query: QueryId,
+    pub what: String,
+}
+
+impl ParamError {
+    fn new(query: QueryId, what: impl Into<String>) -> Self {
+        ParamError {
+            query,
+            what: what.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid parameters for {}: {}", self.query.name(), self.what)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+type Result<T> = std::result::Result<T, ParamError>;
+
+/// First day of the month after `(year, month)`.
+fn next_month(year: i32, month: u32) -> Date {
+    if month == 12 {
+        date(year + 1, 1, 1)
+    } else {
+        date(year, month + 1, 1)
+    }
+}
+
+// ---------------------------------------------------------------------
+// TPC-H
+// ---------------------------------------------------------------------
+
+/// Q1: `l_shipdate <= DATE '1998-12-01' - DELTA days`.
+///
+/// Spec domain: DELTA ∈ [60, 120]; the paper uses 90 (cutoff
+/// 1998-09-02).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Q1Params {
+    /// Bound shipdate cutoff (inclusive), epoch days.
+    pub ship_cut: Date,
+}
+
+impl Default for Q1Params {
+    fn default() -> Self {
+        Q1Params {
+            ship_cut: date(1998, 9, 2),
+        }
+    }
+}
+
+impl Q1Params {
+    pub fn new(delta_days: i32) -> Result<Self> {
+        if !(60..=120).contains(&delta_days) {
+            return Err(ParamError::new(
+                QueryId::Q1,
+                format!("DELTA {delta_days} outside [60, 120]"),
+            ));
+        }
+        Ok(Q1Params {
+            ship_cut: date(1998, 12, 1) - delta_days,
+        })
+    }
+}
+
+/// Q6: one-year shipdate window, discount ± 0.01, quantity cutoff.
+///
+/// Spec domain: year ∈ [1993, 1997], discount ∈ [0.02, 0.09],
+/// quantity ∈ {24, 25}; the paper uses 1994 / 0.06 / 24.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Q6Params {
+    /// Bound shipdate window `[ship_lo, ship_hi)`, epoch days.
+    pub ship_lo: Date,
+    pub ship_hi: Date,
+    /// Bound discount window (inclusive), scale-2 fixed point.
+    pub disc_lo: i64,
+    pub disc_hi: i64,
+    /// Bound exclusive quantity cutoff, scale-2 fixed point.
+    pub qty_hi: i64,
+}
+
+impl Default for Q6Params {
+    fn default() -> Self {
+        Q6Params {
+            ship_lo: date(1994, 1, 1),
+            ship_hi: date(1995, 1, 1),
+            disc_lo: 5,
+            disc_hi: 7,
+            qty_hi: 2400,
+        }
+    }
+}
+
+impl Q6Params {
+    /// `year` selects the window `[Jan 1 year, Jan 1 year+1)`;
+    /// `discount_cents` is the center of the ±0.01 discount band
+    /// (e.g. 6 for 0.06); `quantity` is whole units.
+    pub fn new(year: i32, discount_cents: i64, quantity: i64) -> Result<Self> {
+        let err = |what: String| ParamError::new(QueryId::Q6, what);
+        if !(1993..=1997).contains(&year) {
+            return Err(err(format!("year {year} outside [1993, 1997]")));
+        }
+        if !(1..=9).contains(&discount_cents) {
+            return Err(err(format!("discount {discount_cents} outside [1, 9] cents")));
+        }
+        if !(1..=50).contains(&quantity) {
+            return Err(err(format!("quantity {quantity} outside [1, 50]")));
+        }
+        Ok(Q6Params {
+            ship_lo: date(year, 1, 1),
+            ship_hi: date(year + 1, 1, 1),
+            disc_lo: discount_cents - 1,
+            disc_hi: discount_cents + 1,
+            qty_hi: quantity * 100,
+        })
+    }
+}
+
+/// Q3: market segment + order/ship date cutoff.
+///
+/// Spec domain: any `c_mktsegment` value, date ∈ March 1995; the paper
+/// uses BUILDING / 1995-03-15.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Q3Params {
+    /// Bound segment filter value (exact match on `c_mktsegment`).
+    pub segment: String,
+    /// Bound date cutoff (orders strictly before, shipments strictly
+    /// after), epoch days.
+    pub cut: Date,
+}
+
+impl Default for Q3Params {
+    fn default() -> Self {
+        Q3Params {
+            segment: "BUILDING".to_string(),
+            cut: date(1995, 3, 15),
+        }
+    }
+}
+
+impl Q3Params {
+    pub fn new(segment: &str, cut: Date) -> Result<Self> {
+        let err = |what: String| ParamError::new(QueryId::Q3, what);
+        if !SEGMENTS.contains(&segment) {
+            return Err(err(format!("unknown market segment {segment:?}")));
+        }
+        if !(date(1992, 1, 1)..=date(1998, 12, 31)).contains(&cut) {
+            return Err(err(format!("cutoff {} outside the data range", format_date(cut))));
+        }
+        Ok(Q3Params {
+            segment: segment.to_string(),
+            cut,
+        })
+    }
+}
+
+/// Q4: three-month order-date window.
+///
+/// Spec domain: quarters from 1993-Q1 through 1997-Q4; the paper uses
+/// 1993-Q3 (window `[1993-07-01, 1993-10-01)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Q4Params {
+    /// Bound order-date window `[date_lo, date_hi)`, epoch days.
+    pub date_lo: Date,
+    pub date_hi: Date,
+}
+
+impl Default for Q4Params {
+    fn default() -> Self {
+        Q4Params {
+            date_lo: date(1993, 7, 1),
+            date_hi: date(1993, 10, 1),
+        }
+    }
+}
+
+impl Q4Params {
+    pub fn new(year: i32, quarter: u32) -> Result<Self> {
+        let err = |what: String| ParamError::new(QueryId::Q4, what);
+        if !(1993..=1997).contains(&year) {
+            return Err(err(format!("year {year} outside [1993, 1997]")));
+        }
+        if !(1..=4).contains(&quarter) {
+            return Err(err(format!("quarter {quarter} outside [1, 4]")));
+        }
+        let month = (quarter - 1) * 3 + 1;
+        Ok(Q4Params {
+            date_lo: date(year, month, 1),
+            date_hi: if quarter == 4 {
+                date(year + 1, 1, 1)
+            } else {
+                date(year, month + 3, 1)
+            },
+        })
+    }
+}
+
+/// Q9: part-name substring filter (`p_name LIKE '%COLOR%'`).
+///
+/// Spec domain: any dbgen color word; the paper uses "green".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Q9Params {
+    /// Bound substring needle.
+    pub needle: String,
+}
+
+impl Default for Q9Params {
+    fn default() -> Self {
+        Q9Params {
+            needle: "green".to_string(),
+        }
+    }
+}
+
+impl Q9Params {
+    pub fn new(color: &str) -> Result<Self> {
+        if !COLORS.contains(&color) {
+            return Err(ParamError::new(
+                QueryId::Q9,
+                format!("unknown p_name color word {color:?}"),
+            ));
+        }
+        Ok(Q9Params {
+            needle: color.to_string(),
+        })
+    }
+}
+
+/// Q12: two ship modes + one receipt year.
+///
+/// Spec domain: distinct `l_shipmode` values, year ∈ [1993, 1997]; the
+/// paper uses MAIL/SHIP and 1994.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Q12Params {
+    /// Bound IN-list, sorted ascending (also the group-by domain).
+    pub modes: [String; 2],
+    /// Bound receiptdate window `[receipt_lo, receipt_hi)`, epoch days.
+    pub receipt_lo: Date,
+    pub receipt_hi: Date,
+}
+
+impl Default for Q12Params {
+    fn default() -> Self {
+        Q12Params {
+            modes: ["MAIL".to_string(), "SHIP".to_string()],
+            receipt_lo: date(1994, 1, 1),
+            receipt_hi: date(1995, 1, 1),
+        }
+    }
+}
+
+impl Q12Params {
+    pub fn new(mode_a: &str, mode_b: &str, year: i32) -> Result<Self> {
+        let err = |what: String| ParamError::new(QueryId::Q12, what);
+        for m in [mode_a, mode_b] {
+            if !SHIPMODES.contains(&m) {
+                return Err(err(format!("unknown ship mode {m:?}")));
+            }
+        }
+        if mode_a == mode_b {
+            return Err(err(format!("ship modes must be distinct, got {mode_a:?} twice")));
+        }
+        if !(1993..=1997).contains(&year) {
+            return Err(err(format!("year {year} outside [1993, 1997]")));
+        }
+        let mut modes = [mode_a.to_string(), mode_b.to_string()];
+        modes.sort();
+        Ok(Q12Params {
+            modes,
+            receipt_lo: date(year, 1, 1),
+            receipt_hi: date(year + 1, 1, 1),
+        })
+    }
+}
+
+/// Q14: one-month shipdate window (the `LIKE 'PROMO%'` prefix is part
+/// of the query text and rides along so no constant lives in an engine
+/// body).
+///
+/// Spec domain: months from 1993-01 through 1997-12; the paper uses
+/// 1995-09.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Q14Params {
+    /// Bound shipdate window `[ship_lo, ship_hi)`, epoch days.
+    pub ship_lo: Date,
+    pub ship_hi: Date,
+    /// `p_type` prefix of the CASE arm (query text, not a substitution
+    /// parameter).
+    pub prefix: String,
+}
+
+impl Default for Q14Params {
+    fn default() -> Self {
+        Q14Params {
+            ship_lo: date(1995, 9, 1),
+            ship_hi: date(1995, 10, 1),
+            prefix: "PROMO".to_string(),
+        }
+    }
+}
+
+impl Q14Params {
+    pub fn new(year: i32, month: u32) -> Result<Self> {
+        let err = |what: String| ParamError::new(QueryId::Q14, what);
+        if !(1993..=1997).contains(&year) {
+            return Err(err(format!("year {year} outside [1993, 1997]")));
+        }
+        if !(1..=12).contains(&month) {
+            return Err(err(format!("month {month} outside [1, 12]")));
+        }
+        Ok(Q14Params {
+            ship_lo: date(year, month, 1),
+            ship_hi: next_month(year, month),
+            ..Default::default()
+        })
+    }
+}
+
+/// Q18: HAVING `sum(l_quantity) > QUANTITY`.
+///
+/// Spec domain: quantity ∈ [312, 315]; the paper uses 300.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Q18Params {
+    /// Bound exclusive quantity threshold, scale-2 fixed point.
+    pub qty_limit: i64,
+}
+
+impl Default for Q18Params {
+    fn default() -> Self {
+        Q18Params { qty_limit: 300 * 100 }
+    }
+}
+
+impl Q18Params {
+    pub fn new(quantity: i64) -> Result<Self> {
+        if !(1..=1000).contains(&quantity) {
+            return Err(ParamError::new(
+                QueryId::Q18,
+                format!("quantity {quantity} outside [1, 1000]"),
+            ));
+        }
+        Ok(Q18Params {
+            qty_limit: quantity * 100,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// SSB
+// ---------------------------------------------------------------------
+
+/// SSB Q1.1: one order year, a discount band and a quantity cutoff
+/// (flight constants 1993 / [1, 3] / 25).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SsbQ11Params {
+    /// Bound `d_year` filter.
+    pub year: i32,
+    /// Bound discount window (inclusive), scale-2 fixed point.
+    pub disc_lo: i64,
+    pub disc_hi: i64,
+    /// Bound exclusive quantity cutoff, scale-2 fixed point.
+    pub qty_hi: i64,
+}
+
+impl Default for SsbQ11Params {
+    fn default() -> Self {
+        SsbQ11Params {
+            year: 1993,
+            disc_lo: 1,
+            disc_hi: 3,
+            qty_hi: 2500,
+        }
+    }
+}
+
+impl SsbQ11Params {
+    pub fn new(year: i32, disc_lo: i64, disc_hi: i64, quantity_max: i64) -> Result<Self> {
+        let err = |what: String| ParamError::new(QueryId::Ssb1_1, what);
+        if !(1992..=1998).contains(&year) {
+            return Err(err(format!("year {year} outside [1992, 1998]")));
+        }
+        if !(0..=10).contains(&disc_lo) || !(disc_lo..=10).contains(&disc_hi) {
+            return Err(err(format!("discount band [{disc_lo}, {disc_hi}] invalid")));
+        }
+        if !(1..=50).contains(&quantity_max) {
+            return Err(err(format!("quantity {quantity_max} outside [1, 50]")));
+        }
+        Ok(SsbQ11Params {
+            year,
+            disc_lo,
+            disc_hi,
+            qty_hi: quantity_max * 100,
+        })
+    }
+}
+
+/// SSB Q2.1: part category + supplier region (flight constants
+/// MFGR#12 / AMERICA).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SsbQ21Params {
+    /// Bound dictionary code of `p_category`.
+    pub category: i32,
+    /// Bound dictionary code of `s_region`.
+    pub region: i32,
+}
+
+impl Default for SsbQ21Params {
+    fn default() -> Self {
+        SsbQ21Params {
+            category: 12,
+            region: region_code_checked("AMERICA", QueryId::Ssb2_1).expect("default region"),
+        }
+    }
+}
+
+impl SsbQ21Params {
+    pub fn new(category: &str, region: &str) -> Result<Self> {
+        Ok(SsbQ21Params {
+            category: category_code_checked(category, QueryId::Ssb2_1)?,
+            region: region_code_checked(region, QueryId::Ssb2_1)?,
+        })
+    }
+}
+
+/// SSB Q3.1: customer/supplier regions + inclusive year span (flight
+/// constants ASIA / ASIA / [1992, 1997]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SsbQ31Params {
+    /// Bound dictionary code of `c_region`.
+    pub cust_region: i32,
+    /// Bound dictionary code of `s_region`.
+    pub supp_region: i32,
+    /// Bound inclusive `d_year` span.
+    pub year_lo: i32,
+    pub year_hi: i32,
+}
+
+impl Default for SsbQ31Params {
+    fn default() -> Self {
+        let asia = region_code_checked("ASIA", QueryId::Ssb3_1).expect("default region");
+        SsbQ31Params {
+            cust_region: asia,
+            supp_region: asia,
+            year_lo: 1992,
+            year_hi: 1997,
+        }
+    }
+}
+
+impl SsbQ31Params {
+    pub fn new(cust_region: &str, supp_region: &str, year_lo: i32, year_hi: i32) -> Result<Self> {
+        let err = |what: String| ParamError::new(QueryId::Ssb3_1, what);
+        if !(1992..=1998).contains(&year_lo) || !(year_lo..=1998).contains(&year_hi) {
+            return Err(err(format!("year span [{year_lo}, {year_hi}] invalid")));
+        }
+        Ok(SsbQ31Params {
+            cust_region: region_code_checked(cust_region, QueryId::Ssb3_1)?,
+            supp_region: region_code_checked(supp_region, QueryId::Ssb3_1)?,
+            year_lo,
+            year_hi,
+        })
+    }
+}
+
+/// SSB Q4.1: customer/supplier regions + two part manufacturers
+/// (flight constants AMERICA / AMERICA / {MFGR#1, MFGR#2}).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SsbQ41Params {
+    /// Bound dictionary code of `c_region`.
+    pub cust_region: i32,
+    /// Bound dictionary code of `s_region`.
+    pub supp_region: i32,
+    /// Bound `p_mfgr` codes, sorted ascending.
+    pub mfgrs: [i32; 2],
+}
+
+impl Default for SsbQ41Params {
+    fn default() -> Self {
+        let america = region_code_checked("AMERICA", QueryId::Ssb4_1).expect("default region");
+        SsbQ41Params {
+            cust_region: america,
+            supp_region: america,
+            mfgrs: [1, 2],
+        }
+    }
+}
+
+impl SsbQ41Params {
+    pub fn new(cust_region: &str, supp_region: &str, mfgr_a: i32, mfgr_b: i32) -> Result<Self> {
+        let err = |what: String| ParamError::new(QueryId::Ssb4_1, what);
+        for m in [mfgr_a, mfgr_b] {
+            if !(1..=5).contains(&m) {
+                return Err(err(format!("mfgr {m} outside [1, 5]")));
+            }
+        }
+        if mfgr_a == mfgr_b {
+            return Err(err(format!("mfgrs must be distinct, got {mfgr_a} twice")));
+        }
+        let mut mfgrs = [mfgr_a, mfgr_b];
+        mfgrs.sort_unstable();
+        Ok(SsbQ41Params {
+            cust_region: region_code_checked(cust_region, QueryId::Ssb4_1)?,
+            supp_region: region_code_checked(supp_region, QueryId::Ssb4_1)?,
+            mfgrs,
+        })
+    }
+}
+
+/// Non-panicking [`dbep_datagen::ssb::region_code`].
+fn region_code_checked(name: &str, q: QueryId) -> Result<i32> {
+    REGIONS
+        .iter()
+        .position(|r| *r == name)
+        .map(|i| i as i32)
+        .ok_or_else(|| ParamError::new(q, format!("unknown region {name:?}")))
+}
+
+/// Non-panicking [`dbep_datagen::ssb::category_code`] (`"MFGR#mc"`,
+/// m/c ∈ [1, 5]).
+fn category_code_checked(name: &str, q: QueryId) -> Result<i32> {
+    let bad = || ParamError::new(q, format!("category {name:?} not of the form MFGR#mc"));
+    let digits = name.strip_prefix("MFGR#").ok_or_else(bad)?;
+    let code: i32 = digits.parse().map_err(|_| bad())?;
+    if !(1..=5).contains(&(code / 10)) || !(1..=5).contains(&(code % 10)) {
+        return Err(bad());
+    }
+    Ok(code)
+}
+
+// ---------------------------------------------------------------------
+// The dispatch enum
+// ---------------------------------------------------------------------
+
+macro_rules! params_enum {
+    ($( $variant:ident => $ty:ident / $accessor:ident ),* $(,)?) => {
+        /// Bound, validated substitution parameters for one query.
+        ///
+        /// Construct through the per-query validating constructors (or
+        /// [`Params::default_for`] for the paper's instance); the
+        /// variant must match the query the plan is registered under.
+        #[derive(Clone, Debug, PartialEq)]
+        pub enum Params {
+            $( $variant($ty), )*
+        }
+
+        $(
+            impl From<$ty> for Params {
+                fn from(p: $ty) -> Params {
+                    Params::$variant(p)
+                }
+            }
+        )*
+
+        impl Params {
+            /// The paper's parameter instance for `query` (§3.3).
+            pub fn default_for(query: QueryId) -> Params {
+                match query {
+                    $( QueryId::$variant => Params::$variant($ty::default()), )*
+                }
+            }
+
+            /// The query these parameters bind.
+            pub fn query(&self) -> QueryId {
+                match self {
+                    $( Params::$variant(_) => QueryId::$variant, )*
+                }
+            }
+
+            $(
+                /// Typed accessor; panics if the variant does not match
+                /// (prepared queries guarantee it does).
+                pub fn $accessor(&self) -> &$ty {
+                    match self {
+                        Params::$variant(p) => p,
+                        other => panic!(
+                            concat!("expected ", stringify!($variant), " parameters, got {:?}"),
+                            other.query()
+                        ),
+                    }
+                }
+            )*
+        }
+    };
+}
+
+params_enum! {
+    Q1 => Q1Params / q1,
+    Q6 => Q6Params / q6,
+    Q3 => Q3Params / q3,
+    Q9 => Q9Params / q9,
+    Q18 => Q18Params / q18,
+    Q4 => Q4Params / q4,
+    Q12 => Q12Params / q12,
+    Q14 => Q14Params / q14,
+    Ssb1_1 => SsbQ11Params / ssb1_1,
+    Ssb2_1 => SsbQ21Params / ssb2_1,
+    Ssb3_1 => SsbQ31Params / ssb3_1,
+    Ssb4_1 => SsbQ41Params / ssb4_1,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_paper_constants() {
+        assert_eq!(Q1Params::new(90).unwrap(), Q1Params::default());
+        assert_eq!(Q6Params::new(1994, 6, 24).unwrap(), Q6Params::default());
+        assert_eq!(
+            Q3Params::new("BUILDING", date(1995, 3, 15)).unwrap(),
+            Q3Params::default()
+        );
+        assert_eq!(Q4Params::new(1993, 3).unwrap(), Q4Params::default());
+        assert_eq!(Q9Params::new("green").unwrap(), Q9Params::default());
+        assert_eq!(
+            Q12Params::new("MAIL", "SHIP", 1994).unwrap(),
+            Q12Params::default()
+        );
+        assert_eq!(Q14Params::new(1995, 9).unwrap(), Q14Params::default());
+        assert_eq!(Q18Params::new(300).unwrap(), Q18Params::default());
+        assert_eq!(
+            SsbQ11Params::new(1993, 1, 3, 25).unwrap(),
+            SsbQ11Params::default()
+        );
+        assert_eq!(
+            SsbQ21Params::new("MFGR#12", "AMERICA").unwrap(),
+            SsbQ21Params::default()
+        );
+        assert_eq!(
+            SsbQ31Params::new("ASIA", "ASIA", 1992, 1997).unwrap(),
+            SsbQ31Params::default()
+        );
+        assert_eq!(
+            SsbQ41Params::new("AMERICA", "AMERICA", 1, 2).unwrap(),
+            SsbQ41Params::default()
+        );
+    }
+
+    #[test]
+    fn binding_normalizes() {
+        let q6 = Q6Params::new(1995, 3, 30).unwrap();
+        assert_eq!(q6.ship_lo, date(1995, 1, 1));
+        assert_eq!(q6.ship_hi, date(1996, 1, 1));
+        assert_eq!((q6.disc_lo, q6.disc_hi), (2, 4));
+        assert_eq!(q6.qty_hi, 3000);
+        let q4 = Q4Params::new(1997, 4).unwrap();
+        assert_eq!(q4.date_lo, date(1997, 10, 1));
+        assert_eq!(q4.date_hi, date(1998, 1, 1));
+        let q12 = Q12Params::new("TRUCK", "AIR", 1996).unwrap();
+        assert_eq!(q12.modes, ["AIR".to_string(), "TRUCK".to_string()]);
+        let q14 = Q14Params::new(1997, 12).unwrap();
+        assert_eq!(q14.ship_hi, date(1998, 1, 1));
+        let s21 = SsbQ21Params::new("MFGR#35", "EUROPE").unwrap();
+        assert_eq!(s21.category, 35);
+        assert_eq!(s21.region, 3);
+        let s41 = SsbQ41Params::new("ASIA", "AFRICA", 5, 3).unwrap();
+        assert_eq!(s41.mfgrs, [3, 5]);
+    }
+
+    #[test]
+    fn invalid_bindings_are_rejected() {
+        assert!(Q1Params::new(30).is_err());
+        assert!(Q6Params::new(1999, 6, 24).is_err());
+        assert!(Q6Params::new(1994, 0, 24).is_err());
+        assert!(Q3Params::new("SHOES", date(1995, 3, 15)).is_err());
+        assert!(Q3Params::new("BUILDING", date(2005, 1, 1)).is_err());
+        assert!(Q4Params::new(1993, 5).is_err());
+        assert!(Q9Params::new("mauve-ish").is_err());
+        assert!(Q12Params::new("MAIL", "MAIL", 1994).is_err());
+        assert!(Q12Params::new("MAIL", "BOAT", 1994).is_err());
+        assert!(Q14Params::new(1995, 13).is_err());
+        assert!(Q18Params::new(0).is_err());
+        assert!(SsbQ11Params::new(1993, 5, 3, 25).is_err());
+        assert!(SsbQ21Params::new("MFGR#62", "AMERICA").is_err());
+        assert!(SsbQ21Params::new("MFGR#12", "ATLANTIS").is_err());
+        assert!(SsbQ31Params::new("ASIA", "ASIA", 1997, 1992).is_err());
+        assert!(SsbQ41Params::new("ASIA", "ASIA", 2, 2).is_err());
+    }
+
+    #[test]
+    fn enum_roundtrip_and_accessors() {
+        for q in QueryId::ALL {
+            let p = Params::default_for(q);
+            assert_eq!(p.query(), q, "variant/query mismatch for {}", q.name());
+        }
+        let p: Params = Q18Params::new(315).unwrap().into();
+        assert_eq!(p.q18().qty_limit, 31500);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Q6 parameters")]
+    fn accessor_mismatch_panics() {
+        Params::default_for(QueryId::Q1).q6();
+    }
+}

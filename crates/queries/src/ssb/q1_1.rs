@@ -7,38 +7,36 @@
 //!   AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25
 //! ```
 
+use crate::params::SsbQ11Params;
 use crate::result::{QueryResult, Value};
-use crate::ExecCfg;
+use crate::{ExecCfg, Params};
 use dbep_runtime::{scope_workers, JoinHt, Morsels};
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 use std::sync::atomic::{AtomicI64, Ordering};
 
-const YEAR: i32 = 1993;
-const DISC_LO: i64 = 1;
-const DISC_HI: i64 = 3;
-const QTY_HI: i64 = 2500; // 25.00
 const LO_BYTES: usize = 4 + 8 + 8 + 8;
 
 fn finish(revenue: i64) -> QueryResult {
     QueryResult::new(&["revenue"], vec![vec![Value::dec4(revenue as i128)]], &[], None)
 }
 
-fn build_date_ht(db: &Database, hf: dbep_runtime::hash::HashFn) -> JoinHt<i32> {
+fn build_date_ht(db: &Database, hf: dbep_runtime::hash::HashFn, year: i32) -> JoinHt<i32> {
     let d = db.table("date");
     let dk = d.col("d_datekey").i32s();
     let dy = d.col("d_year").i32s();
     JoinHt::build(
         (0..d.len())
-            .filter(|&i| dy[i] == YEAR)
+            .filter(|&i| dy[i] == year)
             .map(|i| (hf.hash(dk[i] as u64), dk[i])),
     )
 }
 
 /// Typer: fused filter + probe + sum.
-pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ11Params) -> QueryResult {
+    let (disc_lo, disc_hi, qty_hi) = (p.disc_lo, p.disc_hi, p.qty_hi);
     let hf = cfg.typer_hash();
-    let ht_d = build_date_ht(db, hf);
+    let ht_d = build_date_ht(db, hf, p.year);
     let lo = db.table("lineorder");
     let od = lo.col("lo_orderdate").i32s();
     let disc = lo.col("lo_discount").i64s();
@@ -51,7 +49,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
         while let Some(r) = m.claim() {
             cfg.pace(r.len(), LO_BYTES);
             for i in r {
-                if disc[i] >= DISC_LO && disc[i] <= DISC_HI && qty[i] < QTY_HI {
+                if disc[i] >= disc_lo && disc[i] <= disc_hi && qty[i] < qty_hi {
                     let h = hf.hash(od[i] as u64);
                     if ht_d.probe(h).any(|e| e.row == od[i]) {
                         local += ext[i] * disc[i];
@@ -65,10 +63,11 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
 }
 
 /// Tectorwise: two selections, one probe, gather/multiply/sum.
-pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &SsbQ11Params) -> QueryResult {
+    let (disc_lo, disc_hi, qty_hi) = (p.disc_lo, p.disc_hi, p.qty_hi);
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
-    let ht_d = build_date_ht(db, hf);
+    let ht_d = build_date_ht(db, hf, p.year);
     let lo = db.table("lineorder");
     let od = lo.col("lo_orderdate").i32s();
     let disc = lo.col("lo_discount").i64s();
@@ -86,8 +85,8 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
             cfg.pace(c.len(), LO_BYTES);
             if tw::sel::sel_between_i64_dense(
                 &disc[c.clone()],
-                DISC_LO,
-                DISC_HI,
+                disc_lo,
+                disc_hi,
                 c.start as u32,
                 &mut s1,
                 policy,
@@ -95,7 +94,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
             {
                 continue;
             }
-            if tw::sel::sel_lt_i64_sparse(qty, QTY_HI, &s1, &mut s2, policy) == 0 {
+            if tw::sel::sel_lt_i64_sparse(qty, qty_hi, &s1, &mut s2, policy) == 0 {
                 continue;
             }
             tw::hashp::hash_i32(od, &s2, hf, &mut hashes);
@@ -122,14 +121,14 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
 
 /// Volcano: interpreted join + aggregate; `threads` partition the fact
 /// scan through the exchange union, partial sums merge here.
-pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ11Params) -> QueryResult {
     use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Scan, Select};
     let lo = db.table("lineorder");
     let m = Morsels::new(lo.len());
     let partials = exchange::union(cfg.threads, |_| {
         let dates = Select {
             input: Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"]).paced(cfg.throttle)),
-            pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(YEAR)),
+            pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(p.year)),
         };
         let fact = Select {
             input: Box::new(
@@ -141,9 +140,9 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
                 .morsel_driven(&m),
             ),
             pred: Expr::And(vec![
-                Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i64(DISC_LO)),
-                Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit_i64(DISC_HI)),
-                Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit_i64(QTY_HI)),
+                Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i64(p.disc_lo)),
+                Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit_i64(p.disc_hi)),
+                Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit_i64(p.qty_hi)),
             ]),
         };
         // [d_datekey, d_year, lo_orderdate, lo_discount, lo_quantity, lo_ext]
@@ -178,15 +177,15 @@ impl crate::QueryPlan for Q11 {
         db.table("lineorder").len() + db.table("date").len()
     }
 
-    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        typer(db, cfg)
+    fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        typer(db, cfg, params.ssb1_1())
     }
 
-    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        tectorwise(db, cfg)
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        tectorwise(db, cfg, params.ssb1_1())
     }
 
-    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        volcano(db, cfg)
+    fn volcano(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        volcano(db, cfg, params.ssb1_1())
     }
 }

@@ -9,10 +9,11 @@
 //! GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1
 //! ```
 
+use crate::params::SsbQ21Params;
 use crate::result::{OrderBy, QueryResult, Value};
 use crate::ssb::{realign_i32, realign_u32, ProbeScratch};
-use crate::ExecCfg;
-use dbep_datagen::ssb::{brand_name, category_code, region_code};
+use crate::{ExecCfg, Params};
+use dbep_datagen::ssb::brand_name;
 use dbep_runtime::agg_ht::merge_partitions;
 use dbep_runtime::{map_workers, GroupByShard, JoinHt, Morsels};
 use dbep_storage::Database;
@@ -41,9 +42,8 @@ struct Dims {
     ht_d: JoinHt<(i32, i32)>, // datekey → year
 }
 
-fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn) -> Dims {
-    let category = category_code("MFGR#12");
-    let america = region_code("AMERICA");
+fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn, p0: &SsbQ21Params) -> Dims {
+    let (category, region) = (p0.category, p0.region);
     let p = db.table("ssb_part");
     let (pk, pcat, pbrand) = (
         p.col("p_partkey").i32s(),
@@ -59,7 +59,7 @@ fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn) -> Dims {
     let (sk, sreg) = (s.col("s_suppkey").i32s(), s.col("s_region").i32s());
     let ht_s = JoinHt::build(
         (0..s.len())
-            .filter(|&i| sreg[i] == america)
+            .filter(|&i| sreg[i] == region)
             .map(|i| (hf.hash(sk[i] as u64), sk[i])),
     );
     let d = db.table("date");
@@ -69,9 +69,9 @@ fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn) -> Dims {
 }
 
 /// Typer: one fused probe chain per fact tuple.
-pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ21Params) -> QueryResult {
     let hf = cfg.typer_hash();
-    let dims = build_dims(db, hf);
+    let dims = build_dims(db, hf, p);
     let lo = db.table("lineorder");
     let lpk = lo.col("lo_partkey").i32s();
     let lsk = lo.col("lo_suppkey").i32s();
@@ -106,10 +106,10 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
 }
 
 /// Tectorwise: probe steps with carried-vector realignment.
-pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &SsbQ21Params) -> QueryResult {
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
-    let dims = build_dims(db, hf);
+    let dims = build_dims(db, hf, p);
     let lo = db.table("lineorder");
     let lpk = lo.col("lo_partkey").i32s();
     let lsk = lo.col("lo_suppkey").i32s();
@@ -182,7 +182,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
 /// Volcano: interpreted joins. The fact scan is morsel-partitioned
 /// across `cfg.threads` workers; partial groups re-aggregate in a final
 /// merge pass.
-pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ21Params) -> QueryResult {
     use dbep_volcano::{exchange, AggSpec, Aggregate, CmpOp, Expr, HashJoin, Rows, Scan, Select, Val};
     let lo = db.table("lineorder");
     let m = Morsels::new(lo.len());
@@ -191,7 +191,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
             input: Box::new(
                 Scan::new(db.table("ssb_part"), &["p_partkey", "p_brand1", "p_category"]).paced(cfg.throttle),
             ),
-            pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(category_code("MFGR#12"))),
+            pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(p.category)),
         };
         // [p_partkey, p_brand1, p_category, lo_partkey, lo_suppkey, lo_orderdate, lo_revenue]
         let j_p = HashJoin::new(
@@ -208,7 +208,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
             input: Box::new(
                 Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_region"]).paced(cfg.throttle),
             ),
-            pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(region_code("AMERICA"))),
+            pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(p.region)),
         };
         // [s_suppkey, s_region] ++ 7 cols
         let j_s = HashJoin::new(
@@ -263,15 +263,15 @@ impl crate::QueryPlan for Q21 {
             + db.table("ssb_supplier").len()
     }
 
-    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        typer(db, cfg)
+    fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        typer(db, cfg, params.ssb2_1())
     }
 
-    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        tectorwise(db, cfg)
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        tectorwise(db, cfg, params.ssb2_1())
     }
 
-    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        volcano(db, cfg)
+    fn volcano(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        volcano(db, cfg, params.ssb2_1())
     }
 }

@@ -10,10 +10,11 @@
 //! GROUP BY c_nation, s_nation, d_year ORDER BY d_year ASC, revenue DESC
 //! ```
 
+use crate::params::SsbQ31Params;
 use crate::result::{OrderBy, QueryResult, Value};
 use crate::ssb::{realign_i32, realign_u32, ProbeScratch};
-use crate::ExecCfg;
-use dbep_datagen::ssb::{region_code, NATIONS};
+use crate::{ExecCfg, Params};
+use dbep_datagen::ssb::NATIONS;
 use dbep_runtime::agg_ht::merge_partitions;
 use dbep_runtime::{map_workers, GroupByShard, JoinHt, Morsels};
 use dbep_storage::Database;
@@ -50,8 +51,7 @@ struct Dims {
     ht_d: JoinHt<(i32, i32)>, // datekey → year
 }
 
-fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn) -> Dims {
-    let asia = region_code("ASIA");
+fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn, p: &SsbQ31Params) -> Dims {
     let s = db.table("ssb_supplier");
     let (sk, sreg, snat) = (
         s.col("s_suppkey").i32s(),
@@ -60,7 +60,7 @@ fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn) -> Dims {
     );
     let ht_s = JoinHt::build(
         (0..s.len())
-            .filter(|&i| sreg[i] == asia)
+            .filter(|&i| sreg[i] == p.supp_region)
             .map(|i| (hf.hash(sk[i] as u64), (sk[i], snat[i]))),
     );
     let c = db.table("ssb_customer");
@@ -71,23 +71,23 @@ fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn) -> Dims {
     );
     let ht_c = JoinHt::build(
         (0..c.len())
-            .filter(|&i| creg[i] == asia)
+            .filter(|&i| creg[i] == p.cust_region)
             .map(|i| (hf.hash(ck[i] as u64), (ck[i], cnat[i]))),
     );
     let d = db.table("date");
     let (dk, dy) = (d.col("d_datekey").i32s(), d.col("d_year").i32s());
     let ht_d = JoinHt::build(
         (0..d.len())
-            .filter(|&i| (1992..=1997).contains(&dy[i]))
+            .filter(|&i| (p.year_lo..=p.year_hi).contains(&dy[i]))
             .map(|i| (hf.hash(dk[i] as u64), (dk[i], dy[i]))),
     );
     Dims { ht_s, ht_c, ht_d }
 }
 
 /// Typer: fused probe chain.
-pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ31Params) -> QueryResult {
     let hf = cfg.typer_hash();
-    let dims = build_dims(db, hf);
+    let dims = build_dims(db, hf, p);
     let lo = db.table("lineorder");
     let lck = lo.col("lo_custkey").i32s();
     let lsk = lo.col("lo_suppkey").i32s();
@@ -122,10 +122,10 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
 }
 
 /// Tectorwise: probe steps with realignment of both nation vectors.
-pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &SsbQ31Params) -> QueryResult {
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
-    let dims = build_dims(db, hf);
+    let dims = build_dims(db, hf, p);
     let lo = db.table("lineorder");
     let lck = lo.col("lo_custkey").i32s();
     let lsk = lo.col("lo_suppkey").i32s();
@@ -202,9 +202,8 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
 /// Volcano: interpreted joins. The fact scan is morsel-partitioned
 /// across `cfg.threads` workers; partial groups re-aggregate in a final
 /// merge pass.
-pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ31Params) -> QueryResult {
     use dbep_volcano::{exchange, AggSpec, Aggregate, CmpOp, Expr, HashJoin, Rows, Scan, Select, Val};
-    let asia = region_code("ASIA");
     let lo = db.table("lineorder");
     let m = Morsels::new(lo.len());
     let partials = exchange::union(cfg.threads, |_| {
@@ -213,7 +212,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
                 Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_nation", "s_region"])
                     .paced(cfg.throttle),
             ),
-            pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(asia)),
+            pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(p.supp_region)),
         };
         // [s_suppkey, s_nation, s_region, lo_custkey, lo_suppkey, lo_orderdate, lo_revenue]
         let j_s = HashJoin::new(
@@ -231,7 +230,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
                 Scan::new(db.table("ssb_customer"), &["c_custkey", "c_nation", "c_region"])
                     .paced(cfg.throttle),
             ),
-            pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(asia)),
+            pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(p.cust_region)),
         };
         // [c_custkey, c_nation, c_region] ++ 7 cols
         let j_c = HashJoin::new(
@@ -243,8 +242,8 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
         let date_f = Select {
             input: Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"]).paced(cfg.throttle)),
             pred: Expr::And(vec![
-                Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i32(1992)),
-                Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit_i32(1997)),
+                Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i32(p.year_lo)),
+                Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit_i32(p.year_hi)),
             ]),
         };
         // [d_datekey, d_year] ++ 10 cols
@@ -293,15 +292,15 @@ impl crate::QueryPlan for Q31 {
             + db.table("ssb_supplier").len()
     }
 
-    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        typer(db, cfg)
+    fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        typer(db, cfg, params.ssb3_1())
     }
 
-    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        tectorwise(db, cfg)
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        tectorwise(db, cfg, params.ssb3_1())
     }
 
-    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        volcano(db, cfg)
+    fn volcano(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        volcano(db, cfg, params.ssb3_1())
     }
 }

@@ -10,10 +10,11 @@
 //! GROUP BY d_year, c_nation ORDER BY d_year, c_nation
 //! ```
 
+use crate::params::SsbQ41Params;
 use crate::result::{OrderBy, QueryResult, Value};
 use crate::ssb::{realign_i32, realign_u32, ProbeScratch};
-use crate::ExecCfg;
-use dbep_datagen::ssb::{region_code, NATIONS};
+use crate::{ExecCfg, Params};
+use dbep_datagen::ssb::NATIONS;
 use dbep_runtime::agg_ht::merge_partitions;
 use dbep_runtime::{map_workers, GroupByShard, JoinHt, Morsels};
 use dbep_storage::Database;
@@ -50,13 +51,12 @@ struct Dims {
     ht_d: JoinHt<(i32, i32)>, // datekey → year
 }
 
-fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn) -> Dims {
-    let america = region_code("AMERICA");
+fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn, p0: &SsbQ41Params) -> Dims {
     let s = db.table("ssb_supplier");
     let (sk, sreg) = (s.col("s_suppkey").i32s(), s.col("s_region").i32s());
     let ht_s = JoinHt::build(
         (0..s.len())
-            .filter(|&i| sreg[i] == america)
+            .filter(|&i| sreg[i] == p0.supp_region)
             .map(|i| (hf.hash(sk[i] as u64), sk[i])),
     );
     let c = db.table("ssb_customer");
@@ -67,14 +67,14 @@ fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn) -> Dims {
     );
     let ht_c = JoinHt::build(
         (0..c.len())
-            .filter(|&i| creg[i] == america)
+            .filter(|&i| creg[i] == p0.cust_region)
             .map(|i| (hf.hash(ck[i] as u64), (ck[i], cnat[i]))),
     );
     let p = db.table("ssb_part");
     let (pk, mfgr) = (p.col("p_partkey").i32s(), p.col("p_mfgr").i32s());
     let ht_p = JoinHt::build(
         (0..p.len())
-            .filter(|&i| mfgr[i] == 1 || mfgr[i] == 2)
+            .filter(|&i| mfgr[i] == p0.mfgrs[0] || mfgr[i] == p0.mfgrs[1])
             .map(|i| (hf.hash(pk[i] as u64), pk[i])),
     );
     let d = db.table("date");
@@ -89,9 +89,9 @@ fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn) -> Dims {
 }
 
 /// Typer: fused probe chain over four tables.
-pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ41Params) -> QueryResult {
     let hf = cfg.typer_hash();
-    let dims = build_dims(db, hf);
+    let dims = build_dims(db, hf, p);
     let lo = db.table("lineorder");
     let lck = lo.col("lo_custkey").i32s();
     let lsk = lo.col("lo_suppkey").i32s();
@@ -132,10 +132,10 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
 }
 
 /// Tectorwise: probe steps with realignment.
-pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &SsbQ41Params) -> QueryResult {
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
-    let dims = build_dims(db, hf);
+    let dims = build_dims(db, hf, p);
     let lo = db.table("lineorder");
     let lck = lo.col("lo_custkey").i32s();
     let lsk = lo.col("lo_suppkey").i32s();
@@ -213,9 +213,8 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
 /// Volcano: interpreted joins. The fact scan is morsel-partitioned
 /// across `cfg.threads` workers; partial groups re-aggregate in a final
 /// merge pass.
-pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ41Params) -> QueryResult {
     use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Rows, Scan, Select, Val};
-    let america = region_code("AMERICA");
     let lo = db.table("lineorder");
     let m = Morsels::new(lo.len());
     let partials = exchange::union(cfg.threads, |_| {
@@ -223,7 +222,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
             input: Box::new(
                 Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_region"]).paced(cfg.throttle),
             ),
-            pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(america)),
+            pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(p.supp_region)),
         };
         // [s_suppkey, s_region] ++ [lo_custkey, lo_suppkey, lo_partkey, lo_orderdate, lo_revenue, lo_supplycost]
         let j_s = HashJoin::new(
@@ -251,7 +250,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
                 Scan::new(db.table("ssb_customer"), &["c_custkey", "c_nation", "c_region"])
                     .paced(cfg.throttle),
             ),
-            pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(america)),
+            pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(p.cust_region)),
         };
         // [c_custkey, c_nation, c_region] ++ 8 cols (3..11)
         let j_c = HashJoin::new(
@@ -263,8 +262,8 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
         let part_f = Select {
             input: Box::new(Scan::new(db.table("ssb_part"), &["p_partkey", "p_mfgr"]).paced(cfg.throttle)),
             pred: Expr::Or(vec![
-                Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(1)),
-                Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(2)),
+                Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(p.mfgrs[0])),
+                Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(p.mfgrs[1])),
             ]),
         };
         // [p_partkey, p_mfgr] ++ 11 cols (2..13)
@@ -325,15 +324,15 @@ impl crate::QueryPlan for Q41 {
             + db.table("ssb_part").len()
     }
 
-    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        typer(db, cfg)
+    fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        typer(db, cfg, params.ssb4_1())
     }
 
-    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        tectorwise(db, cfg)
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        tectorwise(db, cfg, params.ssb4_1())
     }
 
-    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        volcano(db, cfg)
+    fn volcano(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        volcano(db, cfg, params.ssb4_1())
     }
 }

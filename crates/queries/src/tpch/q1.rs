@@ -14,15 +14,14 @@
 //! off most (§4.1): the Tectorwise version must materialize every
 //! arithmetic step into vectors.
 
+use crate::params::Q1Params;
 use crate::result::{avg_i64, OrderBy, QueryResult, Value};
-use crate::ExecCfg;
+use crate::{ExecCfg, Params};
 use dbep_runtime::agg_ht::merge_partitions;
 use dbep_runtime::{map_workers, GroupByShard, Morsels};
-use dbep_storage::types::date;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
-const SHIP_CUT: i32 = date(1998, 9, 2);
 /// Bytes read per scanned lineitem row (5×i64 + date + 2×char).
 const BYTES_PER_ROW: usize = 5 * 8 + 4 + 2;
 /// Pre-aggregation capacity: Q1 has 4 groups, but sizing generously
@@ -90,7 +89,8 @@ fn finish(groups: Vec<((u8, u8), Q1Agg)>) -> QueryResult {
 }
 
 /// Typer: the fused loop a data-centric generator emits (Fig. 2a shape).
-pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q1Params) -> QueryResult {
+    let ship_cut = p.ship_cut;
     let li = db.table("lineitem");
     let ship = li.col("l_shipdate").dates();
     let qty = li.col("l_quantity").i64s();
@@ -106,7 +106,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
         while let Some(r) = morsels.claim() {
             cfg.pace(r.len(), BYTES_PER_ROW);
             for i in r {
-                if ship[i] <= SHIP_CUT {
+                if ship[i] <= ship_cut {
                     // All intermediates live in registers until the
                     // single aggregate update — the fused pipeline.
                     let disc_price = ext[i] * (100 - disc[i]);
@@ -132,7 +132,8 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
 /// Tectorwise: selection → hash → find-groups → one aggregate-update
 /// primitive per sum, with every intermediate materialized (Fig. 2b
 /// shape).
-pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q1Params) -> QueryResult {
+    let ship_cut = p.ship_cut;
     let li = db.table("lineitem");
     let ship = li.col("l_shipdate").dates();
     let qty = li.col("l_quantity").i64s();
@@ -154,7 +155,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
         let (mut v_om, mut v_dp, mut v_ot, mut v_ch) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
         while let Some(c) = src.next_chunk() {
             cfg.pace(c.len(), BYTES_PER_ROW);
-            let n = tw::sel::sel_le_i32_dense(&ship[c.clone()], SHIP_CUT, c.start as u32, &mut sel, policy);
+            let n = tw::sel::sel_le_i32_dense(&ship[c.clone()], ship_cut, c.start as u32, &mut sel, policy);
             if n == 0 {
                 continue;
             }
@@ -210,7 +211,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
 /// Volcano: interpreted tuple-at-a-time plan; `threads` partition the
 /// scan through the exchange union, and the per-worker partial groups
 /// re-aggregate through a final merge pass.
-pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q1Params) -> QueryResult {
     use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, Project, Rows, Scan, Select, Val};
     let li = db.table("lineitem");
     let m = Morsels::new(li.len());
@@ -231,7 +232,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
         .morsel_driven(&m);
         let filtered = Select {
             input: Box::new(scan),
-            pred: Expr::cmp(CmpOp::Le, Expr::col(6), Expr::lit_i32(SHIP_CUT)),
+            pred: Expr::cmp(CmpOp::Le, Expr::col(6), Expr::lit_i32(p.ship_cut)),
         };
         let disc_price = Expr::arith(
             BinOp::Mul,
@@ -317,15 +318,15 @@ impl crate::QueryPlan for Q1 {
         db.table("lineitem").len()
     }
 
-    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        typer(db, cfg)
+    fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        typer(db, cfg, params.q1())
     }
 
-    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        tectorwise(db, cfg)
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        tectorwise(db, cfg, params.q1())
     }
 
-    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        volcano(db, cfg)
+    fn volcano(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        volcano(db, cfg, params.q1())
     }
 }

@@ -19,20 +19,16 @@
 //! `o_orderkey` carrying a precomputed "high priority" flag (leading
 //! byte ≤ '2'); σ(lineitem, IN-list + dates) probes HT_ord; the group-by
 //! domain equals the IN-list, so aggregation is a 2×2 counter matrix
-//! [mode][high/low].
+//! `[mode][high/low]`.
 
+use crate::params::Q12Params;
 use crate::result::{OrderBy, QueryResult, Value};
-use crate::ExecCfg;
+use crate::{ExecCfg, Params};
 use dbep_runtime::join_ht::JoinHtShard;
 use dbep_runtime::{map_workers, JoinHt, Morsels};
-use dbep_storage::types::date;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
-const RECEIPT_LO: i32 = date(1994, 1, 1);
-const RECEIPT_HI: i32 = date(1995, 1, 1);
-/// The query's IN-list — also the group-by domain, in result order.
-const MODES: [&[u8]; 2] = [b"MAIL", b"SHIP"];
 const ORD_BYTES: usize = 4 + 9; // orderkey + priority text
 const LI_BYTES: usize = 4 + 3 * 4 + 5; // orderkey + 3 dates + shipmode text
 
@@ -50,12 +46,12 @@ fn merge(parts: Vec<ModeCounts>) -> ModeCounts {
     all
 }
 
-fn finish(counts: ModeCounts) -> QueryResult {
+fn finish(p: &Q12Params, counts: ModeCounts) -> QueryResult {
     let rows = (0..2)
         .filter(|&g| counts[g][0] + counts[g][1] > 0)
         .map(|g| {
             vec![
-                Value::Str(String::from_utf8(MODES[g].to_vec()).expect("ASCII mode")),
+                Value::Str(p.modes[g].clone()),
                 Value::I64(counts[g][1]),
                 Value::I64(counts[g][0]),
             ]
@@ -95,7 +91,10 @@ fn build_orders_ht(db: &Database, cfg: &ExecCfg, hf: dbep_runtime::hash::HashFn)
 
 /// Typer: build, then one fused probe loop with branch-free counter
 /// updates (`counts[mode][flag] += 1`).
-pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q12Params) -> QueryResult {
+    // Bound IN-list as a byte table (the group-by domain).
+    let modes: [&[u8]; 2] = [p.modes[0].as_bytes(), p.modes[1].as_bytes()];
+    let (receipt_lo, receipt_hi) = (p.receipt_lo, p.receipt_hi);
     let hf = cfg.typer_hash();
     let ht_ord = build_orders_ht(db, cfg, hf);
     let li = db.table("lineitem");
@@ -111,14 +110,14 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
             cfg.pace(r.len(), LI_BYTES);
             for i in r {
                 let s = mode.get_bytes(i);
-                let g = match MODES.iter().position(|&v| v == s) {
+                let g = match modes.iter().position(|&v| v == s) {
                     Some(g) => g,
                     None => continue,
                 };
                 if commit[i] < receipt[i]
                     && ship[i] < commit[i]
-                    && receipt[i] >= RECEIPT_LO
-                    && receipt[i] < RECEIPT_HI
+                    && receipt[i] >= receipt_lo
+                    && receipt[i] < receipt_hi
                 {
                     let h = hf.hash(lok[i] as u64);
                     for e in ht_ord.probe(h) {
@@ -131,13 +130,15 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
         }
         counts
     });
-    finish(merge(parts))
+    finish(p, merge(parts))
 }
 
 /// Tectorwise: IN-list selection, column-column compares, probe, then
 /// the conditional-aggregation primitives (one char-selection per mode,
 /// one flag count per CASE arm).
-pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q12Params) -> QueryResult {
+    let modes: [&[u8]; 2] = [p.modes[0].as_bytes(), p.modes[1].as_bytes()];
+    let (receipt_lo, receipt_hi) = (p.receipt_lo, p.receipt_hi);
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
     let ht_ord = build_orders_ht(db, cfg, hf);
@@ -160,7 +161,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
         while let Some(c) = src.next_chunk() {
             cfg.pace(c.len(), LI_BYTES);
             // 1 dense IN-list + 4 sparse selections.
-            if tw::sel::sel_in_str_dense(mode, &MODES, c.clone(), &mut s1) == 0 {
+            if tw::sel::sel_in_str_dense(mode, &modes, c.clone(), &mut s1) == 0 {
                 continue;
             }
             if tw::sel::sel_lt_i32_col_sparse(commit, receipt, &s1, &mut s2, policy) == 0 {
@@ -169,10 +170,10 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
             if tw::sel::sel_lt_i32_col_sparse(ship, commit, &s2, &mut s3, policy) == 0 {
                 continue;
             }
-            if tw::sel::sel_ge_i32_sparse(receipt, RECEIPT_LO, &s3, &mut s4, policy) == 0 {
+            if tw::sel::sel_ge_i32_sparse(receipt, receipt_lo, &s3, &mut s4, policy) == 0 {
                 continue;
             }
-            if tw::sel::sel_lt_i32_sparse(receipt, RECEIPT_HI, &s4, &mut s5, policy) == 0 {
+            if tw::sel::sel_lt_i32_sparse(receipt, receipt_hi, &s4, &mut s5, policy) == 0 {
                 continue;
             }
             tw::hashp::hash_i32(lok, &s5, hf, &mut hashes);
@@ -188,29 +189,30 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
                 continue;
             }
             // Dual CASE counters: gather the build-side high flag and the
-            // mode leading byte, split per mode, count each arm.
+            // mode ordinal (full-string compare — IN-list members may
+            // share a prefix), split per mode, count each arm.
             tw::gather::gather_build(&ht_ord, &bufs.match_entry, |r| r.1, &mut v_high);
-            tw::gather::gather_str_byte0(mode, &bufs.match_tuple, &mut v_mode);
-            for (g, mode_val) in MODES.iter().enumerate() {
-                let n = tw::sel::sel_eq_char_dense(&v_mode, mode_val[0], 0, &mut mode_sel);
+            tw::gather::gather_str_ordinal(mode, &bufs.match_tuple, &modes, &mut v_mode);
+            for (g, count) in counts.iter_mut().enumerate() {
+                let n = tw::sel::sel_eq_char_dense(&v_mode, g as u8, 0, &mut mode_sel);
                 if n == 0 {
                     continue;
                 }
                 tw::gather::gather_u8(&v_high, &mode_sel, &mut f_sel);
                 let high = tw::map::count_nonzero_u8(&f_sel, policy);
-                counts[g][1] += high;
-                counts[g][0] += n as i64 - high;
+                count[1] += high;
+                count[0] += n as i64 - high;
             }
         }
         counts
     });
-    finish(merge(parts))
+    finish(p, merge(parts))
 }
 
 /// Volcano: interpreted plan with the CASE arms as boolean-expression
 /// sums. The driving lineitem scan is morsel-partitioned across
 /// `cfg.threads` workers; partial groups re-aggregate in a merge pass.
-pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q12Params) -> QueryResult {
     use dbep_volcano::{exchange, AggSpec, Aggregate, CmpOp, Expr, HashJoin, Rows, Scan, Select, Val};
     let li = db.table("lineitem");
     let m = Morsels::new(li.len());
@@ -233,13 +235,13 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
             ),
             pred: Expr::And(vec![
                 Expr::Or(vec![
-                    Expr::cmp(CmpOp::Eq, Expr::col(1), str_lit("MAIL")),
-                    Expr::cmp(CmpOp::Eq, Expr::col(1), str_lit("SHIP")),
+                    Expr::cmp(CmpOp::Eq, Expr::col(1), str_lit(&p.modes[0])),
+                    Expr::cmp(CmpOp::Eq, Expr::col(1), str_lit(&p.modes[1])),
                 ]),
                 Expr::cmp(CmpOp::Lt, Expr::col(3), Expr::col(4)),
                 Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::col(3)),
-                Expr::cmp(CmpOp::Ge, Expr::col(4), Expr::lit_i32(RECEIPT_LO)),
-                Expr::cmp(CmpOp::Lt, Expr::col(4), Expr::lit_i32(RECEIPT_HI)),
+                Expr::cmp(CmpOp::Ge, Expr::col(4), Expr::lit_i32(p.receipt_lo)),
+                Expr::cmp(CmpOp::Lt, Expr::col(4), Expr::lit_i32(p.receipt_hi)),
             ]),
         };
         // rows: [o_orderkey, o_orderpriority] ++ the 5 lineitem columns.
@@ -302,15 +304,15 @@ impl crate::QueryPlan for Q12 {
         db.table("orders").len() + db.table("lineitem").len()
     }
 
-    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        typer(db, cfg)
+    fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        typer(db, cfg, params.q12())
     }
 
-    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        tectorwise(db, cfg)
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        tectorwise(db, cfg, params.q12())
     }
 
-    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        volcano(db, cfg)
+    fn volcano(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        volcano(db, cfg, params.q12())
     }
 }

@@ -18,17 +18,14 @@
 //! final division is one shared fixed-point helper so all engines agree
 //! bit-for-bit.
 
+use crate::params::Q14Params;
 use crate::result::{QueryResult, Value};
-use crate::ExecCfg;
+use crate::{ExecCfg, Params};
 use dbep_runtime::join_ht::JoinHtShard;
 use dbep_runtime::{map_workers, JoinHt, Morsels};
-use dbep_storage::types::date;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
-const SHIP_LO: i32 = date(1995, 9, 1);
-const SHIP_HI: i32 = date(1995, 10, 1);
-const PREFIX: &[u8] = b"PROMO";
 const PART_BYTES: usize = 4 + 21; // partkey + type text
 const LI_BYTES: usize = 4 + 4 + 8 + 8; // partkey + shipdate + price + discount
 
@@ -41,7 +38,9 @@ fn finish(promo: i128, total: i128) -> QueryResult {
 
 /// Typer: build with a fused prefix test, then one probe loop with two
 /// register-resident accumulators (`promo += flag * rev`).
-pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
+    let prefix = p.prefix.as_bytes();
+    let (ship_lo, ship_hi) = (p.ship_lo, p.ship_hi);
     let hf = cfg.typer_hash();
     // Pipeline 1: part → HT_part (partkey → PROMO flag).
     let part = db.table("part");
@@ -53,7 +52,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
         while let Some(r) = m.claim() {
             cfg.pace(r.len(), PART_BYTES);
             for i in r {
-                let promo = ptype.get_bytes(i).starts_with(PREFIX) as u8;
+                let promo = ptype.get_bytes(i).starts_with(prefix) as u8;
                 sh.push(hf.hash(pkey[i] as u64), (pkey[i], promo));
             }
         }
@@ -73,7 +72,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
         while let Some(r) = m.claim() {
             cfg.pace(r.len(), LI_BYTES);
             for i in r {
-                if ship[i] >= SHIP_LO && ship[i] < SHIP_HI {
+                if ship[i] >= ship_lo && ship[i] < ship_hi {
                     let h = hf.hash(lpk[i] as u64);
                     for e in ht_part.probe(h) {
                         if e.row.0 == lpk[i] {
@@ -95,7 +94,9 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
 /// Tectorwise: the prefix test is the vectorized string prefix-match
 /// primitive at build; the probe side uses the conditional-sum primitive
 /// for the CASE arm.
-pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
+    let prefix = p.prefix.as_bytes();
+    let (ship_lo, ship_hi) = (p.ship_lo, p.ship_hi);
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
     // Pipeline 1: part → HT_part.
@@ -110,7 +111,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
         while let Some(c) = src.next_chunk() {
             cfg.pace(c.len(), PART_BYTES);
             tw::hashp::iota(c.start as u32, c.len(), &mut all);
-            tw::map::map_str_prefix_flags(ptype, &all, PREFIX, policy, &mut flags);
+            tw::map::map_str_prefix_flags(ptype, &all, prefix, policy, &mut flags);
             tw::hashp::hash_i32(pkey, &all, hf, &mut hashes);
             for (j, &t) in all.iter().enumerate() {
                 sh.push(hashes[j], (pkey[t as usize], flags[j]));
@@ -136,10 +137,10 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
             (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
         while let Some(c) = src.next_chunk() {
             cfg.pace(c.len(), LI_BYTES);
-            if tw::sel::sel_ge_i32_dense(&ship[c.clone()], SHIP_LO, c.start as u32, &mut s1, policy) == 0 {
+            if tw::sel::sel_ge_i32_dense(&ship[c.clone()], ship_lo, c.start as u32, &mut s1, policy) == 0 {
                 continue;
             }
-            if tw::sel::sel_lt_i32_sparse(ship, SHIP_HI, &s1, &mut s2, policy) == 0 {
+            if tw::sel::sel_lt_i32_sparse(ship, ship_hi, &s1, &mut s2, policy) == 0 {
                 continue;
             }
             tw::hashp::hash_i32(lpk, &s2, hf, &mut hashes);
@@ -173,7 +174,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
 /// multiplied by the 0/1 `StartsWith` predicate. The driving lineitem
 /// scan is morsel-partitioned across `cfg.threads` workers; partial sums
 /// add up here.
-pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
     use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Scan, Select};
     let li = db.table("lineitem");
     let m = Morsels::new(li.len());
@@ -185,8 +186,8 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
                     .morsel_driven(&m),
             ),
             pred: Expr::And(vec![
-                Expr::cmp(CmpOp::Ge, Expr::col(3), Expr::lit_i32(SHIP_LO)),
-                Expr::cmp(CmpOp::Lt, Expr::col(3), Expr::lit_i32(SHIP_HI)),
+                Expr::cmp(CmpOp::Ge, Expr::col(3), Expr::lit_i32(p.ship_lo)),
+                Expr::cmp(CmpOp::Lt, Expr::col(3), Expr::lit_i32(p.ship_hi)),
             ]),
         };
         // rows: [p_partkey, p_type] ++ the 4 lineitem columns.
@@ -204,7 +205,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
         let promo = Expr::arith(
             BinOp::Mul,
             rev.clone(),
-            Expr::StartsWith(Box::new(Expr::col(1)), "PROMO".into()),
+            Expr::StartsWith(Box::new(Expr::col(1)), p.prefix.clone()),
         );
         Box::new(Aggregate::new(
             Box::new(join),
@@ -230,15 +231,15 @@ impl crate::QueryPlan for Q14 {
         db.table("part").len() + db.table("lineitem").len()
     }
 
-    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        typer(db, cfg)
+    fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        typer(db, cfg, params.q14())
     }
 
-    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        tectorwise(db, cfg)
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        tectorwise(db, cfg, params.q14())
     }
 
-    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        volcano(db, cfg)
+    fn volcano(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        volcano(db, cfg, params.q14())
     }
 }

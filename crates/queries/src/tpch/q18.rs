@@ -18,8 +18,9 @@
 //! result. Because `o_orderkey` is unique, the outer GROUP BY needs no
 //! second aggregation.
 
+use crate::params::Q18Params;
 use crate::result::{OrderBy, QueryResult, Value};
-use crate::ExecCfg;
+use crate::{ExecCfg, Params};
 use dbep_runtime::agg_ht::merge_partitions;
 use dbep_runtime::join_ht::JoinHtShard;
 use dbep_runtime::{map_workers, GroupByShard, JoinHt, Morsels};
@@ -27,7 +28,6 @@ use dbep_storage::Database;
 use dbep_vectorized as tw;
 use std::sync::Mutex;
 
-const QTY_LIMIT: i64 = 300 * 100; // 300.00 at scale 2
 const LI_BYTES: usize = 4 + 8;
 const ORD_BYTES: usize = 4 + 4 + 4 + 8;
 const CUST_BYTES: usize = 4 + 18;
@@ -82,16 +82,16 @@ impl crate::QueryPlan for Q18 {
         db.table("lineitem").len() * 2 + db.table("orders").len() + db.table("customer").len()
     }
 
-    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        typer(db, cfg)
+    fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        typer(db, cfg, params.q18())
     }
 
-    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        tectorwise(db, cfg)
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        tectorwise(db, cfg, params.q18())
     }
 
-    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        volcano(db, cfg)
+    fn volcano(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        volcano(db, cfg, params.q18())
     }
 }
 
@@ -155,7 +155,8 @@ fn join_phases(
 }
 
 /// Typer: fused 1.5 M-group aggregation, then the two join pipelines.
-pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q18Params) -> QueryResult {
+    let qty_limit = p.qty_limit;
     let hf = cfg.typer_hash();
     let li = db.table("lineitem");
     let lok = li.col("l_orderkey").i32s();
@@ -172,13 +173,14 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
         shard.finish()
     });
     let groups = merge_partitions(shards, cfg.threads, |a, b| *a += b);
-    let big: Vec<(i32, i64)> = groups.into_iter().filter(|(_, q)| *q > QTY_LIMIT).collect();
+    let big: Vec<(i32, i64)> = groups.into_iter().filter(|(_, q)| *q > qty_limit).collect();
     join_phases(db, cfg, big, hf)
 }
 
 /// Tectorwise: the same plan with vectorized find-groups/aggregate
 /// primitives in the heavy phase.
-pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q18Params) -> QueryResult {
+    let qty_limit = p.qty_limit;
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
     let li = db.table("lineitem");
@@ -208,7 +210,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
         shard.finish()
     });
     let groups = merge_partitions(shards, cfg.threads, |a, b| *a += b);
-    let big: Vec<(i32, i64)> = groups.into_iter().filter(|(_, q)| *q > QTY_LIMIT).collect();
+    let big: Vec<(i32, i64)> = groups.into_iter().filter(|(_, q)| *q > qty_limit).collect();
     join_phases(db, cfg, big, hf)
 }
 
@@ -216,7 +218,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
 /// The driving orders scan is morsel-partitioned across `cfg.threads`
 /// workers; since `o_orderkey` is unique, each worker's output rows are
 /// disjoint and the union needs no re-aggregation.
-pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q18Params) -> QueryResult {
     use dbep_volcano::{exchange, AggSpec, Aggregate, CmpOp, Expr, HashJoin, Scan, Select, Val};
     let ord = db.table("orders");
     let m = Morsels::new(ord.len());
@@ -229,7 +231,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
         );
         let having = Select {
             input: Box::new(agg),
-            pred: Expr::cmp(CmpOp::Gt, Expr::col(1), Expr::lit_i64(QTY_LIMIT)),
+            pred: Expr::cmp(CmpOp::Gt, Expr::col(1), Expr::lit_i64(p.qty_limit)),
         };
         // ⋈ orders: [l_orderkey, sum_qty, o_orderkey, o_custkey, o_orderdate, o_totalprice]
         let j_o = HashJoin::new(

@@ -16,17 +16,15 @@
 //! filter orders, probe HT₁ → HT₂; filter lineitem, probe HT₂, group by
 //! order.
 
+use crate::params::Q3Params;
 use crate::result::{OrderBy, QueryResult, Value};
-use crate::ExecCfg;
+use crate::{ExecCfg, Params};
 use dbep_runtime::agg_ht::merge_partitions;
 use dbep_runtime::join_ht::JoinHtShard;
 use dbep_runtime::{map_workers, GroupByShard, JoinHt, Morsels};
-use dbep_storage::types::date;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
-const CUT: i32 = date(1995, 3, 15);
-const SEGMENT: &[u8] = b"BUILDING";
 const CUST_BYTES: usize = 4 + 10; // custkey + segment text
 const ORD_BYTES: usize = 4 + 4 + 4 + 4;
 const LI_BYTES: usize = 4 + 8 + 8 + 4;
@@ -55,7 +53,8 @@ fn finish(groups: Vec<(GroupKey, i64)>) -> QueryResult {
 }
 
 /// Typer: three fused pipelines separated by hash-table builds.
-pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
+    let (segment, cut) = (p.segment.as_bytes(), p.cut);
     let hf = cfg.typer_hash();
     // Pipeline 1: σ(customer) → HT_c.
     let cust = db.table("customer");
@@ -67,7 +66,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
         while let Some(r) = m.claim() {
             cfg.pace(r.len(), CUST_BYTES);
             for i in r {
-                if seg.get_bytes(i) == SEGMENT {
+                if seg.get_bytes(i) == segment {
                     sh.push(hf.hash(ckey[i] as u64), ckey[i]);
                 }
             }
@@ -88,7 +87,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
         while let Some(r) = m.claim() {
             cfg.pace(r.len(), ORD_BYTES);
             for i in r {
-                if odate[i] < CUT {
+                if odate[i] < cut {
                     let h = hf.hash(ocust[i] as u64);
                     if ht_c.probe(h).any(|e| e.row == ocust[i]) {
                         sh.push(hf.hash(okey[i] as u64), (okey[i], odate[i], oprio[i]));
@@ -112,7 +111,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
         while let Some(r) = m.claim() {
             cfg.pace(r.len(), LI_BYTES);
             for i in r {
-                if ship[i] > CUT {
+                if ship[i] > cut {
                     let h = hf.hash(lokey[i] as u64);
                     for e in ht_o.probe(h) {
                         if e.row.0 == lokey[i] {
@@ -129,7 +128,8 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
 }
 
 /// Tectorwise: the same three pipelines as vector primitives.
-pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
+    let (segment, cut) = (p.segment.as_bytes(), p.cut);
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
     // Pipeline 1: σ(customer) → HT_c.
@@ -144,7 +144,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
         let mut hashes = Vec::new();
         while let Some(c) = src.next_chunk() {
             cfg.pace(c.len(), CUST_BYTES);
-            if tw::sel::sel_eq_str_dense(seg, SEGMENT, c, &mut sel) == 0 {
+            if tw::sel::sel_eq_str_dense(seg, segment, c, &mut sel) == 0 {
                 continue;
             }
             tw::hashp::hash_i32(ckey, &sel, hf, &mut hashes);
@@ -172,7 +172,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
         let mut bufs = tw::ProbeBuffers::new();
         while let Some(c) = src.next_chunk() {
             cfg.pace(c.len(), ORD_BYTES);
-            if tw::sel::sel_lt_i32_dense(&odate[c.clone()], CUT, c.start as u32, &mut sel, policy) == 0 {
+            if tw::sel::sel_lt_i32_dense(&odate[c.clone()], cut, c.start as u32, &mut sel, policy) == 0 {
                 continue;
             }
             tw::hashp::hash_i32(ocust, &sel, hf, &mut hashes);
@@ -216,7 +216,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
         let (mut ghash, mut ordinals) = (Vec::new(), Vec::new());
         while let Some(c) = src.next_chunk() {
             cfg.pace(c.len(), LI_BYTES);
-            if tw::sel::sel_gt_i32_dense(&ship[c.clone()], CUT, c.start as u32, &mut sel, policy) == 0 {
+            if tw::sel::sel_gt_i32_dense(&ship[c.clone()], cut, c.start as u32, &mut sel, policy) == 0 {
                 continue;
             }
             tw::hashp::hash_i32(lokey, &sel, hf, &mut hashes);
@@ -277,7 +277,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
 /// morsel-partitioned across `cfg.threads` workers (each worker builds
 /// its own copies of the small join tables); partial groups re-aggregate
 /// in a final merge pass.
-pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
     use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Rows, Scan, Select, Val};
     let li = db.table("lineitem");
     let m = Morsels::new(li.len());
@@ -286,7 +286,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
             input: Box::new(
                 Scan::new(db.table("customer"), &["c_custkey", "c_mktsegment"]).paced(cfg.throttle),
             ),
-            pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::Const(Val::Str("BUILDING".into()))),
+            pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::Const(Val::Str(p.segment.clone()))),
         };
         let ord_filtered = Select {
             input: Box::new(
@@ -296,7 +296,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
                 )
                 .paced(cfg.throttle),
             ),
-            pred: Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit_i32(CUT)),
+            pred: Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit_i32(p.cut)),
         };
         // rows: [c_custkey, c_mktsegment, o_orderkey, o_custkey, o_orderdate, o_prio]
         let join1 = HashJoin::new(
@@ -311,7 +311,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
                     .paced(cfg.throttle)
                     .morsel_driven(&m),
             ),
-            pred: Expr::cmp(CmpOp::Gt, Expr::col(3), Expr::lit_i32(CUT)),
+            pred: Expr::cmp(CmpOp::Gt, Expr::col(3), Expr::lit_i32(p.cut)),
         };
         // rows: join1 row (6 cols) ++ [l_orderkey, ext, disc, ship]
         let join2 = HashJoin::new(
@@ -360,15 +360,15 @@ impl crate::QueryPlan for Q3 {
         db.table("customer").len() + db.table("orders").len() + db.table("lineitem").len()
     }
 
-    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        typer(db, cfg)
+    fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        typer(db, cfg, params.q3())
     }
 
-    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        tectorwise(db, cfg)
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        tectorwise(db, cfg, params.q3())
     }
 
-    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        volcano(db, cfg)
+    fn volcano(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        volcano(db, cfg, params.q3())
     }
 }

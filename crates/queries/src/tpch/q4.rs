@@ -18,16 +18,14 @@
 //! 5-slot array keyed by `o_orderpriority[0]`; a representative row per
 //! slot recovers the full string for the result.
 
+use crate::params::Q4Params;
 use crate::result::{OrderBy, QueryResult, Value};
-use crate::ExecCfg;
+use crate::{ExecCfg, Params};
 use dbep_runtime::join_ht::JoinHtShard;
 use dbep_runtime::{map_workers, JoinHt, Morsels};
-use dbep_storage::types::date;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
-const DATE_LO: i32 = date(1993, 7, 1);
-const DATE_HI: i32 = date(1993, 10, 1);
 const LI_BYTES: usize = 4 + 4 + 4; // orderkey + commitdate + receiptdate
 const ORD_BYTES: usize = 4 + 4 + 9; // orderkey + orderdate + priority text
 /// Priority slots: leading bytes '1'..'5'.
@@ -100,7 +98,8 @@ fn finish(db: &Database, g: PrioCounts) -> QueryResult {
 
 /// Typer: two fused pipelines around the semi-join build barrier; the
 /// probe uses the hash table's existence-only path.
-pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q4Params) -> QueryResult {
+    let (date_lo, date_hi) = (p.date_lo, p.date_hi);
     let hf = cfg.typer_hash();
     // Pipeline 1: σ(lineitem, commit < receipt) → HT_late.
     let li = db.table("lineitem");
@@ -133,7 +132,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
         while let Some(r) = m.claim() {
             cfg.pace(r.len(), ORD_BYTES);
             for i in r {
-                if odate[i] >= DATE_LO && odate[i] < DATE_HI {
+                if odate[i] >= date_lo && odate[i] < date_hi {
                     let h = hf.hash(okey[i] as u64);
                     // Existence-only: stop at the first witness lineitem.
                     if ht_late.contains(h, |k| *k == okey[i]) {
@@ -149,7 +148,8 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
 
 /// Tectorwise: the same plan as a primitive chain; the probe is the
 /// dedicated semi-join primitive (each order emitted at most once).
-pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q4Params) -> QueryResult {
+    let (date_lo, date_hi) = (p.date_lo, p.date_hi);
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
     // Pipeline 1: σ(lineitem, commit < receipt) → HT_late.
@@ -198,10 +198,10 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
         let (mut v_byte, mut slot_sel) = (Vec::new(), Vec::new());
         while let Some(c) = src.next_chunk() {
             cfg.pace(c.len(), ORD_BYTES);
-            if tw::sel::sel_ge_i32_dense(&odate[c.clone()], DATE_LO, c.start as u32, &mut s1, policy) == 0 {
+            if tw::sel::sel_ge_i32_dense(&odate[c.clone()], date_lo, c.start as u32, &mut s1, policy) == 0 {
                 continue;
             }
-            if tw::sel::sel_lt_i32_sparse(odate, DATE_HI, &s1, &mut s2, policy) == 0 {
+            if tw::sel::sel_lt_i32_sparse(odate, date_hi, &s1, &mut s2, policy) == 0 {
                 continue;
             }
             tw::hashp::hash_i32(okey, &s2, hf, &mut hashes);
@@ -234,7 +234,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
 /// Volcano: the same plan through the interpreted semi-join operator.
 /// The driving orders scan is morsel-partitioned across `cfg.threads`
 /// workers; partial priority counts re-aggregate in a final merge pass.
-pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q4Params) -> QueryResult {
     use dbep_volcano::{exchange, AggSpec, Aggregate, CmpOp, Expr, Rows, Scan, Select, SemiJoin, Val};
     let ord = db.table("orders");
     let m = Morsels::new(ord.len());
@@ -256,8 +256,8 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
                     .morsel_driven(&m),
             ),
             pred: Expr::And(vec![
-                Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i32(DATE_LO)),
-                Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::lit_i32(DATE_HI)),
+                Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i32(p.date_lo)),
+                Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::lit_i32(p.date_hi)),
             ]),
         };
         let semi = SemiJoin::new(
@@ -307,15 +307,15 @@ impl crate::QueryPlan for Q4 {
         db.table("lineitem").len() + db.table("orders").len()
     }
 
-    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        typer(db, cfg)
+    fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        typer(db, cfg, params.q4())
     }
 
-    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        tectorwise(db, cfg)
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        tectorwise(db, cfg, params.q4())
     }
 
-    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        volcano(db, cfg)
+    fn volcano(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        volcano(db, cfg, params.q4())
     }
 }

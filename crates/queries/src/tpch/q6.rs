@@ -14,19 +14,14 @@
 //! selection, four sparse ones (§5.1) — which is also the SIMD showcase
 //! of Fig. 6c.
 
+use crate::params::Q6Params;
 use crate::result::{QueryResult, Value};
-use crate::ExecCfg;
+use crate::{ExecCfg, Params};
 use dbep_runtime::{scope_workers, Morsels};
-use dbep_storage::types::date;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 use std::sync::atomic::{AtomicI64, Ordering};
 
-const SHIP_LO: i32 = date(1994, 1, 1);
-const SHIP_HI: i32 = date(1995, 1, 1);
-const DISC_LO: i64 = 5;
-const DISC_HI: i64 = 7;
-const QTY_HI: i64 = 2400; // 24.00 at scale 2
 /// Bytes read per scanned row (date + 3×i64).
 const BYTES_PER_ROW: usize = 4 + 3 * 8;
 
@@ -35,7 +30,9 @@ fn finish(revenue: i64) -> QueryResult {
 }
 
 /// Typer: one fused, branch-free loop.
-pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
+    let (ship_lo, ship_hi) = (p.ship_lo, p.ship_hi);
+    let (disc_lo, disc_hi, qty_hi) = (p.disc_lo, p.disc_hi, p.qty_hi);
     let li = db.table("lineitem");
     let ship = li.col("l_shipdate").dates();
     let disc = li.col("l_discount").i64s();
@@ -49,11 +46,11 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
             cfg.pace(r.len(), BYTES_PER_ROW);
             for i in r {
                 // Predicated evaluation: no branches, all columns read.
-                let ok = (ship[i] >= SHIP_LO)
-                    & (ship[i] < SHIP_HI)
-                    & (disc[i] >= DISC_LO)
-                    & (disc[i] <= DISC_HI)
-                    & (qty[i] < QTY_HI);
+                let ok = (ship[i] >= ship_lo)
+                    & (ship[i] < ship_hi)
+                    & (disc[i] >= disc_lo)
+                    & (disc[i] <= disc_hi)
+                    & (qty[i] < qty_hi);
                 local += (ok as i64) * ext[i] * disc[i];
             }
         }
@@ -63,7 +60,9 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
 }
 
 /// Tectorwise: five selection primitives, then gather/multiply/sum.
-pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
+    let (ship_lo, ship_hi) = (p.ship_lo, p.ship_hi);
+    let (disc_lo, disc_hi, qty_hi) = (p.disc_lo, p.disc_hi, p.qty_hi);
     let li = db.table("lineitem");
     let ship = li.col("l_shipdate").dates();
     let disc = li.col("l_discount").i64s();
@@ -81,19 +80,19 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
         while let Some(c) = src.next_chunk() {
             cfg.pace(c.len(), BYTES_PER_ROW);
             // 1 dense + 4 sparse selections (§5.1's cascade).
-            if tw::sel::sel_ge_i32_dense(&ship[c.clone()], SHIP_LO, c.start as u32, &mut s1, policy) == 0 {
+            if tw::sel::sel_ge_i32_dense(&ship[c.clone()], ship_lo, c.start as u32, &mut s1, policy) == 0 {
                 continue;
             }
-            if tw::sel::sel_lt_i32_sparse(ship, SHIP_HI, &s1, &mut s2, policy) == 0 {
+            if tw::sel::sel_lt_i32_sparse(ship, ship_hi, &s1, &mut s2, policy) == 0 {
                 continue;
             }
-            if tw::sel::sel_ge_i64_sparse(disc, DISC_LO, &s2, &mut s3, policy) == 0 {
+            if tw::sel::sel_ge_i64_sparse(disc, disc_lo, &s2, &mut s3, policy) == 0 {
                 continue;
             }
-            if tw::sel::sel_le_i64_sparse(disc, DISC_HI, &s3, &mut s4, policy) == 0 {
+            if tw::sel::sel_le_i64_sparse(disc, disc_hi, &s3, &mut s4, policy) == 0 {
                 continue;
             }
-            if tw::sel::sel_lt_i64_sparse(qty, QTY_HI, &s4, &mut s5, policy) == 0 {
+            if tw::sel::sel_lt_i64_sparse(qty, qty_hi, &s4, &mut s5, policy) == 0 {
                 continue;
             }
             tw::gather::gather_i64(ext, &s5, policy, &mut v_ext);
@@ -109,7 +108,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
 /// Volcano: interpreted conjunction, one tuple at a time; `threads`
 /// partition the scan through the exchange union, partial sums merge
 /// here.
-pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
     use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, Scan, Select};
     let li = db.table("lineitem");
     let m = Morsels::new(li.len());
@@ -120,11 +119,11 @@ pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
         let filtered = Select {
             input: Box::new(scan),
             pred: Expr::And(vec![
-                Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit_i32(SHIP_LO)),
-                Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit_i32(SHIP_HI)),
-                Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i64(DISC_LO)),
-                Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit_i64(DISC_HI)),
-                Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit_i64(QTY_HI)),
+                Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit_i32(p.ship_lo)),
+                Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit_i32(p.ship_hi)),
+                Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i64(p.disc_lo)),
+                Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit_i64(p.disc_hi)),
+                Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit_i64(p.qty_hi)),
             ]),
         };
         Box::new(Aggregate::new(
@@ -152,15 +151,15 @@ impl crate::QueryPlan for Q6 {
         db.table("lineitem").len()
     }
 
-    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        typer(db, cfg)
+    fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        typer(db, cfg, params.q6())
     }
 
-    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        tectorwise(db, cfg)
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        tectorwise(db, cfg, params.q6())
     }
 
-    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        volcano(db, cfg)
+    fn volcano(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        volcano(db, cfg, params.q6())
     }
 }

@@ -20,8 +20,9 @@
 //! orderkey, the paper's 320 K-entry build); orders ⋈ HT_li → Γ(nation,
 //! year).
 
+use crate::params::Q9Params;
 use crate::result::{OrderBy, QueryResult, Value};
-use crate::ExecCfg;
+use crate::{ExecCfg, Params};
 use dbep_runtime::agg_ht::merge_partitions;
 use dbep_runtime::join_ht::JoinHtShard;
 use dbep_runtime::{map_workers, GroupByShard, JoinHt, Morsels};
@@ -29,7 +30,6 @@ use dbep_storage::types::year_of;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
-const NEEDLE: &str = "green";
 const PART_BYTES: usize = 4 + 33;
 const PS_BYTES: usize = 4 + 4 + 8;
 const SUPP_BYTES: usize = 4 + 4;
@@ -60,7 +60,8 @@ fn finish(db: &Database, groups: Vec<((i32, i32), i64)>) -> QueryResult {
 }
 
 /// Typer: five fused pipelines.
-pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
+    let needle = p.needle.as_str();
     let hf = cfg.typer_hash();
     // P1: σ(part, name ~ green) → HT_p.
     let part = db.table("part");
@@ -72,7 +73,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
         while let Some(r) = m.claim() {
             cfg.pace(r.len(), PART_BYTES);
             for i in r {
-                if pname.get(i).contains(NEEDLE) {
+                if pname.get(i).contains(needle) {
                     sh.push(hf.hash(pkey[i] as u64), pkey[i]);
                 }
             }
@@ -182,7 +183,8 @@ pub fn typer(db: &Database, cfg: &ExecCfg) -> QueryResult {
 
 /// Tectorwise: the same five pipelines as vector primitives. The
 /// composite key uses hash + rehash and two compare primitives.
-pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
+    let needle = p.needle.as_str();
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
     // P1: σ(part) → HT_p (string filter is a scalar primitive).
@@ -198,7 +200,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
             cfg.pace(c.len(), PART_BYTES);
             sel.clear();
             for i in c {
-                if pname.get(i).contains(NEEDLE) {
+                if pname.get(i).contains(needle) {
                     sel.push(i as u32);
                 }
             }
@@ -418,14 +420,14 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg) -> QueryResult {
 /// chain is constructed per worker — the honest cost of a baseline
 /// interpreter without shared operator state); partial per-day groups
 /// merge in the per-year re-aggregation below.
-pub fn volcano(db: &Database, cfg: &ExecCfg) -> QueryResult {
+pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, Expr, HashJoin, Project, Scan, Select, Val};
     let ord = db.table("orders");
     let m = Morsels::new(ord.len());
     let partials = exchange::union(cfg.threads, |_| {
         let part_f = Select {
             input: Box::new(Scan::new(db.table("part"), &["p_partkey", "p_name"]).paced(cfg.throttle)),
-            pred: Expr::Contains(Box::new(Expr::col(1)), NEEDLE.into()),
+            pred: Expr::Contains(Box::new(Expr::col(1)), p.needle.clone()),
         };
         // [p_partkey, p_name, ps_partkey, ps_suppkey, ps_supplycost]
         let j_ps = HashJoin::new(
@@ -546,15 +548,15 @@ impl crate::QueryPlan for Q9 {
             + db.table("orders").len()
     }
 
-    fn typer(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        typer(db, cfg)
+    fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        typer(db, cfg, params.q9())
     }
 
-    fn tectorwise(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        tectorwise(db, cfg)
+    fn tectorwise(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        tectorwise(db, cfg, params.q9())
     }
 
-    fn volcano(&self, db: &Database, cfg: &ExecCfg) -> QueryResult {
-        volcano(db, cfg)
+    fn volcano(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
+        volcano(db, cfg, params.q9())
     }
 }

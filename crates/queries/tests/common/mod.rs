@@ -1,0 +1,534 @@
+//! Parameterized naive oracles shared by the oracle and parameter-sweep
+//! suites.
+//!
+//! Every query is recomputed by an *independent* implementation (plain
+//! nested loops + std HashMaps over the raw columns, following the SQL
+//! text) reading the same bound [`Params`] the engines receive. This
+//! catches semantic errors the engines could share — including
+//! constant-folding bugs that only a non-default parameter instance can
+//! expose.
+
+#![allow(dead_code)] // each test binary uses a subset of the oracles
+
+use dbep_queries::params::*;
+use dbep_queries::result::{avg_i64, OrderBy, QueryResult, Value};
+use dbep_queries::QueryId;
+use dbep_storage::types::year_of;
+use dbep_storage::Database;
+use std::collections::{HashMap, HashSet};
+
+/// Recompute `q` naively under the same bound parameters.
+pub fn oracle(q: QueryId, db: &Database, params: &Params) -> QueryResult {
+    match q {
+        QueryId::Q1 => q1(db, params.q1()),
+        QueryId::Q6 => q6(db, params.q6()),
+        QueryId::Q3 => q3(db, params.q3()),
+        QueryId::Q9 => q9(db, params.q9()),
+        QueryId::Q18 => q18(db, params.q18()),
+        QueryId::Q4 => q4(db, params.q4()),
+        QueryId::Q12 => q12(db, params.q12()),
+        QueryId::Q14 => q14(db, params.q14()),
+        QueryId::Ssb1_1 => ssb1_1(db, params.ssb1_1()),
+        QueryId::Ssb2_1 => ssb2_1(db, params.ssb2_1()),
+        QueryId::Ssb3_1 => ssb3_1(db, params.ssb3_1()),
+        QueryId::Ssb4_1 => ssb4_1(db, params.ssb4_1()),
+    }
+}
+
+pub fn q1(db: &Database, p: &Q1Params) -> QueryResult {
+    let li = db.table("lineitem");
+    let ship = li.col("l_shipdate").dates();
+    let qty = li.col("l_quantity").i64s();
+    let ext = li.col("l_extendedprice").i64s();
+    let disc = li.col("l_discount").i64s();
+    let tax = li.col("l_tax").i64s();
+    let rf = li.col("l_returnflag").chars();
+    let ls = li.col("l_linestatus").chars();
+    // (sum_qty, sum_base, sum_dp, sum_charge, sum_disc, count)
+    type Q1Sums = (i64, i64, i64, i128, i64, i64);
+    let mut groups: HashMap<(u8, u8), Q1Sums> = HashMap::new();
+    for i in 0..li.len() {
+        if ship[i] <= p.ship_cut {
+            let e = groups.entry((rf[i], ls[i])).or_default();
+            let dp = ext[i] * (100 - disc[i]);
+            e.0 += qty[i];
+            e.1 += ext[i];
+            e.2 += dp;
+            e.3 += dp as i128 * (100 + tax[i]) as i128;
+            e.4 += disc[i];
+            e.5 += 1;
+        }
+    }
+    let rows = groups
+        .into_iter()
+        .map(|((f, s), (q, b, dp, ch, d, c))| {
+            vec![
+                Value::Str((f as char).to_string()),
+                Value::Str((s as char).to_string()),
+                Value::dec2(q),
+                Value::dec2(b),
+                Value::dec4(dp as i128),
+                Value::dec6(ch),
+                Value::dec2(avg_i64(q, c)),
+                Value::dec2(avg_i64(b, c)),
+                Value::dec2(avg_i64(d, c)),
+                Value::I64(c),
+            ]
+        })
+        .collect();
+    QueryResult::new(
+        &[
+            "l_returnflag",
+            "l_linestatus",
+            "sum_qty",
+            "sum_base_price",
+            "sum_disc_price",
+            "sum_charge",
+            "avg_qty",
+            "avg_price",
+            "avg_disc",
+            "count_order",
+        ],
+        rows,
+        &[OrderBy::asc(0), OrderBy::asc(1)],
+        None,
+    )
+}
+
+pub fn q6(db: &Database, p: &Q6Params) -> QueryResult {
+    let li = db.table("lineitem");
+    let ship = li.col("l_shipdate").dates();
+    let disc = li.col("l_discount").i64s();
+    let qty = li.col("l_quantity").i64s();
+    let ext = li.col("l_extendedprice").i64s();
+    let mut revenue = 0i64;
+    for i in 0..li.len() {
+        if ship[i] >= p.ship_lo
+            && ship[i] < p.ship_hi
+            && disc[i] >= p.disc_lo
+            && disc[i] <= p.disc_hi
+            && qty[i] < p.qty_hi
+        {
+            revenue += ext[i] * disc[i];
+        }
+    }
+    QueryResult::new(&["revenue"], vec![vec![Value::dec4(revenue as i128)]], &[], None)
+}
+
+pub fn q3(db: &Database, p: &Q3Params) -> QueryResult {
+    let cust = db.table("customer");
+    let chosen: HashSet<i32> = (0..cust.len())
+        .filter(|&i| cust.col("c_mktsegment").strs().get(i) == p.segment)
+        .map(|i| cust.col("c_custkey").i32s()[i])
+        .collect();
+    let ord = db.table("orders");
+    let mut order_info: HashMap<i32, (i32, i32)> = HashMap::new();
+    for i in 0..ord.len() {
+        let odate = ord.col("o_orderdate").dates()[i];
+        if odate < p.cut && chosen.contains(&ord.col("o_custkey").i32s()[i]) {
+            order_info.insert(
+                ord.col("o_orderkey").i32s()[i],
+                (odate, ord.col("o_shippriority").i32s()[i]),
+            );
+        }
+    }
+    let li = db.table("lineitem");
+    let mut groups: HashMap<(i32, i32, i32), i64> = HashMap::new();
+    for i in 0..li.len() {
+        if li.col("l_shipdate").dates()[i] > p.cut {
+            let k = li.col("l_orderkey").i32s()[i];
+            if let Some(&(odate, prio)) = order_info.get(&k) {
+                *groups.entry((k, odate, prio)).or_default() +=
+                    li.col("l_extendedprice").i64s()[i] * (100 - li.col("l_discount").i64s()[i]);
+            }
+        }
+    }
+    let rows = groups
+        .into_iter()
+        .map(|((k, d, pr), rev)| {
+            vec![
+                Value::I32(k),
+                Value::dec4(rev as i128),
+                Value::Date(d),
+                Value::I32(pr),
+            ]
+        })
+        .collect();
+    QueryResult::new(
+        &["l_orderkey", "revenue", "o_orderdate", "o_shippriority"],
+        rows,
+        &[OrderBy::desc(1), OrderBy::asc(2)],
+        Some(10),
+    )
+}
+
+pub fn q9(db: &Database, p: &Q9Params) -> QueryResult {
+    let part = db.table("part");
+    let chosen: HashSet<i32> = (0..part.len())
+        .filter(|&i| part.col("p_name").strs().get(i).contains(&p.needle))
+        .map(|i| part.col("p_partkey").i32s()[i])
+        .collect();
+    let ps = db.table("partsupp");
+    let mut cost: HashMap<(i32, i32), i64> = HashMap::new();
+    for i in 0..ps.len() {
+        cost.insert(
+            (ps.col("ps_partkey").i32s()[i], ps.col("ps_suppkey").i32s()[i]),
+            ps.col("ps_supplycost").i64s()[i],
+        );
+    }
+    let supp = db.table("supplier");
+    let nation_of: HashMap<i32, i32> = (0..supp.len())
+        .map(|i| (supp.col("s_suppkey").i32s()[i], supp.col("s_nationkey").i32s()[i]))
+        .collect();
+    let ord = db.table("orders");
+    let year_of_order: HashMap<i32, i32> = (0..ord.len())
+        .map(|i| {
+            (
+                ord.col("o_orderkey").i32s()[i],
+                year_of(ord.col("o_orderdate").dates()[i]),
+            )
+        })
+        .collect();
+    let li = db.table("lineitem");
+    let mut groups: HashMap<(i32, i32), i64> = HashMap::new();
+    for i in 0..li.len() {
+        let pk = li.col("l_partkey").i32s()[i];
+        if !chosen.contains(&pk) {
+            continue;
+        }
+        let sk = li.col("l_suppkey").i32s()[i];
+        let amount = li.col("l_extendedprice").i64s()[i] * (100 - li.col("l_discount").i64s()[i])
+            - cost[&(pk, sk)] * li.col("l_quantity").i64s()[i];
+        let key = (nation_of[&sk], year_of_order[&li.col("l_orderkey").i32s()[i]]);
+        *groups.entry(key).or_default() += amount;
+    }
+    let names = db.table("nation").col("n_name").strs();
+    let rows = groups
+        .into_iter()
+        .map(|((n, y), a)| {
+            vec![
+                Value::Str(names.get(n as usize).to_string()),
+                Value::I32(y),
+                Value::dec4(a as i128),
+            ]
+        })
+        .collect();
+    QueryResult::new(
+        &["nation", "o_year", "sum_profit"],
+        rows,
+        &[OrderBy::asc(0), OrderBy::desc(1)],
+        None,
+    )
+}
+
+pub fn q18(db: &Database, p: &Q18Params) -> QueryResult {
+    let li = db.table("lineitem");
+    let mut qty_by_order: HashMap<i32, i64> = HashMap::new();
+    for i in 0..li.len() {
+        *qty_by_order.entry(li.col("l_orderkey").i32s()[i]).or_default() += li.col("l_quantity").i64s()[i];
+    }
+    let cust = db.table("customer");
+    let cust_name: HashMap<i32, String> = (0..cust.len())
+        .map(|i| {
+            (
+                cust.col("c_custkey").i32s()[i],
+                cust.col("c_name").strs().get(i).to_string(),
+            )
+        })
+        .collect();
+    let ord = db.table("orders");
+    let mut rows = Vec::new();
+    for i in 0..ord.len() {
+        let ok = ord.col("o_orderkey").i32s()[i];
+        if let Some(&q) = qty_by_order.get(&ok) {
+            if q > p.qty_limit {
+                let ck = ord.col("o_custkey").i32s()[i];
+                rows.push(vec![
+                    Value::Str(cust_name[&ck].clone()),
+                    Value::I32(ck),
+                    Value::I32(ok),
+                    Value::Date(ord.col("o_orderdate").dates()[i]),
+                    Value::dec2(ord.col("o_totalprice").i64s()[i]),
+                    Value::dec2(q),
+                ]);
+            }
+        }
+    }
+    QueryResult::new(
+        &[
+            "c_name",
+            "c_custkey",
+            "o_orderkey",
+            "o_orderdate",
+            "o_totalprice",
+            "sum_qty",
+        ],
+        rows,
+        &[OrderBy::desc(4), OrderBy::asc(3)],
+        Some(100),
+    )
+}
+
+pub fn q4(db: &Database, p: &Q4Params) -> QueryResult {
+    let li = db.table("lineitem");
+    let mut late: HashSet<i32> = HashSet::new();
+    for i in 0..li.len() {
+        if li.col("l_commitdate").dates()[i] < li.col("l_receiptdate").dates()[i] {
+            late.insert(li.col("l_orderkey").i32s()[i]);
+        }
+    }
+    let ord = db.table("orders");
+    let mut groups: HashMap<String, i64> = HashMap::new();
+    for i in 0..ord.len() {
+        let d = ord.col("o_orderdate").dates()[i];
+        if d >= p.date_lo && d < p.date_hi && late.contains(&ord.col("o_orderkey").i32s()[i]) {
+            *groups
+                .entry(ord.col("o_orderpriority").strs().get(i).to_string())
+                .or_default() += 1;
+        }
+    }
+    let rows = groups
+        .into_iter()
+        .map(|(pr, n)| vec![Value::Str(pr), Value::I64(n)])
+        .collect();
+    QueryResult::new(
+        &["o_orderpriority", "order_count"],
+        rows,
+        &[OrderBy::asc(0)],
+        None,
+    )
+}
+
+pub fn q12(db: &Database, p: &Q12Params) -> QueryResult {
+    let ord = db.table("orders");
+    let mut high_of: HashMap<i32, bool> = HashMap::new();
+    for i in 0..ord.len() {
+        let pr = ord.col("o_orderpriority").strs().get(i);
+        high_of.insert(
+            ord.col("o_orderkey").i32s()[i],
+            pr == "1-URGENT" || pr == "2-HIGH",
+        );
+    }
+    let li = db.table("lineitem");
+    let mut groups: HashMap<String, (i64, i64)> = HashMap::new();
+    for i in 0..li.len() {
+        let mode = li.col("l_shipmode").strs().get(i);
+        if mode != p.modes[0] && mode != p.modes[1] {
+            continue;
+        }
+        let ship = li.col("l_shipdate").dates()[i];
+        let commit = li.col("l_commitdate").dates()[i];
+        let receipt = li.col("l_receiptdate").dates()[i];
+        if commit < receipt && ship < commit && receipt >= p.receipt_lo && receipt < p.receipt_hi {
+            let e = groups.entry(mode.to_string()).or_default();
+            if high_of[&li.col("l_orderkey").i32s()[i]] {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+    }
+    let rows = groups
+        .into_iter()
+        .map(|(m, (h, l))| vec![Value::Str(m), Value::I64(h), Value::I64(l)])
+        .collect();
+    QueryResult::new(
+        &["l_shipmode", "high_line_count", "low_line_count"],
+        rows,
+        &[OrderBy::asc(0)],
+        None,
+    )
+}
+
+pub fn q14(db: &Database, p: &Q14Params) -> QueryResult {
+    let part = db.table("part");
+    let mut promo_of: HashMap<i32, bool> = HashMap::new();
+    for i in 0..part.len() {
+        promo_of.insert(
+            part.col("p_partkey").i32s()[i],
+            part.col("p_type").strs().get(i).starts_with(&p.prefix),
+        );
+    }
+    let li = db.table("lineitem");
+    let (mut promo, mut total) = (0i128, 0i128);
+    for i in 0..li.len() {
+        let ship = li.col("l_shipdate").dates()[i];
+        if ship >= p.ship_lo && ship < p.ship_hi {
+            let rev = (li.col("l_extendedprice").i64s()[i] * (100 - li.col("l_discount").i64s()[i])) as i128;
+            if promo_of[&li.col("l_partkey").i32s()[i]] {
+                promo += rev;
+            }
+            total += rev;
+        }
+    }
+    let digits = if total == 0 { 0 } else { promo * 1_000_000 / total };
+    QueryResult::new(&["promo_revenue"], vec![vec![Value::dec4(digits)]], &[], None)
+}
+
+pub fn ssb1_1(db: &Database, p: &SsbQ11Params) -> QueryResult {
+    let d = db.table("date");
+    let days: HashSet<i32> = (0..d.len())
+        .filter(|&i| d.col("d_year").i32s()[i] == p.year)
+        .map(|i| d.col("d_datekey").i32s()[i])
+        .collect();
+    let lo = db.table("lineorder");
+    let mut revenue = 0i64;
+    for i in 0..lo.len() {
+        let disc = lo.col("lo_discount").i64s()[i];
+        if (p.disc_lo..=p.disc_hi).contains(&disc)
+            && lo.col("lo_quantity").i64s()[i] < p.qty_hi
+            && days.contains(&lo.col("lo_orderdate").i32s()[i])
+        {
+            revenue += lo.col("lo_extendedprice").i64s()[i] * disc;
+        }
+    }
+    QueryResult::new(&["revenue"], vec![vec![Value::dec4(revenue as i128)]], &[], None)
+}
+
+pub fn ssb2_1(db: &Database, p: &SsbQ21Params) -> QueryResult {
+    let part = db.table("ssb_part");
+    let brand_of: HashMap<i32, i32> = (0..part.len())
+        .filter(|&i| part.col("p_category").i32s()[i] == p.category)
+        .map(|i| (part.col("p_partkey").i32s()[i], part.col("p_brand1").i32s()[i]))
+        .collect();
+    let s = db.table("ssb_supplier");
+    let supp_ok: HashSet<i32> = (0..s.len())
+        .filter(|&i| s.col("s_region").i32s()[i] == p.region)
+        .map(|i| s.col("s_suppkey").i32s()[i])
+        .collect();
+    let d = db.table("date");
+    let year: HashMap<i32, i32> = (0..d.len())
+        .map(|i| (d.col("d_datekey").i32s()[i], d.col("d_year").i32s()[i]))
+        .collect();
+    let lo = db.table("lineorder");
+    let mut groups: HashMap<(i32, i32), i64> = HashMap::new();
+    for i in 0..lo.len() {
+        let Some(&brand) = brand_of.get(&lo.col("lo_partkey").i32s()[i]) else {
+            continue;
+        };
+        if !supp_ok.contains(&lo.col("lo_suppkey").i32s()[i]) {
+            continue;
+        }
+        let y = year[&lo.col("lo_orderdate").i32s()[i]];
+        *groups.entry((y, brand)).or_default() += lo.col("lo_revenue").i64s()[i];
+    }
+    let rows = groups
+        .into_iter()
+        .map(|((y, b), rev)| {
+            vec![
+                Value::dec2(rev),
+                Value::I32(y),
+                Value::Str(dbep_datagen::ssb::brand_name(b)),
+            ]
+        })
+        .collect();
+    QueryResult::new(
+        &["sum_revenue", "d_year", "p_brand1"],
+        rows,
+        &[OrderBy::asc(1), OrderBy::asc(2)],
+        None,
+    )
+}
+
+pub fn ssb3_1(db: &Database, p: &SsbQ31Params) -> QueryResult {
+    let s = db.table("ssb_supplier");
+    let supp_nation: HashMap<i32, i32> = (0..s.len())
+        .filter(|&i| s.col("s_region").i32s()[i] == p.supp_region)
+        .map(|i| (s.col("s_suppkey").i32s()[i], s.col("s_nation").i32s()[i]))
+        .collect();
+    let c = db.table("ssb_customer");
+    let cust_nation: HashMap<i32, i32> = (0..c.len())
+        .filter(|&i| c.col("c_region").i32s()[i] == p.cust_region)
+        .map(|i| (c.col("c_custkey").i32s()[i], c.col("c_nation").i32s()[i]))
+        .collect();
+    let d = db.table("date");
+    let year: HashMap<i32, i32> = (0..d.len())
+        .map(|i| (d.col("d_datekey").i32s()[i], d.col("d_year").i32s()[i]))
+        .collect();
+    let lo = db.table("lineorder");
+    let mut groups: HashMap<(i32, i32, i32), i64> = HashMap::new();
+    for i in 0..lo.len() {
+        let Some(&cn) = cust_nation.get(&lo.col("lo_custkey").i32s()[i]) else {
+            continue;
+        };
+        let Some(&sn) = supp_nation.get(&lo.col("lo_suppkey").i32s()[i]) else {
+            continue;
+        };
+        let y = year[&lo.col("lo_orderdate").i32s()[i]];
+        if !(p.year_lo..=p.year_hi).contains(&y) {
+            continue;
+        }
+        *groups.entry((cn, sn, y)).or_default() += lo.col("lo_revenue").i64s()[i];
+    }
+    let rows = groups
+        .into_iter()
+        .map(|((cn, sn, y), rev)| {
+            vec![
+                Value::Str(dbep_datagen::ssb::NATIONS[cn as usize].0.to_string()),
+                Value::Str(dbep_datagen::ssb::NATIONS[sn as usize].0.to_string()),
+                Value::I32(y),
+                Value::dec2(rev),
+            ]
+        })
+        .collect();
+    QueryResult::new(
+        &["c_nation", "s_nation", "d_year", "revenue"],
+        rows,
+        &[OrderBy::asc(2), OrderBy::desc(3)],
+        None,
+    )
+}
+
+pub fn ssb4_1(db: &Database, p: &SsbQ41Params) -> QueryResult {
+    let c = db.table("ssb_customer");
+    let cust_nation: HashMap<i32, i32> = (0..c.len())
+        .filter(|&i| c.col("c_region").i32s()[i] == p.cust_region)
+        .map(|i| (c.col("c_custkey").i32s()[i], c.col("c_nation").i32s()[i]))
+        .collect();
+    let s = db.table("ssb_supplier");
+    let supp_ok: HashSet<i32> = (0..s.len())
+        .filter(|&i| s.col("s_region").i32s()[i] == p.supp_region)
+        .map(|i| s.col("s_suppkey").i32s()[i])
+        .collect();
+    let part = db.table("ssb_part");
+    let part_ok: HashSet<i32> = (0..part.len())
+        .filter(|&i| p.mfgrs.contains(&part.col("p_mfgr").i32s()[i]))
+        .map(|i| part.col("p_partkey").i32s()[i])
+        .collect();
+    let d = db.table("date");
+    let year: HashMap<i32, i32> = (0..d.len())
+        .map(|i| (d.col("d_datekey").i32s()[i], d.col("d_year").i32s()[i]))
+        .collect();
+    let lo = db.table("lineorder");
+    let mut groups: HashMap<(i32, i32), i64> = HashMap::new();
+    for i in 0..lo.len() {
+        let Some(&cn) = cust_nation.get(&lo.col("lo_custkey").i32s()[i]) else {
+            continue;
+        };
+        if !supp_ok.contains(&lo.col("lo_suppkey").i32s()[i]) {
+            continue;
+        }
+        if !part_ok.contains(&lo.col("lo_partkey").i32s()[i]) {
+            continue;
+        }
+        let y = year[&lo.col("lo_orderdate").i32s()[i]];
+        *groups.entry((y, cn)).or_default() +=
+            lo.col("lo_revenue").i64s()[i] - lo.col("lo_supplycost").i64s()[i];
+    }
+    let rows = groups
+        .into_iter()
+        .map(|((y, cn), v)| {
+            vec![
+                Value::I32(y),
+                Value::Str(dbep_datagen::ssb::NATIONS[cn as usize].0.to_string()),
+                Value::dec2(v),
+            ]
+        })
+        .collect();
+    QueryResult::new(
+        &["d_year", "c_nation", "profit"],
+        rows,
+        &[OrderBy::asc(0), OrderBy::asc(1)],
+        None,
+    )
+}

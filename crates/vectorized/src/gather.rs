@@ -83,6 +83,24 @@ pub fn gather_str_byte0(col: &dbep_storage::StrColumn, sel: &[u32], out: &mut Ve
     }
 }
 
+/// `out[j]` = index into `vals` of the value equal to `col[sel[j]]`
+/// (full-string compare; `u8::MAX` when no value matches).
+///
+/// The ordinal form of an IN-list whose members double as the group-by
+/// domain (TPC-H Q12): downstream per-group selections run on the dense
+/// ordinal vector with [`crate::sel::sel_eq_char_dense`]. Leading-byte
+/// dispatch is *not* sufficient here — IN-list members may share a
+/// prefix (`RAIL`/`REG AIR`).
+pub fn gather_str_ordinal(col: &dbep_storage::StrColumn, sel: &[u32], vals: &[&[u8]], out: &mut Vec<u8>) {
+    debug_assert!(vals.len() < u8::MAX as usize);
+    prep(out, sel.len());
+    for (o, &i) in out.iter_mut().zip(sel) {
+        debug_assert!((i as usize) < col.len());
+        let s = col.get_bytes(i as usize);
+        *o = vals.iter().position(|v| *v == s).map_or(u8::MAX, |g| g as u8);
+    }
+}
+
 /// Build-side gather: extract one field from each matched entry
 /// (`entries` are addresses produced by the probe primitives over `ht`).
 pub fn gather_build<T: Send + Sync, U>(
@@ -143,6 +161,17 @@ mod tests {
         let mut out = Vec::new();
         gather_str_byte0(&col, &[3, 0, 1, 2, 0], &mut out);
         assert_eq!(out, vec![b'1', b'M', b'S', 0, b'M']);
+    }
+
+    #[test]
+    fn str_ordinal_gather_compares_full_strings() {
+        // RAIL and REG AIR share a leading byte: ordinals must still
+        // discriminate them.
+        let col: dbep_storage::StrColumn = ["RAIL", "REG AIR", "MAIL", "RAIL"].into_iter().collect();
+        let vals: [&[u8]; 2] = [b"RAIL", b"REG AIR"];
+        let mut out = Vec::new();
+        gather_str_ordinal(&col, &[0, 1, 2, 3], &vals, &mut out);
+        assert_eq!(out, vec![0, 1, u8::MAX, 0]);
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! A realistic OLAP scenario: a month-end reporting run executing the
 //! pricing summary (Q1), revenue forecast (Q6) and profit-by-nation (Q9)
 //! reports on all available cores, comparing the two modern paradigms.
+//! Each report is prepared once through the `Session` API and re-run
+//! per engine — the prepare-once / execute-many shape of production
+//! reporting traffic.
 //!
 //! ```text
 //! cargo run --release --example analytics_report [sf]
@@ -18,7 +21,7 @@ fn main() {
     println!("generating TPC-H SF={sf} with {threads} threads...");
     let db = dbep_datagen::tpch::generate_par(sf, 42, threads);
 
-    let cfg = ExecCfg::with_threads(threads);
+    let session = Session::with_cfg(db, ExecCfg::with_threads(threads));
     let reports = [
         (QueryId::Q1, "Pricing summary (Q1)"),
         (QueryId::Q6, "Revenue change forecast (Q6)"),
@@ -26,11 +29,12 @@ fn main() {
     ];
     for (q, title) in reports {
         println!("\n=== {title} ===");
+        let report = session.prepare(q);
         let t = Instant::now();
-        let compiled = run(Engine::Typer, q, &db, &cfg);
+        let compiled = report.run(Engine::Typer);
         let t_typer = t.elapsed();
         let t = Instant::now();
-        let vectorized = run(Engine::Tectorwise, q, &db, &cfg);
+        let vectorized = report.run(Engine::Tectorwise);
         let t_tw = t.elapsed();
         assert_eq!(compiled, vectorized);
         println!(

@@ -1,11 +1,15 @@
-//! Quickstart: generate a small TPC-H database, run one query on all
-//! three execution paradigms, verify they agree, and print the result.
+//! Quickstart: generate a small TPC-H database, prepare one query
+//! through the `Session` API, run it on all three execution paradigms,
+//! verify they agree, then re-bind the template to a different workload
+//! instance.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use db_engine_paradigms::prelude::*;
+use db_engine_paradigms::queries::params::Q3Params;
+use db_engine_paradigms::storage::types::date;
 use std::time::Instant;
 
 fn main() {
@@ -19,21 +23,30 @@ fn main() {
         db.byte_size()
     );
 
-    // 2. One configuration shared by all engines: single-threaded,
-    //    default vector size (1024), scalar primitives.
-    let cfg = ExecCfg::default();
+    // 2. A session owns the shared database plus a default ExecCfg
+    //    (single-threaded, 1024-tuple vectors, scalar primitives).
+    let session = Session::new(db);
 
-    // 3. Run TPC-H Q3 under each paradigm.
+    // 3. Prepare TPC-H Q3 once — the paper's parameters (BUILDING,
+    //    1995-03-15) bind by default — and run it under each paradigm.
+    let q3 = session.prepare(QueryId::Q3);
     for engine in [Engine::Volcano, Engine::Tectorwise, Engine::Typer] {
         let t = Instant::now();
-        let result = run(engine, QueryId::Q3, &db, &cfg);
+        let result = q3.run(engine);
         println!("{engine:?}: {} rows in {:?}", result.len(), t.elapsed());
     }
 
     // 4. The engines must agree bit-for-bit.
-    let typer = run(Engine::Typer, QueryId::Q3, &db, &cfg);
-    let tw = run(Engine::Tectorwise, QueryId::Q3, &db, &cfg);
+    let typer = q3.run(Engine::Typer);
+    let tw = q3.run(Engine::Tectorwise);
     assert_eq!(typer, tw, "engines disagree!");
-
     println!("\nTPC-H Q3 top orders by revenue:\n{}", typer.to_table());
+
+    // 5. Same template, different workload instance: bind another
+    //    market segment and cutoff date, run the same prepared shape.
+    let params = Q3Params::new("MACHINERY", date(1995, 3, 7)).expect("valid substitution");
+    let q3_machinery = session.prepare_params(params);
+    let result = q3_machinery.run(Engine::Typer);
+    assert_eq!(result, q3_machinery.run(Engine::Tectorwise));
+    println!("Q3 re-bound to MACHINERY / 1995-03-07:\n{}", result.to_table());
 }

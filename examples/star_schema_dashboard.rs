@@ -1,6 +1,6 @@
 //! Star-schema dashboard workload (§4.4): the four SSB query flights a
-//! BI dashboard would fire, run on both modern engines with the SIMD
-//! policy of your choice.
+//! BI dashboard would fire, prepared once per flight and run on both
+//! modern engines with the SIMD policy of your choice.
 //!
 //! ```text
 //! cargo run --release --example star_schema_dashboard [sf] [scalar|simd|auto]
@@ -22,18 +22,22 @@ fn main() {
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("generating SSB SF={sf}...");
     let db = dbep_datagen::ssb::generate_par(sf, 42, threads);
-    let cfg = ExecCfg {
-        threads,
-        policy,
-        ..Default::default()
-    };
+    let session = Session::with_cfg(
+        db,
+        ExecCfg {
+            threads,
+            policy,
+            ..Default::default()
+        },
+    );
 
     for q in QueryId::SSB {
+        let flight = session.prepare(q);
         let t = Instant::now();
-        let typer = run(Engine::Typer, q, &db, &cfg);
+        let typer = flight.run(Engine::Typer);
         let t_typer = t.elapsed();
         let t = Instant::now();
-        let tw = run(Engine::Tectorwise, q, &db, &cfg);
+        let tw = flight.run(Engine::Tectorwise);
         let t_tw = t.elapsed();
         assert_eq!(typer, tw);
         println!(

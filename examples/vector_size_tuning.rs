@@ -17,6 +17,10 @@ fn main() {
         .unwrap_or(0.5);
     println!("generating TPC-H SF={sf}...");
     let db = dbep_datagen::tpch::generate(sf, 42);
+    // Prepare once; every sweep point is a per-call cfg override on the
+    // same prepared query.
+    let session = Session::new(db);
+    let q1 = session.prepare(QueryId::Q1);
 
     println!("\nTPC-H Q1 on Tectorwise, single thread:");
     println!("{:>12} {:>12}", "vector size", "runtime");
@@ -39,9 +43,9 @@ fn main() {
             ..Default::default()
         };
         // Warm-up + measured run.
-        run(Engine::Tectorwise, QueryId::Q1, &db, &cfg);
+        q1.run_with(Engine::Tectorwise, &cfg);
         let t = Instant::now();
-        let r = run(Engine::Tectorwise, QueryId::Q1, &db, &cfg);
+        let r = q1.run_with(Engine::Tectorwise, &cfg);
         let secs = t.elapsed().as_secs_f64();
         assert_eq!(r.len(), 4);
         let label = if vs > 1 << 22 {

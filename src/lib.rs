@@ -23,14 +23,22 @@
 //! ```
 //! use db_engine_paradigms::prelude::*;
 //!
-//! // Generate a tiny TPC-H database (scale factor 0.01) and run Q6 on
-//! // all three engines — results must be identical.
+//! // Generate a tiny TPC-H database (scale factor 0.01), prepare Q6
+//! // once (the paper's parameters bind by default), and run it on all
+//! // three engines — results must be identical.
 //! let db = dbep_datagen::tpch::generate(0.01, 42);
-//! let cfg = ExecCfg::default();
-//! let typer = run(Engine::Typer, QueryId::Q6, &db, &cfg);
-//! let tw = run(Engine::Tectorwise, QueryId::Q6, &db, &cfg);
-//! let volcano = run(Engine::Volcano, QueryId::Q6, &db, &cfg);
+//! let session = Session::new(db);
+//! let q6 = session.prepare(QueryId::Q6);
+//! let typer = q6.run(Engine::Typer);
+//! let tw = q6.run(Engine::Tectorwise);
+//! let volcano = q6.run(Engine::Volcano);
 //! assert_eq!(typer, tw);
 //! assert_eq!(typer, volcano);
+//!
+//! // Bind a different workload instance of the same template.
+//! use db_engine_paradigms::queries::params::Q6Params;
+//! let q6_95 = session.prepare_params(Q6Params::new(1995, 3, 30)?);
+//! assert_eq!(q6_95.run(Engine::Typer), q6_95.run(Engine::Volcano));
+//! # Ok::<(), db_engine_paradigms::queries::params::ParamError>(())
 //! ```
 pub use dbep_core::*;

@@ -1,0 +1,71 @@
+//! Pin test: `Session::prepare` with default `Params` must reproduce
+//! the pre-redesign (hardcoded-constant) results **exactly**.
+//!
+//! The fingerprints below were computed from the engine outputs at
+//! TPC-H/SSB SF 0.01, seed 42, immediately before the substitution
+//! constants moved out of the engine bodies into `dbep_queries::params`.
+//! Any change here means the redesign (or a later edit) altered query
+//! semantics, not just plumbing.
+
+use db_engine_paradigms::prelude::*;
+
+/// FNV-1a over a canonical rendering (column names, then each row's
+/// values, `|`-separated) — stable across platforms.
+fn fingerprint(r: &QueryResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let eat = |h: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for c in &r.columns {
+        eat(&mut h, c.as_bytes());
+        eat(&mut h, b"|");
+    }
+    for row in &r.rows {
+        for v in row {
+            eat(&mut h, v.to_string().as_bytes());
+            eat(&mut h, b"|");
+        }
+        eat(&mut h, b"\n");
+    }
+    h
+}
+
+/// (query, fingerprint of the Typer result at SF 0.01 / seed 42) —
+/// recorded from the pre-params-redesign tree.
+const PINNED: [(QueryId, u64); 12] = [
+    (QueryId::Q1, 0xf32e1e766bfd3de7),
+    (QueryId::Q6, 0xf4c67754eb2e494d),
+    (QueryId::Q3, 0x708e092adda3185f),
+    (QueryId::Q9, 0x2867bddcfef17d6e),
+    (QueryId::Q18, 0x8b23d19d6b810b6b),
+    (QueryId::Q4, 0x412fe58eb17617c6),
+    (QueryId::Q12, 0x4963a08874e876cc),
+    (QueryId::Q14, 0xaabd07fcbdda713a),
+    (QueryId::Ssb1_1, 0xf06e975de00c1ecb),
+    (QueryId::Ssb2_1, 0x9ea1240cf6a68500),
+    (QueryId::Ssb3_1, 0x70b4e18c6a863aac),
+    (QueryId::Ssb4_1, 0x3689b1501b7077be),
+];
+
+#[test]
+fn default_params_reproduce_pre_redesign_results() {
+    let tpch = Session::new(dbep_datagen::tpch::generate(0.01, 42));
+    let ssb = Session::new(dbep_datagen::ssb::generate(0.01, 42));
+    for (q, expected) in PINNED {
+        let session = if QueryId::SSB.contains(&q) { &ssb } else { &tpch };
+        let prepared = session.prepare(q);
+        let got = fingerprint(&prepared.run(Engine::Typer));
+        assert_eq!(
+            got,
+            expected,
+            "{}: default-params result drifted from the pre-redesign pin (got 0x{got:016x})",
+            q.name()
+        );
+        // The free function must stay a thin default-params wrapper.
+        let free = run(Engine::Typer, q, session.db(), session.cfg());
+        assert_eq!(fingerprint(&free), expected, "{}: free run() drifted", q.name());
+    }
+}
