@@ -18,7 +18,7 @@ fn bench_join_build(b: &Bench) {
         for &(h, r) in &rows {
             shard.push(h, r);
         }
-        JoinHt::from_shards(vec![shard], 1)
+        JoinHt::from_shards(vec![shard], &dbep_runtime::ExecCtx::inline())
     });
 }
 
@@ -31,7 +31,7 @@ fn bench_join_probe(b: &Bench) {
         for k in 0..n as u64 {
             shard.push(murmur2(k), (k as i32, k as i64));
         }
-        let ht = JoinHt::from_shards_cfg(vec![shard], 1, tags);
+        let ht = JoinHt::from_shards_cfg(vec![shard], &dbep_runtime::ExecCtx::inline(), tags);
         let label = if tags { "tagged" } else { "untagged" };
         b.run(
             &format!("join_ht_probe_50pct_miss/{label}"),
@@ -61,7 +61,10 @@ fn bench_aggregation(b: &Bench) {
                 for &k in &keys {
                     shard.update(murmur2(k), k, || 0, |a| *a += 1);
                 }
-                merge_partitions(vec![shard.finish()], 1, |a, b| *a += b).len()
+                merge_partitions(vec![shard.finish()], &dbep_runtime::ExecCtx::inline(), |a, b| {
+                    *a += b
+                })
+                .len()
             },
         );
     }

@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Ids: `fig3 table1 fig4 fig5 ssb table2 fig6 fig7 fig8 fig9 fig10
-//! table3 table4 table5 fig11 oltp table6 query all`. Each prints the
+//! table3 table4 table5 fig11 oltp table6 query serve all`. Each prints the
 //! same rows/series the paper reports (EXPERIMENTS.md records paper-
 //! versus-measured). Scale-factor defaults are sized for a ~20 GB host;
 //! pass `--sf` to reproduce the paper's exact scales on bigger machines.
@@ -22,11 +22,21 @@
 //! plus Q4/Q12/Q14); the remaining paper-artifact subcommands stick to
 //! the §3.3 subset so their rows line up with the paper's figures.
 //!
-//! `--json` (supported by `fig3` and `table1`) switches stdout to one
-//! machine-readable JSON document — per-query runtimes (`fig3`, over
-//! **every** registered query, TPC-H and SSB, on all three engines) or
-//! per-query CPU counters (`table1`) — so perf trajectories can be
-//! recorded as `BENCH_*.json` files across PRs.
+//! `--json` (supported by `fig3`, `table1` and `serve`) switches stdout
+//! to one machine-readable JSON document — per-query runtimes (`fig3`,
+//! over **every** registered query, TPC-H and SSB, on all three
+//! engines), per-query CPU counters (`table1`), or serving throughput
+//! (`serve`) — so perf trajectories can be recorded as `BENCH_*.json`
+//! files across PRs.
+//!
+//! `serve` is the **inter-query** scenario: `--clients N[,N...]`
+//! closed-loop clients fire a TPC-H (or, with `--query ssb-*`, SSB)
+//! query mix through one `Session`, comparing the shared morsel
+//! scheduler (worker count fixed at `--threads`) against the old
+//! spawn-per-query behavior (`--mode pool|spawn|both`), and reporting
+//! QPS, p50/p95/p99 latency and per-query scheduler stats (admission
+//! wait, queue wait, morsels, steals). Example:
+//! `experiments -- serve --sf 0.1 --clients 1,4,16 --duration-ms 2000`.
 
 use dbep_bench::{counters_note, fmt_ms, measure_counters, per_tuple_header, per_tuple_row, time_median};
 use dbep_core::Session;
@@ -35,7 +45,8 @@ use dbep_runtime::hash::HashFn;
 use dbep_runtime::rng::SmallRng;
 use dbep_storage::Database;
 use dbep_vectorized::SimdPolicy;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct Args {
     id: String,
@@ -48,6 +59,12 @@ struct Args {
     query: Option<QueryId>,
     /// `--engine typer` narrows engine loops to one paradigm.
     engine: Option<Engine>,
+    /// `serve`: closed-loop client counts (`--clients 1,4,16`).
+    clients: Vec<usize>,
+    /// `serve`: measured duration per scenario in milliseconds.
+    duration_ms: u64,
+    /// `serve`: `pool`, `spawn`, or `both`.
+    mode: String,
 }
 
 impl Args {
@@ -94,6 +111,9 @@ fn parse_args() -> Args {
         json: false,
         query: None,
         engine: None,
+        clients: vec![4],
+        duration_ms: 2000,
+        mode: "both".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -112,6 +132,30 @@ fn parse_args() -> Args {
             "--engine" => {
                 let name = it.next().expect("--engine <name>");
                 args.engine = Some(name.parse().unwrap_or_else(|e| panic!("{e}")));
+            }
+            "--clients" => {
+                args.clients = it
+                    .next()
+                    .expect("--clients N[,N...]")
+                    .split(',')
+                    .map(|c| c.parse().expect("numeric client count"))
+                    .collect();
+                assert!(!args.clients.is_empty(), "--clients needs at least one count");
+            }
+            "--duration-ms" => {
+                args.duration_ms = it
+                    .next()
+                    .expect("--duration-ms N")
+                    .parse()
+                    .expect("numeric duration")
+            }
+            "--mode" => {
+                let m = it.next().expect("--mode pool|spawn|both");
+                assert!(
+                    matches!(m.as_str(), "pool" | "spawn" | "both"),
+                    "unknown mode {m:?} (expected pool|spawn|both)"
+                );
+                args.mode = m;
             }
             other if args.id.is_empty() && !other.starts_with('-') => args.id = other.to_string(),
             other => panic!("unknown argument {other}"),
@@ -644,7 +688,7 @@ fn fig9(a: &Args) {
         for k in 0..n as u64 {
             shard.push(dbep_runtime::murmur2(k), (k as i32, k as i64));
         }
-        let ht = JoinHt::from_shards_cfg(vec![shard], 1, !a.no_tag);
+        let ht = JoinHt::from_shards_cfg(vec![shard], &dbep_runtime::ExecCtx::inline(), !a.no_tag);
         let ws = ht.memory_bytes();
         // 50% hit rate: keys drawn from twice the build domain.
         let keys: Vec<i32> = (0..probes)
@@ -976,6 +1020,269 @@ fn query(a: &Args) {
     println!("\n{}", reference.expect("at least one engine").to_table());
 }
 
+// ---------------------------------------------------------------------
+// `serve`: the inter-query benchmark — N closed-loop clients fire a
+// query mix through one Session, pooled (shared morsel scheduler,
+// worker count fixed at --threads) versus spawn-per-query (the
+// pre-scheduler behavior). Reports QPS, p50/p95/p99 latency and
+// per-query scheduler stats; one JSON document with --json.
+// ---------------------------------------------------------------------
+
+/// Completed-request record of one closed-loop client.
+struct ServeSample {
+    pair: usize,
+    latency: Duration,
+    stats: dbep_core::scheduler::RunStats,
+}
+
+struct ServeScenario {
+    mode: &'static str,
+    clients: usize,
+    elapsed: Duration,
+    samples: Vec<ServeSample>,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn serve_scenario(
+    db: &Arc<Database>,
+    mode: &'static str,
+    threads: usize,
+    clients: usize,
+    duration: Duration,
+    pairs: &[(QueryId, Engine)],
+) -> ServeScenario {
+    let cfg = ExecCfg::with_threads(threads);
+    let session = match mode {
+        "pool" => Session::with_cfg(Arc::clone(db), cfg),
+        _ => Session::without_pool(Arc::clone(db), cfg),
+    };
+    let prepared: Vec<_> = pairs.iter().map(|(q, _)| session.prepare(*q)).collect();
+    // Warm up every pair once (first-touch effects) before the clock.
+    for (i, (_, engine)) in pairs.iter().enumerate() {
+        std::mem::drop(prepared[i].run(*engine));
+    }
+    let start = Instant::now();
+    let deadline = start + duration;
+    let samples = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for client in 0..clients {
+            let (prepared, pairs, samples) = (&prepared, &pairs, &samples);
+            s.spawn(move || {
+                let mut local = Vec::new();
+                let mut k = client; // stagger each client's walk of the mix
+                while Instant::now() < deadline {
+                    let pair = k % pairs.len();
+                    let (_, engine) = pairs[pair];
+                    let t0 = Instant::now();
+                    let (result, stats) = prepared[pair].run_with_stats(engine);
+                    std::hint::black_box(&result);
+                    local.push(ServeSample {
+                        pair,
+                        latency: t0.elapsed(),
+                        stats,
+                    });
+                    k += 1;
+                }
+                samples.lock().expect("serve samples").extend(local);
+            });
+        }
+    });
+    ServeScenario {
+        mode,
+        clients,
+        elapsed: start.elapsed(),
+        samples: samples.into_inner().expect("serve samples"),
+    }
+}
+
+fn serve(a: &Args) {
+    let sf = a.sf.unwrap_or(0.1);
+    let threads = a.threads.unwrap_or_else(cores);
+    let duration = std::time::Duration::from_millis(a.duration_ms);
+    // One database per run: TPC-H unless --query picks an SSB flight.
+    let ssb_selected = a.query.is_some_and(|q| QueryId::SSB.contains(&q));
+    let base: &[QueryId] = if ssb_selected {
+        &QueryId::SSB
+    } else {
+        &QueryId::TPCH
+    };
+    let db = Arc::new(if ssb_selected { gen_ssb(sf) } else { gen_tpch(sf) });
+    // Default engine mix: the paper's two fast paradigms; Volcano only
+    // by explicit --engine volcano (it would dominate the closed loop).
+    let engines = match a.engine {
+        Some(e) => vec![e],
+        None => vec![Engine::Typer, Engine::Tectorwise],
+    };
+    let pairs: Vec<(QueryId, Engine)> = a
+        .queries(base)
+        .into_iter()
+        .flat_map(|q| engines.iter().map(move |&e| (q, e)))
+        .collect();
+    let modes: Vec<&'static str> = match a.mode.as_str() {
+        "pool" => vec!["pool"],
+        "spawn" => vec!["spawn"],
+        _ => vec!["spawn", "pool"],
+    };
+    let mut scenarios = Vec::new();
+    for &clients in &a.clients {
+        for mode in &modes {
+            eprintln!("[serve] mode={mode} clients={clients} threads={threads} duration={duration:?}");
+            scenarios.push(serve_scenario(&db, mode, threads, clients, duration, &pairs));
+        }
+    }
+    if a.json {
+        serve_json(a, sf, threads, &pairs, &scenarios);
+    } else {
+        serve_text(sf, threads, &pairs, &scenarios);
+    }
+}
+
+fn serve_text(sf: f64, threads: usize, pairs: &[(QueryId, Engine)], scenarios: &[ServeScenario]) {
+    println!("# serve — closed-loop query serving, SF={sf}, {threads} worker threads");
+    println!(
+        "# mix: {}",
+        pairs
+            .iter()
+            .map(|(q, e)| format!("{}/{}", q.name(), e.name()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!(
+        "{:<6} {:>8} {:>9} {:>10} {:>10} {:>10} {:>10}",
+        "mode", "clients", "queries", "QPS", "p50", "p95", "p99"
+    );
+    for sc in scenarios {
+        let mut lat: Vec<Duration> = sc.samples.iter().map(|s| s.latency).collect();
+        lat.sort_unstable();
+        println!(
+            "{:<6} {:>8} {:>9} {:>10.2} {:>10} {:>10} {:>10}",
+            sc.mode,
+            sc.clients,
+            sc.samples.len(),
+            sc.samples.len() as f64 / sc.elapsed.as_secs_f64(),
+            fmt_ms(percentile(&lat, 0.50)),
+            fmt_ms(percentile(&lat, 0.95)),
+            fmt_ms(percentile(&lat, 0.99)),
+        );
+    }
+    // Per-query scheduler stats of the most concurrent pooled scenario.
+    if let Some(sc) = scenarios
+        .iter()
+        .filter(|s| s.mode == "pool")
+        .max_by_key(|s| s.clients)
+    {
+        println!("\n## per-query scheduler stats (pool, {} clients)", sc.clients);
+        println!(
+            "{:<18} {:>8} {:>12} {:>12} {:>10} {:>8}",
+            "query/engine", "runs", "avg admit", "avg queue", "morsels", "steals"
+        );
+        for (pair, (q, e)) in pairs.iter().enumerate() {
+            let runs: Vec<&ServeSample> = sc.samples.iter().filter(|s| s.pair == pair).collect();
+            if runs.is_empty() {
+                continue;
+            }
+            let n = runs.len() as u32;
+            let admit: Duration = runs.iter().map(|s| s.stats.admission_wait).sum::<Duration>() / n;
+            let queue: Duration = runs.iter().map(|s| s.stats.queue_wait).sum::<Duration>() / n;
+            println!(
+                "{:<18} {:>8} {:>12} {:>12} {:>10} {:>8}",
+                format!("{}/{}", q.name(), e.name()),
+                n,
+                format!("{:.2?}", admit),
+                format!("{:.2?}", queue),
+                runs.iter().map(|s| s.stats.morsels).sum::<u64>(),
+                runs.iter().map(|s| s.stats.steals).sum::<u64>(),
+            );
+        }
+    }
+}
+
+fn serve_json(a: &Args, sf: f64, threads: usize, pairs: &[(QueryId, Engine)], scenarios: &[ServeScenario]) {
+    use dbep_bench::json;
+    let rendered = scenarios.iter().map(|sc| {
+        let mut lat: Vec<Duration> = sc.samples.iter().map(|s| s.latency).collect();
+        lat.sort_unstable();
+        let per_query = pairs.iter().enumerate().filter_map(|(pair, (q, e))| {
+            let runs: Vec<&ServeSample> = sc.samples.iter().filter(|s| s.pair == pair).collect();
+            if runs.is_empty() {
+                return None;
+            }
+            let n = runs.len() as f64;
+            let sum_ms = runs.iter().map(|s| s.latency.as_secs_f64() * 1e3).sum::<f64>();
+            Some(
+                json::Object::new()
+                    .field("query", json::string(q.name()))
+                    .field("engine", json::string(e.name()))
+                    .field("runs", format!("{}", runs.len()))
+                    .field("avg_ms", json::number(sum_ms / n))
+                    .field(
+                        "avg_admission_wait_ms",
+                        json::number(
+                            runs.iter()
+                                .map(|s| s.stats.admission_wait.as_secs_f64() * 1e3)
+                                .sum::<f64>()
+                                / n,
+                        ),
+                    )
+                    .field(
+                        "avg_queue_wait_ms",
+                        json::number(
+                            runs.iter()
+                                .map(|s| s.stats.queue_wait.as_secs_f64() * 1e3)
+                                .sum::<f64>()
+                                / n,
+                        ),
+                    )
+                    .field(
+                        "morsels",
+                        format!("{}", runs.iter().map(|s| s.stats.morsels).sum::<u64>()),
+                    )
+                    .field(
+                        "steals",
+                        format!("{}", runs.iter().map(|s| s.stats.steals).sum::<u64>()),
+                    )
+                    .build(),
+            )
+        });
+        json::Object::new()
+            .field("mode", json::string(sc.mode))
+            .field("clients", format!("{}", sc.clients))
+            .field("queries_completed", format!("{}", sc.samples.len()))
+            .field(
+                "qps",
+                json::number(sc.samples.len() as f64 / sc.elapsed.as_secs_f64()),
+            )
+            .field("p50_ms", json::number(percentile(&lat, 0.50).as_secs_f64() * 1e3))
+            .field("p95_ms", json::number(percentile(&lat, 0.95).as_secs_f64() * 1e3))
+            .field("p99_ms", json::number(percentile(&lat, 0.99).as_secs_f64() * 1e3))
+            .field("per_query", json::array(per_query))
+            .build()
+    });
+    let doc = json::Object::new()
+        .field("experiment", json::string("serve"))
+        .field("sf", json::number(sf))
+        .field("threads", format!("{threads}"))
+        .field("duration_ms", format!("{}", a.duration_ms))
+        .field(
+            "mix",
+            json::array(
+                pairs
+                    .iter()
+                    .map(|(q, e)| json::string(&format!("{}/{}", q.name(), e.name()))),
+            ),
+        )
+        .field("scenarios", json::array(rendered))
+        .build();
+    println!("{doc}");
+}
+
 type Experiment = fn(&Args);
 
 fn main() {
@@ -1000,6 +1307,7 @@ fn main() {
         ("oltp", oltp),
         ("table6", table6),
         ("query", query),
+        ("serve", serve),
     ];
     if args.id == "all" {
         for (name, f) in &all {

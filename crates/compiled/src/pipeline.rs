@@ -13,7 +13,7 @@
 //! the hot path; pipeline breakers are ordinary sinks that absorb rows
 //! into shared state (hash-table shards, aggregation shards).
 
-use dbep_runtime::{scope_workers, Morsels};
+use dbep_runtime::{ExecCtx, Morsels};
 
 /// A consumer of rows of type `T` — the `consume` side of an operator.
 /// Implementations must be `#[inline]`-friendly; the whole point is that
@@ -64,28 +64,32 @@ impl<T, U, F: FnMut(T) -> U, S: Sink<U>> Sink<T> for Map<F, S> {
 pub struct Pipeline;
 
 impl Pipeline {
-    /// Run the pipeline over `total` tuples with `threads` workers.
+    /// Run the pipeline over `total` tuples on `exec` — the shared
+    /// worker pool when one is attached, scoped workers otherwise.
     ///
-    /// `make_sink(worker)` builds each worker's fused operator chain
-    /// (thread-local state lives inside the sinks); `finish` receives
-    /// every worker's sink after its scan loop ends — the point where a
-    /// pipeline breaker hands its shard to shared state.
-    pub fn run<S, MS, FIN>(total: usize, threads: usize, make_sink: MS, finish: FIN)
+    /// `make_sink(worker)` builds each participating worker's fused
+    /// operator chain (worker-local state lives inside the sinks);
+    /// `finish` receives every built sink after the scan's pipeline
+    /// barrier — the point where a pipeline breaker hands its shard to
+    /// shared state.
+    pub fn run<S, MS, FIN>(exec: &ExecCtx, total: usize, make_sink: MS, finish: FIN)
     where
-        S: Sink<usize>,
+        S: Sink<usize> + Send,
         MS: Fn(usize) -> S + Sync,
-        FIN: Fn(usize, S) + Sync,
+        FIN: Fn(usize, S),
     {
-        let morsels = Morsels::new(total);
-        scope_workers(threads, |w| {
-            let mut sink = make_sink(w);
-            while let Some(range) = morsels.claim() {
+        let sinks = exec.map_slots(
+            Morsels::new(total),
+            |w| (w, make_sink(w)),
+            |(_, sink), range| {
                 for i in range {
                     sink.push(i);
                 }
-            }
+            },
+        );
+        for (w, sink) in sinks {
             finish(w, sink);
-        });
+        }
     }
 }
 
@@ -111,8 +115,8 @@ mod tests {
             }
         }
         Pipeline::run(
+            &ExecCtx::spawn(4),
             10_000,
-            4,
             |_w| Filter {
                 pred: |i: &usize| i.is_multiple_of(3),
                 next: Map {
@@ -132,8 +136,8 @@ mod tests {
     fn single_threaded_runs_inline() {
         let count = AtomicI64::new(0);
         Pipeline::run(
+            &ExecCtx::inline(),
             100,
-            1,
             |_| |_i: usize| {},
             |w, _| {
                 assert_eq!(w, 0);
@@ -148,8 +152,8 @@ mod tests {
         let seen = (0..1000).map(|_| AtomicI64::new(0)).collect::<Vec<_>>();
         let seen = &seen;
         Pipeline::run(
+            &ExecCtx::spawn(8),
             1000,
-            8,
             |_| {
                 move |i: usize| {
                     seen[i].fetch_add(1, Ordering::Relaxed);

@@ -13,6 +13,7 @@ pub use dbep_compiled as compiled;
 pub use dbep_datagen as datagen;
 pub use dbep_queries as queries;
 pub use dbep_runtime as runtime;
+pub use dbep_scheduler as scheduler;
 pub use dbep_storage as storage;
 pub use dbep_vectorized as vectorized;
 pub use dbep_volcano as volcano;
@@ -26,6 +27,7 @@ pub mod prelude {
         self, params::Params, result::QueryResult, run, run_with, Engine, ExecCfg, QueryId,
     };
     pub use dbep_runtime::hash::HashFn;
+    pub use dbep_scheduler::{RunStats, Scheduler};
     pub use dbep_storage::{self, Database, Table, Value};
     pub use dbep_vectorized::SimdPolicy;
 }

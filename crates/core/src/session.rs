@@ -1,11 +1,20 @@
-//! Prepare-once / run-many execution facade.
+//! Prepare-once / run-many execution facade over a shared scheduler.
 //!
 //! Production analytical traffic is dominated by repeated parameterized
-//! templates, so the serving shape is: open a [`Session`] over a shared
-//! database, [`Session::prepare`] a query once (validating and binding
-//! its substitution parameters), then run the resulting
-//! [`PreparedQuery`] as many times as needed — from as many threads as
-//! needed — with per-call engine and [`ExecCfg`] overrides.
+//! templates fired by many concurrent clients, so the serving shape is:
+//! open a [`Session`] over a shared database, [`Session::prepare`] a
+//! query once (validating and binding its substitution parameters),
+//! then run the resulting [`PreparedQuery`] as many times as needed —
+//! from as many threads as needed — with per-call engine and
+//! [`ExecCfg`] overrides.
+//!
+//! Every session owns an `Arc<`[`Scheduler`]`>`: a **persistent pool of
+//! `ExecCfg.threads` workers** that executes the morsels of *all* the
+//! session's concurrently running queries (§6.1 morsel-driven
+//! parallelism, extended across queries). Client threads submit and
+//! wait; worker count stays fixed no matter how many clients fire — the
+//! spawn-per-query behavior of the standalone `dbep_queries::run` path
+//! is available via [`Session::without_pool`] for comparison.
 //!
 //! With default parameters a prepared query reproduces the paper's
 //! workload instance byte-for-byte; with bound [`Params`] it runs any
@@ -30,32 +39,63 @@
 use dbep_queries::params::Params;
 use dbep_queries::result::QueryResult;
 use dbep_queries::{plan, Engine, ExecCfg, QueryId, QueryPlan};
+use dbep_scheduler::{RunStats, Scheduler, DEFAULT_PRIORITY};
 use dbep_storage::Database;
 use std::sync::Arc;
 
-/// A connection-like handle owning a shared database and a default
-/// execution configuration.
+/// A connection-like handle owning a shared database, a default
+/// execution configuration, and the scheduler pool queries execute on.
 ///
-/// Cloning is cheap (the database is behind an [`Arc`]); sessions and
-/// the prepared queries they hand out are `Send + Sync`, so one session
-/// can serve concurrent callers.
+/// Cloning is cheap (database and scheduler are behind [`Arc`]s);
+/// sessions and the prepared queries they hand out are `Send + Sync`,
+/// so one session can serve concurrent callers — their queries
+/// interleave at morsel granularity on the fixed worker pool.
 #[derive(Clone)]
 pub struct Session {
     db: Arc<Database>,
     cfg: ExecCfg<'static>,
+    sched: Option<Arc<Scheduler>>,
 }
 
 impl Session {
     /// Open a session with the default [`ExecCfg`] (single thread,
-    /// 1K vectors, scalar primitives).
+    /// 1K vectors, scalar primitives) and a pool of one worker.
     pub fn new(db: impl Into<Arc<Database>>) -> Self {
         Session::with_cfg(db, ExecCfg::default())
     }
 
-    /// Open a session with an explicit default configuration; per-call
-    /// overrides remain possible via [`PreparedQuery::run_with`].
+    /// Open a session with an explicit default configuration; the
+    /// scheduler pool is sized to `cfg.threads` workers. Per-call
+    /// overrides remain possible via [`PreparedQuery::run_with`]
+    /// (`threads` then caps the query's share of the pool).
     pub fn with_cfg(db: impl Into<Arc<Database>>, cfg: ExecCfg<'static>) -> Self {
-        Session { db: db.into(), cfg }
+        let sched = Arc::new(Scheduler::new(cfg.threads));
+        Session::with_scheduler(db, cfg, sched)
+    }
+
+    /// Open a session on an existing scheduler pool — several sessions
+    /// (e.g. over different databases) can share one set of workers.
+    pub fn with_scheduler(
+        db: impl Into<Arc<Database>>,
+        cfg: ExecCfg<'static>,
+        sched: Arc<Scheduler>,
+    ) -> Self {
+        Session {
+            db: db.into(),
+            cfg,
+            sched: Some(sched),
+        }
+    }
+
+    /// Open a session **without** a scheduler pool: every run falls
+    /// back to spawn-per-query scoped threads (the pre-scheduler
+    /// behavior) — the baseline the `serve` benchmark compares against.
+    pub fn without_pool(db: impl Into<Arc<Database>>, cfg: ExecCfg<'static>) -> Self {
+        Session {
+            db: db.into(),
+            cfg,
+            sched: None,
+        }
     }
 
     /// The shared database.
@@ -68,6 +108,12 @@ impl Session {
         &self.cfg
     }
 
+    /// The shared scheduler pool (`None` for a
+    /// [`Session::without_pool`] session).
+    pub fn scheduler(&self) -> Option<&Arc<Scheduler>> {
+        self.sched.as_ref()
+    }
+
     /// Prepare `query` with the paper's default parameters (§3.3).
     pub fn prepare(&self, query: QueryId) -> PreparedQuery {
         self.prepare_params(Params::default_for(query))
@@ -77,7 +123,7 @@ impl Session {
     ///
     /// Parameters are validated and normalized when constructed (see
     /// [`dbep_queries::params`]); preparation resolves the plan once so
-    /// every subsequent run is dispatch + execute.
+    /// every subsequent run is admission + dispatch + execute.
     pub fn prepare_params(&self, params: impl Into<Params>) -> PreparedQuery {
         let params = params.into();
         PreparedQuery {
@@ -85,21 +131,26 @@ impl Session {
             cfg: self.cfg,
             plan: plan(params.query()),
             params,
+            sched: self.sched.clone(),
+            priority: DEFAULT_PRIORITY,
         }
     }
 }
 
 /// A validated, bound, re-runnable query: plan resolved, parameters
-/// normalized, database pinned.
+/// normalized, database pinned, scheduler attached.
 ///
 /// `Sync` by construction — one prepared query may be run from many
-/// threads concurrently (each run is read-only over the database and
-/// allocates its own execution state).
+/// threads concurrently (each run is read-only over the database,
+/// allocates its own execution state, and registers separately with
+/// the scheduler's admission gate).
 pub struct PreparedQuery {
     db: Arc<Database>,
     cfg: ExecCfg<'static>,
     plan: &'static dyn QueryPlan,
     params: Params,
+    sched: Option<Arc<Scheduler>>,
+    priority: usize,
 }
 
 impl PreparedQuery {
@@ -111,6 +162,19 @@ impl PreparedQuery {
     /// The bound parameters.
     pub fn params(&self) -> &Params {
         &self.params
+    }
+
+    /// Scheduling priority of this query's runs: picks per round-robin
+    /// cycle of the shared pool (clamped to
+    /// `1..=`[`dbep_scheduler::MAX_PRIORITY`]). Default 1.
+    pub fn with_priority(mut self, priority: usize) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// The configured scheduling priority.
+    pub fn priority(&self) -> usize {
+        self.priority
     }
 
     /// Tuples scanned per execution (the §3.4 normalization
@@ -126,9 +190,35 @@ impl PreparedQuery {
 
     /// Execute on `engine` with a per-call configuration override
     /// (thread count, vector size, SIMD policy, hash function,
-    /// throttle).
+    /// throttle). With a pooled session the run first passes the
+    /// admission gate, then submits every pipeline to the shared
+    /// workers; `cfg.threads` caps this query's concurrent workers.
     pub fn run_with(&self, engine: Engine, cfg: &ExecCfg) -> QueryResult {
-        self.plan.run(engine, &self.db, cfg, &self.params)
+        self.run_traced(engine, cfg).0
+    }
+
+    /// As [`PreparedQuery::run`], also returning the scheduler-side
+    /// [`RunStats`] of this execution (zeros for a pool-less session).
+    pub fn run_with_stats(&self, engine: Engine) -> (QueryResult, RunStats) {
+        self.run_traced(engine, &self.cfg)
+    }
+
+    fn run_traced(&self, engine: Engine, cfg: &ExecCfg) -> (QueryResult, RunStats) {
+        match &self.sched {
+            Some(sched) => {
+                let run = sched.begin_query(self.priority);
+                let cfg = ExecCfg {
+                    sched: Some(&run),
+                    ..*cfg
+                };
+                let result = self.plan.run(engine, &self.db, &cfg, &self.params);
+                (result, run.stats())
+            }
+            None => (
+                self.plan.run(engine, &self.db, cfg, &self.params),
+                RunStats::default(),
+            ),
+        }
     }
 }
 
@@ -180,7 +270,7 @@ mod tests {
 
     #[test]
     fn prepared_query_runs_concurrently() {
-        let session = Session::new(tiny_db());
+        let session = Session::with_cfg(tiny_db(), ExecCfg::with_threads(2));
         let q18 = session.prepare_params(Q18Params::new(280).unwrap());
         let reference = q18.run(Engine::Typer);
         std::thread::scope(|s| {
@@ -192,5 +282,49 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn pooled_and_poolless_sessions_agree() {
+        let pooled = Session::with_cfg(tiny_db(), ExecCfg::with_threads(3));
+        let spawning = Session::without_pool(tiny_db(), ExecCfg::with_threads(3));
+        assert!(pooled.scheduler().is_some());
+        assert!(spawning.scheduler().is_none());
+        for q in [QueryId::Q3, QueryId::Ssb1_1] {
+            // SSB queries need the SSB database; skip them on TPC-H.
+            if QueryId::SSB.contains(&q) {
+                continue;
+            }
+            for engine in Engine::ALL {
+                assert_eq!(pooled.prepare(q).run(engine), spawning.prepare(q).run(engine));
+            }
+        }
+    }
+
+    #[test]
+    fn run_with_stats_reports_scheduler_counters() {
+        let session = Session::with_cfg(tiny_db(), ExecCfg::with_threads(2));
+        let q6 = session.prepare(QueryId::Q6).with_priority(3);
+        assert_eq!(q6.priority(), 3);
+        let (result, stats) = q6.run_with_stats(Engine::Typer);
+        assert_eq!(result.len(), 1);
+        assert!(stats.tasks >= 1, "Q6 submits at least its scan pipeline");
+        assert!(stats.morsels >= 1);
+        // Pool-less sessions report zeros.
+        let spawning = Session::without_pool(tiny_db(), ExecCfg::default());
+        let (_, stats) = spawning.prepare(QueryId::Q6).run_with_stats(Engine::Typer);
+        assert_eq!(stats, RunStats::default());
+    }
+
+    #[test]
+    fn sessions_can_share_one_scheduler() {
+        let sched = Arc::new(Scheduler::new(2));
+        let a = Session::with_scheduler(tiny_db(), ExecCfg::with_threads(2), Arc::clone(&sched));
+        let b = Session::with_scheduler(tiny_db(), ExecCfg::with_threads(2), Arc::clone(&sched));
+        assert_eq!(
+            a.prepare(QueryId::Q6).run(Engine::Typer),
+            b.prepare(QueryId::Q6).run(Engine::Typer)
+        );
+        assert_eq!(sched.live_workers(), 2, "shared pool stays at its fixed size");
     }
 }

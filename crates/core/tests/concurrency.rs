@@ -1,0 +1,143 @@
+//! Inter-query concurrency: all 36 (engine, query) pairs fired from 8
+//! client threads through one shared `Session`/`Scheduler`, checked
+//! against the single-threaded oracle, with the worker count pinned to
+//! the pool size throughout — plus shutdown tests proving no worker
+//! threads outlive their scheduler.
+
+use dbep_core::prelude::*;
+use dbep_core::scheduler::Scheduler;
+use dbep_core::Session;
+use std::sync::Arc;
+
+const SF: f64 = 0.01;
+const SEED: u64 = 42;
+const CLIENTS: usize = 8;
+const POOL_WORKERS: usize = 2;
+
+/// Every (query, engine) pair of the study, TPC-H and SSB: 12 × 3 = 36.
+fn all_pairs() -> Vec<(QueryId, Engine)> {
+    QueryId::ALL
+        .into_iter()
+        .flat_map(|q| Engine::ALL.into_iter().map(move |e| (q, e)))
+        .collect()
+}
+
+#[test]
+fn all_36_pairs_from_8_clients_match_the_oracle() {
+    let tpch = Arc::new(dbep_datagen::tpch::generate(SF, SEED));
+    let ssb = Arc::new(dbep_datagen::ssb::generate(SF, SEED));
+
+    // Single-threaded oracle: the free-run path, no pool, default cfg.
+    let oracle_cfg = ExecCfg::default();
+    let oracle: Vec<QueryResult> = all_pairs()
+        .into_iter()
+        .map(|(q, e)| {
+            let db: &Database = if QueryId::SSB.contains(&q) { &ssb } else { &tpch };
+            run(e, q, db, &oracle_cfg)
+        })
+        .collect();
+
+    // One shared pool under two sessions (TPC-H + SSB databases).
+    let sched = Arc::new(Scheduler::new(POOL_WORKERS));
+    let cfg = ExecCfg::with_threads(POOL_WORKERS);
+    let tpch_session = Session::with_scheduler(Arc::clone(&tpch), cfg, Arc::clone(&sched));
+    let ssb_session = Session::with_scheduler(Arc::clone(&ssb), cfg, Arc::clone(&sched));
+    let prepared: Vec<_> = all_pairs()
+        .iter()
+        .map(|(q, _)| {
+            if QueryId::SSB.contains(q) {
+                ssb_session.prepare(*q)
+            } else {
+                tpch_session.prepare(*q)
+            }
+        })
+        .collect();
+
+    let pairs = all_pairs();
+    let live = sched.live_counter();
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let (prepared, pairs, oracle, sched, live) = (&prepared, &pairs, &oracle, &sched, &live);
+            s.spawn(move || {
+                // Release (the CI stress configuration): every client
+                // walks the full 36-pair mix from a different offset, so
+                // at any moment distinct queries are in flight. Debug:
+                // the clients stride the mix between them (still all 36
+                // pairs, still concurrent) to keep `cargo test` quick.
+                let indices: Vec<usize> = if cfg!(debug_assertions) {
+                    (client..pairs.len()).step_by(CLIENTS).collect()
+                } else {
+                    (0..pairs.len()).map(|k| (k + client * 5) % pairs.len()).collect()
+                };
+                for i in indices {
+                    let (q, e) = pairs[i];
+                    let (result, stats) = prepared[i].run_with_stats(e);
+                    assert_eq!(
+                        result,
+                        oracle[i],
+                        "{}/{} diverged under concurrency",
+                        q.name(),
+                        e.name()
+                    );
+                    assert!(
+                        stats.morsels > 0,
+                        "{}/{} ran no morsels on the pool",
+                        q.name(),
+                        e.name()
+                    );
+                    // Worker count stays fixed at the pool size no matter
+                    // how many clients are firing.
+                    assert_eq!(
+                        live.load(std::sync::atomic::Ordering::SeqCst),
+                        POOL_WORKERS,
+                        "worker threads escaped the pool bound"
+                    );
+                    assert_eq!(sched.live_workers(), POOL_WORKERS);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn session_drop_leaks_no_worker_threads() {
+    let db = Arc::new(dbep_datagen::tpch::generate(SF, SEED));
+    let live = {
+        let session = Session::with_cfg(Arc::clone(&db), ExecCfg::with_threads(4));
+        let sched = session.scheduler().expect("pooled session").clone();
+        assert_eq!(sched.live_workers(), 4);
+        let q6 = session.prepare(QueryId::Q6);
+        assert_eq!(q6.run(Engine::Typer), q6.run(Engine::Tectorwise));
+        assert_eq!(sched.live_workers(), 4, "running queries must not grow the pool");
+        let live = sched.live_counter();
+        drop(q6);
+        drop(session);
+        drop(sched);
+        live
+    };
+    assert_eq!(
+        live.load(std::sync::atomic::Ordering::SeqCst),
+        0,
+        "worker threads leaked after the session (and its scheduler) dropped"
+    );
+}
+
+#[test]
+fn cloned_sessions_share_one_pool() {
+    let db = Arc::new(dbep_datagen::tpch::generate(SF, SEED));
+    let session = Session::with_cfg(Arc::clone(&db), ExecCfg::with_threads(2));
+    let clone = session.clone();
+    assert!(Arc::ptr_eq(
+        session.scheduler().expect("pooled"),
+        clone.scheduler().expect("pooled")
+    ));
+    let reference = session.prepare(QueryId::Q12).run(Engine::Volcano);
+    std::thread::scope(|s| {
+        for session in [&session, &clone] {
+            s.spawn(|| {
+                assert_eq!(session.prepare(QueryId::Q12).run(Engine::Volcano), reference);
+            });
+        }
+    });
+    assert_eq!(session.scheduler().expect("pooled").live_workers(), 2);
+}

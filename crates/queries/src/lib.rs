@@ -31,14 +31,20 @@ pub mod tpch;
 pub use params::Params;
 
 use dbep_runtime::hash::HashFn;
+use dbep_runtime::{ExecCtx, Morsels};
+use dbep_scheduler::QueryRun;
 use dbep_storage::throttle::Throttle;
 use dbep_vectorized::SimdPolicy;
+use std::ops::Range;
 
 /// Execution configuration shared by all engines.
 ///
 /// `vector_size` and `policy` only affect Tectorwise; `hash` defaults to
 /// each engine's §4.1 choice (Murmur2 for TW, CRC for Typer) unless
-/// overridden for the ablation.
+/// overridden for the ablation. `sched` attaches the run to a shared
+/// [`dbep_scheduler::Scheduler`] pool (set by `dbep_core::Session` per
+/// execution); without it, parallel regions fall back to
+/// spawn-per-query scoped threads.
 #[derive(Clone, Copy)]
 pub struct ExecCfg<'a> {
     pub threads: usize,
@@ -48,6 +54,8 @@ pub struct ExecCfg<'a> {
     pub hash: Option<HashFn>,
     /// Optional bandwidth-limited storage device (Table 5).
     pub throttle: Option<&'a Throttle>,
+    /// Admitted scheduler run this execution submits its pipelines to.
+    pub sched: Option<&'a QueryRun>,
 }
 
 impl Default for ExecCfg<'_> {
@@ -58,6 +66,7 @@ impl Default for ExecCfg<'_> {
             policy: SimdPolicy::Scalar,
             hash: None,
             throttle: None,
+            sched: None,
         }
     }
 }
@@ -86,6 +95,43 @@ impl<'a> ExecCfg<'a> {
         if let Some(t) = self.throttle {
             t.consume(rows * bytes_per_row);
         }
+    }
+
+    /// The execution context parallel regions run on: pooled when a
+    /// scheduler run is attached, spawn-per-query otherwise.
+    pub fn exec(&self) -> ExecCtx<'a> {
+        ExecCtx {
+            threads: self.threads,
+            run: self.sched,
+        }
+    }
+
+    /// **The** morsel-driven scan loop every plan runs on, replacing the
+    /// per-query `scope_workers` + `while let Some(r) = morsels.claim()`
+    /// idiom the plans used to hand-roll: `fold(state, range)` runs for
+    /// every morsel of `0..total`, paced against the configured storage
+    /// device, on the shared pool when a scheduler run is attached.
+    /// Per-worker state (build shards, pre-aggregation shards, vector
+    /// scratch, local accumulators) lives in slots: `init(worker)`
+    /// creates a slot's state on its first morsel, and the
+    /// participating workers' states come back for the merge step.
+    ///
+    /// Note on throttling: [`ExecCfg::pace`] sleeps inside the morsel
+    /// body, i.e. **on the pool workers** when pooled — an emulated
+    /// IO-stalled morsel occupies its worker just like a real blocking
+    /// read would, so a throttled query slows co-scheduled queries the
+    /// way a saturated shared device does.
+    pub fn map_scan<T: Send>(
+        &self,
+        total: usize,
+        bytes_per_row: usize,
+        init: impl Fn(usize) -> T + Sync,
+        fold: impl Fn(&mut T, Range<usize>) + Sync,
+    ) -> Vec<T> {
+        self.exec().map_slots(Morsels::new(total), init, |state, r| {
+            self.pace(r.len(), bytes_per_row);
+            fold(state, r);
+        })
     }
 }
 

@@ -22,6 +22,7 @@ use dbep_vectorized::SimdPolicy;
 
 /// Reusable scratch for a chain of Tectorwise dimension probes over one
 /// fact chunk.
+#[derive(Default)]
 pub(crate) struct ProbeScratch {
     hashes: Vec<u64>,
     ordinals: Vec<u32>,
@@ -29,14 +30,6 @@ pub(crate) struct ProbeScratch {
 }
 
 impl ProbeScratch {
-    pub(crate) fn new() -> Self {
-        ProbeScratch {
-            hashes: Vec::new(),
-            ordinals: Vec::new(),
-            bufs: tw::ProbeBuffers::new(),
-        }
-    }
-
     /// Probe `ht` with `fact_keys[rows[i]]`. After the call,
     /// `self.bufs.match_tuple` holds the surviving *ordinals* into
     /// `rows` and `self.bufs.match_entry` the matched entries; use

@@ -10,10 +10,9 @@
 use crate::params::SsbQ11Params;
 use crate::result::{QueryResult, Value};
 use crate::{ExecCfg, Params};
-use dbep_runtime::{scope_workers, JoinHt, Morsels};
+use dbep_runtime::JoinHt;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
-use std::sync::atomic::{AtomicI64, Ordering};
 
 const LO_BYTES: usize = 4 + 8 + 8 + 8;
 
@@ -42,24 +41,22 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ11Params) -> QueryResult {
     let disc = lo.col("lo_discount").i64s();
     let qty = lo.col("lo_quantity").i64s();
     let ext = lo.col("lo_extendedprice").i64s();
-    let m = Morsels::new(lo.len());
-    let total = AtomicI64::new(0);
-    scope_workers(cfg.threads, |_| {
-        let mut local = 0i64;
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), LO_BYTES);
+    let locals = cfg.map_scan(
+        lo.len(),
+        LO_BYTES,
+        |_| 0i64,
+        |local, r| {
             for i in r {
                 if disc[i] >= disc_lo && disc[i] <= disc_hi && qty[i] < qty_hi {
                     let h = hf.hash(od[i] as u64);
                     if ht_d.probe(h).any(|e| e.row == od[i]) {
-                        local += ext[i] * disc[i];
+                        *local += ext[i] * disc[i];
                     }
                 }
             }
-        }
-        total.fetch_add(local, Ordering::Relaxed);
-    });
-    finish(total.load(Ordering::Relaxed))
+        },
+    );
+    finish(locals.into_iter().sum())
 }
 
 /// Tectorwise: two selections, one probe, gather/multiply/sum.
@@ -73,59 +70,67 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &SsbQ11Params) -> QueryResult
     let disc = lo.col("lo_discount").i64s();
     let qty = lo.col("lo_quantity").i64s();
     let ext = lo.col("lo_extendedprice").i64s();
-    let m = Morsels::new(lo.len());
-    let total = AtomicI64::new(0);
-    scope_workers(cfg.threads, |_| {
-        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
-        let (mut s1, mut s2, mut hashes) = (Vec::new(), Vec::new(), Vec::new());
-        let mut bufs = tw::ProbeBuffers::new();
-        let (mut v_ext, mut v_disc, mut v_rev) = (Vec::new(), Vec::new(), Vec::new());
-        let mut local = 0i64;
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), LO_BYTES);
-            if tw::sel::sel_between_i64_dense(
-                &disc[c.clone()],
-                disc_lo,
-                disc_hi,
-                c.start as u32,
-                &mut s1,
-                policy,
-            ) == 0
-            {
-                continue;
+    #[derive(Default)]
+    struct Scratch {
+        local: i64,
+        s1: Vec<u32>,
+        s2: Vec<u32>,
+        hashes: Vec<u64>,
+        bufs: tw::ProbeBuffers,
+        v_ext: Vec<i64>,
+        v_disc: Vec<i64>,
+        v_rev: Vec<i64>,
+    }
+    let locals = cfg.map_scan(
+        lo.len(),
+        LO_BYTES,
+        |_| Scratch::default(),
+        |st, r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                if tw::sel::sel_between_i64_dense(
+                    &disc[c.clone()],
+                    disc_lo,
+                    disc_hi,
+                    c.start as u32,
+                    &mut st.s1,
+                    policy,
+                ) == 0
+                {
+                    continue;
+                }
+                if tw::sel::sel_lt_i64_sparse(qty, qty_hi, &st.s1, &mut st.s2, policy) == 0 {
+                    continue;
+                }
+                tw::hashp::hash_i32(od, &st.s2, hf, &mut st.hashes);
+                if tw::probe::probe_join(
+                    &ht_d,
+                    &st.hashes,
+                    &st.s2,
+                    |row, t| *row == od[t as usize],
+                    policy,
+                    &mut st.bufs,
+                ) == 0
+                {
+                    continue;
+                }
+                tw::gather::gather_i64(ext, &st.bufs.match_tuple, policy, &mut st.v_ext);
+                tw::gather::gather_i64(disc, &st.bufs.match_tuple, policy, &mut st.v_disc);
+                tw::map::map_mul_i64(&st.v_ext, &st.v_disc, &mut st.v_rev);
+                st.local += tw::map::sum_i64(&st.v_rev, policy);
             }
-            if tw::sel::sel_lt_i64_sparse(qty, qty_hi, &s1, &mut s2, policy) == 0 {
-                continue;
-            }
-            tw::hashp::hash_i32(od, &s2, hf, &mut hashes);
-            if tw::probe::probe_join(
-                &ht_d,
-                &hashes,
-                &s2,
-                |row, t| *row == od[t as usize],
-                policy,
-                &mut bufs,
-            ) == 0
-            {
-                continue;
-            }
-            tw::gather::gather_i64(ext, &bufs.match_tuple, policy, &mut v_ext);
-            tw::gather::gather_i64(disc, &bufs.match_tuple, policy, &mut v_disc);
-            tw::map::map_mul_i64(&v_ext, &v_disc, &mut v_rev);
-            local += tw::map::sum_i64(&v_rev, policy);
-        }
-        total.fetch_add(local, Ordering::Relaxed);
-    });
-    finish(total.load(Ordering::Relaxed))
+        },
+    );
+    finish(locals.into_iter().map(|s| s.local).sum())
 }
 
 /// Volcano: interpreted join + aggregate; `threads` partition the fact
 /// scan through the exchange union, partial sums merge here.
 pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ11Params) -> QueryResult {
+    use dbep_runtime::Morsels;
     use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Scan, Select};
     let lo = db.table("lineorder");
     let m = Morsels::new(lo.len());
-    let partials = exchange::union(cfg.threads, |_| {
+    let partials = exchange::union(&cfg.exec(), |_| {
         let dates = Select {
             input: Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"]).paced(cfg.throttle)),
             pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(p.year)),

@@ -16,7 +16,7 @@ use crate::ssb::{realign_i32, realign_u32, ProbeScratch};
 use crate::{ExecCfg, Params};
 use dbep_datagen::ssb::NATIONS;
 use dbep_runtime::agg_ht::merge_partitions;
-use dbep_runtime::{map_workers, GroupByShard, JoinHt, Morsels};
+use dbep_runtime::{GroupByShard, JoinHt};
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
@@ -99,11 +99,11 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ41Params) -> QueryResult {
     let lod = lo.col("lo_orderdate").i32s();
     let rev = lo.col("lo_revenue").i64s();
     let cost = lo.col("lo_supplycost").i64s();
-    let m = Morsels::new(lo.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut shard: GroupByShard<Key, i64> = GroupByShard::new(PREAGG_GROUPS);
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), LO_BYTES);
+    let shards = cfg.map_scan(
+        lo.len(),
+        LO_BYTES,
+        |_| GroupByShard::<Key, i64>::new(PREAGG_GROUPS),
+        |shard, r| {
             for i in r {
                 let hs = hf.hash(lsk[i] as u64);
                 if !dims.ht_s.probe(hs).any(|e| e.row == lsk[i]) {
@@ -125,10 +125,10 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ41Params) -> QueryResult {
                 let gh = hf.rehash(hf.hash(key.0 as u64), key.1 as u64);
                 shard.update(gh, key, || 0, |a| *a += rev[i] - cost[i]);
             }
-        }
-        shard.finish()
-    });
-    finish(merge_partitions(shards, cfg.threads, |a, b| *a += b))
+        },
+    );
+    let shards = shards.into_iter().map(GroupByShard::finish).collect();
+    finish(merge_partitions(shards, &cfg.exec(), |a, b| *a += b))
 }
 
 /// Tectorwise: probe steps with realignment.
@@ -143,81 +143,115 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &SsbQ41Params) -> QueryResult
     let lod = lo.col("lo_orderdate").i32s();
     let rev = lo.col("lo_revenue").i64s();
     let cost = lo.col("lo_supplycost").i64s();
-    let m = Morsels::new(lo.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut shard: GroupByShard<Key, i64> = GroupByShard::new(PREAGG_GROUPS);
-        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
-        let mut scratch = ProbeScratch::new();
-        let mut gb = tw::grouping::GroupBuffers::new();
-        let (mut rows0, mut rows1, mut rows2, mut rows3, mut rows4) =
-            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        let (mut v_cnat, mut v_cnat2, mut v_cnat3, mut v_year) =
-            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        let (mut v_rev, mut v_cost, mut v_profit) = (Vec::new(), Vec::new(), Vec::new());
-        let (mut ghash, mut ordinals, mut v_profit_sel) = (Vec::new(), Vec::new(), Vec::new());
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), LO_BYTES);
-            tw::hashp::iota(c.start as u32, c.len(), &mut rows0);
-            if scratch.probe_step(&dims.ht_s, lsk, &rows0, hf, policy, |e, k| *e == k) == 0 {
-                continue;
-            }
-            realign_u32(&rows0, &scratch.bufs.match_tuple, &mut rows1);
-            if scratch.probe_step(&dims.ht_c, lck, &rows1, hf, policy, |e, k| e.0 == k) == 0 {
-                continue;
-            }
-            tw::gather::gather_build(&dims.ht_c, &scratch.bufs.match_entry, |r| r.1, &mut v_cnat);
-            realign_u32(&rows1, &scratch.bufs.match_tuple, &mut rows2);
-            if scratch.probe_step(&dims.ht_p, lpk, &rows2, hf, policy, |e, k| *e == k) == 0 {
-                continue;
-            }
-            realign_i32(&v_cnat, &scratch.bufs.match_tuple, &mut v_cnat2);
-            realign_u32(&rows2, &scratch.bufs.match_tuple, &mut rows3);
-            let n = scratch.probe_step(&dims.ht_d, lod, &rows3, hf, policy, |e, k| e.0 == k);
-            if n == 0 {
-                continue;
-            }
-            tw::gather::gather_build(&dims.ht_d, &scratch.bufs.match_entry, |r| r.1, &mut v_year);
-            realign_i32(&v_cnat2, &scratch.bufs.match_tuple, &mut v_cnat3);
-            realign_u32(&rows3, &scratch.bufs.match_tuple, &mut rows4);
-            tw::gather::gather_i64(rev, &rows4, policy, &mut v_rev);
-            tw::gather::gather_i64(cost, &rows4, policy, &mut v_cost);
-            tw::map::map_sub_i64(&v_rev, &v_cost, &mut v_profit);
-            tw::hashp::iota(0, n, &mut ordinals);
-            tw::hashp::hash_i32_dense(&v_year, hf, &mut ghash);
-            tw::hashp::rehash_i32(&v_cnat3, &ordinals, hf, &mut ghash);
-            tw::grouping::find_groups(
-                &shard.ht,
-                &ghash,
-                &ordinals,
-                |k, j| {
+    #[derive(Default)]
+    struct Scratch {
+        probe: ProbeScratch,
+        gb: tw::grouping::GroupBuffers,
+        rows0: Vec<u32>,
+        rows1: Vec<u32>,
+        rows2: Vec<u32>,
+        rows3: Vec<u32>,
+        rows4: Vec<u32>,
+        v_cnat: Vec<i32>,
+        v_cnat2: Vec<i32>,
+        v_cnat3: Vec<i32>,
+        v_year: Vec<i32>,
+        v_rev: Vec<i64>,
+        v_cost: Vec<i64>,
+        v_profit: Vec<i64>,
+        ghash: Vec<u64>,
+        ordinals: Vec<u32>,
+        v_profit_sel: Vec<i64>,
+    }
+    let shards = cfg.map_scan(
+        lo.len(),
+        LO_BYTES,
+        |_| (GroupByShard::<Key, i64>::new(PREAGG_GROUPS), Scratch::default()),
+        |(shard, st), r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                tw::hashp::iota(c.start as u32, c.len(), &mut st.rows0);
+                if st
+                    .probe
+                    .probe_step(&dims.ht_s, lsk, &st.rows0, hf, policy, |e, k| *e == k)
+                    == 0
+                {
+                    continue;
+                }
+                realign_u32(&st.rows0, &st.probe.bufs.match_tuple, &mut st.rows1);
+                if st
+                    .probe
+                    .probe_step(&dims.ht_c, lck, &st.rows1, hf, policy, |e, k| e.0 == k)
+                    == 0
+                {
+                    continue;
+                }
+                tw::gather::gather_build(&dims.ht_c, &st.probe.bufs.match_entry, |r| r.1, &mut st.v_cnat);
+                realign_u32(&st.rows1, &st.probe.bufs.match_tuple, &mut st.rows2);
+                if st
+                    .probe
+                    .probe_step(&dims.ht_p, lpk, &st.rows2, hf, policy, |e, k| *e == k)
+                    == 0
+                {
+                    continue;
+                }
+                realign_i32(&st.v_cnat, &st.probe.bufs.match_tuple, &mut st.v_cnat2);
+                realign_u32(&st.rows2, &st.probe.bufs.match_tuple, &mut st.rows3);
+                let n = st
+                    .probe
+                    .probe_step(&dims.ht_d, lod, &st.rows3, hf, policy, |e, k| e.0 == k);
+                if n == 0 {
+                    continue;
+                }
+                tw::gather::gather_build(&dims.ht_d, &st.probe.bufs.match_entry, |r| r.1, &mut st.v_year);
+                realign_i32(&st.v_cnat2, &st.probe.bufs.match_tuple, &mut st.v_cnat3);
+                realign_u32(&st.rows3, &st.probe.bufs.match_tuple, &mut st.rows4);
+                tw::gather::gather_i64(rev, &st.rows4, policy, &mut st.v_rev);
+                tw::gather::gather_i64(cost, &st.rows4, policy, &mut st.v_cost);
+                tw::map::map_sub_i64(&st.v_rev, &st.v_cost, &mut st.v_profit);
+                tw::hashp::iota(0, n, &mut st.ordinals);
+                tw::hashp::hash_i32_dense(&st.v_year, hf, &mut st.ghash);
+                tw::hashp::rehash_i32(&st.v_cnat3, &st.ordinals, hf, &mut st.ghash);
+                let (v_year, v_cnat3) = (&st.v_year, &st.v_cnat3);
+                tw::grouping::find_groups(
+                    &shard.ht,
+                    &st.ghash,
+                    &st.ordinals,
+                    |k, j| {
+                        let j = j as usize;
+                        k.0 == v_year[j] && k.1 == v_cnat3[j]
+                    },
+                    &mut st.gb,
+                );
+                for &j in &st.gb.miss_sel {
                     let j = j as usize;
-                    k.0 == v_year[j] && k.1 == v_cnat3[j]
-                },
-                &mut gb,
-            );
-            for &j in &gb.miss_sel {
-                let j = j as usize;
-                shard.update(ghash[j], (v_year[j], v_cnat3[j]), || 0, |a| *a += v_profit[j]);
+                    shard.update(
+                        st.ghash[j],
+                        (st.v_year[j], st.v_cnat3[j]),
+                        || 0,
+                        |a| *a += st.v_profit[j],
+                    );
+                }
+                if st.gb.groups.is_empty() {
+                    continue;
+                }
+                tw::gather::gather_i64(&st.v_profit, &st.gb.group_sel, policy, &mut st.v_profit_sel);
+                tw::grouping::agg_update_i64(&mut shard.ht, &st.gb.groups, &st.v_profit_sel, |a, v| *a += v);
             }
-            if gb.groups.is_empty() {
-                continue;
-            }
-            tw::gather::gather_i64(&v_profit, &gb.group_sel, policy, &mut v_profit_sel);
-            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_profit_sel, |a, v| *a += v);
-        }
-        shard.finish()
-    });
-    finish(merge_partitions(shards, cfg.threads, |a, b| *a += b))
+        },
+    );
+    let shards = shards.into_iter().map(|(shard, _)| shard.finish()).collect();
+    finish(merge_partitions(shards, &cfg.exec(), |a, b| *a += b))
 }
 
 /// Volcano: interpreted joins. The fact scan is morsel-partitioned
 /// across `cfg.threads` workers; partial groups re-aggregate in a final
 /// merge pass.
 pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ41Params) -> QueryResult {
+    use dbep_runtime::Morsels;
     use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Rows, Scan, Select, Val};
     let lo = db.table("lineorder");
     let m = Morsels::new(lo.len());
-    let partials = exchange::union(cfg.threads, |_| {
+    let partials = exchange::union(&cfg.exec(), |_| {
         let supp_f = Select {
             input: Box::new(
                 Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_region"]).paced(cfg.throttle),

@@ -18,7 +18,7 @@ use crate::params::Q1Params;
 use crate::result::{avg_i64, OrderBy, QueryResult, Value};
 use crate::{ExecCfg, Params};
 use dbep_runtime::agg_ht::merge_partitions;
-use dbep_runtime::{map_workers, GroupByShard, Morsels};
+use dbep_runtime::GroupByShard;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
@@ -100,11 +100,11 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q1Params) -> QueryResult {
     let rf = li.col("l_returnflag").chars();
     let ls = li.col("l_linestatus").chars();
     let hf = cfg.typer_hash();
-    let morsels = Morsels::new(li.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut shard: GroupByShard<(u8, u8), Q1Agg> = GroupByShard::new(PREAGG_GROUPS);
-        while let Some(r) = morsels.claim() {
-            cfg.pace(r.len(), BYTES_PER_ROW);
+    let shards = cfg.map_scan(
+        li.len(),
+        BYTES_PER_ROW,
+        |_| GroupByShard::<(u8, u8), Q1Agg>::new(PREAGG_GROUPS),
+        |shard, r| {
             for i in r {
                 if ship[i] <= ship_cut {
                     // All intermediates live in registers until the
@@ -123,10 +123,10 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q1Params) -> QueryResult {
                     });
                 }
             }
-        }
-        shard.finish()
-    });
-    finish(merge_partitions(shards, cfg.threads, Q1Agg::merge))
+        },
+    );
+    let shards = shards.into_iter().map(GroupByShard::finish).collect();
+    finish(merge_partitions(shards, &cfg.exec(), Q1Agg::merge))
 }
 
 /// Tectorwise: selection → hash → find-groups → one aggregate-update
@@ -144,78 +144,104 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q1Params) -> QueryResult {
     let ls = li.col("l_linestatus").chars();
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
-    let morsels = Morsels::new(li.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut shard: GroupByShard<(u8, u8), Q1Agg> = GroupByShard::new(PREAGG_GROUPS);
-        let mut src = tw::ChunkSource::new(&morsels, cfg.vector_size);
-        let mut sel = Vec::new();
-        let mut hashes = Vec::new();
-        let mut gb = tw::grouping::GroupBuffers::new();
-        let (mut v_qty, mut v_ext, mut v_disc, mut v_tax) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        let (mut v_om, mut v_dp, mut v_ot, mut v_ch) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), BYTES_PER_ROW);
-            let n = tw::sel::sel_le_i32_dense(&ship[c.clone()], ship_cut, c.start as u32, &mut sel, policy);
-            if n == 0 {
-                continue;
-            }
-            tw::hashp::hash_u8(rf, &sel, hf, &mut hashes);
-            tw::hashp::rehash_u8(ls, &sel, hf, &mut hashes);
-            tw::grouping::find_groups(
-                &shard.ht,
-                &hashes,
-                &sel,
-                |k, t| k.0 == rf[t as usize] && k.1 == ls[t as usize],
-                &mut gb,
-            );
-            // Misses: per-tuple find-or-insert on the private shard
-            // (DESIGN.md simplification of the equal-key shuffle).
-            for &t in &gb.miss_sel {
-                let t = t as usize;
-                let key = (rf[t], ls[t]);
-                let h = hf.rehash(hf.hash(key.0 as u64), key.1 as u64);
-                let disc_price = ext[t] * (100 - disc[t]);
-                shard.update(h, key, Q1Agg::default, |a| {
-                    a.qty += qty[t];
-                    a.base += ext[t];
-                    a.disc_price += disc_price;
-                    a.charge += disc_price as i128 * (100 + tax[t]) as i128;
-                    a.disc += disc[t];
-                    a.count += 1;
+    #[derive(Default)]
+    struct Scratch {
+        sel: Vec<u32>,
+        hashes: Vec<u64>,
+        gb: tw::grouping::GroupBuffers,
+        v_qty: Vec<i64>,
+        v_ext: Vec<i64>,
+        v_disc: Vec<i64>,
+        v_tax: Vec<i64>,
+        v_om: Vec<i64>,
+        v_dp: Vec<i64>,
+        v_ot: Vec<i64>,
+        v_ch: Vec<i64>,
+    }
+    let shards = cfg.map_scan(
+        li.len(),
+        BYTES_PER_ROW,
+        |_| {
+            (
+                GroupByShard::<(u8, u8), Q1Agg>::new(PREAGG_GROUPS),
+                Scratch::default(),
+            )
+        },
+        |(shard, st), r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                let n = tw::sel::sel_le_i32_dense(
+                    &ship[c.clone()],
+                    ship_cut,
+                    c.start as u32,
+                    &mut st.sel,
+                    policy,
+                );
+                if n == 0 {
+                    continue;
+                }
+                tw::hashp::hash_u8(rf, &st.sel, hf, &mut st.hashes);
+                tw::hashp::rehash_u8(ls, &st.sel, hf, &mut st.hashes);
+                tw::grouping::find_groups(
+                    &shard.ht,
+                    &st.hashes,
+                    &st.sel,
+                    |k, t| k.0 == rf[t as usize] && k.1 == ls[t as usize],
+                    &mut st.gb,
+                );
+                // Misses: per-tuple find-or-insert on the private shard
+                // (DESIGN.md simplification of the equal-key shuffle).
+                for &t in &st.gb.miss_sel {
+                    let t = t as usize;
+                    let key = (rf[t], ls[t]);
+                    let h = hf.rehash(hf.hash(key.0 as u64), key.1 as u64);
+                    let disc_price = ext[t] * (100 - disc[t]);
+                    shard.update(h, key, Q1Agg::default, |a| {
+                        a.qty += qty[t];
+                        a.base += ext[t];
+                        a.disc_price += disc_price;
+                        a.charge += disc_price as i128 * (100 + tax[t]) as i128;
+                        a.disc += disc[t];
+                        a.count += 1;
+                    });
+                }
+                if st.gb.groups.is_empty() {
+                    continue;
+                }
+                // Hits: vector-at-a-time, one primitive per step/aggregate.
+                tw::gather::gather_i64(qty, &st.gb.group_sel, policy, &mut st.v_qty);
+                tw::grouping::agg_update_i64(&mut shard.ht, &st.gb.groups, &st.v_qty, |a, v| a.qty += v);
+                tw::gather::gather_i64(ext, &st.gb.group_sel, policy, &mut st.v_ext);
+                tw::grouping::agg_update_i64(&mut shard.ht, &st.gb.groups, &st.v_ext, |a, v| a.base += v);
+                tw::gather::gather_i64(disc, &st.gb.group_sel, policy, &mut st.v_disc);
+                tw::map::map_rsub_const_i64(100, &st.v_disc, &mut st.v_om);
+                tw::map::map_mul_i64(&st.v_ext, &st.v_om, &mut st.v_dp);
+                tw::grouping::agg_update_i64(&mut shard.ht, &st.gb.groups, &st.v_dp, |a, v| {
+                    a.disc_price += v
                 });
+                tw::gather::gather_i64(tax, &st.gb.group_sel, policy, &mut st.v_tax);
+                tw::map::map_add_const_i64(100, &st.v_tax, &mut st.v_ot);
+                tw::map::map_mul_i64(&st.v_dp, &st.v_ot, &mut st.v_ch);
+                tw::grouping::agg_update_i64(&mut shard.ht, &st.gb.groups, &st.v_ch, |a, v| {
+                    a.charge += v as i128
+                });
+                tw::grouping::agg_update_i64(&mut shard.ht, &st.gb.groups, &st.v_disc, |a, v| a.disc += v);
+                tw::grouping::agg_update_unit(&mut shard.ht, &st.gb.groups, |a| a.count += 1);
             }
-            if gb.groups.is_empty() {
-                continue;
-            }
-            // Hits: vector-at-a-time, one primitive per step/aggregate.
-            tw::gather::gather_i64(qty, &gb.group_sel, policy, &mut v_qty);
-            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_qty, |a, v| a.qty += v);
-            tw::gather::gather_i64(ext, &gb.group_sel, policy, &mut v_ext);
-            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_ext, |a, v| a.base += v);
-            tw::gather::gather_i64(disc, &gb.group_sel, policy, &mut v_disc);
-            tw::map::map_rsub_const_i64(100, &v_disc, &mut v_om);
-            tw::map::map_mul_i64(&v_ext, &v_om, &mut v_dp);
-            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_dp, |a, v| a.disc_price += v);
-            tw::gather::gather_i64(tax, &gb.group_sel, policy, &mut v_tax);
-            tw::map::map_add_const_i64(100, &v_tax, &mut v_ot);
-            tw::map::map_mul_i64(&v_dp, &v_ot, &mut v_ch);
-            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_ch, |a, v| a.charge += v as i128);
-            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_disc, |a, v| a.disc += v);
-            tw::grouping::agg_update_unit(&mut shard.ht, &gb.groups, |a| a.count += 1);
-        }
-        shard.finish()
-    });
-    finish(merge_partitions(shards, cfg.threads, Q1Agg::merge))
+        },
+    );
+    let shards = shards.into_iter().map(|(shard, _)| shard.finish()).collect();
+    finish(merge_partitions(shards, &cfg.exec(), Q1Agg::merge))
 }
 
 /// Volcano: interpreted tuple-at-a-time plan; `threads` partition the
 /// scan through the exchange union, and the per-worker partial groups
 /// re-aggregate through a final merge pass.
 pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q1Params) -> QueryResult {
+    use dbep_runtime::Morsels;
     use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, Project, Rows, Scan, Select, Val};
     let li = db.table("lineitem");
     let m = Morsels::new(li.len());
-    let partials = exchange::union(cfg.threads, |_| {
+    let partials = exchange::union(&cfg.exec(), |_| {
         let scan = Scan::new(
             li,
             &[

@@ -25,7 +25,7 @@ use crate::params::Q12Params;
 use crate::result::{OrderBy, QueryResult, Value};
 use crate::{ExecCfg, Params};
 use dbep_runtime::join_ht::JoinHtShard;
-use dbep_runtime::{map_workers, JoinHt, Morsels};
+use dbep_runtime::JoinHt;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
@@ -72,21 +72,20 @@ fn build_orders_ht(db: &Database, cfg: &ExecCfg, hf: dbep_runtime::hash::HashFn)
     let ord = db.table("orders");
     let okey = ord.col("o_orderkey").i32s();
     let prio = ord.col("o_orderpriority").strs();
-    let m = Morsels::new(ord.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<(i32, u8)> = JoinHtShard::new();
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), ORD_BYTES);
+    let shards = cfg.map_scan(
+        ord.len(),
+        ORD_BYTES,
+        |_| JoinHtShard::<(i32, u8)>::new(),
+        |sh, r| {
             for i in r {
                 // '1-URGENT' and '2-HIGH' are exactly the priorities whose
                 // leading byte is <= '2'.
                 let high = (prio.get_bytes(i)[0] <= b'2') as u8;
                 sh.push(hf.hash(okey[i] as u64), (okey[i], high));
             }
-        }
-        sh
-    });
-    JoinHt::from_shards(shards, cfg.threads)
+        },
+    );
+    JoinHt::from_shards(shards, &cfg.exec())
 }
 
 /// Typer: build, then one fused probe loop with branch-free counter
@@ -103,11 +102,11 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q12Params) -> QueryResult {
     let commit = li.col("l_commitdate").dates();
     let receipt = li.col("l_receiptdate").dates();
     let mode = li.col("l_shipmode").strs();
-    let m = Morsels::new(li.len());
-    let parts = map_workers(cfg.threads, |_| {
-        let mut counts: ModeCounts = [[0; 2]; 2];
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), LI_BYTES);
+    let parts = cfg.map_scan(
+        li.len(),
+        LI_BYTES,
+        |_| [[0i64; 2]; 2],
+        |counts: &mut ModeCounts, r| {
             for i in r {
                 let s = mode.get_bytes(i);
                 let g = match modes.iter().position(|&v| v == s) {
@@ -127,9 +126,8 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q12Params) -> QueryResult {
                     }
                 }
             }
-        }
-        counts
-    });
+        },
+    );
     finish(p, merge(parts))
 }
 
@@ -148,76 +146,85 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q12Params) -> QueryResult {
     let commit = li.col("l_commitdate").dates();
     let receipt = li.col("l_receiptdate").dates();
     let mode = li.col("l_shipmode").strs();
-    let m = Morsels::new(li.len());
-    let parts = map_workers(cfg.threads, |_| {
-        let mut counts: ModeCounts = [[0; 2]; 2];
-        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
-        let (mut s1, mut s2, mut s3, mut s4, mut s5) =
-            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        let mut hashes = Vec::new();
-        let mut bufs = tw::ProbeBuffers::new();
-        let (mut v_high, mut v_mode, mut mode_sel, mut f_sel) =
-            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), LI_BYTES);
-            // 1 dense IN-list + 4 sparse selections.
-            if tw::sel::sel_in_str_dense(mode, &modes, c.clone(), &mut s1) == 0 {
-                continue;
-            }
-            if tw::sel::sel_lt_i32_col_sparse(commit, receipt, &s1, &mut s2, policy) == 0 {
-                continue;
-            }
-            if tw::sel::sel_lt_i32_col_sparse(ship, commit, &s2, &mut s3, policy) == 0 {
-                continue;
-            }
-            if tw::sel::sel_ge_i32_sparse(receipt, receipt_lo, &s3, &mut s4, policy) == 0 {
-                continue;
-            }
-            if tw::sel::sel_lt_i32_sparse(receipt, receipt_hi, &s4, &mut s5, policy) == 0 {
-                continue;
-            }
-            tw::hashp::hash_i32(lok, &s5, hf, &mut hashes);
-            if tw::probe::probe_join(
-                &ht_ord,
-                &hashes,
-                &s5,
-                |row, t| row.0 == lok[t as usize],
-                policy,
-                &mut bufs,
-            ) == 0
-            {
-                continue;
-            }
-            // Dual CASE counters: gather the build-side high flag and the
-            // mode ordinal (full-string compare — IN-list members may
-            // share a prefix), split per mode, count each arm.
-            tw::gather::gather_build(&ht_ord, &bufs.match_entry, |r| r.1, &mut v_high);
-            tw::gather::gather_str_ordinal(mode, &bufs.match_tuple, &modes, &mut v_mode);
-            for (g, count) in counts.iter_mut().enumerate() {
-                let n = tw::sel::sel_eq_char_dense(&v_mode, g as u8, 0, &mut mode_sel);
-                if n == 0 {
+    #[derive(Default)]
+    struct Scratch {
+        s1: Vec<u32>,
+        s2: Vec<u32>,
+        s3: Vec<u32>,
+        s4: Vec<u32>,
+        s5: Vec<u32>,
+        hashes: Vec<u64>,
+        bufs: tw::ProbeBuffers,
+        v_high: Vec<u8>,
+        v_mode: Vec<u8>,
+        mode_sel: Vec<u32>,
+        f_sel: Vec<u8>,
+    }
+    let parts = cfg.map_scan(
+        li.len(),
+        LI_BYTES,
+        |_| ([[0i64; 2]; 2], Scratch::default()),
+        |(counts, st), r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                // 1 dense IN-list + 4 sparse selections.
+                if tw::sel::sel_in_str_dense(mode, &modes, c.clone(), &mut st.s1) == 0 {
                     continue;
                 }
-                tw::gather::gather_u8(&v_high, &mode_sel, &mut f_sel);
-                let high = tw::map::count_nonzero_u8(&f_sel, policy);
-                count[1] += high;
-                count[0] += n as i64 - high;
+                if tw::sel::sel_lt_i32_col_sparse(commit, receipt, &st.s1, &mut st.s2, policy) == 0 {
+                    continue;
+                }
+                if tw::sel::sel_lt_i32_col_sparse(ship, commit, &st.s2, &mut st.s3, policy) == 0 {
+                    continue;
+                }
+                if tw::sel::sel_ge_i32_sparse(receipt, receipt_lo, &st.s3, &mut st.s4, policy) == 0 {
+                    continue;
+                }
+                if tw::sel::sel_lt_i32_sparse(receipt, receipt_hi, &st.s4, &mut st.s5, policy) == 0 {
+                    continue;
+                }
+                tw::hashp::hash_i32(lok, &st.s5, hf, &mut st.hashes);
+                if tw::probe::probe_join(
+                    &ht_ord,
+                    &st.hashes,
+                    &st.s5,
+                    |row, t| row.0 == lok[t as usize],
+                    policy,
+                    &mut st.bufs,
+                ) == 0
+                {
+                    continue;
+                }
+                // Dual CASE counters: gather the build-side high flag and the
+                // mode ordinal (full-string compare — IN-list members may
+                // share a prefix), split per mode, count each arm.
+                tw::gather::gather_build(&ht_ord, &st.bufs.match_entry, |r| r.1, &mut st.v_high);
+                tw::gather::gather_str_ordinal(mode, &st.bufs.match_tuple, &modes, &mut st.v_mode);
+                for (g, count) in counts.iter_mut().enumerate() {
+                    let n = tw::sel::sel_eq_char_dense(&st.v_mode, g as u8, 0, &mut st.mode_sel);
+                    if n == 0 {
+                        continue;
+                    }
+                    tw::gather::gather_u8(&st.v_high, &st.mode_sel, &mut st.f_sel);
+                    let high = tw::map::count_nonzero_u8(&st.f_sel, policy);
+                    count[1] += high;
+                    count[0] += n as i64 - high;
+                }
             }
-        }
-        counts
-    });
-    finish(p, merge(parts))
+        },
+    );
+    finish(p, merge(parts.into_iter().map(|(c, _)| c).collect()))
 }
 
 /// Volcano: interpreted plan with the CASE arms as boolean-expression
 /// sums. The driving lineitem scan is morsel-partitioned across
 /// `cfg.threads` workers; partial groups re-aggregate in a merge pass.
 pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q12Params) -> QueryResult {
+    use dbep_runtime::Morsels;
     use dbep_volcano::{exchange, AggSpec, Aggregate, CmpOp, Expr, HashJoin, Rows, Scan, Select, Val};
     let li = db.table("lineitem");
     let m = Morsels::new(li.len());
     let str_lit = |s: &str| Expr::Const(Val::Str(s.to_string()));
-    let partials = exchange::union(cfg.threads, |_| {
+    let partials = exchange::union(&cfg.exec(), |_| {
         let li_f = Select {
             input: Box::new(
                 Scan::new(

@@ -22,7 +22,7 @@ use crate::params::Q14Params;
 use crate::result::{QueryResult, Value};
 use crate::{ExecCfg, Params};
 use dbep_runtime::join_ht::JoinHtShard;
-use dbep_runtime::{map_workers, JoinHt, Morsels};
+use dbep_runtime::JoinHt;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
@@ -46,19 +46,18 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
     let part = db.table("part");
     let pkey = part.col("p_partkey").i32s();
     let ptype = part.col("p_type").strs();
-    let m = Morsels::new(part.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<(i32, u8)> = JoinHtShard::new();
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), PART_BYTES);
+    let shards = cfg.map_scan(
+        part.len(),
+        PART_BYTES,
+        |_| JoinHtShard::<(i32, u8)>::new(),
+        |sh, r| {
             for i in r {
                 let promo = ptype.get_bytes(i).starts_with(prefix) as u8;
                 sh.push(hf.hash(pkey[i] as u64), (pkey[i], promo));
             }
-        }
-        sh
-    });
-    let ht_part = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let ht_part = JoinHt::from_shards(shards, &cfg.exec());
 
     // Pipeline 2: σ(lineitem) ⋈ HT_part → (promo, total).
     let li = db.table("lineitem");
@@ -66,11 +65,11 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
     let ship = li.col("l_shipdate").dates();
     let ext = li.col("l_extendedprice").i64s();
     let disc = li.col("l_discount").i64s();
-    let m = Morsels::new(li.len());
-    let parts = map_workers(cfg.threads, |_| {
-        let (mut promo, mut total) = (0i128, 0i128);
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), LI_BYTES);
+    let parts = cfg.map_scan(
+        li.len(),
+        LI_BYTES,
+        |_| (0i128, 0i128),
+        |(promo, total), r| {
             for i in r {
                 if ship[i] >= ship_lo && ship[i] < ship_hi {
                     let h = hf.hash(lpk[i] as u64);
@@ -78,15 +77,14 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
                         if e.row.0 == lpk[i] {
                             let rev = ext[i] * (100 - disc[i]);
                             // Branch-free CASE: the flag gates the summand.
-                            promo += (e.row.1 as i64 * rev) as i128;
-                            total += rev as i128;
+                            *promo += (e.row.1 as i64 * rev) as i128;
+                            *total += rev as i128;
                         }
                     }
                 }
             }
-        }
-        (promo, total)
-    });
+        },
+    );
     let (promo, total) = parts.into_iter().fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
     finish(promo, total)
 }
@@ -103,23 +101,30 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
     let part = db.table("part");
     let pkey = part.col("p_partkey").i32s();
     let ptype = part.col("p_type").strs();
-    let m = Morsels::new(part.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<(i32, u8)> = JoinHtShard::new();
-        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
-        let (mut all, mut flags, mut hashes) = (Vec::new(), Vec::new(), Vec::new());
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), PART_BYTES);
-            tw::hashp::iota(c.start as u32, c.len(), &mut all);
-            tw::map::map_str_prefix_flags(ptype, &all, prefix, policy, &mut flags);
-            tw::hashp::hash_i32(pkey, &all, hf, &mut hashes);
-            for (j, &t) in all.iter().enumerate() {
-                sh.push(hashes[j], (pkey[t as usize], flags[j]));
+    let shards = cfg.map_scan(
+        part.len(),
+        PART_BYTES,
+        |_| {
+            (
+                JoinHtShard::<(i32, u8)>::new(),
+                Vec::new(),
+                Vec::new(),
+                Vec::new(),
+            )
+        },
+        |(sh, all, flags, hashes), r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                tw::hashp::iota(c.start as u32, c.len(), all);
+                tw::map::map_str_prefix_flags(ptype, all, prefix, policy, flags);
+                tw::hashp::hash_i32(pkey, all, hf, hashes);
+                for (j, &t) in all.iter().enumerate() {
+                    sh.push(hashes[j], (pkey[t as usize], flags[j]));
+                }
             }
-        }
-        sh
-    });
-    let ht_part = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let shards = shards.into_iter().map(|(sh, ..)| sh).collect();
+    let ht_part = JoinHt::from_shards(shards, &cfg.exec());
 
     // Pipeline 2: σ(lineitem) ⋈ HT_part → (promo, total).
     let li = db.table("lineitem");
@@ -127,46 +132,60 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
     let ship = li.col("l_shipdate").dates();
     let ext = li.col("l_extendedprice").i64s();
     let disc = li.col("l_discount").i64s();
-    let m = Morsels::new(li.len());
-    let parts = map_workers(cfg.threads, |_| {
-        let (mut promo, mut total) = (0i128, 0i128);
-        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
-        let (mut s1, mut s2, mut hashes) = (Vec::new(), Vec::new(), Vec::new());
-        let mut bufs = tw::ProbeBuffers::new();
-        let (mut v_flag, mut v_ext, mut v_disc, mut v_om, mut v_rev) =
-            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), LI_BYTES);
-            if tw::sel::sel_ge_i32_dense(&ship[c.clone()], ship_lo, c.start as u32, &mut s1, policy) == 0 {
-                continue;
+    #[derive(Default)]
+    struct Scratch {
+        promo: i128,
+        total: i128,
+        s1: Vec<u32>,
+        s2: Vec<u32>,
+        hashes: Vec<u64>,
+        bufs: tw::ProbeBuffers,
+        v_flag: Vec<u8>,
+        v_ext: Vec<i64>,
+        v_disc: Vec<i64>,
+        v_om: Vec<i64>,
+        v_rev: Vec<i64>,
+    }
+    let parts = cfg.map_scan(
+        li.len(),
+        LI_BYTES,
+        |_| Scratch::default(),
+        |st, r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                if tw::sel::sel_ge_i32_dense(&ship[c.clone()], ship_lo, c.start as u32, &mut st.s1, policy)
+                    == 0
+                {
+                    continue;
+                }
+                if tw::sel::sel_lt_i32_sparse(ship, ship_hi, &st.s1, &mut st.s2, policy) == 0 {
+                    continue;
+                }
+                tw::hashp::hash_i32(lpk, &st.s2, hf, &mut st.hashes);
+                if tw::probe::probe_join(
+                    &ht_part,
+                    &st.hashes,
+                    &st.s2,
+                    |row, t| row.0 == lpk[t as usize],
+                    policy,
+                    &mut st.bufs,
+                ) == 0
+                {
+                    continue;
+                }
+                tw::gather::gather_build(&ht_part, &st.bufs.match_entry, |r| r.1, &mut st.v_flag);
+                tw::gather::gather_i64(ext, &st.bufs.match_tuple, policy, &mut st.v_ext);
+                tw::gather::gather_i64(disc, &st.bufs.match_tuple, policy, &mut st.v_disc);
+                tw::map::map_rsub_const_i64(100, &st.v_disc, &mut st.v_om);
+                tw::map::map_mul_i64(&st.v_ext, &st.v_om, &mut st.v_rev);
+                // Conditional (CASE) and total sums, one primitive each.
+                st.promo += tw::map::sum_i64_where_u8(&st.v_rev, &st.v_flag, policy) as i128;
+                st.total += tw::map::sum_i64(&st.v_rev, policy) as i128;
             }
-            if tw::sel::sel_lt_i32_sparse(ship, ship_hi, &s1, &mut s2, policy) == 0 {
-                continue;
-            }
-            tw::hashp::hash_i32(lpk, &s2, hf, &mut hashes);
-            if tw::probe::probe_join(
-                &ht_part,
-                &hashes,
-                &s2,
-                |row, t| row.0 == lpk[t as usize],
-                policy,
-                &mut bufs,
-            ) == 0
-            {
-                continue;
-            }
-            tw::gather::gather_build(&ht_part, &bufs.match_entry, |r| r.1, &mut v_flag);
-            tw::gather::gather_i64(ext, &bufs.match_tuple, policy, &mut v_ext);
-            tw::gather::gather_i64(disc, &bufs.match_tuple, policy, &mut v_disc);
-            tw::map::map_rsub_const_i64(100, &v_disc, &mut v_om);
-            tw::map::map_mul_i64(&v_ext, &v_om, &mut v_rev);
-            // Conditional (CASE) and total sums, one primitive each.
-            promo += tw::map::sum_i64_where_u8(&v_rev, &v_flag, policy) as i128;
-            total += tw::map::sum_i64(&v_rev, policy) as i128;
-        }
-        (promo, total)
-    });
-    let (promo, total) = parts.into_iter().fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        },
+    );
+    let (promo, total) = parts
+        .into_iter()
+        .fold((0, 0), |a, b| (a.0 + b.promo, a.1 + b.total));
     finish(promo, total)
 }
 
@@ -175,10 +194,11 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
 /// scan is morsel-partitioned across `cfg.threads` workers; partial sums
 /// add up here.
 pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
+    use dbep_runtime::Morsels;
     use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Scan, Select};
     let li = db.table("lineitem");
     let m = Morsels::new(li.len());
-    let partials = exchange::union(cfg.threads, |_| {
+    let partials = exchange::union(&cfg.exec(), |_| {
         let li_f = Select {
             input: Box::new(
                 Scan::new(li, &["l_partkey", "l_extendedprice", "l_discount", "l_shipdate"])

@@ -23,10 +23,9 @@ use crate::result::{OrderBy, QueryResult, Value};
 use crate::{ExecCfg, Params};
 use dbep_runtime::agg_ht::merge_partitions;
 use dbep_runtime::join_ht::JoinHtShard;
-use dbep_runtime::{map_workers, GroupByShard, JoinHt, Morsels};
+use dbep_runtime::{GroupByShard, JoinHt};
 use dbep_storage::Database;
 use dbep_vectorized as tw;
-use std::sync::Mutex;
 
 const LI_BYTES: usize = 4 + 8;
 const ORD_BYTES: usize = 4 + 4 + 4 + 8;
@@ -111,11 +110,11 @@ fn join_phases(
     let ocust = ord.col("o_custkey").i32s();
     let odate = ord.col("o_orderdate").dates();
     let ototal = ord.col("o_totalprice").i64s();
-    let m = Morsels::new(ord.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<OrdRow> = JoinHtShard::new();
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), ORD_BYTES);
+    let shards = cfg.map_scan(
+        ord.len(),
+        ORD_BYTES,
+        |_| JoinHtShard::<OrdRow>::new(),
+        |sh, r| {
             for i in r {
                 let h = hf.hash(okey[i] as u64);
                 for e in ht_sel.probe(h) {
@@ -127,19 +126,17 @@ fn join_phases(
                     }
                 }
             }
-        }
-        sh
-    });
-    let ht_cust = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let ht_cust = JoinHt::from_shards(shards, &cfg.exec());
     // Pipeline: customer ⋈ HT_cust → result rows.
     let cust = db.table("customer");
     let ckey = cust.col("c_custkey").i32s();
-    let m = Morsels::new(cust.len());
-    let out = Mutex::new(Vec::new());
-    dbep_runtime::scope_workers(cfg.threads, |_| {
-        let mut local = Vec::new();
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), CUST_BYTES);
+    let locals = cfg.map_scan(
+        cust.len(),
+        CUST_BYTES,
+        |_| Vec::new(),
+        |local, r| {
             for i in r {
                 let h = hf.hash(ckey[i] as u64);
                 for e in ht_cust.probe(h) {
@@ -148,10 +145,9 @@ fn join_phases(
                     }
                 }
             }
-        }
-        out.lock().expect("result lock").extend(local);
-    });
-    finish(db, out.into_inner().expect("result lock"))
+        },
+    );
+    finish(db, locals.into_iter().flatten().collect())
 }
 
 /// Typer: fused 1.5 M-group aggregation, then the two join pipelines.
@@ -161,18 +157,18 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q18Params) -> QueryResult {
     let li = db.table("lineitem");
     let lok = li.col("l_orderkey").i32s();
     let qty = li.col("l_quantity").i64s();
-    let m = Morsels::new(li.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut shard: GroupByShard<i32, i64> = GroupByShard::new(PREAGG_GROUPS);
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), LI_BYTES);
+    let shards = cfg.map_scan(
+        li.len(),
+        LI_BYTES,
+        |_| GroupByShard::<i32, i64>::new(PREAGG_GROUPS),
+        |shard, r| {
             for i in r {
                 shard.update(hf.hash(lok[i] as u64), lok[i], || 0, |a| *a += qty[i]);
             }
-        }
-        shard.finish()
-    });
-    let groups = merge_partitions(shards, cfg.threads, |a, b| *a += b);
+        },
+    );
+    let shards = shards.into_iter().map(GroupByShard::finish).collect();
+    let groups = merge_partitions(shards, &cfg.exec(), |a, b| *a += b);
     let big: Vec<(i32, i64)> = groups.into_iter().filter(|(_, q)| *q > qty_limit).collect();
     join_phases(db, cfg, big, hf)
 }
@@ -186,30 +182,42 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q18Params) -> QueryResult {
     let li = db.table("lineitem");
     let lok = li.col("l_orderkey").i32s();
     let qty = li.col("l_quantity").i64s();
-    let m = Morsels::new(li.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut shard: GroupByShard<i32, i64> = GroupByShard::new(PREAGG_GROUPS);
-        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
-        let (mut all, mut hashes, mut v_qty) = (Vec::new(), Vec::new(), Vec::new());
-        let mut gb = tw::grouping::GroupBuffers::new();
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), LI_BYTES);
-            tw::hashp::iota(c.start as u32, c.len(), &mut all);
-            tw::hashp::hash_i32(lok, &all, hf, &mut hashes);
-            tw::grouping::find_groups(&shard.ht, &hashes, &all, |k, t| *k == lok[t as usize], &mut gb);
-            for &t in &gb.miss_sel {
-                let t = t as usize;
-                shard.update(hf.hash(lok[t] as u64), lok[t], || 0, |a| *a += qty[t]);
+    #[derive(Default)]
+    struct Scratch {
+        all: Vec<u32>,
+        hashes: Vec<u64>,
+        v_qty: Vec<i64>,
+        gb: tw::grouping::GroupBuffers,
+    }
+    let shards = cfg.map_scan(
+        li.len(),
+        LI_BYTES,
+        |_| (GroupByShard::<i32, i64>::new(PREAGG_GROUPS), Scratch::default()),
+        |(shard, st), r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                tw::hashp::iota(c.start as u32, c.len(), &mut st.all);
+                tw::hashp::hash_i32(lok, &st.all, hf, &mut st.hashes);
+                tw::grouping::find_groups(
+                    &shard.ht,
+                    &st.hashes,
+                    &st.all,
+                    |k, t| *k == lok[t as usize],
+                    &mut st.gb,
+                );
+                for &t in &st.gb.miss_sel {
+                    let t = t as usize;
+                    shard.update(hf.hash(lok[t] as u64), lok[t], || 0, |a| *a += qty[t]);
+                }
+                if st.gb.groups.is_empty() {
+                    continue;
+                }
+                tw::gather::gather_i64(qty, &st.gb.group_sel, policy, &mut st.v_qty);
+                tw::grouping::agg_update_i64(&mut shard.ht, &st.gb.groups, &st.v_qty, |a, v| *a += v);
             }
-            if gb.groups.is_empty() {
-                continue;
-            }
-            tw::gather::gather_i64(qty, &gb.group_sel, policy, &mut v_qty);
-            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_qty, |a, v| *a += v);
-        }
-        shard.finish()
-    });
-    let groups = merge_partitions(shards, cfg.threads, |a, b| *a += b);
+        },
+    );
+    let shards = shards.into_iter().map(|(shard, _)| shard.finish()).collect();
+    let groups = merge_partitions(shards, &cfg.exec(), |a, b| *a += b);
     let big: Vec<(i32, i64)> = groups.into_iter().filter(|(_, q)| *q > qty_limit).collect();
     join_phases(db, cfg, big, hf)
 }
@@ -219,10 +227,11 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q18Params) -> QueryResult {
 /// workers; since `o_orderkey` is unique, each worker's output rows are
 /// disjoint and the union needs no re-aggregation.
 pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q18Params) -> QueryResult {
+    use dbep_runtime::Morsels;
     use dbep_volcano::{exchange, AggSpec, Aggregate, CmpOp, Expr, HashJoin, Scan, Select, Val};
     let ord = db.table("orders");
     let m = Morsels::new(ord.len());
-    let rows_raw = exchange::union(cfg.threads, |_| {
+    let rows_raw = exchange::union(&cfg.exec(), |_| {
         // Γ(lineitem) with HAVING.
         let agg = Aggregate::new(
             Box::new(Scan::new(db.table("lineitem"), &["l_orderkey", "l_quantity"]).paced(cfg.throttle)),

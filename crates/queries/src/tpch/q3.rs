@@ -21,7 +21,7 @@ use crate::result::{OrderBy, QueryResult, Value};
 use crate::{ExecCfg, Params};
 use dbep_runtime::agg_ht::merge_partitions;
 use dbep_runtime::join_ht::JoinHtShard;
-use dbep_runtime::{map_workers, GroupByShard, JoinHt, Morsels};
+use dbep_runtime::{GroupByShard, JoinHt};
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
@@ -60,20 +60,19 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
     let cust = db.table("customer");
     let seg = cust.col("c_mktsegment").strs();
     let ckey = cust.col("c_custkey").i32s();
-    let m = Morsels::new(cust.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<i32> = JoinHtShard::new();
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), CUST_BYTES);
+    let shards = cfg.map_scan(
+        cust.len(),
+        CUST_BYTES,
+        |_| JoinHtShard::<i32>::new(),
+        |sh, r| {
             for i in r {
                 if seg.get_bytes(i) == segment {
                     sh.push(hf.hash(ckey[i] as u64), ckey[i]);
                 }
             }
-        }
-        sh
-    });
-    let ht_c = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let ht_c = JoinHt::from_shards(shards, &cfg.exec());
 
     // Pipeline 2: σ(orders) ⋈ HT_c → HT_o.
     let ord = db.table("orders");
@@ -81,11 +80,11 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
     let ocust = ord.col("o_custkey").i32s();
     let odate = ord.col("o_orderdate").dates();
     let oprio = ord.col("o_shippriority").i32s();
-    let m = Morsels::new(ord.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<GroupKey> = JoinHtShard::new();
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), ORD_BYTES);
+    let shards = cfg.map_scan(
+        ord.len(),
+        ORD_BYTES,
+        |_| JoinHtShard::<GroupKey>::new(),
+        |sh, r| {
             for i in r {
                 if odate[i] < cut {
                     let h = hf.hash(ocust[i] as u64);
@@ -94,10 +93,9 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
                     }
                 }
             }
-        }
-        sh
-    });
-    let ht_o = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let ht_o = JoinHt::from_shards(shards, &cfg.exec());
 
     // Pipeline 3: σ(lineitem) ⋈ HT_o → Γ.
     let li = db.table("lineitem");
@@ -105,11 +103,11 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
     let ext = li.col("l_extendedprice").i64s();
     let disc = li.col("l_discount").i64s();
     let ship = li.col("l_shipdate").dates();
-    let m = Morsels::new(li.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut shard: GroupByShard<GroupKey, i64> = GroupByShard::new(PREAGG_GROUPS);
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), LI_BYTES);
+    let shards = cfg.map_scan(
+        li.len(),
+        LI_BYTES,
+        |_| GroupByShard::<GroupKey, i64>::new(PREAGG_GROUPS),
+        |shard, r| {
             for i in r {
                 if ship[i] > cut {
                     let h = hf.hash(lokey[i] as u64);
@@ -121,10 +119,10 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
                     }
                 }
             }
-        }
-        shard.finish()
-    });
-    finish(merge_partitions(shards, cfg.threads, |a, b| *a += b))
+        },
+    );
+    let shards = shards.into_iter().map(GroupByShard::finish).collect();
+    finish(merge_partitions(shards, &cfg.exec(), |a, b| *a += b))
 }
 
 /// Tectorwise: the same three pipelines as vector primitives.
@@ -136,25 +134,24 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
     let cust = db.table("customer");
     let seg = cust.col("c_mktsegment").strs();
     let ckey = cust.col("c_custkey").i32s();
-    let m = Morsels::new(cust.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<i32> = JoinHtShard::new();
-        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
-        let mut sel = Vec::new();
-        let mut hashes = Vec::new();
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), CUST_BYTES);
-            if tw::sel::sel_eq_str_dense(seg, segment, c, &mut sel) == 0 {
-                continue;
+    let shards = cfg.map_scan(
+        cust.len(),
+        CUST_BYTES,
+        |_| (JoinHtShard::<i32>::new(), Vec::new(), Vec::new()),
+        |(sh, sel, hashes), r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                if tw::sel::sel_eq_str_dense(seg, segment, c, sel) == 0 {
+                    continue;
+                }
+                tw::hashp::hash_i32(ckey, sel, hf, hashes);
+                for (j, &t) in sel.iter().enumerate() {
+                    sh.push(hashes[j], ckey[t as usize]);
+                }
             }
-            tw::hashp::hash_i32(ckey, &sel, hf, &mut hashes);
-            for (j, &t) in sel.iter().enumerate() {
-                sh.push(hashes[j], ckey[t as usize]);
-            }
-        }
-        sh
-    });
-    let ht_c = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let shards = shards.into_iter().map(|(sh, _, _)| sh).collect();
+    let ht_c = JoinHt::from_shards(shards, &cfg.exec());
 
     // Pipeline 2: σ(orders) ⋈ HT_c → HT_o.
     let ord = db.table("orders");
@@ -162,40 +159,45 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
     let ocust = ord.col("o_custkey").i32s();
     let odate = ord.col("o_orderdate").dates();
     let oprio = ord.col("o_shippriority").i32s();
-    let m = Morsels::new(ord.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<GroupKey> = JoinHtShard::new();
-        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
-        let mut sel = Vec::new();
-        let mut hashes = Vec::new();
-        let mut h2 = Vec::new();
-        let mut bufs = tw::ProbeBuffers::new();
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), ORD_BYTES);
-            if tw::sel::sel_lt_i32_dense(&odate[c.clone()], cut, c.start as u32, &mut sel, policy) == 0 {
-                continue;
+    #[derive(Default)]
+    struct P2Scratch {
+        sel: Vec<u32>,
+        hashes: Vec<u64>,
+        h2: Vec<u64>,
+        bufs: tw::ProbeBuffers,
+    }
+    let shards = cfg.map_scan(
+        ord.len(),
+        ORD_BYTES,
+        |_| (JoinHtShard::<GroupKey>::new(), P2Scratch::default()),
+        |(sh, st), r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                if tw::sel::sel_lt_i32_dense(&odate[c.clone()], cut, c.start as u32, &mut st.sel, policy) == 0
+                {
+                    continue;
+                }
+                tw::hashp::hash_i32(ocust, &st.sel, hf, &mut st.hashes);
+                if tw::probe::probe_join(
+                    &ht_c,
+                    &st.hashes,
+                    &st.sel,
+                    |row, t| *row == ocust[t as usize],
+                    policy,
+                    &mut st.bufs,
+                ) == 0
+                {
+                    continue;
+                }
+                tw::hashp::hash_i32(okey, &st.bufs.match_tuple, hf, &mut st.h2);
+                for (j, &t) in st.bufs.match_tuple.iter().enumerate() {
+                    let t = t as usize;
+                    sh.push(st.h2[j], (okey[t], odate[t], oprio[t]));
+                }
             }
-            tw::hashp::hash_i32(ocust, &sel, hf, &mut hashes);
-            if tw::probe::probe_join(
-                &ht_c,
-                &hashes,
-                &sel,
-                |row, t| *row == ocust[t as usize],
-                policy,
-                &mut bufs,
-            ) == 0
-            {
-                continue;
-            }
-            tw::hashp::hash_i32(okey, &bufs.match_tuple, hf, &mut h2);
-            for (j, &t) in bufs.match_tuple.iter().enumerate() {
-                let t = t as usize;
-                sh.push(h2[j], (okey[t], odate[t], oprio[t]));
-            }
-        }
-        sh
-    });
-    let ht_o = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let shards = shards.into_iter().map(|(sh, _)| sh).collect();
+    let ht_o = JoinHt::from_shards(shards, &cfg.exec());
 
     // Pipeline 3: σ(lineitem) ⋈ HT_o → Γ.
     let li = db.table("lineitem");
@@ -203,74 +205,92 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
     let ext = li.col("l_extendedprice").i64s();
     let disc = li.col("l_discount").i64s();
     let ship = li.col("l_shipdate").dates();
-    let m = Morsels::new(li.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut shard: GroupByShard<GroupKey, i64> = GroupByShard::new(PREAGG_GROUPS);
-        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
-        let (mut sel, mut hashes) = (Vec::new(), Vec::new());
-        let mut bufs = tw::ProbeBuffers::new();
-        let mut gb = tw::grouping::GroupBuffers::new();
-        let (mut k_okey, mut k_odate, mut k_prio) = (Vec::new(), Vec::new(), Vec::new());
-        let (mut v_ext, mut v_disc, mut v_om, mut v_rev, mut v_rev_sel) =
-            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        let (mut ghash, mut ordinals) = (Vec::new(), Vec::new());
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), LI_BYTES);
-            if tw::sel::sel_gt_i32_dense(&ship[c.clone()], cut, c.start as u32, &mut sel, policy) == 0 {
-                continue;
-            }
-            tw::hashp::hash_i32(lokey, &sel, hf, &mut hashes);
-            let nm = tw::probe::probe_join(
-                &ht_o,
-                &hashes,
-                &sel,
-                |row, t| row.0 == lokey[t as usize],
-                policy,
-                &mut bufs,
-            );
-            if nm == 0 {
-                continue;
-            }
-            // buildGather: key columns out of the matched entries.
-            tw::gather::gather_build(&ht_o, &bufs.match_entry, |r| r.0, &mut k_okey);
-            tw::gather::gather_build(&ht_o, &bufs.match_entry, |r| r.1, &mut k_odate);
-            tw::gather::gather_build(&ht_o, &bufs.match_entry, |r| r.2, &mut k_prio);
-            // Probe-side values.
-            tw::gather::gather_i64(ext, &bufs.match_tuple, policy, &mut v_ext);
-            tw::gather::gather_i64(disc, &bufs.match_tuple, policy, &mut v_disc);
-            tw::map::map_rsub_const_i64(100, &v_disc, &mut v_om);
-            tw::map::map_mul_i64(&v_ext, &v_om, &mut v_rev);
-            // Group lookup over match ordinals.
-            tw::hashp::hash_i32_dense(&k_okey, hf, &mut ghash);
-            tw::hashp::iota(0, nm, &mut ordinals);
-            tw::grouping::find_groups(
-                &shard.ht,
-                &ghash,
-                &ordinals,
-                |k, j| {
-                    let j = j as usize;
-                    k.0 == k_okey[j] && k.1 == k_odate[j] && k.2 == k_prio[j]
-                },
-                &mut gb,
-            );
-            for &j in &gb.miss_sel {
-                let j = j as usize;
-                shard.update(
-                    ghash[j],
-                    (k_okey[j], k_odate[j], k_prio[j]),
-                    || 0,
-                    |a| *a += v_rev[j],
+    #[derive(Default)]
+    struct P3Scratch {
+        sel: Vec<u32>,
+        hashes: Vec<u64>,
+        bufs: tw::ProbeBuffers,
+        gb: tw::grouping::GroupBuffers,
+        k_okey: Vec<i32>,
+        k_odate: Vec<i32>,
+        k_prio: Vec<i32>,
+        v_ext: Vec<i64>,
+        v_disc: Vec<i64>,
+        v_om: Vec<i64>,
+        v_rev: Vec<i64>,
+        v_rev_sel: Vec<i64>,
+        ghash: Vec<u64>,
+        ordinals: Vec<u32>,
+    }
+    let shards = cfg.map_scan(
+        li.len(),
+        LI_BYTES,
+        |_| {
+            (
+                GroupByShard::<GroupKey, i64>::new(PREAGG_GROUPS),
+                P3Scratch::default(),
+            )
+        },
+        |(shard, st), r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                if tw::sel::sel_gt_i32_dense(&ship[c.clone()], cut, c.start as u32, &mut st.sel, policy) == 0
+                {
+                    continue;
+                }
+                tw::hashp::hash_i32(lokey, &st.sel, hf, &mut st.hashes);
+                let nm = tw::probe::probe_join(
+                    &ht_o,
+                    &st.hashes,
+                    &st.sel,
+                    |row, t| row.0 == lokey[t as usize],
+                    policy,
+                    &mut st.bufs,
                 );
+                if nm == 0 {
+                    continue;
+                }
+                // buildGather: key columns out of the matched entries.
+                tw::gather::gather_build(&ht_o, &st.bufs.match_entry, |r| r.0, &mut st.k_okey);
+                tw::gather::gather_build(&ht_o, &st.bufs.match_entry, |r| r.1, &mut st.k_odate);
+                tw::gather::gather_build(&ht_o, &st.bufs.match_entry, |r| r.2, &mut st.k_prio);
+                // Probe-side values.
+                tw::gather::gather_i64(ext, &st.bufs.match_tuple, policy, &mut st.v_ext);
+                tw::gather::gather_i64(disc, &st.bufs.match_tuple, policy, &mut st.v_disc);
+                tw::map::map_rsub_const_i64(100, &st.v_disc, &mut st.v_om);
+                tw::map::map_mul_i64(&st.v_ext, &st.v_om, &mut st.v_rev);
+                // Group lookup over match ordinals.
+                tw::hashp::hash_i32_dense(&st.k_okey, hf, &mut st.ghash);
+                tw::hashp::iota(0, nm, &mut st.ordinals);
+                let (k_okey, k_odate, k_prio) = (&st.k_okey, &st.k_odate, &st.k_prio);
+                tw::grouping::find_groups(
+                    &shard.ht,
+                    &st.ghash,
+                    &st.ordinals,
+                    |k, j| {
+                        let j = j as usize;
+                        k.0 == k_okey[j] && k.1 == k_odate[j] && k.2 == k_prio[j]
+                    },
+                    &mut st.gb,
+                );
+                for &j in &st.gb.miss_sel {
+                    let j = j as usize;
+                    shard.update(
+                        st.ghash[j],
+                        (st.k_okey[j], st.k_odate[j], st.k_prio[j]),
+                        || 0,
+                        |a| *a += st.v_rev[j],
+                    );
+                }
+                if st.gb.groups.is_empty() {
+                    continue;
+                }
+                tw::gather::gather_i64(&st.v_rev, &st.gb.group_sel, policy, &mut st.v_rev_sel);
+                tw::grouping::agg_update_i64(&mut shard.ht, &st.gb.groups, &st.v_rev_sel, |a, v| *a += v);
             }
-            if gb.groups.is_empty() {
-                continue;
-            }
-            tw::gather::gather_i64(&v_rev, &gb.group_sel, policy, &mut v_rev_sel);
-            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_rev_sel, |a, v| *a += v);
-        }
-        shard.finish()
-    });
-    finish(merge_partitions(shards, cfg.threads, |a, b| *a += b))
+        },
+    );
+    let shards = shards.into_iter().map(|(shard, _)| shard.finish()).collect();
+    finish(merge_partitions(shards, &cfg.exec(), |a, b| *a += b))
 }
 
 /// Volcano: the same plan, interpreted. The driving lineitem scan is
@@ -278,10 +298,11 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
 /// its own copies of the small join tables); partial groups re-aggregate
 /// in a final merge pass.
 pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
+    use dbep_runtime::Morsels;
     use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, HashJoin, Rows, Scan, Select, Val};
     let li = db.table("lineitem");
     let m = Morsels::new(li.len());
-    let partials = exchange::union(cfg.threads, |_| {
+    let partials = exchange::union(&cfg.exec(), |_| {
         let cust_filtered = Select {
             input: Box::new(
                 Scan::new(db.table("customer"), &["c_custkey", "c_mktsegment"]).paced(cfg.throttle),

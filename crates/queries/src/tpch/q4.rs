@@ -22,7 +22,7 @@ use crate::params::Q4Params;
 use crate::result::{OrderBy, QueryResult, Value};
 use crate::{ExecCfg, Params};
 use dbep_runtime::join_ht::JoinHtShard;
-use dbep_runtime::{map_workers, JoinHt, Morsels};
+use dbep_runtime::JoinHt;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
@@ -106,31 +106,30 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q4Params) -> QueryResult {
     let lok = li.col("l_orderkey").i32s();
     let commit = li.col("l_commitdate").dates();
     let receipt = li.col("l_receiptdate").dates();
-    let m = Morsels::new(li.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<i32> = JoinHtShard::new();
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), LI_BYTES);
+    let shards = cfg.map_scan(
+        li.len(),
+        LI_BYTES,
+        |_| JoinHtShard::<i32>::new(),
+        |sh, r| {
             for i in r {
                 if commit[i] < receipt[i] {
                     sh.push(hf.hash(lok[i] as u64), lok[i]);
                 }
             }
-        }
-        sh
-    });
-    let ht_late = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let ht_late = JoinHt::from_shards(shards, &cfg.exec());
 
     // Pipeline 2: σ(orders) ⋉ HT_late → Γ(priority).
     let ord = db.table("orders");
     let okey = ord.col("o_orderkey").i32s();
     let odate = ord.col("o_orderdate").dates();
     let prio = ord.col("o_orderpriority").strs();
-    let m = Morsels::new(ord.len());
-    let parts = map_workers(cfg.threads, |_| {
-        let mut g = PrioCounts::new();
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), ORD_BYTES);
+    let parts = cfg.map_scan(
+        ord.len(),
+        ORD_BYTES,
+        |_| PrioCounts::new(),
+        |g, r| {
             for i in r {
                 if odate[i] >= date_lo && odate[i] < date_hi {
                     let h = hf.hash(okey[i] as u64);
@@ -140,9 +139,8 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q4Params) -> QueryResult {
                     }
                 }
             }
-        }
-        g
-    });
+        },
+    );
     finish(db, PrioCounts::merge(parts))
 }
 
@@ -157,88 +155,97 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q4Params) -> QueryResult {
     let lok = li.col("l_orderkey").i32s();
     let commit = li.col("l_commitdate").dates();
     let receipt = li.col("l_receiptdate").dates();
-    let m = Morsels::new(li.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<i32> = JoinHtShard::new();
-        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
-        let (mut sel, mut hashes) = (Vec::new(), Vec::new());
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), LI_BYTES);
-            // Column-vs-column compare: the first selection of the cascade.
-            if tw::sel::sel_lt_i32_col_dense(
-                &commit[c.clone()],
-                &receipt[c.clone()],
-                c.start as u32,
-                &mut sel,
-                policy,
-            ) == 0
-            {
-                continue;
+    let shards = cfg.map_scan(
+        li.len(),
+        LI_BYTES,
+        |_| (JoinHtShard::<i32>::new(), Vec::new(), Vec::new()),
+        |(sh, sel, hashes), r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                // Column-vs-column compare: the first selection of the cascade.
+                if tw::sel::sel_lt_i32_col_dense(
+                    &commit[c.clone()],
+                    &receipt[c.clone()],
+                    c.start as u32,
+                    sel,
+                    policy,
+                ) == 0
+                {
+                    continue;
+                }
+                tw::hashp::hash_i32(lok, sel, hf, hashes);
+                for (j, &t) in sel.iter().enumerate() {
+                    sh.push(hashes[j], lok[t as usize]);
+                }
             }
-            tw::hashp::hash_i32(lok, &sel, hf, &mut hashes);
-            for (j, &t) in sel.iter().enumerate() {
-                sh.push(hashes[j], lok[t as usize]);
-            }
-        }
-        sh
-    });
-    let ht_late = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let shards = shards.into_iter().map(|(sh, _, _)| sh).collect();
+    let ht_late = JoinHt::from_shards(shards, &cfg.exec());
 
     // Pipeline 2: σ(orders) ⋉ HT_late → Γ(priority).
     let ord = db.table("orders");
     let okey = ord.col("o_orderkey").i32s();
     let odate = ord.col("o_orderdate").dates();
     let prio = ord.col("o_orderpriority").strs();
-    let m = Morsels::new(ord.len());
-    let parts = map_workers(cfg.threads, |_| {
-        let mut g = PrioCounts::new();
-        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
-        let (mut s1, mut s2, mut hashes) = (Vec::new(), Vec::new(), Vec::new());
-        let mut bufs = tw::ProbeBuffers::new();
-        let (mut v_byte, mut slot_sel) = (Vec::new(), Vec::new());
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), ORD_BYTES);
-            if tw::sel::sel_ge_i32_dense(&odate[c.clone()], date_lo, c.start as u32, &mut s1, policy) == 0 {
-                continue;
-            }
-            if tw::sel::sel_lt_i32_sparse(odate, date_hi, &s1, &mut s2, policy) == 0 {
-                continue;
-            }
-            tw::hashp::hash_i32(okey, &s2, hf, &mut hashes);
-            if tw::probe::probe_semijoin(
-                &ht_late,
-                &hashes,
-                &s2,
-                |k, t| *k == okey[t as usize],
-                policy,
-                &mut bufs,
-            ) == 0
-            {
-                continue;
-            }
-            // Conditional counting per priority slot: gather the leading
-            // byte, then one char-equality selection per slot.
-            tw::gather::gather_str_byte0(prio, &bufs.match_tuple, &mut v_byte);
-            for s in 0..SLOTS as u8 {
-                let n = tw::sel::sel_eq_char_dense(&v_byte, b'1' + s, 0, &mut slot_sel);
-                if n > 0 {
-                    g.add(b'1' + s, bufs.match_tuple[slot_sel[0] as usize], n as i64);
+    #[derive(Default)]
+    struct P2Scratch {
+        s1: Vec<u32>,
+        s2: Vec<u32>,
+        hashes: Vec<u64>,
+        bufs: tw::ProbeBuffers,
+        v_byte: Vec<u8>,
+        slot_sel: Vec<u32>,
+    }
+    let parts = cfg.map_scan(
+        ord.len(),
+        ORD_BYTES,
+        |_| (PrioCounts::new(), P2Scratch::default()),
+        |(g, st), r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                if tw::sel::sel_ge_i32_dense(&odate[c.clone()], date_lo, c.start as u32, &mut st.s1, policy)
+                    == 0
+                {
+                    continue;
+                }
+                if tw::sel::sel_lt_i32_sparse(odate, date_hi, &st.s1, &mut st.s2, policy) == 0 {
+                    continue;
+                }
+                tw::hashp::hash_i32(okey, &st.s2, hf, &mut st.hashes);
+                if tw::probe::probe_semijoin(
+                    &ht_late,
+                    &st.hashes,
+                    &st.s2,
+                    |k, t| *k == okey[t as usize],
+                    policy,
+                    &mut st.bufs,
+                ) == 0
+                {
+                    continue;
+                }
+                // Conditional counting per priority slot: gather the leading
+                // byte, then one char-equality selection per slot.
+                tw::gather::gather_str_byte0(prio, &st.bufs.match_tuple, &mut st.v_byte);
+                for s in 0..SLOTS as u8 {
+                    let n = tw::sel::sel_eq_char_dense(&st.v_byte, b'1' + s, 0, &mut st.slot_sel);
+                    if n > 0 {
+                        g.add(b'1' + s, st.bufs.match_tuple[st.slot_sel[0] as usize], n as i64);
+                    }
                 }
             }
-        }
-        g
-    });
-    finish(db, PrioCounts::merge(parts))
+        },
+    );
+    finish(db, PrioCounts::merge(parts.into_iter().map(|(g, _)| g).collect()))
 }
 
 /// Volcano: the same plan through the interpreted semi-join operator.
 /// The driving orders scan is morsel-partitioned across `cfg.threads`
 /// workers; partial priority counts re-aggregate in a final merge pass.
 pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q4Params) -> QueryResult {
+    use dbep_runtime::Morsels;
     use dbep_volcano::{exchange, AggSpec, Aggregate, CmpOp, Expr, Rows, Scan, Select, SemiJoin, Val};
     let ord = db.table("orders");
     let m = Morsels::new(ord.len());
-    let partials = exchange::union(cfg.threads, |_| {
+    let partials = exchange::union(&cfg.exec(), |_| {
         let late = Select {
             input: Box::new(
                 Scan::new(

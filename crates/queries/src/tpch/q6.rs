@@ -17,10 +17,8 @@
 use crate::params::Q6Params;
 use crate::result::{QueryResult, Value};
 use crate::{ExecCfg, Params};
-use dbep_runtime::{scope_workers, Morsels};
 use dbep_storage::Database;
 use dbep_vectorized as tw;
-use std::sync::atomic::{AtomicI64, Ordering};
 
 /// Bytes read per scanned row (date + 3×i64).
 const BYTES_PER_ROW: usize = 4 + 3 * 8;
@@ -38,12 +36,11 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
     let disc = li.col("l_discount").i64s();
     let qty = li.col("l_quantity").i64s();
     let ext = li.col("l_extendedprice").i64s();
-    let morsels = Morsels::new(li.len());
-    let total = AtomicI64::new(0);
-    scope_workers(cfg.threads, |_| {
-        let mut local = 0i64;
-        while let Some(r) = morsels.claim() {
-            cfg.pace(r.len(), BYTES_PER_ROW);
+    let locals = cfg.map_scan(
+        li.len(),
+        BYTES_PER_ROW,
+        |_| 0i64,
+        |local, r| {
             for i in r {
                 // Predicated evaluation: no branches, all columns read.
                 let ok = (ship[i] >= ship_lo)
@@ -51,12 +48,11 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
                     & (disc[i] >= disc_lo)
                     & (disc[i] <= disc_hi)
                     & (qty[i] < qty_hi);
-                local += (ok as i64) * ext[i] * disc[i];
+                *local += (ok as i64) * ext[i] * disc[i];
             }
-        }
-        total.fetch_add(local, Ordering::Relaxed);
-    });
-    finish(total.load(Ordering::Relaxed))
+        },
+    );
+    finish(locals.into_iter().sum())
 }
 
 /// Tectorwise: five selection primitives, then gather/multiply/sum.
@@ -69,50 +65,61 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
     let qty = li.col("l_quantity").i64s();
     let ext = li.col("l_extendedprice").i64s();
     let policy = cfg.policy;
-    let morsels = Morsels::new(li.len());
-    let total = AtomicI64::new(0);
-    scope_workers(cfg.threads, |_| {
-        let mut src = tw::ChunkSource::new(&morsels, cfg.vector_size);
-        let (mut s1, mut s2, mut s3, mut s4, mut s5) =
-            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        let (mut v_ext, mut v_disc, mut v_rev) = (Vec::new(), Vec::new(), Vec::new());
-        let mut local = 0i64;
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), BYTES_PER_ROW);
-            // 1 dense + 4 sparse selections (§5.1's cascade).
-            if tw::sel::sel_ge_i32_dense(&ship[c.clone()], ship_lo, c.start as u32, &mut s1, policy) == 0 {
-                continue;
+    #[derive(Default)]
+    struct Scratch {
+        local: i64,
+        s1: Vec<u32>,
+        s2: Vec<u32>,
+        s3: Vec<u32>,
+        s4: Vec<u32>,
+        s5: Vec<u32>,
+        v_ext: Vec<i64>,
+        v_disc: Vec<i64>,
+        v_rev: Vec<i64>,
+    }
+    let locals = cfg.map_scan(
+        li.len(),
+        BYTES_PER_ROW,
+        |_| Scratch::default(),
+        |st, r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                // 1 dense + 4 sparse selections (§5.1's cascade).
+                if tw::sel::sel_ge_i32_dense(&ship[c.clone()], ship_lo, c.start as u32, &mut st.s1, policy)
+                    == 0
+                {
+                    continue;
+                }
+                if tw::sel::sel_lt_i32_sparse(ship, ship_hi, &st.s1, &mut st.s2, policy) == 0 {
+                    continue;
+                }
+                if tw::sel::sel_ge_i64_sparse(disc, disc_lo, &st.s2, &mut st.s3, policy) == 0 {
+                    continue;
+                }
+                if tw::sel::sel_le_i64_sparse(disc, disc_hi, &st.s3, &mut st.s4, policy) == 0 {
+                    continue;
+                }
+                if tw::sel::sel_lt_i64_sparse(qty, qty_hi, &st.s4, &mut st.s5, policy) == 0 {
+                    continue;
+                }
+                tw::gather::gather_i64(ext, &st.s5, policy, &mut st.v_ext);
+                tw::gather::gather_i64(disc, &st.s5, policy, &mut st.v_disc);
+                tw::map::map_mul_i64(&st.v_ext, &st.v_disc, &mut st.v_rev);
+                st.local += tw::map::sum_i64(&st.v_rev, policy);
             }
-            if tw::sel::sel_lt_i32_sparse(ship, ship_hi, &s1, &mut s2, policy) == 0 {
-                continue;
-            }
-            if tw::sel::sel_ge_i64_sparse(disc, disc_lo, &s2, &mut s3, policy) == 0 {
-                continue;
-            }
-            if tw::sel::sel_le_i64_sparse(disc, disc_hi, &s3, &mut s4, policy) == 0 {
-                continue;
-            }
-            if tw::sel::sel_lt_i64_sparse(qty, qty_hi, &s4, &mut s5, policy) == 0 {
-                continue;
-            }
-            tw::gather::gather_i64(ext, &s5, policy, &mut v_ext);
-            tw::gather::gather_i64(disc, &s5, policy, &mut v_disc);
-            tw::map::map_mul_i64(&v_ext, &v_disc, &mut v_rev);
-            local += tw::map::sum_i64(&v_rev, policy);
-        }
-        total.fetch_add(local, Ordering::Relaxed);
-    });
-    finish(total.load(Ordering::Relaxed))
+        },
+    );
+    finish(locals.into_iter().map(|s| s.local).sum())
 }
 
 /// Volcano: interpreted conjunction, one tuple at a time; `threads`
 /// partition the scan through the exchange union, partial sums merge
 /// here.
 pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
+    use dbep_runtime::Morsels;
     use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, CmpOp, Expr, Scan, Select};
     let li = db.table("lineitem");
     let m = Morsels::new(li.len());
-    let partials = exchange::union(cfg.threads, |_| {
+    let partials = exchange::union(&cfg.exec(), |_| {
         let scan = Scan::new(li, &["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"])
             .paced(cfg.throttle)
             .morsel_driven(&m);

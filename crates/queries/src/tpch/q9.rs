@@ -25,7 +25,7 @@ use crate::result::{OrderBy, QueryResult, Value};
 use crate::{ExecCfg, Params};
 use dbep_runtime::agg_ht::merge_partitions;
 use dbep_runtime::join_ht::JoinHtShard;
-use dbep_runtime::{map_workers, GroupByShard, JoinHt, Morsels};
+use dbep_runtime::{GroupByShard, JoinHt};
 use dbep_storage::types::year_of;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
@@ -67,31 +67,30 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     let part = db.table("part");
     let pkey = part.col("p_partkey").i32s();
     let pname = part.col("p_name").strs();
-    let m = Morsels::new(part.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<i32> = JoinHtShard::new();
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), PART_BYTES);
+    let shards = cfg.map_scan(
+        part.len(),
+        PART_BYTES,
+        |_| JoinHtShard::<i32>::new(),
+        |sh, r| {
             for i in r {
                 if pname.get(i).contains(needle) {
                     sh.push(hf.hash(pkey[i] as u64), pkey[i]);
                 }
             }
-        }
-        sh
-    });
-    let ht_p = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let ht_p = JoinHt::from_shards(shards, &cfg.exec());
 
     // P2: partsupp ⋈ HT_p → HT_ps keyed (partkey, suppkey).
     let ps = db.table("partsupp");
     let pspk = ps.col("ps_partkey").i32s();
     let pssk = ps.col("ps_suppkey").i32s();
     let cost = ps.col("ps_supplycost").i64s();
-    let m = Morsels::new(ps.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<(i32, i32, i64)> = JoinHtShard::new();
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), PS_BYTES);
+    let shards = cfg.map_scan(
+        ps.len(),
+        PS_BYTES,
+        |_| JoinHtShard::<(i32, i32, i64)>::new(),
+        |sh, r| {
             for i in r {
                 let h = hf.hash(pspk[i] as u64);
                 if ht_p.probe(h).any(|e| e.row == pspk[i]) {
@@ -99,27 +98,25 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
                     sh.push(hc, (pspk[i], pssk[i], cost[i]));
                 }
             }
-        }
-        sh
-    });
-    let ht_ps = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let ht_ps = JoinHt::from_shards(shards, &cfg.exec());
 
     // P3: supplier → HT_s (suppkey → nationkey).
     let supp = db.table("supplier");
     let skey = supp.col("s_suppkey").i32s();
     let snat = supp.col("s_nationkey").i32s();
-    let m = Morsels::new(supp.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<(i32, i32)> = JoinHtShard::new();
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), SUPP_BYTES);
+    let shards = cfg.map_scan(
+        supp.len(),
+        SUPP_BYTES,
+        |_| JoinHtShard::<(i32, i32)>::new(),
+        |sh, r| {
             for i in r {
                 sh.push(hf.hash(skey[i] as u64), (skey[i], snat[i]));
             }
-        }
-        sh
-    });
-    let ht_s = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let ht_s = JoinHt::from_shards(shards, &cfg.exec());
 
     // P4: lineitem ⋈ HT_ps ⋈ HT_s → HT_li (keyed by orderkey).
     let li = db.table("lineitem");
@@ -129,11 +126,11 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     let qty = li.col("l_quantity").i64s();
     let ext = li.col("l_extendedprice").i64s();
     let disc = li.col("l_discount").i64s();
-    let m = Morsels::new(li.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<LiRow> = JoinHtShard::new();
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), LI_BYTES);
+    let shards = cfg.map_scan(
+        li.len(),
+        LI_BYTES,
+        |_| JoinHtShard::<LiRow>::new(),
+        |sh, r| {
             for i in r {
                 // Composite-key probe: the generated code checks both key
                 // parts in one expression (Fig. 2a).
@@ -151,20 +148,19 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
                     }
                 }
             }
-        }
-        sh
-    });
-    let ht_li = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let ht_li = JoinHt::from_shards(shards, &cfg.exec());
 
     // P5: orders ⋈ HT_li → Γ(nation, year).
     let ord = db.table("orders");
     let okey = ord.col("o_orderkey").i32s();
     let odate = ord.col("o_orderdate").dates();
-    let m = Morsels::new(ord.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut shard: GroupByShard<(i32, i32), i64> = GroupByShard::new(PREAGG_GROUPS);
-        while let Some(r) = m.claim() {
-            cfg.pace(r.len(), ORD_BYTES);
+    let shards = cfg.map_scan(
+        ord.len(),
+        ORD_BYTES,
+        |_| GroupByShard::<(i32, i32), i64>::new(PREAGG_GROUPS),
+        |shard, r| {
             for i in r {
                 let h = hf.hash(okey[i] as u64);
                 for e in ht_li.probe(h) {
@@ -175,10 +171,10 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
                     }
                 }
             }
-        }
-        shard.finish()
-    });
-    finish(db, merge_partitions(shards, cfg.threads, |a, b| *a += b))
+        },
+    );
+    let shards = shards.into_iter().map(GroupByShard::finish).collect();
+    finish(db, merge_partitions(shards, &cfg.exec(), |a, b| *a += b))
 }
 
 /// Tectorwise: the same five pipelines as vector primitives. The
@@ -191,89 +187,95 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     let part = db.table("part");
     let pkey = part.col("p_partkey").i32s();
     let pname = part.col("p_name").strs();
-    let m = Morsels::new(part.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<i32> = JoinHtShard::new();
-        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
-        let (mut sel, mut hashes) = (Vec::new(), Vec::new());
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), PART_BYTES);
-            sel.clear();
-            for i in c {
-                if pname.get(i).contains(needle) {
-                    sel.push(i as u32);
+    let shards = cfg.map_scan(
+        part.len(),
+        PART_BYTES,
+        |_| (JoinHtShard::<i32>::new(), Vec::new(), Vec::new()),
+        |(sh, sel, hashes), r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                sel.clear();
+                for i in c {
+                    if pname.get(i).contains(needle) {
+                        sel.push(i as u32);
+                    }
+                }
+                if sel.is_empty() {
+                    continue;
+                }
+                tw::hashp::hash_i32(pkey, sel, hf, hashes);
+                for (j, &t) in sel.iter().enumerate() {
+                    sh.push(hashes[j], pkey[t as usize]);
                 }
             }
-            if sel.is_empty() {
-                continue;
-            }
-            tw::hashp::hash_i32(pkey, &sel, hf, &mut hashes);
-            for (j, &t) in sel.iter().enumerate() {
-                sh.push(hashes[j], pkey[t as usize]);
-            }
-        }
-        sh
-    });
-    let ht_p = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let shards = shards.into_iter().map(|(sh, _, _)| sh).collect();
+    let ht_p = JoinHt::from_shards(shards, &cfg.exec());
 
     // P2: partsupp ⋈ HT_p → HT_ps (composite key build).
     let ps = db.table("partsupp");
     let pspk = ps.col("ps_partkey").i32s();
     let pssk = ps.col("ps_suppkey").i32s();
     let cost = ps.col("ps_supplycost").i64s();
-    let m = Morsels::new(ps.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<(i32, i32, i64)> = JoinHtShard::new();
-        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
-        let (mut all, mut hashes, mut hc) = (Vec::new(), Vec::new(), Vec::new());
-        let mut bufs = tw::ProbeBuffers::new();
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), PS_BYTES);
-            tw::hashp::iota(c.start as u32, c.len(), &mut all);
-            tw::hashp::hash_i32(pspk, &all, hf, &mut hashes);
-            if tw::probe::probe_join(
-                &ht_p,
-                &hashes,
-                &all,
-                |row, t| *row == pspk[t as usize],
-                policy,
-                &mut bufs,
-            ) == 0
-            {
-                continue;
+    #[derive(Default)]
+    struct P2Scratch {
+        all: Vec<u32>,
+        hashes: Vec<u64>,
+        hc: Vec<u64>,
+        bufs: tw::ProbeBuffers,
+    }
+    let shards = cfg.map_scan(
+        ps.len(),
+        PS_BYTES,
+        |_| (JoinHtShard::<(i32, i32, i64)>::new(), P2Scratch::default()),
+        |(sh, st), r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                tw::hashp::iota(c.start as u32, c.len(), &mut st.all);
+                tw::hashp::hash_i32(pspk, &st.all, hf, &mut st.hashes);
+                if tw::probe::probe_join(
+                    &ht_p,
+                    &st.hashes,
+                    &st.all,
+                    |row, t| *row == pspk[t as usize],
+                    policy,
+                    &mut st.bufs,
+                ) == 0
+                {
+                    continue;
+                }
+                tw::hashp::hash_i32(pspk, &st.bufs.match_tuple, hf, &mut st.hc);
+                tw::hashp::rehash_i32(pssk, &st.bufs.match_tuple, hf, &mut st.hc);
+                for (j, &t) in st.bufs.match_tuple.iter().enumerate() {
+                    let t = t as usize;
+                    sh.push(st.hc[j], (pspk[t], pssk[t], cost[t]));
+                }
             }
-            tw::hashp::hash_i32(pspk, &bufs.match_tuple, hf, &mut hc);
-            tw::hashp::rehash_i32(pssk, &bufs.match_tuple, hf, &mut hc);
-            for (j, &t) in bufs.match_tuple.iter().enumerate() {
-                let t = t as usize;
-                sh.push(hc[j], (pspk[t], pssk[t], cost[t]));
-            }
-        }
-        sh
-    });
-    let ht_ps = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let shards = shards.into_iter().map(|(sh, _)| sh).collect();
+    let ht_ps = JoinHt::from_shards(shards, &cfg.exec());
 
     // P3: supplier → HT_s.
     let supp = db.table("supplier");
     let skey = supp.col("s_suppkey").i32s();
     let snat = supp.col("s_nationkey").i32s();
-    let m = Morsels::new(supp.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<(i32, i32)> = JoinHtShard::new();
-        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
-        let (mut all, mut hashes) = (Vec::new(), Vec::new());
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), SUPP_BYTES);
-            tw::hashp::iota(c.start as u32, c.len(), &mut all);
-            tw::hashp::hash_i32(skey, &all, hf, &mut hashes);
-            for (j, &t) in all.iter().enumerate() {
-                let t = t as usize;
-                sh.push(hashes[j], (skey[t], snat[t]));
+    let shards = cfg.map_scan(
+        supp.len(),
+        SUPP_BYTES,
+        |_| (JoinHtShard::<(i32, i32)>::new(), Vec::new(), Vec::new()),
+        |(sh, all, hashes), r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                tw::hashp::iota(c.start as u32, c.len(), all);
+                tw::hashp::hash_i32(skey, all, hf, hashes);
+                for (j, &t) in all.iter().enumerate() {
+                    let t = t as usize;
+                    sh.push(hashes[j], (skey[t], snat[t]));
+                }
             }
-        }
-        sh
-    });
-    let ht_s = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let shards = shards.into_iter().map(|(sh, _, _)| sh).collect();
+    let ht_s = JoinHt::from_shards(shards, &cfg.exec());
 
     // P4: lineitem ⋈ HT_ps ⋈ HT_s → HT_li.
     let li = db.table("lineitem");
@@ -283,136 +285,175 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     let qty = li.col("l_quantity").i64s();
     let ext = li.col("l_extendedprice").i64s();
     let disc = li.col("l_discount").i64s();
-    let m = Morsels::new(li.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut sh: JoinHtShard<LiRow> = JoinHtShard::new();
-        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
-        let (mut all, mut hc, mut hs, mut hok, mut ordinals) =
-            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        let mut bufs = tw::ProbeBuffers::new();
-        let mut bufs2 = tw::ProbeBuffers::new();
-        let (mut v_cost, mut v_ext, mut v_disc, mut v_qty) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        let (mut v_om, mut v_rev, mut v_costq, mut v_amount) =
-            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        let mut v_nat: Vec<i32> = Vec::new();
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), LI_BYTES);
-            tw::hashp::iota(c.start as u32, c.len(), &mut all);
-            // Composite key: hash partkey, fold suppkey in, compare both
-            // parts with one primitive each (§2.2).
-            tw::hashp::hash_i32(lpk, &all, hf, &mut hc);
-            tw::hashp::rehash_i32(lsk, &all, hf, &mut hc);
-            let nm = tw::probe::probe_join(
-                &ht_ps,
-                &hc,
-                &all,
-                |row, t| row.0 == lpk[t as usize] && row.1 == lsk[t as usize],
-                policy,
-                &mut bufs,
-            );
-            if nm == 0 {
-                continue;
+    #[derive(Default)]
+    struct P4Scratch {
+        all: Vec<u32>,
+        hc: Vec<u64>,
+        hs: Vec<u64>,
+        hok: Vec<u64>,
+        ordinals: Vec<u32>,
+        bufs: tw::ProbeBuffers,
+        bufs2: tw::ProbeBuffers,
+        v_cost: Vec<i64>,
+        v_ext: Vec<i64>,
+        v_disc: Vec<i64>,
+        v_qty: Vec<i64>,
+        v_om: Vec<i64>,
+        v_rev: Vec<i64>,
+        v_costq: Vec<i64>,
+        v_amount: Vec<i64>,
+        v_nat: Vec<i32>,
+    }
+    let shards = cfg.map_scan(
+        li.len(),
+        LI_BYTES,
+        |_| (JoinHtShard::<LiRow>::new(), P4Scratch::default()),
+        |(sh, st), r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                tw::hashp::iota(c.start as u32, c.len(), &mut st.all);
+                // Composite key: hash partkey, fold suppkey in, compare both
+                // parts with one primitive each (§2.2).
+                tw::hashp::hash_i32(lpk, &st.all, hf, &mut st.hc);
+                tw::hashp::rehash_i32(lsk, &st.all, hf, &mut st.hc);
+                let nm = tw::probe::probe_join(
+                    &ht_ps,
+                    &st.hc,
+                    &st.all,
+                    |row, t| row.0 == lpk[t as usize] && row.1 == lsk[t as usize],
+                    policy,
+                    &mut st.bufs,
+                );
+                if nm == 0 {
+                    continue;
+                }
+                tw::gather::gather_build(&ht_ps, &st.bufs.match_entry, |r| r.2, &mut st.v_cost);
+                // Second probe: suppkey → nationkey. Tuple ids are ordinals
+                // into the first probe's match list.
+                tw::hashp::hash_i32(lsk, &st.bufs.match_tuple, hf, &mut st.hs);
+                tw::hashp::iota(0, nm, &mut st.ordinals);
+                let first_matches = &st.bufs.match_tuple;
+                let n2 = tw::probe::probe_join(
+                    &ht_s,
+                    &st.hs,
+                    &st.ordinals,
+                    |row, j| row.0 == lsk[first_matches[j as usize] as usize],
+                    policy,
+                    &mut st.bufs2,
+                );
+                if n2 == 0 {
+                    continue;
+                }
+                // Align everything to the second probe's matches.
+                let rows2: Vec<u32> = st
+                    .bufs2
+                    .match_tuple
+                    .iter()
+                    .map(|&j| st.bufs.match_tuple[j as usize])
+                    .collect();
+                tw::gather::gather_build(&ht_s, &st.bufs2.match_entry, |r| r.1, &mut st.v_nat);
+                let cost2: Vec<i64> = st
+                    .bufs2
+                    .match_tuple
+                    .iter()
+                    .map(|&j| st.v_cost[j as usize])
+                    .collect();
+                tw::gather::gather_i64(ext, &rows2, policy, &mut st.v_ext);
+                tw::gather::gather_i64(disc, &rows2, policy, &mut st.v_disc);
+                tw::gather::gather_i64(qty, &rows2, policy, &mut st.v_qty);
+                tw::map::map_rsub_const_i64(100, &st.v_disc, &mut st.v_om);
+                tw::map::map_mul_i64(&st.v_ext, &st.v_om, &mut st.v_rev);
+                tw::map::map_mul_i64(&cost2, &st.v_qty, &mut st.v_costq);
+                // Both products are scale-4 fixed point.
+                tw::map::map_sub_i64(&st.v_rev, &st.v_costq, &mut st.v_amount);
+                tw::hashp::hash_i32(lok, &rows2, hf, &mut st.hok);
+                for (j, &t) in rows2.iter().enumerate() {
+                    sh.push(st.hok[j], (lok[t as usize], st.v_nat[j], st.v_amount[j]));
+                }
             }
-            tw::gather::gather_build(&ht_ps, &bufs.match_entry, |r| r.2, &mut v_cost);
-            // Second probe: suppkey → nationkey. Tuple ids are ordinals
-            // into the first probe's match list.
-            tw::hashp::hash_i32(lsk, &bufs.match_tuple, hf, &mut hs);
-            tw::hashp::iota(0, nm, &mut ordinals);
-            let first_matches = &bufs.match_tuple;
-            let n2 = tw::probe::probe_join(
-                &ht_s,
-                &hs,
-                &ordinals,
-                |row, j| row.0 == lsk[first_matches[j as usize] as usize],
-                policy,
-                &mut bufs2,
-            );
-            if n2 == 0 {
-                continue;
-            }
-            // Align everything to the second probe's matches.
-            let rows2: Vec<u32> = bufs2
-                .match_tuple
-                .iter()
-                .map(|&j| first_matches[j as usize])
-                .collect();
-            tw::gather::gather_build(&ht_s, &bufs2.match_entry, |r| r.1, &mut v_nat);
-            let cost2: Vec<i64> = bufs2.match_tuple.iter().map(|&j| v_cost[j as usize]).collect();
-            tw::gather::gather_i64(ext, &rows2, policy, &mut v_ext);
-            tw::gather::gather_i64(disc, &rows2, policy, &mut v_disc);
-            tw::gather::gather_i64(qty, &rows2, policy, &mut v_qty);
-            tw::map::map_rsub_const_i64(100, &v_disc, &mut v_om);
-            tw::map::map_mul_i64(&v_ext, &v_om, &mut v_rev);
-            tw::map::map_mul_i64(&cost2, &v_qty, &mut v_costq);
-            // Both products are scale-4 fixed point.
-            tw::map::map_sub_i64(&v_rev, &v_costq, &mut v_amount);
-            tw::hashp::hash_i32(lok, &rows2, hf, &mut hok);
-            for (j, &t) in rows2.iter().enumerate() {
-                sh.push(hok[j], (lok[t as usize], v_nat[j], v_amount[j]));
-            }
-        }
-        sh
-    });
-    let ht_li = JoinHt::from_shards(shards, cfg.threads);
+        },
+    );
+    let shards = shards.into_iter().map(|(sh, _)| sh).collect();
+    let ht_li = JoinHt::from_shards(shards, &cfg.exec());
 
     // P5: orders ⋈ HT_li → Γ(nation, year).
     let ord = db.table("orders");
     let okey = ord.col("o_orderkey").i32s();
     let odate = ord.col("o_orderdate").dates();
-    let m = Morsels::new(ord.len());
-    let shards = map_workers(cfg.threads, |_| {
-        let mut shard: GroupByShard<(i32, i32), i64> = GroupByShard::new(PREAGG_GROUPS);
-        let mut src = tw::ChunkSource::new(&m, cfg.vector_size);
-        let (mut all, mut hashes, mut ghash, mut ordinals) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        let mut bufs = tw::ProbeBuffers::new();
-        let mut gb = tw::grouping::GroupBuffers::new();
-        let (mut k_nat, mut v_amt, mut v_date, mut k_year, mut v_amt_sel) =
-            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        while let Some(c) = src.next_chunk() {
-            cfg.pace(c.len(), ORD_BYTES);
-            tw::hashp::iota(c.start as u32, c.len(), &mut all);
-            tw::hashp::hash_i32(okey, &all, hf, &mut hashes);
-            let nm = tw::probe::probe_join(
-                &ht_li,
-                &hashes,
-                &all,
-                |row, t| row.0 == okey[t as usize],
-                policy,
-                &mut bufs,
-            );
-            if nm == 0 {
-                continue;
-            }
-            tw::gather::gather_build(&ht_li, &bufs.match_entry, |r| r.1, &mut k_nat);
-            tw::gather::gather_build(&ht_li, &bufs.match_entry, |r| r.2, &mut v_amt);
-            tw::gather::gather_i32(odate, &bufs.match_tuple, &mut v_date);
-            tw::map::map_year(&v_date, &mut k_year);
-            tw::hashp::iota(0, nm, &mut ordinals);
-            tw::hashp::hash_i32_dense(&k_nat, hf, &mut ghash);
-            tw::hashp::rehash_i32(&k_year, &ordinals, hf, &mut ghash);
-            tw::grouping::find_groups(
-                &shard.ht,
-                &ghash,
-                &ordinals,
-                |k, j| {
+    #[derive(Default)]
+    struct P5Scratch {
+        all: Vec<u32>,
+        hashes: Vec<u64>,
+        ghash: Vec<u64>,
+        ordinals: Vec<u32>,
+        bufs: tw::ProbeBuffers,
+        gb: tw::grouping::GroupBuffers,
+        k_nat: Vec<i32>,
+        v_amt: Vec<i64>,
+        v_date: Vec<i32>,
+        k_year: Vec<i32>,
+        v_amt_sel: Vec<i64>,
+    }
+    let shards = cfg.map_scan(
+        ord.len(),
+        ORD_BYTES,
+        |_| {
+            (
+                GroupByShard::<(i32, i32), i64>::new(PREAGG_GROUPS),
+                P5Scratch::default(),
+            )
+        },
+        |(shard, st), r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                tw::hashp::iota(c.start as u32, c.len(), &mut st.all);
+                tw::hashp::hash_i32(okey, &st.all, hf, &mut st.hashes);
+                let nm = tw::probe::probe_join(
+                    &ht_li,
+                    &st.hashes,
+                    &st.all,
+                    |row, t| row.0 == okey[t as usize],
+                    policy,
+                    &mut st.bufs,
+                );
+                if nm == 0 {
+                    continue;
+                }
+                tw::gather::gather_build(&ht_li, &st.bufs.match_entry, |r| r.1, &mut st.k_nat);
+                tw::gather::gather_build(&ht_li, &st.bufs.match_entry, |r| r.2, &mut st.v_amt);
+                tw::gather::gather_i32(odate, &st.bufs.match_tuple, &mut st.v_date);
+                tw::map::map_year(&st.v_date, &mut st.k_year);
+                tw::hashp::iota(0, nm, &mut st.ordinals);
+                tw::hashp::hash_i32_dense(&st.k_nat, hf, &mut st.ghash);
+                tw::hashp::rehash_i32(&st.k_year, &st.ordinals, hf, &mut st.ghash);
+                let (k_nat, k_year) = (&st.k_nat, &st.k_year);
+                tw::grouping::find_groups(
+                    &shard.ht,
+                    &st.ghash,
+                    &st.ordinals,
+                    |k, j| {
+                        let j = j as usize;
+                        k.0 == k_nat[j] && k.1 == k_year[j]
+                    },
+                    &mut st.gb,
+                );
+                for &j in &st.gb.miss_sel {
                     let j = j as usize;
-                    k.0 == k_nat[j] && k.1 == k_year[j]
-                },
-                &mut gb,
-            );
-            for &j in &gb.miss_sel {
-                let j = j as usize;
-                shard.update(ghash[j], (k_nat[j], k_year[j]), || 0, |a| *a += v_amt[j]);
+                    shard.update(
+                        st.ghash[j],
+                        (st.k_nat[j], st.k_year[j]),
+                        || 0,
+                        |a| *a += st.v_amt[j],
+                    );
+                }
+                if st.gb.groups.is_empty() {
+                    continue;
+                }
+                tw::gather::gather_i64(&st.v_amt, &st.gb.group_sel, policy, &mut st.v_amt_sel);
+                tw::grouping::agg_update_i64(&mut shard.ht, &st.gb.groups, &st.v_amt_sel, |a, v| *a += v);
             }
-            if gb.groups.is_empty() {
-                continue;
-            }
-            tw::gather::gather_i64(&v_amt, &gb.group_sel, policy, &mut v_amt_sel);
-            tw::grouping::agg_update_i64(&mut shard.ht, &gb.groups, &v_amt_sel, |a, v| *a += v);
-        }
-        shard.finish()
-    });
-    finish(db, merge_partitions(shards, cfg.threads, |a, b| *a += b))
+        },
+    );
+    let shards = shards.into_iter().map(|(shard, _)| shard.finish()).collect();
+    finish(db, merge_partitions(shards, &cfg.exec(), |a, b| *a += b))
 }
 
 /// Volcano: the same plan, interpreted. The driving orders scan is
@@ -421,10 +462,11 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
 /// interpreter without shared operator state); partial per-day groups
 /// merge in the per-year re-aggregation below.
 pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
+    use dbep_runtime::Morsels;
     use dbep_volcano::{exchange, AggSpec, Aggregate, BinOp, Expr, HashJoin, Project, Scan, Select, Val};
     let ord = db.table("orders");
     let m = Morsels::new(ord.len());
-    let partials = exchange::union(cfg.threads, |_| {
+    let partials = exchange::union(&cfg.exec(), |_| {
         let part_f = Select {
             input: Box::new(Scan::new(db.table("part"), &["p_partkey", "p_name"]).paced(cfg.throttle)),
             pred: Expr::Contains(Box::new(Expr::col(1)), p.needle.clone()),

@@ -12,8 +12,6 @@
 //! * [`merge_partitions`] — the final phase: each partition is merged by
 //!   exactly one worker, so no synchronization on group state is needed.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 /// Number of spill partitions. 64 keeps every partition's final table
 /// well inside L2 for the paper's workloads while giving 64-way final
 /// parallelism.
@@ -208,11 +206,13 @@ impl<K: PartialEq, A> GroupByShard<K, A> {
 }
 
 /// Final phase: merge all shards' partition buffers. Each partition is
-/// processed by exactly one worker; `combine` folds a partial aggregate
-/// into the surviving one. Result order is unspecified.
+/// processed by exactly one worker (partitions are dispensed as unit
+/// morsels through `exec` — the shared pool when one is attached);
+/// `combine` folds a partial aggregate into the surviving one. Result
+/// order is unspecified.
 pub fn merge_partitions<K, A>(
     shards: Vec<Vec<Vec<(u64, K, A)>>>,
-    threads: usize,
+    exec: &dbep_scheduler::ExecCtx,
     combine: impl Fn(&mut A, A) + Sync,
 ) -> Vec<(K, A)>
 where
@@ -226,7 +226,6 @@ where
         .into_iter()
         .map(|s| s.into_iter().map(Mutex::new).collect())
         .collect();
-    let next = AtomicUsize::new(0);
     let merge_one = |p: usize| {
         let expected: usize = shards
             .iter()
@@ -250,12 +249,10 @@ where
         let groups: Vec<(K, A)> = ht.drain().map(|(_, k, a)| (k, a)).collect();
         *results[p].lock().expect("result lock") = groups;
     };
-    crate::morsel::scope_workers(threads, |_| loop {
-        let p = next.fetch_add(1, Ordering::Relaxed);
-        if p >= PARTITION_COUNT {
-            break;
+    exec.for_each_morsel(dbep_scheduler::Morsels::with_size(PARTITION_COUNT, 1), |_, r| {
+        for p in r {
+            merge_one(p);
         }
-        merge_one(p);
     });
     results
         .into_iter()
@@ -332,7 +329,7 @@ mod tests {
         let parts = shard.finish();
         let total_rows: usize = parts.iter().map(|p| p.len()).sum();
         assert!(total_rows >= 100, "all groups must surface");
-        let merged = merge_partitions(vec![parts], 1, |a, b| *a += b);
+        let merged = merge_partitions(vec![parts], &dbep_scheduler::ExecCtx::inline(), |a, b| *a += b);
         assert_eq!(merged.len(), 100);
         for (_k, count) in merged {
             assert_eq!(count, 10);
@@ -352,7 +349,7 @@ mod tests {
             }
             shards.push(shard.finish());
         }
-        let merged = merge_partitions(shards, 4, |a, b| *a += b);
+        let merged = merge_partitions(shards, &dbep_scheduler::ExecCtx::spawn(4), |a, b| *a += b);
         assert_eq!(merged.len(), 997);
         let total: i64 = merged.iter().map(|(_, c)| *c).sum();
         assert_eq!(total, 4 * 5000);
@@ -360,7 +357,8 @@ mod tests {
 
     #[test]
     fn empty_merge() {
-        let merged: Vec<(u64, i64)> = merge_partitions(Vec::new(), 2, |a, b| *a += b);
+        let merged: Vec<(u64, i64)> =
+            merge_partitions(Vec::new(), &dbep_scheduler::ExecCtx::spawn(2), |a, b| *a += b);
         assert!(merged.is_empty());
     }
 

@@ -17,7 +17,7 @@
 //! allocated at a power-of-two size and all workers publish their entries
 //! with lock-free CAS prepends.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const PTR_MASK: u64 = 0x0000_FFFF_FFFF_FFFF;
 
@@ -90,15 +90,21 @@ pub struct JoinHt<T> {
 
 impl<T: Send + Sync> JoinHt<T> {
     /// Finalize a set of thread-local shards into a probe-ready table
-    /// (phase 2 of the build). `threads` workers publish entries
-    /// concurrently; pass 1 for a single-threaded build.
-    pub fn from_shards(shards: Vec<JoinHtShard<T>>, threads: usize) -> Self {
-        Self::from_shards_cfg(shards, threads, true)
+    /// (phase 2 of the build). Shards are dispensed as unit morsels
+    /// through `exec` — workers of the shared pool (or the scoped
+    /// fallback workers) publish entries concurrently with lock-free
+    /// CAS prepends.
+    pub fn from_shards(shards: Vec<JoinHtShard<T>>, exec: &dbep_scheduler::ExecCtx) -> Self {
+        Self::from_shards_cfg(shards, exec, true)
     }
 
     /// As [`JoinHt::from_shards`], with the Bloom-tag optimization
     /// switchable for the `fig9 --no-tag` ablation.
-    pub fn from_shards_cfg(shards: Vec<JoinHtShard<T>>, threads: usize, use_tags: bool) -> Self {
+    pub fn from_shards_cfg(
+        shards: Vec<JoinHtShard<T>>,
+        exec: &dbep_scheduler::ExecCtx,
+        use_tags: bool,
+    ) -> Self {
         let len: usize = shards.iter().map(|s| s.entries.len()).sum();
         // Load factor <= 0.5, like the paper's test system.
         let dir_size = (len * 2).next_power_of_two().max(2);
@@ -111,7 +117,6 @@ impl<T: Send + Sync> JoinHt<T> {
             len,
             use_tags,
         };
-        let next_shard = AtomicUsize::new(0);
         let insert_shard = |shard: &Vec<Entry<T>>| {
             for e in shard {
                 let addr = e as *const Entry<T> as u64;
@@ -129,23 +134,11 @@ impl<T: Send + Sync> JoinHt<T> {
                 }
             }
         };
-        if threads <= 1 {
-            for shard in &ht.shards {
-                insert_shard(shard);
+        exec.for_each_morsel(dbep_scheduler::Morsels::with_size(ht.shards.len(), 1), |_, r| {
+            for i in r {
+                insert_shard(&ht.shards[i]);
             }
-        } else {
-            std::thread::scope(|s| {
-                for _ in 0..threads {
-                    s.spawn(|| loop {
-                        let i = next_shard.fetch_add(1, Ordering::Relaxed);
-                        if i >= ht.shards.len() {
-                            break;
-                        }
-                        insert_shard(&ht.shards[i]);
-                    });
-                }
-            });
-        }
+        });
         ht
     }
 
@@ -155,7 +148,7 @@ impl<T: Send + Sync> JoinHt<T> {
         for (h, r) in rows {
             shard.push(h, r);
         }
-        Self::from_shards(vec![shard], 1)
+        Self::from_shards(vec![shard], &dbep_scheduler::ExecCtx::inline())
     }
 
     /// Number of entries.
@@ -337,7 +330,7 @@ mod tests {
                 shard
             })
             .collect();
-        let ht = JoinHt::from_shards(shards, 4);
+        let ht = JoinHt::from_shards(shards, &dbep_scheduler::ExecCtx::spawn(4));
         assert_eq!(ht.len(), 4 * per_shard);
         for k in [0u64, 1, 4999, 5000, 19_999] {
             assert_eq!(probe_keys(&ht, k), vec![k + 1]);
@@ -354,8 +347,8 @@ mod tests {
             s1.push(h, r);
             s2.push(h, r);
         }
-        let tagged = JoinHt::from_shards_cfg(vec![s1], 1, true);
-        let untagged = JoinHt::from_shards_cfg(vec![s2], 1, false);
+        let tagged = JoinHt::from_shards_cfg(vec![s1], &dbep_scheduler::ExecCtx::inline(), true);
+        let untagged = JoinHt::from_shards_cfg(vec![s2], &dbep_scheduler::ExecCtx::inline(), false);
         for k in 0..4000 {
             assert_eq!(probe_keys(&tagged, k), probe_keys(&untagged, k), "key {k}");
         }

@@ -12,8 +12,11 @@
 //! * [`agg_ht`] — aggregation hash table plus the two-phase
 //!   (pre-aggregate, spill to partitions, final aggregate) group-by
 //!   machinery, §3.2.
-//! * [`morsel`] — morsel-driven work distribution (atomic cursor over
-//!   fixed-size tuple ranges) and pipeline barriers, §6.1.
+//! * morsel-driven work distribution now lives in `dbep-scheduler`
+//!   (atomic cursor over fixed-size tuple ranges, pipeline barriers,
+//!   and the shared inter-query worker pool, §6.1); the dispenser and
+//!   the spawn-per-query fallback are re-exported here for the
+//!   execution layers.
 //! * [`counters`] — `perf_event_open` CPU counters with graceful
 //!   degradation, used to produce Table 1 / Fig. 4 / Fig. 7.
 //! * [`simd`] — runtime ISA detection for the SIMD primitives of §5.
@@ -22,14 +25,13 @@ pub mod agg_ht;
 pub mod counters;
 pub mod hash;
 pub mod join_ht;
-pub mod morsel;
 pub mod rng;
 pub mod simd;
 
 pub use agg_ht::{AggHt, GroupByShard, PARTITION_COUNT};
 pub use counters::{CounterSet, CounterValues};
+pub use dbep_scheduler::{map_workers, scope_workers, ExecCtx, Morsels, MORSEL_TUPLES};
 pub use hash::{crc64, hash_bytes_murmur2, murmur2, rehash_crc, rehash_murmur2, HashFn};
 pub use join_ht::JoinHt;
-pub use morsel::{map_workers, scope_workers, Morsels, MORSEL_TUPLES};
 pub use rng::SmallRng;
 pub use simd::{simd_level, SimdLevel};

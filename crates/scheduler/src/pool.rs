@@ -1,0 +1,761 @@
+//! The shared morsel-driven query scheduler.
+//!
+//! A [`Scheduler`] owns a fixed set of persistent worker threads. Query
+//! executions register through the admission gate
+//! ([`Scheduler::begin_query`], bounding in-flight queries), then submit
+//! each pipeline as a *task*: a [`Morsels`] dispenser plus a
+//! `Fn(worker_id, range)` body. Workers pick runnable tasks by
+//! **weighted round-robin across active queries** (a query with
+//! priority *p* receives *p* picks per cycle), claim one morsel, execute
+//! it, and move on — so morsels from concurrently running queries
+//! interleave at morsel granularity and worker count stays fixed at the
+//! pool size no matter how many clients submit.
+//!
+//! [`QueryRun::run_task`] is the pipeline barrier: it returns only after
+//! every morsel of the task has been executed, which is also what makes
+//! the lifetime-erased body sound (see the safety comment there).
+//!
+//! Built on std threads, atomics, mutexes and condvars only — the
+//! workspace stays dependency-free.
+
+use crate::morsel::Morsels;
+use std::any::Any;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Priority a query runs at when nothing else is requested.
+pub const DEFAULT_PRIORITY: usize = 1;
+/// Upper bound for the per-query priority knob (picks per round-robin
+/// cycle); keeps the pick list small.
+pub const MAX_PRIORITY: usize = 16;
+
+/// Scheduler-side counters of one query execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Time spent blocked at the admission gate before the run started.
+    pub admission_wait: Duration,
+    /// Summed time from task submission to its first executed morsel.
+    pub queue_wait: Duration,
+    /// Pipelines submitted as pool tasks.
+    pub tasks: u64,
+    /// Morsels executed on pool workers.
+    pub morsels: u64,
+    /// Morsels a worker took from this query while previously serving a
+    /// different query — cross-query task switches.
+    pub steals: u64,
+}
+
+#[derive(Default)]
+struct StatsCell {
+    admission_wait_ns: AtomicU64,
+    queue_wait_ns: AtomicU64,
+    tasks: AtomicU64,
+    morsels: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl StatsCell {
+    fn snapshot(&self) -> RunStats {
+        RunStats {
+            admission_wait: Duration::from_nanos(self.admission_wait_ns.load(Ordering::Relaxed)),
+            queue_wait: Duration::from_nanos(self.queue_wait_ns.load(Ordering::Relaxed)),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            morsels: self.morsels.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Lifetime-erased task body. Soundness: [`QueryRun::run_task`] blocks
+/// until every execution of the body has finished, so the erased borrow
+/// outlives all uses.
+struct RawBody(*const (dyn Fn(usize, Range<usize>) + Sync));
+// SAFETY: the pointee is `Sync` (shared execution from many workers is
+// its contract) and is only dereferenced while `run_task` keeps the
+// original reference alive.
+unsafe impl Send for RawBody {}
+unsafe impl Sync for RawBody {}
+
+struct TaskState {
+    morsels: Morsels,
+    body: RawBody,
+    /// Cap on workers executing this task concurrently (the query's
+    /// effective degree of parallelism).
+    max_workers: usize,
+    priority: usize,
+    /// Identifies the owning query run (for the steal counter).
+    run_seq: u64,
+    stats: Arc<StatsCell>,
+    submitted: Instant,
+    // All fields below are only mutated with the pool state lock held;
+    // atomics keep them shareable through the `Arc` without unsafe.
+    running: AtomicUsize,
+    exhausted: AtomicBool,
+    completed: AtomicBool,
+    first_claim: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+struct PoolState {
+    /// Tasks that may still have morsels to hand out.
+    tasks: Vec<Arc<TaskState>>,
+    /// Weighted round-robin pick list: indices into `tasks`, each task
+    /// appearing `priority` times. Rebuilt whenever `tasks` changes.
+    picks: Vec<usize>,
+    cursor: usize,
+    inflight: usize,
+    next_run_seq: u64,
+    shutdown: bool,
+}
+
+impl PoolState {
+    fn rebuild_picks(&mut self) {
+        self.picks.clear();
+        for (i, t) in self.tasks.iter().enumerate() {
+            for _ in 0..t.priority {
+                self.picks.push(i);
+            }
+        }
+        if !self.picks.is_empty() {
+            self.cursor %= self.picks.len();
+        } else {
+            self.cursor = 0;
+        }
+    }
+}
+
+struct PoolInner {
+    workers: usize,
+    max_inflight: usize,
+    state: Mutex<PoolState>,
+    /// Workers wait here for runnable tasks.
+    work_cv: Condvar,
+    /// Submitters wait here for task completion.
+    done_cv: Condvar,
+    /// Queries wait here for admission.
+    admit_cv: Condvar,
+    /// Live worker-thread count (observability / leak tests).
+    live: Arc<AtomicUsize>,
+}
+
+/// A persistent work pool + inter-query morsel scheduler. See the
+/// module docs for the scheduling model.
+pub struct Scheduler {
+    inner: Arc<PoolInner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Pool with `workers` persistent threads (`0` normalizes to `1` —
+    /// the degenerate-config clamp lives here, not at call sites) and
+    /// the default admission bound of `4 × workers` in-flight queries.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self::with_limits(workers, 4 * workers)
+    }
+
+    /// Pool with an explicit admission bound (`max_inflight` is the
+    /// number of concurrently *running* queries; further
+    /// [`Scheduler::begin_query`] calls block until a slot frees).
+    pub fn with_limits(workers: usize, max_inflight: usize) -> Self {
+        let workers = workers.max(1);
+        let inner = Arc::new(PoolInner {
+            workers,
+            max_inflight: max_inflight.max(1),
+            state: Mutex::new(PoolState {
+                tasks: Vec::new(),
+                picks: Vec::new(),
+                cursor: 0,
+                inflight: 0,
+                next_run_seq: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            admit_cv: Condvar::new(),
+            live: Arc::new(AtomicUsize::new(0)),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                // Counted on the spawning side so `live_workers` equals
+                // `workers` deterministically from construction on; each
+                // worker decrements on exit.
+                inner.live.fetch_add(1, Ordering::SeqCst);
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("dbep-worker-{w}"))
+                    .spawn(move || worker_loop(&inner, w))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Scheduler {
+            inner,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Fixed worker-thread count of this pool.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Admission bound on concurrently running queries.
+    pub fn max_inflight(&self) -> usize {
+        self.inner.max_inflight
+    }
+
+    /// Worker threads currently alive (== [`Scheduler::workers`] while
+    /// the pool is up, `0` once dropped).
+    pub fn live_workers(&self) -> usize {
+        self.inner.live.load(Ordering::SeqCst)
+    }
+
+    /// Shareable handle onto the live-worker counter, usable after the
+    /// scheduler itself is gone (shutdown/leak tests).
+    pub fn live_counter(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.inner.live)
+    }
+
+    /// Enter the admission gate: blocks while [`Scheduler::max_inflight`]
+    /// queries are in flight, then registers a query run at `priority`
+    /// (clamped to `1..=`[`MAX_PRIORITY`]; higher = more round-robin
+    /// picks). The slot is released when the returned [`QueryRun`]
+    /// drops.
+    pub fn begin_query(&self, priority: usize) -> QueryRun {
+        let t0 = Instant::now();
+        let mut st = self.inner.state.lock().expect("pool state");
+        while st.inflight >= self.inner.max_inflight && !st.shutdown {
+            st = self.inner.admit_cv.wait(st).expect("pool state");
+        }
+        let shutdown = st.shutdown;
+        if !shutdown {
+            st.inflight += 1;
+        }
+        let run_seq = st.next_run_seq;
+        st.next_run_seq += 1;
+        // Panic only after releasing the lock so the mutex is not
+        // poisoned for other waiters.
+        drop(st);
+        assert!(!shutdown, "begin_query on a shut-down scheduler");
+        let stats = Arc::new(StatsCell::default());
+        stats
+            .admission_wait_ns
+            .store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        QueryRun {
+            inner: Arc::clone(&self.inner),
+            priority: priority.clamp(1, MAX_PRIORITY),
+            run_seq,
+            stats,
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().expect("pool state");
+            st.shutdown = true;
+        }
+        // Wake everything: workers re-check the exit condition, and
+        // threads parked at the admission gate fail fast instead of
+        // hanging on a pool that will never admit them.
+        self.inner.work_cv.notify_all();
+        self.inner.admit_cv.notify_all();
+        for h in self.handles.lock().expect("pool handles").drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One admitted query execution: the handle pipelines are submitted
+/// through, carrier of the priority knob and the per-run [`RunStats`].
+/// Dropping it releases the admission slot.
+pub struct QueryRun {
+    inner: Arc<PoolInner>,
+    priority: usize,
+    run_seq: u64,
+    stats: Arc<StatsCell>,
+}
+
+impl QueryRun {
+    /// Worker-thread count of the pool this run executes on (the number
+    /// of per-worker state slots a task body may be invoked with).
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// The priority this run's tasks are scheduled at.
+    pub fn priority(&self) -> usize {
+        self.priority
+    }
+
+    /// Scheduler counters accumulated by this run so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats.snapshot()
+    }
+
+    /// Execute one pipeline: every morsel of `morsels` runs through
+    /// `body(worker_id, range)` on the pool, at most `max_workers`
+    /// workers at a time (clamped to the pool size). Returns when the
+    /// last morsel has finished — the pipeline barrier.
+    pub fn run_task(
+        &self,
+        morsels: Morsels,
+        max_workers: usize,
+        body: &(dyn Fn(usize, Range<usize>) + Sync),
+    ) {
+        if morsels.total() == 0 {
+            return;
+        }
+        self.stats.tasks.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: we erase the body's lifetime to move it into the
+        // worker-shared task; `run_task` blocks below until the task is
+        // complete (every body invocation returned), so the reference
+        // outlives every dereference on the workers.
+        let body: *const (dyn Fn(usize, Range<usize>) + Sync) =
+            unsafe { std::mem::transmute(body as *const (dyn Fn(usize, Range<usize>) + Sync)) };
+        let task = Arc::new(TaskState {
+            morsels,
+            body: RawBody(body),
+            max_workers: max_workers.clamp(1, self.inner.workers),
+            priority: self.priority,
+            run_seq: self.run_seq,
+            stats: Arc::clone(&self.stats),
+            submitted: Instant::now(),
+            running: AtomicUsize::new(0),
+            exhausted: AtomicBool::new(false),
+            completed: AtomicBool::new(false),
+            first_claim: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut st = self.inner.state.lock().expect("pool state");
+            // After shutdown the workers are (being) joined; enqueueing
+            // would hang the barrier forever. Panic with the lock
+            // released instead (no poisoning).
+            let shutdown = st.shutdown;
+            if !shutdown {
+                st.tasks.push(Arc::clone(&task));
+                st.rebuild_picks();
+            }
+            drop(st);
+            assert!(!shutdown, "run_task on a shut-down scheduler");
+        }
+        self.inner.work_cv.notify_all();
+        let mut st = self.inner.state.lock().expect("pool state");
+        while !task.completed.load(Ordering::Relaxed) {
+            st = self.inner.done_cv.wait(st).expect("pool state");
+        }
+        drop(st);
+        let payload = task.panic.lock().expect("task panic slot").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for QueryRun {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock().expect("pool state");
+        st.inflight -= 1;
+        drop(st);
+        self.inner.admit_cv.notify_one();
+    }
+}
+
+/// Pick a runnable task and claim one of its morsels. Runs with the
+/// state lock held. Weighted round-robin: the cursor walks the pick
+/// list; tasks at their `max_workers` cap are skipped; an exhausted
+/// task is retired from the claimable set (and completed here if no
+/// morsel of it is still running).
+fn claim_next(inner: &PoolInner, st: &mut PoolState) -> Option<(Arc<TaskState>, Range<usize>)> {
+    'rescan: loop {
+        let n = st.picks.len();
+        for k in 0..n {
+            let pi = (st.cursor + k) % n;
+            let task = &st.tasks[st.picks[pi]];
+            if task.running.load(Ordering::Relaxed) >= task.max_workers {
+                continue;
+            }
+            match task.morsels.claim() {
+                Some(r) => {
+                    st.cursor = (pi + 1) % n;
+                    let task = Arc::clone(task);
+                    task.running.fetch_add(1, Ordering::Relaxed);
+                    if !task.first_claim.swap(true, Ordering::Relaxed) {
+                        task.stats
+                            .queue_wait_ns
+                            .fetch_add(task.submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    }
+                    return Some((task, r));
+                }
+                None => {
+                    // Retire the exhausted task; if nothing is mid-morsel
+                    // it is already complete.
+                    task.exhausted.store(true, Ordering::Relaxed);
+                    let task = Arc::clone(task);
+                    st.tasks.retain(|t| !Arc::ptr_eq(t, &task));
+                    st.rebuild_picks();
+                    if task.running.load(Ordering::Relaxed) == 0
+                        && !task.completed.swap(true, Ordering::Relaxed)
+                    {
+                        inner.done_cv.notify_all();
+                    }
+                    if st.shutdown {
+                        // Parked workers must re-check the (shutdown,
+                        // tasks-empty) exit condition now that the
+                        // claimable set shrank.
+                        inner.work_cv.notify_all();
+                    }
+                    continue 'rescan;
+                }
+            }
+        }
+        return None;
+    }
+}
+
+fn worker_loop(inner: &PoolInner, worker_id: usize) {
+    // Last query run this worker executed a morsel for — switching away
+    // from it counts as a steal on the query being switched to.
+    let mut last_seq: Option<u64> = None;
+    let mut st = inner.state.lock().expect("pool state");
+    loop {
+        match claim_next(inner, &mut st) {
+            Some((task, range)) => {
+                if last_seq.is_some_and(|s| s != task.run_seq) {
+                    task.stats.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                last_seq = Some(task.run_seq);
+                task.stats.morsels.fetch_add(1, Ordering::Relaxed);
+                drop(st);
+                // SAFETY: the submitter blocks in `run_task` until this
+                // task completes, keeping the erased body alive.
+                let body = unsafe { &*task.body.0 };
+                let result = catch_unwind(AssertUnwindSafe(|| body(worker_id, range)));
+                st = inner.state.lock().expect("pool state");
+                if let Err(payload) = result {
+                    *task.panic.lock().expect("task panic slot") = Some(payload);
+                    // Poisoned task: stop handing out its morsels.
+                    task.exhausted.store(true, Ordering::Relaxed);
+                    st.tasks.retain(|t| !Arc::ptr_eq(t, &task));
+                    st.rebuild_picks();
+                } else if !task.exhausted.load(Ordering::Relaxed) && task.morsels.is_exhausted() {
+                    // Eager barrier release: the dispenser drained while
+                    // we ran its last claimed morsel. Retire the task now
+                    // instead of waiting for a future pick-walk to visit
+                    // it — otherwise the submitter could stay blocked
+                    // behind other queries' long morsels with all of its
+                    // own work already finished.
+                    task.exhausted.store(true, Ordering::Relaxed);
+                    st.tasks.retain(|t| !Arc::ptr_eq(t, &task));
+                    st.rebuild_picks();
+                }
+                let prev = task.running.fetch_sub(1, Ordering::Relaxed);
+                if task.exhausted.load(Ordering::Relaxed) {
+                    if prev == 1 && !task.completed.swap(true, Ordering::Relaxed) {
+                        inner.done_cv.notify_all();
+                    }
+                    if st.shutdown {
+                        // Parked workers re-check the exit condition
+                        // (the claimable set may just have emptied).
+                        inner.work_cv.notify_all();
+                    }
+                } else {
+                    // This task dropped below its worker cap — another
+                    // waiter may be able to pick it up now.
+                    inner.work_cv.notify_one();
+                }
+            }
+            None => {
+                if st.shutdown && st.tasks.is_empty() {
+                    break;
+                }
+                st = inner.work_cv.wait(st).expect("pool state");
+            }
+        }
+    }
+    drop(st);
+    inner.live.fetch_sub(1, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicI64;
+    use std::sync::Barrier;
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let s = Scheduler::new(0);
+        assert_eq!(s.workers(), 1);
+        assert_eq!(s.live_workers(), 1);
+    }
+
+    #[test]
+    fn pool_executes_every_morsel_exactly_once() {
+        let s = Scheduler::new(4);
+        let run = s.begin_query(DEFAULT_PRIORITY);
+        let seen: Vec<AtomicUsize> = (0..100_000).map(|_| AtomicUsize::new(0)).collect();
+        run.run_task(Morsels::with_size(100_000, 1024), 4, &|_, r| {
+            for i in r {
+                seen[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, c) in seen.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "tuple {i}");
+        }
+        let stats = run.stats();
+        assert_eq!(stats.tasks, 1);
+        assert_eq!(stats.morsels, 100_000usize.div_ceil(1024) as u64);
+    }
+
+    #[test]
+    fn empty_task_returns_immediately() {
+        let s = Scheduler::new(1);
+        let run = s.begin_query(DEFAULT_PRIORITY);
+        run.run_task(Morsels::new(0), 8, &|_, _| panic!("no morsels to run"));
+        assert_eq!(run.stats().tasks, 0);
+    }
+
+    #[test]
+    fn max_workers_bounds_task_concurrency() {
+        let s = Scheduler::new(8);
+        let run = s.begin_query(DEFAULT_PRIORITY);
+        let active = AtomicI64::new(0);
+        let peak = AtomicI64::new(0);
+        run.run_task(Morsels::with_size(256, 1), 2, &|_, _| {
+            let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_micros(200));
+            active.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "peak {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn concurrent_queries_interleave_on_one_worker() {
+        // One worker, two queries whose execution windows must overlap:
+        // with morsel-level round-robin the single worker switches
+        // between the tasks instead of draining one first.
+        let s = Arc::new(Scheduler::new(1));
+        let barrier = Arc::new(Barrier::new(2));
+        let order = Arc::new(Mutex::new(Vec::<usize>::new()));
+        let mut joins = Vec::new();
+        for q in 0..2usize {
+            let s = Arc::clone(&s);
+            let barrier = Arc::clone(&barrier);
+            let order = Arc::clone(&order);
+            joins.push(std::thread::spawn(move || {
+                let run = s.begin_query(DEFAULT_PRIORITY);
+                barrier.wait();
+                run.run_task(Morsels::with_size(40, 1), 1, &|_, _| {
+                    order.lock().unwrap().push(q);
+                    std::thread::sleep(Duration::from_millis(1));
+                });
+                run.stats()
+            }));
+        }
+        let stats: Vec<RunStats> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let order = order.lock().unwrap();
+        assert_eq!(order.len(), 80);
+        let first_1 = order.iter().position(|&q| q == 1).unwrap();
+        let last_0 = order.iter().rposition(|&q| q == 0).unwrap();
+        let first_0 = order.iter().position(|&q| q == 0).unwrap();
+        let last_1 = order.iter().rposition(|&q| q == 1).unwrap();
+        assert!(
+            first_1 < last_0 && first_0 < last_1,
+            "queries did not interleave: {order:?}"
+        );
+        // The worker switched between queries, so steals were recorded.
+        assert!(stats.iter().map(|s| s.steals).sum::<u64>() > 0);
+        assert_eq!(stats.iter().map(|s| s.morsels).sum::<u64>(), 80);
+    }
+
+    #[test]
+    fn priority_weights_round_robin() {
+        // Equal-length queries on one worker: the priority-4 query gets
+        // 4 picks per cycle and must finish well before the priority-1
+        // query that started alongside it.
+        let s = Arc::new(Scheduler::new(1));
+        let started_high = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let mut joins = Vec::new();
+        {
+            let (s, started, done) = (Arc::clone(&s), Arc::clone(&started_high), Arc::clone(&done));
+            joins.push(std::thread::spawn(move || {
+                let run = s.begin_query(4);
+                run.run_task(Morsels::with_size(60, 1), 1, &|_, _| {
+                    started.store(true, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_micros(500));
+                });
+                done.lock().unwrap().push("high");
+            }));
+        }
+        {
+            let (s, started, done) = (Arc::clone(&s), started_high, Arc::clone(&done));
+            joins.push(std::thread::spawn(move || {
+                // Submit only once the high-priority task is running, so
+                // both are concurrently schedulable from then on.
+                while !started.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+                let run = s.begin_query(1);
+                run.run_task(Morsels::with_size(60, 1), 1, &|_, _| {
+                    std::thread::sleep(Duration::from_micros(500));
+                });
+                done.lock().unwrap().push("low");
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(*done.lock().unwrap(), vec!["high", "low"]);
+    }
+
+    #[test]
+    fn admission_gate_bounds_inflight_queries() {
+        let s = Arc::new(Scheduler::with_limits(1, 1));
+        let first = s.begin_query(DEFAULT_PRIORITY);
+        let admitted = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let (s, admitted) = (Arc::clone(&s), Arc::clone(&admitted));
+            std::thread::spawn(move || {
+                let run = s.begin_query(DEFAULT_PRIORITY);
+                admitted.store(true, Ordering::SeqCst);
+                assert!(run.stats().admission_wait > Duration::ZERO);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            !admitted.load(Ordering::SeqCst),
+            "second query admitted past the gate"
+        );
+        drop(first);
+        waiter.join().unwrap();
+        assert!(admitted.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn drop_while_task_in_flight_drains_and_joins() {
+        // Regression: a worker parked on work_cv during shutdown must be
+        // re-woken when the busy worker completes the final task, or
+        // Scheduler::drop joins forever. The QueryRun deliberately only
+        // holds Arc<PoolInner>, so dropping the Scheduler mid-run is
+        // possible; the run must still complete.
+        let s = Scheduler::new(2);
+        let live = s.live_counter();
+        let run = s.begin_query(DEFAULT_PRIORITY);
+        let executed = Arc::new(AtomicUsize::new(0));
+        let submitter = {
+            let executed = Arc::clone(&executed);
+            std::thread::spawn(move || {
+                // max_workers = 1 keeps the second worker idle (parked).
+                run.run_task(Morsels::with_size(6, 1), 1, &|_, _| {
+                    std::thread::sleep(Duration::from_millis(10));
+                    executed.fetch_add(1, Ordering::SeqCst);
+                });
+            })
+        };
+        std::thread::sleep(Duration::from_millis(15)); // task is mid-flight
+        drop(s); // must drain the task, wake the parked worker, and join
+        submitter.join().unwrap();
+        assert_eq!(executed.load(Ordering::SeqCst), 6);
+        assert_eq!(live.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn run_task_after_scheduler_drop_panics_cleanly() {
+        // A QueryRun holds Arc<PoolInner>, not the Scheduler itself, so
+        // it can outlive the pool. Submitting to the shut-down pool must
+        // fail loudly (the workers are gone — the barrier would hang
+        // forever) without poisoning the state mutex.
+        let s = Scheduler::new(1);
+        let run = s.begin_query(DEFAULT_PRIORITY);
+        drop(s);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run.run_task(Morsels::with_size(4, 1), 1, &|_, _| {});
+        }));
+        assert!(result.is_err(), "run_task on a dead pool must panic, not hang");
+        // The mutex must not be poisoned: releasing the admission slot
+        // (QueryRun::drop) still works.
+        drop(run);
+    }
+
+    #[test]
+    fn drained_task_releases_its_barrier_before_other_queries_finish() {
+        // Regression: query A's barrier must release as soon as A's last
+        // morsel finishes, even while query B still has long morsels
+        // queued — not when a later pick-walk happens to revisit A.
+        let s = Arc::new(Scheduler::new(1));
+        let b_started = Arc::new(AtomicBool::new(false));
+        let b = {
+            let (s, b_started) = (Arc::clone(&s), Arc::clone(&b_started));
+            std::thread::spawn(move || {
+                let run = s.begin_query(DEFAULT_PRIORITY);
+                run.run_task(Morsels::with_size(5, 1), 1, &|_, _| {
+                    b_started.store(true, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(100));
+                });
+            })
+        };
+        while !b_started.load(Ordering::SeqCst) {
+            std::hint::spin_loop();
+        }
+        // B occupies the only worker; A's single tiny morsel runs in one
+        // of the round-robin gaps and must return right after it.
+        let run = s.begin_query(DEFAULT_PRIORITY);
+        let t0 = Instant::now();
+        run.run_task(Morsels::with_size(1, 1), 1, &|_, _| {});
+        let a_elapsed = t0.elapsed();
+        assert!(
+            a_elapsed < Duration::from_millis(300),
+            "A waited {a_elapsed:?} — barrier held hostage by B's morsels"
+        );
+        b.join().unwrap();
+    }
+
+    #[test]
+    fn workers_join_on_drop() {
+        let s = Scheduler::new(3);
+        let live = s.live_counter();
+        assert_eq!(live.load(Ordering::SeqCst), 3);
+        let run = s.begin_query(DEFAULT_PRIORITY);
+        let sum = AtomicI64::new(0);
+        run.run_task(Morsels::with_size(10_000, 64), 3, &|_, r| {
+            sum.fetch_add(r.len() as i64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10_000);
+        drop(run);
+        drop(s);
+        assert_eq!(live.load(Ordering::SeqCst), 0, "worker threads leaked past drop");
+    }
+
+    #[test]
+    fn body_panic_propagates_to_submitter() {
+        let s = Scheduler::new(2);
+        let run = s.begin_query(DEFAULT_PRIORITY);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run.run_task(Morsels::with_size(8, 1), 2, &|_, r| {
+                if r.start == 3 {
+                    panic!("boom at morsel 3");
+                }
+            });
+        }));
+        assert!(result.is_err(), "worker panic must surface at the barrier");
+        // The pool survives and runs subsequent tasks.
+        let count = AtomicI64::new(0);
+        run.run_task(Morsels::with_size(4, 1), 2, &|_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+}

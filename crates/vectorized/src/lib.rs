@@ -32,7 +32,7 @@ pub mod map;
 pub mod probe;
 pub mod sel;
 
-pub use chunk::{ChunkSource, DEFAULT_VECTOR_SIZE};
+pub use chunk::{chunks, ChunkSource, Chunks, DEFAULT_VECTOR_SIZE};
 pub use probe::ProbeBuffers;
 
 /// Which implementation of the hot primitives a plan uses (§5).

@@ -15,15 +15,28 @@
 //! through a final [`crate::ops::Aggregate`] over [`crate::ops::Rows`]).
 
 use crate::ops::{collect, BoxOp, Row};
-use dbep_runtime::map_workers;
+use dbep_runtime::ExecCtx;
 
-/// Run `make_plan(worker)` on `threads` workers and union all produced
-/// rows. With `threads <= 1` the plan runs inline on the caller.
-pub fn union<'a, F>(threads: usize, make_plan: F) -> Vec<Row>
+/// Run `make_plan(worker)` on one worker instance per degree of
+/// parallelism and union all produced rows. Instances are dispensed as
+/// unit tasks through `exec` — drained by the shared pool's workers
+/// when one is attached, by scoped threads otherwise (inline on the
+/// caller for a single-threaded context).
+///
+/// **Scheduling granularity caveat:** each unit task drains an entire
+/// plan instance, because Volcano operators hold state across the whole
+/// scan (that per-instance state *is* the honest cost model of the
+/// baseline interpreter). On a shared pool this makes a Volcano query
+/// coarse-grained: a worker that picks up an instance keeps it until
+/// the plan is exhausted, so the morsel-level inter-query fairness the
+/// scheduler gives Typer/Tectorwise does not apply within a Volcano
+/// plan, and long interpreted queries can head-of-line-block a small
+/// pool. Serve baseline mixes therefore exclude Volcano by default.
+pub fn union<'a, F>(exec: &ExecCtx, make_plan: F) -> Vec<Row>
 where
     F: Fn(usize) -> BoxOp<'a> + Sync,
 {
-    map_workers(threads.max(1), |w| collect(make_plan(w)))
+    exec.map_parts(exec.parallelism(), |w| collect(make_plan(w)))
         .into_iter()
         .flatten()
         .collect()
@@ -44,7 +57,7 @@ mod tests {
         t.add_column("k", ColumnData::I32((0..n).collect()));
         for threads in [1usize, 4] {
             let m = Morsels::new(n as usize);
-            let rows = union(threads, |_| {
+            let rows = union(&ExecCtx::spawn(threads), |_| {
                 Box::new(Select {
                     input: Box::new(Scan::new(&t, &["k"]).morsel_driven(&m)),
                     pred: Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit_i32(10_000)),

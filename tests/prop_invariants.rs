@@ -276,7 +276,7 @@ fn parallel_join_build_matches_serial() {
         for (i, &(k, v)) in rows.iter().enumerate() {
             shards[i % 4].push(murmur2(k as u64), (k, v));
         }
-        let parallel = JoinHt::from_shards(shards, 4);
+        let parallel = JoinHt::from_shards(shards, &db_engine_paradigms::runtime::ExecCtx::spawn(4));
         assert_eq!(serial.len(), parallel.len(), "case {case}");
         for &(k, _) in &rows {
             let count =
@@ -306,7 +306,11 @@ fn group_by_matches_hashmap() {
             }
             shards.push(shard.finish());
         }
-        let merged = merge_partitions(shards, 2, |a, b| *a += b);
+        let merged = merge_partitions(
+            shards,
+            &db_engine_paradigms::runtime::ExecCtx::spawn(2),
+            |a, b| *a += b,
+        );
         let mut model: HashMap<u64, i64> = HashMap::new();
         for &k in &keys {
             *model.entry(k).or_insert(0) += 1;
