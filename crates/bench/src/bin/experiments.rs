@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Ids: `fig3 table1 fig4 fig5 ssb table2 fig6 fig7 fig8 fig9 fig10
-//! table3 table4 table5 fig11 oltp table6 query serve all`. Each prints the
+//! table3 table4 table5 fig11 oltp table6 query serve compression all`. Each prints the
 //! same rows/series the paper reports (EXPERIMENTS.md records paper-
 //! versus-measured). Scale-factor defaults are sized for a ~20 GB host;
 //! pass `--sf` to reproduce the paper's exact scales on bigger machines.
@@ -35,8 +35,15 @@
 //! scheduler (worker count fixed at `--threads`) against the old
 //! spawn-per-query behavior (`--mode pool|spawn|both`), and reporting
 //! QPS, p50/p95/p99 latency and per-query scheduler stats (admission
-//! wait, queue wait, morsels, steals). Example:
+//! wait, queue wait, morsels, steals, bytes scanned). Example:
 //! `experiments -- serve --sf 0.1 --clients 1,4,16 --duration-ms 2000`.
+//!
+//! `--encoded` (supported by `fig3`, `query` and `serve`) builds the
+//! compressed companion columns after generation, so bandwidth-bound
+//! plans run their fused decompress-and-select scans. `compression`
+//! compares flat versus encoded directly: runtime and bytes-scanned for
+//! Q1/Q6/Q14/SSB Q1.1 on both block-at-a-time engines, recorded as
+//! `BENCH_compression.json` with `--json`.
 
 use dbep_bench::{counters_note, fmt_ms, measure_counters, per_tuple_header, per_tuple_row, time_median};
 use dbep_core::Session;
@@ -65,6 +72,8 @@ struct Args {
     duration_ms: u64,
     /// `serve`: `pool`, `spawn`, or `both`.
     mode: String,
+    /// Build compressed companions after generation (`--encoded`).
+    encoded: bool,
 }
 
 impl Args {
@@ -114,6 +123,7 @@ fn parse_args() -> Args {
         clients: vec![4],
         duration_ms: 2000,
         mode: "both".to_string(),
+        encoded: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -125,6 +135,7 @@ fn parse_args() -> Args {
             "--reps" => args.reps = it.next().expect("--reps N").parse().expect("numeric reps"),
             "--no-tag" => args.no_tag = true,
             "--json" => args.json = true,
+            "--encoded" => args.encoded = true,
             "--query" => {
                 let name = it.next().expect("--query <name>");
                 args.query = Some(name.parse().unwrap_or_else(|e| panic!("{e}")));
@@ -193,6 +204,28 @@ fn gen_ssb(sf: f64) -> Database {
     db
 }
 
+/// Build compressed companions (the `--encoded` switch, and the encoded
+/// side of `compression`).
+fn encode(mut db: Database) -> Database {
+    let t = Instant::now();
+    db.encode_all();
+    eprintln!(
+        "[gen] encoded companions in {:.1}s ({:.1} MB packed payload)",
+        t.elapsed().as_secs_f64(),
+        db.encoded_byte_size() as f64 / 1e6
+    );
+    db
+}
+
+/// `db`, encoded when `--encoded` was passed.
+fn maybe_encode(db: Database, a: &Args) -> Database {
+    if a.encoded {
+        encode(db)
+    } else {
+        db
+    }
+}
+
 // ---------------------------------------------------------------------
 // Fig. 3: single-threaded runtimes, Typer vs Tectorwise, TPC-H SF=1.
 // With --json: machine-readable runtimes over *every* registered query
@@ -202,11 +235,12 @@ fn fig3(a: &Args) {
     if a.json {
         return fig3_json(a);
     }
-    let db = gen_tpch(a.sf.unwrap_or(1.0));
+    let db = maybe_encode(gen_tpch(a.sf.unwrap_or(1.0)), a);
     let cfg = ExecCfg::default();
     println!(
-        "# Fig. 3 — TPC-H SF={}, 1 thread, runtime [ms]",
-        a.sf.unwrap_or(1.0)
+        "# Fig. 3 — TPC-H SF={}, 1 thread{}, runtime [ms]",
+        a.sf.unwrap_or(1.0),
+        if a.encoded { ", encoded storage" } else { "" }
     );
     println!("{:<6} {:>10} {:>10} {:>9}", "query", "Typer", "TW", "TW/Typer");
     for q in a.queries(&QueryId::TPCH) {
@@ -225,8 +259,8 @@ fn fig3(a: &Args) {
 fn fig3_json(a: &Args) {
     use dbep_bench::json;
     let sf = a.sf.unwrap_or(1.0);
-    let tpch = gen_tpch(sf);
-    let ssb_db = gen_ssb(sf);
+    let tpch = maybe_encode(gen_tpch(sf), a);
+    let ssb_db = maybe_encode(gen_ssb(sf), a);
     let cfg = ExecCfg::default();
     let queries = a.queries(&QueryId::ALL).into_iter().map(|q| {
         let db = if QueryId::SSB.contains(&q) { &ssb_db } else { &tpch };
@@ -251,6 +285,7 @@ fn fig3_json(a: &Args) {
         .field("sf", json::number(sf))
         .field("reps", format!("{}", a.reps))
         .field("threads", "1".to_string())
+        .field("encoded", format!("{}", a.encoded))
         .field("queries", json::array(queries))
         .build();
     println!("{doc}");
@@ -996,16 +1031,20 @@ fn query(a: &Args) {
     let q = a.query.unwrap_or(QueryId::Q6);
     let sf = a.sf.unwrap_or(0.1);
     let threads = a.threads.unwrap_or(1);
-    let db = if QueryId::SSB.contains(&q) {
-        gen_ssb(sf)
-    } else {
-        gen_tpch(sf)
-    };
+    let db = maybe_encode(
+        if QueryId::SSB.contains(&q) {
+            gen_ssb(sf)
+        } else {
+            gen_tpch(sf)
+        },
+        a,
+    );
     let session = Session::with_cfg(db, ExecCfg::with_threads(threads));
     let prepared = session.prepare(q);
     println!(
-        "# {} — SF={sf}, {threads} thread(s), default (paper) parameters",
-        q.name()
+        "# {} — SF={sf}, {threads} thread(s), default (paper) parameters{}",
+        q.name(),
+        if a.encoded { ", encoded storage" } else { "" }
     );
     let mut reference = None;
     for engine in a.engines() {
@@ -1113,7 +1152,10 @@ fn serve(a: &Args) {
     } else {
         &QueryId::TPCH
     };
-    let db = Arc::new(if ssb_selected { gen_ssb(sf) } else { gen_tpch(sf) });
+    let db = Arc::new(maybe_encode(
+        if ssb_selected { gen_ssb(sf) } else { gen_tpch(sf) },
+        a,
+    ));
     // Default engine mix: the paper's two fast paradigms; Volcano only
     // by explicit --engine volcano (it would dominate the closed loop).
     let engines = match a.engine {
@@ -1180,8 +1222,8 @@ fn serve_text(sf: f64, threads: usize, pairs: &[(QueryId, Engine)], scenarios: &
     {
         println!("\n## per-query scheduler stats (pool, {} clients)", sc.clients);
         println!(
-            "{:<18} {:>8} {:>12} {:>12} {:>10} {:>8}",
-            "query/engine", "runs", "avg admit", "avg queue", "morsels", "steals"
+            "{:<18} {:>8} {:>12} {:>12} {:>10} {:>8} {:>12}",
+            "query/engine", "runs", "avg admit", "avg queue", "morsels", "steals", "MB scanned"
         );
         for (pair, (q, e)) in pairs.iter().enumerate() {
             let runs: Vec<&ServeSample> = sc.samples.iter().filter(|s| s.pair == pair).collect();
@@ -1192,13 +1234,14 @@ fn serve_text(sf: f64, threads: usize, pairs: &[(QueryId, Engine)], scenarios: &
             let admit: Duration = runs.iter().map(|s| s.stats.admission_wait).sum::<Duration>() / n;
             let queue: Duration = runs.iter().map(|s| s.stats.queue_wait).sum::<Duration>() / n;
             println!(
-                "{:<18} {:>8} {:>12} {:>12} {:>10} {:>8}",
+                "{:<18} {:>8} {:>12} {:>12} {:>10} {:>8} {:>12.1}",
                 format!("{}/{}", q.name(), e.name()),
                 n,
                 format!("{:.2?}", admit),
                 format!("{:.2?}", queue),
                 runs.iter().map(|s| s.stats.morsels).sum::<u64>(),
                 runs.iter().map(|s| s.stats.steals).sum::<u64>(),
+                runs.iter().map(|s| s.stats.bytes_scanned).sum::<u64>() as f64 / 1e6,
             );
         }
     }
@@ -1248,6 +1291,10 @@ fn serve_json(a: &Args, sf: f64, threads: usize, pairs: &[(QueryId, Engine)], sc
                         "steals",
                         format!("{}", runs.iter().map(|s| s.stats.steals).sum::<u64>()),
                     )
+                    .field(
+                        "bytes_scanned",
+                        format!("{}", runs.iter().map(|s| s.stats.bytes_scanned).sum::<u64>()),
+                    )
                     .build(),
             )
         });
@@ -1270,6 +1317,7 @@ fn serve_json(a: &Args, sf: f64, threads: usize, pairs: &[(QueryId, Engine)], sc
         .field("sf", json::number(sf))
         .field("threads", format!("{threads}"))
         .field("duration_ms", format!("{}", a.duration_ms))
+        .field("encoded", format!("{}", a.encoded))
         .field(
             "mix",
             json::array(
@@ -1281,6 +1329,118 @@ fn serve_json(a: &Args, sf: f64, threads: usize, pairs: &[(QueryId, Engine)], sc
         .field("scenarios", json::array(rendered))
         .build();
     println!("{doc}");
+}
+
+// ---------------------------------------------------------------------
+// `compression`: flat versus encoded storage for the bandwidth-bound
+// plans — runtime and scheduler-side bytes_scanned per (query, engine),
+// with the reduction ratios. Results are asserted identical. Volcano is
+// excluded by default (it always scans flat; pick it via --engine to
+// see the unchanged baseline).
+// ---------------------------------------------------------------------
+fn compression(a: &Args) {
+    use dbep_bench::json;
+    let sf = a.sf.unwrap_or(0.1);
+    let threads = a.threads.unwrap_or(1);
+    let queries = a.queries(&[QueryId::Q1, QueryId::Q6, QueryId::Q14, QueryId::Ssb1_1]);
+    let engines = match a.engine {
+        Some(e) => vec![e],
+        None => vec![Engine::Typer, Engine::Tectorwise],
+    };
+    let cfg = ExecCfg::with_threads(threads);
+    let mut sessions: Vec<(bool, Session, Session)> = Vec::new(); // (is_ssb, flat, encoded)
+    fn session_pair(
+        sessions: &mut Vec<(bool, Session, Session)>,
+        ssb: bool,
+        sf: f64,
+        cfg: ExecCfg<'static>,
+    ) -> usize {
+        if let Some(i) = sessions.iter().position(|(s, ..)| *s == ssb) {
+            return i;
+        }
+        let flat = if ssb { gen_ssb(sf) } else { gen_tpch(sf) };
+        let enc = encode(flat.clone());
+        sessions.push((ssb, Session::with_cfg(flat, cfg), Session::with_cfg(enc, cfg)));
+        sessions.len() - 1
+    }
+    struct Row {
+        query: QueryId,
+        engine: Engine,
+        flat_ms: f64,
+        enc_ms: f64,
+        flat_bytes: u64,
+        enc_bytes: u64,
+    }
+    let mut rows = Vec::new();
+    for q in queries {
+        let i = session_pair(&mut sessions, QueryId::SSB.contains(&q), sf, cfg);
+        let (_, flat, enc) = &sessions[i];
+        for &engine in &engines {
+            let pf = flat.prepare(q);
+            let pe = enc.prepare(q);
+            let (r_flat, s_flat) = pf.run_with_stats(engine);
+            let (r_enc, s_enc) = pe.run_with_stats(engine);
+            assert_eq!(
+                r_flat,
+                r_enc,
+                "{} on {engine:?}: encoded result differs",
+                q.name()
+            );
+            let t_flat = time_median(a.reps, || std::mem::drop(pf.run(engine)));
+            let t_enc = time_median(a.reps, || std::mem::drop(pe.run(engine)));
+            rows.push(Row {
+                query: q,
+                engine,
+                flat_ms: t_flat.as_secs_f64() * 1e3,
+                enc_ms: t_enc.as_secs_f64() * 1e3,
+                flat_bytes: s_flat.bytes_scanned,
+                enc_bytes: s_enc.bytes_scanned,
+            });
+        }
+    }
+    if a.json {
+        let rendered = rows.iter().map(|r| {
+            json::Object::new()
+                .field("query", json::string(r.query.name()))
+                .field("engine", json::string(r.engine.name()))
+                .field("flat_ms", json::number(r.flat_ms))
+                .field("encoded_ms", json::number(r.enc_ms))
+                .field("speedup", json::number(r.flat_ms / r.enc_ms))
+                .field("flat_bytes_scanned", format!("{}", r.flat_bytes))
+                .field("encoded_bytes_scanned", format!("{}", r.enc_bytes))
+                .field(
+                    "bytes_reduction",
+                    json::number(r.flat_bytes as f64 / r.enc_bytes.max(1) as f64),
+                )
+                .build()
+        });
+        let doc = json::Object::new()
+            .field("experiment", json::string("compression"))
+            .field("sf", json::number(sf))
+            .field("threads", format!("{threads}"))
+            .field("reps", format!("{}", a.reps))
+            .field("queries", json::array(rendered))
+            .build();
+        println!("{doc}");
+    } else {
+        println!("# compression — flat vs encoded storage, SF={sf}, {threads} thread(s), runtime [ms] / bytes scanned");
+        println!(
+            "{:<18} {:>9} {:>9} {:>7} {:>12} {:>12} {:>7}",
+            "query/engine", "flat", "encoded", "spdup", "flat MB", "enc MB", "ratio"
+        );
+        for r in &rows {
+            println!(
+                "{:<18} {:>9.2} {:>9.2} {:>7.2} {:>12.1} {:>12.1} {:>7.2}",
+                format!("{}/{}", r.query.name(), r.engine.name()),
+                r.flat_ms,
+                r.enc_ms,
+                r.flat_ms / r.enc_ms,
+                r.flat_bytes as f64 / 1e6,
+                r.enc_bytes as f64 / 1e6,
+                r.flat_bytes as f64 / r.enc_bytes.max(1) as f64,
+            );
+        }
+    }
 }
 
 type Experiment = fn(&Args);
@@ -1308,6 +1468,7 @@ fn main() {
         ("table6", table6),
         ("query", query),
         ("serve", serve),
+        ("compression", compression),
     ];
     if args.id == "all" {
         for (name, f) in &all {

@@ -23,6 +23,8 @@
 //! loop; the next pipeline starts after all workers finish the previous
 //! one, mirroring HyPer's barrier-separated pipeline phases (§6.1).
 
+pub mod packed;
 pub mod pipeline;
 
+pub use packed::PackedReader;
 pub use pipeline::{Filter, Map, Pipeline, Sink};

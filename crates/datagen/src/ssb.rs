@@ -60,6 +60,19 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     generate_par(sf, seed, 1)
 }
 
+/// As [`generate`], then build compressed companions for every
+/// encodable column ([`Database::encode_all`]); flat columns untouched.
+pub fn generate_encoded(sf: f64, seed: u64) -> Database {
+    generate_encoded_par(sf, seed, 1)
+}
+
+/// As [`generate_encoded`] with parallel fact-table generation.
+pub fn generate_encoded_par(sf: f64, seed: u64, threads: usize) -> Database {
+    let mut db = generate_par(sf, seed, threads);
+    db.encode_all();
+    db
+}
+
 /// As [`generate`] with parallel fact-table generation (output identical
 /// for any thread count).
 pub fn generate_par(sf: f64, seed: u64, threads: usize) -> Database {

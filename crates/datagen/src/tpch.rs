@@ -196,6 +196,21 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     generate_par(sf, seed, 1)
 }
 
+/// As [`generate`], then build compressed companions for every
+/// encodable column ([`Database::encode_all`]). The flat columns are
+/// untouched, so results and seeded expectations are identical; plans
+/// with fused-scan variants switch to the encoded form automatically.
+pub fn generate_encoded(sf: f64, seed: u64) -> Database {
+    generate_encoded_par(sf, seed, 1)
+}
+
+/// As [`generate_encoded`] with parallel generation.
+pub fn generate_encoded_par(sf: f64, seed: u64, threads: usize) -> Database {
+    let mut db = generate_par(sf, seed, threads);
+    db.encode_all();
+    db
+}
+
 /// As [`generate`], using up to `threads` worker threads. The output is
 /// identical for any thread count.
 pub fn generate_par(sf: f64, seed: u64, threads: usize) -> Database {

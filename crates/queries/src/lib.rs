@@ -89,11 +89,20 @@ impl<'a> ExecCfg<'a> {
         self.hash.unwrap_or(HashFn::Murmur2)
     }
 
-    /// Pace a scan morsel against the configured storage device.
+    /// Account a scan morsel: record the touched bytes into the run's
+    /// scheduler stats and pace against the configured storage device.
+    ///
+    /// `row_bits` is the per-row payload width in **bits** — encoded
+    /// companions contribute their packed width (`Table::row_bits`),
+    /// flat columns their byte width × 8.
     #[inline]
-    pub fn pace(&self, rows: usize, bytes_per_row: usize) {
+    pub fn pace(&self, rows: usize, row_bits: usize) {
+        let bytes = rows * row_bits / 8;
+        if let Some(run) = self.sched {
+            run.add_bytes(bytes as u64);
+        }
         if let Some(t) = self.throttle {
-            t.consume(rows * bytes_per_row);
+            t.consume(bytes);
         }
     }
 
@@ -124,12 +133,12 @@ impl<'a> ExecCfg<'a> {
     pub fn map_scan<T: Send>(
         &self,
         total: usize,
-        bytes_per_row: usize,
+        row_bits: usize,
         init: impl Fn(usize) -> T + Sync,
         fold: impl Fn(&mut T, Range<usize>) + Sync,
     ) -> Vec<T> {
         self.exec().map_slots(Morsels::new(total), init, |state, r| {
-            self.pace(r.len(), bytes_per_row);
+            self.pace(r.len(), row_bits);
             fold(state, r);
         })
     }

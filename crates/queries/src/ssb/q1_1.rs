@@ -10,11 +10,25 @@
 use crate::params::SsbQ11Params;
 use crate::result::{QueryResult, Value};
 use crate::{ExecCfg, Params};
+use dbep_compiled::PackedReader;
 use dbep_runtime::JoinHt;
-use dbep_storage::Database;
+use dbep_storage::{Database, PackedInts, Table};
 use dbep_vectorized as tw;
 
-const LO_BYTES: usize = 4 + 8 + 8 + 8;
+const LO_BITS: usize = 8 * (4 + 8 + 8 + 8);
+
+/// The four scanned fact columns, bandwidth-accounting order.
+const LO_COLS: [&str; 4] = ["lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice"];
+
+/// Bit-packed companions for all four fact columns, if present. The tiny
+/// date dimension stays flat — compressing it saves nothing measurable.
+fn packed_cols(lo: &Table) -> Option<[&PackedInts; 4]> {
+    let mut out = [None; 4];
+    for (slot, name) in out.iter_mut().zip(LO_COLS) {
+        *slot = Some(lo.encoded(name)?.packed());
+    }
+    Some(out.map(|c| c.expect("filled above")))
+}
 
 fn finish(revenue: i64) -> QueryResult {
     QueryResult::new(&["revenue"], vec![vec![Value::dec4(revenue as i128)]], &[], None)
@@ -31,19 +45,124 @@ fn build_date_ht(db: &Database, hf: dbep_runtime::hash::HashFn, year: i32) -> Jo
     )
 }
 
-/// Typer: fused filter + probe + sum.
-pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ11Params) -> QueryResult {
+/// Typer over encoded storage: the fused filter + probe + sum loop with
+/// all four fact columns unpacked in registers.
+fn typer_encoded(
+    db: &Database,
+    lo: &Table,
+    cols: [&PackedInts; 4],
+    cfg: &ExecCfg,
+    p: &SsbQ11Params,
+) -> QueryResult {
     let (disc_lo, disc_hi, qty_hi) = (p.disc_lo, p.disc_hi, p.qty_hi);
     let hf = cfg.typer_hash();
     let ht_d = build_date_ht(db, hf, p.year);
+    let [od, disc, qty, ext] = cols;
+    let locals = cfg.map_scan(
+        lo.len(),
+        lo.row_bits(&LO_COLS),
+        |_| 0i64,
+        |local, r| {
+            let mut od_r = PackedReader::new(od, r.start);
+            let mut disc_r = PackedReader::new(disc, r.start);
+            let mut qty_r = PackedReader::new(qty, r.start);
+            let mut ext_r = PackedReader::new(ext, r.start);
+            for _ in r {
+                let o = od_r.next() as i32;
+                let d = disc_r.next();
+                let q = qty_r.next();
+                let e = ext_r.next();
+                if d >= disc_lo && d <= disc_hi && q < qty_hi {
+                    let h = hf.hash(o as u64);
+                    if ht_d.probe(h).any(|entry| entry.row == o) {
+                        *local += e * d;
+                    }
+                }
+            }
+        },
+    );
+    finish(locals.into_iter().sum())
+}
+
+/// Tectorwise over encoded storage: one fused BETWEEN kernel and one
+/// fused sparse comparison replace the flat cascade; join keys and
+/// measures decode through conditional-aggregate readers.
+fn tectorwise_encoded(
+    db: &Database,
+    lo: &Table,
+    cols: [&PackedInts; 4],
+    cfg: &ExecCfg,
+    p: &SsbQ11Params,
+) -> QueryResult {
+    let (disc_lo, disc_hi, qty_hi) = (p.disc_lo, p.disc_hi, p.qty_hi);
+    let hf = cfg.tw_hash();
+    let policy = cfg.policy;
+    let ht_d = build_date_ht(db, hf, p.year);
+    let [od, disc, qty, ext] = cols;
+    #[derive(Default)]
+    struct Scratch {
+        local: i64,
+        s1: Vec<u32>,
+        s2: Vec<u32>,
+        hashes: Vec<u64>,
+        bufs: tw::ProbeBuffers,
+        v_od: Vec<i64>,
+        v_ext: Vec<i64>,
+        v_disc: Vec<i64>,
+        v_rev: Vec<i64>,
+    }
+    let locals = cfg.map_scan(
+        lo.len(),
+        lo.row_bits(&LO_COLS),
+        |_| Scratch::default(),
+        |st, r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                if tw::sel::sel_between_i64_for(disc, disc_lo, disc_hi, c, &mut st.s1, policy) == 0 {
+                    continue;
+                }
+                if tw::sel::sel_lt_i64_packed_sparse(qty, qty_hi, &st.s1, &mut st.s2, policy) == 0 {
+                    continue;
+                }
+                tw::gather::gather_packed_i64(od, &st.s2, policy, &mut st.v_od);
+                st.hashes.clear();
+                st.hashes.extend(st.v_od.iter().map(|&k| hf.hash(k as u64)));
+                if tw::probe::probe_join(
+                    &ht_d,
+                    &st.hashes,
+                    &st.s2,
+                    |row, t| *row as i64 == od.get(t as usize),
+                    policy,
+                    &mut st.bufs,
+                ) == 0
+                {
+                    continue;
+                }
+                tw::gather::gather_packed_i64(ext, &st.bufs.match_tuple, policy, &mut st.v_ext);
+                tw::gather::gather_packed_i64(disc, &st.bufs.match_tuple, policy, &mut st.v_disc);
+                tw::map::map_mul_i64(&st.v_ext, &st.v_disc, &mut st.v_rev);
+                st.local += tw::map::sum_i64(&st.v_rev, policy);
+            }
+        },
+    );
+    finish(locals.into_iter().map(|s| s.local).sum())
+}
+
+/// Typer: fused filter + probe + sum.
+pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ11Params) -> QueryResult {
     let lo = db.table("lineorder");
+    if let Some(cols) = packed_cols(lo) {
+        return typer_encoded(db, lo, cols, cfg, p);
+    }
+    let (disc_lo, disc_hi, qty_hi) = (p.disc_lo, p.disc_hi, p.qty_hi);
+    let hf = cfg.typer_hash();
+    let ht_d = build_date_ht(db, hf, p.year);
     let od = lo.col("lo_orderdate").i32s();
     let disc = lo.col("lo_discount").i64s();
     let qty = lo.col("lo_quantity").i64s();
     let ext = lo.col("lo_extendedprice").i64s();
     let locals = cfg.map_scan(
         lo.len(),
-        LO_BYTES,
+        LO_BITS,
         |_| 0i64,
         |local, r| {
             for i in r {
@@ -61,11 +180,14 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ11Params) -> QueryResult {
 
 /// Tectorwise: two selections, one probe, gather/multiply/sum.
 pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &SsbQ11Params) -> QueryResult {
+    let lo = db.table("lineorder");
+    if let Some(cols) = packed_cols(lo) {
+        return tectorwise_encoded(db, lo, cols, cfg, p);
+    }
     let (disc_lo, disc_hi, qty_hi) = (p.disc_lo, p.disc_hi, p.qty_hi);
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
     let ht_d = build_date_ht(db, hf, p.year);
-    let lo = db.table("lineorder");
     let od = lo.col("lo_orderdate").i32s();
     let disc = lo.col("lo_discount").i64s();
     let qty = lo.col("lo_quantity").i64s();
@@ -83,7 +205,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &SsbQ11Params) -> QueryResult
     }
     let locals = cfg.map_scan(
         lo.len(),
-        LO_BYTES,
+        LO_BITS,
         |_| Scratch::default(),
         |st, r| {
             for c in tw::chunks(r, cfg.vector_size) {
@@ -132,7 +254,11 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ11Params) -> QueryResult {
     let m = Morsels::new(lo.len());
     let partials = exchange::union(&cfg.exec(), |_| {
         let dates = Select {
-            input: Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"]).paced(cfg.throttle)),
+            input: Box::new(
+                Scan::new(db.table("date"), &["d_datekey", "d_year"])
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
+            ),
             pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(p.year)),
         };
         let fact = Select {
@@ -142,6 +268,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ11Params) -> QueryResult {
                     &["lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice"],
                 )
                 .paced(cfg.throttle)
+                .recorded(cfg.sched)
                 .morsel_driven(&m),
             ),
             pred: Expr::And(vec![

@@ -19,7 +19,7 @@ use dbep_runtime::{GroupByShard, JoinHt};
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
-const LO_BYTES: usize = 4 * 3 + 8;
+const LO_BITS: usize = 8 * (4 * 3 + 8);
 const PREAGG_GROUPS: usize = 1 << 12;
 
 fn finish(groups: Vec<((i32, i32), i64)>) -> QueryResult {
@@ -79,7 +79,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ21Params) -> QueryResult {
     let rev = lo.col("lo_revenue").i64s();
     let shards = cfg.map_scan(
         lo.len(),
-        LO_BYTES,
+        LO_BITS,
         |_| GroupByShard::<(i32, i32), i64>::new(PREAGG_GROUPS),
         |shard, r| {
             for i in r {
@@ -134,7 +134,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &SsbQ21Params) -> QueryResult
     }
     let shards = cfg.map_scan(
         lo.len(),
-        LO_BYTES,
+        LO_BITS,
         |_| {
             (
                 GroupByShard::<(i32, i32), i64>::new(PREAGG_GROUPS),
@@ -222,7 +222,9 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ21Params) -> QueryResult {
     let partials = exchange::union(&cfg.exec(), |_| {
         let part_f = Select {
             input: Box::new(
-                Scan::new(db.table("ssb_part"), &["p_partkey", "p_brand1", "p_category"]).paced(cfg.throttle),
+                Scan::new(db.table("ssb_part"), &["p_partkey", "p_brand1", "p_category"])
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
             ),
             pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(p.category)),
         };
@@ -233,13 +235,16 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ21Params) -> QueryResult {
             Box::new(
                 Scan::new(lo, &["lo_partkey", "lo_suppkey", "lo_orderdate", "lo_revenue"])
                     .paced(cfg.throttle)
+                    .recorded(cfg.sched)
                     .morsel_driven(&m),
             ),
             vec![Expr::col(0)],
         );
         let supp_f = Select {
             input: Box::new(
-                Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_region"]).paced(cfg.throttle),
+                Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_region"])
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
             ),
             pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(p.region)),
         };
@@ -252,7 +257,11 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ21Params) -> QueryResult {
         );
         // [d_datekey, d_year] ++ 9 cols
         let j_d = HashJoin::new(
-            Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"]).paced(cfg.throttle)),
+            Box::new(
+                Scan::new(db.table("date"), &["d_datekey", "d_year"])
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
+            ),
             vec![Expr::col(0)],
             Box::new(j_s),
             vec![Expr::col(7)],

@@ -20,7 +20,7 @@ use dbep_runtime::{GroupByShard, JoinHt};
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
-const LO_BYTES: usize = 4 * 3 + 8;
+const LO_BITS: usize = 8 * (4 * 3 + 8);
 const PREAGG_GROUPS: usize = 1 << 12;
 
 type Key = (i32, i32, i32); // (c_nation, s_nation, d_year)
@@ -95,7 +95,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ31Params) -> QueryResult {
     let rev = lo.col("lo_revenue").i64s();
     let shards = cfg.map_scan(
         lo.len(),
-        LO_BYTES,
+        LO_BITS,
         |_| GroupByShard::<Key, i64>::new(PREAGG_GROUPS),
         |shard, r| {
             for i in r {
@@ -152,7 +152,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &SsbQ31Params) -> QueryResult
     }
     let shards = cfg.map_scan(
         lo.len(),
-        LO_BYTES,
+        LO_BITS,
         |_| (GroupByShard::<Key, i64>::new(PREAGG_GROUPS), Scratch::default()),
         |(shard, st), r| {
             for c in tw::chunks(r, cfg.vector_size) {
@@ -235,7 +235,8 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ31Params) -> QueryResult {
         let supp_f = Select {
             input: Box::new(
                 Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_nation", "s_region"])
-                    .paced(cfg.throttle),
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
             ),
             pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(p.supp_region)),
         };
@@ -246,6 +247,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ31Params) -> QueryResult {
             Box::new(
                 Scan::new(lo, &["lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue"])
                     .paced(cfg.throttle)
+                    .recorded(cfg.sched)
                     .morsel_driven(&m),
             ),
             vec![Expr::col(1)],
@@ -253,7 +255,8 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ31Params) -> QueryResult {
         let cust_f = Select {
             input: Box::new(
                 Scan::new(db.table("ssb_customer"), &["c_custkey", "c_nation", "c_region"])
-                    .paced(cfg.throttle),
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
             ),
             pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(p.cust_region)),
         };
@@ -265,7 +268,11 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ31Params) -> QueryResult {
             vec![Expr::col(3)],
         );
         let date_f = Select {
-            input: Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"]).paced(cfg.throttle)),
+            input: Box::new(
+                Scan::new(db.table("date"), &["d_datekey", "d_year"])
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
+            ),
             pred: Expr::And(vec![
                 Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit_i32(p.year_lo)),
                 Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit_i32(p.year_hi)),

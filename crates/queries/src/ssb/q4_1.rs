@@ -20,7 +20,7 @@ use dbep_runtime::{GroupByShard, JoinHt};
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
-const LO_BYTES: usize = 4 * 4 + 8 * 2;
+const LO_BITS: usize = 8 * (4 * 4 + 8 * 2);
 const PREAGG_GROUPS: usize = 1 << 12;
 
 type Key = (i32, i32); // (d_year, c_nation)
@@ -101,7 +101,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ41Params) -> QueryResult {
     let cost = lo.col("lo_supplycost").i64s();
     let shards = cfg.map_scan(
         lo.len(),
-        LO_BYTES,
+        LO_BITS,
         |_| GroupByShard::<Key, i64>::new(PREAGG_GROUPS),
         |shard, r| {
             for i in r {
@@ -165,7 +165,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &SsbQ41Params) -> QueryResult
     }
     let shards = cfg.map_scan(
         lo.len(),
-        LO_BYTES,
+        LO_BITS,
         |_| (GroupByShard::<Key, i64>::new(PREAGG_GROUPS), Scratch::default()),
         |(shard, st), r| {
             for c in tw::chunks(r, cfg.vector_size) {
@@ -254,7 +254,9 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ41Params) -> QueryResult {
     let partials = exchange::union(&cfg.exec(), |_| {
         let supp_f = Select {
             input: Box::new(
-                Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_region"]).paced(cfg.throttle),
+                Scan::new(db.table("ssb_supplier"), &["s_suppkey", "s_region"])
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
             ),
             pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(p.supp_region)),
         };
@@ -275,6 +277,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ41Params) -> QueryResult {
                     ],
                 )
                 .paced(cfg.throttle)
+                .recorded(cfg.sched)
                 .morsel_driven(&m),
             ),
             vec![Expr::col(1)],
@@ -282,7 +285,8 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ41Params) -> QueryResult {
         let cust_f = Select {
             input: Box::new(
                 Scan::new(db.table("ssb_customer"), &["c_custkey", "c_nation", "c_region"])
-                    .paced(cfg.throttle),
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
             ),
             pred: Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::lit_i32(p.cust_region)),
         };
@@ -294,7 +298,11 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ41Params) -> QueryResult {
             vec![Expr::col(2)],
         );
         let part_f = Select {
-            input: Box::new(Scan::new(db.table("ssb_part"), &["p_partkey", "p_mfgr"]).paced(cfg.throttle)),
+            input: Box::new(
+                Scan::new(db.table("ssb_part"), &["p_partkey", "p_mfgr"])
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
+            ),
             pred: Expr::Or(vec![
                 Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(p.mfgrs[0])),
                 Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit_i32(p.mfgrs[1])),
@@ -309,7 +317,11 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &SsbQ41Params) -> QueryResult {
         );
         // [d_datekey, d_year] ++ 13 cols (2..15)
         let j_d = HashJoin::new(
-            Box::new(Scan::new(db.table("date"), &["d_datekey", "d_year"]).paced(cfg.throttle)),
+            Box::new(
+                Scan::new(db.table("date"), &["d_datekey", "d_year"])
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
+            ),
             vec![Expr::col(0)],
             Box::new(j_p),
             vec![Expr::col(10)],

@@ -29,8 +29,8 @@ use dbep_runtime::JoinHt;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
-const ORD_BYTES: usize = 4 + 9; // orderkey + priority text
-const LI_BYTES: usize = 4 + 3 * 4 + 5; // orderkey + 3 dates + shipmode text
+const ORD_BITS: usize = 8 * (4 + 9); // orderkey + priority text
+const LI_BITS: usize = 8 * (4 + 3 * 4 + 5); // orderkey + 3 dates + shipmode text
 
 /// `counts[mode][1]` = high_line_count, `counts[mode][0]` = low.
 type ModeCounts = [[i64; 2]; 2];
@@ -74,7 +74,7 @@ fn build_orders_ht(db: &Database, cfg: &ExecCfg, hf: dbep_runtime::hash::HashFn)
     let prio = ord.col("o_orderpriority").strs();
     let shards = cfg.map_scan(
         ord.len(),
-        ORD_BYTES,
+        ORD_BITS,
         |_| JoinHtShard::<(i32, u8)>::new(),
         |sh, r| {
             for i in r {
@@ -104,7 +104,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q12Params) -> QueryResult {
     let mode = li.col("l_shipmode").strs();
     let parts = cfg.map_scan(
         li.len(),
-        LI_BYTES,
+        LI_BITS,
         |_| [[0i64; 2]; 2],
         |counts: &mut ModeCounts, r| {
             for i in r {
@@ -162,7 +162,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q12Params) -> QueryResult {
     }
     let parts = cfg.map_scan(
         li.len(),
-        LI_BYTES,
+        LI_BITS,
         |_| ([[0i64; 2]; 2], Scratch::default()),
         |(counts, st), r| {
             for c in tw::chunks(r, cfg.vector_size) {
@@ -238,6 +238,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q12Params) -> QueryResult {
                     ],
                 )
                 .paced(cfg.throttle)
+                .recorded(cfg.sched)
                 .morsel_driven(&m),
             ),
             pred: Expr::And(vec![
@@ -253,7 +254,11 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q12Params) -> QueryResult {
         };
         // rows: [o_orderkey, o_orderpriority] ++ the 5 lineitem columns.
         let join = HashJoin::new(
-            Box::new(Scan::new(db.table("orders"), &["o_orderkey", "o_orderpriority"]).paced(cfg.throttle)),
+            Box::new(
+                Scan::new(db.table("orders"), &["o_orderkey", "o_orderpriority"])
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
+            ),
             vec![Expr::col(0)],
             Box::new(li_f),
             vec![Expr::col(0)],

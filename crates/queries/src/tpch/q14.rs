@@ -21,13 +21,42 @@
 use crate::params::Q14Params;
 use crate::result::{QueryResult, Value};
 use crate::{ExecCfg, Params};
+use dbep_compiled::PackedReader;
 use dbep_runtime::join_ht::JoinHtShard;
 use dbep_runtime::JoinHt;
-use dbep_storage::Database;
+use dbep_storage::{Database, DictStrColumn, PackedInts, Table};
 use dbep_vectorized as tw;
 
-const PART_BYTES: usize = 4 + 21; // partkey + type text
-const LI_BYTES: usize = 4 + 4 + 8 + 8; // partkey + shipdate + price + discount
+const PART_BITS: usize = 8 * (4 + 21); // partkey + type text, flat
+const LI_BITS: usize = 8 * (4 + 4 + 8 + 8); // partkey + shipdate + price + discount, flat
+
+const PART_COLS: [&str; 2] = ["p_partkey", "p_type"];
+const LI_COLS: [&str; 4] = ["l_partkey", "l_shipdate", "l_extendedprice", "l_discount"];
+
+/// Encoded companions for both sides of the join, if all are present:
+/// packed `p_partkey`, dictionary-coded `p_type`, and the four packed
+/// lineitem columns.
+fn encoded_cols<'a>(
+    part: &'a Table,
+    li: &'a Table,
+) -> Option<(&'a PackedInts, &'a DictStrColumn, [&'a PackedInts; 4])> {
+    let pkey = part.encoded("p_partkey")?.packed();
+    let ptype = part.encoded("p_type")?.dict_str();
+    let mut out = [None; 4];
+    for (slot, name) in out.iter_mut().zip(LI_COLS) {
+        *slot = Some(li.encoded(name)?.packed());
+    }
+    Some((pkey, ptype, out.map(|c| c.expect("filled above"))))
+}
+
+/// `LIKE 'PROMO%'` evaluated once per dictionary entry instead of once
+/// per row — the dictionary-coding payoff: the per-row prefix test
+/// collapses to a byte-indexed table lookup.
+fn promo_flags(ptype: &DictStrColumn, prefix: &[u8]) -> Vec<u8> {
+    (0..ptype.dict().len())
+        .map(|c| ptype.dict().get_bytes(c).starts_with(prefix) as u8)
+        .collect()
+}
 
 /// `100.00 * promo / total` as a scale-4 decimal (both sums are scale-4
 /// fixed point; truncating division, shared by every engine).
@@ -36,19 +65,87 @@ fn finish(promo: i128, total: i128) -> QueryResult {
     QueryResult::new(&["promo_revenue"], vec![vec![Value::dec4(digits)]], &[], None)
 }
 
+/// Typer over encoded storage: the build side reads dictionary codes
+/// and flags them through [`promo_flags`]; the probe side unpacks all
+/// four lineitem columns in registers.
+fn typer_encoded(
+    part: &Table,
+    li: &Table,
+    pkey: &PackedInts,
+    ptype: &DictStrColumn,
+    lcols: [&PackedInts; 4],
+    cfg: &ExecCfg,
+    p: &Q14Params,
+) -> QueryResult {
+    let (ship_lo, ship_hi) = (p.ship_lo as i64, p.ship_hi as i64);
+    let hf = cfg.typer_hash();
+    // Pipeline 1: part → HT_part (partkey → PROMO flag via dict codes).
+    let flags = promo_flags(ptype, p.prefix.as_bytes());
+    let codes = ptype.codes();
+    let shards = cfg.map_scan(
+        part.len(),
+        part.row_bits(&PART_COLS),
+        |_| JoinHtShard::<(i32, u8)>::new(),
+        |sh, r| {
+            let mut pk_r = PackedReader::new(pkey, r.start);
+            for i in r {
+                let pk = pk_r.next() as i32;
+                sh.push(hf.hash(pk as u64), (pk, flags[codes[i] as usize]));
+            }
+        },
+    );
+    let ht_part = JoinHt::from_shards(shards, &cfg.exec());
+
+    // Pipeline 2: σ(lineitem) ⋈ HT_part → (promo, total).
+    let [lpk, ship, ext, disc] = lcols;
+    let parts = cfg.map_scan(
+        li.len(),
+        li.row_bits(&LI_COLS),
+        |_| (0i128, 0i128),
+        |(promo, total), r| {
+            let mut lpk_r = PackedReader::new(lpk, r.start);
+            let mut ship_r = PackedReader::new(ship, r.start);
+            let mut ext_r = PackedReader::new(ext, r.start);
+            let mut disc_r = PackedReader::new(disc, r.start);
+            for _ in r {
+                let pk = lpk_r.next() as i32;
+                let s = ship_r.next();
+                let e = ext_r.next();
+                let d = disc_r.next();
+                if s >= ship_lo && s < ship_hi {
+                    let h = hf.hash(pk as u64);
+                    for entry in ht_part.probe(h) {
+                        if entry.row.0 == pk {
+                            let rev = e * (100 - d);
+                            *promo += (entry.row.1 as i64 * rev) as i128;
+                            *total += rev as i128;
+                        }
+                    }
+                }
+            }
+        },
+    );
+    let (promo, total) = parts.into_iter().fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+    finish(promo, total)
+}
+
 /// Typer: build with a fused prefix test, then one probe loop with two
 /// register-resident accumulators (`promo += flag * rev`).
 pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
+    let part = db.table("part");
+    let li = db.table("lineitem");
+    if let Some((pkey, ptype, lcols)) = encoded_cols(part, li) {
+        return typer_encoded(part, li, pkey, ptype, lcols, cfg, p);
+    }
     let prefix = p.prefix.as_bytes();
     let (ship_lo, ship_hi) = (p.ship_lo, p.ship_hi);
     let hf = cfg.typer_hash();
     // Pipeline 1: part → HT_part (partkey → PROMO flag).
-    let part = db.table("part");
     let pkey = part.col("p_partkey").i32s();
     let ptype = part.col("p_type").strs();
     let shards = cfg.map_scan(
         part.len(),
-        PART_BYTES,
+        PART_BITS,
         |_| JoinHtShard::<(i32, u8)>::new(),
         |sh, r| {
             for i in r {
@@ -67,7 +164,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
     let disc = li.col("l_discount").i64s();
     let parts = cfg.map_scan(
         li.len(),
-        LI_BYTES,
+        LI_BITS,
         |_| (0i128, 0i128),
         |(promo, total), r| {
             for i in r {
@@ -89,21 +186,116 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
     finish(promo, total)
 }
 
+/// Tectorwise over encoded storage: the build-side prefix primitive
+/// becomes a dictionary flag lookup; the probe side runs a fused BETWEEN
+/// kernel on the packed shipdate and decodes join keys and measures with
+/// conditional-aggregate readers.
+fn tectorwise_encoded(
+    part: &Table,
+    li: &Table,
+    pkey: &PackedInts,
+    ptype: &DictStrColumn,
+    lcols: [&PackedInts; 4],
+    cfg: &ExecCfg,
+    p: &Q14Params,
+) -> QueryResult {
+    let (ship_lo, ship_hi) = (p.ship_lo, p.ship_hi);
+    let hf = cfg.tw_hash();
+    let policy = cfg.policy;
+    // Pipeline 1: part → HT_part. The per-row LIKE collapses to a
+    // byte-indexed lookup, so the vector loop degenerates to one pass.
+    let flags = promo_flags(ptype, p.prefix.as_bytes());
+    let codes = ptype.codes();
+    let shards = cfg.map_scan(
+        part.len(),
+        part.row_bits(&PART_COLS),
+        |_| JoinHtShard::<(i32, u8)>::new(),
+        |sh, r| {
+            let mut pk_r = PackedReader::new(pkey, r.start);
+            for i in r {
+                let pk = pk_r.next() as i32;
+                sh.push(hf.hash(pk as u64), (pk, flags[codes[i] as usize]));
+            }
+        },
+    );
+    let ht_part = JoinHt::from_shards(shards, &cfg.exec());
+
+    // Pipeline 2: σ(lineitem) ⋈ HT_part → (promo, total).
+    let [lpk, ship, ext, disc] = lcols;
+    #[derive(Default)]
+    struct Scratch {
+        promo: i128,
+        total: i128,
+        s1: Vec<u32>,
+        hashes: Vec<u64>,
+        bufs: tw::ProbeBuffers,
+        v_pk: Vec<i64>,
+        v_flag: Vec<u8>,
+        v_ext: Vec<i64>,
+        v_disc: Vec<i64>,
+        v_om: Vec<i64>,
+        v_rev: Vec<i64>,
+    }
+    let parts = cfg.map_scan(
+        li.len(),
+        li.row_bits(&LI_COLS),
+        |_| Scratch::default(),
+        |st, r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                // One fused BETWEEN kernel replaces the two-step cascade.
+                if tw::sel::sel_between_i32_for(ship, ship_lo, ship_hi - 1, c, &mut st.s1, policy) == 0 {
+                    continue;
+                }
+                // Join keys decode straight into the hash input vector.
+                tw::gather::gather_packed_i64(lpk, &st.s1, policy, &mut st.v_pk);
+                st.hashes.clear();
+                st.hashes.extend(st.v_pk.iter().map(|&k| hf.hash(k as u64)));
+                if tw::probe::probe_join(
+                    &ht_part,
+                    &st.hashes,
+                    &st.s1,
+                    |row, t| row.0 as i64 == lpk.get(t as usize),
+                    policy,
+                    &mut st.bufs,
+                ) == 0
+                {
+                    continue;
+                }
+                tw::gather::gather_build(&ht_part, &st.bufs.match_entry, |r| r.1, &mut st.v_flag);
+                tw::gather::gather_packed_i64(ext, &st.bufs.match_tuple, policy, &mut st.v_ext);
+                tw::gather::gather_packed_i64(disc, &st.bufs.match_tuple, policy, &mut st.v_disc);
+                tw::map::map_rsub_const_i64(100, &st.v_disc, &mut st.v_om);
+                tw::map::map_mul_i64(&st.v_ext, &st.v_om, &mut st.v_rev);
+                st.promo += tw::map::sum_i64_where_u8(&st.v_rev, &st.v_flag, policy) as i128;
+                st.total += tw::map::sum_i64(&st.v_rev, policy) as i128;
+            }
+        },
+    );
+    let (promo, total) = parts
+        .into_iter()
+        .fold((0, 0), |a, b| (a.0 + b.promo, a.1 + b.total));
+    finish(promo, total)
+}
+
 /// Tectorwise: the prefix test is the vectorized string prefix-match
 /// primitive at build; the probe side uses the conditional-sum primitive
 /// for the CASE arm.
 pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
+    let part = db.table("part");
+    let li = db.table("lineitem");
+    if let Some((pkey, ptype, lcols)) = encoded_cols(part, li) {
+        return tectorwise_encoded(part, li, pkey, ptype, lcols, cfg, p);
+    }
     let prefix = p.prefix.as_bytes();
     let (ship_lo, ship_hi) = (p.ship_lo, p.ship_hi);
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
     // Pipeline 1: part → HT_part.
-    let part = db.table("part");
     let pkey = part.col("p_partkey").i32s();
     let ptype = part.col("p_type").strs();
     let shards = cfg.map_scan(
         part.len(),
-        PART_BYTES,
+        PART_BITS,
         |_| {
             (
                 JoinHtShard::<(i32, u8)>::new(),
@@ -148,7 +340,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
     }
     let parts = cfg.map_scan(
         li.len(),
-        LI_BYTES,
+        LI_BITS,
         |_| Scratch::default(),
         |st, r| {
             for c in tw::chunks(r, cfg.vector_size) {
@@ -203,6 +395,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
             input: Box::new(
                 Scan::new(li, &["l_partkey", "l_extendedprice", "l_discount", "l_shipdate"])
                     .paced(cfg.throttle)
+                    .recorded(cfg.sched)
                     .morsel_driven(&m),
             ),
             pred: Expr::And(vec![
@@ -212,7 +405,11 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
         };
         // rows: [p_partkey, p_type] ++ the 4 lineitem columns.
         let join = HashJoin::new(
-            Box::new(Scan::new(db.table("part"), &["p_partkey", "p_type"]).paced(cfg.throttle)),
+            Box::new(
+                Scan::new(db.table("part"), &["p_partkey", "p_type"])
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
+            ),
             vec![Expr::col(0)],
             Box::new(li_f),
             vec![Expr::col(0)],

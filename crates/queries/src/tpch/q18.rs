@@ -27,9 +27,9 @@ use dbep_runtime::{GroupByShard, JoinHt};
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
-const LI_BYTES: usize = 4 + 8;
-const ORD_BYTES: usize = 4 + 4 + 4 + 8;
-const CUST_BYTES: usize = 4 + 18;
+const LI_BITS: usize = 8 * (4 + 8);
+const ORD_BITS: usize = 8 * (4 + 4 + 4 + 8);
+const CUST_BITS: usize = 8 * (4 + 18);
 /// Pre-aggregation shard capacity. Q18's group count is huge, so shards
 /// spill heavily — exactly the §3.2 design point.
 const PREAGG_GROUPS: usize = 1 << 16;
@@ -112,7 +112,7 @@ fn join_phases(
     let ototal = ord.col("o_totalprice").i64s();
     let shards = cfg.map_scan(
         ord.len(),
-        ORD_BYTES,
+        ORD_BITS,
         |_| JoinHtShard::<OrdRow>::new(),
         |sh, r| {
             for i in r {
@@ -134,7 +134,7 @@ fn join_phases(
     let ckey = cust.col("c_custkey").i32s();
     let locals = cfg.map_scan(
         cust.len(),
-        CUST_BYTES,
+        CUST_BITS,
         |_| Vec::new(),
         |local, r| {
             for i in r {
@@ -159,7 +159,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q18Params) -> QueryResult {
     let qty = li.col("l_quantity").i64s();
     let shards = cfg.map_scan(
         li.len(),
-        LI_BYTES,
+        LI_BITS,
         |_| GroupByShard::<i32, i64>::new(PREAGG_GROUPS),
         |shard, r| {
             for i in r {
@@ -191,7 +191,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q18Params) -> QueryResult {
     }
     let shards = cfg.map_scan(
         li.len(),
-        LI_BYTES,
+        LI_BITS,
         |_| (GroupByShard::<i32, i64>::new(PREAGG_GROUPS), Scratch::default()),
         |(shard, st), r| {
             for c in tw::chunks(r, cfg.vector_size) {
@@ -234,7 +234,11 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q18Params) -> QueryResult {
     let rows_raw = exchange::union(&cfg.exec(), |_| {
         // Γ(lineitem) with HAVING.
         let agg = Aggregate::new(
-            Box::new(Scan::new(db.table("lineitem"), &["l_orderkey", "l_quantity"]).paced(cfg.throttle)),
+            Box::new(
+                Scan::new(db.table("lineitem"), &["l_orderkey", "l_quantity"])
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
+            ),
             vec![Expr::col(0)],
             vec![AggSpec::SumI64(Expr::col(1))],
         );
@@ -249,13 +253,18 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q18Params) -> QueryResult {
             Box::new(
                 Scan::new(ord, &["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"])
                     .paced(cfg.throttle)
+                    .recorded(cfg.sched)
                     .morsel_driven(&m),
             ),
             vec![Expr::col(0)],
         );
         // ⋈ customer: [c_custkey, c_name] ++ previous 6.
         Box::new(HashJoin::new(
-            Box::new(Scan::new(db.table("customer"), &["c_custkey", "c_name"]).paced(cfg.throttle)),
+            Box::new(
+                Scan::new(db.table("customer"), &["c_custkey", "c_name"])
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
+            ),
             vec![Expr::col(0)],
             Box::new(j_o),
             vec![Expr::col(3)],

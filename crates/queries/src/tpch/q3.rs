@@ -25,9 +25,9 @@ use dbep_runtime::{GroupByShard, JoinHt};
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
-const CUST_BYTES: usize = 4 + 10; // custkey + segment text
-const ORD_BYTES: usize = 4 + 4 + 4 + 4;
-const LI_BYTES: usize = 4 + 8 + 8 + 4;
+const CUST_BITS: usize = 8 * (4 + 10); // custkey + segment text
+const ORD_BITS: usize = 8 * (4 + 4 + 4 + 4);
+const LI_BITS: usize = 8 * (4 + 8 + 8 + 4);
 const PREAGG_GROUPS: usize = 1 << 14;
 
 type GroupKey = (i32, i32, i32); // (o_orderkey, o_orderdate, o_shippriority)
@@ -62,7 +62,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
     let ckey = cust.col("c_custkey").i32s();
     let shards = cfg.map_scan(
         cust.len(),
-        CUST_BYTES,
+        CUST_BITS,
         |_| JoinHtShard::<i32>::new(),
         |sh, r| {
             for i in r {
@@ -82,7 +82,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
     let oprio = ord.col("o_shippriority").i32s();
     let shards = cfg.map_scan(
         ord.len(),
-        ORD_BYTES,
+        ORD_BITS,
         |_| JoinHtShard::<GroupKey>::new(),
         |sh, r| {
             for i in r {
@@ -105,7 +105,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
     let ship = li.col("l_shipdate").dates();
     let shards = cfg.map_scan(
         li.len(),
-        LI_BYTES,
+        LI_BITS,
         |_| GroupByShard::<GroupKey, i64>::new(PREAGG_GROUPS),
         |shard, r| {
             for i in r {
@@ -136,7 +136,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
     let ckey = cust.col("c_custkey").i32s();
     let shards = cfg.map_scan(
         cust.len(),
-        CUST_BYTES,
+        CUST_BITS,
         |_| (JoinHtShard::<i32>::new(), Vec::new(), Vec::new()),
         |(sh, sel, hashes), r| {
             for c in tw::chunks(r, cfg.vector_size) {
@@ -168,7 +168,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
     }
     let shards = cfg.map_scan(
         ord.len(),
-        ORD_BYTES,
+        ORD_BITS,
         |_| (JoinHtShard::<GroupKey>::new(), P2Scratch::default()),
         |(sh, st), r| {
             for c in tw::chunks(r, cfg.vector_size) {
@@ -224,7 +224,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
     }
     let shards = cfg.map_scan(
         li.len(),
-        LI_BYTES,
+        LI_BITS,
         |_| {
             (
                 GroupByShard::<GroupKey, i64>::new(PREAGG_GROUPS),
@@ -305,7 +305,9 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
     let partials = exchange::union(&cfg.exec(), |_| {
         let cust_filtered = Select {
             input: Box::new(
-                Scan::new(db.table("customer"), &["c_custkey", "c_mktsegment"]).paced(cfg.throttle),
+                Scan::new(db.table("customer"), &["c_custkey", "c_mktsegment"])
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
             ),
             pred: Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::Const(Val::Str(p.segment.clone()))),
         };
@@ -315,7 +317,8 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
                     db.table("orders"),
                     &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
                 )
-                .paced(cfg.throttle),
+                .paced(cfg.throttle)
+                .recorded(cfg.sched),
             ),
             pred: Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit_i32(p.cut)),
         };
@@ -330,6 +333,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q3Params) -> QueryResult {
             input: Box::new(
                 Scan::new(li, &["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"])
                     .paced(cfg.throttle)
+                    .recorded(cfg.sched)
                     .morsel_driven(&m),
             ),
             pred: Expr::cmp(CmpOp::Gt, Expr::col(3), Expr::lit_i32(p.cut)),

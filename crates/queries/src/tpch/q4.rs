@@ -26,8 +26,8 @@ use dbep_runtime::JoinHt;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
-const LI_BYTES: usize = 4 + 4 + 4; // orderkey + commitdate + receiptdate
-const ORD_BYTES: usize = 4 + 4 + 9; // orderkey + orderdate + priority text
+const LI_BITS: usize = 8 * (4 + 4 + 4); // orderkey + commitdate + receiptdate
+const ORD_BITS: usize = 8 * (4 + 4 + 9); // orderkey + orderdate + priority text
 /// Priority slots: leading bytes '1'..'5'.
 const SLOTS: usize = 5;
 
@@ -108,7 +108,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q4Params) -> QueryResult {
     let receipt = li.col("l_receiptdate").dates();
     let shards = cfg.map_scan(
         li.len(),
-        LI_BYTES,
+        LI_BITS,
         |_| JoinHtShard::<i32>::new(),
         |sh, r| {
             for i in r {
@@ -127,7 +127,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q4Params) -> QueryResult {
     let prio = ord.col("o_orderpriority").strs();
     let parts = cfg.map_scan(
         ord.len(),
-        ORD_BYTES,
+        ORD_BITS,
         |_| PrioCounts::new(),
         |g, r| {
             for i in r {
@@ -157,7 +157,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q4Params) -> QueryResult {
     let receipt = li.col("l_receiptdate").dates();
     let shards = cfg.map_scan(
         li.len(),
-        LI_BYTES,
+        LI_BITS,
         |_| (JoinHtShard::<i32>::new(), Vec::new(), Vec::new()),
         |(sh, sel, hashes), r| {
             for c in tw::chunks(r, cfg.vector_size) {
@@ -198,7 +198,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q4Params) -> QueryResult {
     }
     let parts = cfg.map_scan(
         ord.len(),
-        ORD_BYTES,
+        ORD_BITS,
         |_| (PrioCounts::new(), P2Scratch::default()),
         |(g, st), r| {
             for c in tw::chunks(r, cfg.vector_size) {
@@ -252,7 +252,8 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q4Params) -> QueryResult {
                     db.table("lineitem"),
                     &["l_orderkey", "l_commitdate", "l_receiptdate"],
                 )
-                .paced(cfg.throttle),
+                .paced(cfg.throttle)
+                .recorded(cfg.sched),
             ),
             pred: Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::col(2)),
         };
@@ -260,6 +261,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q4Params) -> QueryResult {
             input: Box::new(
                 Scan::new(ord, &["o_orderkey", "o_orderdate", "o_orderpriority"])
                     .paced(cfg.throttle)
+                    .recorded(cfg.sched)
                     .morsel_driven(&m),
             ),
             pred: Expr::And(vec![

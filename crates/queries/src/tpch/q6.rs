@@ -17,28 +17,120 @@
 use crate::params::Q6Params;
 use crate::result::{QueryResult, Value};
 use crate::{ExecCfg, Params};
-use dbep_storage::Database;
+use dbep_compiled::PackedReader;
+use dbep_storage::{Database, PackedInts, Table};
 use dbep_vectorized as tw;
 
-/// Bytes read per scanned row (date + 3×i64).
-const BYTES_PER_ROW: usize = 4 + 3 * 8;
+/// Bytes read per scanned row (date + 3×i64), flat storage.
+const ROW_BITS: usize = 8 * (4 + 3 * 8);
+
+/// The four scanned columns, in encoding/bandwidth-accounting order.
+const COLS: [&str; 4] = ["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"];
+
+/// Bit-packed companions for all four scanned columns, if present.
+fn packed_cols(li: &Table) -> Option<[&PackedInts; 4]> {
+    let mut out = [None; 4];
+    for (slot, name) in out.iter_mut().zip(COLS) {
+        *slot = Some(li.encoded(name)?.packed());
+    }
+    Some(out.map(|c| c.expect("filled above")))
+}
 
 fn finish(revenue: i64) -> QueryResult {
     QueryResult::new(&["revenue"], vec![vec![Value::dec4(revenue as i128)]], &[], None)
 }
 
-/// Typer: one fused, branch-free loop.
-pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
+/// Typer over encoded storage: the same fused loop, but each column is
+/// unpacked in registers by a [`PackedReader`] cursor — decompression
+/// fused into the scan, never materialized.
+fn typer_encoded(li: &Table, cols: [&PackedInts; 4], cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
+    let (ship_lo, ship_hi) = (p.ship_lo as i64, p.ship_hi as i64);
+    let (disc_lo, disc_hi, qty_hi) = (p.disc_lo, p.disc_hi, p.qty_hi);
+    let [ship, disc, qty, ext] = cols;
+    let locals = cfg.map_scan(
+        li.len(),
+        li.row_bits(&COLS),
+        |_| 0i64,
+        |local, r| {
+            let mut ship_r = PackedReader::new(ship, r.start);
+            let mut disc_r = PackedReader::new(disc, r.start);
+            let mut qty_r = PackedReader::new(qty, r.start);
+            let mut ext_r = PackedReader::new(ext, r.start);
+            for _ in r {
+                let s = ship_r.next();
+                let d = disc_r.next();
+                let q = qty_r.next();
+                let e = ext_r.next();
+                let ok = (s >= ship_lo) & (s < ship_hi) & (d >= disc_lo) & (d <= disc_hi) & (q < qty_hi);
+                *local += (ok as i64) * e * d;
+            }
+        },
+    );
+    finish(locals.into_iter().sum())
+}
+
+/// Tectorwise over encoded storage: fused decompress-and-select
+/// cascade — two BETWEEN kernels and one sparse comparison replace the
+/// five flat selections, then conditional-aggregate readers unpack only
+/// the surviving rows' measures.
+fn tectorwise_encoded(li: &Table, cols: [&PackedInts; 4], cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
     let (ship_lo, ship_hi) = (p.ship_lo, p.ship_hi);
     let (disc_lo, disc_hi, qty_hi) = (p.disc_lo, p.disc_hi, p.qty_hi);
+    let [ship, disc, qty, ext] = cols;
+    let policy = cfg.policy;
+    #[derive(Default)]
+    struct Scratch {
+        local: i64,
+        s1: Vec<u32>,
+        s2: Vec<u32>,
+        s3: Vec<u32>,
+        v_ext: Vec<i64>,
+        v_disc: Vec<i64>,
+        v_rev: Vec<i64>,
+    }
+    let locals = cfg.map_scan(
+        li.len(),
+        li.row_bits(&COLS),
+        |_| Scratch::default(),
+        |st, r| {
+            for c in tw::chunks(r, cfg.vector_size) {
+                // BETWEEN is inclusive: shipdate < hi becomes <= hi-1.
+                if tw::sel::sel_between_i32_for(ship, ship_lo, ship_hi - 1, c, &mut st.s1, policy) == 0 {
+                    continue;
+                }
+                if tw::sel::sel_between_i64_for_sparse(disc, disc_lo, disc_hi, &st.s1, &mut st.s2, policy)
+                    == 0
+                {
+                    continue;
+                }
+                if tw::sel::sel_lt_i64_packed_sparse(qty, qty_hi, &st.s2, &mut st.s3, policy) == 0 {
+                    continue;
+                }
+                tw::gather::gather_packed_i64(ext, &st.s3, policy, &mut st.v_ext);
+                tw::gather::gather_packed_i64(disc, &st.s3, policy, &mut st.v_disc);
+                tw::map::map_mul_i64(&st.v_ext, &st.v_disc, &mut st.v_rev);
+                st.local += tw::map::sum_i64(&st.v_rev, policy);
+            }
+        },
+    );
+    finish(locals.into_iter().map(|s| s.local).sum())
+}
+
+/// Typer: one fused, branch-free loop.
+pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
     let li = db.table("lineitem");
+    if let Some(cols) = packed_cols(li) {
+        return typer_encoded(li, cols, cfg, p);
+    }
+    let (ship_lo, ship_hi) = (p.ship_lo, p.ship_hi);
+    let (disc_lo, disc_hi, qty_hi) = (p.disc_lo, p.disc_hi, p.qty_hi);
     let ship = li.col("l_shipdate").dates();
     let disc = li.col("l_discount").i64s();
     let qty = li.col("l_quantity").i64s();
     let ext = li.col("l_extendedprice").i64s();
     let locals = cfg.map_scan(
         li.len(),
-        BYTES_PER_ROW,
+        ROW_BITS,
         |_| 0i64,
         |local, r| {
             for i in r {
@@ -57,9 +149,12 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
 
 /// Tectorwise: five selection primitives, then gather/multiply/sum.
 pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
+    let li = db.table("lineitem");
+    if let Some(cols) = packed_cols(li) {
+        return tectorwise_encoded(li, cols, cfg, p);
+    }
     let (ship_lo, ship_hi) = (p.ship_lo, p.ship_hi);
     let (disc_lo, disc_hi, qty_hi) = (p.disc_lo, p.disc_hi, p.qty_hi);
-    let li = db.table("lineitem");
     let ship = li.col("l_shipdate").dates();
     let disc = li.col("l_discount").i64s();
     let qty = li.col("l_quantity").i64s();
@@ -79,7 +174,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
     }
     let locals = cfg.map_scan(
         li.len(),
-        BYTES_PER_ROW,
+        ROW_BITS,
         |_| Scratch::default(),
         |st, r| {
             for c in tw::chunks(r, cfg.vector_size) {
@@ -122,6 +217,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
     let partials = exchange::union(&cfg.exec(), |_| {
         let scan = Scan::new(li, &["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"])
             .paced(cfg.throttle)
+            .recorded(cfg.sched)
             .morsel_driven(&m);
         let filtered = Select {
             input: Box::new(scan),

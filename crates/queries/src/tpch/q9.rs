@@ -30,11 +30,11 @@ use dbep_storage::types::year_of;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
 
-const PART_BYTES: usize = 4 + 33;
-const PS_BYTES: usize = 4 + 4 + 8;
-const SUPP_BYTES: usize = 4 + 4;
-const LI_BYTES: usize = 4 + 4 + 4 + 8 + 8 + 8;
-const ORD_BYTES: usize = 4 + 4;
+const PART_BITS: usize = 8 * (4 + 33);
+const PS_BITS: usize = 8 * (4 + 4 + 8);
+const SUPP_BITS: usize = 8 * (4 + 4);
+const LI_BITS: usize = 8 * (4 + 4 + 4 + 8 + 8 + 8);
+const ORD_BITS: usize = 8 * (4 + 4);
 const PREAGG_GROUPS: usize = 1 << 10; // 25 nations x 7 years
 
 type LiRow = (i32, i32, i64); // (l_orderkey, nationkey, amount s4)
@@ -69,7 +69,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     let pname = part.col("p_name").strs();
     let shards = cfg.map_scan(
         part.len(),
-        PART_BYTES,
+        PART_BITS,
         |_| JoinHtShard::<i32>::new(),
         |sh, r| {
             for i in r {
@@ -88,7 +88,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     let cost = ps.col("ps_supplycost").i64s();
     let shards = cfg.map_scan(
         ps.len(),
-        PS_BYTES,
+        PS_BITS,
         |_| JoinHtShard::<(i32, i32, i64)>::new(),
         |sh, r| {
             for i in r {
@@ -108,7 +108,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     let snat = supp.col("s_nationkey").i32s();
     let shards = cfg.map_scan(
         supp.len(),
-        SUPP_BYTES,
+        SUPP_BITS,
         |_| JoinHtShard::<(i32, i32)>::new(),
         |sh, r| {
             for i in r {
@@ -128,7 +128,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     let disc = li.col("l_discount").i64s();
     let shards = cfg.map_scan(
         li.len(),
-        LI_BYTES,
+        LI_BITS,
         |_| JoinHtShard::<LiRow>::new(),
         |sh, r| {
             for i in r {
@@ -158,7 +158,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     let odate = ord.col("o_orderdate").dates();
     let shards = cfg.map_scan(
         ord.len(),
-        ORD_BYTES,
+        ORD_BITS,
         |_| GroupByShard::<(i32, i32), i64>::new(PREAGG_GROUPS),
         |shard, r| {
             for i in r {
@@ -189,7 +189,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     let pname = part.col("p_name").strs();
     let shards = cfg.map_scan(
         part.len(),
-        PART_BYTES,
+        PART_BITS,
         |_| (JoinHtShard::<i32>::new(), Vec::new(), Vec::new()),
         |(sh, sel, hashes), r| {
             for c in tw::chunks(r, cfg.vector_size) {
@@ -226,7 +226,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     }
     let shards = cfg.map_scan(
         ps.len(),
-        PS_BYTES,
+        PS_BITS,
         |_| (JoinHtShard::<(i32, i32, i64)>::new(), P2Scratch::default()),
         |(sh, st), r| {
             for c in tw::chunks(r, cfg.vector_size) {
@@ -261,7 +261,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     let snat = supp.col("s_nationkey").i32s();
     let shards = cfg.map_scan(
         supp.len(),
-        SUPP_BYTES,
+        SUPP_BITS,
         |_| (JoinHtShard::<(i32, i32)>::new(), Vec::new(), Vec::new()),
         |(sh, all, hashes), r| {
             for c in tw::chunks(r, cfg.vector_size) {
@@ -306,7 +306,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     }
     let shards = cfg.map_scan(
         li.len(),
-        LI_BYTES,
+        LI_BITS,
         |_| (JoinHtShard::<LiRow>::new(), P4Scratch::default()),
         |(sh, st), r| {
             for c in tw::chunks(r, cfg.vector_size) {
@@ -395,7 +395,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     }
     let shards = cfg.map_scan(
         ord.len(),
-        ORD_BYTES,
+        ORD_BITS,
         |_| {
             (
                 GroupByShard::<(i32, i32), i64>::new(PREAGG_GROUPS),
@@ -468,7 +468,11 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     let m = Morsels::new(ord.len());
     let partials = exchange::union(&cfg.exec(), |_| {
         let part_f = Select {
-            input: Box::new(Scan::new(db.table("part"), &["p_partkey", "p_name"]).paced(cfg.throttle)),
+            input: Box::new(
+                Scan::new(db.table("part"), &["p_partkey", "p_name"])
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
+            ),
             pred: Expr::Contains(Box::new(Expr::col(1)), p.needle.clone()),
         };
         // [p_partkey, p_name, ps_partkey, ps_suppkey, ps_supplycost]
@@ -480,7 +484,8 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
                     db.table("partsupp"),
                     &["ps_partkey", "ps_suppkey", "ps_supplycost"],
                 )
-                .paced(cfg.throttle),
+                .paced(cfg.throttle)
+                .recorded(cfg.sched),
             ),
             vec![Expr::col(0)],
         );
@@ -506,13 +511,18 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
                         "l_discount",
                     ],
                 )
-                .paced(cfg.throttle),
+                .paced(cfg.throttle)
+                .recorded(cfg.sched),
             ),
             vec![Expr::col(1), Expr::col(2)],
         );
         // ⋈ supplier: [s_suppkey, s_nationkey] ++ previous 9 cols.
         let j_s = HashJoin::new(
-            Box::new(Scan::new(db.table("supplier"), &["s_suppkey", "s_nationkey"]).paced(cfg.throttle)),
+            Box::new(
+                Scan::new(db.table("supplier"), &["s_suppkey", "s_nationkey"])
+                    .paced(cfg.throttle)
+                    .recorded(cfg.sched),
+            ),
             vec![Expr::col(0)],
             Box::new(j_li),
             vec![Expr::col(5)], // l_suppkey position after build++probe concat
@@ -540,6 +550,7 @@ pub fn volcano(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
                 input: Box::new(
                     Scan::new(ord, &["o_orderkey", "o_orderdate"])
                         .paced(cfg.throttle)
+                        .recorded(cfg.sched)
                         .morsel_driven(&m),
                 ),
                 exprs: vec![Expr::col(0), Expr::col(1)],

@@ -126,6 +126,46 @@ fn randomized_params_agree_with_oracles_on_all_36_pairs() {
     );
 }
 
+/// The randomized sweep repeated over compressed storage: fused
+/// decompress-and-select scans must agree with the naive oracles under
+/// arbitrary valid bindings, for every engine and every `SimdPolicy`.
+/// (Constant-folding against a packed column's frame of reference is
+/// exactly the class of bug only a non-default binding can expose.)
+#[test]
+fn randomized_params_agree_with_oracles_on_encoded_storage() {
+    use dbep_vectorized::SimdPolicy;
+    let tpch = dbep_datagen::tpch::generate_encoded(0.01, 7);
+    let ssb = dbep_datagen::ssb::generate_encoded(0.01, 7);
+    let mut rng = SmallRng::seed_from_u64(0xEC0D);
+    for q in QueryId::ALL {
+        let db: &Database = if QueryId::SSB.contains(&q) { &ssb } else { &tpch };
+        let mut done = 0;
+        while done < DRAWS {
+            let params = draw(q, &mut rng);
+            if params == Params::default_for(q) {
+                continue;
+            }
+            let oracle = common::oracle(q, db, &params);
+            for engine in Engine::ALL {
+                for policy in [SimdPolicy::Scalar, SimdPolicy::Simd, SimdPolicy::Auto] {
+                    let cfg = ExecCfg {
+                        policy,
+                        ..Default::default()
+                    };
+                    let got = run_with(engine, q, db, &cfg, &params);
+                    assert_eq!(
+                        got,
+                        oracle,
+                        "{} on encoded storage, {engine:?}/{policy:?}, deviates under {params:?}",
+                        q.name()
+                    );
+                }
+            }
+            done += 1;
+        }
+    }
+}
+
 /// Binding draws must be reproducible: the sweep is seeded, so a failure
 /// message's `params` can be turned into a fixed regression test.
 #[test]

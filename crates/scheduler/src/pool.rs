@@ -47,6 +47,10 @@ pub struct RunStats {
     /// Morsels a worker took from this query while previously serving a
     /// different query — cross-query task switches.
     pub steals: u64,
+    /// Column-payload bytes the query's scans touched. Scans of encoded
+    /// companions report the packed width, so this measures the actual
+    /// bandwidth demand (Table 5 model), not the logical row count.
+    pub bytes_scanned: u64,
 }
 
 #[derive(Default)]
@@ -56,6 +60,7 @@ struct StatsCell {
     tasks: AtomicU64,
     morsels: AtomicU64,
     steals: AtomicU64,
+    bytes_scanned: AtomicU64,
 }
 
 impl StatsCell {
@@ -66,6 +71,7 @@ impl StatsCell {
             tasks: self.tasks.load(Ordering::Relaxed),
             morsels: self.morsels.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
+            bytes_scanned: self.bytes_scanned.load(Ordering::Relaxed),
         }
     }
 }
@@ -296,6 +302,13 @@ impl QueryRun {
     /// Scheduler counters accumulated by this run so far.
     pub fn stats(&self) -> RunStats {
         self.stats.snapshot()
+    }
+
+    /// Record `n` column-payload bytes touched by a scan. Called from
+    /// the engines' pacing hooks; cheap enough for per-morsel use.
+    #[inline]
+    pub fn add_bytes(&self, n: u64) {
+        self.stats.bytes_scanned.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Execute one pipeline: every morsel of `morsels` runs through

@@ -43,9 +43,19 @@ impl StrColumn {
     }
 
     pub fn push(&mut self, s: &str) {
+        let end = Self::offset_after(self.bytes.len(), s.len());
         self.bytes.extend_from_slice(s.as_bytes());
-        debug_assert!(self.bytes.len() <= u32::MAX as usize, "StrColumn overflow");
-        self.offsets.push(self.bytes.len() as u32);
+        self.offsets.push(end);
+    }
+
+    /// Offset after appending `add` bytes to a buffer of `cur` bytes.
+    /// A real check, not a `debug_assert!`: a silent `u32` wrap past
+    /// 4 GiB would corrupt every later offset in a release build.
+    fn offset_after(cur: usize, add: usize) -> u32 {
+        match cur.checked_add(add).and_then(|n| u32::try_from(n).ok()) {
+            Some(n) => n,
+            None => panic!("StrColumn overflow: {cur} + {add} bytes exceeds u32 offset range"),
+        }
     }
 
     /// Byte slice of row `i` (strings are ASCII in TPC-H/SSB).
@@ -197,6 +207,24 @@ mod tests {
         assert_eq!(c.len(), 3);
         assert_eq!(c.get(2), "ccc");
         assert_eq!(c.byte_size(), 6 + 4 * 4);
+    }
+
+    #[test]
+    fn offset_after_checks_u32_range() {
+        assert_eq!(StrColumn::offset_after(0, 5), 5);
+        assert_eq!(StrColumn::offset_after(u32::MAX as usize - 1, 1), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "StrColumn overflow")]
+    fn offset_after_panics_past_u32() {
+        StrColumn::offset_after(u32::MAX as usize, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "StrColumn overflow")]
+    fn offset_after_panics_on_usize_wrap() {
+        StrColumn::offset_after(usize::MAX, 1);
     }
 
     #[test]

@@ -40,6 +40,26 @@ impl Database {
     pub fn byte_size(&self) -> usize {
         self.tables.values().map(|t| t.byte_size()).sum()
     }
+
+    /// Build compressed companions for every encodable column of every
+    /// table, sharing one allocation arena across the pass.
+    pub fn encode_all(&mut self) {
+        let arena = crate::encoded::Arena::new();
+        for table in self.tables.values_mut() {
+            table.encode_all(&arena);
+        }
+    }
+
+    /// True once [`Database::encode_all`] (or a per-table equivalent)
+    /// has built at least one compressed companion.
+    pub fn is_encoded(&self) -> bool {
+        self.tables.values().any(|t| t.encoded_byte_size() > 0)
+    }
+
+    /// Encoded payload bytes across all tables.
+    pub fn encoded_byte_size(&self) -> usize {
+        self.tables.values().map(|t| t.encoded_byte_size()).sum()
+    }
 }
 
 #[cfg(test)]

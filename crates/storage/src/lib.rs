@@ -13,14 +13,20 @@
 //!
 //! [`throttle::Throttle`] provides the bandwidth-limited scan substrate
 //! used to emulate the paper's out-of-memory SSD experiment (Table 5).
+//!
+//! [`encoded`] adds compressed companion representations (bit-packed
+//! frame-of-reference integers, dictionary-coded strings) that the fused
+//! decompress-and-select scan kernels consume.
 
 pub mod column;
 pub mod database;
+pub mod encoded;
 pub mod table;
 pub mod throttle;
 pub mod types;
 
 pub use column::{ColumnData, StrColumn};
 pub use database::Database;
+pub use encoded::{AlignedBuf, Arena, DictStrColumn, EncodedColumn, PackedInts};
 pub use table::Table;
 pub use types::{date, dec, Date, Value};

@@ -1,6 +1,7 @@
 //! Tables: named collections of equal-length columns.
 
 use crate::column::ColumnData;
+use crate::encoded::{Arena, EncodedColumn};
 use std::collections::HashMap;
 
 /// An in-memory columnar table.
@@ -13,6 +14,9 @@ pub struct Table {
     len: usize,
     columns: Vec<(String, ColumnData)>,
     by_name: HashMap<String, usize>,
+    /// Compressed companions (ROADMAP item 3): the flat column stays the
+    /// canonical form; plans that know the fused kernels scan these.
+    encoded: HashMap<String, EncodedColumn>,
 }
 
 impl Table {
@@ -22,6 +26,7 @@ impl Table {
             len: 0,
             columns: Vec::new(),
             by_name: HashMap::new(),
+            encoded: HashMap::new(),
         }
     }
 
@@ -83,6 +88,53 @@ impl Table {
     pub fn byte_size(&self) -> usize {
         self.columns.iter().map(|(_, c)| c.byte_size()).sum()
     }
+
+    /// Build the compressed companion for one column. Returns whether an
+    /// encoding applied (`Char` and high-cardinality string columns stay
+    /// flat-only).
+    pub fn encode_column(&mut self, name: &str, arena: &Arena) -> bool {
+        match EncodedColumn::from_column(self.col(name), arena) {
+            Some(enc) => {
+                self.encoded.insert(name.to_string(), enc);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Build compressed companions for every column that supports one.
+    pub fn encode_all(&mut self, arena: &Arena) {
+        let names: Vec<String> = self.column_names().map(str::to_string).collect();
+        for name in names {
+            self.encode_column(&name, arena);
+        }
+    }
+
+    /// Compressed companion of a column, if one was built.
+    pub fn encoded(&self, name: &str) -> Option<&EncodedColumn> {
+        self.encoded.get(name)
+    }
+
+    /// Bits one row contributes to a scan over the named columns:
+    /// the encoded width where a companion exists, otherwise the flat
+    /// width. Feeds the `bytes_scanned` accounting and the bandwidth
+    /// throttle.
+    pub fn row_bits(&self, cols: &[&str]) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        cols.iter()
+            .map(|name| match self.encoded(name) {
+                Some(enc) => enc.bits_per_value(),
+                None => self.col(name).byte_size() * 8 / self.len,
+            })
+            .sum()
+    }
+
+    /// Encoded payload bytes across all companions.
+    pub fn encoded_byte_size(&self) -> usize {
+        self.encoded.values().map(|e| e.byte_size()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +152,27 @@ mod tests {
         assert!(!t.has_column("p_name"));
         assert_eq!(t.column_names().collect::<Vec<_>>(), vec!["p_partkey", "p_size"]);
         assert_eq!(t.byte_size(), 24);
+    }
+
+    #[test]
+    fn companion_encoding_and_row_bits() {
+        use crate::encoded::Arena;
+        let mut t = Table::new("li");
+        t.add_column("qty", ColumnData::I32(vec![1, 7, 3, 7]))
+            .add_column("price", ColumnData::I64(vec![100, 200, 150, 175]))
+            .add_column("flag", ColumnData::Char(vec![b'A', b'N', b'A', b'N']));
+        let arena = Arena::new();
+        t.encode_all(&arena);
+        // qty: range 6 -> 3 bits; price: range 100 -> 7 bits; flag: no companion.
+        assert_eq!(t.encoded("qty").unwrap().bits_per_value(), 3);
+        assert_eq!(t.encoded("price").unwrap().bits_per_value(), 7);
+        assert!(t.encoded("flag").is_none());
+        assert_eq!(t.row_bits(&["qty", "price", "flag"]), 3 + 7 + 8);
+        assert!(t.encoded_byte_size() > 0);
+        // Flat-only table reports flat widths.
+        let mut flat = Table::new("flat");
+        flat.add_column("qty", ColumnData::I32(vec![1, 2]));
+        assert_eq!(flat.row_bits(&["qty"]), 32);
     }
 
     #[test]

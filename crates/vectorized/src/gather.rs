@@ -49,6 +49,63 @@ unsafe fn gather_i64_avx512(col: &[i64], sel: &[u32], out: &mut Vec<i64>) {
     }
 }
 
+/// `out[i] = col[sel[i]]` decoded from a bit-packed FOR column — the
+/// conditional-aggregate reader of the fused-scan family: selected rows'
+/// values are unpacked in registers straight into the dense vector the
+/// aggregate/arithmetic primitives consume, so the flat column is never
+/// touched (nor materialized).
+pub fn gather_packed_i64(
+    col: &dbep_storage::PackedInts,
+    sel: &[u32],
+    policy: SimdPolicy,
+    out: &mut Vec<i64>,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if policy.wants_simd()
+        && simd_level() >= SimdLevel::Avx512
+        && (1..=dbep_storage::encoded::MAX_PACKED_WIDTH).contains(&col.width())
+    {
+        // SAFETY: ISA presence checked by simd_level(); width gate holds
+        // the 8-byte-window decode invariant; sel indexes col.
+        unsafe { gather_packed_i64_avx512(col, sel, out) };
+        return;
+    }
+    let _ = policy;
+    prep(out, sel.len());
+    for (o, &i) in out.iter_mut().zip(sel) {
+        debug_assert!((i as usize) < col.len());
+        *o = col.get(i as usize);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn gather_packed_i64_avx512(col: &dbep_storage::PackedInts, sel: &[u32], out: &mut Vec<i64>) {
+    use std::arch::x86_64::*;
+    prep(out, sel.len());
+    let p = out.as_mut_ptr();
+    let bytes = col.words().as_ptr() as *const u8;
+    let minv = _mm512_set1_epi64(col.min());
+    let maskv = _mm512_set1_epi64(col.mask() as i64);
+    let seven = _mm512_set1_epi64(7);
+    let wv = _mm512_set1_epi64(col.width() as i64);
+    let mut i = 0usize;
+    while i + 8 <= sel.len() {
+        let iv = _mm256_loadu_si256(sel.as_ptr().add(i) as *const _);
+        let off = _mm512_mullo_epi64(_mm512_cvtepu32_epi64(iv), wv);
+        let byte_off = _mm512_srli_epi64::<3>(off);
+        let sh = _mm512_and_epi64(off, seven);
+        let win = _mm512_i64gather_epi64::<1>(byte_off, bytes as *const _);
+        let dec = _mm512_add_epi64(_mm512_and_epi64(_mm512_srlv_epi64(win, sh), maskv), minv);
+        _mm512_storeu_si512(p.add(i) as *mut _, dec);
+        i += 8;
+    }
+    while i < sel.len() {
+        *p.add(i) = col.get(*sel.get_unchecked(i) as usize);
+        i += 1;
+    }
+}
+
 /// `out[i] = col[sel[i]]` for i32/date columns.
 pub fn gather_i32(col: &[i32], sel: &[u32], out: &mut Vec<i32>) {
     prep(out, sel.len());

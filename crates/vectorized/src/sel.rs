@@ -14,10 +14,25 @@
 //! SIMD (AVX-512 compress-store; AVX2 permutation-table emulation), and
 //! an auto-vectorization variant (plain loop compiled with 512-bit
 //! features enabled).
+//!
+//! The `*_packed` / `*_for` / `*_code` families fuse decompression into
+//! selection (ROADMAP item 3): they evaluate predicates directly over
+//! bit-packed frame-of-reference columns ([`PackedInts`]) and dictionary
+//! codes without materializing the flat array. Naming scheme:
+//! `sel_<op>_<ty>_packed[_sparse]` for packed comparisons,
+//! `sel_between_<ty>_for[_sparse]` for packed range predicates,
+//! `sel_eq_code_{dense,sparse}` for dictionary-code equality. Fused
+//! kernels decode in the 64-bit domain regardless of the source type and
+//! compare against the widened constant; SIMD variants engage for packed
+//! widths `1..=`[`MAX_PACKED_WIDTH`] (an 8-byte gather window decodes at
+//! most 57 bits after the sub-byte shift), everything else takes the
+//! scalar path with identical results.
 
 use crate::SimdPolicy;
 use dbep_runtime::{simd_level, SimdLevel};
-use dbep_storage::StrColumn;
+use dbep_storage::encoded::MAX_PACKED_WIDTH;
+use dbep_storage::{PackedInts, StrColumn};
+use std::ops::Range;
 
 /// Comparison codes matching `_MM_CMPINT_*` so scalar, SIMD and autovec
 /// variants share one const-generic parameter.
@@ -148,6 +163,106 @@ fn sparse_cmp_i32_col_scalar<const OP: i32>(
         let (va, vb) = unsafe { (*a.get_unchecked(i as usize), *b.get_unchecked(i as usize)) };
         unsafe { *p.add(k) = i };
         k += cmp_scalar::<OP, i32>(va, vb) as usize;
+    }
+    unsafe { out.set_len(k) };
+    k
+}
+
+fn packed_dense_scalar<const OP: i32>(
+    col: &PackedInts,
+    c: i64,
+    chunk: Range<usize>,
+    out: &mut Vec<u32>,
+) -> usize {
+    let p = out_ptr(out, chunk.len());
+    let mut k = 0usize;
+    for i in chunk {
+        // SAFETY: k < chunk.len() <= reserved capacity.
+        unsafe { *p.add(k) = i as u32 };
+        k += cmp_scalar::<OP, i64>(col.get(i), c) as usize;
+    }
+    unsafe { out.set_len(k) };
+    k
+}
+
+fn packed_sparse_scalar<const OP: i32>(
+    col: &PackedInts,
+    c: i64,
+    in_sel: &[u32],
+    out: &mut Vec<u32>,
+) -> usize {
+    let p = out_ptr(out, in_sel.len());
+    let mut k = 0usize;
+    for &i in in_sel {
+        debug_assert!((i as usize) < col.len());
+        // SAFETY: k <= position < reserved capacity.
+        unsafe { *p.add(k) = i };
+        k += cmp_scalar::<OP, i64>(col.get(i as usize), c) as usize;
+    }
+    unsafe { out.set_len(k) };
+    k
+}
+
+fn packed_between_dense_scalar(
+    col: &PackedInts,
+    lo: i64,
+    hi: i64,
+    chunk: Range<usize>,
+    out: &mut Vec<u32>,
+) -> usize {
+    let p = out_ptr(out, chunk.len());
+    let mut k = 0usize;
+    for i in chunk {
+        let v = col.get(i);
+        // SAFETY: as in packed_dense_scalar.
+        unsafe { *p.add(k) = i as u32 };
+        k += (v >= lo && v <= hi) as usize;
+    }
+    unsafe { out.set_len(k) };
+    k
+}
+
+fn packed_between_sparse_scalar(
+    col: &PackedInts,
+    lo: i64,
+    hi: i64,
+    in_sel: &[u32],
+    out: &mut Vec<u32>,
+) -> usize {
+    let p = out_ptr(out, in_sel.len());
+    let mut k = 0usize;
+    for &i in in_sel {
+        debug_assert!((i as usize) < col.len());
+        let v = col.get(i as usize);
+        // SAFETY: as in packed_sparse_scalar.
+        unsafe { *p.add(k) = i };
+        k += (v >= lo && v <= hi) as usize;
+    }
+    unsafe { out.set_len(k) };
+    k
+}
+
+fn code_dense_scalar(codes: &[u8], code: u8, base: u32, out: &mut Vec<u32>) -> usize {
+    let p = out_ptr(out, codes.len());
+    let mut k = 0usize;
+    for (i, &v) in codes.iter().enumerate() {
+        // SAFETY: k <= i < reserved capacity.
+        unsafe { *p.add(k) = base + i as u32 };
+        k += (v == code) as usize;
+    }
+    unsafe { out.set_len(k) };
+    k
+}
+
+fn code_sparse_scalar(codes: &[u8], code: u8, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+    let p = out_ptr(out, in_sel.len());
+    let mut k = 0usize;
+    for &i in in_sel {
+        debug_assert!((i as usize) < codes.len());
+        // SAFETY: selection vectors index their source table.
+        let v = unsafe { *codes.get_unchecked(i as usize) };
+        unsafe { *p.add(k) = i };
+        k += (v == code) as usize;
     }
     unsafe { out.set_len(k) };
     k
@@ -382,6 +497,278 @@ mod avx512 {
         out.set_len(k);
         k
     }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn dense_i64<const OP: i32>(col: &[i64], c: i64, base: u32, out: &mut Vec<u32>) -> usize {
+        let n = col.len();
+        let p = out_ptr(out, n);
+        let cv = _mm512_set1_epi64(c);
+        let mut idx = _mm256_add_epi32(
+            _mm256_set1_epi32(base as i32),
+            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+        );
+        let step = _mm256_set1_epi32(8);
+        let mut k = 0usize;
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let v = _mm512_loadu_si512(col.as_ptr().add(i) as *const _);
+            let m = _mm512_cmp_epi64_mask::<OP>(v, cv);
+            // Compress 8 32-bit indices under an 8-bit mask via the
+            // 512-bit unit (avx512f only), as in dense_between_i64.
+            _mm512_mask_compressstoreu_epi32(p.add(k) as *mut _, m as u16, _mm512_castsi256_si512(idx));
+            k += m.count_ones() as usize;
+            idx = _mm256_add_epi32(idx, step);
+            i += 8;
+        }
+        while i < n {
+            *p.add(k) = base + i as u32;
+            k += cmp_scalar::<OP, i64>(*col.get_unchecked(i), c) as usize;
+            i += 1;
+        }
+        out.set_len(k);
+        k
+    }
+
+    // -----------------------------------------------------------------
+    // Fused decompress-and-select kernels over bit-packed FOR columns.
+    //
+    // Per lane: gather the 8-byte window holding the packed value
+    // (byte offset `(row * width) >> 3`), shift by the sub-byte offset
+    // (`(row * width) & 7`), mask to the width, add the frame-of-
+    // reference minimum, and compare decoded i64s — the flat array is
+    // never materialized. Valid for widths 1..=57; the +1 pad word of
+    // every `PackedInts` allocation keeps the last gather in bounds.
+    // -----------------------------------------------------------------
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn packed_dense<const OP: i32>(
+        col: &PackedInts,
+        c: i64,
+        chunk: Range<usize>,
+        out: &mut Vec<u32>,
+    ) -> usize {
+        let w = col.width() as usize;
+        debug_assert!((1..=MAX_PACKED_WIDTH as usize).contains(&w));
+        let bytes = col.words().as_ptr() as *const u8;
+        let p = out_ptr(out, chunk.len());
+        let cv = _mm512_set1_epi64(c);
+        let minv = _mm512_set1_epi64(col.min());
+        let maskv = _mm512_set1_epi64(col.mask() as i64);
+        let seven = _mm512_set1_epi64(7);
+        let s = chunk.start;
+        let mut off = _mm512_setr_epi64(
+            (s * w) as i64,
+            ((s + 1) * w) as i64,
+            ((s + 2) * w) as i64,
+            ((s + 3) * w) as i64,
+            ((s + 4) * w) as i64,
+            ((s + 5) * w) as i64,
+            ((s + 6) * w) as i64,
+            ((s + 7) * w) as i64,
+        );
+        let offstep = _mm512_set1_epi64((8 * w) as i64);
+        let mut idx = _mm256_add_epi32(
+            _mm256_set1_epi32(s as i32),
+            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+        );
+        let idxstep = _mm256_set1_epi32(8);
+        let mut k = 0usize;
+        let mut i = s;
+        while i + 8 <= chunk.end {
+            let byte_off = _mm512_srli_epi64::<3>(off);
+            let sh = _mm512_and_epi64(off, seven);
+            let win = _mm512_i64gather_epi64::<1>(byte_off, bytes as *const _);
+            let dec = _mm512_add_epi64(_mm512_and_epi64(_mm512_srlv_epi64(win, sh), maskv), minv);
+            let m = _mm512_cmp_epi64_mask::<OP>(dec, cv);
+            _mm512_mask_compressstoreu_epi32(p.add(k) as *mut _, m as u16, _mm512_castsi256_si512(idx));
+            k += m.count_ones() as usize;
+            off = _mm512_add_epi64(off, offstep);
+            idx = _mm256_add_epi32(idx, idxstep);
+            i += 8;
+        }
+        while i < chunk.end {
+            *p.add(k) = i as u32;
+            k += cmp_scalar::<OP, i64>(col.get(i), c) as usize;
+            i += 1;
+        }
+        out.set_len(k);
+        k
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn packed_between_dense(
+        col: &PackedInts,
+        lo: i64,
+        hi: i64,
+        chunk: Range<usize>,
+        out: &mut Vec<u32>,
+    ) -> usize {
+        let w = col.width() as usize;
+        debug_assert!((1..=MAX_PACKED_WIDTH as usize).contains(&w));
+        let bytes = col.words().as_ptr() as *const u8;
+        let p = out_ptr(out, chunk.len());
+        let lov = _mm512_set1_epi64(lo);
+        let hiv = _mm512_set1_epi64(hi);
+        let minv = _mm512_set1_epi64(col.min());
+        let maskv = _mm512_set1_epi64(col.mask() as i64);
+        let seven = _mm512_set1_epi64(7);
+        let s = chunk.start;
+        let mut off = _mm512_setr_epi64(
+            (s * w) as i64,
+            ((s + 1) * w) as i64,
+            ((s + 2) * w) as i64,
+            ((s + 3) * w) as i64,
+            ((s + 4) * w) as i64,
+            ((s + 5) * w) as i64,
+            ((s + 6) * w) as i64,
+            ((s + 7) * w) as i64,
+        );
+        let offstep = _mm512_set1_epi64((8 * w) as i64);
+        let mut idx = _mm256_add_epi32(
+            _mm256_set1_epi32(s as i32),
+            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+        );
+        let idxstep = _mm256_set1_epi32(8);
+        let mut k = 0usize;
+        let mut i = s;
+        while i + 8 <= chunk.end {
+            let byte_off = _mm512_srli_epi64::<3>(off);
+            let sh = _mm512_and_epi64(off, seven);
+            let win = _mm512_i64gather_epi64::<1>(byte_off, bytes as *const _);
+            let dec = _mm512_add_epi64(_mm512_and_epi64(_mm512_srlv_epi64(win, sh), maskv), minv);
+            let m =
+                _mm512_cmp_epi64_mask::<{ CMP_GE }>(dec, lov) & _mm512_cmp_epi64_mask::<{ CMP_LE }>(dec, hiv);
+            _mm512_mask_compressstoreu_epi32(p.add(k) as *mut _, m as u16, _mm512_castsi256_si512(idx));
+            k += m.count_ones() as usize;
+            off = _mm512_add_epi64(off, offstep);
+            idx = _mm256_add_epi32(idx, idxstep);
+            i += 8;
+        }
+        while i < chunk.end {
+            let v = col.get(i);
+            *p.add(k) = i as u32;
+            k += (v >= lo && v <= hi) as usize;
+            i += 1;
+        }
+        out.set_len(k);
+        k
+    }
+
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    pub unsafe fn packed_sparse<const OP: i32>(
+        col: &PackedInts,
+        c: i64,
+        in_sel: &[u32],
+        out: &mut Vec<u32>,
+    ) -> usize {
+        let w = col.width() as usize;
+        debug_assert!((1..=MAX_PACKED_WIDTH as usize).contains(&w));
+        let bytes = col.words().as_ptr() as *const u8;
+        let n = in_sel.len();
+        let p = out_ptr(out, n);
+        let cv = _mm512_set1_epi64(c);
+        let minv = _mm512_set1_epi64(col.min());
+        let maskv = _mm512_set1_epi64(col.mask() as i64);
+        let seven = _mm512_set1_epi64(7);
+        let wv = _mm512_set1_epi64(w as i64);
+        let mut k = 0usize;
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let iv = _mm256_loadu_si256(in_sel.as_ptr().add(i) as *const _);
+            let off = _mm512_mullo_epi64(_mm512_cvtepu32_epi64(iv), wv);
+            let byte_off = _mm512_srli_epi64::<3>(off);
+            let sh = _mm512_and_epi64(off, seven);
+            let win = _mm512_i64gather_epi64::<1>(byte_off, bytes as *const _);
+            let dec = _mm512_add_epi64(_mm512_and_epi64(_mm512_srlv_epi64(win, sh), maskv), minv);
+            let m = _mm512_cmp_epi64_mask::<OP>(dec, cv);
+            _mm256_mask_compressstoreu_epi32(p.add(k) as *mut _, m, iv);
+            k += m.count_ones() as usize;
+            i += 8;
+        }
+        while i < n {
+            let row = *in_sel.get_unchecked(i);
+            *p.add(k) = row;
+            k += cmp_scalar::<OP, i64>(col.get(row as usize), c) as usize;
+            i += 1;
+        }
+        out.set_len(k);
+        k
+    }
+
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    pub unsafe fn packed_between_sparse(
+        col: &PackedInts,
+        lo: i64,
+        hi: i64,
+        in_sel: &[u32],
+        out: &mut Vec<u32>,
+    ) -> usize {
+        let w = col.width() as usize;
+        debug_assert!((1..=MAX_PACKED_WIDTH as usize).contains(&w));
+        let bytes = col.words().as_ptr() as *const u8;
+        let n = in_sel.len();
+        let p = out_ptr(out, n);
+        let lov = _mm512_set1_epi64(lo);
+        let hiv = _mm512_set1_epi64(hi);
+        let minv = _mm512_set1_epi64(col.min());
+        let maskv = _mm512_set1_epi64(col.mask() as i64);
+        let seven = _mm512_set1_epi64(7);
+        let wv = _mm512_set1_epi64(w as i64);
+        let mut k = 0usize;
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let iv = _mm256_loadu_si256(in_sel.as_ptr().add(i) as *const _);
+            let off = _mm512_mullo_epi64(_mm512_cvtepu32_epi64(iv), wv);
+            let byte_off = _mm512_srli_epi64::<3>(off);
+            let sh = _mm512_and_epi64(off, seven);
+            let win = _mm512_i64gather_epi64::<1>(byte_off, bytes as *const _);
+            let dec = _mm512_add_epi64(_mm512_and_epi64(_mm512_srlv_epi64(win, sh), maskv), minv);
+            let m =
+                _mm512_cmp_epi64_mask::<{ CMP_GE }>(dec, lov) & _mm512_cmp_epi64_mask::<{ CMP_LE }>(dec, hiv);
+            _mm256_mask_compressstoreu_epi32(p.add(k) as *mut _, m, iv);
+            k += m.count_ones() as usize;
+            i += 8;
+        }
+        while i < n {
+            let row = *in_sel.get_unchecked(i);
+            let v = col.get(row as usize);
+            *p.add(k) = row;
+            k += (v >= lo && v <= hi) as usize;
+            i += 1;
+        }
+        out.set_len(k);
+        k
+    }
+
+    /// Dictionary-code equality over a dense code chunk: 64 codes per
+    /// 512-bit compare, indices compressed in four 16-lane groups.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub unsafe fn dense_code_eq(codes: &[u8], code: u8, base: u32, out: &mut Vec<u32>) -> usize {
+        let n = codes.len();
+        let p = out_ptr(out, n);
+        let cv = _mm512_set1_epi8(code as i8);
+        let lanes = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+        let mut k = 0usize;
+        let mut i = 0usize;
+        while i + 64 <= n {
+            let v = _mm512_loadu_si512(codes.as_ptr().add(i) as *const _);
+            let m = _mm512_cmpeq_epi8_mask(v, cv);
+            for g in 0..4usize {
+                let m16 = ((m >> (16 * g)) & 0xffff) as u16;
+                let idx = _mm512_add_epi32(_mm512_set1_epi32((base as usize + i + 16 * g) as i32), lanes);
+                _mm512_mask_compressstoreu_epi32(p.add(k) as *mut _, m16, idx);
+                k += m16.count_ones() as usize;
+            }
+            i += 64;
+        }
+        while i < n {
+            *p.add(k) = base + i as u32;
+            k += (*codes.get_unchecked(i) == code) as usize;
+            i += 1;
+        }
+        out.set_len(k);
+        k
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -549,6 +936,63 @@ mod autovec {
     ) -> usize {
         super::sparse_cmp_i32_col_scalar::<OP>(a, b, in_sel, out)
     }
+
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub unsafe fn dense_i64<const OP: i32>(col: &[i64], c: i64, base: u32, out: &mut Vec<u32>) -> usize {
+        super::dense_i64_scalar::<OP>(col, c, base, out)
+    }
+
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub unsafe fn packed_dense<const OP: i32>(
+        col: &super::PackedInts,
+        c: i64,
+        chunk: super::Range<usize>,
+        out: &mut Vec<u32>,
+    ) -> usize {
+        super::packed_dense_scalar::<OP>(col, c, chunk, out)
+    }
+
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub unsafe fn packed_sparse<const OP: i32>(
+        col: &super::PackedInts,
+        c: i64,
+        in_sel: &[u32],
+        out: &mut Vec<u32>,
+    ) -> usize {
+        super::packed_sparse_scalar::<OP>(col, c, in_sel, out)
+    }
+
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub unsafe fn packed_between_dense(
+        col: &super::PackedInts,
+        lo: i64,
+        hi: i64,
+        chunk: super::Range<usize>,
+        out: &mut Vec<u32>,
+    ) -> usize {
+        super::packed_between_dense_scalar(col, lo, hi, chunk, out)
+    }
+
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub unsafe fn packed_between_sparse(
+        col: &super::PackedInts,
+        lo: i64,
+        hi: i64,
+        in_sel: &[u32],
+        out: &mut Vec<u32>,
+    ) -> usize {
+        super::packed_between_sparse_scalar(col, lo, hi, in_sel, out)
+    }
+
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub unsafe fn dense_code_eq(codes: &[u8], code: u8, base: u32, out: &mut Vec<u32>) -> usize {
+        super::code_dense_scalar(codes, code, base, out)
+    }
+
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub unsafe fn sparse_code_eq(codes: &[u8], code: u8, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+        super::code_sparse_scalar(codes, code, in_sel, out)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -634,10 +1078,251 @@ dispatch_sparse_i64!(sel_lt_i64_sparse, CMP_LT);
 dispatch_sparse_i64!(sel_ge_i64_sparse, CMP_GE);
 dispatch_sparse_i64!(sel_le_i64_sparse, CMP_LE);
 
-/// Dense `v < c` on a 64-bit column (scalar and autovec only; the
-/// studied plans never need a dense 64-bit SIMD compare).
-pub fn sel_lt_i64_dense(col: &[i64], c: i64, base: u32, out: &mut Vec<u32>, _policy: SimdPolicy) -> usize {
-    dense_i64_scalar::<{ CMP_LT }>(col, c, base, out)
+macro_rules! dispatch_dense_i64 {
+    ($name:ident, $op:expr) => {
+        /// Dense selection on a 64-bit column; emits `base + i`.
+        pub fn $name(col: &[i64], c: i64, base: u32, out: &mut Vec<u32>, policy: SimdPolicy) -> usize {
+            #[cfg(target_arch = "x86_64")]
+            match (policy, simd_level()) {
+                (SimdPolicy::Simd, SimdLevel::Avx512) => {
+                    // SAFETY: ISA presence checked by simd_level().
+                    return unsafe { avx512::dense_i64::<{ $op }>(col, c, base, out) };
+                }
+                (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                    return unsafe { autovec::dense_i64::<{ $op }>(col, c, base, out) };
+                }
+                _ => {}
+            }
+            dense_i64_scalar::<{ $op }>(col, c, base, out)
+        }
+    };
+}
+dispatch_dense_i64!(sel_lt_i64_dense, CMP_LT);
+
+// ---------------------------------------------------------------------
+// Fused decompress-and-select dispatchers (bit-packed FOR columns and
+// dictionary codes). SIMD variants engage for packed widths
+// 1..=MAX_PACKED_WIDTH; all-equal (width 0) and raw-fallback (width 64)
+// columns take the scalar path with identical results.
+// ---------------------------------------------------------------------
+
+#[inline]
+fn packed_simd_ok(col: &PackedInts) -> bool {
+    (1..=MAX_PACKED_WIDTH).contains(&col.width())
+}
+
+macro_rules! dispatch_packed_dense {
+    ($name:ident, $ty:ty, $op:expr) => {
+        /// Fused decompress-and-select over the packed column rows in
+        /// `chunk`; emits global row indices without materializing the
+        /// flat array.
+        pub fn $name(
+            col: &PackedInts,
+            c: $ty,
+            chunk: Range<usize>,
+            out: &mut Vec<u32>,
+            policy: SimdPolicy,
+        ) -> usize {
+            let c = c as i64;
+            #[cfg(target_arch = "x86_64")]
+            if packed_simd_ok(col) {
+                match (policy, simd_level()) {
+                    (SimdPolicy::Simd, SimdLevel::Avx512) => {
+                        // SAFETY: ISA presence checked by simd_level();
+                        // width gate checked by packed_simd_ok.
+                        return unsafe { avx512::packed_dense::<{ $op }>(col, c, chunk, out) };
+                    }
+                    (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                        return unsafe { autovec::packed_dense::<{ $op }>(col, c, chunk, out) };
+                    }
+                    _ => {}
+                }
+            }
+            packed_dense_scalar::<{ $op }>(col, c, chunk, out)
+        }
+    };
+}
+dispatch_packed_dense!(sel_lt_i32_packed, i32, CMP_LT);
+dispatch_packed_dense!(sel_le_i32_packed, i32, CMP_LE);
+dispatch_packed_dense!(sel_ge_i32_packed, i32, CMP_GE);
+dispatch_packed_dense!(sel_gt_i32_packed, i32, CMP_GT);
+dispatch_packed_dense!(sel_eq_i32_packed, i32, CMP_EQ);
+dispatch_packed_dense!(sel_lt_i64_packed, i64, CMP_LT);
+dispatch_packed_dense!(sel_le_i64_packed, i64, CMP_LE);
+dispatch_packed_dense!(sel_ge_i64_packed, i64, CMP_GE);
+dispatch_packed_dense!(sel_gt_i64_packed, i64, CMP_GT);
+dispatch_packed_dense!(sel_eq_i64_packed, i64, CMP_EQ);
+
+macro_rules! dispatch_packed_sparse {
+    ($name:ident, $ty:ty, $op:expr) => {
+        /// Fused decompress-and-select refining an input selection
+        /// vector over a packed column.
+        pub fn $name(
+            col: &PackedInts,
+            c: $ty,
+            in_sel: &[u32],
+            out: &mut Vec<u32>,
+            policy: SimdPolicy,
+        ) -> usize {
+            let c = c as i64;
+            #[cfg(target_arch = "x86_64")]
+            if packed_simd_ok(col) {
+                match (policy, simd_level()) {
+                    (SimdPolicy::Simd, SimdLevel::Avx512) => {
+                        // SAFETY: as in dispatch_packed_dense.
+                        return unsafe { avx512::packed_sparse::<{ $op }>(col, c, in_sel, out) };
+                    }
+                    (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                        return unsafe { autovec::packed_sparse::<{ $op }>(col, c, in_sel, out) };
+                    }
+                    _ => {}
+                }
+            }
+            packed_sparse_scalar::<{ $op }>(col, c, in_sel, out)
+        }
+    };
+}
+dispatch_packed_sparse!(sel_lt_i32_packed_sparse, i32, CMP_LT);
+dispatch_packed_sparse!(sel_le_i32_packed_sparse, i32, CMP_LE);
+dispatch_packed_sparse!(sel_ge_i32_packed_sparse, i32, CMP_GE);
+dispatch_packed_sparse!(sel_gt_i32_packed_sparse, i32, CMP_GT);
+dispatch_packed_sparse!(sel_eq_i32_packed_sparse, i32, CMP_EQ);
+dispatch_packed_sparse!(sel_lt_i64_packed_sparse, i64, CMP_LT);
+dispatch_packed_sparse!(sel_le_i64_packed_sparse, i64, CMP_LE);
+dispatch_packed_sparse!(sel_ge_i64_packed_sparse, i64, CMP_GE);
+dispatch_packed_sparse!(sel_gt_i64_packed_sparse, i64, CMP_GT);
+dispatch_packed_sparse!(sel_eq_i64_packed_sparse, i64, CMP_EQ);
+
+fn between_for_dense(
+    col: &PackedInts,
+    lo: i64,
+    hi: i64,
+    chunk: Range<usize>,
+    out: &mut Vec<u32>,
+    policy: SimdPolicy,
+) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if packed_simd_ok(col) {
+        match (policy, simd_level()) {
+            (SimdPolicy::Simd, SimdLevel::Avx512) => {
+                // SAFETY: as in dispatch_packed_dense.
+                return unsafe { avx512::packed_between_dense(col, lo, hi, chunk, out) };
+            }
+            (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                return unsafe { autovec::packed_between_dense(col, lo, hi, chunk, out) };
+            }
+            _ => {}
+        }
+    }
+    packed_between_dense_scalar(col, lo, hi, chunk, out)
+}
+
+fn between_for_sparse(
+    col: &PackedInts,
+    lo: i64,
+    hi: i64,
+    in_sel: &[u32],
+    out: &mut Vec<u32>,
+    policy: SimdPolicy,
+) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if packed_simd_ok(col) {
+        match (policy, simd_level()) {
+            (SimdPolicy::Simd, SimdLevel::Avx512) => {
+                // SAFETY: as in dispatch_packed_dense.
+                return unsafe { avx512::packed_between_sparse(col, lo, hi, in_sel, out) };
+            }
+            (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                return unsafe { autovec::packed_between_sparse(col, lo, hi, in_sel, out) };
+            }
+            _ => {}
+        }
+    }
+    packed_between_sparse_scalar(col, lo, hi, in_sel, out)
+}
+
+/// Fused `lo <= v <= hi` over the packed rows in `chunk` (32-bit
+/// constants widened into the 64-bit decode domain).
+pub fn sel_between_i32_for(
+    col: &PackedInts,
+    lo: i32,
+    hi: i32,
+    chunk: Range<usize>,
+    out: &mut Vec<u32>,
+    policy: SimdPolicy,
+) -> usize {
+    between_for_dense(col, lo as i64, hi as i64, chunk, out, policy)
+}
+
+/// Fused `lo <= v <= hi` over the packed rows in `chunk`.
+pub fn sel_between_i64_for(
+    col: &PackedInts,
+    lo: i64,
+    hi: i64,
+    chunk: Range<usize>,
+    out: &mut Vec<u32>,
+    policy: SimdPolicy,
+) -> usize {
+    between_for_dense(col, lo, hi, chunk, out, policy)
+}
+
+/// Fused sparse `lo <= v <= hi` refining an input selection vector.
+pub fn sel_between_i32_for_sparse(
+    col: &PackedInts,
+    lo: i32,
+    hi: i32,
+    in_sel: &[u32],
+    out: &mut Vec<u32>,
+    policy: SimdPolicy,
+) -> usize {
+    between_for_sparse(col, lo as i64, hi as i64, in_sel, out, policy)
+}
+
+/// Fused sparse `lo <= v <= hi` refining an input selection vector.
+pub fn sel_between_i64_for_sparse(
+    col: &PackedInts,
+    lo: i64,
+    hi: i64,
+    in_sel: &[u32],
+    out: &mut Vec<u32>,
+    policy: SimdPolicy,
+) -> usize {
+    between_for_sparse(col, lo, hi, in_sel, out, policy)
+}
+
+/// Dense dictionary-code equality over a code chunk slice; emits
+/// `base + i`. The AVX-512 flavor compares 64 codes per instruction
+/// (avx512bw byte compare).
+pub fn sel_eq_code_dense(codes: &[u8], code: u8, base: u32, out: &mut Vec<u32>, policy: SimdPolicy) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    match (policy, simd_level()) {
+        (SimdPolicy::Simd, SimdLevel::Avx512) => {
+            // SAFETY: ISA presence checked by simd_level().
+            return unsafe { avx512::dense_code_eq(codes, code, base, out) };
+        }
+        (SimdPolicy::Auto, SimdLevel::Avx512) => {
+            return unsafe { autovec::dense_code_eq(codes, code, base, out) };
+        }
+        _ => {}
+    }
+    code_dense_scalar(codes, code, base, out)
+}
+
+/// Sparse dictionary-code equality refining an input selection vector
+/// (scalar and autovec only: AVX-512 has no byte gather).
+pub fn sel_eq_code_sparse(
+    codes: &[u8],
+    code: u8,
+    in_sel: &[u32],
+    out: &mut Vec<u32>,
+    policy: SimdPolicy,
+) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if policy == SimdPolicy::Auto && simd_level() >= SimdLevel::Avx512 {
+        // SAFETY: ISA presence checked by simd_level().
+        return unsafe { autovec::sparse_code_eq(codes, code, in_sel, out) };
+    }
+    code_sparse_scalar(codes, code, in_sel, out)
 }
 
 /// Dense `lo <= v <= hi` on a 64-bit column.

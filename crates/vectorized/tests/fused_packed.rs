@@ -1,0 +1,314 @@
+//! Fused-vs-decode-then-select equivalence properties: every fused
+//! primitive over a bit-packed / dictionary column must produce exactly
+//! the selection vector (or gathered values) that decoding the column
+//! and running the flat primitive would, for every [`SimdPolicy`], over
+//! randomized widths, ranges, lengths, and selection densities.
+
+use dbep_storage::{Arena, PackedInts};
+use dbep_vectorized::gather::gather_packed_i64;
+use dbep_vectorized::sel::*;
+use dbep_vectorized::SimdPolicy;
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const POLICIES: [SimdPolicy; 3] = [SimdPolicy::Scalar, SimdPolicy::Simd, SimdPolicy::Auto];
+
+/// Randomized packed column + its decoded flat form. Widths sweep the
+/// SIMD-eligible range, width 0 (all-equal) and the raw 64-bit fallback.
+fn random_column(rng: &mut Rng, arena: &Arena, target_width: u32) -> (PackedInts, Vec<i64>) {
+    let len = 1 + rng.below(1500) as usize;
+    let min = rng.next() as i64 % 1_000_000;
+    let vals: Vec<i64> = match target_width {
+        0 => vec![min; len],
+        58.. => (0..len).map(|_| rng.next() as i64).collect(),
+        w => (0..len)
+            .map(|_| min.wrapping_add(rng.below(1u64 << w) as i64))
+            .collect(),
+    };
+    let packed = PackedInts::encode(&vals, arena);
+    let mut flat = Vec::new();
+    packed.decode_into(&mut flat);
+    assert_eq!(flat, vals, "roundtrip is the precondition of equivalence");
+    (packed, flat)
+}
+
+fn random_sel(rng: &mut Rng, len: usize) -> Vec<u32> {
+    let keep = 1 + rng.below(4);
+    (0..len as u32).filter(|_| rng.below(4) < keep).collect()
+}
+
+#[test]
+fn packed_dense_cmp_matches_flat() {
+    let arena = Arena::new();
+    let mut rng = Rng::new(0xfced_0001);
+    for target_width in [0u32, 1, 3, 7, 8, 12, 13, 24, 31, 33, 49, 57, 60] {
+        let (packed, flat) = random_column(&mut rng, &arena, target_width);
+        let c = flat[rng.below(flat.len() as u64) as usize];
+        let start = rng.below(flat.len() as u64) as usize;
+        let chunk = start..flat.len();
+        for policy in POLICIES {
+            let mut fused = Vec::new();
+            let mut model = Vec::new();
+            sel_lt_i64_packed(&packed, c, chunk.clone(), &mut fused, policy);
+            sel_lt_i64_dense(&flat[chunk.clone()], c, chunk.start as u32, &mut model, policy);
+            assert_eq!(fused, model, "lt w={target_width} {policy:?}");
+
+            sel_ge_i64_packed(&packed, c, chunk.clone(), &mut fused, policy);
+            sel_ge_i64_sparse(
+                &flat,
+                c,
+                &(chunk.clone().map(|i| i as u32).collect::<Vec<_>>()),
+                &mut model,
+                policy,
+            );
+            assert_eq!(fused, model, "ge w={target_width} {policy:?}");
+
+            sel_eq_i64_packed(&packed, c, chunk.clone(), &mut fused, policy);
+            let eq_model: Vec<u32> = chunk
+                .clone()
+                .filter(|&i| flat[i] == c)
+                .map(|i| i as u32)
+                .collect();
+            assert_eq!(fused, eq_model, "eq w={target_width} {policy:?}");
+
+            sel_le_i64_packed(&packed, c, chunk.clone(), &mut fused, policy);
+            let le_model: Vec<u32> = chunk
+                .clone()
+                .filter(|&i| flat[i] <= c)
+                .map(|i| i as u32)
+                .collect();
+            assert_eq!(fused, le_model, "le w={target_width} {policy:?}");
+
+            sel_gt_i64_packed(&packed, c, chunk.clone(), &mut fused, policy);
+            let gt_model: Vec<u32> = chunk.clone().filter(|&i| flat[i] > c).map(|i| i as u32).collect();
+            assert_eq!(fused, gt_model, "gt w={target_width} {policy:?}");
+        }
+    }
+}
+
+#[test]
+fn packed_sparse_cmp_matches_flat() {
+    let arena = Arena::new();
+    let mut rng = Rng::new(0xfced_0002);
+    for target_width in [0u32, 1, 4, 9, 13, 21, 33, 47, 57, 61] {
+        let (packed, flat) = random_column(&mut rng, &arena, target_width);
+        let c = flat[rng.below(flat.len() as u64) as usize];
+        let in_sel = random_sel(&mut rng, flat.len());
+        for policy in POLICIES {
+            let mut fused = Vec::new();
+            let mut model = Vec::new();
+            sel_lt_i64_packed_sparse(&packed, c, &in_sel, &mut fused, policy);
+            sel_lt_i64_sparse(&flat, c, &in_sel, &mut model, policy);
+            assert_eq!(fused, model, "lt w={target_width} {policy:?}");
+
+            sel_ge_i64_packed_sparse(&packed, c, &in_sel, &mut fused, policy);
+            sel_ge_i64_sparse(&flat, c, &in_sel, &mut model, policy);
+            assert_eq!(fused, model, "ge w={target_width} {policy:?}");
+
+            sel_le_i64_packed_sparse(&packed, c, &in_sel, &mut fused, policy);
+            sel_le_i64_sparse(&flat, c, &in_sel, &mut model, policy);
+            assert_eq!(fused, model, "le w={target_width} {policy:?}");
+
+            sel_eq_i64_packed_sparse(&packed, c, &in_sel, &mut fused, policy);
+            let eq_model: Vec<u32> = in_sel
+                .iter()
+                .copied()
+                .filter(|&i| flat[i as usize] == c)
+                .collect();
+            assert_eq!(fused, eq_model, "eq w={target_width} {policy:?}");
+
+            sel_gt_i64_packed_sparse(&packed, c, &in_sel, &mut fused, policy);
+            let gt_model: Vec<u32> = in_sel.iter().copied().filter(|&i| flat[i as usize] > c).collect();
+            assert_eq!(fused, gt_model, "gt w={target_width} {policy:?}");
+        }
+    }
+}
+
+#[test]
+fn packed_i32_wrappers_match_flat() {
+    // The i32-named wrappers widen the constant into the decode domain;
+    // they must agree with i32 flat primitives on i32-ranged data.
+    let arena = Arena::new();
+    let mut rng = Rng::new(0xfced_0003);
+    for _ in 0..12 {
+        let len = 1 + rng.below(1200) as usize;
+        let vals32: Vec<i32> = (0..len).map(|_| rng.next() as i32 % 10_000).collect();
+        let packed = PackedInts::encode(&vals32, &arena);
+        let c = vals32[rng.below(len as u64) as usize];
+        let in_sel = random_sel(&mut rng, len);
+        for policy in POLICIES {
+            let mut fused = Vec::new();
+            let mut model = Vec::new();
+            sel_ge_i32_packed(&packed, c, 0..len, &mut fused, policy);
+            sel_ge_i32_dense(&vals32, c, 0, &mut model, policy);
+            assert_eq!(fused, model, "dense ge {policy:?}");
+
+            sel_lt_i32_packed_sparse(&packed, c, &in_sel, &mut fused, policy);
+            sel_lt_i32_sparse(&vals32, c, &in_sel, &mut model, policy);
+            assert_eq!(fused, model, "sparse lt {policy:?}");
+
+            sel_eq_i32_packed(&packed, c, 0..len, &mut fused, policy);
+            sel_eq_i32_dense(&vals32, c, 0, &mut model, policy);
+            assert_eq!(fused, model, "dense eq {policy:?}");
+
+            sel_le_i32_packed(&packed, c, 0..len, &mut fused, policy);
+            sel_le_i32_dense(&vals32, c, 0, &mut model, policy);
+            assert_eq!(fused, model, "dense le {policy:?}");
+
+            sel_gt_i32_packed_sparse(&packed, c, &in_sel, &mut fused, policy);
+            sel_gt_i32_sparse(&vals32, c, &in_sel, &mut model, policy);
+            assert_eq!(fused, model, "sparse gt {policy:?}");
+        }
+    }
+}
+
+#[test]
+fn between_for_matches_flat() {
+    let arena = Arena::new();
+    let mut rng = Rng::new(0xfced_0004);
+    for target_width in [0u32, 2, 4, 11, 26, 40, 57, 59] {
+        let (packed, flat) = random_column(&mut rng, &arena, target_width);
+        let a = flat[rng.below(flat.len() as u64) as usize];
+        let b = flat[rng.below(flat.len() as u64) as usize];
+        let (lo, hi) = (a.min(b), a.max(b));
+        let in_sel = random_sel(&mut rng, flat.len());
+        for policy in POLICIES {
+            let mut fused = Vec::new();
+            let mut model = Vec::new();
+            sel_between_i64_for(&packed, lo, hi, 0..flat.len(), &mut fused, policy);
+            sel_between_i64_dense(&flat, lo, hi, 0, &mut model, policy);
+            assert_eq!(fused, model, "dense w={target_width} {policy:?}");
+
+            sel_between_i64_for_sparse(&packed, lo, hi, &in_sel, &mut fused, policy);
+            sel_between_i64_sparse(&flat, lo, hi, &in_sel, &mut model, policy);
+            assert_eq!(fused, model, "sparse w={target_width} {policy:?}");
+        }
+    }
+    // i32 wrapper over date-like data.
+    let dates: Vec<i32> = (0..3000).map(|i| 9000 + (i * 37 % 2500)).collect();
+    let packed = PackedInts::encode(&dates, &arena);
+    for policy in POLICIES {
+        let mut fused = Vec::new();
+        let model: Vec<u32> = (0..3000u32)
+            .filter(|&i| (9100..=9900).contains(&dates[i as usize]))
+            .collect();
+        sel_between_i32_for(&packed, 9100, 9900, 0..3000, &mut fused, policy);
+        assert_eq!(fused, model, "{policy:?}");
+        let in_sel: Vec<u32> = (0..3000).step_by(3).collect();
+        let sparse_model: Vec<u32> = in_sel
+            .iter()
+            .copied()
+            .filter(|&i| (9100..=9900).contains(&dates[i as usize]))
+            .collect();
+        sel_between_i32_for_sparse(&packed, 9100, 9900, &in_sel, &mut fused, policy);
+        assert_eq!(fused, sparse_model, "{policy:?}");
+    }
+}
+
+#[test]
+fn eq_code_matches_model() {
+    let mut rng = Rng::new(0xfced_0005);
+    for len in [0usize, 1, 63, 64, 65, 127, 128, 1000, 4096] {
+        let cardinality = 1 + rng.below(7) as u8;
+        let codes: Vec<u8> = (0..len).map(|_| rng.below(cardinality as u64) as u8).collect();
+        let code = rng.below(cardinality as u64) as u8;
+        let base = rng.below(1000) as u32;
+        let model: Vec<u32> = codes
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v == code)
+            .map(|(i, _)| base + i as u32)
+            .collect();
+        let in_sel = random_sel(&mut rng, len);
+        let sparse_model: Vec<u32> = in_sel
+            .iter()
+            .copied()
+            .filter(|&i| codes[i as usize] == code)
+            .collect();
+        for policy in POLICIES {
+            let mut out = Vec::new();
+            sel_eq_code_dense(&codes, code, base, &mut out, policy);
+            assert_eq!(out, model, "dense len={len} {policy:?}");
+            sel_eq_code_sparse(&codes, code, &in_sel, &mut out, policy);
+            assert_eq!(out, sparse_model, "sparse len={len} {policy:?}");
+        }
+    }
+}
+
+#[test]
+fn gather_packed_matches_flat_gather() {
+    let arena = Arena::new();
+    let mut rng = Rng::new(0xfced_0006);
+    for target_width in [0u32, 1, 5, 13, 24, 31, 42, 57, 62] {
+        let (packed, flat) = random_column(&mut rng, &arena, target_width);
+        let sel = random_sel(&mut rng, flat.len());
+        let model: Vec<i64> = sel.iter().map(|&i| flat[i as usize]).collect();
+        for policy in POLICIES {
+            let mut out = Vec::new();
+            gather_packed_i64(&packed, &sel, policy, &mut out);
+            assert_eq!(out, model, "w={target_width} {policy:?}");
+        }
+    }
+}
+
+#[test]
+fn fused_tail_sizes() {
+    // Lengths and chunk starts around the 8-lane width: tail handling
+    // and non-zero chunk bases.
+    let arena = Arena::new();
+    let vals: Vec<i64> = (0..70).map(|i| i % 19).collect();
+    let packed = PackedInts::encode(&vals, &arena);
+    for start in [0usize, 1, 7, 8, 9] {
+        for end in [start, start + 1, 33, 64, 65, 70] {
+            if end > 70 || end < start {
+                continue;
+            }
+            let model: Vec<u32> = (start..end).filter(|&i| vals[i] < 9).map(|i| i as u32).collect();
+            for policy in POLICIES {
+                let mut out = Vec::new();
+                sel_lt_i64_packed(&packed, 9, start..end, &mut out, policy);
+                assert_eq!(out, model, "{start}..{end} {policy:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_i64_simd_satellite_matches_scalar() {
+    // The satellite fix: sel_lt_i64_dense must honor SimdPolicy and all
+    // flavors must agree (it previously hard-wired the scalar path).
+    let mut rng = Rng::new(0xfced_0007);
+    for n in [0usize, 1, 7, 8, 9, 500, 1023] {
+        let col: Vec<i64> = (0..n).map(|_| rng.next() as i64 % 1000).collect();
+        let model: Vec<u32> = col
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v < 250)
+            .map(|(i, _)| 5 + i as u32)
+            .collect();
+        for policy in POLICIES {
+            let mut out = Vec::new();
+            sel_lt_i64_dense(&col, 250, 5, &mut out, policy);
+            assert_eq!(out, model, "n={n} {policy:?}");
+        }
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::expr::{Expr, Val};
 use dbep_runtime::{Morsels, MORSEL_TUPLES};
+use dbep_scheduler::QueryRun;
 use dbep_storage::throttle::Throttle;
 use dbep_storage::{ColumnData, Table};
 use std::collections::HashMap;
@@ -32,6 +33,7 @@ pub struct Scan<'a> {
     len: usize,
     morsels: Option<&'a Morsels>,
     throttle: Option<&'a Throttle>,
+    recorder: Option<&'a QueryRun>,
     bytes_per_row: usize,
 }
 
@@ -50,6 +52,7 @@ impl<'a> Scan<'a> {
             len: table.len(),
             morsels: None,
             throttle: None,
+            recorder: None,
             bytes_per_row,
         }
     }
@@ -57,6 +60,15 @@ impl<'a> Scan<'a> {
     /// Pace every claimed tuple range against `throttle` (no-op if `None`).
     pub fn paced(mut self, throttle: Option<&'a Throttle>) -> Self {
         self.throttle = throttle;
+        self
+    }
+
+    /// Record every claimed tuple range's bytes into the run's scheduler
+    /// stats (no-op if `None`). Volcano always scans the flat columns —
+    /// its interpretation overhead is the baseline — so it reports flat
+    /// byte volume even when encoded companions exist.
+    pub fn recorded(mut self, run: Option<&'a QueryRun>) -> Self {
+        self.recorder = run;
         self
     }
 
@@ -84,8 +96,12 @@ impl<'a> Scan<'a> {
                 start..end
             }
         };
+        let bytes = range.len() * self.bytes_per_row;
+        if let Some(run) = self.recorder {
+            run.add_bytes(bytes as u64);
+        }
         if let Some(t) = self.throttle {
-            t.consume(range.len() * self.bytes_per_row);
+            t.consume(bytes);
         }
         self.current = range;
         true

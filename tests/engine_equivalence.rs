@@ -26,6 +26,16 @@ fn ssb_db_001() -> &'static Database {
     DB.get_or_init(|| dbep_datagen::ssb::generate(0.01, 42))
 }
 
+fn tpch_db_enc() -> &'static Database {
+    static DB: std::sync::OnceLock<Database> = std::sync::OnceLock::new();
+    DB.get_or_init(|| dbep_datagen::tpch::generate_encoded(0.01, 42))
+}
+
+fn ssb_db_enc() -> &'static Database {
+    static DB: std::sync::OnceLock<Database> = std::sync::OnceLock::new();
+    DB.get_or_init(|| dbep_datagen::ssb::generate_encoded(0.01, 42))
+}
+
 fn db_for(q: QueryId) -> &'static Database {
     if QueryId::TPCH.contains(&q) {
         tpch_db()
@@ -71,6 +81,64 @@ fn all_36_engine_query_pairs_agree_at_sf_001() {
         assert!(!results[0].is_empty(), "{}: empty result", q.name());
         assert_equal(q, &results[0], &results[1], "typer vs tectorwise");
         assert_equal(q, &results[0], &results[2], "typer vs volcano");
+    }
+}
+
+/// Compressed companions must be invisible in every result: all 36
+/// (engine, query) pairs on an encoded database, under every
+/// `SimdPolicy`, must match the flat database bit-for-bit. Plans with
+/// fused-scan variants switch to them automatically; the rest must be
+/// unperturbed by the companions' presence.
+#[test]
+fn encoded_storage_agrees_with_flat_on_all_36_pairs() {
+    for q in ALL {
+        let (flat, enc) = if QueryId::TPCH.contains(&q) {
+            (tpch_db_001(), tpch_db_enc())
+        } else {
+            (ssb_db_001(), ssb_db_enc())
+        };
+        assert!(enc.is_encoded(), "fixture lost its companions");
+        let reference = run(Engine::Typer, q, flat, &ExecCfg::default());
+        for &e in Engine::ALL.iter() {
+            for policy in [SimdPolicy::Scalar, SimdPolicy::Simd, SimdPolicy::Auto] {
+                let cfg = ExecCfg {
+                    policy,
+                    ..Default::default()
+                };
+                let r = run(e, q, enc, &cfg);
+                assert_equal(q, &reference, &r, &format!("encoded {e:?} {policy:?}"));
+            }
+        }
+    }
+}
+
+/// Encoded scans must also commute with morsel parallelism: the
+/// `PackedReader` mid-column cursor starts and the fused kernels' chunk
+/// boundaries shift with the thread count, the results must not.
+#[test]
+fn encoded_storage_threads_do_not_change_results() {
+    for q in [QueryId::Q1, QueryId::Q6, QueryId::Q14, QueryId::Ssb1_1] {
+        let enc = if QueryId::TPCH.contains(&q) {
+            tpch_db_enc()
+        } else {
+            ssb_db_enc()
+        };
+        let single = run(Engine::Typer, q, enc, &ExecCfg::default());
+        for threads in [2usize, 4, 8] {
+            let cfg = ExecCfg::with_threads(threads);
+            assert_equal(
+                q,
+                &single,
+                &run(Engine::Typer, q, enc, &cfg),
+                &format!("encoded typer {threads} threads"),
+            );
+            assert_equal(
+                q,
+                &single,
+                &run(Engine::Tectorwise, q, enc, &cfg),
+                &format!("encoded tectorwise {threads} threads"),
+            );
+        }
     }
 }
 
