@@ -30,12 +30,18 @@
 //! files across PRs.
 //!
 //! `serve` is the **inter-query** scenario: `--clients N[,N...]`
-//! closed-loop clients fire a TPC-H (or, with `--query ssb-*`, SSB)
-//! query mix through one `Session`, comparing the shared morsel
-//! scheduler (worker count fixed at `--threads`) against the old
-//! spawn-per-query behavior (`--mode pool|spawn|both`), and reporting
-//! QPS, p50/p95/p99 latency and per-query scheduler stats (admission
-//! wait, queue wait, morsels, steals, bytes scanned). Example:
+//! closed-loop clients fire the mixed 12-query workload (TPC-H + SSB,
+//! two `Session`s over one shared scheduler in pool mode) with one
+//! engine per scenario — `typer`, `tectorwise`, `volcano` or
+//! `adaptive` (per-stage engine selection backed by the Session plan
+//! cache); the default sweep runs all four. It compares the shared
+//! morsel scheduler (worker count fixed at `--threads`) against the
+//! old spawn-per-query behavior (`--mode pool|spawn|both`), and
+//! reports deadline-clamped QPS (post-deadline drain counted
+//! separately), interpolated p50/p95/p99 latency, plan-cache hit
+//! rates with a re-prepare sweep, learned adaptive stage assignments,
+//! and per-query scheduler stats (admission wait, queue wait,
+//! morsels, steals, bytes scanned). Example:
 //! `experiments -- serve --sf 0.1 --clients 1,4,16 --duration-ms 2000`.
 //!
 //! `--encoded` (supported by `fig3`, `query` and `serve`) builds the
@@ -110,6 +116,31 @@ impl Args {
     }
 }
 
+/// Exit with a usage error (status 2, no panic backtrace). Every
+/// malformed flag reports its name and the accepted form.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// The value following `flag`, or a usage error naming the flag and
+/// its accepted form.
+fn flag_value(it: &mut impl Iterator<Item = String>, flag: &str, form: &str) -> String {
+    it.next()
+        .unwrap_or_else(|| usage_error(&format!("{flag} needs a value (usage: {flag} {form})")))
+}
+
+/// Parse a flag's value, or a usage error quoting the offending input
+/// and the accepted form.
+fn parse_value<T: std::str::FromStr>(value: &str, flag: &str, form: &str) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    value
+        .parse()
+        .unwrap_or_else(|e| usage_error(&format!("{flag} got {value:?}: {e} (usage: {flag} {form})")))
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         id: String::new(),
@@ -128,48 +159,68 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--sf" => args.sf = Some(it.next().expect("--sf N").parse().expect("numeric sf")),
-            "--threads" => {
-                args.threads = Some(it.next().expect("--threads N").parse().expect("numeric threads"))
+            "--sf" => {
+                let v = flag_value(&mut it, "--sf", "<scale-factor>");
+                args.sf = Some(parse_value(&v, "--sf", "<scale-factor>, e.g. --sf 0.1"));
             }
-            "--reps" => args.reps = it.next().expect("--reps N").parse().expect("numeric reps"),
+            "--threads" => {
+                let v = flag_value(&mut it, "--threads", "<count>");
+                args.threads = Some(parse_value(&v, "--threads", "<count>, e.g. --threads 4"));
+            }
+            "--reps" => {
+                let v = flag_value(&mut it, "--reps", "<count>");
+                args.reps = parse_value(&v, "--reps", "<count>, e.g. --reps 3");
+            }
             "--no-tag" => args.no_tag = true,
             "--json" => args.json = true,
             "--encoded" => args.encoded = true,
             "--query" => {
-                let name = it.next().expect("--query <name>");
-                args.query = Some(name.parse().unwrap_or_else(|e| panic!("{e}")));
+                let v = flag_value(&mut it, "--query", "<name>");
+                args.query = Some(parse_value(&v, "--query", "<name>, e.g. --query q3"));
             }
             "--engine" => {
-                let name = it.next().expect("--engine <name>");
-                args.engine = Some(name.parse().unwrap_or_else(|e| panic!("{e}")));
+                let v = flag_value(&mut it, "--engine", "<name>");
+                args.engine = Some(parse_value(&v, "--engine", "typer|tectorwise|volcano|adaptive"));
             }
             "--clients" => {
-                args.clients = it
-                    .next()
-                    .expect("--clients N[,N...]")
+                let v = flag_value(&mut it, "--clients", "N[,N...]");
+                if v.trim().is_empty() {
+                    usage_error(
+                        "--clients got an empty list (usage: --clients N[,N...], e.g. --clients 1,4,16)",
+                    );
+                }
+                args.clients = v
                     .split(',')
-                    .map(|c| c.parse().expect("numeric client count"))
+                    .map(|c| {
+                        let n: usize = parse_value(c, "--clients", "N[,N...], e.g. --clients 1,4,16");
+                        if n == 0 {
+                            usage_error("--clients counts must be at least 1");
+                        }
+                        n
+                    })
                     .collect();
-                assert!(!args.clients.is_empty(), "--clients needs at least one count");
             }
             "--duration-ms" => {
-                args.duration_ms = it
-                    .next()
-                    .expect("--duration-ms N")
-                    .parse()
-                    .expect("numeric duration")
+                let v = flag_value(&mut it, "--duration-ms", "<milliseconds>");
+                args.duration_ms =
+                    parse_value(&v, "--duration-ms", "<milliseconds>, e.g. --duration-ms 2000");
+                if args.duration_ms == 0 {
+                    usage_error(
+                        "--duration-ms must be greater than 0 (a zero-length window measures nothing)",
+                    );
+                }
             }
             "--mode" => {
-                let m = it.next().expect("--mode pool|spawn|both");
-                assert!(
-                    matches!(m.as_str(), "pool" | "spawn" | "both"),
-                    "unknown mode {m:?} (expected pool|spawn|both)"
-                );
+                let m = flag_value(&mut it, "--mode", "pool|spawn|both");
+                if !matches!(m.as_str(), "pool" | "spawn" | "both") {
+                    usage_error(&format!("--mode got {m:?} (usage: --mode pool|spawn|both)"));
+                }
                 args.mode = m;
             }
             other if args.id.is_empty() && !other.starts_with('-') => args.id = other.to_string(),
-            other => panic!("unknown argument {other}"),
+            other => usage_error(&format!(
+                "unknown argument {other:?} (see the module docs for the experiment list and flags)"
+            )),
         }
     }
     if args.id.is_empty() {
@@ -1060,71 +1111,110 @@ fn query(a: &Args) {
 }
 
 // ---------------------------------------------------------------------
-// `serve`: the inter-query benchmark — N closed-loop clients fire a
-// query mix through one Session, pooled (shared morsel scheduler,
-// worker count fixed at --threads) versus spawn-per-query (the
-// pre-scheduler behavior). Reports QPS, p50/p95/p99 latency and
-// per-query scheduler stats; one JSON document with --json.
+// `serve`: the inter-query benchmark — N closed-loop clients fire the
+// mixed 12-query workload (TPC-H + SSB, two Sessions over one shared
+// morsel scheduler in pool mode) with one engine per scenario:
+// typer, tectorwise, volcano, or adaptive (per-stage selection backed
+// by the Session plan cache). Reports deadline-clamped QPS,
+// interpolated p50/p95/p99 latency, plan-cache hit rates, learned
+// adaptive assignments and per-query scheduler stats; one JSON
+// document with --json.
 // ---------------------------------------------------------------------
 
 /// Completed-request record of one closed-loop client.
 struct ServeSample {
+    /// Index into the scenario's query list.
     pair: usize,
     latency: Duration,
+    /// Completion offset from the scenario start (the deadline clamp
+    /// uses this; in-flight requests finishing after the window still
+    /// contribute latency samples but not QPS).
+    done_at: Duration,
     stats: dbep_core::scheduler::RunStats,
 }
 
 struct ServeScenario {
     mode: &'static str,
+    engine: Engine,
     clients: usize,
+    /// The configured measurement window (QPS denominator).
+    window: Duration,
+    /// Wall time including the post-deadline drain (reported, never a
+    /// QPS denominator).
     elapsed: Duration,
     samples: Vec<ServeSample>,
+    /// Combined plan-cache counters of the scenario's sessions, taken
+    /// after the run plus one re-prepare sweep of the whole mix.
+    plan_cache: dbep_core::PlanCacheStats,
+    /// Re-prepare sweep: `(hits, total)` and mean planning time — the
+    /// "second prepare skips planning" demonstration.
+    reprepare_hits: usize,
+    reprepare_total: usize,
+    reprepare_avg_ns: f64,
+    /// Learned per-stage assignments (`Engine::Adaptive` scenarios
+    /// only): `(query index, "stage=engine ..." rendering, pure
+    /// fallback)`.
+    adaptive: Vec<(usize, String, Engine)>,
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
+#[allow(clippy::too_many_arguments)] // one call site; a struct would just rename the labels
 fn serve_scenario(
-    db: &Arc<Database>,
+    tpch: Option<&Arc<Database>>,
+    ssb: Option<&Arc<Database>>,
     mode: &'static str,
     threads: usize,
     clients: usize,
-    duration: Duration,
-    pairs: &[(QueryId, Engine)],
+    engine: Engine,
+    window: Duration,
+    queries: &[QueryId],
 ) -> ServeScenario {
     let cfg = ExecCfg::with_threads(threads);
-    let session = match mode {
-        "pool" => Session::with_cfg(Arc::clone(db), cfg),
-        _ => Session::without_pool(Arc::clone(db), cfg),
+    // Pool mode: one fixed worker pool shared by both databases'
+    // sessions (the scheduler is per-pool, not per-database). Spawn
+    // mode: scoped threads per query, the pre-scheduler baseline.
+    let shared = matches!(mode, "pool").then(|| Arc::new(dbep_core::scheduler::Scheduler::new(threads)));
+    let mk_session = |db: &Arc<Database>| match &shared {
+        Some(pool) => Session::with_scheduler(Arc::clone(db), cfg, Arc::clone(pool)),
+        None => Session::without_pool(Arc::clone(db), cfg),
     };
-    let prepared: Vec<_> = pairs.iter().map(|(q, _)| session.prepare(*q)).collect();
-    // Warm up every pair once (first-touch effects) before the clock.
-    for (i, (_, engine)) in pairs.iter().enumerate() {
-        std::mem::drop(prepared[i].run(*engine));
+    let tpch_session = tpch.map(mk_session);
+    let ssb_session = ssb.map(mk_session);
+    let session_for = |q: &QueryId| -> &Session {
+        if QueryId::SSB.contains(q) {
+            ssb_session.as_ref().expect("SSB query without SSB database")
+        } else {
+            tpch_session.as_ref().expect("TPC-H query without TPC-H database")
+        }
+    };
+    let prepared: Vec<_> = queries.iter().map(|q| session_for(q).prepare(*q)).collect();
+    // Warm up before the clock: once per query for first-touch
+    // effects; twice for Adaptive so both exploration runs (pure Typer
+    // and pure Tectorwise under a stage trace) finish and the measured
+    // window runs the learned assignment.
+    let warmups = if engine == Engine::Adaptive { 2 } else { 1 };
+    for p in &prepared {
+        for _ in 0..warmups {
+            std::mem::drop(p.run(engine));
+        }
     }
     let start = Instant::now();
-    let deadline = start + duration;
+    let deadline = start + window;
     let samples = std::sync::Mutex::new(Vec::new());
     std::thread::scope(|s| {
         for client in 0..clients {
-            let (prepared, pairs, samples) = (&prepared, &pairs, &samples);
+            let (prepared, samples) = (&prepared, &samples);
             s.spawn(move || {
                 let mut local = Vec::new();
                 let mut k = client; // stagger each client's walk of the mix
                 while Instant::now() < deadline {
-                    let pair = k % pairs.len();
-                    let (_, engine) = pairs[pair];
+                    let pair = k % prepared.len();
                     let t0 = Instant::now();
                     let (result, stats) = prepared[pair].run_with_stats(engine);
                     std::hint::black_box(&result);
                     local.push(ServeSample {
                         pair,
                         latency: t0.elapsed(),
+                        done_at: start.elapsed(),
                         stats,
                     });
                     k += 1;
@@ -1133,40 +1223,80 @@ fn serve_scenario(
             });
         }
     });
+    let elapsed = start.elapsed();
+    // Re-prepare the whole mix: every prepare must now hit the plan
+    // cache with ~zero planning time (and, for Adaptive, inherit the
+    // learned stage assignment instead of re-exploring).
+    let reprepared: Vec<_> = queries.iter().map(|q| session_for(q).prepare(*q)).collect();
+    let reprepare_hits = reprepared.iter().filter(|p| p.cache_hit()).count();
+    let reprepare_avg_ns =
+        reprepared.iter().map(|p| p.planning_ns() as f64).sum::<f64>() / reprepared.len().max(1) as f64;
+    let adaptive = if engine == Engine::Adaptive {
+        prepared
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                let (choices, pure) = p.adaptive_choices()?;
+                let stages = dbep_queries::plan(queries[i]).stages();
+                let rendered = stages
+                    .iter()
+                    .zip(&choices)
+                    .map(|(s, e)| format!("{}={}", s.name, e.name()))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                Some((i, rendered, pure))
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let plan_cache = [&tpch_session, &ssb_session]
+        .into_iter()
+        .flatten()
+        .map(Session::plan_cache_stats)
+        .fold(dbep_core::PlanCacheStats::default(), |a, b| {
+            dbep_core::PlanCacheStats {
+                hits: a.hits + b.hits,
+                misses: a.misses + b.misses,
+                entries: a.entries + b.entries,
+            }
+        });
     ServeScenario {
         mode,
+        engine,
         clients,
-        elapsed: start.elapsed(),
+        window,
+        elapsed,
         samples: samples.into_inner().expect("serve samples"),
+        plan_cache,
+        reprepare_hits,
+        reprepare_total: reprepared.len(),
+        reprepare_avg_ns,
+        adaptive,
     }
 }
 
 fn serve(a: &Args) {
     let sf = a.sf.unwrap_or(0.1);
     let threads = a.threads.unwrap_or_else(cores);
-    let duration = std::time::Duration::from_millis(a.duration_ms);
-    // One database per run: TPC-H unless --query picks an SSB flight.
-    let ssb_selected = a.query.is_some_and(|q| QueryId::SSB.contains(&q));
-    let base: &[QueryId] = if ssb_selected {
-        &QueryId::SSB
-    } else {
-        &QueryId::TPCH
-    };
-    let db = Arc::new(maybe_encode(
-        if ssb_selected { gen_ssb(sf) } else { gen_tpch(sf) },
-        a,
-    ));
-    // Default engine mix: the paper's two fast paradigms; Volcano only
-    // by explicit --engine volcano (it would dominate the closed loop).
+    let window = std::time::Duration::from_millis(a.duration_ms);
+    // The mixed workload: all 12 queries over both databases, narrowed
+    // by --query. Databases are generated only if the mix needs them.
+    let queries = a.queries(&QueryId::ALL);
+    let tpch = queries
+        .iter()
+        .any(|q| !QueryId::SSB.contains(q))
+        .then(|| Arc::new(maybe_encode(gen_tpch(sf), a)));
+    let ssb = queries
+        .iter()
+        .any(|q| QueryId::SSB.contains(q))
+        .then(|| Arc::new(maybe_encode(gen_ssb(sf), a)));
+    // One engine per scenario; the default sweep compares Adaptive
+    // against every single-engine run of the same mix.
     let engines = match a.engine {
         Some(e) => vec![e],
-        None => vec![Engine::Typer, Engine::Tectorwise],
+        None => Engine::SELECTABLE.to_vec(),
     };
-    let pairs: Vec<(QueryId, Engine)> = a
-        .queries(base)
-        .into_iter()
-        .flat_map(|q| engines.iter().map(move |&e| (q, e)))
-        .collect();
     let modes: Vec<&'static str> = match a.mode.as_str() {
         "pool" => vec!["pool"],
         "spawn" => vec!["spawn"],
@@ -1175,44 +1305,82 @@ fn serve(a: &Args) {
     let mut scenarios = Vec::new();
     for &clients in &a.clients {
         for mode in &modes {
-            eprintln!("[serve] mode={mode} clients={clients} threads={threads} duration={duration:?}");
-            scenarios.push(serve_scenario(&db, mode, threads, clients, duration, &pairs));
+            for &engine in &engines {
+                eprintln!(
+                    "[serve] mode={mode} engine={} clients={clients} threads={threads} window={window:?}",
+                    engine.name()
+                );
+                scenarios.push(serve_scenario(
+                    tpch.as_ref(),
+                    ssb.as_ref(),
+                    mode,
+                    threads,
+                    clients,
+                    engine,
+                    window,
+                    &queries,
+                ));
+            }
         }
     }
     if a.json {
-        serve_json(a, sf, threads, &pairs, &scenarios);
+        serve_json(a, sf, threads, &queries, &scenarios);
     } else {
-        serve_text(sf, threads, &pairs, &scenarios);
+        serve_text(sf, threads, &queries, &scenarios);
     }
 }
 
-fn serve_text(sf: f64, threads: usize, pairs: &[(QueryId, Engine)], scenarios: &[ServeScenario]) {
+fn serve_text(sf: f64, threads: usize, queries: &[QueryId], scenarios: &[ServeScenario]) {
+    use dbep_bench::serve_stats::{percentile, throughput};
     println!("# serve — closed-loop query serving, SF={sf}, {threads} worker threads");
     println!(
         "# mix: {}",
-        pairs
-            .iter()
-            .map(|(q, e)| format!("{}/{}", q.name(), e.name()))
-            .collect::<Vec<_>>()
-            .join(" ")
+        queries.iter().map(|q| q.name()).collect::<Vec<_>>().join(" ")
     );
     println!(
-        "{:<6} {:>8} {:>9} {:>10} {:>10} {:>10} {:>10}",
-        "mode", "clients", "queries", "QPS", "p50", "p95", "p99"
+        "{:<6} {:<11} {:>8} {:>9} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "mode", "engine", "clients", "queries", "drained", "QPS", "p50", "p95", "p99"
     );
     for sc in scenarios {
         let mut lat: Vec<Duration> = sc.samples.iter().map(|s| s.latency).collect();
         lat.sort_unstable();
+        let done: Vec<Duration> = sc.samples.iter().map(|s| s.done_at).collect();
+        let t = throughput(&done, sc.window);
         println!(
-            "{:<6} {:>8} {:>9} {:>10.2} {:>10} {:>10} {:>10}",
+            "{:<6} {:<11} {:>8} {:>9} {:>8} {:>10.2} {:>10} {:>10} {:>10}",
             sc.mode,
+            sc.engine.name(),
             sc.clients,
-            sc.samples.len(),
-            sc.samples.len() as f64 / sc.elapsed.as_secs_f64(),
+            t.completed,
+            t.drained,
+            t.qps,
             fmt_ms(percentile(&lat, 0.50)),
             fmt_ms(percentile(&lat, 0.95)),
             fmt_ms(percentile(&lat, 0.99)),
         );
+    }
+    // Plan-cache effectiveness and adaptive assignments, per scenario.
+    println!("\n## plan cache");
+    for sc in scenarios {
+        println!(
+            "{:<6} {:<11} {:>3} hits / {:>3} misses / {:>3} entries; re-prepare {}/{} hits, avg {:.1} µs planning",
+            sc.mode,
+            sc.engine.name(),
+            sc.plan_cache.hits,
+            sc.plan_cache.misses,
+            sc.plan_cache.entries,
+            sc.reprepare_hits,
+            sc.reprepare_total,
+            sc.reprepare_avg_ns / 1e3,
+        );
+        for (i, rendered, pure) in &sc.adaptive {
+            println!(
+                "       {}: {} (pure fallback {})",
+                queries[*i].name(),
+                rendered,
+                pure.name()
+            );
+        }
     }
     // Per-query scheduler stats of the most concurrent pooled scenario.
     if let Some(sc) = scenarios
@@ -1220,12 +1388,16 @@ fn serve_text(sf: f64, threads: usize, pairs: &[(QueryId, Engine)], scenarios: &
         .filter(|s| s.mode == "pool")
         .max_by_key(|s| s.clients)
     {
-        println!("\n## per-query scheduler stats (pool, {} clients)", sc.clients);
+        println!(
+            "\n## per-query scheduler stats (pool, engine {}, {} clients)",
+            sc.engine.name(),
+            sc.clients
+        );
         println!(
             "{:<18} {:>8} {:>12} {:>12} {:>10} {:>8} {:>12}",
-            "query/engine", "runs", "avg admit", "avg queue", "morsels", "steals", "MB scanned"
+            "query", "runs", "avg admit", "avg queue", "morsels", "steals", "MB scanned"
         );
-        for (pair, (q, e)) in pairs.iter().enumerate() {
+        for (pair, q) in queries.iter().enumerate() {
             let runs: Vec<&ServeSample> = sc.samples.iter().filter(|s| s.pair == pair).collect();
             if runs.is_empty() {
                 continue;
@@ -1235,7 +1407,7 @@ fn serve_text(sf: f64, threads: usize, pairs: &[(QueryId, Engine)], scenarios: &
             let queue: Duration = runs.iter().map(|s| s.stats.queue_wait).sum::<Duration>() / n;
             println!(
                 "{:<18} {:>8} {:>12} {:>12} {:>10} {:>8} {:>12.1}",
-                format!("{}/{}", q.name(), e.name()),
+                q.name(),
                 n,
                 format!("{:.2?}", admit),
                 format!("{:.2?}", queue),
@@ -1247,12 +1419,15 @@ fn serve_text(sf: f64, threads: usize, pairs: &[(QueryId, Engine)], scenarios: &
     }
 }
 
-fn serve_json(a: &Args, sf: f64, threads: usize, pairs: &[(QueryId, Engine)], scenarios: &[ServeScenario]) {
+fn serve_json(a: &Args, sf: f64, threads: usize, queries: &[QueryId], scenarios: &[ServeScenario]) {
     use dbep_bench::json;
+    use dbep_bench::serve_stats::{percentile, throughput};
     let rendered = scenarios.iter().map(|sc| {
         let mut lat: Vec<Duration> = sc.samples.iter().map(|s| s.latency).collect();
         lat.sort_unstable();
-        let per_query = pairs.iter().enumerate().filter_map(|(pair, (q, e))| {
+        let done: Vec<Duration> = sc.samples.iter().map(|s| s.done_at).collect();
+        let t = throughput(&done, sc.window);
+        let per_query = queries.iter().enumerate().filter_map(|(pair, q)| {
             let runs: Vec<&ServeSample> = sc.samples.iter().filter(|s| s.pair == pair).collect();
             if runs.is_empty() {
                 return None;
@@ -1262,7 +1437,6 @@ fn serve_json(a: &Args, sf: f64, threads: usize, pairs: &[(QueryId, Engine)], sc
             Some(
                 json::Object::new()
                     .field("query", json::string(q.name()))
-                    .field("engine", json::string(e.name()))
                     .field("runs", format!("{}", runs.len()))
                     .field("avg_ms", json::number(sum_ms / n))
                     .field(
@@ -1298,17 +1472,36 @@ fn serve_json(a: &Args, sf: f64, threads: usize, pairs: &[(QueryId, Engine)], sc
                     .build(),
             )
         });
+        let adaptive_choices = sc.adaptive.iter().map(|(i, rendered, pure)| {
+            json::Object::new()
+                .field("query", json::string(queries[*i].name()))
+                .field("stages", json::string(rendered))
+                .field("pure_fallback", json::string(pure.name()))
+                .build()
+        });
         json::Object::new()
             .field("mode", json::string(sc.mode))
+            .field("engine", json::string(sc.engine.name()))
             .field("clients", format!("{}", sc.clients))
-            .field("queries_completed", format!("{}", sc.samples.len()))
-            .field(
-                "qps",
-                json::number(sc.samples.len() as f64 / sc.elapsed.as_secs_f64()),
-            )
+            .field("queries_completed", format!("{}", t.completed))
+            .field("drained_after_deadline", format!("{}", t.drained))
+            .field("qps", json::number(t.qps))
+            .field("wall_elapsed_ms", json::number(sc.elapsed.as_secs_f64() * 1e3))
             .field("p50_ms", json::number(percentile(&lat, 0.50).as_secs_f64() * 1e3))
             .field("p95_ms", json::number(percentile(&lat, 0.95).as_secs_f64() * 1e3))
             .field("p99_ms", json::number(percentile(&lat, 0.99).as_secs_f64() * 1e3))
+            .field(
+                "plan_cache",
+                json::Object::new()
+                    .field("hits", format!("{}", sc.plan_cache.hits))
+                    .field("misses", format!("{}", sc.plan_cache.misses))
+                    .field("entries", format!("{}", sc.plan_cache.entries))
+                    .field("reprepare_hits", format!("{}", sc.reprepare_hits))
+                    .field("reprepare_total", format!("{}", sc.reprepare_total))
+                    .field("reprepare_avg_planning_ns", json::number(sc.reprepare_avg_ns))
+                    .build(),
+            )
+            .field("adaptive_choices", json::array(adaptive_choices))
             .field("per_query", json::array(per_query))
             .build()
     });
@@ -1318,13 +1511,10 @@ fn serve_json(a: &Args, sf: f64, threads: usize, pairs: &[(QueryId, Engine)], sc
         .field("threads", format!("{threads}"))
         .field("duration_ms", format!("{}", a.duration_ms))
         .field("encoded", format!("{}", a.encoded))
+        .field("mix", json::array(queries.iter().map(|q| json::string(q.name()))))
         .field(
-            "mix",
-            json::array(
-                pairs
-                    .iter()
-                    .map(|(q, e)| json::string(&format!("{}/{}", q.name(), e.name()))),
-            ),
+            "engines",
+            json::array(scenarios.iter().map(|s| json::string(s.engine.name()))),
         )
         .field("scenarios", json::array(rendered))
         .build();

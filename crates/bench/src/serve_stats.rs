@@ -1,0 +1,127 @@
+//! Statistics for the closed-loop `serve` benchmark: percentile
+//! estimation and deadline-clamped throughput.
+//!
+//! Two past metric bugs live here as regression-proofed fixes:
+//!
+//! * **Percentile collapse** — nearest-rank with `.round()` maps p95
+//!   and p99 of small samples to the same order statistic (for n=21,
+//!   both round to index 20), making tail latencies indistinguishable.
+//!   [`percentile`] uses linear interpolation between the two closest
+//!   order statistics instead.
+//! * **QPS drain inflation** — closed-loop clients check the deadline
+//!   *before* firing, so requests in flight at the deadline still
+//!   complete and land in the sample set, while the wall-clock
+//!   denominator also grows by the drain. Counting those completions
+//!   against the drained elapsed time conflates offered load with
+//!   measured-window throughput. [`throughput`] clamps: only
+//!   completions within the configured window count toward QPS, and
+//!   the drain is reported separately.
+
+use std::time::Duration;
+
+/// Linear-interpolation percentile over an ascending-sorted slice
+/// (the "exclusive" variant on ranks `0..=n-1`): rank `(n-1)·p` is
+/// split into its integer neighbors and interpolated. `p` is clamped
+/// to `[0, 1]`; an empty slice yields zero.
+pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (sorted.len() - 1) as f64 * p.clamp(0.0, 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return sorted[lo];
+    }
+    let frac = rank - lo as f64;
+    let a = sorted[lo].as_secs_f64();
+    let b = sorted[hi].as_secs_f64();
+    Duration::from_secs_f64(a + (b - a) * frac)
+}
+
+/// Deadline-clamped throughput of one serve scenario.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Throughput {
+    /// Requests completed within the measured window.
+    pub completed: usize,
+    /// Requests that finished after the deadline (the drain); they
+    /// still contribute latency samples but not QPS.
+    pub drained: usize,
+    /// `completed / window` — the measured-window rate.
+    pub qps: f64,
+}
+
+/// Compute [`Throughput`] from per-request completion offsets
+/// (relative to the scenario start) and the configured window.
+pub fn throughput(done_at: &[Duration], window: Duration) -> Throughput {
+    let completed = done_at.iter().filter(|&&t| t <= window).count();
+    Throughput {
+        completed,
+        drained: done_at.len() - completed,
+        qps: completed as f64 / window.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn percentile_interpolates_known_distribution() {
+        // 1..=100 ms: rank p·99 → p50 = 50.5 ms, p95 = 95.05 ms,
+        // p99 = 99.01 ms (the textbook linear-interpolation values).
+        let sorted: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&sorted, 0.50), Duration::from_micros(50_500));
+        assert_eq!(percentile(&sorted, 0.95), Duration::from_micros(95_050));
+        assert_eq!(percentile(&sorted, 0.99), Duration::from_micros(99_010));
+        assert_eq!(percentile(&sorted, 0.0), ms(1));
+        assert_eq!(percentile(&sorted, 1.0), ms(100));
+    }
+
+    #[test]
+    fn percentile_separates_tails_on_small_samples() {
+        // The old nearest-rank `.round()` mapped p95 and p99 of n=21
+        // to the same index (both → 20). Interpolation keeps them
+        // distinct.
+        let sorted: Vec<Duration> = (0..21).map(|i| ms(i * 10)).collect();
+        let p95 = percentile(&sorted, 0.95);
+        let p99 = percentile(&sorted, 0.99);
+        assert!(p95 < p99, "p95 {p95:?} must stay below p99 {p99:?}");
+        assert_eq!(p95, ms(190));
+        assert_eq!(p99, ms(198));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        assert_eq!(percentile(&[ms(7)], 0.99), ms(7));
+        // Out-of-range p clamps instead of indexing out of bounds.
+        assert_eq!(percentile(&[ms(1), ms(2)], 1.5), ms(2));
+        assert_eq!(percentile(&[ms(1), ms(2)], -0.5), ms(1));
+    }
+
+    #[test]
+    fn throughput_clamps_post_deadline_drain() {
+        // 10 requests complete inside the 1 s window; 5 more drain in
+        // afterwards. The drained completions must not raise QPS (the
+        // old accounting divided 15 by ~1.4 s of wall clock, reporting
+        // neither offered nor completed rate).
+        let mut done: Vec<Duration> = (1..=10).map(|i| ms(i * 100)).collect();
+        done.extend((1..=5).map(|i| ms(1000 + i * 80)));
+        let t = throughput(&done, ms(1000));
+        assert_eq!(t.completed, 10);
+        assert_eq!(t.drained, 5);
+        assert!((t.qps - 10.0).abs() < 1e-9, "qps {}", t.qps);
+    }
+
+    #[test]
+    fn throughput_counts_exact_deadline_completions() {
+        let done = [ms(500), ms(1000), ms(1001)];
+        let t = throughput(&done, ms(1000));
+        assert_eq!((t.completed, t.drained), (2, 1));
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod packed;
 pub mod pipeline;
+pub mod stage;
 
 pub use packed::PackedReader;
 pub use pipeline::{Filter, Map, Pipeline, Sink};

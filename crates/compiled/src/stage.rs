@@ -1,0 +1,72 @@
+//! Stage-granular entry points for hybrid (per-pipeline) execution.
+//!
+//! The adaptive driver assigns engines per pipeline stage, so a
+//! query's Typer-side build stage must be callable on its own — not
+//! only as part of a fully fused Typer plan. This module packages the
+//! recurring fused-build shape (morsel-driven scan pushing `(hash,
+//! row)` pairs into per-worker shards, merged into one [`JoinHt`]
+//! behind the pipeline breaker) as a standalone entry point.
+
+use dbep_runtime::join_ht::JoinHtShard;
+use dbep_runtime::{ExecCtx, JoinHt, Morsels};
+use std::ops::Range;
+
+/// Run one fused σ→build pipeline to completion and return its hash
+/// table. `each` is the compiled loop body for one morsel: filter rows
+/// of `r` and [`JoinHtShard::push`] the survivors. `pace` runs once
+/// per morsel with its row count (bytes accounting / IO throttling —
+/// pass the caller's `ExecCfg::pace` closure).
+pub fn build_ht<K, E, P>(exec: &ExecCtx, total: usize, pace: P, each: E) -> JoinHt<K>
+where
+    K: Send + Sync,
+    E: Fn(&mut JoinHtShard<K>, Range<usize>) + Sync,
+    P: Fn(usize) + Sync,
+{
+    let shards = exec.map_slots(
+        Morsels::new(total),
+        |_| JoinHtShard::new(),
+        |sh, r| {
+            pace(r.len());
+            each(sh, r);
+        },
+    );
+    JoinHt::from_shards(shards, exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbep_runtime::hash::HashFn;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn builds_filtered_table() {
+        let hf = HashFn::Crc;
+        let exec = ExecCtx {
+            threads: 2,
+            run: None,
+        };
+        let paced = AtomicUsize::new(0);
+        let n = 10_000usize;
+        let ht = build_ht::<i32, _, _>(
+            &exec,
+            n,
+            |rows| {
+                paced.fetch_add(rows, Ordering::Relaxed);
+            },
+            |sh, r| {
+                for i in r {
+                    if i % 3 == 0 {
+                        sh.push(hf.hash(i as u64), i as i32);
+                    }
+                }
+            },
+        );
+        assert_eq!(paced.load(Ordering::Relaxed), n, "every morsel paced");
+        for probe in [0i32, 3, 9999] {
+            let h = hf.hash(probe as u64);
+            let hit = ht.probe(h).any(|e| e.row == probe);
+            assert_eq!(hit, probe % 3 == 0, "probe {probe}");
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! workflow. See the workspace README for the architecture overview and
 //! `DESIGN.md` for the paper-to-module mapping.
 
+pub mod plan_cache;
 pub mod session;
 
 pub use dbep_compiled as compiled;
@@ -17,10 +18,12 @@ pub use dbep_scheduler as scheduler;
 pub use dbep_storage as storage;
 pub use dbep_vectorized as vectorized;
 pub use dbep_volcano as volcano;
+pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use session::{PreparedQuery, Session};
 
 /// Everything needed for the common benchmark workflow.
 pub mod prelude {
+    pub use crate::plan_cache::PlanCacheStats;
     pub use crate::session::{PreparedQuery, Session};
     pub use dbep_datagen;
     pub use dbep_queries::{

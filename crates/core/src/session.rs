@@ -36,12 +36,14 @@
 //! # Ok::<(), dbep_queries::params::ParamError>(())
 //! ```
 
+use crate::plan_cache::{CachedPlan, Decision, PlanCache, PlanCacheStats};
 use dbep_queries::params::Params;
 use dbep_queries::result::QueryResult;
-use dbep_queries::{plan, Engine, ExecCfg, QueryId, QueryPlan};
-use dbep_scheduler::{RunStats, Scheduler, DEFAULT_PRIORITY};
+use dbep_queries::{Engine, ExecCfg, QueryId, QueryPlan};
+use dbep_scheduler::{RunStats, Scheduler, StageTrace, DEFAULT_PRIORITY};
 use dbep_storage::Database;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A connection-like handle owning a shared database, a default
 /// execution configuration, and the scheduler pool queries execute on.
@@ -55,6 +57,7 @@ pub struct Session {
     db: Arc<Database>,
     cfg: ExecCfg<'static>,
     sched: Option<Arc<Scheduler>>,
+    plan_cache: Arc<PlanCache>,
 }
 
 impl Session {
@@ -84,6 +87,7 @@ impl Session {
             db: db.into(),
             cfg,
             sched: Some(sched),
+            plan_cache: Arc::new(PlanCache::new()),
         }
     }
 
@@ -95,6 +99,7 @@ impl Session {
             db: db.into(),
             cfg,
             sched: None,
+            plan_cache: Arc::new(PlanCache::new()),
         }
     }
 
@@ -124,16 +129,34 @@ impl Session {
     /// Parameters are validated and normalized when constructed (see
     /// [`dbep_queries::params`]); preparation resolves the plan once so
     /// every subsequent run is admission + dispatch + execute.
+    ///
+    /// Preparation is memoized per session: re-preparing an
+    /// already-seen `(query, params)` binding is a plan-cache hit that
+    /// reuses the resolved plan *and* any engine choices
+    /// `Engine::Adaptive` has already learned for it (see
+    /// [`crate::plan_cache`]). [`PreparedQuery::cache_hit`] and
+    /// [`PreparedQuery::planning_ns`] report what happened.
     pub fn prepare_params(&self, params: impl Into<Params>) -> PreparedQuery {
         let params = params.into();
+        let t0 = Instant::now();
+        let (cached, cache_hit) = self.plan_cache.lookup(&params);
+        let planning_ns = t0.elapsed().as_nanos() as u64;
         PreparedQuery {
             db: Arc::clone(&self.db),
             cfg: self.cfg,
-            plan: plan(params.query()),
+            cached,
+            cache_hit,
+            planning_ns,
             params,
             sched: self.sched.clone(),
             priority: DEFAULT_PRIORITY,
         }
+    }
+
+    /// Plan-cache effectiveness counters (shared by all clones of this
+    /// session).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
     }
 }
 
@@ -147,16 +170,40 @@ impl Session {
 pub struct PreparedQuery {
     db: Arc<Database>,
     cfg: ExecCfg<'static>,
-    plan: &'static dyn QueryPlan,
+    cached: Arc<CachedPlan>,
+    cache_hit: bool,
+    planning_ns: u64,
     params: Params,
     sched: Option<Arc<Scheduler>>,
     priority: usize,
 }
 
 impl PreparedQuery {
+    fn plan(&self) -> &'static dyn QueryPlan {
+        self.cached.plan()
+    }
+
     /// The query this plan executes.
     pub fn query(&self) -> QueryId {
-        self.plan.id()
+        self.plan().id()
+    }
+
+    /// True if preparation was answered from the session's plan cache.
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// Wall time spent in preparation (plan-cache lookup plus, on a
+    /// miss, plan resolution and insertion). ~0 on hits.
+    pub fn planning_ns(&self) -> u64 {
+        self.planning_ns
+    }
+
+    /// The per-stage engine assignment `Engine::Adaptive` has learned
+    /// for this binding, with the measured pure-engine fallback;
+    /// `None` while still exploring (fewer than two adaptive runs).
+    pub fn adaptive_choices(&self) -> Option<(Vec<Engine>, Engine)> {
+        self.cached.adaptive().learned()
     }
 
     /// The bound parameters.
@@ -180,7 +227,7 @@ impl PreparedQuery {
     /// Tuples scanned per execution (the §3.4 normalization
     /// denominator).
     pub fn tuples_scanned(&self) -> usize {
-        self.plan.tuples_scanned(&self.db)
+        self.plan().tuples_scanned(&self.db)
     }
 
     /// Execute on `engine` with the session's default configuration.
@@ -211,13 +258,40 @@ impl PreparedQuery {
                     sched: Some(&run),
                     ..*cfg
                 };
-                let result = self.plan.run(engine, &self.db, &cfg, &self.params);
+                let result = self.dispatch(engine, &cfg);
                 (result, run.stats())
             }
-            None => (
-                self.plan.run(engine, &self.db, cfg, &self.params),
-                RunStats::default(),
-            ),
+            None => (self.dispatch(engine, cfg), RunStats::default()),
+        }
+    }
+
+    /// Route one execution. Pure engines go straight to the plan;
+    /// `Engine::Adaptive` consults the cached [`AdaptiveState`]
+    /// (explore → measure a pure candidate under a stage trace; learned
+    /// → run the per-stage assignment; in-flight elsewhere → static
+    /// heuristic via the plan's own `Adaptive` arm).
+    ///
+    /// [`AdaptiveState`]: crate::plan_cache::AdaptiveState
+    fn dispatch(&self, engine: Engine, cfg: &ExecCfg) -> QueryResult {
+        let plan = self.plan();
+        if engine != Engine::Adaptive {
+            return plan.run(engine, &self.db, cfg, &self.params);
+        }
+        match self.cached.adaptive().decide() {
+            Decision::Explore(candidate) => {
+                let trace = StageTrace::new(plan.stages().len());
+                let cfg = ExecCfg {
+                    stage_trace: Some(&trace),
+                    ..*cfg
+                };
+                let result = plan.run(candidate, &self.db, &cfg, &self.params);
+                self.cached.adaptive().record(candidate, trace.snapshot());
+                result
+            }
+            Decision::Use { choices, pure } => plan
+                .run_mix(&self.db, cfg, &self.params, &choices)
+                .unwrap_or_else(|| plan.run(pure, &self.db, cfg, &self.params)),
+            Decision::Heuristic => plan.run(Engine::Adaptive, &self.db, cfg, &self.params),
         }
     }
 }

@@ -32,10 +32,12 @@ pub use params::Params;
 
 use dbep_runtime::hash::HashFn;
 use dbep_runtime::{ExecCtx, Morsels};
-use dbep_scheduler::QueryRun;
+use dbep_scheduler::{QueryRun, StageTimer, StageTrace};
 use dbep_storage::throttle::Throttle;
 use dbep_vectorized::SimdPolicy;
 use std::ops::Range;
+
+pub use dbep_scheduler::StageKind;
 
 /// Execution configuration shared by all engines.
 ///
@@ -56,6 +58,9 @@ pub struct ExecCfg<'a> {
     pub throttle: Option<&'a Throttle>,
     /// Admitted scheduler run this execution submits its pipelines to.
     pub sched: Option<&'a QueryRun>,
+    /// Per-pipeline-stage wall-time trace (attached by the adaptive
+    /// driver when instrumenting a candidate engine; `None` otherwise).
+    pub stage_trace: Option<&'a StageTrace>,
 }
 
 impl Default for ExecCfg<'_> {
@@ -67,6 +72,7 @@ impl Default for ExecCfg<'_> {
             hash: None,
             throttle: None,
             sched: None,
+            stage_trace: None,
         }
     }
 }
@@ -104,6 +110,18 @@ impl<'a> ExecCfg<'a> {
         if let Some(t) = self.throttle {
             t.consume(bytes);
         }
+    }
+
+    /// Start timing pipeline stage `idx` (index into the plan's
+    /// [`QueryPlan::stages`]): elapsed wall time is recorded into the
+    /// attached [`StageTrace`] when the returned guard drops. No-op
+    /// (returns `None`, nothing recorded) when no trace is attached —
+    /// plans bracket every pipeline unconditionally and only
+    /// instrumented adaptive runs pay for it. Bind the guard for the
+    /// pipeline's scope: `let _stage = cfg.stage(0);`.
+    #[inline]
+    pub fn stage(&self, idx: usize) -> Option<StageTimer<'a>> {
+        self.stage_trace.map(|t| t.start(idx))
     }
 
     /// The execution context parallel regions run on: pooled when a
@@ -144,8 +162,9 @@ impl<'a> ExecCfg<'a> {
     }
 }
 
-/// The three execution paradigms (Table 6 taxonomy).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// The three execution paradigms (Table 6 taxonomy), plus the hybrid
+/// driver that mixes them per pipeline stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Engine {
     /// Push + compiled (HyPer model).
     Typer,
@@ -153,17 +172,63 @@ pub enum Engine {
     Tectorwise,
     /// Pull + interpreted (System R model).
     Volcano,
+    /// Per-pipeline-stage hybrid of Typer and Tectorwise (the
+    /// Kashuba & Mühleisen direction): each stage of
+    /// [`QueryPlan::stages`] runs under whichever paradigm is expected
+    /// to win it. Outside a `dbep_core::Session` this uses the static
+    /// paper heuristic ([`Engine::heuristic_choices`]); inside a
+    /// session, the plan cache learns the choice from instrumented
+    /// runs of both candidates.
+    Adaptive,
 }
 
 impl Engine {
-    /// Every paradigm, in the paper's presentation order.
+    /// Every *paradigm*, in the paper's presentation order. `Adaptive`
+    /// is deliberately excluded: it composes these three and would make
+    /// cross-engine equivalence sweeps self-referential.
     pub const ALL: [Engine; 3] = [Engine::Typer, Engine::Tectorwise, Engine::Volcano];
+
+    /// Everything `--engine` accepts: the paradigms plus `adaptive`.
+    pub const SELECTABLE: [Engine; 4] = [
+        Engine::Typer,
+        Engine::Tectorwise,
+        Engine::Volcano,
+        Engine::Adaptive,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
             Engine::Typer => "typer",
             Engine::Tectorwise => "tectorwise",
             Engine::Volcano => "volcano",
+            Engine::Adaptive => "adaptive",
+        }
+    }
+
+    /// The static per-stage choice (§4's findings as a rule): hash-table
+    /// probes are cache-miss-bound and go to Tectorwise, whose batched
+    /// probes overlap misses; everything else (fused scan/filter,
+    /// builds, aggregation) goes to Typer, which keeps tuples in
+    /// registers. Used by `Engine::Adaptive` before any instrumented
+    /// run has been observed.
+    pub fn heuristic_choices(stages: &[StageDesc]) -> Vec<Engine> {
+        stages
+            .iter()
+            .map(|s| match s.kind {
+                StageKind::JoinProbe => Engine::Tectorwise,
+                _ => Engine::Typer,
+            })
+            .collect()
+    }
+
+    /// The static whole-plan fallback when a plan cannot execute a
+    /// mixed stage assignment ([`QueryPlan::run_mix`] returns `None`):
+    /// probe-heavy plans run Tectorwise, computation-heavy plans Typer.
+    pub fn heuristic_pure(stages: &[StageDesc]) -> Engine {
+        if stages.iter().any(|s| s.kind == StageKind::JoinProbe) {
+            Engine::Tectorwise
+        } else {
+            Engine::Typer
         }
     }
 }
@@ -172,15 +237,15 @@ impl std::str::FromStr for Engine {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        Engine::ALL
+        Engine::SELECTABLE
             .into_iter()
             .find(|e| e.name().eq_ignore_ascii_case(s))
-            .ok_or_else(|| format!("unknown engine {s:?} (expected typer|tectorwise|volcano)"))
+            .ok_or_else(|| format!("unknown engine {s:?} (expected typer|tectorwise|volcano|adaptive)"))
     }
 }
 
 /// Identifiers for every benchmark query in the study.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum QueryId {
     Q1,
     Q6,
@@ -279,6 +344,24 @@ impl std::str::FromStr for QueryId {
     }
 }
 
+/// One named pipeline stage of a physical plan — the granularity the
+/// adaptive engine chooses paradigms at. Stages are separated by
+/// pipeline breakers (hash-table builds, aggregation merges) and listed
+/// in execution order; [`ExecCfg::stage`] indices refer to this order.
+#[derive(Clone, Copy, Debug)]
+pub struct StageDesc {
+    /// Short stable label for reports (e.g. `"probe-lineitem"`).
+    pub name: &'static str,
+    /// The stage's dominant operation, driving the static heuristic.
+    pub kind: StageKind,
+}
+
+impl StageDesc {
+    pub const fn new(name: &'static str, kind: StageKind) -> Self {
+        StageDesc { name, kind }
+    }
+}
+
 /// One physical query plan of the study, implemented under every
 /// execution paradigm.
 ///
@@ -298,6 +381,14 @@ pub trait QueryPlan: Sync {
     /// denominator).
     fn tuples_scanned(&self, db: &dbep_storage::Database) -> usize;
 
+    /// The plan's pipeline stages in execution order. Typer and
+    /// Tectorwise bodies bracket each stage with [`ExecCfg::stage`]
+    /// using these indices, so an attached [`StageTrace`] decomposes a
+    /// run into per-stage wall times. Volcano is the interpretation
+    /// baseline and is never an adaptive candidate, so its bodies stay
+    /// uninstrumented.
+    fn stages(&self) -> &'static [StageDesc];
+
     /// Data-centric compiled execution (push, fused pipelines).
     fn typer(&self, db: &dbep_storage::Database, cfg: &ExecCfg, params: &Params) -> result::QueryResult;
 
@@ -309,7 +400,28 @@ pub trait QueryPlan: Sync {
     /// exchange-style parallel union, `throttle` paces every scan.
     fn volcano(&self, db: &dbep_storage::Database, cfg: &ExecCfg, params: &Params) -> result::QueryResult;
 
-    /// Dispatch on the execution paradigm.
+    /// Execute with a per-stage engine assignment (`choices[i]` runs
+    /// stage `i`; only `Typer`/`Tectorwise` are valid choices). Plans
+    /// that support genuinely mixed execution override this; the
+    /// default returns `None`, telling the adaptive driver to fall back
+    /// to the best whole-plan engine. A uniform assignment must produce
+    /// exactly the corresponding pure engine's execution.
+    fn run_mix(
+        &self,
+        db: &dbep_storage::Database,
+        cfg: &ExecCfg,
+        params: &Params,
+        choices: &[Engine],
+    ) -> Option<result::QueryResult> {
+        let _ = (db, cfg, params, choices);
+        None
+    }
+
+    /// Dispatch on the execution paradigm. `Engine::Adaptive` here (the
+    /// session-less path — no learned state available) applies the
+    /// static paper heuristic: per-stage choices via
+    /// [`Engine::heuristic_choices`] when the plan supports mixing,
+    /// otherwise the whole-plan [`Engine::heuristic_pure`] pick.
     fn run(
         &self,
         engine: Engine,
@@ -321,6 +433,13 @@ pub trait QueryPlan: Sync {
             Engine::Typer => self.typer(db, cfg, params),
             Engine::Tectorwise => self.tectorwise(db, cfg, params),
             Engine::Volcano => self.volcano(db, cfg, params),
+            Engine::Adaptive => {
+                let choices = Engine::heuristic_choices(self.stages());
+                match self.run_mix(db, cfg, params, &choices) {
+                    Some(r) => r,
+                    None => self.run(Engine::heuristic_pure(self.stages()), db, cfg, params),
+                }
+            }
         }
     }
 }
@@ -414,10 +533,43 @@ mod registry_tests {
         // FromStr is case-insensitive (like Engine's); from_name exact.
         assert_eq!("Q6".parse::<QueryId>(), Ok(QueryId::Q6));
         assert!(QueryId::from_name("Q6").is_none());
-        for e in Engine::ALL {
+        for e in Engine::SELECTABLE {
             assert_eq!(e.name().parse::<Engine>(), Ok(e));
         }
         assert_eq!("TYPER".parse::<Engine>(), Ok(Engine::Typer));
+        assert_eq!("adaptive".parse::<Engine>(), Ok(Engine::Adaptive));
         assert!("spark".parse::<Engine>().is_err());
+        assert!(!Engine::ALL.contains(&Engine::Adaptive));
+    }
+
+    /// Every plan declares at least one stage, with names unique within
+    /// the plan (stage labels key per-stage reports).
+    #[test]
+    fn all_plans_declare_stages() {
+        for p in REGISTRY {
+            let stages = p.stages();
+            assert!(!stages.is_empty(), "{} declares no stages", p.id().name());
+            for (i, a) in stages.iter().enumerate() {
+                for b in &stages[..i] {
+                    assert_ne!(a.name, b.name, "{} repeats stage name {}", p.id().name(), a.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_prefers_tw_for_probes() {
+        let probe_heavy = [
+            StageDesc::new("build", StageKind::JoinBuild),
+            StageDesc::new("probe", StageKind::JoinProbe),
+        ];
+        assert_eq!(
+            Engine::heuristic_choices(&probe_heavy),
+            vec![Engine::Typer, Engine::Tectorwise]
+        );
+        assert_eq!(Engine::heuristic_pure(&probe_heavy), Engine::Tectorwise);
+        let fused = [StageDesc::new("scan", StageKind::ScanFilter)];
+        assert_eq!(Engine::heuristic_choices(&fused), vec![Engine::Typer]);
+        assert_eq!(Engine::heuristic_pure(&fused), Engine::Typer);
     }
 }

@@ -21,7 +21,7 @@ use dbep_storage::types::{date, format_date, Date};
 use std::fmt;
 
 /// A rejected parameter binding: which query, and why.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ParamError {
     pub query: QueryId,
     pub what: String,
@@ -63,7 +63,7 @@ fn next_month(year: i32, month: u32) -> Date {
 ///
 /// Spec domain: DELTA ∈ [60, 120]; the paper uses 90 (cutoff
 /// 1998-09-02).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Q1Params {
     /// Bound shipdate cutoff (inclusive), epoch days.
     pub ship_cut: Date,
@@ -95,7 +95,7 @@ impl Q1Params {
 ///
 /// Spec domain: year ∈ [1993, 1997], discount ∈ [0.02, 0.09],
 /// quantity ∈ {24, 25}; the paper uses 1994 / 0.06 / 24.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Q6Params {
     /// Bound shipdate window `[ship_lo, ship_hi)`, epoch days.
     pub ship_lo: Date,
@@ -148,7 +148,7 @@ impl Q6Params {
 ///
 /// Spec domain: any `c_mktsegment` value, date ∈ March 1995; the paper
 /// uses BUILDING / 1995-03-15.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Q3Params {
     /// Bound segment filter value (exact match on `c_mktsegment`).
     pub segment: String,
@@ -186,7 +186,7 @@ impl Q3Params {
 ///
 /// Spec domain: quarters from 1993-Q1 through 1997-Q4; the paper uses
 /// 1993-Q3 (window `[1993-07-01, 1993-10-01)`).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Q4Params {
     /// Bound order-date window `[date_lo, date_hi)`, epoch days.
     pub date_lo: Date,
@@ -226,7 +226,7 @@ impl Q4Params {
 /// Q9: part-name substring filter (`p_name LIKE '%COLOR%'`).
 ///
 /// Spec domain: any dbgen color word; the paper uses "green".
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Q9Params {
     /// Bound substring needle.
     pub needle: String,
@@ -258,7 +258,7 @@ impl Q9Params {
 ///
 /// Spec domain: distinct `l_shipmode` values, year ∈ [1993, 1997]; the
 /// paper uses MAIL/SHIP and 1994.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Q12Params {
     /// Bound IN-list, sorted ascending (also the group-by domain).
     pub modes: [String; 2],
@@ -307,7 +307,7 @@ impl Q12Params {
 ///
 /// Spec domain: months from 1993-01 through 1997-12; the paper uses
 /// 1995-09.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Q14Params {
     /// Bound shipdate window `[ship_lo, ship_hi)`, epoch days.
     pub ship_lo: Date,
@@ -347,7 +347,7 @@ impl Q14Params {
 /// Q18: HAVING `sum(l_quantity) > QUANTITY`.
 ///
 /// Spec domain: quantity ∈ [312, 315]; the paper uses 300.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Q18Params {
     /// Bound exclusive quantity threshold, scale-2 fixed point.
     pub qty_limit: i64,
@@ -379,7 +379,7 @@ impl Q18Params {
 
 /// SSB Q1.1: one order year, a discount band and a quantity cutoff
 /// (flight constants 1993 / [1, 3] / 25).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SsbQ11Params {
     /// Bound `d_year` filter.
     pub year: i32,
@@ -424,7 +424,7 @@ impl SsbQ11Params {
 
 /// SSB Q2.1: part category + supplier region (flight constants
 /// MFGR#12 / AMERICA).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SsbQ21Params {
     /// Bound dictionary code of `p_category`.
     pub category: i32,
@@ -452,7 +452,7 @@ impl SsbQ21Params {
 
 /// SSB Q3.1: customer/supplier regions + inclusive year span (flight
 /// constants ASIA / ASIA / [1992, 1997]).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SsbQ31Params {
     /// Bound dictionary code of `c_region`.
     pub cust_region: i32,
@@ -492,7 +492,7 @@ impl SsbQ31Params {
 
 /// SSB Q4.1: customer/supplier regions + two part manufacturers
 /// (flight constants AMERICA / AMERICA / {MFGR#1, MFGR#2}).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SsbQ41Params {
     /// Bound dictionary code of `c_region`.
     pub cust_region: i32,
@@ -566,7 +566,7 @@ macro_rules! params_enum {
         /// Construct through the per-query validating constructors (or
         /// [`Params::default_for`] for the paper's instance); the
         /// variant must match the query the plan is registered under.
-        #[derive(Clone, Debug, PartialEq)]
+        #[derive(Clone, Debug, PartialEq, Eq, Hash)]
         pub enum Params {
             $( $variant($ty), )*
         }

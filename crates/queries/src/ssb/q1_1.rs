@@ -56,7 +56,11 @@ fn typer_encoded(
 ) -> QueryResult {
     let (disc_lo, disc_hi, qty_hi) = (p.disc_lo, p.disc_hi, p.qty_hi);
     let hf = cfg.typer_hash();
-    let ht_d = build_date_ht(db, hf, p.year);
+    let ht_d = {
+        let _s = cfg.stage(0);
+        build_date_ht(db, hf, p.year)
+    };
+    let _stage = cfg.stage(1);
     let [od, disc, qty, ext] = cols;
     let locals = cfg.map_scan(
         lo.len(),
@@ -97,7 +101,11 @@ fn tectorwise_encoded(
     let (disc_lo, disc_hi, qty_hi) = (p.disc_lo, p.disc_hi, p.qty_hi);
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
-    let ht_d = build_date_ht(db, hf, p.year);
+    let ht_d = {
+        let _s = cfg.stage(0);
+        build_date_ht(db, hf, p.year)
+    };
+    let _stage = cfg.stage(1);
     let [od, disc, qty, ext] = cols;
     #[derive(Default)]
     struct Scratch {
@@ -155,7 +163,11 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ11Params) -> QueryResult {
     }
     let (disc_lo, disc_hi, qty_hi) = (p.disc_lo, p.disc_hi, p.qty_hi);
     let hf = cfg.typer_hash();
-    let ht_d = build_date_ht(db, hf, p.year);
+    let ht_d = {
+        let _s = cfg.stage(0);
+        build_date_ht(db, hf, p.year)
+    };
+    let _stage = cfg.stage(1);
     let od = lo.col("lo_orderdate").i32s();
     let disc = lo.col("lo_discount").i64s();
     let qty = lo.col("lo_quantity").i64s();
@@ -187,7 +199,11 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &SsbQ11Params) -> QueryResult
     let (disc_lo, disc_hi, qty_hi) = (p.disc_lo, p.disc_hi, p.qty_hi);
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
-    let ht_d = build_date_ht(db, hf, p.year);
+    let ht_d = {
+        let _s = cfg.stage(0);
+        build_date_ht(db, hf, p.year)
+    };
+    let _stage = cfg.stage(1);
     let od = lo.col("lo_orderdate").i32s();
     let disc = lo.col("lo_discount").i64s();
     let qty = lo.col("lo_quantity").i64s();
@@ -307,6 +323,18 @@ impl crate::QueryPlan for Q11 {
 
     fn tuples_scanned(&self, db: &Database) -> usize {
         db.table("lineorder").len() + db.table("date").len()
+    }
+
+    fn stages(&self) -> &'static [crate::StageDesc] {
+        use crate::{StageDesc, StageKind};
+        // The date build is a single-threaded walk over one year of a
+        // tiny dimension; the fact scan is selection-dominated (the
+        // date probe hits a table that fits in L1).
+        const S: &[crate::StageDesc] = &[
+            StageDesc::new("build-date", StageKind::JoinBuild),
+            StageDesc::new("scan-filter-lineorder", StageKind::ScanFilter),
+        ];
+        S
     }
 
     fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {

@@ -71,7 +71,11 @@ fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn, p0: &SsbQ21Params) 
 /// Typer: one fused probe chain per fact tuple.
 pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ21Params) -> QueryResult {
     let hf = cfg.typer_hash();
-    let dims = build_dims(db, hf, p);
+    let dims = {
+        let _s = cfg.stage(0);
+        build_dims(db, hf, p)
+    };
+    let _stage = cfg.stage(1);
     let lo = db.table("lineorder");
     let lpk = lo.col("lo_partkey").i32s();
     let lsk = lo.col("lo_suppkey").i32s();
@@ -109,7 +113,11 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ21Params) -> QueryResult {
 pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &SsbQ21Params) -> QueryResult {
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
-    let dims = build_dims(db, hf, p);
+    let dims = {
+        let _s = cfg.stage(0);
+        build_dims(db, hf, p)
+    };
+    let _stage = cfg.stage(1);
     let lo = db.table("lineorder");
     let lpk = lo.col("lo_partkey").i32s();
     let lsk = lo.col("lo_suppkey").i32s();
@@ -303,6 +311,17 @@ impl crate::QueryPlan for Q21 {
             + db.table("date").len()
             + db.table("ssb_part").len()
             + db.table("ssb_supplier").len()
+    }
+
+    fn stages(&self) -> &'static [crate::StageDesc] {
+        use crate::{StageDesc, StageKind};
+        // The dimension builds are shared scalar code (`build_dims`);
+        // the probe chain over the fact table is the whole game.
+        const S: &[crate::StageDesc] = &[
+            StageDesc::new("build-dims", StageKind::JoinBuild),
+            StageDesc::new("probe-lineorder", StageKind::JoinProbe),
+        ];
+        S
     }
 
     fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {

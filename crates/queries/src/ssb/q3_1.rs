@@ -87,7 +87,11 @@ fn build_dims(db: &Database, hf: dbep_runtime::hash::HashFn, p: &SsbQ31Params) -
 /// Typer: fused probe chain.
 pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ31Params) -> QueryResult {
     let hf = cfg.typer_hash();
-    let dims = build_dims(db, hf, p);
+    let dims = {
+        let _s = cfg.stage(0);
+        build_dims(db, hf, p)
+    };
+    let _stage = cfg.stage(1);
     let lo = db.table("lineorder");
     let lck = lo.col("lo_custkey").i32s();
     let lsk = lo.col("lo_suppkey").i32s();
@@ -125,7 +129,11 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &SsbQ31Params) -> QueryResult {
 pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &SsbQ31Params) -> QueryResult {
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
-    let dims = build_dims(db, hf, p);
+    let dims = {
+        let _s = cfg.stage(0);
+        build_dims(db, hf, p)
+    };
+    let _stage = cfg.stage(1);
     let lo = db.table("lineorder");
     let lck = lo.col("lo_custkey").i32s();
     let lsk = lo.col("lo_suppkey").i32s();
@@ -322,6 +330,15 @@ impl crate::QueryPlan for Q31 {
             + db.table("date").len()
             + db.table("ssb_customer").len()
             + db.table("ssb_supplier").len()
+    }
+
+    fn stages(&self) -> &'static [crate::StageDesc] {
+        use crate::{StageDesc, StageKind};
+        const S: &[crate::StageDesc] = &[
+            StageDesc::new("build-dims", StageKind::JoinBuild),
+            StageDesc::new("probe-lineorder", StageKind::JoinProbe),
+        ];
+        S
     }
 
     fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {

@@ -157,6 +157,7 @@ fn typer_encoded(li: &Table, cols: [&PackedInts; 5], cfg: &ExecCfg, p: &Q1Params
 
 /// Typer: the fused loop a data-centric generator emits (Fig. 2a shape).
 pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q1Params) -> QueryResult {
+    let _stage = cfg.stage(0);
     let li = db.table("lineitem");
     if let Some(cols) = packed_cols(li) {
         return typer_encoded(li, cols, cfg, p);
@@ -298,6 +299,7 @@ fn tectorwise_encoded(li: &Table, cols: [&PackedInts; 5], cfg: &ExecCfg, p: &Q1P
 /// primitive per sum, with every intermediate materialized (Fig. 2b
 /// shape).
 pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q1Params) -> QueryResult {
+    let _stage = cfg.stage(0);
     let li = db.table("lineitem");
     if let Some(cols) = packed_cols(li) {
         return tectorwise_encoded(li, cols, cfg, p);
@@ -511,6 +513,13 @@ impl crate::QueryPlan for Q1 {
 
     fn tuples_scanned(&self, db: &Database) -> usize {
         db.table("lineitem").len()
+    }
+
+    fn stages(&self) -> &'static [crate::StageDesc] {
+        use crate::{StageDesc, StageKind};
+        // One fused pipeline: σ(lineitem) → Γ(returnflag, linestatus).
+        const S: &[crate::StageDesc] = &[StageDesc::new("scan-agg-lineitem", StageKind::Aggregate)];
+        S
     }
 
     fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {

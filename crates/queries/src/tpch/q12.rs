@@ -95,7 +95,11 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q12Params) -> QueryResult {
     let modes: [&[u8]; 2] = [p.modes[0].as_bytes(), p.modes[1].as_bytes()];
     let (receipt_lo, receipt_hi) = (p.receipt_lo, p.receipt_hi);
     let hf = cfg.typer_hash();
-    let ht_ord = build_orders_ht(db, cfg, hf);
+    let ht_ord = {
+        let _s = cfg.stage(0);
+        build_orders_ht(db, cfg, hf)
+    };
+    let _stage = cfg.stage(1);
     let li = db.table("lineitem");
     let lok = li.col("l_orderkey").i32s();
     let ship = li.col("l_shipdate").dates();
@@ -139,7 +143,11 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q12Params) -> QueryResult {
     let (receipt_lo, receipt_hi) = (p.receipt_lo, p.receipt_hi);
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
-    let ht_ord = build_orders_ht(db, cfg, hf);
+    let ht_ord = {
+        let _s = cfg.stage(0);
+        build_orders_ht(db, cfg, hf)
+    };
+    let _stage = cfg.stage(1);
     let li = db.table("lineitem");
     let lok = li.col("l_orderkey").i32s();
     let ship = li.col("l_shipdate").dates();
@@ -314,6 +322,17 @@ impl crate::QueryPlan for Q12 {
 
     fn tuples_scanned(&self, db: &Database) -> usize {
         db.table("orders").len() + db.table("lineitem").len()
+    }
+
+    fn stages(&self) -> &'static [crate::StageDesc] {
+        use crate::{StageDesc, StageKind};
+        // The build pipeline is engine-invariant (shared scalar code);
+        // only the probe pipeline differs per paradigm.
+        const S: &[crate::StageDesc] = &[
+            StageDesc::new("build-orders", StageKind::JoinBuild),
+            StageDesc::new("probe-lineitem", StageKind::JoinProbe),
+        ];
+        S
     }
 
     fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {

@@ -80,6 +80,7 @@ fn typer_encoded(
     let (ship_lo, ship_hi) = (p.ship_lo as i64, p.ship_hi as i64);
     let hf = cfg.typer_hash();
     // Pipeline 1: part → HT_part (partkey → PROMO flag via dict codes).
+    let _s0 = cfg.stage(0);
     let flags = promo_flags(ptype, p.prefix.as_bytes());
     let codes = ptype.codes();
     let shards = cfg.map_scan(
@@ -95,8 +96,10 @@ fn typer_encoded(
         },
     );
     let ht_part = JoinHt::from_shards(shards, &cfg.exec());
+    drop(_s0);
 
     // Pipeline 2: σ(lineitem) ⋈ HT_part → (promo, total).
+    let _s1 = cfg.stage(1);
     let [lpk, ship, ext, disc] = lcols;
     let parts = cfg.map_scan(
         li.len(),
@@ -141,6 +144,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
     let (ship_lo, ship_hi) = (p.ship_lo, p.ship_hi);
     let hf = cfg.typer_hash();
     // Pipeline 1: part → HT_part (partkey → PROMO flag).
+    let _s0 = cfg.stage(0);
     let pkey = part.col("p_partkey").i32s();
     let ptype = part.col("p_type").strs();
     let shards = cfg.map_scan(
@@ -155,8 +159,10 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
         },
     );
     let ht_part = JoinHt::from_shards(shards, &cfg.exec());
+    drop(_s0);
 
     // Pipeline 2: σ(lineitem) ⋈ HT_part → (promo, total).
+    let _s1 = cfg.stage(1);
     let li = db.table("lineitem");
     let lpk = li.col("l_partkey").i32s();
     let ship = li.col("l_shipdate").dates();
@@ -204,6 +210,7 @@ fn tectorwise_encoded(
     let policy = cfg.policy;
     // Pipeline 1: part → HT_part. The per-row LIKE collapses to a
     // byte-indexed lookup, so the vector loop degenerates to one pass.
+    let _s0 = cfg.stage(0);
     let flags = promo_flags(ptype, p.prefix.as_bytes());
     let codes = ptype.codes();
     let shards = cfg.map_scan(
@@ -219,8 +226,10 @@ fn tectorwise_encoded(
         },
     );
     let ht_part = JoinHt::from_shards(shards, &cfg.exec());
+    drop(_s0);
 
     // Pipeline 2: σ(lineitem) ⋈ HT_part → (promo, total).
+    let _s1 = cfg.stage(1);
     let [lpk, ship, ext, disc] = lcols;
     #[derive(Default)]
     struct Scratch {
@@ -291,6 +300,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
     // Pipeline 1: part → HT_part.
+    let _s0 = cfg.stage(0);
     let pkey = part.col("p_partkey").i32s();
     let ptype = part.col("p_type").strs();
     let shards = cfg.map_scan(
@@ -317,8 +327,10 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q14Params) -> QueryResult {
     );
     let shards = shards.into_iter().map(|(sh, ..)| sh).collect();
     let ht_part = JoinHt::from_shards(shards, &cfg.exec());
+    drop(_s0);
 
     // Pipeline 2: σ(lineitem) ⋈ HT_part → (promo, total).
+    let _s1 = cfg.stage(1);
     let li = db.table("lineitem");
     let lpk = li.col("l_partkey").i32s();
     let ship = li.col("l_shipdate").dates();
@@ -446,6 +458,15 @@ impl crate::QueryPlan for Q14 {
 
     fn tuples_scanned(&self, db: &Database) -> usize {
         db.table("part").len() + db.table("lineitem").len()
+    }
+
+    fn stages(&self) -> &'static [crate::StageDesc] {
+        use crate::{StageDesc, StageKind};
+        const S: &[crate::StageDesc] = &[
+            StageDesc::new("build-part", StageKind::JoinBuild),
+            StageDesc::new("probe-lineitem", StageKind::JoinProbe),
+        ];
+        S
     }
 
     fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {

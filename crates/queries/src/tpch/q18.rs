@@ -81,6 +81,19 @@ impl crate::QueryPlan for Q18 {
         db.table("lineitem").len() * 2 + db.table("orders").len() + db.table("customer").len()
     }
 
+    fn stages(&self) -> &'static [crate::StageDesc] {
+        use crate::{StageDesc, StageKind};
+        // The join pipelines after the HAVING filter are shared scalar
+        // code (`join_phases`); only the 1.5 M-group aggregation
+        // differs per paradigm.
+        const S: &[crate::StageDesc] = &[
+            StageDesc::new("agg-lineitem", StageKind::Aggregate),
+            StageDesc::new("probe-orders", StageKind::JoinProbe),
+            StageDesc::new("probe-customer", StageKind::JoinProbe),
+        ];
+        S
+    }
+
     fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
         typer(db, cfg, params.q18())
     }
@@ -102,6 +115,7 @@ fn join_phases(
     big_orders: Vec<(i32, i64)>,
     hf: dbep_runtime::hash::HashFn,
 ) -> QueryResult {
+    let _s1 = cfg.stage(1);
     // HT_sel: qualifying orderkeys (tiny).
     let ht_sel = JoinHt::build(big_orders.into_iter().map(|(k, q)| (hf.hash(k as u64), (k, q))));
     // Pipeline: orders ⋈ HT_sel → HT_cust (keyed by custkey).
@@ -129,7 +143,9 @@ fn join_phases(
         },
     );
     let ht_cust = JoinHt::from_shards(shards, &cfg.exec());
+    drop(_s1);
     // Pipeline: customer ⋈ HT_cust → result rows.
+    let _s2 = cfg.stage(2);
     let cust = db.table("customer");
     let ckey = cust.col("c_custkey").i32s();
     let locals = cfg.map_scan(
@@ -154,6 +170,7 @@ fn join_phases(
 pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q18Params) -> QueryResult {
     let qty_limit = p.qty_limit;
     let hf = cfg.typer_hash();
+    let _s0 = cfg.stage(0);
     let li = db.table("lineitem");
     let lok = li.col("l_orderkey").i32s();
     let qty = li.col("l_quantity").i64s();
@@ -170,6 +187,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q18Params) -> QueryResult {
     let shards = shards.into_iter().map(GroupByShard::finish).collect();
     let groups = merge_partitions(shards, &cfg.exec(), |a, b| *a += b);
     let big: Vec<(i32, i64)> = groups.into_iter().filter(|(_, q)| *q > qty_limit).collect();
+    drop(_s0);
     join_phases(db, cfg, big, hf)
 }
 
@@ -179,6 +197,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q18Params) -> QueryResult {
     let qty_limit = p.qty_limit;
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
+    let _s0 = cfg.stage(0);
     let li = db.table("lineitem");
     let lok = li.col("l_orderkey").i32s();
     let qty = li.col("l_quantity").i64s();
@@ -219,6 +238,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q18Params) -> QueryResult {
     let shards = shards.into_iter().map(|(shard, _)| shard.finish()).collect();
     let groups = merge_partitions(shards, &cfg.exec(), |a, b| *a += b);
     let big: Vec<(i32, i64)> = groups.into_iter().filter(|(_, q)| *q > qty_limit).collect();
+    drop(_s0);
     join_phases(db, cfg, big, hf)
 }
 

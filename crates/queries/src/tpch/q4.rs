@@ -20,8 +20,8 @@
 
 use crate::params::Q4Params;
 use crate::result::{OrderBy, QueryResult, Value};
-use crate::{ExecCfg, Params};
-use dbep_runtime::join_ht::JoinHtShard;
+use crate::{Engine, ExecCfg, Params};
+use dbep_runtime::hash::HashFn;
 use dbep_runtime::JoinHt;
 use dbep_storage::Database;
 use dbep_vectorized as tw;
@@ -96,145 +96,183 @@ fn finish(db: &Database, g: PrioCounts) -> QueryResult {
     )
 }
 
-/// Typer: two fused pipelines around the semi-join build barrier; the
-/// probe uses the hash table's existence-only path.
-pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q4Params) -> QueryResult {
-    let (date_lo, date_hi) = (p.date_lo, p.date_hi);
-    let hf = cfg.typer_hash();
-    // Pipeline 1: σ(lineitem, commit < receipt) → HT_late.
+/// Stage 0 (`build-late`): σ(lineitem, commit < receipt) → HT_late,
+/// under either paradigm. The hash function is the *build* engine's
+/// choice and travels with the table — the probe stage must use the
+/// same one regardless of which engine runs it.
+fn build_late(db: &Database, cfg: &ExecCfg, engine: Engine, hf: HashFn) -> JoinHt<i32> {
     let li = db.table("lineitem");
     let lok = li.col("l_orderkey").i32s();
     let commit = li.col("l_commitdate").dates();
     let receipt = li.col("l_receiptdate").dates();
-    let shards = cfg.map_scan(
-        li.len(),
-        LI_BITS,
-        |_| JoinHtShard::<i32>::new(),
-        |sh, r| {
+    let pace = |rows| cfg.pace(rows, LI_BITS);
+    match engine {
+        // Fused filter + push, one branch per tuple.
+        Engine::Typer => dbep_compiled::stage::build_ht(&cfg.exec(), li.len(), pace, |sh, r| {
             for i in r {
                 if commit[i] < receipt[i] {
                     sh.push(hf.hash(lok[i] as u64), lok[i]);
                 }
             }
-        },
-    );
-    let ht_late = JoinHt::from_shards(shards, &cfg.exec());
+        }),
+        // Column-vs-column selection primitive, then hash + push.
+        Engine::Tectorwise => {
+            let policy = cfg.policy;
+            dbep_vectorized::stage::build_ht(
+                &cfg.exec(),
+                li.len(),
+                pace,
+                || (Vec::new(), Vec::new()),
+                |sh, (sel, hashes), r| {
+                    for c in tw::chunks(r, cfg.vector_size) {
+                        // Column-vs-column compare: the first selection of the cascade.
+                        if tw::sel::sel_lt_i32_col_dense(
+                            &commit[c.clone()],
+                            &receipt[c.clone()],
+                            c.start as u32,
+                            sel,
+                            policy,
+                        ) == 0
+                        {
+                            continue;
+                        }
+                        tw::hashp::hash_i32(lok, sel, hf, hashes);
+                        for (j, &t) in sel.iter().enumerate() {
+                            sh.push(hashes[j], lok[t as usize]);
+                        }
+                    }
+                },
+            )
+        }
+        other => unreachable!("{} is not a per-stage candidate", other.name()),
+    }
+}
 
-    // Pipeline 2: σ(orders) ⋉ HT_late → Γ(priority).
+/// Stage 1 (`probe-orders`): σ(orders) ⋉ HT_late → Γ(priority), under
+/// either paradigm. `hf` must be the hash HT_late was built with.
+fn probe_orders(
+    db: &Database,
+    cfg: &ExecCfg,
+    p: &Q4Params,
+    engine: Engine,
+    hf: HashFn,
+    ht_late: &JoinHt<i32>,
+) -> PrioCounts {
+    let (date_lo, date_hi) = (p.date_lo, p.date_hi);
     let ord = db.table("orders");
     let okey = ord.col("o_orderkey").i32s();
     let odate = ord.col("o_orderdate").dates();
     let prio = ord.col("o_orderpriority").strs();
-    let parts = cfg.map_scan(
-        ord.len(),
-        ORD_BITS,
-        |_| PrioCounts::new(),
-        |g, r| {
-            for i in r {
-                if odate[i] >= date_lo && odate[i] < date_hi {
-                    let h = hf.hash(okey[i] as u64);
-                    // Existence-only: stop at the first witness lineitem.
-                    if ht_late.contains(h, |k| *k == okey[i]) {
-                        g.add(prio.get_bytes(i)[0], i as u32, 1);
+    match engine {
+        // Fused probe loop; the existence-only path stops at the first
+        // witness lineitem.
+        Engine::Typer => {
+            let parts = cfg.map_scan(
+                ord.len(),
+                ORD_BITS,
+                |_| PrioCounts::new(),
+                |g, r| {
+                    for i in r {
+                        if odate[i] >= date_lo && odate[i] < date_hi {
+                            let h = hf.hash(okey[i] as u64);
+                            // Existence-only: stop at the first witness lineitem.
+                            if ht_late.contains(h, |k| *k == okey[i]) {
+                                g.add(prio.get_bytes(i)[0], i as u32, 1);
+                            }
+                        }
                     }
-                }
+                },
+            );
+            PrioCounts::merge(parts)
+        }
+        // Primitive chain; the probe is the dedicated semi-join
+        // primitive (each order emitted at most once).
+        Engine::Tectorwise => {
+            let policy = cfg.policy;
+            #[derive(Default)]
+            struct P2Scratch {
+                s1: Vec<u32>,
+                s2: Vec<u32>,
+                hashes: Vec<u64>,
+                bufs: tw::ProbeBuffers,
+                v_byte: Vec<u8>,
+                slot_sel: Vec<u32>,
             }
-        },
-    );
-    finish(db, PrioCounts::merge(parts))
+            let parts = cfg.map_scan(
+                ord.len(),
+                ORD_BITS,
+                |_| (PrioCounts::new(), P2Scratch::default()),
+                |(g, st), r| {
+                    for c in tw::chunks(r, cfg.vector_size) {
+                        if tw::sel::sel_ge_i32_dense(
+                            &odate[c.clone()],
+                            date_lo,
+                            c.start as u32,
+                            &mut st.s1,
+                            policy,
+                        ) == 0
+                        {
+                            continue;
+                        }
+                        if tw::sel::sel_lt_i32_sparse(odate, date_hi, &st.s1, &mut st.s2, policy) == 0 {
+                            continue;
+                        }
+                        tw::hashp::hash_i32(okey, &st.s2, hf, &mut st.hashes);
+                        if tw::probe::probe_semijoin(
+                            ht_late,
+                            &st.hashes,
+                            &st.s2,
+                            |k, t| *k == okey[t as usize],
+                            policy,
+                            &mut st.bufs,
+                        ) == 0
+                        {
+                            continue;
+                        }
+                        // Conditional counting per priority slot: gather the leading
+                        // byte, then one char-equality selection per slot.
+                        tw::gather::gather_str_byte0(prio, &st.bufs.match_tuple, &mut st.v_byte);
+                        for s in 0..SLOTS as u8 {
+                            let n = tw::sel::sel_eq_char_dense(&st.v_byte, b'1' + s, 0, &mut st.slot_sel);
+                            if n > 0 {
+                                g.add(b'1' + s, st.bufs.match_tuple[st.slot_sel[0] as usize], n as i64);
+                            }
+                        }
+                    }
+                },
+            );
+            PrioCounts::merge(parts.into_iter().map(|(g, _)| g).collect())
+        }
+        other => unreachable!("{} is not a per-stage candidate", other.name()),
+    }
+}
+
+/// Execute with one engine choice per stage (`[build, probe]`). The
+/// uniform assignments are exactly the pure engines; mixed assignments
+/// share the build engine's hash function across both stages.
+fn run_mix(db: &Database, cfg: &ExecCfg, p: &Q4Params, choices: [Engine; 2]) -> QueryResult {
+    let hf = match choices[0] {
+        Engine::Tectorwise => cfg.tw_hash(),
+        _ => cfg.typer_hash(),
+    };
+    let ht_late = {
+        let _s = cfg.stage(0);
+        build_late(db, cfg, choices[0], hf)
+    };
+    let _s = cfg.stage(1);
+    finish(db, probe_orders(db, cfg, p, choices[1], hf, &ht_late))
+}
+
+/// Typer: two fused pipelines around the semi-join build barrier; the
+/// probe uses the hash table's existence-only path.
+pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q4Params) -> QueryResult {
+    run_mix(db, cfg, p, [Engine::Typer; 2])
 }
 
 /// Tectorwise: the same plan as a primitive chain; the probe is the
 /// dedicated semi-join primitive (each order emitted at most once).
 pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q4Params) -> QueryResult {
-    let (date_lo, date_hi) = (p.date_lo, p.date_hi);
-    let hf = cfg.tw_hash();
-    let policy = cfg.policy;
-    // Pipeline 1: σ(lineitem, commit < receipt) → HT_late.
-    let li = db.table("lineitem");
-    let lok = li.col("l_orderkey").i32s();
-    let commit = li.col("l_commitdate").dates();
-    let receipt = li.col("l_receiptdate").dates();
-    let shards = cfg.map_scan(
-        li.len(),
-        LI_BITS,
-        |_| (JoinHtShard::<i32>::new(), Vec::new(), Vec::new()),
-        |(sh, sel, hashes), r| {
-            for c in tw::chunks(r, cfg.vector_size) {
-                // Column-vs-column compare: the first selection of the cascade.
-                if tw::sel::sel_lt_i32_col_dense(
-                    &commit[c.clone()],
-                    &receipt[c.clone()],
-                    c.start as u32,
-                    sel,
-                    policy,
-                ) == 0
-                {
-                    continue;
-                }
-                tw::hashp::hash_i32(lok, sel, hf, hashes);
-                for (j, &t) in sel.iter().enumerate() {
-                    sh.push(hashes[j], lok[t as usize]);
-                }
-            }
-        },
-    );
-    let shards = shards.into_iter().map(|(sh, _, _)| sh).collect();
-    let ht_late = JoinHt::from_shards(shards, &cfg.exec());
-
-    // Pipeline 2: σ(orders) ⋉ HT_late → Γ(priority).
-    let ord = db.table("orders");
-    let okey = ord.col("o_orderkey").i32s();
-    let odate = ord.col("o_orderdate").dates();
-    let prio = ord.col("o_orderpriority").strs();
-    #[derive(Default)]
-    struct P2Scratch {
-        s1: Vec<u32>,
-        s2: Vec<u32>,
-        hashes: Vec<u64>,
-        bufs: tw::ProbeBuffers,
-        v_byte: Vec<u8>,
-        slot_sel: Vec<u32>,
-    }
-    let parts = cfg.map_scan(
-        ord.len(),
-        ORD_BITS,
-        |_| (PrioCounts::new(), P2Scratch::default()),
-        |(g, st), r| {
-            for c in tw::chunks(r, cfg.vector_size) {
-                if tw::sel::sel_ge_i32_dense(&odate[c.clone()], date_lo, c.start as u32, &mut st.s1, policy)
-                    == 0
-                {
-                    continue;
-                }
-                if tw::sel::sel_lt_i32_sparse(odate, date_hi, &st.s1, &mut st.s2, policy) == 0 {
-                    continue;
-                }
-                tw::hashp::hash_i32(okey, &st.s2, hf, &mut st.hashes);
-                if tw::probe::probe_semijoin(
-                    &ht_late,
-                    &st.hashes,
-                    &st.s2,
-                    |k, t| *k == okey[t as usize],
-                    policy,
-                    &mut st.bufs,
-                ) == 0
-                {
-                    continue;
-                }
-                // Conditional counting per priority slot: gather the leading
-                // byte, then one char-equality selection per slot.
-                tw::gather::gather_str_byte0(prio, &st.bufs.match_tuple, &mut st.v_byte);
-                for s in 0..SLOTS as u8 {
-                    let n = tw::sel::sel_eq_char_dense(&st.v_byte, b'1' + s, 0, &mut st.slot_sel);
-                    if n > 0 {
-                        g.add(b'1' + s, st.bufs.match_tuple[st.slot_sel[0] as usize], n as i64);
-                    }
-                }
-            }
-        },
-    );
-    finish(db, PrioCounts::merge(parts.into_iter().map(|(g, _)| g).collect()))
+    run_mix(db, cfg, p, [Engine::Tectorwise; 2])
 }
 
 /// Volcano: the same plan through the interpreted semi-join operator.
@@ -326,5 +364,29 @@ impl crate::QueryPlan for Q4 {
 
     fn volcano(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {
         volcano(db, cfg, params.q4())
+    }
+
+    fn stages(&self) -> &'static [crate::StageDesc] {
+        use crate::{StageDesc, StageKind};
+        const S: &[crate::StageDesc] = &[
+            StageDesc::new("build-late", StageKind::JoinBuild),
+            StageDesc::new("probe-orders", StageKind::JoinProbe),
+        ];
+        S
+    }
+
+    fn run_mix(
+        &self,
+        db: &Database,
+        cfg: &ExecCfg,
+        params: &Params,
+        choices: &[Engine],
+    ) -> Option<QueryResult> {
+        match choices {
+            [b @ (Engine::Typer | Engine::Tectorwise), p @ (Engine::Typer | Engine::Tectorwise)] => {
+                Some(run_mix(db, cfg, params.q4(), [*b, *p]))
+            }
+            _ => None,
+        }
     }
 }

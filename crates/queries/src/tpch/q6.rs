@@ -118,6 +118,7 @@ fn tectorwise_encoded(li: &Table, cols: [&PackedInts; 4], cfg: &ExecCfg, p: &Q6P
 
 /// Typer: one fused, branch-free loop.
 pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
+    let _stage = cfg.stage(0);
     let li = db.table("lineitem");
     if let Some(cols) = packed_cols(li) {
         return typer_encoded(li, cols, cfg, p);
@@ -149,6 +150,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
 
 /// Tectorwise: five selection primitives, then gather/multiply/sum.
 pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q6Params) -> QueryResult {
+    let _stage = cfg.stage(0);
     let li = db.table("lineitem");
     if let Some(cols) = packed_cols(li) {
         return tectorwise_encoded(li, cols, cfg, p);
@@ -252,6 +254,13 @@ impl crate::QueryPlan for Q6 {
 
     fn tuples_scanned(&self, db: &Database) -> usize {
         db.table("lineitem").len()
+    }
+
+    fn stages(&self) -> &'static [crate::StageDesc] {
+        use crate::{StageDesc, StageKind};
+        // One selection-dominated pipeline: σ(lineitem) → SUM.
+        const S: &[crate::StageDesc] = &[StageDesc::new("scan-filter-lineitem", StageKind::ScanFilter)];
+        S
     }
 
     fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {

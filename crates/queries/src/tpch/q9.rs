@@ -64,6 +64,7 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     let needle = p.needle.as_str();
     let hf = cfg.typer_hash();
     // P1: σ(part, name ~ green) → HT_p.
+    let _s0 = cfg.stage(0);
     let part = db.table("part");
     let pkey = part.col("p_partkey").i32s();
     let pname = part.col("p_name").strs();
@@ -80,8 +81,10 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
         },
     );
     let ht_p = JoinHt::from_shards(shards, &cfg.exec());
+    drop(_s0);
 
     // P2: partsupp ⋈ HT_p → HT_ps keyed (partkey, suppkey).
+    let _s1 = cfg.stage(1);
     let ps = db.table("partsupp");
     let pspk = ps.col("ps_partkey").i32s();
     let pssk = ps.col("ps_suppkey").i32s();
@@ -101,8 +104,10 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
         },
     );
     let ht_ps = JoinHt::from_shards(shards, &cfg.exec());
+    drop(_s1);
 
     // P3: supplier → HT_s (suppkey → nationkey).
+    let _s2 = cfg.stage(2);
     let supp = db.table("supplier");
     let skey = supp.col("s_suppkey").i32s();
     let snat = supp.col("s_nationkey").i32s();
@@ -117,8 +122,10 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
         },
     );
     let ht_s = JoinHt::from_shards(shards, &cfg.exec());
+    drop(_s2);
 
     // P4: lineitem ⋈ HT_ps ⋈ HT_s → HT_li (keyed by orderkey).
+    let _s3 = cfg.stage(3);
     let li = db.table("lineitem");
     let lok = li.col("l_orderkey").i32s();
     let lpk = li.col("l_partkey").i32s();
@@ -151,8 +158,10 @@ pub fn typer(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
         },
     );
     let ht_li = JoinHt::from_shards(shards, &cfg.exec());
+    drop(_s3);
 
     // P5: orders ⋈ HT_li → Γ(nation, year).
+    let _s4 = cfg.stage(4);
     let ord = db.table("orders");
     let okey = ord.col("o_orderkey").i32s();
     let odate = ord.col("o_orderdate").dates();
@@ -184,6 +193,7 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     let hf = cfg.tw_hash();
     let policy = cfg.policy;
     // P1: σ(part) → HT_p (string filter is a scalar primitive).
+    let _s0 = cfg.stage(0);
     let part = db.table("part");
     let pkey = part.col("p_partkey").i32s();
     let pname = part.col("p_name").strs();
@@ -211,8 +221,10 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     );
     let shards = shards.into_iter().map(|(sh, _, _)| sh).collect();
     let ht_p = JoinHt::from_shards(shards, &cfg.exec());
+    drop(_s0);
 
     // P2: partsupp ⋈ HT_p → HT_ps (composite key build).
+    let _s1 = cfg.stage(1);
     let ps = db.table("partsupp");
     let pspk = ps.col("ps_partkey").i32s();
     let pssk = ps.col("ps_suppkey").i32s();
@@ -254,8 +266,10 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     );
     let shards = shards.into_iter().map(|(sh, _)| sh).collect();
     let ht_ps = JoinHt::from_shards(shards, &cfg.exec());
+    drop(_s1);
 
     // P3: supplier → HT_s.
+    let _s2 = cfg.stage(2);
     let supp = db.table("supplier");
     let skey = supp.col("s_suppkey").i32s();
     let snat = supp.col("s_nationkey").i32s();
@@ -276,8 +290,10 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     );
     let shards = shards.into_iter().map(|(sh, _, _)| sh).collect();
     let ht_s = JoinHt::from_shards(shards, &cfg.exec());
+    drop(_s2);
 
     // P4: lineitem ⋈ HT_ps ⋈ HT_s → HT_li.
+    let _s3 = cfg.stage(3);
     let li = db.table("lineitem");
     let lok = li.col("l_orderkey").i32s();
     let lpk = li.col("l_partkey").i32s();
@@ -374,8 +390,10 @@ pub fn tectorwise(db: &Database, cfg: &ExecCfg, p: &Q9Params) -> QueryResult {
     );
     let shards = shards.into_iter().map(|(sh, _)| sh).collect();
     let ht_li = JoinHt::from_shards(shards, &cfg.exec());
+    drop(_s3);
 
     // P5: orders ⋈ HT_li → Γ(nation, year).
+    let _s4 = cfg.stage(4);
     let ord = db.table("orders");
     let okey = ord.col("o_orderkey").i32s();
     let odate = ord.col("o_orderdate").dates();
@@ -599,6 +617,18 @@ impl crate::QueryPlan for Q9 {
             + db.table("supplier").len()
             + db.table("lineitem").len()
             + db.table("orders").len()
+    }
+
+    fn stages(&self) -> &'static [crate::StageDesc] {
+        use crate::{StageDesc, StageKind};
+        const S: &[crate::StageDesc] = &[
+            StageDesc::new("build-part", StageKind::JoinBuild),
+            StageDesc::new("probe-partsupp", StageKind::JoinProbe),
+            StageDesc::new("build-supplier", StageKind::JoinBuild),
+            StageDesc::new("probe-lineitem", StageKind::JoinProbe),
+            StageDesc::new("probe-orders", StageKind::JoinProbe),
+        ];
+        S
     }
 
     fn typer(&self, db: &Database, cfg: &ExecCfg, params: &Params) -> QueryResult {

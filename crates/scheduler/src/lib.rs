@@ -19,14 +19,18 @@
 //! * [`ExecCtx`] — the handle execution code is written against; it
 //!   routes a parallel region to the pool when one is attached and to
 //!   the spawn fallback (or inline execution) otherwise.
+//! * [`StageTrace`] — per-pipeline-stage wall-time counters that the
+//!   adaptive engine driver attaches to instrumented runs.
 
 pub mod exec;
 pub mod morsel;
 pub mod pool;
+pub mod stage;
 
 pub use exec::ExecCtx;
 pub use morsel::{Morsels, MORSEL_TUPLES};
 pub use pool::{QueryRun, RunStats, Scheduler, DEFAULT_PRIORITY, MAX_PRIORITY};
+pub use stage::{StageKind, StageTimer, StageTrace};
 
 /// Run `f(worker_id)` on `threads` scoped workers (spawn-per-query
 /// fallback). With `threads <= 1` the closure runs inline on the caller

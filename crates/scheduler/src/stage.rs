@@ -1,0 +1,167 @@
+//! Per-stage counter plumbing for adaptive (per-pipeline) execution.
+//!
+//! A query plan is a sequence of pipelines separated by breakers (hash
+//! table builds, aggregation merges). The adaptive driver in
+//! `dbep_core` needs to know how long *each* pipeline took under each
+//! engine, not just the end-to-end time [`crate::pool::RunStats`] reports —
+//! so execution code brackets every pipeline with a [`StageTrace`]
+//! recording, and the driver compares traces across engines to pick a
+//! winner per stage.
+//!
+//! Recording is atomic-add only: workers of a morsel-driven pipeline
+//! may finish on different OS threads, and the spawn-per-query fallback
+//! records from inside scoped threads. A trace is attached per *run*
+//! (not shared across runs), so all adds for one stage index belong to
+//! one (query, engine) execution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// What a pipeline stage predominantly does — the coarse shape the
+/// paper's analysis (§4) ties engine preference to: compiled (Typer)
+/// engines win fused scan/filter/aggregate computation, vectorized
+/// (Tectorwise) engines win cache-miss-bound hash-table probes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Selection-dominated table scan (may feed a small aggregate).
+    ScanFilter,
+    /// Scan feeding a hash-table build (pipeline breaker).
+    JoinBuild,
+    /// Scan probing one or more hash tables.
+    JoinProbe,
+    /// Aggregation-dominated pipeline (group-by sink).
+    Aggregate,
+}
+
+impl StageKind {
+    /// Short lowercase label used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::ScanFilter => "scan-filter",
+            StageKind::JoinBuild => "join-build",
+            StageKind::JoinProbe => "join-probe",
+            StageKind::Aggregate => "aggregate",
+        }
+    }
+}
+
+/// Per-stage wall-time accumulator for one query execution.
+///
+/// One slot per declared pipeline stage; execution code obtains a
+/// [`StageTimer`] per stage and the elapsed nanoseconds are added on
+/// drop. Slots accumulate (a stage re-entered by several workers sums
+/// their spans), and a fresh trace is attached per run, so a slot is
+/// the total wall time attributable to that stage in that run.
+#[derive(Debug)]
+pub struct StageTrace {
+    ns: Vec<AtomicU64>,
+}
+
+impl StageTrace {
+    /// Trace with `stages` zeroed slots.
+    pub fn new(stages: usize) -> Self {
+        StageTrace {
+            ns: (0..stages).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn stages(&self) -> usize {
+        self.ns.len()
+    }
+
+    /// Add `ns` nanoseconds to stage `idx`. Out-of-range indices are
+    /// ignored (a plan/trace mismatch must not corrupt neighbours).
+    pub fn record_ns(&self, idx: usize, ns: u64) {
+        if let Some(slot) = self.ns.get(idx) {
+            slot.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Start timing stage `idx`; elapsed time is recorded when the
+    /// returned guard drops.
+    pub fn start(&self, idx: usize) -> StageTimer<'_> {
+        StageTimer {
+            trace: self,
+            idx,
+            t0: Instant::now(),
+        }
+    }
+
+    /// Snapshot of accumulated nanoseconds per stage.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.ns.iter().map(|s| s.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// RAII timer for one stage of a [`StageTrace`]; records on drop.
+#[derive(Debug)]
+pub struct StageTimer<'a> {
+    trace: &'a StageTrace,
+    idx: usize,
+    t0: Instant,
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        self.trace
+            .record_ns(self.idx, self.t0.elapsed().as_nanos() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let t = StageTrace::new(3);
+        t.record_ns(0, 5);
+        t.record_ns(0, 7);
+        t.record_ns(2, 100);
+        assert_eq!(t.snapshot(), vec![12, 0, 100]);
+        assert_eq!(t.stages(), 3);
+    }
+
+    #[test]
+    fn out_of_range_is_ignored() {
+        let t = StageTrace::new(1);
+        t.record_ns(5, 99);
+        assert_eq!(t.snapshot(), vec![0]);
+    }
+
+    #[test]
+    fn timer_records_on_drop() {
+        let t = StageTrace::new(2);
+        {
+            let _g = t.start(1);
+            std::hint::black_box(0u64);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap[0], 0);
+        assert!(snap[1] > 0, "drop must record elapsed time");
+    }
+
+    #[test]
+    fn concurrent_adds_sum() {
+        let t = StageTrace::new(1);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        t.record_ns(0, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.snapshot(), vec![8000]);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(StageKind::ScanFilter.name(), "scan-filter");
+        assert_eq!(StageKind::JoinBuild.name(), "join-build");
+        assert_eq!(StageKind::JoinProbe.name(), "join-probe");
+        assert_eq!(StageKind::Aggregate.name(), "aggregate");
+    }
+}

@@ -31,6 +31,7 @@ pub mod hashp;
 pub mod map;
 pub mod probe;
 pub mod sel;
+pub mod stage;
 
 pub use chunk::{chunks, ChunkSource, Chunks, DEFAULT_VECTOR_SIZE};
 pub use probe::ProbeBuffers;

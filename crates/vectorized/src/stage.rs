@@ -1,0 +1,76 @@
+//! Stage-granular entry points for hybrid (per-pipeline) execution.
+//!
+//! Mirror of `dbep_compiled::stage` for the vectorized side: the
+//! adaptive driver must be able to run a Tectorwise build pipeline in
+//! isolation (its output hash table then feeds stages that may run
+//! under either paradigm). A vectorized pipeline carries per-worker
+//! scratch (selection vectors, hash vectors) alongside its build
+//! shard, so the entry point threads a caller-supplied scratch state
+//! through the morsel loop.
+
+use dbep_runtime::join_ht::JoinHtShard;
+use dbep_runtime::{ExecCtx, JoinHt, Morsels};
+use std::ops::Range;
+
+/// Run one vectorized σ→build pipeline to completion and return its
+/// hash table. `init` creates a worker's scratch vectors; `each`
+/// processes one morsel (chunk it with [`crate::chunks`], run the
+/// primitive cascade, push survivors into the shard). `pace` runs once
+/// per morsel with its row count (bytes accounting / IO throttling).
+pub fn build_ht<K, S, E, P, I>(exec: &ExecCtx, total: usize, pace: P, init: I, each: E) -> JoinHt<K>
+where
+    K: Send + Sync,
+    S: Send,
+    I: Fn() -> S + Sync,
+    E: Fn(&mut JoinHtShard<K>, &mut S, Range<usize>) + Sync,
+    P: Fn(usize) + Sync,
+{
+    let pairs = exec.map_slots(
+        Morsels::new(total),
+        |_| (JoinHtShard::new(), init()),
+        |(sh, scratch), r| {
+            pace(r.len());
+            each(sh, scratch, r);
+        },
+    );
+    let shards = pairs.into_iter().map(|(sh, _)| sh).collect();
+    JoinHt::from_shards(shards, exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbep_runtime::hash::HashFn;
+
+    #[test]
+    fn builds_with_scratch_cascade() {
+        let hf = HashFn::Murmur2;
+        let exec = ExecCtx {
+            threads: 2,
+            run: None,
+        };
+        let n = 4_096usize;
+        let vals: Vec<i32> = (0..n as i32).collect();
+        let ht = build_ht::<i32, Vec<u32>, _, _, _>(
+            &exec,
+            n,
+            |_| {},
+            Vec::new,
+            |sh, sel, r| {
+                for c in crate::chunks(r, 256) {
+                    sel.clear();
+                    sel.extend(c.filter(|&i| vals[i] % 5 == 0).map(|i| i as u32));
+                    for &t in sel.iter() {
+                        let v = vals[t as usize];
+                        sh.push(hf.hash(v as u64), v);
+                    }
+                }
+            },
+        );
+        for probe in [0i32, 5, 7, 4095] {
+            let h = hf.hash(probe as u64);
+            let hit = ht.probe(h).any(|e| e.row == probe);
+            assert_eq!(hit, probe % 5 == 0, "probe {probe}");
+        }
+    }
+}
