@@ -74,9 +74,12 @@ impl PlanCache {
     pub fn lookup(&self, params: &Params) -> (Arc<CachedPlan>, bool) {
         let mut map = self.entries.lock().unwrap();
         if let Some(entry) = map.get(params) {
+            // ORDERING: Relaxed — monotonic stats counter; no data is
+            // published through it.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (Arc::clone(entry), true);
         }
+        // ORDERING: Relaxed — monotonic stats counter, as above.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let plan = dbep_queries::plan(params.query());
         let entry = Arc::new(CachedPlan {
@@ -89,6 +92,8 @@ impl PlanCache {
 
     pub fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {
+            // ORDERING: Relaxed — stats snapshot; counters are
+            // independent and approximate by design.
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.entries.lock().unwrap().len(),

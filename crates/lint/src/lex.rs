@@ -1,0 +1,354 @@
+//! A line-oriented Rust tokenizer, just deep enough for the analyzer.
+//!
+//! The rules in [`crate::rules`] are conventions over *source text* —
+//! "`unsafe` must be preceded by a `// SAFETY:` comment" — so full
+//! parsing is unnecessary, but naive substring matching is wrong: the
+//! word `unsafe` inside a string literal or a doc comment must not
+//! count as an unsafe site. This lexer splits every line into its
+//! **code** text (string/char literal contents blanked, comments
+//! removed) and its **comment** text (line, block and doc comments),
+//! tracking multi-line constructs (block comments, plain and raw
+//! strings) across lines. It also marks the lines that belong to
+//! `#[cfg(test)]`-gated items, which the audit rules exempt.
+//!
+//! Handled: nested block comments, escapes in string/char literals,
+//! raw strings (`r"…"`, `r#"…"#`, any hash depth, plus `b`/`br`
+//! prefixes), and the `'a` lifetime vs `'a'` char-literal ambiguity.
+
+/// One source line, split into code and comment channels.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Source text with comments removed and literal contents blanked.
+    /// Quotes are kept, so `"unsafe"` lexes to `""`.
+    pub code: String,
+    /// Concatenated comment text of the line (line, block and doc).
+    pub comment: String,
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct FileScan {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub lines: Vec<Line>,
+    /// `in_test[i]` — line `i` is inside a `#[cfg(test)]`-gated item.
+    pub in_test: Vec<bool>,
+}
+
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Lex `src` into per-line code/comment channels.
+pub fn lex(path: &str, src: &str) -> FileScan {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut mode = Mode::Code;
+    let mut i = 0usize;
+    let n = chars.len();
+    let at = |i: usize| chars.get(i).copied().unwrap_or('\0');
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(mode, Mode::LineComment) {
+                mode = Mode::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if c == '/' && at(i + 1) == '/' {
+                    mode = Mode::LineComment;
+                    i += 2;
+                } else if c == '/' && at(i + 1) == '*' {
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&cur.code) {
+                    // Possible raw/byte string prefix: r" r#" b" br" br#".
+                    let mut j = i + 1;
+                    if c == 'b' && at(j) == 'r' {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while at(j) == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let is_raw = (c == 'r' || at(i + 1) == 'r' || hashes == 0) && at(j) == '"';
+                    if is_raw
+                        && at(j) == '"'
+                        && (hashes > 0 || c != 'b' || at(i + 1) == '"' || at(i + 1) == 'r')
+                    {
+                        cur.code.push('"');
+                        mode = if c == 'b' && at(i + 1) != 'r' && hashes == 0 {
+                            Mode::Str // b"…" : plain byte string, escapes apply
+                        } else {
+                            Mode::RawStr(hashes)
+                        };
+                        i = j + 1;
+                    } else {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime.
+                    if at(i + 1) == '\\' {
+                        // Escaped char literal: consume to the closing quote.
+                        cur.code.push('\'');
+                        let mut j = i + 2;
+                        if at(j) != '\0' {
+                            j += 1; // the escaped char (covers \' and \\)
+                        }
+                        while j < n && at(j) != '\'' && at(j) != '\n' {
+                            j += 1;
+                        }
+                        cur.code.push('\'');
+                        i = (j + 1).min(n);
+                    } else if at(i + 2) == '\'' && at(i + 1) != '\'' {
+                        // 'x' — a simple char literal.
+                        cur.code.push('\'');
+                        cur.code.push('\'');
+                        i += 3;
+                    } else {
+                        // A lifetime: keep the quote, idents follow as code.
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(d) => {
+                if c == '/' && at(i + 1) == '*' {
+                    mode = Mode::BlockComment(d + 1);
+                    cur.comment.push_str("/*");
+                    i += 2;
+                } else if c == '*' && at(i + 1) == '/' {
+                    mode = if d == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(d - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped char (incl. \" and \\)
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && at(j) == '#' {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        cur.code.push('"');
+                        mode = Mode::Code;
+                        i = j;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    let in_test = test_regions(&lines);
+    FileScan {
+        path: path.to_string(),
+        lines,
+        in_test,
+    }
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .next_back()
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Mark lines inside `#[cfg(test)]`-gated items: once the attribute is
+/// seen, the next brace-delimited block (the gated `mod`/`fn`) is a test
+/// region, tracked by brace depth over the code channel.
+fn test_regions(lines: &[Line]) -> Vec<bool> {
+    let mut out = vec![false; lines.len()];
+    let mut depth: i32 = 0;
+    let mut armed = false;
+    let mut regions: Vec<i32> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.code.contains("#[cfg(test)]") {
+            armed = true;
+        }
+        let mut in_region = !regions.is_empty();
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if armed {
+                        regions.push(depth);
+                        armed = false;
+                        in_region = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+        out[idx] = in_region || !regions.is_empty();
+    }
+    out
+}
+
+/// Word-boundary occurrences of `word` in `code`; returns column indices.
+pub fn word_positions(code: &str, word: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let w = word.as_bytes();
+    let mut out = Vec::new();
+    if w.is_empty() || bytes.len() < w.len() {
+        return out;
+    }
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    for start in 0..=bytes.len() - w.len() {
+        if &bytes[start..start + w.len()] == w {
+            let before_ok = start == 0 || !is_ident(bytes[start - 1]);
+            let after = start + w.len();
+            let after_ok = after == bytes.len() || !is_ident(bytes[after]);
+            if before_ok && after_ok {
+                out.push(start);
+            }
+        }
+    }
+    out
+}
+
+/// `true` if `code` contains `word` at a word boundary.
+pub fn has_word(code: &str, word: &str) -> bool {
+    !word_positions(code, word).is_empty()
+}
+
+/// All identifier-shaped words in a code string.
+pub fn words(code: &str) -> impl Iterator<Item = &str> {
+    code.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|w| !w.is_empty() && !w.chars().next().unwrap().is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex("t.rs", src).lines.iter().map(|l| l.code.clone()).collect()
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        let c = code_of("let s = \"unsafe { Ordering::Relaxed }\";\n");
+        assert_eq!(c[0], "let s = \"\";");
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let c = code_of("let s = r#\"has \"quotes\" and unsafe\"#; let x = 1;\n");
+        assert_eq!(c[0], "let s = \"\"; let x = 1;");
+        let c = code_of("let s = r\"plain raw unsafe\"; foo();\n");
+        assert_eq!(c[0], "let s = \"\"; foo();");
+        let c = code_of("let b = b\"bytes unsafe\"; bar();\n");
+        assert_eq!(c[0], "let b = \"\"; bar();");
+    }
+
+    #[test]
+    fn multiline_string_spans_lines() {
+        let c = code_of("let s = \"line one\nunsafe two\";\nlet t = 3;\n");
+        assert_eq!(c[0], "let s = \"");
+        assert_eq!(c[1], "\";");
+        assert_eq!(c[2], "let t = 3;");
+    }
+
+    #[test]
+    fn line_and_block_comments() {
+        let scan = lex(
+            "t.rs",
+            "let x = 1; // SAFETY: fine\n/* block\nunsafe */ let y = 2;\n",
+        );
+        assert_eq!(scan.lines[0].code, "let x = 1; ");
+        assert!(scan.lines[0].comment.contains("SAFETY:"));
+        assert!(scan.lines[1].comment.contains("block"));
+        assert_eq!(scan.lines[2].code, " let y = 2;");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let c = code_of("a(); /* outer /* inner */ still comment */ b();\n");
+        assert_eq!(c[0], "a();  b();");
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let c = code_of("let c = 'u'; fn f<'a>(x: &'a str) {} let e = '\\n';\n");
+        assert_eq!(c[0], "let c = ''; fn f<'a>(x: &'a str) {} let e = '';");
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let scan = lex(
+            "t.rs",
+            "/// # Safety\n/// callers must check\npub unsafe fn f() {}\n",
+        );
+        assert!(scan.lines[0].comment.contains("# Safety"));
+        assert_eq!(scan.lines[0].code, "");
+        assert!(has_word(&scan.lines[2].code, "unsafe"));
+    }
+
+    #[test]
+    fn cfg_test_regions() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let scan = lex("t.rs", src);
+        assert_eq!(scan.in_test, vec![false, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("unsafe {", "unsafe"));
+        assert!(!has_word("unsafely()", "unsafe"));
+        assert!(!has_word("an_unsafe_thing", "unsafe"));
+        assert_eq!(word_positions("unsafe unsafe", "unsafe"), vec![0, 7]);
+    }
+}

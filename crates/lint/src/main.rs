@@ -1,0 +1,143 @@
+//! `dbep-lint` CLI: `check [--json]` fails the build on any violation;
+//! `list --rule <name>` prints a rule's full tracked inventory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dbep-lint — in-tree safety analyzer for the db-engine-paradigms workspace
+
+USAGE:
+    dbep-lint check [--json] [--root <dir>]
+    dbep-lint list --rule <name> [--root <dir>]
+
+RULES:
+    unsafe        every `unsafe` carries a // SAFETY: justification
+    atomics       every `Ordering::Relaxed` in the concurrency layer
+                  carries a // ORDERING: justification
+    simd-parity   SIMD kernels have scalar twins (and vice versa), and
+                  every SimdPolicy dispatcher appears in a property test
+    registry      every REGISTRY plan declares stages(), has a naive
+                  oracle, and is swept by the equivalence suite
+
+`check` exits 0 on a clean tree, 1 on findings. Without --root, the
+workspace root is located by walking up from the current directory.
+";
+
+struct Args {
+    cmd: String,
+    json: bool,
+    rule: Option<String>,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().ok_or_else(|| "missing subcommand".to_string())?;
+    let mut args = Args {
+        cmd,
+        json: false,
+        rule: None,
+        root: None,
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--rule" => args.rule = Some(argv.next().ok_or("--rule needs a value")?),
+            "--root" => args.root = Some(PathBuf::from(argv.next().ok_or("--root needs a value")?)),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.clone().or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        dbep_lint::find_root(&cwd)
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: workspace root not found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    match args.cmd.as_str() {
+        "check" => {
+            let report = match dbep_lint::run_check(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if args.json {
+                print!(
+                    "{}",
+                    dbep_lint::json::report(
+                        &root.display().to_string(),
+                        report.files_scanned,
+                        &report.findings
+                    )
+                );
+            } else {
+                for f in &report.findings {
+                    println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+                }
+                println!(
+                    "dbep-lint: {} finding(s) across {} file(s)",
+                    report.findings.len(),
+                    report.files_scanned
+                );
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "list" => {
+            let rule = match args.rule.as_deref() {
+                Some(r) if dbep_lint::RULES.contains(&r) => r,
+                Some(r) => {
+                    eprintln!(
+                        "error: unknown rule {r:?} (expected one of {})",
+                        dbep_lint::RULES.join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("error: list requires --rule <name>\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            };
+            match dbep_lint::run_list(&root, rule) {
+                Ok(lines) => {
+                    for l in lines {
+                        println!("{l}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown subcommand {other:?}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! End-to-end smoke tests of the `dbep-lint` binary: exit codes, the
+//! human and `--json` report formats, and `list --rule` validation.
+
+use std::path::Path;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dbep-lint"))
+}
+
+fn root() -> std::path::PathBuf {
+    dbep_lint::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+}
+
+#[test]
+fn check_on_clean_tree_exits_zero() {
+    let out = bin()
+        .args(["check", "--root"])
+        .arg(root())
+        .output()
+        .expect("run dbep-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout:\n{stdout}");
+    assert!(stdout.contains("0 finding(s)"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn check_json_is_parseable_shape() {
+    let out = bin()
+        .args(["check", "--json", "--root"])
+        .arg(root())
+        .output()
+        .expect("run dbep-lint");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.trim_start().starts_with('{'),
+        "not a JSON object:\n{stdout}"
+    );
+    assert!(stdout.contains("\"count\": 0"), "stdout:\n{stdout}");
+    assert!(stdout.contains("\"findings\": []"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn check_on_seeded_violation_exits_one() {
+    // A temp tree shaped like a workspace (Cargo.toml + crates/) with
+    // one unjustified unsafe block: check must fail with exit code 1
+    // and name the site.
+    let dir = std::env::temp_dir().join(format!("dbep-lint-seed-{}", std::process::id()));
+    let src_dir = dir.join("crates/x/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn f(p: *const i32) -> i32 {\n    unsafe { *p }\n}\n",
+    )
+    .expect("write");
+    let out = bin()
+        .args(["check", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run dbep-lint");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(out.status.code(), Some(1), "seeded violation must fail the check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crates/x/src/lib.rs:2"), "stdout:\n{stdout}");
+    assert!(stdout.contains("[unsafe]"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn list_requires_a_known_rule() {
+    let out = bin()
+        .args(["list", "--rule", "nonsense", "--root"])
+        .arg(root())
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin()
+        .args(["list", "--rule", "unsafe", "--root"])
+        .arg(root())
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    assert!(!out.stdout.is_empty());
+}
+
+#[test]
+fn unknown_subcommand_exits_two() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}

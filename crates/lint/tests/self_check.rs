@@ -1,0 +1,37 @@
+//! The analyzer run against the workspace it ships in: the tree must be
+//! clean. This is what turns the four conventions into tier-1-enforced
+//! invariants — a regression anywhere in the workspace fails this test,
+//! not just the CI `analysis` job.
+
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    dbep_lint::find_root(manifest).expect("workspace root above crates/lint")
+}
+
+#[test]
+fn workspace_tree_is_clean() {
+    let root = workspace_root();
+    let report = dbep_lint::run_check(&root).expect("scan workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously small scan: {}",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message))
+        .collect();
+    assert!(report.is_clean(), "dbep-lint findings:\n{}", rendered.join("\n"));
+}
+
+#[test]
+fn list_inventories_are_nonempty() {
+    let root = workspace_root();
+    for rule in dbep_lint::RULES {
+        let lines = dbep_lint::run_list(&root, rule).expect("list");
+        assert!(!lines.is_empty(), "rule {rule} tracks nothing — scope regressed");
+    }
+}

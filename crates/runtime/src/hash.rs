@@ -85,6 +85,8 @@ fn has_sse42() -> bool {
     *HAS.get_or_init(|| std::arch::is_x86_feature_detected!("sse4.2"))
 }
 
+/// # Safety
+/// Requires SSE4.2 — callers check [`has_sse42`] first.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse4.2")]
 #[inline]

@@ -123,10 +123,19 @@ impl<T: Send + Sync> JoinHt<T> {
                 debug_assert_eq!(addr & !PTR_MASK, 0, "entry address exceeds 48 bits");
                 let slot = &ht.dir[(e.hash & ht.mask) as usize];
                 let tag = if use_tags { tag_of(e.hash) } else { 0 };
+                // ORDERING: Relaxed — seed value for the CAS loop; a
+                // stale read only costs one extra iteration.
                 let mut old = slot.load(Ordering::Relaxed);
                 loop {
+                    // ORDERING: Relaxed store of `next` — the Release
+                    // CAS below publishes it together with the slot
+                    // word; its failure ordering is Relaxed because a
+                    // failed CAS publishes nothing.
                     e.next.store(old, Ordering::Relaxed);
                     let new = (old & !PTR_MASK) | tag | addr;
+                    // ORDERING: Release on success publishes `next`
+                    // together with the slot word; Relaxed on failure —
+                    // a failed CAS publishes nothing.
                     match slot.compare_exchange_weak(old, new, Ordering::Release, Ordering::Relaxed) {
                         Ok(_) => break,
                         Err(cur) => old = cur,
@@ -171,6 +180,9 @@ impl<T: Send + Sync> JoinHt<T> {
     /// the bucket is empty or the tag filter proves the key absent.
     #[inline]
     pub fn chain_head(&self, hash: u64) -> u64 {
+        // ORDERING: Relaxed — build and probe are separate pipeline
+        // phases; the scheduler's join on the build morsels is the
+        // happens-before edge, so probes never race with inserts.
         let word = self.dir[(hash & self.mask) as usize].load(Ordering::Relaxed);
         if self.use_tags && word & tag_of(hash) == 0 {
             return 0;
@@ -193,6 +205,8 @@ impl<T: Send + Sync> JoinHt<T> {
     /// Address of the next chain entry after `e`, or 0 at chain end.
     #[inline]
     pub fn next_addr(e: &Entry<T>) -> u64 {
+        // ORDERING: Relaxed — entries are immutable once the build
+        // phase joins (see [`JoinHt::chain_head`]).
         e.next.load(Ordering::Relaxed) & PTR_MASK
     }
 

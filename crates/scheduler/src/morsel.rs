@@ -36,6 +36,9 @@ impl Morsels {
     /// Claim the next morsel; `None` once the relation is exhausted.
     #[inline]
     pub fn claim(&self) -> Option<Range<usize>> {
+        // ORDERING: Relaxed — the fetch_add's atomicity alone makes the
+        // claimed ranges disjoint; the morsel data itself is published
+        // by the scheduler's run/join edges, not by this cursor.
         let start = self.next.fetch_add(self.morsel, Ordering::Relaxed);
         if start >= self.total {
             return None;
@@ -51,6 +54,8 @@ impl Morsels {
     /// moved past the relation). Observational only — it does not
     /// consume a morsel.
     pub fn is_exhausted(&self) -> bool {
+        // ORDERING: Relaxed — advisory snapshot; a stale read only
+        // delays the caller by one wasted claim.
         self.next.load(Ordering::Relaxed) >= self.total
     }
 

@@ -66,6 +66,8 @@ struct StatsCell {
 impl StatsCell {
     fn snapshot(&self) -> RunStats {
         RunStats {
+            // ORDERING: Relaxed — monotonic stats counters; snapshots
+            // are approximate by design and publish no data.
             admission_wait: Duration::from_nanos(self.admission_wait_ns.load(Ordering::Relaxed)),
             queue_wait: Duration::from_nanos(self.queue_wait_ns.load(Ordering::Relaxed)),
             tasks: self.tasks.load(Ordering::Relaxed),
@@ -248,6 +250,8 @@ impl Scheduler {
         drop(st);
         assert!(!shutdown, "begin_query on a shut-down scheduler");
         let stats = Arc::new(StatsCell::default());
+        // ORDERING: Relaxed — stats counter, written before the cell is
+        // shared and read only through snapshots.
         stats
             .admission_wait_ns
             .store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -308,6 +312,7 @@ impl QueryRun {
     /// the engines' pacing hooks; cheap enough for per-morsel use.
     #[inline]
     pub fn add_bytes(&self, n: u64) {
+        // ORDERING: Relaxed — monotonic stats counter.
         self.stats.bytes_scanned.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -324,6 +329,7 @@ impl QueryRun {
         if morsels.total() == 0 {
             return;
         }
+        // ORDERING: Relaxed — monotonic stats counter.
         self.stats.tasks.fetch_add(1, Ordering::Relaxed);
         // SAFETY: we erase the body's lifetime to move it into the
         // worker-shared task; `run_task` blocks below until the task is
@@ -360,6 +366,9 @@ impl QueryRun {
         }
         self.inner.work_cv.notify_all();
         let mut st = self.inner.state.lock().expect("pool state");
+        // ORDERING: Relaxed — `completed` is only ever set with the
+        // state lock held (which we hold here); the mutex is the
+        // happens-before edge for everything the task wrote.
         while !task.completed.load(Ordering::Relaxed) {
             st = self.inner.done_cv.wait(st).expect("pool state");
         }
@@ -391,6 +400,10 @@ fn claim_next(inner: &PoolInner, st: &mut PoolState) -> Option<(Arc<TaskState>, 
         for k in 0..n {
             let pi = (st.cursor + k) % n;
             let task = &st.tasks[st.picks[pi]];
+            // ORDERING: Relaxed everywhere in claim_next — the
+            // TaskState flag/count atomics are read and written only
+            // with the state lock held (we hold it), so the mutex
+            // orders them; queue_wait_ns is a stats counter.
             if task.running.load(Ordering::Relaxed) >= task.max_workers {
                 continue;
             }
@@ -398,6 +411,7 @@ fn claim_next(inner: &PoolInner, st: &mut PoolState) -> Option<(Arc<TaskState>, 
                 Some(r) => {
                     st.cursor = (pi + 1) % n;
                     let task = Arc::clone(task);
+                    // ORDERING: as above — state lock held.
                     task.running.fetch_add(1, Ordering::Relaxed);
                     if !task.first_claim.swap(true, Ordering::Relaxed) {
                         task.stats
@@ -409,10 +423,12 @@ fn claim_next(inner: &PoolInner, st: &mut PoolState) -> Option<(Arc<TaskState>, 
                 None => {
                     // Retire the exhausted task; if nothing is mid-morsel
                     // it is already complete.
+                    // ORDERING: as above — state lock held.
                     task.exhausted.store(true, Ordering::Relaxed);
                     let task = Arc::clone(task);
                     st.tasks.retain(|t| !Arc::ptr_eq(t, &task));
                     st.rebuild_picks();
+                    // ORDERING: as above — state lock held.
                     if task.running.load(Ordering::Relaxed) == 0
                         && !task.completed.swap(true, Ordering::Relaxed)
                     {
@@ -441,9 +457,11 @@ fn worker_loop(inner: &PoolInner, worker_id: usize) {
         match claim_next(inner, &mut st) {
             Some((task, range)) => {
                 if last_seq.is_some_and(|s| s != task.run_seq) {
+                    // ORDERING: Relaxed — monotonic stats counter.
                     task.stats.steals.fetch_add(1, Ordering::Relaxed);
                 }
                 last_seq = Some(task.run_seq);
+                // ORDERING: Relaxed — monotonic stats counter.
                 task.stats.morsels.fetch_add(1, Ordering::Relaxed);
                 drop(st);
                 // SAFETY: the submitter blocks in `run_task` until this
@@ -451,23 +469,31 @@ fn worker_loop(inner: &PoolInner, worker_id: usize) {
                 let body = unsafe { &*task.body.0 };
                 let result = catch_unwind(AssertUnwindSafe(|| body(worker_id, range)));
                 st = inner.state.lock().expect("pool state");
+                // ORDERING: Relaxed for every TaskState flag/count
+                // atomic in this block — they are read and written only
+                // with the state lock held (reacquired above), so the
+                // mutex is the happens-before edge.
+                let was_exhausted = task.exhausted.load(Ordering::Relaxed);
                 if let Err(payload) = result {
                     *task.panic.lock().expect("task panic slot") = Some(payload);
                     // Poisoned task: stop handing out its morsels.
+                    // ORDERING: as above — state lock held.
                     task.exhausted.store(true, Ordering::Relaxed);
                     st.tasks.retain(|t| !Arc::ptr_eq(t, &task));
                     st.rebuild_picks();
-                } else if !task.exhausted.load(Ordering::Relaxed) && task.morsels.is_exhausted() {
+                } else if !was_exhausted && task.morsels.is_exhausted() {
                     // Eager barrier release: the dispenser drained while
                     // we ran its last claimed morsel. Retire the task now
                     // instead of waiting for a future pick-walk to visit
                     // it — otherwise the submitter could stay blocked
                     // behind other queries' long morsels with all of its
                     // own work already finished.
+                    // ORDERING: as above — state lock held.
                     task.exhausted.store(true, Ordering::Relaxed);
                     st.tasks.retain(|t| !Arc::ptr_eq(t, &task));
                     st.rebuild_picks();
                 }
+                // ORDERING: as above — state lock held.
                 let prev = task.running.fetch_sub(1, Ordering::Relaxed);
                 if task.exhausted.load(Ordering::Relaxed) {
                     if prev == 1 && !task.completed.swap(true, Ordering::Relaxed) {

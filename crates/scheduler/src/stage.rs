@@ -74,6 +74,8 @@ impl StageTrace {
     /// ignored (a plan/trace mismatch must not corrupt neighbours).
     pub fn record_ns(&self, idx: usize, ns: u64) {
         if let Some(slot) = self.ns.get(idx) {
+            // ORDERING: Relaxed — monotonic timing counter; totals are
+            // read after the query joins, never to synchronize.
             slot.fetch_add(ns, Ordering::Relaxed);
         }
     }
@@ -90,6 +92,8 @@ impl StageTrace {
 
     /// Snapshot of accumulated nanoseconds per stage.
     pub fn snapshot(&self) -> Vec<u64> {
+        // ORDERING: Relaxed — see [`StageTrace::record_ns`]; the
+        // query's join edge orders writes before this read.
         self.ns.iter().map(|s| s.load(Ordering::Relaxed)).collect()
     }
 }

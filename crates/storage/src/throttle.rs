@@ -37,6 +37,8 @@ impl Throttle {
     /// Account for `bytes` read and block until the device could have
     /// delivered them. Callers from any thread share the budget.
     pub fn consume(&self, bytes: usize) {
+        // ORDERING: Relaxed — only the atomically-updated running total
+        // matters for pacing; no other data rides on this counter.
         let total = self.consumed.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
         let target = Duration::from_secs_f64(total as f64 / self.bytes_per_sec);
         let elapsed = self.start.elapsed();
@@ -47,6 +49,7 @@ impl Throttle {
 
     /// Bytes consumed so far.
     pub fn total_consumed(&self) -> u64 {
+        // ORDERING: Relaxed — advisory stats read.
         self.consumed.load(Ordering::Relaxed)
     }
 }

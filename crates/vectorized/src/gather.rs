@@ -22,6 +22,11 @@ pub fn gather_i64(col: &[i64], sel: &[u32], policy: SimdPolicy, out: &mut Vec<i6
         return;
     }
     let _ = policy;
+    gather_i64_scalar(col, sel, out);
+}
+
+/// Scalar twin of the AVX-512 gather ladder.
+fn gather_i64_scalar(col: &[i64], sel: &[u32], out: &mut Vec<i64>) {
     prep(out, sel.len());
     for (o, &i) in out.iter_mut().zip(sel) {
         debug_assert!((i as usize) < col.len());
@@ -30,6 +35,10 @@ pub fn gather_i64(col: &[i64], sel: &[u32], policy: SimdPolicy, out: &mut Vec<i6
     }
 }
 
+/// # Safety
+/// Requires AVX-512F — reached only via the `Simd` dispatch arm, which
+/// checks [`simd_level`]. Every `sel` index must be in bounds for `col`:
+/// selection vectors are produced by prior primitives over the same table.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
 unsafe fn gather_i64_avx512(col: &[i64], sel: &[u32], out: &mut Vec<i64>) {
@@ -71,6 +80,11 @@ pub fn gather_packed_i64(
         return;
     }
     let _ = policy;
+    gather_packed_i64_scalar(col, sel, out);
+}
+
+/// Scalar twin of the AVX-512 packed-gather ladder.
+fn gather_packed_i64_scalar(col: &dbep_storage::PackedInts, sel: &[u32], out: &mut Vec<i64>) {
     prep(out, sel.len());
     for (o, &i) in out.iter_mut().zip(sel) {
         debug_assert!((i as usize) < col.len());
@@ -78,6 +92,12 @@ pub fn gather_packed_i64(
     }
 }
 
+/// # Safety
+/// Requires AVX-512F/DQ — reached only via the `Simd` dispatch arm, which
+/// checks [`simd_level`]. `col.width()` must be in `1..=MAX_PACKED_WIDTH`
+/// (the dispatcher checks): the +1 pad word of every `PackedInts` keeps
+/// each 8-byte gather window in bounds. Every `sel` index must be in
+/// bounds for `col`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512dq")]
 unsafe fn gather_packed_i64_avx512(col: &dbep_storage::PackedInts, sel: &[u32], out: &mut Vec<i64>) {

@@ -84,6 +84,9 @@ pub fn hash_i32_dense(col: &[i32], hf: HashFn, out: &mut Vec<u64>) {
 // SIMD hashing (Fig. 8a): 8-lane Murmur2 with AVX-512DQ 64-bit multiply.
 // ---------------------------------------------------------------------
 
+/// # Safety
+/// Requires AVX-512F/DQ — reached only via the `Simd` dispatch arm,
+/// which checks [`simd_level`].
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512dq")]
 unsafe fn murmur2_u64_avx512(keys: &[u64], out: &mut Vec<u64>) {
@@ -124,6 +127,11 @@ pub fn murmur2_u64_vec(keys: &[u64], policy: SimdPolicy, out: &mut Vec<u64>) {
         return;
     }
     let _ = policy;
+    murmur2_u64_scalar(keys, out);
+}
+
+/// Scalar twin of the 8-lane Murmur2 kernel.
+fn murmur2_u64_scalar(keys: &[u64], out: &mut Vec<u64>) {
     prep(out, keys.len());
     for (o, &k) in out.iter_mut().zip(keys) {
         *o = murmur2(k);

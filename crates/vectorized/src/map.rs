@@ -68,6 +68,10 @@ fn str_prefix_flags_scalar(col: &StrColumn, sel: &[u32], prefix: &[u8], out: &mu
     }
 }
 
+/// # Safety
+/// Requires AVX-512 (the attribute exists so LLVM may auto-vectorize
+/// the scalar body with 512-bit registers); reached only via the
+/// non-scalar dispatch arms, which check [`simd_level`].
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
 unsafe fn str_prefix_flags_autovec(col: &StrColumn, sel: &[u32], prefix: &[u8], out: &mut Vec<u8>) {
@@ -109,6 +113,9 @@ fn sum_i64_where_u8_scalar(vals: &[i64], flags: &[u8]) -> i64 {
     s
 }
 
+/// # Safety
+/// Requires the AVX-512 features named in `target_feature` — reached
+/// only via the `Simd` dispatch arm, which checks [`simd_level`].
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw,avx512vl")]
 unsafe fn sum_i64_where_u8_avx512(vals: &[i64], flags: &[u8]) -> i64 {
@@ -151,6 +158,9 @@ fn count_nonzero_u8_scalar(flags: &[u8]) -> i64 {
     n
 }
 
+/// # Safety
+/// Requires the AVX-512 features named in `target_feature` — reached
+/// only via the `Simd` dispatch arm, which checks [`simd_level`].
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw,avx512vl")]
 unsafe fn count_nonzero_u8_avx512(flags: &[u8]) -> i64 {
@@ -194,6 +204,9 @@ fn sum_i64_scalar(vals: &[i64]) -> i64 {
     s
 }
 
+/// # Safety
+/// Requires AVX-512F — reached only via the `Simd` dispatch arm,
+/// which checks [`simd_level`].
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
 unsafe fn sum_i64_avx512(vals: &[i64]) -> i64 {

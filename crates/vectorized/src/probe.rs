@@ -112,6 +112,11 @@ fn probe_round_scalar<T: Send + Sync>(
     }
 }
 
+/// # Safety
+/// Requires AVX-512F/VL — reached only via the `Simd` dispatch arm,
+/// which checks [`simd_level`]. Candidate addresses in `bufs` must be
+/// live entry addresses of `ht`'s chains (the gathers dereference them
+/// as absolute pointers).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512vl")]
 unsafe fn probe_round_avx512<T: Send + Sync>(
@@ -257,6 +262,11 @@ fn semijoin_round_scalar<T: Send + Sync>(
     }
 }
 
+/// # Safety
+/// Requires AVX-512F/VL — reached only via the `Simd` dispatch arm,
+/// which checks [`simd_level`]. Candidate addresses in `bufs` must be
+/// live entry addresses of `ht`'s chains (the gathers dereference them
+/// as absolute pointers).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512vl")]
 unsafe fn semijoin_round_avx512<T: Send + Sync>(

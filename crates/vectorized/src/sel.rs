@@ -43,7 +43,7 @@ pub const CMP_GE: i32 = 5;
 pub const CMP_GT: i32 = 6;
 
 #[inline(always)]
-fn cmp_scalar<const OP: i32, T: PartialOrd>(a: T, b: T) -> bool {
+fn cmp_op<const OP: i32, T: PartialOrd>(a: T, b: T) -> bool {
     match OP {
         CMP_EQ => a == b,
         CMP_LT => a < b,
@@ -78,7 +78,7 @@ macro_rules! scalar_dense {
             for (i, &v) in col.iter().enumerate() {
                 // SAFETY: k <= i < col.len() <= reserved capacity.
                 unsafe { *p.add(k) = base + i as u32 };
-                k += cmp_scalar::<OP, $ty>(v, c) as usize;
+                k += cmp_op::<OP, $ty>(v, c) as usize;
             }
             // SAFETY: the first k slots were initialized above.
             unsafe { out.set_len(k) };
@@ -100,8 +100,9 @@ macro_rules! scalar_sparse {
                 // by a prior primitive over this column's table.
                 let v = unsafe { *col.get_unchecked(i as usize) };
                 unsafe { *p.add(k) = i };
-                k += cmp_scalar::<OP, $ty>(v, c) as usize;
+                k += cmp_op::<OP, $ty>(v, c) as usize;
             }
+            // SAFETY: the first k slots were initialized above.
             unsafe { out.set_len(k) };
             k
         }
@@ -118,6 +119,7 @@ fn dense_between_i64_scalar(col: &[i64], lo: i64, hi: i64, base: u32, out: &mut 
         unsafe { *p.add(k) = base + i as u32 };
         k += (v >= lo && v <= hi) as usize;
     }
+    // SAFETY: the first k slots were initialized above.
     unsafe { out.set_len(k) };
     k
 }
@@ -132,6 +134,7 @@ fn sparse_between_i64_scalar(col: &[i64], lo: i64, hi: i64, in_sel: &[u32], out:
         unsafe { *p.add(k) = i };
         k += (v >= lo && v <= hi) as usize;
     }
+    // SAFETY: the first k slots were initialized above.
     unsafe { out.set_len(k) };
     k
 }
@@ -143,8 +146,9 @@ fn dense_cmp_i32_col_scalar<const OP: i32>(a: &[i32], b: &[i32], base: u32, out:
     for i in 0..a.len() {
         // SAFETY: k <= i < reserved capacity.
         unsafe { *p.add(k) = base + i as u32 };
-        k += cmp_scalar::<OP, i32>(a[i], b[i]) as usize;
+        k += cmp_op::<OP, i32>(a[i], b[i]) as usize;
     }
+    // SAFETY: the first k slots were initialized above.
     unsafe { out.set_len(k) };
     k
 }
@@ -162,8 +166,9 @@ fn sparse_cmp_i32_col_scalar<const OP: i32>(
         // SAFETY: selection vectors index their source table.
         let (va, vb) = unsafe { (*a.get_unchecked(i as usize), *b.get_unchecked(i as usize)) };
         unsafe { *p.add(k) = i };
-        k += cmp_scalar::<OP, i32>(va, vb) as usize;
+        k += cmp_op::<OP, i32>(va, vb) as usize;
     }
+    // SAFETY: the first k slots were initialized above.
     unsafe { out.set_len(k) };
     k
 }
@@ -179,8 +184,9 @@ fn packed_dense_scalar<const OP: i32>(
     for i in chunk {
         // SAFETY: k < chunk.len() <= reserved capacity.
         unsafe { *p.add(k) = i as u32 };
-        k += cmp_scalar::<OP, i64>(col.get(i), c) as usize;
+        k += cmp_op::<OP, i64>(col.get(i), c) as usize;
     }
+    // SAFETY: the first k slots were initialized above.
     unsafe { out.set_len(k) };
     k
 }
@@ -197,8 +203,9 @@ fn packed_sparse_scalar<const OP: i32>(
         debug_assert!((i as usize) < col.len());
         // SAFETY: k <= position < reserved capacity.
         unsafe { *p.add(k) = i };
-        k += cmp_scalar::<OP, i64>(col.get(i as usize), c) as usize;
+        k += cmp_op::<OP, i64>(col.get(i as usize), c) as usize;
     }
+    // SAFETY: the first k slots were initialized above.
     unsafe { out.set_len(k) };
     k
 }
@@ -218,6 +225,7 @@ fn packed_between_dense_scalar(
         unsafe { *p.add(k) = i as u32 };
         k += (v >= lo && v <= hi) as usize;
     }
+    // SAFETY: the first k slots were initialized above.
     unsafe { out.set_len(k) };
     k
 }
@@ -238,11 +246,12 @@ fn packed_between_sparse_scalar(
         unsafe { *p.add(k) = i };
         k += (v >= lo && v <= hi) as usize;
     }
+    // SAFETY: the first k slots were initialized above.
     unsafe { out.set_len(k) };
     k
 }
 
-fn code_dense_scalar(codes: &[u8], code: u8, base: u32, out: &mut Vec<u32>) -> usize {
+fn dense_code_eq_scalar(codes: &[u8], code: u8, base: u32, out: &mut Vec<u32>) -> usize {
     let p = out_ptr(out, codes.len());
     let mut k = 0usize;
     for (i, &v) in codes.iter().enumerate() {
@@ -250,11 +259,12 @@ fn code_dense_scalar(codes: &[u8], code: u8, base: u32, out: &mut Vec<u32>) -> u
         unsafe { *p.add(k) = base + i as u32 };
         k += (v == code) as usize;
     }
+    // SAFETY: the first k slots were initialized above.
     unsafe { out.set_len(k) };
     k
 }
 
-fn code_sparse_scalar(codes: &[u8], code: u8, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
+fn sparse_code_eq_scalar(codes: &[u8], code: u8, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
     let p = out_ptr(out, in_sel.len());
     let mut k = 0usize;
     for &i in in_sel {
@@ -264,6 +274,7 @@ fn code_sparse_scalar(codes: &[u8], code: u8, in_sel: &[u32], out: &mut Vec<u32>
         unsafe { *p.add(k) = i };
         k += (v == code) as usize;
     }
+    // SAFETY: the first k slots were initialized above.
     unsafe { out.set_len(k) };
     k
 }
@@ -277,6 +288,9 @@ mod avx512 {
     use super::*;
     use std::arch::x86_64::*;
 
+    /// # Safety
+    /// Requires the AVX-512 features named in `target_feature` — reached
+    /// only via the `Simd` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f")]
     pub unsafe fn dense_i32<const OP: i32>(col: &[i32], c: i32, base: u32, out: &mut Vec<u32>) -> usize {
         let n = col.len();
@@ -299,13 +313,18 @@ mod avx512 {
         }
         while i < n {
             *p.add(k) = base + i as u32;
-            k += cmp_scalar::<OP, i32>(*col.get_unchecked(i), c) as usize;
+            k += cmp_op::<OP, i32>(*col.get_unchecked(i), c) as usize;
             i += 1;
         }
         out.set_len(k);
         k
     }
 
+    /// # Safety
+    /// Requires the AVX-512 features named in `target_feature` — reached
+    /// only via the `Simd` dispatch arms, which check [`simd_level`].
+    /// Every `in_sel` index must be in bounds for the column: selection
+    /// vectors are produced by prior primitives over the same table.
     #[target_feature(enable = "avx512f")]
     pub unsafe fn sparse_i32<const OP: i32>(
         col: &[i32],
@@ -329,13 +348,18 @@ mod avx512 {
         while i < n {
             let row = *in_sel.get_unchecked(i);
             *p.add(k) = row;
-            k += cmp_scalar::<OP, i32>(*col.get_unchecked(row as usize), c) as usize;
+            k += cmp_op::<OP, i32>(*col.get_unchecked(row as usize), c) as usize;
             i += 1;
         }
         out.set_len(k);
         k
     }
 
+    /// # Safety
+    /// Requires the AVX-512 features named in `target_feature` — reached
+    /// only via the `Simd` dispatch arms, which check [`simd_level`].
+    /// Every `in_sel` index must be in bounds for the column: selection
+    /// vectors are produced by prior primitives over the same table.
     #[target_feature(enable = "avx512f,avx512vl")]
     pub unsafe fn sparse_i64<const OP: i32>(
         col: &[i64],
@@ -359,13 +383,18 @@ mod avx512 {
         while i < n {
             let row = *in_sel.get_unchecked(i);
             *p.add(k) = row;
-            k += cmp_scalar::<OP, i64>(*col.get_unchecked(row as usize), c) as usize;
+            k += cmp_op::<OP, i64>(*col.get_unchecked(row as usize), c) as usize;
             i += 1;
         }
         out.set_len(k);
         k
     }
 
+    /// # Safety
+    /// Requires the AVX-512 features named in `target_feature` — reached
+    /// only via the `Simd` dispatch arms, which check [`simd_level`].
+    /// Every `in_sel` index must be in bounds for the column: selection
+    /// vectors are produced by prior primitives over the same table.
     #[target_feature(enable = "avx512f,avx512vl")]
     pub unsafe fn sparse_between_i64(
         col: &[i64],
@@ -399,6 +428,9 @@ mod avx512 {
         k
     }
 
+    /// # Safety
+    /// Requires the AVX-512 features named in `target_feature` — reached
+    /// only via the `Simd` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f")]
     pub unsafe fn dense_cmp_i32_col<const OP: i32>(
         a: &[i32],
@@ -427,13 +459,18 @@ mod avx512 {
         }
         while i < n {
             *p.add(k) = base + i as u32;
-            k += cmp_scalar::<OP, i32>(*a.get_unchecked(i), *b.get_unchecked(i)) as usize;
+            k += cmp_op::<OP, i32>(*a.get_unchecked(i), *b.get_unchecked(i)) as usize;
             i += 1;
         }
         out.set_len(k);
         k
     }
 
+    /// # Safety
+    /// Requires the AVX-512 features named in `target_feature` — reached
+    /// only via the `Simd` dispatch arms, which check [`simd_level`].
+    /// Every `in_sel` index must be in bounds for the column: selection
+    /// vectors are produced by prior primitives over the same table.
     #[target_feature(enable = "avx512f")]
     pub unsafe fn sparse_cmp_i32_col<const OP: i32>(
         a: &[i32],
@@ -457,14 +494,16 @@ mod avx512 {
         while i < n {
             let row = *in_sel.get_unchecked(i);
             *p.add(k) = row;
-            k += cmp_scalar::<OP, i32>(*a.get_unchecked(row as usize), *b.get_unchecked(row as usize))
-                as usize;
+            k += cmp_op::<OP, i32>(*a.get_unchecked(row as usize), *b.get_unchecked(row as usize)) as usize;
             i += 1;
         }
         out.set_len(k);
         k
     }
 
+    /// # Safety
+    /// Requires the AVX-512 features named in `target_feature` — reached
+    /// only via the `Simd` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f")]
     pub unsafe fn dense_between_i64(col: &[i64], lo: i64, hi: i64, base: u32, out: &mut Vec<u32>) -> usize {
         let n = col.len();
@@ -498,6 +537,9 @@ mod avx512 {
         k
     }
 
+    /// # Safety
+    /// Requires the AVX-512 features named in `target_feature` — reached
+    /// only via the `Simd` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f")]
     pub unsafe fn dense_i64<const OP: i32>(col: &[i64], c: i64, base: u32, out: &mut Vec<u32>) -> usize {
         let n = col.len();
@@ -522,7 +564,7 @@ mod avx512 {
         }
         while i < n {
             *p.add(k) = base + i as u32;
-            k += cmp_scalar::<OP, i64>(*col.get_unchecked(i), c) as usize;
+            k += cmp_op::<OP, i64>(*col.get_unchecked(i), c) as usize;
             i += 1;
         }
         out.set_len(k);
@@ -540,6 +582,12 @@ mod avx512 {
     // every `PackedInts` allocation keeps the last gather in bounds.
     // -----------------------------------------------------------------
 
+    /// # Safety
+    /// Requires the AVX-512 features named in `target_feature` — reached
+    /// only via the `Simd` dispatch arms, which check [`simd_level`].
+    /// `col.width()` must be in `1..=MAX_PACKED_WIDTH` (callers check
+    /// `packed_simd_ok`): the +1 pad word of every `PackedInts` keeps
+    /// each 8-byte gather window in bounds.
     #[target_feature(enable = "avx512f")]
     pub unsafe fn packed_dense<const OP: i32>(
         col: &PackedInts,
@@ -588,13 +636,19 @@ mod avx512 {
         }
         while i < chunk.end {
             *p.add(k) = i as u32;
-            k += cmp_scalar::<OP, i64>(col.get(i), c) as usize;
+            k += cmp_op::<OP, i64>(col.get(i), c) as usize;
             i += 1;
         }
         out.set_len(k);
         k
     }
 
+    /// # Safety
+    /// Requires the AVX-512 features named in `target_feature` — reached
+    /// only via the `Simd` dispatch arms, which check [`simd_level`].
+    /// `col.width()` must be in `1..=MAX_PACKED_WIDTH` (callers check
+    /// `packed_simd_ok`): the +1 pad word of every `PackedInts` keeps
+    /// each 8-byte gather window in bounds.
     #[target_feature(enable = "avx512f")]
     pub unsafe fn packed_between_dense(
         col: &PackedInts,
@@ -654,6 +708,14 @@ mod avx512 {
         k
     }
 
+    /// # Safety
+    /// Requires the AVX-512 features named in `target_feature` — reached
+    /// only via the `Simd` dispatch arms, which check [`simd_level`].
+    /// Every `in_sel` index must be in bounds for the column: selection
+    /// vectors are produced by prior primitives over the same table.
+    /// `col.width()` must be in `1..=MAX_PACKED_WIDTH` (callers check
+    /// `packed_simd_ok`): the +1 pad word of every `PackedInts` keeps
+    /// each 8-byte gather window in bounds.
     #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
     pub unsafe fn packed_sparse<const OP: i32>(
         col: &PackedInts,
@@ -688,13 +750,21 @@ mod avx512 {
         while i < n {
             let row = *in_sel.get_unchecked(i);
             *p.add(k) = row;
-            k += cmp_scalar::<OP, i64>(col.get(row as usize), c) as usize;
+            k += cmp_op::<OP, i64>(col.get(row as usize), c) as usize;
             i += 1;
         }
         out.set_len(k);
         k
     }
 
+    /// # Safety
+    /// Requires the AVX-512 features named in `target_feature` — reached
+    /// only via the `Simd` dispatch arms, which check [`simd_level`].
+    /// Every `in_sel` index must be in bounds for the column: selection
+    /// vectors are produced by prior primitives over the same table.
+    /// `col.width()` must be in `1..=MAX_PACKED_WIDTH` (callers check
+    /// `packed_simd_ok`): the +1 pad word of every `PackedInts` keeps
+    /// each 8-byte gather window in bounds.
     #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
     pub unsafe fn packed_between_sparse(
         col: &PackedInts,
@@ -742,6 +812,10 @@ mod avx512 {
 
     /// Dictionary-code equality over a dense code chunk: 64 codes per
     /// 512-bit compare, indices compressed in four 16-lane groups.
+    ///
+    /// # Safety
+    /// Requires the AVX-512 features named in `target_feature` — reached
+    /// only via the `Simd` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f,avx512bw")]
     pub unsafe fn dense_code_eq(codes: &[u8], code: u8, base: u32, out: &mut Vec<u32>) -> usize {
         let n = codes.len();
@@ -800,6 +874,9 @@ mod avx2 {
         })
     }
 
+    /// # Safety
+    /// Requires AVX2 — reached only via the `Simd` dispatch arms, which
+    /// check [`simd_level`].
     #[target_feature(enable = "avx2")]
     pub unsafe fn dense_i32<const OP: i32>(col: &[i32], c: i32, base: u32, out: &mut Vec<u32>) -> usize {
         let n = col.len();
@@ -835,13 +912,18 @@ mod avx2 {
         }
         while i < n {
             *p.add(k) = base + i as u32;
-            k += cmp_scalar::<OP, i32>(*col.get_unchecked(i), c) as usize;
+            k += cmp_op::<OP, i32>(*col.get_unchecked(i), c) as usize;
             i += 1;
         }
         out.set_len(k);
         k
     }
 
+    /// # Safety
+    /// Requires AVX2 — reached only via the `Simd` dispatch arms, which
+    /// check [`simd_level`].
+    /// Every `in_sel` index must be in bounds for the column: selection
+    /// vectors are produced by prior primitives over the same table.
     #[target_feature(enable = "avx2")]
     pub unsafe fn sparse_i32<const OP: i32>(
         col: &[i32],
@@ -876,7 +958,7 @@ mod avx2 {
         while i < n {
             let row = *in_sel.get_unchecked(i);
             *p.add(k) = row;
-            k += cmp_scalar::<OP, i32>(*col.get_unchecked(row as usize), c) as usize;
+            k += cmp_op::<OP, i32>(*col.get_unchecked(row as usize), c) as usize;
             i += 1;
         }
         out.set_len(k);
@@ -892,11 +974,19 @@ mod avx2 {
 
 #[cfg(target_arch = "x86_64")]
 mod autovec {
+    /// # Safety
+    /// Requires AVX-512 (the attribute exists so LLVM may auto-vectorize
+    /// the scalar body with 512-bit registers); reached only via the
+    /// `Auto` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
     pub unsafe fn dense_i32<const OP: i32>(col: &[i32], c: i32, base: u32, out: &mut Vec<u32>) -> usize {
         super::dense_i32_scalar::<OP>(col, c, base, out)
     }
 
+    /// # Safety
+    /// Requires AVX-512 (the attribute exists so LLVM may auto-vectorize
+    /// the scalar body with 512-bit registers); reached only via the
+    /// `Auto` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
     pub unsafe fn sparse_i32<const OP: i32>(
         col: &[i32],
@@ -907,6 +997,10 @@ mod autovec {
         super::sparse_i32_scalar::<OP>(col, c, in_sel, out)
     }
 
+    /// # Safety
+    /// Requires AVX-512 (the attribute exists so LLVM may auto-vectorize
+    /// the scalar body with 512-bit registers); reached only via the
+    /// `Auto` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
     pub unsafe fn sparse_i64<const OP: i32>(
         col: &[i64],
@@ -917,6 +1011,10 @@ mod autovec {
         super::sparse_i64_scalar::<OP>(col, c, in_sel, out)
     }
 
+    /// # Safety
+    /// Requires AVX-512 (the attribute exists so LLVM may auto-vectorize
+    /// the scalar body with 512-bit registers); reached only via the
+    /// `Auto` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
     pub unsafe fn dense_cmp_i32_col<const OP: i32>(
         a: &[i32],
@@ -927,6 +1025,10 @@ mod autovec {
         super::dense_cmp_i32_col_scalar::<OP>(a, b, base, out)
     }
 
+    /// # Safety
+    /// Requires AVX-512 (the attribute exists so LLVM may auto-vectorize
+    /// the scalar body with 512-bit registers); reached only via the
+    /// `Auto` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
     pub unsafe fn sparse_cmp_i32_col<const OP: i32>(
         a: &[i32],
@@ -937,11 +1039,19 @@ mod autovec {
         super::sparse_cmp_i32_col_scalar::<OP>(a, b, in_sel, out)
     }
 
+    /// # Safety
+    /// Requires AVX-512 (the attribute exists so LLVM may auto-vectorize
+    /// the scalar body with 512-bit registers); reached only via the
+    /// `Auto` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
     pub unsafe fn dense_i64<const OP: i32>(col: &[i64], c: i64, base: u32, out: &mut Vec<u32>) -> usize {
         super::dense_i64_scalar::<OP>(col, c, base, out)
     }
 
+    /// # Safety
+    /// Requires AVX-512 (the attribute exists so LLVM may auto-vectorize
+    /// the scalar body with 512-bit registers); reached only via the
+    /// `Auto` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
     pub unsafe fn packed_dense<const OP: i32>(
         col: &super::PackedInts,
@@ -952,6 +1062,10 @@ mod autovec {
         super::packed_dense_scalar::<OP>(col, c, chunk, out)
     }
 
+    /// # Safety
+    /// Requires AVX-512 (the attribute exists so LLVM may auto-vectorize
+    /// the scalar body with 512-bit registers); reached only via the
+    /// `Auto` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
     pub unsafe fn packed_sparse<const OP: i32>(
         col: &super::PackedInts,
@@ -962,6 +1076,10 @@ mod autovec {
         super::packed_sparse_scalar::<OP>(col, c, in_sel, out)
     }
 
+    /// # Safety
+    /// Requires AVX-512 (the attribute exists so LLVM may auto-vectorize
+    /// the scalar body with 512-bit registers); reached only via the
+    /// `Auto` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
     pub unsafe fn packed_between_dense(
         col: &super::PackedInts,
@@ -973,6 +1091,10 @@ mod autovec {
         super::packed_between_dense_scalar(col, lo, hi, chunk, out)
     }
 
+    /// # Safety
+    /// Requires AVX-512 (the attribute exists so LLVM may auto-vectorize
+    /// the scalar body with 512-bit registers); reached only via the
+    /// `Auto` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
     pub unsafe fn packed_between_sparse(
         col: &super::PackedInts,
@@ -984,14 +1106,22 @@ mod autovec {
         super::packed_between_sparse_scalar(col, lo, hi, in_sel, out)
     }
 
+    /// # Safety
+    /// Requires AVX-512 (the attribute exists so LLVM may auto-vectorize
+    /// the scalar body with 512-bit registers); reached only via the
+    /// `Auto` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
     pub unsafe fn dense_code_eq(codes: &[u8], code: u8, base: u32, out: &mut Vec<u32>) -> usize {
-        super::code_dense_scalar(codes, code, base, out)
+        super::dense_code_eq_scalar(codes, code, base, out)
     }
 
+    /// # Safety
+    /// Requires AVX-512 (the attribute exists so LLVM may auto-vectorize
+    /// the scalar body with 512-bit registers); reached only via the
+    /// `Auto` dispatch arms, which check [`simd_level`].
     #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
     pub unsafe fn sparse_code_eq(codes: &[u8], code: u8, in_sel: &[u32], out: &mut Vec<u32>) -> usize {
-        super::code_sparse_scalar(codes, code, in_sel, out)
+        super::sparse_code_eq_scalar(codes, code, in_sel, out)
     }
 }
 
@@ -1010,9 +1140,11 @@ macro_rules! dispatch_dense_i32 {
                     return unsafe { avx512::dense_i32::<{ $op }>(col, c, base, out) };
                 }
                 (SimdPolicy::Simd, SimdLevel::Avx2) => {
+                    // SAFETY: ISA presence checked by simd_level().
                     return unsafe { avx2::dense_i32::<{ $op }>(col, c, base, out) };
                 }
                 (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                    // SAFETY: ISA presence checked by simd_level().
                     return unsafe { autovec::dense_i32::<{ $op }>(col, c, base, out) };
                 }
                 _ => {}
@@ -1038,9 +1170,11 @@ macro_rules! dispatch_sparse_i32 {
                     return unsafe { avx512::sparse_i32::<{ $op }>(col, c, in_sel, out) };
                 }
                 (SimdPolicy::Simd, SimdLevel::Avx2) => {
+                    // SAFETY: ISA presence checked by simd_level().
                     return unsafe { avx2::sparse_i32::<{ $op }>(col, c, in_sel, out) };
                 }
                 (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                    // SAFETY: ISA presence checked by simd_level().
                     return unsafe { autovec::sparse_i32::<{ $op }>(col, c, in_sel, out) };
                 }
                 _ => {}
@@ -1066,6 +1200,7 @@ macro_rules! dispatch_sparse_i64 {
                     return unsafe { avx512::sparse_i64::<{ $op }>(col, c, in_sel, out) };
                 }
                 (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                    // SAFETY: ISA presence checked by simd_level().
                     return unsafe { autovec::sparse_i64::<{ $op }>(col, c, in_sel, out) };
                 }
                 _ => {}
@@ -1089,6 +1224,7 @@ macro_rules! dispatch_dense_i64 {
                     return unsafe { avx512::dense_i64::<{ $op }>(col, c, base, out) };
                 }
                 (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                    // SAFETY: ISA presence checked by simd_level().
                     return unsafe { autovec::dense_i64::<{ $op }>(col, c, base, out) };
                 }
                 _ => {}
@@ -1133,6 +1269,7 @@ macro_rules! dispatch_packed_dense {
                         return unsafe { avx512::packed_dense::<{ $op }>(col, c, chunk, out) };
                     }
                     (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                        // SAFETY: ISA presence checked by simd_level().
                         return unsafe { autovec::packed_dense::<{ $op }>(col, c, chunk, out) };
                     }
                     _ => {}
@@ -1173,6 +1310,7 @@ macro_rules! dispatch_packed_sparse {
                         return unsafe { avx512::packed_sparse::<{ $op }>(col, c, in_sel, out) };
                     }
                     (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                        // SAFETY: ISA presence checked by simd_level().
                         return unsafe { autovec::packed_sparse::<{ $op }>(col, c, in_sel, out) };
                     }
                     _ => {}
@@ -1209,6 +1347,7 @@ fn between_for_dense(
                 return unsafe { avx512::packed_between_dense(col, lo, hi, chunk, out) };
             }
             (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                // SAFETY: ISA presence checked by simd_level().
                 return unsafe { autovec::packed_between_dense(col, lo, hi, chunk, out) };
             }
             _ => {}
@@ -1233,6 +1372,7 @@ fn between_for_sparse(
                 return unsafe { avx512::packed_between_sparse(col, lo, hi, in_sel, out) };
             }
             (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                // SAFETY: ISA presence checked by simd_level().
                 return unsafe { autovec::packed_between_sparse(col, lo, hi, in_sel, out) };
             }
             _ => {}
@@ -1301,11 +1441,12 @@ pub fn sel_eq_code_dense(codes: &[u8], code: u8, base: u32, out: &mut Vec<u32>, 
             return unsafe { avx512::dense_code_eq(codes, code, base, out) };
         }
         (SimdPolicy::Auto, SimdLevel::Avx512) => {
+            // SAFETY: ISA presence checked by simd_level().
             return unsafe { autovec::dense_code_eq(codes, code, base, out) };
         }
         _ => {}
     }
-    code_dense_scalar(codes, code, base, out)
+    dense_code_eq_scalar(codes, code, base, out)
 }
 
 /// Sparse dictionary-code equality refining an input selection vector
@@ -1322,7 +1463,7 @@ pub fn sel_eq_code_sparse(
         // SAFETY: ISA presence checked by simd_level().
         return unsafe { autovec::sparse_code_eq(codes, code, in_sel, out) };
     }
-    code_sparse_scalar(codes, code, in_sel, out)
+    sparse_code_eq_scalar(codes, code, in_sel, out)
 }
 
 /// Dense `lo <= v <= hi` on a 64-bit column.
@@ -1371,6 +1512,7 @@ macro_rules! dispatch_dense_i32_col {
                     return unsafe { avx512::dense_cmp_i32_col::<{ $op }>(a, b, base, out) };
                 }
                 (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                    // SAFETY: ISA presence checked by simd_level().
                     return unsafe { autovec::dense_cmp_i32_col::<{ $op }>(a, b, base, out) };
                 }
                 _ => {}
@@ -1393,6 +1535,7 @@ macro_rules! dispatch_sparse_i32_col {
                     return unsafe { avx512::sparse_cmp_i32_col::<{ $op }>(a, b, in_sel, out) };
                 }
                 (SimdPolicy::Auto, SimdLevel::Avx512) => {
+                    // SAFETY: ISA presence checked by simd_level().
                     return unsafe { autovec::sparse_cmp_i32_col::<{ $op }>(a, b, in_sel, out) };
                 }
                 _ => {}
@@ -1451,6 +1594,7 @@ pub fn sel_eq_char_dense(col: &[u8], c: u8, base: u32, out: &mut Vec<u32>) -> us
         unsafe { *p.add(k) = base + i as u32 };
         k += (v == c) as usize;
     }
+    // SAFETY: the first k slots were initialized above.
     unsafe { out.set_len(k) };
     k
 }
