@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Ids: `fig3 table1 fig4 fig5 ssb table2 fig6 fig7 fig8 fig9 fig10
-//! table3 table4 table5 fig11 oltp table6 query serve compression all`. Each prints the
+//! table3 table4 table5 fig11 oltp table6 query serve metrics
+//! compression all`. Each prints the
 //! same rows/series the paper reports (EXPERIMENTS.md records paper-
 //! versus-measured). Scale-factor defaults are sized for a ~20 GB host;
 //! pass `--sf` to reproduce the paper's exact scales on bigger machines.
@@ -43,6 +44,17 @@
 //! and per-query scheduler stats (admission wait, queue wait,
 //! morsels, steals, bytes scanned). Example:
 //! `experiments -- serve --sf 0.1 --clients 1,4,16 --duration-ms 2000`.
+//!
+//! Observability surfaces: `query --trace out.json` attaches the span
+//! sink and exports the run as Chrome `trace_event` JSON (load in
+//! Perfetto / `chrome://tracing`); `metrics` drives the mixed workload
+//! through a metrics-attached `Session` and dumps the registry as JSON
+//! (default) or Prometheus text (`--prom`); `table1 --per-stage` reads
+//! grouped hardware counters around every pipeline stage and prints
+//! Table-1-style per-stage rows with a whole-run cross-check;
+//! `serve --obs` runs every scenario with the span sink and metrics
+//! bundle attached (the tracing-overhead benchmark) and embeds each
+//! scenario's metric snapshot in the JSON document.
 //!
 //! `--encoded` (supported by `fig3`, `query` and `serve`) builds the
 //! compressed companion columns after generation, so bandwidth-bound
@@ -80,6 +92,15 @@ struct Args {
     mode: String,
     /// Build compressed companions after generation (`--encoded`).
     encoded: bool,
+    /// `query`: export a Chrome `trace_event` JSON file (`--trace out.json`).
+    trace: Option<String>,
+    /// `table1`: per-stage hardware-counter rows (`--per-stage`).
+    per_stage: bool,
+    /// `metrics`: Prometheus text exposition instead of JSON (`--prom`).
+    prom: bool,
+    /// `serve`: attach the observability layer — span sink, metrics
+    /// bundle, per-scenario metric snapshots (`--obs`).
+    obs: bool,
 }
 
 impl Args {
@@ -155,6 +176,10 @@ fn parse_args() -> Args {
         duration_ms: 2000,
         mode: "both".to_string(),
         encoded: false,
+        trace: None,
+        per_stage: false,
+        prom: false,
+        obs: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -174,6 +199,12 @@ fn parse_args() -> Args {
             "--no-tag" => args.no_tag = true,
             "--json" => args.json = true,
             "--encoded" => args.encoded = true,
+            "--per-stage" => args.per_stage = true,
+            "--prom" => args.prom = true,
+            "--obs" => args.obs = true,
+            "--trace" => {
+                args.trace = Some(flag_value(&mut it, "--trace", "<path>, e.g. --trace trace.json"));
+            }
             "--query" => {
                 let v = flag_value(&mut it, "--query", "<name>");
                 args.query = Some(parse_value(&v, "--query", "<name>, e.g. --query q3"));
@@ -347,6 +378,9 @@ fn fig3_json(a: &Args) {
 // With --json: machine-readable per-query counters.
 // ---------------------------------------------------------------------
 fn table1(a: &Args) {
+    if a.per_stage {
+        return table1_per_stage(a);
+    }
     if a.json {
         return table1_json(a);
     }
@@ -427,6 +461,218 @@ fn table1_json(a: &Args) {
         .field("rows", json::array(rows))
         .build();
     println!("{doc}");
+}
+
+/// `table1 --per-stage`: grouped hardware counters (cycles,
+/// instructions, LLC misses, branch misses) read around every pipeline
+/// stage of every registered query — Table-1 attribution sliced by
+/// stage instead of whole query. Single-threaded runs so the whole-run
+/// group delta on the calling thread is an independent cross-check of
+/// the per-stage sum (the gap is glue outside stage brackets). Falls
+/// back to wall-time-only rows when perf is unavailable.
+fn table1_per_stage(a: &Args) {
+    use dbep_bench::json;
+    use dbep_core::scheduler::StageTrace;
+    use dbep_runtime::counters::{with_thread_group, GroupReading, StageCounters};
+    let sf = a.sf.unwrap_or(1.0);
+    let queries = a.queries(&QueryId::ALL);
+    let engines = match a.engine {
+        Some(e) => vec![e],
+        None => vec![Engine::Typer, Engine::Tectorwise],
+    };
+    let tpch = queries
+        .iter()
+        .any(|q| !QueryId::SSB.contains(q))
+        .then(|| gen_tpch(sf));
+    let ssb_db = queries
+        .iter()
+        .any(|q| QueryId::SSB.contains(q))
+        .then(|| gen_ssb(sf));
+    let hw = with_thread_group(|g| g.len()).is_some();
+    struct StageRow {
+        name: &'static str,
+        kind: &'static str,
+        wall_ns: u64,
+        counters: dbep_runtime::counters::StageCounterValues,
+    }
+    struct QueryRows {
+        query: QueryId,
+        engine: Engine,
+        wall_ns: u64,
+        whole: Option<GroupReading>,
+        stages: Vec<StageRow>,
+    }
+    let mut reports = Vec::new();
+    for &q in &queries {
+        let db = if QueryId::SSB.contains(&q) {
+            ssb_db.as_ref().expect("SSB database")
+        } else {
+            tpch.as_ref().expect("TPC-H database")
+        };
+        let stages = dbep_queries::plan(q).stages();
+        for &engine in &engines {
+            let counters = StageCounters::new(stages.len());
+            let trace = StageTrace::new(stages.len());
+            let cfg = ExecCfg {
+                stage_trace: Some(&trace),
+                stage_counters: Some(&counters),
+                ..ExecCfg::default()
+            };
+            // Warm once (first-touch effects), then measure one run
+            // bracketed by whole-group reads on this thread.
+            std::mem::drop(run(engine, q, db, &cfg));
+            let counters = StageCounters::new(stages.len());
+            let trace = StageTrace::new(stages.len());
+            let cfg = ExecCfg {
+                stage_trace: Some(&trace),
+                stage_counters: Some(&counters),
+                ..ExecCfg::default()
+            };
+            let before = with_thread_group(|g| g.read()).flatten();
+            let t0 = Instant::now();
+            std::mem::drop(run(engine, q, db, &cfg));
+            let wall_ns = t0.elapsed().as_nanos() as u64;
+            let whole = with_thread_group(|g| g.read())
+                .flatten()
+                .zip(before)
+                .map(|(end, start)| end.delta_since(&start));
+            let wall = trace.snapshot();
+            let per = counters.snapshot();
+            reports.push(QueryRows {
+                query: q,
+                engine,
+                wall_ns,
+                whole,
+                stages: stages
+                    .iter()
+                    .zip(wall)
+                    .zip(per)
+                    .map(|((desc, wall_ns), counters)| StageRow {
+                        name: desc.name,
+                        kind: desc.kind.name(),
+                        wall_ns,
+                        counters,
+                    })
+                    .collect(),
+            });
+        }
+    }
+    if a.json {
+        let rendered = reports.iter().map(|r| {
+            let sum = r
+                .stages
+                .iter()
+                .fold(GroupReading::default(), |acc, s| GroupReading {
+                    cycles: acc.cycles + s.counters.cycles,
+                    instructions: acc.instructions + s.counters.instructions,
+                    llc_miss: acc.llc_miss + s.counters.llc_miss,
+                    branch_miss: acc.branch_miss + s.counters.branch_miss,
+                });
+            let group = |g: &GroupReading| {
+                json::Object::new()
+                    .field("cycles", format!("{}", g.cycles))
+                    .field("instructions", format!("{}", g.instructions))
+                    .field("llc_miss", format!("{}", g.llc_miss))
+                    .field("branch_miss", format!("{}", g.branch_miss))
+                    .build()
+            };
+            let stages = r.stages.iter().map(|s| {
+                json::Object::new()
+                    .field("stage", json::string(s.name))
+                    .field("kind", json::string(s.kind))
+                    .field("wall_ns", format!("{}", s.wall_ns))
+                    .field("cycles", format!("{}", s.counters.cycles))
+                    .field("instructions", format!("{}", s.counters.instructions))
+                    .field("llc_miss", format!("{}", s.counters.llc_miss))
+                    .field("branch_miss", format!("{}", s.counters.branch_miss))
+                    .field("ipc", s.counters.ipc().map_or("null".to_string(), json::number))
+                    .field("samples", format!("{}", s.counters.samples))
+                    .build()
+            });
+            json::Object::new()
+                .field("query", json::string(r.query.name()))
+                .field("engine", json::string(r.engine.name()))
+                .field("wall_ms", json::number(r.wall_ns as f64 / 1e6))
+                .field("stage_sum", group(&sum))
+                .field("whole_run", r.whole.as_ref().map_or("null".to_string(), group))
+                .field(
+                    "stage_coverage",
+                    r.whole.filter(|w| w.cycles > 0).map_or("null".to_string(), |w| {
+                        json::number(sum.cycles as f64 / w.cycles as f64)
+                    }),
+                )
+                .field("stages", json::array(stages))
+                .build()
+        });
+        let doc = json::Object::new()
+            .field("experiment", json::string("table1-per-stage"))
+            .field("sf", json::number(sf))
+            .field("hardware_counters", format!("{hw}"))
+            .field("queries", json::array(rendered))
+            .build();
+        println!("{doc}");
+        return;
+    }
+    println!("# Table 1 (per stage) — SF={sf}, 1 thread, grouped counters per pipeline stage");
+    if !hw {
+        println!("# hardware counters unavailable (perf_event_open failed); wall time only");
+    }
+    for r in &reports {
+        println!(
+            "\n## {} {} — {}",
+            r.query.name(),
+            r.engine.name(),
+            fmt_ms(Duration::from_nanos(r.wall_ns))
+        );
+        println!(
+            "{:<22} {:<11} {:>9} {:>10} {:>10} {:>6} {:>9} {:>9}",
+            "stage", "kind", "wall", "Mcycles", "Minstr", "IPC", "LLC-miss", "br-miss"
+        );
+        let fmt_m = |v: u64| {
+            if v == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", v as f64 / 1e6)
+            }
+        };
+        let fmt_c = |v: u64| if v == 0 { "-".to_string() } else { format!("{v}") };
+        for s in &r.stages {
+            println!(
+                "{:<22} {:<11} {:>9} {:>10} {:>10} {:>6} {:>9} {:>9}",
+                s.name,
+                s.kind,
+                fmt_ms(Duration::from_nanos(s.wall_ns)),
+                fmt_m(s.counters.cycles),
+                fmt_m(s.counters.instructions),
+                s.counters.ipc().map_or("-".to_string(), |i| format!("{i:.2}")),
+                fmt_c(s.counters.llc_miss),
+                fmt_c(s.counters.branch_miss),
+            );
+        }
+        // Cross-check: stage sums against the whole-run group delta
+        // (hardware) or end-to-end wall time (fallback).
+        let sum_wall: u64 = r.stages.iter().map(|s| s.wall_ns).sum();
+        match &r.whole {
+            Some(w) if w.cycles > 0 => {
+                let sum_cycles: u64 = r.stages.iter().map(|s| s.counters.cycles).sum();
+                println!(
+                    "{:<22} {:<11} {:>9} {:>10}   ({:.1}% of whole-run cycles in stages)",
+                    "= stages / whole-run",
+                    "",
+                    fmt_ms(Duration::from_nanos(sum_wall)),
+                    fmt_m(w.cycles),
+                    100.0 * sum_cycles as f64 / w.cycles as f64,
+                );
+            }
+            _ => println!(
+                "{:<22} {:<11} {:>9}   ({:.1}% of wall time in stages)",
+                "= stages / whole-run",
+                "",
+                fmt_ms(Duration::from_nanos(sum_wall)),
+                100.0 * sum_wall as f64 / r.wall_ns.max(1) as f64,
+            ),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1090,7 +1336,17 @@ fn query(a: &Args) {
         },
         a,
     );
-    let session = Session::with_cfg(db, ExecCfg::with_threads(threads));
+    // `--trace`: attach the span sink so every run below records
+    // query → stage → morsel spans; exported as one Chrome
+    // `trace_event` document after the engines finish.
+    let sink = a
+        .trace
+        .as_ref()
+        .map(|_| Arc::new(dbep_obs::TraceSink::new(1 << 16)));
+    let mut session = Session::with_cfg(db, ExecCfg::with_threads(threads));
+    if let Some(sink) = &sink {
+        session = session.with_trace(Arc::clone(sink));
+    }
     let prepared = session.prepare(q);
     println!(
         "# {} — SF={sf}, {threads} thread(s), default (paper) parameters{}",
@@ -1108,6 +1364,16 @@ fn query(a: &Args) {
         reference.get_or_insert(result);
     }
     println!("\n{}", reference.expect("at least one engine").to_table());
+    if let (Some(path), Some(sink)) = (&a.trace, &sink) {
+        let events = sink.snapshot();
+        let doc = dbep_obs::chrome_trace(&events, &dbep_queries::trace_names());
+        std::fs::write(path, doc).unwrap_or_else(|e| usage_error(&format!("--trace {path}: {e}")));
+        eprintln!(
+            "[trace] wrote {} span(s) to {path} ({} dropped by the ring); open in Perfetto or chrome://tracing",
+            events.len(),
+            sink.dropped()
+        );
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1155,6 +1421,20 @@ struct ServeScenario {
     /// only): `(query index, "stage=engine ..." rendering, pure
     /// fallback)`.
     adaptive: Vec<(usize, String, Engine)>,
+    /// `--obs`: the scenario ran with the span sink and metrics bundle
+    /// attached; snapshot taken after the drain.
+    obs: Option<ObsReport>,
+}
+
+/// End-of-scenario observability snapshot (`serve --obs`).
+struct ObsReport {
+    /// The registry's JSON snapshot, pre-rendered (embedded verbatim
+    /// in the serve JSON document).
+    metrics_json: String,
+    /// Spans still in the ring at the end of the run.
+    spans: usize,
+    /// Spans overwritten by the ring (recorded minus retained).
+    spans_dropped: u64,
 }
 
 #[allow(clippy::too_many_arguments)] // one call site; a struct would just rename the labels
@@ -1167,15 +1447,30 @@ fn serve_scenario(
     engine: Engine,
     window: Duration,
     queries: &[QueryId],
+    obs: bool,
 ) -> ServeScenario {
     let cfg = ExecCfg::with_threads(threads);
     // Pool mode: one fixed worker pool shared by both databases'
     // sessions (the scheduler is per-pool, not per-database). Spawn
     // mode: scoped threads per query, the pre-scheduler baseline.
     let shared = matches!(mode, "pool").then(|| Arc::new(dbep_core::scheduler::Scheduler::new(threads)));
-    let mk_session = |db: &Arc<Database>| match &shared {
-        Some(pool) => Session::with_scheduler(Arc::clone(db), cfg, Arc::clone(pool)),
-        None => Session::without_pool(Arc::clone(db), cfg),
+    // `--obs`: one span sink + one metrics bundle shared by both
+    // sessions, so the scenario pays the full instrumented cost (the
+    // tracing-overhead comparison runs serve with and without this).
+    let sink = obs.then(|| Arc::new(dbep_obs::TraceSink::new(1 << 16)));
+    let metrics = obs.then(dbep_core::EngineMetrics::new);
+    let mk_session = |db: &Arc<Database>| {
+        let mut s = match &shared {
+            Some(pool) => Session::with_scheduler(Arc::clone(db), cfg, Arc::clone(pool)),
+            None => Session::without_pool(Arc::clone(db), cfg),
+        };
+        if let Some(sink) = &sink {
+            s = s.with_trace(Arc::clone(sink));
+        }
+        if let Some(m) = &metrics {
+            s = s.with_metrics(Arc::clone(m));
+        }
+        s
     };
     let tpch_session = tpch.map(mk_session);
     let ssb_session = ssb.map(mk_session);
@@ -1273,6 +1568,11 @@ fn serve_scenario(
         reprepare_total: reprepared.len(),
         reprepare_avg_ns,
         adaptive,
+        obs: metrics.as_ref().map(|m| ObsReport {
+            metrics_json: m.registry().snapshot_json(),
+            spans: sink.as_ref().map_or(0, |s| s.snapshot().len()),
+            spans_dropped: sink.as_ref().map_or(0, |s| s.dropped()),
+        }),
     }
 }
 
@@ -1319,6 +1619,7 @@ fn serve(a: &Args) {
                     engine,
                     window,
                     &queries,
+                    a.obs,
                 ));
             }
         }
@@ -1380,6 +1681,20 @@ fn serve_text(sf: f64, threads: usize, queries: &[QueryId], scenarios: &[ServeSc
                 rendered,
                 pure.name()
             );
+        }
+    }
+    if scenarios.iter().any(|s| s.obs.is_some()) {
+        println!("\n## observability (--obs: span sink + metrics bundle attached)");
+        for sc in scenarios {
+            if let Some(o) = &sc.obs {
+                println!(
+                    "{:<6} {:<11} {:>8} span(s) retained, {:>8} overwritten by the ring (metrics snapshot: --json)",
+                    sc.mode,
+                    sc.engine.name(),
+                    o.spans,
+                    o.spans_dropped
+                );
+            }
         }
     }
     // Per-query scheduler stats of the most concurrent pooled scenario.
@@ -1490,6 +1805,26 @@ fn serve_json(a: &Args, sf: f64, threads: usize, queries: &[QueryId], scenarios:
             .field("p50_ms", json::number(percentile(&lat, 0.50).as_secs_f64() * 1e3))
             .field("p95_ms", json::number(percentile(&lat, 0.95).as_secs_f64() * 1e3))
             .field("p99_ms", json::number(percentile(&lat, 0.99).as_secs_f64() * 1e3))
+            .field("latency_histogram", {
+                // Log-linear buckets over the same samples the exact
+                // percentiles above summarize (the aggregatable form a
+                // scrape endpoint would serve).
+                let hist = dbep_obs::Histogram::default();
+                for l in &lat {
+                    hist.record(l.as_nanos() as u64);
+                }
+                let buckets = hist.buckets().into_iter().map(|(le, n)| {
+                    json::Object::new()
+                        .field("le_ns", format!("{le}"))
+                        .field("count", format!("{n}"))
+                        .build()
+                });
+                json::Object::new()
+                    .field("count", format!("{}", hist.count()))
+                    .field("sum_ns", format!("{}", hist.sum()))
+                    .field("buckets", json::array(buckets))
+                    .build()
+            })
             .field(
                 "plan_cache",
                 json::Object::new()
@@ -1503,6 +1838,19 @@ fn serve_json(a: &Args, sf: f64, threads: usize, queries: &[QueryId], scenarios:
             )
             .field("adaptive_choices", json::array(adaptive_choices))
             .field("per_query", json::array(per_query))
+            .field(
+                "observability",
+                match &sc.obs {
+                    // `metrics_json` is the registry's own rendering,
+                    // embedded verbatim as a sub-document.
+                    Some(o) => json::Object::new()
+                        .field("spans_retained", format!("{}", o.spans))
+                        .field("spans_overwritten", format!("{}", o.spans_dropped))
+                        .field("metrics", o.metrics_json.clone())
+                        .build(),
+                    None => "null".to_string(),
+                },
+            )
             .build()
     });
     let doc = json::Object::new()
@@ -1511,6 +1859,7 @@ fn serve_json(a: &Args, sf: f64, threads: usize, queries: &[QueryId], scenarios:
         .field("threads", format!("{threads}"))
         .field("duration_ms", format!("{}", a.duration_ms))
         .field("encoded", format!("{}", a.encoded))
+        .field("obs", format!("{}", a.obs))
         .field("mix", json::array(queries.iter().map(|q| json::string(q.name()))))
         .field(
             "engines",
@@ -1519,6 +1868,49 @@ fn serve_json(a: &Args, sf: f64, threads: usize, queries: &[QueryId], scenarios:
         .field("scenarios", json::array(rendered))
         .build();
     println!("{doc}");
+}
+
+// ---------------------------------------------------------------------
+// `metrics`: drive the mixed workload through a metrics-attached
+// Session, then dump the registry — the JSON snapshot by default, the
+// Prometheus text exposition with --prom. This is the exposition
+// endpoint a scrape would hit; the CI smoke asserts both forms parse.
+// ---------------------------------------------------------------------
+fn metrics_cmd(a: &Args) {
+    let sf = a.sf.unwrap_or(0.01);
+    let threads = a.threads.unwrap_or(1);
+    let queries = a.queries(&QueryId::ALL);
+    let engines = match a.engine {
+        Some(e) => vec![e],
+        None => vec![Engine::Adaptive],
+    };
+    let metrics = dbep_core::EngineMetrics::new();
+    let cfg = ExecCfg::with_threads(threads);
+    let mk = |db: Database| Session::with_cfg(db, cfg).with_metrics(Arc::clone(&metrics));
+    let tpch = queries
+        .iter()
+        .any(|q| !QueryId::SSB.contains(q))
+        .then(|| mk(maybe_encode(gen_tpch(sf), a)));
+    let ssb_db = queries
+        .iter()
+        .any(|q| QueryId::SSB.contains(q))
+        .then(|| mk(maybe_encode(gen_ssb(sf), a)));
+    for &q in &queries {
+        let session = if QueryId::SSB.contains(&q) { &ssb_db } else { &tpch }
+            .as_ref()
+            .expect("database for query");
+        let prepared = session.prepare(q);
+        for &engine in &engines {
+            for _ in 0..a.reps {
+                std::mem::drop(prepared.run(engine));
+            }
+        }
+    }
+    if a.prom {
+        print!("{}", metrics.registry().prometheus());
+    } else {
+        println!("{}", metrics.registry().snapshot_json());
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1658,6 +2050,7 @@ fn main() {
         ("table6", table6),
         ("query", query),
         ("serve", serve),
+        ("metrics", metrics_cmd),
         ("compression", compression),
     ];
     if args.id == "all" {

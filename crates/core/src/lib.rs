@@ -7,25 +7,30 @@
 //! workflow. See the workspace README for the architecture overview and
 //! `DESIGN.md` for the paper-to-module mapping.
 
+pub mod metrics;
 pub mod plan_cache;
 pub mod session;
 
 pub use dbep_compiled as compiled;
 pub use dbep_datagen as datagen;
+pub use dbep_obs as obs;
 pub use dbep_queries as queries;
 pub use dbep_runtime as runtime;
 pub use dbep_scheduler as scheduler;
 pub use dbep_storage as storage;
 pub use dbep_vectorized as vectorized;
 pub use dbep_volcano as volcano;
+pub use metrics::EngineMetrics;
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use session::{PreparedQuery, Session};
 
 /// Everything needed for the common benchmark workflow.
 pub mod prelude {
+    pub use crate::metrics::EngineMetrics;
     pub use crate::plan_cache::PlanCacheStats;
     pub use crate::session::{PreparedQuery, Session};
     pub use dbep_datagen;
+    pub use dbep_obs::{QueryLog, QueryLogRecord, Registry, TraceSink};
     pub use dbep_queries::{
         self, params::Params, result::QueryResult, run, run_with, Engine, ExecCfg, QueryId,
     };

@@ -1,0 +1,161 @@
+//! The engine's metric bundle: every counter, gauge and histogram the
+//! serving layer maintains, registered on one [`Registry`].
+//!
+//! [`Session::with_metrics`](crate::Session::with_metrics) attaches a
+//! bundle; every run then updates it from the single completion choke
+//! point, so the numbers are consistent with the query log and with
+//! `PlanCacheStats` by construction. The bundle is the one place metric
+//! names live — `experiments metrics` and the `serve` benchmark export
+//! whatever is registered here, in JSON or Prometheus text exposition.
+
+use dbep_obs::{Counter, Gauge, Histogram, Registry};
+use dbep_scheduler::{RunStats, Scheduler};
+use std::sync::Arc;
+
+/// Handles onto every engine metric (all registered on
+/// [`EngineMetrics::registry`]). Cheap to clone handles out of; updates
+/// are lock-free atomics.
+pub struct EngineMetrics {
+    registry: Arc<Registry>,
+    /// Runs begun (admission entered), by completion state below.
+    pub queries_started: Arc<Counter>,
+    /// Runs finished with a result.
+    pub queries_completed: Arc<Counter>,
+    /// Column-payload bytes scanned, summed over all runs.
+    pub bytes_scanned_total: Arc<Counter>,
+    /// Morsels executed on pool workers, summed over all runs.
+    pub morsels_executed_total: Arc<Counter>,
+    /// Cross-query task switches observed by the scheduler.
+    pub steals_total: Arc<Counter>,
+    /// Prepares answered from the session plan cache.
+    pub plan_cache_hits: Arc<Counter>,
+    /// Prepares that resolved a fresh plan.
+    pub plan_cache_misses: Arc<Counter>,
+    /// Pipelines queued or running on the pool, sampled at completion.
+    pub scheduler_queue_depth: Arc<Gauge>,
+    /// Query runs holding admission slots, sampled at completion.
+    pub scheduler_inflight: Arc<Gauge>,
+    /// End-to-end per-run latency.
+    pub query_latency_ns: Arc<Histogram>,
+    /// Per-run summed submit-to-first-morsel waits.
+    pub queue_wait_ns: Arc<Histogram>,
+    /// Per-run admission-gate waits.
+    pub admission_wait_ns: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    /// Register the full bundle on a fresh registry.
+    pub fn new() -> Arc<EngineMetrics> {
+        Arc::new(EngineMetrics::on_registry(Arc::new(Registry::new())))
+    }
+
+    /// Register the bundle on an existing registry (idempotent — the
+    /// registry hands back existing handles for known names, so several
+    /// sessions can share one exposition endpoint).
+    pub fn on_registry(registry: Arc<Registry>) -> EngineMetrics {
+        let c = |name, help| registry.register_counter(name, help);
+        let g = |name, help| registry.register_gauge(name, help);
+        let h = |name, help| registry.register_histogram(name, help);
+        EngineMetrics {
+            queries_started: c("queries_started", "Query runs begun (admission entered)."),
+            queries_completed: c("queries_completed", "Query runs finished with a result."),
+            bytes_scanned_total: c(
+                "bytes_scanned_total",
+                "Column-payload bytes scanned across all runs.",
+            ),
+            morsels_executed_total: c(
+                "morsels_executed_total",
+                "Morsels executed on pool workers across all runs.",
+            ),
+            steals_total: c(
+                "steals_total",
+                "Cross-query task switches observed by the scheduler.",
+            ),
+            plan_cache_hits: c("plan_cache_hits", "Prepares answered from the plan cache."),
+            plan_cache_misses: c("plan_cache_misses", "Prepares that resolved a fresh plan."),
+            scheduler_queue_depth: g(
+                "scheduler_queue_depth",
+                "Pipelines queued or running on the pool (sampled at query completion).",
+            ),
+            scheduler_inflight: g(
+                "scheduler_inflight",
+                "Query runs holding admission slots (sampled at query completion).",
+            ),
+            query_latency_ns: h("query_latency_ns", "End-to-end per-run latency, nanoseconds."),
+            queue_wait_ns: h(
+                "queue_wait_ns",
+                "Per-run summed submit-to-first-morsel wait, nanoseconds.",
+            ),
+            admission_wait_ns: h("admission_wait_ns", "Per-run admission-gate wait, nanoseconds."),
+            registry,
+        }
+    }
+
+    /// The registry everything is registered on (export endpoint).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Fold one completed run into the bundle. Called from the session
+    /// completion choke point; `sched` (when pooled) provides the
+    /// instantaneous gauge samples.
+    pub fn observe_run(&self, latency_ns: u64, stats: &RunStats, sched: Option<&Scheduler>) {
+        self.queries_completed.inc();
+        self.query_latency_ns.record(latency_ns);
+        self.bytes_scanned_total.add(stats.bytes_scanned);
+        self.morsels_executed_total.add(stats.morsels_executed());
+        self.steals_total.add(stats.steals);
+        self.queue_wait_ns.record(stats.queue_wait_ns());
+        self.admission_wait_ns.record(stats.admission_wait_ns());
+        if let Some(s) = sched {
+            self.scheduler_queue_depth.set(s.queue_depth() as i64);
+            self.scheduler_inflight.set(s.inflight() as i64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bundle_registers_and_observes() {
+        let m = EngineMetrics::new();
+        m.queries_started.inc();
+        let stats = RunStats {
+            admission_wait: Duration::from_nanos(50),
+            queue_wait: Duration::from_nanos(700),
+            tasks: 2,
+            morsels: 9,
+            steals: 1,
+            bytes_scanned: 4096,
+        };
+        m.observe_run(1_000_000, &stats, None);
+        assert_eq!(m.queries_started.get(), 1);
+        assert_eq!(m.queries_completed.get(), 1);
+        assert_eq!(m.bytes_scanned_total.get(), 4096);
+        assert_eq!(m.morsels_executed_total.get(), 9);
+        assert_eq!(m.query_latency_ns.count(), 1);
+        let json = m.registry().snapshot_json();
+        for name in [
+            "queries_started",
+            "plan_cache_hits",
+            "scheduler_queue_depth",
+            "query_latency_ns",
+        ] {
+            assert!(json.contains(name), "{name} missing from snapshot");
+        }
+        let prom = m.registry().prometheus();
+        assert!(prom.contains("# TYPE query_latency_ns histogram"));
+    }
+
+    #[test]
+    fn on_registry_is_idempotent() {
+        let registry = Arc::new(Registry::new());
+        let a = EngineMetrics::on_registry(Arc::clone(&registry));
+        let b = EngineMetrics::on_registry(Arc::clone(&registry));
+        a.queries_started.inc();
+        assert_eq!(b.queries_started.get(), 1, "same underlying counter");
+    }
+}

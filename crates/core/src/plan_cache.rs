@@ -140,17 +140,27 @@ pub enum Decision {
     Heuristic,
 }
 
+/// One exploration run's measurement: per-stage wall time, plus the
+/// run's whole-query instructions-per-cycle when hardware counters
+/// were readable (IPC is the paper's §3.1 headline difference between
+/// the paradigms, so it is the natural secondary signal).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Measured {
+    pub stage_ns: Vec<u64>,
+    pub ipc: Option<f64>,
+}
+
 #[derive(Clone)]
 enum Slot {
     Empty,
     InFlight,
-    Done(Vec<u64>),
+    Done(Measured),
 }
 
 impl Slot {
-    fn done(&self) -> Option<&Vec<u64>> {
+    fn done(&self) -> Option<&Measured> {
         match self {
-            Slot::Done(ns) => Some(ns),
+            Slot::Done(m) => Some(m),
             _ => None,
         }
     }
@@ -210,23 +220,39 @@ impl AdaptiveState {
     /// candidates are in, the learned assignment is derived and every
     /// later [`AdaptiveState::decide`] returns it.
     pub fn record(&self, candidate: Engine, stage_ns: Vec<u64>) {
+        self.record_with_ipc(candidate, stage_ns, None);
+    }
+
+    /// [`AdaptiveState::record`] carrying hardware-counter evidence:
+    /// the candidate run's whole-query IPC, when counters were
+    /// readable. Wall time stays the primary signal; IPC breaks the
+    /// near-ties — when the measured totals are within 2% of each
+    /// other, noise decides a pure-time comparison, so the candidate
+    /// that retired more instructions per cycle wins instead.
+    pub fn record_with_ipc(&self, candidate: Engine, stage_ns: Vec<u64>, ipc: Option<f64>) {
+        let measured = Measured { stage_ns, ipc };
         let mut inner = self.inner.lock().unwrap();
         match candidate {
-            Engine::Typer => inner.typer = Slot::Done(stage_ns),
-            Engine::Tectorwise => inner.tw = Slot::Done(stage_ns),
+            Engine::Typer => inner.typer = Slot::Done(measured),
+            Engine::Tectorwise => inner.tw = Slot::Done(measured),
             other => unreachable!("{} is not an adaptive candidate", other.name()),
         }
         if inner.learned.is_none() {
             if let (Some(typer), Some(tw)) = (inner.typer.done(), inner.tw.done()) {
                 let choices: Vec<Engine> = typer
+                    .stage_ns
                     .iter()
-                    .zip(tw.iter())
+                    .zip(tw.stage_ns.iter())
                     .map(|(&t, &v)| if v < t { Engine::Tectorwise } else { Engine::Typer })
                     .collect();
-                let pure = if tw.iter().sum::<u64>() < typer.iter().sum::<u64>() {
-                    Engine::Tectorwise
-                } else {
-                    Engine::Typer
+                let t_total = typer.stage_ns.iter().sum::<u64>();
+                let v_total = tw.stage_ns.iter().sum::<u64>();
+                let near_tie = t_total.abs_diff(v_total) * 50 <= t_total.max(v_total);
+                let pure = match (near_tie, typer.ipc, tw.ipc) {
+                    (true, Some(ti), Some(vi)) if vi > ti => Engine::Tectorwise,
+                    (true, Some(_), Some(_)) => Engine::Typer,
+                    _ if v_total < t_total => Engine::Tectorwise,
+                    _ => Engine::Typer,
                 };
                 inner.learned = Some(Learned {
                     choices: Arc::new(choices),
@@ -244,6 +270,16 @@ impl AdaptiveState {
             .learned
             .as_ref()
             .map(|l| (l.choices.as_ref().clone(), l.pure))
+    }
+
+    /// The raw exploration measurements committed so far, as
+    /// `(typer, tectorwise)` — the evidence behind [`learned`], for
+    /// reports and the observability surfaces.
+    ///
+    /// [`learned`]: AdaptiveState::learned
+    pub fn evidence(&self) -> (Option<Measured>, Option<Measured>) {
+        let inner = self.inner.lock().unwrap();
+        (inner.typer.done().cloned(), inner.tw.done().cloned())
     }
 }
 
@@ -313,5 +349,46 @@ mod tests {
         let (choices, pure) = state.learned().unwrap();
         assert_eq!(choices, vec![Engine::Typer]);
         assert_eq!(pure, Engine::Typer);
+    }
+
+    #[test]
+    fn ipc_breaks_near_ties() {
+        // Totals 1000 vs 990: inside the 2% band, so the higher-IPC
+        // candidate wins even though its wall time is (noise-level)
+        // slower.
+        let state = AdaptiveState::new();
+        state.decide();
+        state.decide();
+        state.record_with_ipc(Engine::Typer, vec![500, 500], Some(2.1));
+        state.record_with_ipc(Engine::Tectorwise, vec![495, 495], Some(0.9));
+        let (_, pure) = state.learned().unwrap();
+        assert_eq!(pure, Engine::Typer, "higher IPC wins the near-tie");
+        let (typer_m, tw_m) = state.evidence();
+        assert_eq!(typer_m.unwrap().ipc, Some(2.1));
+        assert_eq!(tw_m.unwrap().stage_ns, vec![495, 495]);
+    }
+
+    #[test]
+    fn clear_time_wins_beat_ipc() {
+        // Totals 1000 vs 700: far outside the tie band — wall time
+        // stays the primary signal regardless of IPC.
+        let state = AdaptiveState::new();
+        state.decide();
+        state.decide();
+        state.record_with_ipc(Engine::Typer, vec![500, 500], Some(3.0));
+        state.record_with_ipc(Engine::Tectorwise, vec![350, 350], Some(0.5));
+        let (_, pure) = state.learned().unwrap();
+        assert_eq!(pure, Engine::Tectorwise);
+    }
+
+    #[test]
+    fn near_tie_without_counters_falls_back_to_time() {
+        let state = AdaptiveState::new();
+        state.decide();
+        state.decide();
+        state.record_with_ipc(Engine::Typer, vec![1000], None);
+        state.record_with_ipc(Engine::Tectorwise, vec![995], Some(1.5));
+        let (_, pure) = state.learned().unwrap();
+        assert_eq!(pure, Engine::Tectorwise, "995 < 1000 and no IPC pair");
     }
 }

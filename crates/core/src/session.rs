@@ -36,10 +36,13 @@
 //! # Ok::<(), dbep_queries::params::ParamError>(())
 //! ```
 
+use crate::metrics::EngineMetrics;
 use crate::plan_cache::{CachedPlan, Decision, PlanCache, PlanCacheStats};
+use dbep_obs::{fingerprint64, QueryLog, QueryLogRecord, QueryTrace, TraceSink};
 use dbep_queries::params::Params;
 use dbep_queries::result::QueryResult;
 use dbep_queries::{Engine, ExecCfg, QueryId, QueryPlan};
+use dbep_runtime::counters::StageCounters;
 use dbep_scheduler::{RunStats, Scheduler, StageTrace, DEFAULT_PRIORITY};
 use dbep_storage::Database;
 use std::sync::Arc;
@@ -58,6 +61,9 @@ pub struct Session {
     cfg: ExecCfg<'static>,
     sched: Option<Arc<Scheduler>>,
     plan_cache: Arc<PlanCache>,
+    metrics: Option<Arc<EngineMetrics>>,
+    trace_sink: Option<Arc<TraceSink>>,
+    query_log: Option<Arc<QueryLog>>,
 }
 
 impl Session {
@@ -88,6 +94,9 @@ impl Session {
             cfg,
             sched: Some(sched),
             plan_cache: Arc::new(PlanCache::new()),
+            metrics: None,
+            trace_sink: None,
+            query_log: None,
         }
     }
 
@@ -100,6 +109,9 @@ impl Session {
             cfg,
             sched: None,
             plan_cache: Arc::new(PlanCache::new()),
+            metrics: None,
+            trace_sink: None,
+            query_log: None,
         }
     }
 
@@ -117,6 +129,44 @@ impl Session {
     /// [`Session::without_pool`] session).
     pub fn scheduler(&self) -> Option<&Arc<Scheduler>> {
         self.sched.as_ref()
+    }
+
+    /// Attach a metrics bundle: every prepare and every run through
+    /// this session (and its clones / prepared queries) updates it.
+    pub fn with_metrics(mut self, metrics: Arc<EngineMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attach a span-trace sink: every run records a query span plus
+    /// the stage and morsel spans the plans emit, exportable as Chrome
+    /// `trace_event` JSON via [`dbep_obs::chrome_trace`].
+    pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
+    /// Attach a structured query log: every run appends one JSONL
+    /// [`QueryLogRecord`] (query, engine, parameter fingerprint, stage
+    /// timings, scheduler stats, cache fact) at completion.
+    pub fn with_query_log(mut self, log: Arc<QueryLog>) -> Self {
+        self.query_log = Some(log);
+        self
+    }
+
+    /// The attached metrics bundle, if any.
+    pub fn metrics(&self) -> Option<&Arc<EngineMetrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// The attached span-trace sink, if any.
+    pub fn trace_sink(&self) -> Option<&Arc<TraceSink>> {
+        self.trace_sink.as_ref()
+    }
+
+    /// The attached query log, if any.
+    pub fn query_log(&self) -> Option<&Arc<QueryLog>> {
+        self.query_log.as_ref()
     }
 
     /// Prepare `query` with the paper's default parameters (§3.3).
@@ -141,6 +191,13 @@ impl Session {
         let t0 = Instant::now();
         let (cached, cache_hit) = self.plan_cache.lookup(&params);
         let planning_ns = t0.elapsed().as_nanos() as u64;
+        if let Some(m) = &self.metrics {
+            if cache_hit {
+                m.plan_cache_hits.inc();
+            } else {
+                m.plan_cache_misses.inc();
+            }
+        }
         PreparedQuery {
             db: Arc::clone(&self.db),
             cfg: self.cfg,
@@ -150,6 +207,9 @@ impl Session {
             params,
             sched: self.sched.clone(),
             priority: DEFAULT_PRIORITY,
+            metrics: self.metrics.clone(),
+            trace_sink: self.trace_sink.clone(),
+            query_log: self.query_log.clone(),
         }
     }
 
@@ -176,6 +236,9 @@ pub struct PreparedQuery {
     params: Params,
     sched: Option<Arc<Scheduler>>,
     priority: usize,
+    metrics: Option<Arc<EngineMetrics>>,
+    trace_sink: Option<Arc<TraceSink>>,
+    query_log: Option<Arc<QueryLog>>,
 }
 
 impl PreparedQuery {
@@ -250,19 +313,72 @@ impl PreparedQuery {
         self.run_traced(engine, &self.cfg)
     }
 
+    /// The single completion choke point every run passes through: it
+    /// attaches the session's observability instruments around the
+    /// dispatch, then folds the outcome into the metrics bundle and the
+    /// structured query log.
     fn run_traced(&self, engine: Engine, cfg: &ExecCfg) -> (QueryResult, RunStats) {
-        match &self.sched {
-            Some(sched) => {
-                let run = sched.begin_query(self.priority);
-                let cfg = ExecCfg {
-                    sched: Some(&run),
-                    ..*cfg
-                };
-                let result = self.dispatch(engine, &cfg);
-                (result, run.stats())
-            }
-            None => (self.dispatch(engine, cfg), RunStats::default()),
+        if let Some(m) = &self.metrics {
+            m.queries_started.inc();
         }
+        // The query log wants per-stage wall times, so a log attaches a
+        // stage trace when the caller didn't; adaptive exploration then
+        // reuses it instead of creating its own (see `dispatch`).
+        let own_stage_trace = (self.query_log.is_some() && cfg.stage_trace.is_none())
+            .then(|| StageTrace::new(self.plan().stages().len()));
+        let span_trace = self
+            .trace_sink
+            .as_ref()
+            .map(|sink| QueryTrace::new(sink, self.query().ordinal(), engine.ordinal()));
+        let t0 = Instant::now();
+        let (result, stats) = {
+            let _query_span = span_trace.as_ref().map(|t| t.query_span());
+            let cfg = ExecCfg {
+                trace: span_trace.as_ref(),
+                stage_trace: own_stage_trace.as_ref().or(cfg.stage_trace),
+                ..*cfg
+            };
+            match &self.sched {
+                Some(sched) => {
+                    let run = sched.begin_query(self.priority);
+                    let cfg = ExecCfg {
+                        sched: Some(&run),
+                        ..cfg
+                    };
+                    let result = self.dispatch(engine, &cfg);
+                    (result, run.stats())
+                }
+                None => (self.dispatch(engine, &cfg), RunStats::default()),
+            }
+        };
+        let latency_ns = t0.elapsed().as_nanos() as u64;
+        if let Some(m) = &self.metrics {
+            m.observe_run(latency_ns, &stats, self.sched.as_deref());
+        }
+        if let Some(log) = &self.query_log {
+            log.append(QueryLogRecord {
+                seq: 0,     // assigned by the log
+                unix_ms: 0, // stamped by the log
+                query: self.query().name().to_string(),
+                engine: engine.name().to_string(),
+                params_fp: fingerprint64(format!("{:?}", self.params).as_bytes()),
+                cache_hit: self.cache_hit,
+                planning_ns: self.planning_ns,
+                latency_ns,
+                rows: result.len() as u64,
+                morsels_executed: stats.morsels_executed(),
+                queue_wait_ns: stats.queue_wait_ns(),
+                admission_wait_ns: stats.admission_wait_ns(),
+                tasks: stats.tasks,
+                steals: stats.steals,
+                bytes_scanned: stats.bytes_scanned,
+                stage_ns: own_stage_trace
+                    .as_ref()
+                    .map(StageTrace::snapshot)
+                    .unwrap_or_default(),
+            });
+        }
+        (result, stats)
     }
 
     /// Route one execution. Pure engines go straight to the plan;
@@ -279,13 +395,29 @@ impl PreparedQuery {
         }
         match self.cached.adaptive().decide() {
             Decision::Explore(candidate) => {
-                let trace = StageTrace::new(plan.stages().len());
+                // Reuse an already-attached stage trace (e.g. the query
+                // log's) so one instrumented run feeds both consumers.
+                let own = cfg
+                    .stage_trace
+                    .is_none()
+                    .then(|| StageTrace::new(plan.stages().len()));
+                let trace = cfg
+                    .stage_trace
+                    .or(own.as_ref())
+                    .expect("a stage trace is attached");
+                // Exploration runs also read hardware counters (when
+                // the kernel permits): whole-run IPC becomes tiebreak
+                // evidence for the learned engine choice.
+                let counters = StageCounters::new(plan.stages().len());
                 let cfg = ExecCfg {
-                    stage_trace: Some(&trace),
+                    stage_trace: Some(trace),
+                    stage_counters: Some(&counters),
                     ..*cfg
                 };
                 let result = plan.run(candidate, &self.db, &cfg, &self.params);
-                self.cached.adaptive().record(candidate, trace.snapshot());
+                self.cached
+                    .adaptive()
+                    .record_with_ipc(candidate, trace.snapshot(), counters.total().ipc());
                 result
             }
             Decision::Use { choices, pure } => plan

@@ -23,6 +23,11 @@ pub struct Line {
     pub code: String,
     /// Concatenated comment text of the line (line, block and doc).
     pub comment: String,
+    /// Contents of the string literals that *close* on this line, in
+    /// order (a multi-line literal is attributed to its closing line).
+    /// The code channel blanks them; rules that validate literal text
+    /// (metric names/help) read this channel instead.
+    pub literals: Vec<String>,
 }
 
 /// A lexed source file.
@@ -48,6 +53,9 @@ pub fn lex(path: &str, src: &str) -> FileScan {
     let chars: Vec<char> = src.chars().collect();
     let mut lines: Vec<Line> = Vec::new();
     let mut cur = Line::default();
+    // In-flight string literal content; survives line breaks so a
+    // multi-line literal lands on the line its closing quote is on.
+    let mut lit = String::new();
     let mut mode = Mode::Code;
     let mut i = 0usize;
     let n = chars.len();
@@ -72,6 +80,7 @@ pub fn lex(path: &str, src: &str) -> FileScan {
                     i += 2;
                 } else if c == '"' {
                     cur.code.push('"');
+                    lit.clear();
                     mode = Mode::Str;
                     i += 1;
                 } else if (c == 'r' || c == 'b') && !prev_is_ident(&cur.code) {
@@ -91,6 +100,7 @@ pub fn lex(path: &str, src: &str) -> FileScan {
                         && (hashes > 0 || c != 'b' || at(i + 1) == '"' || at(i + 1) == 'r')
                     {
                         cur.code.push('"');
+                        lit.clear();
                         mode = if c == 'b' && at(i + 1) != 'r' && hashes == 0 {
                             Mode::Str // b"…" : plain byte string, escapes apply
                         } else {
@@ -153,12 +163,17 @@ pub fn lex(path: &str, src: &str) -> FileScan {
             }
             Mode::Str => {
                 if c == '\\' {
-                    i += 2; // skip the escaped char (incl. \" and \\)
+                    // Keep the escape verbatim (incl. \" and \\).
+                    lit.push(c);
+                    lit.push(at(i + 1));
+                    i += 2;
                 } else if c == '"' {
                     cur.code.push('"');
+                    cur.literals.push(std::mem::take(&mut lit));
                     mode = Mode::Code;
                     i += 1;
                 } else {
+                    lit.push(c);
                     i += 1;
                 }
             }
@@ -172,12 +187,15 @@ pub fn lex(path: &str, src: &str) -> FileScan {
                     }
                     if seen == hashes {
                         cur.code.push('"');
+                        cur.literals.push(std::mem::take(&mut lit));
                         mode = Mode::Code;
                         i = j;
                     } else {
+                        lit.push('"');
                         i += 1;
                     }
                 } else {
+                    lit.push(c);
                     i += 1;
                 }
             }
@@ -300,6 +318,17 @@ mod tests {
         assert_eq!(c[0], "let s = \"");
         assert_eq!(c[1], "\";");
         assert_eq!(c[2], "let t = 3;");
+    }
+
+    #[test]
+    fn literal_contents_are_captured() {
+        let scan = lex("t.rs", "c(\"a_name\", \"Help text.\");\nr#\"raw one\"#;\n");
+        assert_eq!(scan.lines[0].literals, vec!["a_name", "Help text."]);
+        assert_eq!(scan.lines[1].literals, vec!["raw one"]);
+        // A multi-line literal closes on — and is attributed to — line 1.
+        let scan = lex("t.rs", "let s = \"first\nsecond\"; t(\"x\");\n");
+        assert!(scan.lines[0].literals.is_empty());
+        assert_eq!(scan.lines[1].literals, vec!["firstsecond", "x"]);
     }
 
     #[test]

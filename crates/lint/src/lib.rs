@@ -3,7 +3,7 @@
 //! The workspace's correctness story has three legs: property tests
 //! (fast paths ≡ naive models), sanitizers/Miri in CI (dynamic), and
 //! this crate (static). It enforces the repo-specific conventions that
-//! `rustc`/clippy cannot see — see [`rules`] for the four checks and
+//! `rustc`/clippy cannot see — see [`rules`] for the five checks and
 //! DESIGN.md §"Safety invariants & static analysis" for the comment
 //! contracts they pin down.
 //!

@@ -19,6 +19,8 @@ RULES:
                   every SimdPolicy dispatcher appears in a property test
     registry      every REGISTRY plan declares stages(), has a naive
                   oracle, and is swept by the equivalence suite
+    metrics       every metric registered with a literal name is
+                  snake_case and carries a non-empty help string
 
 `check` exits 0 on a clean tree, 1 on findings. Without --root, the
 workspace root is located by walking up from the current directory.

@@ -1,4 +1,4 @@
-//! The four repo-specific invariants, as checks over lexed sources.
+//! The five repo-specific invariants, as checks over lexed sources.
 //!
 //! Every rule reports `file:line`-addressable [`Finding`]s; a clean tree
 //! produces none. The rules are conventions this codebase already
@@ -17,6 +17,11 @@
 //! 4. **registry** — every `REGISTRY` plan declares `stages()`, has a
 //!    naive oracle in the queries test support module, and is swept by
 //!    the engine-equivalence suite.
+//! 5. **metrics** — every metric registered with a literal name
+//!    (`register_counter`/`register_gauge`/`register_histogram`, or a
+//!    local closure forwarding to one) uses a snake_case name and a
+//!    non-empty help string, so every exposition endpoint stays
+//!    Prometheus-compatible and self-describing.
 
 use crate::lex::{has_word, word_positions, words, FileScan};
 use std::collections::BTreeMap;
@@ -35,7 +40,8 @@ pub const RULE_UNSAFE: &str = "unsafe";
 pub const RULE_ATOMICS: &str = "atomics";
 pub const RULE_SIMD: &str = "simd-parity";
 pub const RULE_REGISTRY: &str = "registry";
-pub const RULES: &[&str] = &[RULE_UNSAFE, RULE_ATOMICS, RULE_SIMD, RULE_REGISTRY];
+pub const RULE_METRICS: &str = "metrics";
+pub const RULES: &[&str] = &[RULE_UNSAFE, RULE_ATOMICS, RULE_SIMD, RULE_REGISTRY, RULE_METRICS];
 
 /// Files whose `Ordering::Relaxed` uses must carry `// ORDERING:`.
 /// The whole scheduler plus every other file that does lock-free or
@@ -46,6 +52,7 @@ const ATOMICS_SCOPE: &[&str] = &[
     "crates/runtime/src/join_ht.rs",
     "crates/core/src/plan_cache.rs",
     "crates/storage/src/throttle.rs",
+    "crates/obs/src/",
 ];
 
 const VECTORIZED_SRC: &str = "crates/vectorized/src/";
@@ -276,6 +283,173 @@ pub fn collect_simd(scan: &FileScan, table: &mut SimdTable) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Metric registration hygiene.
+// ---------------------------------------------------------------------
+
+/// `register_*` functions the metrics rule tracks, with the metric kind
+/// each registers.
+const REGISTER_FNS: &[(&str, &str)] = &[
+    ("register_counter", "counter"),
+    ("register_gauge", "gauge"),
+    ("register_histogram", "histogram"),
+];
+
+/// One metric registration call site with at least one literal
+/// argument. `name`/`help` are the first/second string literals inside
+/// the call's parentheses (dynamic arguments leave them `None`).
+#[derive(Debug)]
+pub struct MetricSite {
+    pub path: String,
+    pub line: usize,
+    pub kind: &'static str,
+    pub name: Option<String>,
+    pub help: Option<String>,
+}
+
+/// Lowercase-snake-case: `[a-z][a-z0-9_]*`.
+fn is_snake_case(name: &str) -> bool {
+    name.starts_with(|c: char| c.is_ascii_lowercase())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// String literals inside the call whose argument list opens at or
+/// after byte `pos` of line `i`, in order, spanning up to a dozen
+/// lines. Literal *positions* come from counting quote pairs in the
+/// blanked code channel; *contents* come from the literals channel.
+fn call_literals(scan: &FileScan, i: usize, pos: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut opened = false;
+    for (j, line) in scan.lines.iter().enumerate().skip(i).take(12) {
+        let start = if j == i { pos } else { 0 };
+        let mut lit_idx = line.code[..start].matches('"').count() / 2;
+        let mut in_quote = false;
+        for c in line.code[start..].chars() {
+            match c {
+                '"' => {
+                    if in_quote {
+                        in_quote = false;
+                        if opened && depth > 0 {
+                            if let Some(l) = line.literals.get(lit_idx) {
+                                out.push(l.clone());
+                            }
+                        }
+                        lit_idx += 1;
+                    } else {
+                        in_quote = true;
+                    }
+                }
+                '(' => {
+                    depth += 1;
+                    opened = true;
+                }
+                ')' => {
+                    depth -= 1;
+                    if opened && depth == 0 {
+                        return out;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Does the call whose argument list opens at or after byte `pos` of
+/// line `i` pass a string literal as its *first* argument? Dynamic
+/// first arguments mean a forwarder (`register_counter(name, help)`),
+/// which is not itself a registration site.
+fn first_arg_is_literal(scan: &FileScan, i: usize, pos: usize) -> bool {
+    let mut seen_paren = false;
+    for (j, line) in scan.lines.iter().enumerate().skip(i).take(12) {
+        let start = if j == i { pos } else { 0 };
+        for c in line.code[start..].chars() {
+            if !seen_paren {
+                if c == '(' {
+                    seen_paren = true;
+                } else if !c.is_whitespace() {
+                    return false;
+                }
+            } else if !c.is_whitespace() {
+                return c == '"';
+            }
+        }
+    }
+    false
+}
+
+/// Metric registration sites in one file: direct `register_*` calls
+/// plus calls through local closure wrappers of the form
+/// `let c = |name, help| registry.register_counter(name, help);`.
+pub fn metric_sites(scan: &FileScan) -> Vec<MetricSite> {
+    // Pass 1: wrapper closures that forward to a register fn.
+    let mut wrappers: Vec<(String, &'static str)> = Vec::new();
+    for (i, line) in scan.lines.iter().enumerate() {
+        if scan.in_test[i] {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        let Some(rest) = trimmed.strip_prefix("let ") else {
+            continue;
+        };
+        if !trimmed.contains('|') {
+            continue;
+        }
+        for &(f, kind) in REGISTER_FNS {
+            if has_word(&line.code, f) {
+                if let Some(id) = ident_at(rest, 0) {
+                    wrappers.push((id.to_string(), kind));
+                }
+            }
+        }
+    }
+    // Pass 2: call sites of register fns and wrappers.
+    let mut out = Vec::new();
+    for (i, line) in scan.lines.iter().enumerate() {
+        if scan.in_test[i] {
+            continue;
+        }
+        let code = &line.code;
+        let mut calls: Vec<(usize, &'static str)> = Vec::new();
+        for &(f, kind) in REGISTER_FNS {
+            for pos in word_positions(code, f) {
+                if code[pos + f.len()..].trim_start().starts_with('(') {
+                    calls.push((pos + f.len(), kind));
+                }
+            }
+        }
+        for (w, kind) in &wrappers {
+            for pos in word_positions(code, w) {
+                if code[pos + w.len()..].starts_with('(') {
+                    calls.push((pos + w.len(), kind));
+                }
+            }
+        }
+        calls.sort_unstable_by_key(|&(pos, _)| pos);
+        for (pos, kind) in calls {
+            if !first_arg_is_literal(scan, i, pos) {
+                continue; // dynamic name: a forwarder, not a registration
+            }
+            let lits = call_literals(scan, i, pos);
+            if lits.is_empty() {
+                continue;
+            }
+            out.push(MetricSite {
+                path: scan.path.clone(),
+                line: i + 1,
+                kind,
+                name: lits.first().cloned(),
+                help: lits.get(1).cloned(),
+            });
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -512,6 +686,32 @@ pub fn check(files: &[FileScan]) -> Vec<Finding> {
         }
     }
 
+    // Rule 5: metric registration hygiene.
+    for scan in files {
+        if is_test_path(&scan.path) {
+            continue;
+        }
+        for site in metric_sites(scan) {
+            let Some(name) = &site.name else { continue };
+            if !is_snake_case(name) {
+                findings.push(Finding {
+                    rule: RULE_METRICS,
+                    path: site.path.clone(),
+                    line: site.line,
+                    message: format!("{} `{name}` is not snake_case", site.kind),
+                });
+            }
+            if site.help.as_ref().is_none_or(|h| h.trim().is_empty()) {
+                findings.push(Finding {
+                    rule: RULE_METRICS,
+                    path: site.path.clone(),
+                    line: site.line,
+                    message: format!("{} `{name}` has no help string", site.kind),
+                });
+            }
+        }
+    }
+
     findings.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
     findings
 }
@@ -599,6 +799,20 @@ pub fn list(files: &[FileScan], rule: &str) -> Vec<String> {
                         e.oracle_fn(),
                         e.plan_file()
                     ));
+                }
+            }
+        }
+        RULE_METRICS => {
+            for scan in files {
+                if is_test_path(&scan.path) {
+                    continue;
+                }
+                for s in metric_sites(scan) {
+                    let name = s.name.as_deref().unwrap_or("?");
+                    let ok = s.name.as_deref().is_some_and(is_snake_case)
+                        && s.help.as_ref().is_some_and(|h| !h.trim().is_empty());
+                    let status = if ok { "ok" } else { "BAD" };
+                    out.push(format!("{}:{}: {} {name}: {status}", s.path, s.line, s.kind));
                 }
             }
         }

@@ -5,7 +5,7 @@
 //! on a violation.
 
 use dbep_lint::check_sources;
-use dbep_lint::rules::{RULE_ATOMICS, RULE_REGISTRY, RULE_SIMD, RULE_UNSAFE};
+use dbep_lint::rules::{RULE_ATOMICS, RULE_METRICS, RULE_REGISTRY, RULE_SIMD, RULE_UNSAFE};
 
 fn rules_of(findings: &[dbep_lint::Finding]) -> Vec<&'static str> {
     findings.iter().map(|f| f.rule).collect()
@@ -260,6 +260,81 @@ fn equivalence_sweep_length_mismatch_is_flagged() {
     assert!(report.findings.iter().any(|f| f
         .message
         .contains("QueryId::ALL has 1 entries but REGISTRY has 2")));
+}
+
+// -----------------------------------------------------------------
+// Rule: metrics
+// -----------------------------------------------------------------
+
+#[test]
+fn well_formed_metric_registration_is_clean() {
+    let src = "pub fn wire(r: &Registry) {\n    \
+               let c = r.register_counter(\"queries_started\", \"Query runs begun.\");\n    \
+               let h = r.register_histogram(\"latency_ns\", \"Per-run latency.\");\n}\n";
+    assert!(check_sources([("crates/x/src/lib.rs", src)]).is_clean());
+}
+
+#[test]
+fn non_snake_case_metric_name_is_flagged() {
+    let src = "pub fn wire(r: &Registry) {\n    \
+               let c = r.register_counter(\"QueriesStarted\", \"Query runs begun.\");\n}\n";
+    let report = check_sources([("crates/x/src/lib.rs", src)]);
+    assert_eq!(rules_of(&report.findings), vec![RULE_METRICS]);
+    assert_eq!(report.findings[0].line, 2);
+    assert!(report.findings[0].message.contains("snake_case"));
+}
+
+#[test]
+fn missing_or_empty_help_is_flagged() {
+    let empty = "pub fn wire(r: &Registry) {\n    \
+                 let g = r.register_gauge(\"queue_depth\", \"\");\n}\n";
+    let report = check_sources([("crates/x/src/lib.rs", empty)]);
+    assert_eq!(rules_of(&report.findings), vec![RULE_METRICS]);
+    assert!(report.findings[0].message.contains("help"));
+}
+
+#[test]
+fn multi_line_registration_arguments_are_parsed() {
+    let src = "pub fn wire(r: &Registry) {\n    \
+               let c = r.register_counter(\n        \
+               \"bytes_scanned_total\",\n        \
+               \"Column-payload bytes scanned.\",\n    );\n}\n";
+    assert!(check_sources([("crates/x/src/lib.rs", src)]).is_clean());
+    let bad = "pub fn wire(r: &Registry) {\n    \
+               let c = r.register_counter(\n        \
+               \"Bytes-Scanned\",\n        \
+               \"Column-payload bytes scanned.\",\n    );\n}\n";
+    let report = check_sources([("crates/x/src/lib.rs", bad)]);
+    assert_eq!(rules_of(&report.findings), vec![RULE_METRICS]);
+}
+
+#[test]
+fn closure_wrapper_call_sites_are_checked() {
+    // The EngineMetrics idiom: a local closure forwards to register_*;
+    // the literal call sites through it are the registrations.
+    let src = "pub fn wire(registry: &Registry) {\n    \
+               let c = |name, help| registry.register_counter(name, help);\n    \
+               let ok = c(\"queries_completed\", \"Runs finished.\");\n    \
+               let bad = c(\"Queries-Failed\", \"Runs failed.\");\n}\n";
+    let report = check_sources([("crates/x/src/lib.rs", src)]);
+    assert_eq!(rules_of(&report.findings), vec![RULE_METRICS]);
+    assert_eq!(report.findings[0].line, 4);
+    assert!(report.findings[0].message.contains("Queries-Failed"));
+}
+
+#[test]
+fn dynamic_metric_names_and_test_code_are_exempt() {
+    // A pure forwarder (no literals) is not a registration site, and
+    // test code may register whatever it likes.
+    let fwd = "pub fn reg(r: &Registry, name: &str) -> Arc<Counter> {\n    \
+               r.register_counter(name, \"dynamic help\")\n}\n";
+    assert!(check_sources([("crates/x/src/lib.rs", fwd)]).is_clean());
+    let test_src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                    let r = Registry::new();\n        \
+                    r.register_counter(\"Whatever-Goes\", \"\");\n    }\n}\n";
+    assert!(check_sources([("crates/x/src/lib.rs", test_src)]).is_clean());
+    let bench = "fn main() { r.register_counter(\"Not-Snake\", \"\"); }\n";
+    assert!(check_sources([("crates/x/benches/b.rs", bench)]).is_clean());
 }
 
 #[test]

@@ -1,0 +1,197 @@
+//! Export of a [`TraceSink`](crate::ring::TraceSink) snapshot as Chrome
+//! `trace_event` JSON.
+//!
+//! The output is the JSON-object form (`{"traceEvents": [...]}`) of the
+//! Trace Event Format, loadable in `chrome://tracing` and Perfetto.
+//! Every span becomes one complete event (`"ph": "X"`) with
+//! microsecond `ts`/`dur` (fractional, so nanosecond precision
+//! survives); nesting is by time containment per `tid`, which both
+//! viewers render as stacked slices. The sink records only small
+//! integer ids, so the exporter takes a [`TraceNames`] table mapping
+//! query/stage/engine ordinals back to names.
+
+use crate::json_escape;
+use crate::ring::{SpanEvent, SpanKind, NO_STAGE};
+
+/// Name table for one query ordinal.
+pub struct TraceQuery {
+    /// Query name (the Chrome event name of its query spans).
+    pub name: String,
+    /// Stage names in `QueryPlan::stages` order.
+    pub stages: Vec<String>,
+}
+
+/// Ordinal-to-name tables supplied by the caller at export time.
+pub struct TraceNames {
+    /// Indexed by [`SpanEvent::query`].
+    pub queries: Vec<TraceQuery>,
+    /// Indexed by [`SpanEvent::engine`].
+    pub engines: Vec<String>,
+}
+
+impl TraceNames {
+    fn query_name(&self, ord: u16) -> &str {
+        self.queries.get(ord as usize).map_or("?", |q| q.name.as_str())
+    }
+
+    fn stage_name(&self, query: u16, stage: u16) -> &str {
+        self.queries
+            .get(query as usize)
+            .and_then(|q| q.stages.get(stage as usize))
+            .map_or("?", String::as_str)
+    }
+
+    fn engine_name(&self, ord: u8) -> &str {
+        self.engines.get(ord as usize).map_or("?", String::as_str)
+    }
+}
+
+/// Fractional-microsecond rendering of a nanosecond count (`trace_event`
+/// timestamps are doubles in microseconds).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Render `events` (a [`TraceSink::snapshot`]) as Chrome `trace_event`
+/// JSON. Events are sorted by start time with longer spans first at
+/// equal starts, so parents precede their children in the stream.
+///
+/// [`TraceSink::snapshot`]: crate::ring::TraceSink::snapshot
+pub fn chrome_trace(events: &[SpanEvent], names: &TraceNames) -> String {
+    let mut ordered: Vec<&SpanEvent> = events.iter().collect();
+    ordered.sort_by(|a, b| a.t0_ns.cmp(&b.t0_ns).then(b.dur_ns.cmp(&a.dur_ns)));
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+    for (i, ev) in ordered.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let name = match ev.kind {
+            SpanKind::Query => names.query_name(ev.query).to_string(),
+            SpanKind::Stage => names.stage_name(ev.query, ev.stage).to_string(),
+            SpanKind::Morsel => "morsel".to_string(),
+        };
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \
+             \"pid\": 1, \"tid\": {}, \"args\": {{\"query\": \"{}\", \"engine\": \"{}\", \"run\": {}",
+            json_escape(&name),
+            ev.kind.name(),
+            us(ev.t0_ns),
+            us(ev.dur_ns),
+            ev.tid,
+            json_escape(names.query_name(ev.query)),
+            json_escape(names.engine_name(ev.engine)),
+            ev.run_seq,
+        ));
+        if ev.stage != NO_STAGE {
+            out.push_str(&format!(", \"stage\": {}", ev.stage));
+        }
+        if ev.kind == SpanKind::Morsel {
+            out.push_str(&format!(", \"rows\": {}", ev.rows));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::{QueryTrace, TraceSink};
+    use crate::{json_field, json_str, json_u64};
+
+    fn names() -> TraceNames {
+        TraceNames {
+            queries: vec![
+                TraceQuery {
+                    name: "q6".into(),
+                    stages: vec!["scan-lineitem".into()],
+                },
+                TraceQuery {
+                    name: "q3".into(),
+                    stages: vec!["build-customer".into(), "probe-orders".into()],
+                },
+            ],
+            engines: vec!["typer".into(), "tectorwise".into()],
+        }
+    }
+
+    /// Split the traceEvents array into the individual event objects
+    /// (events are flat objects with one nested `args` object).
+    fn split_events(doc: &str) -> Vec<String> {
+        let body = doc
+            .split_once("\"traceEvents\": [")
+            .expect("traceEvents array")
+            .1
+            .strip_suffix("]}")
+            .expect("closing brackets");
+        let mut events = Vec::new();
+        let mut depth = 0usize;
+        let mut start = None;
+        for (i, c) in body.char_indices() {
+            match c {
+                '{' => {
+                    if depth == 0 {
+                        start = Some(i);
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        events.push(body[start.take().expect("open brace")..=i].to_string());
+                    }
+                }
+                _ => {}
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn export_has_valid_trace_event_fields() {
+        let sink = TraceSink::new(64);
+        let qt = QueryTrace::new(&sink, 1, 1);
+        {
+            let _q = qt.query_span();
+            let _s = qt.stage_span(0);
+            qt.record_morsel(qt.now_ns(), 128);
+        }
+        let doc = chrome_trace(&sink.snapshot(), &names());
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        let events = split_events(&doc);
+        assert_eq!(events.len(), 3);
+        for e in &events {
+            // Every event carries the required trace_event fields.
+            assert_eq!(json_str(e, "ph").as_deref(), Some("X"));
+            assert!(json_str(e, "name").is_some());
+            assert!(json_str(e, "cat").is_some());
+            assert!(json_field(e, "ts").is_some());
+            assert!(json_field(e, "dur").is_some());
+            assert_eq!(json_u64(e, "pid"), Some(1));
+            assert!(json_u64(e, "tid").is_some());
+        }
+        let cats: Vec<String> = events.iter().filter_map(|e| json_str(e, "cat")).collect();
+        assert_eq!(cats, vec!["query", "stage", "morsel"], "parents precede children");
+        assert!(events[1].contains("\"name\": \"build-customer\""));
+        assert!(events[2].contains("\"rows\": 128"));
+        assert!(events.iter().all(|e| e.contains("\"engine\": \"tectorwise\"")));
+    }
+
+    #[test]
+    fn unknown_ordinals_render_as_placeholders() {
+        let sink = TraceSink::new(8);
+        let qt = QueryTrace::new(&sink, 42, 9);
+        drop(qt.query_span());
+        let doc = chrome_trace(&sink.snapshot(), &names());
+        assert!(doc.contains("\"name\": \"?\""));
+        assert!(doc.contains("\"engine\": \"?\""));
+    }
+
+    #[test]
+    fn timestamps_are_fractional_microseconds() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(1_234), "1.234");
+        assert_eq!(us(1_000_007), "1000.007");
+    }
+}

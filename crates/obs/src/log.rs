@@ -1,0 +1,262 @@
+//! The structured query log: one JSONL record per query execution.
+//!
+//! A serving session appends one flat JSON object per run — query,
+//! engine, parameter fingerprint, cache/planning facts, latency, the
+//! scheduler-side `RunStats`, and per-stage wall times when a trace was
+//! attached. The format is the capture substrate for workload mining
+//! (ROADMAP item 5): flat records, one per line, parseable with this
+//! module's [`QueryLogRecord::parse`] (and by any JSON tooling), and
+//! replayable — a record names everything needed to re-prepare and
+//! re-run the execution it describes.
+
+use crate::{json_bool, json_escape, json_str, json_u64, json_u64_array};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One query execution, as logged. All fields are owned values so a
+/// record round-trips `to_json_line` → [`QueryLogRecord::parse`]
+/// exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryLogRecord {
+    /// Position in the log (assigned by [`QueryLog::append`]).
+    pub seq: u64,
+    /// Milliseconds since the Unix epoch at completion time.
+    pub unix_ms: u64,
+    /// Query name (`QueryId::name`).
+    pub query: String,
+    /// Engine name the run was requested under (`Engine::name`).
+    pub engine: String,
+    /// Stable fingerprint of the bound parameters
+    /// ([`crate::fingerprint64`] over their debug rendering).
+    pub params_fp: u64,
+    /// Whether preparation hit the session plan cache.
+    pub cache_hit: bool,
+    /// Preparation wall time in nanoseconds.
+    pub planning_ns: u64,
+    /// End-to-end execution wall time in nanoseconds.
+    pub latency_ns: u64,
+    /// Result rows produced.
+    pub rows: u64,
+    /// Morsels executed on pool workers (`RunStats::morsels_executed`).
+    pub morsels_executed: u64,
+    /// Summed submit-to-first-morsel wait (`RunStats::queue_wait_ns`).
+    pub queue_wait_ns: u64,
+    /// Admission-gate wait (`RunStats::admission_wait_ns`).
+    pub admission_wait_ns: u64,
+    /// Pipelines submitted as pool tasks.
+    pub tasks: u64,
+    /// Cross-query task switches (`RunStats::steals`).
+    pub steals: u64,
+    /// Column-payload bytes scanned.
+    pub bytes_scanned: u64,
+    /// Per-stage wall times in nanoseconds (empty when no stage trace
+    /// was attached to the run).
+    pub stage_ns: Vec<u64>,
+}
+
+impl QueryLogRecord {
+    /// Render as one flat JSON object (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let stages: Vec<String> = self.stage_ns.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"seq\": {}, \"unix_ms\": {}, \"query\": \"{}\", \"engine\": \"{}\", \
+             \"params_fp\": {}, \"cache_hit\": {}, \"planning_ns\": {}, \"latency_ns\": {}, \
+             \"rows\": {}, \"morsels_executed\": {}, \"queue_wait_ns\": {}, \
+             \"admission_wait_ns\": {}, \"tasks\": {}, \"steals\": {}, \"bytes_scanned\": {}, \
+             \"stage_ns\": [{}]}}",
+            self.seq,
+            self.unix_ms,
+            json_escape(&self.query),
+            json_escape(&self.engine),
+            self.params_fp,
+            self.cache_hit,
+            self.planning_ns,
+            self.latency_ns,
+            self.rows,
+            self.morsels_executed,
+            self.queue_wait_ns,
+            self.admission_wait_ns,
+            self.tasks,
+            self.steals,
+            self.bytes_scanned,
+            stages.join(", ")
+        )
+    }
+
+    /// Parse one log line back into a record; `None` if any field is
+    /// missing or malformed.
+    pub fn parse(line: &str) -> Option<QueryLogRecord> {
+        Some(QueryLogRecord {
+            seq: json_u64(line, "seq")?,
+            unix_ms: json_u64(line, "unix_ms")?,
+            query: json_str(line, "query")?,
+            engine: json_str(line, "engine")?,
+            params_fp: json_u64(line, "params_fp")?,
+            cache_hit: json_bool(line, "cache_hit")?,
+            planning_ns: json_u64(line, "planning_ns")?,
+            latency_ns: json_u64(line, "latency_ns")?,
+            rows: json_u64(line, "rows")?,
+            morsels_executed: json_u64(line, "morsels_executed")?,
+            queue_wait_ns: json_u64(line, "queue_wait_ns")?,
+            admission_wait_ns: json_u64(line, "admission_wait_ns")?,
+            tasks: json_u64(line, "tasks")?,
+            steals: json_u64(line, "steals")?,
+            bytes_scanned: json_u64(line, "bytes_scanned")?,
+            stage_ns: json_u64_array(line, "stage_ns")?,
+        })
+    }
+}
+
+/// An append-only JSONL sink for [`QueryLogRecord`]s, shareable across
+/// serving threads. Sequence numbers are assigned at append time;
+/// writes are line-atomic (one short mutex section per record) and
+/// flushed per append, so a crashed process leaves whole records only.
+pub struct QueryLog {
+    seq: AtomicU64,
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl QueryLog {
+    /// Log into any writer (tests use `Vec<u8>`-backed buffers; see
+    /// [`QueryLog::create`] for the file path).
+    pub fn new(out: Box<dyn Write + Send>) -> QueryLog {
+        QueryLog {
+            seq: AtomicU64::new(0),
+            out: Mutex::new(BufWriter::new(out)),
+        }
+    }
+
+    /// Create (truncating) the log file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<QueryLog> {
+        let file = std::fs::File::create(path)?;
+        Ok(QueryLog::new(Box::new(file)))
+    }
+
+    /// Append one record, assigning its sequence number and completion
+    /// timestamp. Returns the assigned sequence number.
+    pub fn append(&self, mut record: QueryLogRecord) -> u64 {
+        // ORDERING: Relaxed — unique-id dispenser; the mutex below
+        // orders the actual writes.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        record.seq = seq;
+        record.unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut out = self.out.lock().expect("query log writer");
+        let _ = writeln!(out, "{}", record.to_json_line());
+        let _ = out.flush();
+        seq
+    }
+
+    /// Records appended so far.
+    pub fn len(&self) -> u64 {
+        // ORDERING: Relaxed — stats read.
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// True before the first append.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn sample() -> QueryLogRecord {
+        QueryLogRecord {
+            seq: 0,
+            unix_ms: 0,
+            query: "q3".into(),
+            engine: "adaptive".into(),
+            params_fp: 0xdead_beef_cafe_f00d,
+            cache_hit: true,
+            planning_ns: 1200,
+            latency_ns: 8_000_000,
+            rows: 11620,
+            morsels_executed: 42,
+            queue_wait_ns: 900,
+            admission_wait_ns: 30,
+            tasks: 3,
+            steals: 2,
+            bytes_scanned: 123_456_789,
+            stage_ns: vec![100, 200, 300],
+        }
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let r = sample();
+        assert_eq!(QueryLogRecord::parse(&r.to_json_line()), Some(r));
+        let empty_stages = QueryLogRecord {
+            stage_ns: vec![],
+            ..sample()
+        };
+        assert_eq!(
+            QueryLogRecord::parse(&empty_stages.to_json_line()),
+            Some(empty_stages)
+        );
+        assert_eq!(QueryLogRecord::parse("{\"seq\": 1}"), None);
+    }
+
+    /// A shared `Vec<u8>` sink observable after the log is dropped.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn appends_assign_seqs_and_write_lines() {
+        let buf = SharedBuf::default();
+        let log = QueryLog::new(Box::new(buf.clone()));
+        assert!(log.is_empty());
+        assert_eq!(log.append(sample()), 0);
+        assert_eq!(log.append(sample()), 1);
+        assert_eq!(log.len(), 2);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let rec = QueryLogRecord::parse(line).expect("parseable line");
+            assert_eq!(rec.seq, i as u64);
+            assert!(rec.unix_ms > 0, "timestamp stamped at append");
+            assert_eq!(rec.query, "q3");
+        }
+    }
+
+    #[test]
+    fn concurrent_appends_keep_lines_whole() {
+        let buf = SharedBuf::default();
+        let log = QueryLog::new(Box::new(buf.clone()));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        log.append(sample());
+                    }
+                });
+            }
+        });
+        assert_eq!(log.len(), 200);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let mut seqs: Vec<u64> = text
+            .lines()
+            .map(|l| QueryLogRecord::parse(l).expect("whole line").seq)
+            .collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..200).collect::<Vec<u64>>());
+    }
+}

@@ -1,0 +1,510 @@
+//! The metrics registry: named counters, gauges and log-linear
+//! histograms, exportable as JSON and Prometheus text exposition.
+//!
+//! Registration takes one short mutex section and hands back an `Arc`
+//! handle; updates on the handles are single relaxed atomic operations,
+//! cheap enough for per-query (not per-tuple) call sites in serving
+//! paths. Names must be `snake_case` and every metric carries a help
+//! string — both enforced at registration (and by the `dbep-lint`
+//! `metrics` rule over the call sites).
+//!
+//! Histograms use **fixed log-linear buckets**: values 0–7 get exact
+//! buckets, then every power-of-two octave splits into 4 linear
+//! sub-buckets, giving ≤ 25 % relative bucket width over the full
+//! `u64` range with a fixed 252-slot table — no configuration, and any
+//! two histograms can be merged bucket-wise.
+
+use crate::json_escape;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        // ORDERING: Relaxed — monotonic stats counter; snapshots are
+        // approximate by design and publish no data.
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — stats read, as above.
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time signed value (queue depths, in-flight counts).
+#[derive(Default)]
+pub struct Gauge {
+    v: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the current value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        // ORDERING: Relaxed — last-writer-wins stats value.
+        self.v.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust by `d` (negative to decrement).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        // ORDERING: Relaxed — stats adjustment.
+        self.v.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        // ORDERING: Relaxed — stats read.
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-buckets per power-of-two octave (2 mantissa bits).
+const SUB: usize = 4;
+/// Exact buckets for values `0..2*SUB`.
+const EXACT: usize = 2 * SUB;
+/// Total fixed bucket count covering all of `u64`.
+pub const HISTOGRAM_BUCKETS: usize = EXACT + (64 - 3) * SUB;
+
+/// Bucket index for `v` (log-linear; monotone in `v`).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < EXACT as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as usize; // >= 3
+    let sub = ((v >> (octave - 2)) & 3) as usize;
+    EXACT + (octave - 3) * SUB + sub
+}
+
+/// Largest value landing in bucket `i` (inclusive; saturates at
+/// `u64::MAX` for the top buckets).
+pub fn bucket_upper(i: usize) -> u64 {
+    if i < EXACT {
+        return i as u64;
+    }
+    let octave = (i - EXACT) / SUB + 3;
+    let sub = ((i - EXACT) % SUB) as u128;
+    let upper = (1u128 << octave) + (sub + 1) * (1u128 << (octave - 2)) - 1;
+    u64::try_from(upper).unwrap_or(u64::MAX)
+}
+
+/// A fixed-bucket log-linear histogram (see the module docs).
+pub struct Histogram {
+    buckets: Box<[AtomicU64; HISTOGRAM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        // ORDERING: Relaxed — stats counters (bucket, count, sum);
+        // snapshots are approximate by design.
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        // ORDERING: Relaxed — stats read.
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        // ORDERING: Relaxed — stats read.
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Occupied buckets as `(inclusive upper bound, count)`, ascending.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                // ORDERING: Relaxed — stats read.
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then(|| (bucket_upper(i), c))
+            })
+            .collect()
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`): the upper bound of the
+    /// bucket where the cumulative count crosses `q * count`. 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (upper, c) in self.buckets() {
+            seen += c;
+            if seen >= rank {
+                return upper;
+            }
+        }
+        u64::MAX
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A named collection of metrics. Registration is idempotent: asking
+/// for an already-registered name of the same kind returns the
+/// existing handle (so layered components can share metrics);
+/// re-registering under a different kind panics.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register<T: Default>(
+        &self,
+        name: &str,
+        help: &str,
+        wrap: impl Fn(Arc<T>) -> Metric,
+        unwrap: impl Fn(&Metric) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        assert!(valid_name(name), "metric name {name:?} is not snake_case");
+        assert!(!help.trim().is_empty(), "metric {name:?} needs a help string");
+        let mut entries = self.entries.lock().expect("metrics registry");
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            return unwrap(&e.metric).unwrap_or_else(|| {
+                panic!("metric {name:?} already registered as a {}", e.metric.type_name())
+            });
+        }
+        let handle = Arc::new(T::default());
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: wrap(Arc::clone(&handle)),
+        });
+        handle
+    }
+
+    /// Register (or fetch) a counter. Panics unless `name` is
+    /// snake_case and `help` is non-empty.
+    pub fn register_counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.register(name, help, Metric::Counter, |m| match m {
+            Metric::Counter(c) => Some(Arc::clone(c)),
+            _ => None,
+        })
+    }
+
+    /// Register (or fetch) a gauge. Same validation as counters.
+    pub fn register_gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.register(name, help, Metric::Gauge, |m| match m {
+            Metric::Gauge(g) => Some(Arc::clone(g)),
+            _ => None,
+        })
+    }
+
+    /// Register (or fetch) a histogram. Same validation as counters.
+    pub fn register_histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.register(name, help, Metric::Histogram, |m| match m {
+            Metric::Histogram(h) => Some(Arc::clone(h)),
+            _ => None,
+        })
+    }
+
+    /// Registered metric names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries
+            .lock()
+            .expect("metrics registry")
+            .iter()
+            .map(|e| e.name.clone())
+            .collect()
+    }
+
+    /// Snapshot as a JSON document:
+    /// `{"metrics": [{"name", "type", "help", ...}, ...]}`.
+    pub fn snapshot_json(&self) -> String {
+        let entries = self.entries.lock().expect("metrics registry");
+        let mut out = String::from("{\"metrics\": [");
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"type\": \"{}\", \"help\": \"{}\", ",
+                json_escape(&e.name),
+                e.metric.type_name(),
+                json_escape(&e.help)
+            ));
+            match &e.metric {
+                Metric::Counter(c) => out.push_str(&format!("\"value\": {}}}", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("\"value\": {}}}", g.get())),
+                Metric::Histogram(h) => {
+                    out.push_str("\"buckets\": [");
+                    for (j, (upper, count)) in h.buckets().into_iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!("{{\"le\": {upper}, \"count\": {count}}}"));
+                    }
+                    out.push_str(&format!(
+                        "], \"count\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                        h.count(),
+                        h.sum(),
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99)
+                    ));
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Snapshot in the Prometheus text exposition format (one
+    /// `# HELP`/`# TYPE` pair per metric; histograms as cumulative
+    /// `_bucket{le=...}` series plus `_sum`/`_count`).
+    pub fn prometheus(&self) -> String {
+        let entries = self.entries.lock().expect("metrics registry");
+        let mut out = String::new();
+        for e in entries.iter() {
+            out.push_str(&format!("# HELP {} {}\n", e.name, e.help));
+            out.push_str(&format!("# TYPE {} {}\n", e.name, e.metric.type_name()));
+            match &e.metric {
+                Metric::Counter(c) => out.push_str(&format!("{} {}\n", e.name, c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{} {}\n", e.name, g.get())),
+                Metric::Histogram(h) => {
+                    let mut cumulative = 0;
+                    for (upper, count) in h.buckets() {
+                        cumulative += count;
+                        out.push_str(&format!("{}_bucket{{le=\"{upper}\"}} {cumulative}\n", e.name));
+                    }
+                    out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", e.name, h.count()));
+                    out.push_str(&format!("{}_sum {}\n", e.name, h.sum()));
+                    out.push_str(&format!("{}_count {}\n", e.name, h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_update() {
+        let r = Registry::new();
+        let c = r.register_counter("queries_started", "Query executions begun.");
+        let g = r.register_gauge("queue_depth", "Tasks queued on the pool.");
+        c.inc();
+        c.add(4);
+        g.set(7);
+        g.add(-2);
+        assert_eq!(c.get(), 5);
+        assert_eq!(g.get(), 5);
+        // Idempotent re-registration returns the same handle.
+        assert_eq!(
+            r.register_counter("queries_started", "Query executions begun.")
+                .get(),
+            5
+        );
+        assert_eq!(r.names(), vec!["queries_started", "queue_depth"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not snake_case")]
+    fn camel_case_names_are_rejected() {
+        Registry::new().register_counter("queriesStarted", "help text");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a help string")]
+    fn empty_help_is_rejected() {
+        Registry::new().register_gauge("queue_depth", "  ");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_conflicts_are_rejected() {
+        let r = Registry::new();
+        r.register_counter("x_total", "help");
+        r.register_gauge("x_total", "help");
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_and_monotone() {
+        // Property sweep: indices are monotone in v, every v lands at or
+        // below its bucket's upper bound, and the next bucket's upper
+        // bound is strictly larger.
+        let mut probes: Vec<u64> = (0..200).collect();
+        for shift in 3..63 {
+            for delta in [-1i64, 0, 1] {
+                probes.push(((1u64 << shift) as i64 + delta) as u64);
+            }
+        }
+        probes.push(u64::MAX);
+        probes.sort_unstable();
+        let mut prev_idx = 0;
+        for &v in &probes {
+            let idx = bucket_index(v);
+            assert!(idx < HISTOGRAM_BUCKETS, "index {idx} out of table for {v}");
+            assert!(idx >= prev_idx, "index not monotone at {v}");
+            assert!(
+                v <= bucket_upper(idx),
+                "{v} above its bucket bound {}",
+                bucket_upper(idx)
+            );
+            if idx > 0 {
+                assert!(
+                    v > bucket_upper(idx - 1),
+                    "{v} also fits the previous bucket (upper {})",
+                    bucket_upper(idx - 1)
+                );
+            }
+            prev_idx = idx;
+        }
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        // Log-linear with 4 sub-buckets: bucket width / lower bound
+        // <= 25% for values past the exact range.
+        for i in EXACT..HISTOGRAM_BUCKETS - SUB {
+            let lo = bucket_upper(i - 1) as f64 + 1.0;
+            let hi = bucket_upper(i) as f64;
+            assert!((hi - lo) / lo <= 0.25 + 1e-9, "bucket {i}: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..EXACT as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_sums_and_quantiles() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        let p50 = h.quantile(0.5);
+        assert!((450..=600).contains(&p50), "p50 {p50} off the median");
+        let p99 = h.quantile(0.99);
+        assert!((950..=1100).contains(&p99), "p99 {p99}");
+        assert!(h.quantile(1.0) >= 1000);
+        let total: u64 = h.buckets().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn histogram_concurrent_records_sum() {
+        let h = Histogram::default();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for v in 0..1000 {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+        assert_eq!(h.sum(), 8 * 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn exports_are_well_formed() {
+        let r = Registry::new();
+        r.register_counter("queries_total", "Total query executions.")
+            .add(3);
+        r.register_gauge("inflight", "Queries past admission.").set(-1);
+        let h = r.register_histogram("latency_us", "Query latency in microseconds.");
+        h.record(10);
+        h.record(5000);
+        let json = r.snapshot_json();
+        assert!(json.starts_with("{\"metrics\": ["));
+        assert!(json.contains("\"name\": \"queries_total\""));
+        assert!(json.contains("\"value\": 3"));
+        assert!(json.contains("\"value\": -1"));
+        assert!(json.contains("\"type\": \"histogram\""));
+        assert!(json.contains("\"count\": 2"));
+        let prom = r.prometheus();
+        assert!(prom.contains("# HELP queries_total Total query executions.\n"));
+        assert!(prom.contains("# TYPE queries_total counter\n"));
+        assert!(prom.contains("queries_total 3\n"));
+        assert!(prom.contains("inflight -1\n"));
+        assert!(prom.contains("latency_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(prom.contains("latency_us_sum 5010\n"));
+        assert!(prom.contains("latency_us_count 2\n"));
+    }
+}

@@ -30,6 +30,8 @@ pub mod tpch;
 
 pub use params::Params;
 
+use dbep_obs::QueryTrace;
+use dbep_runtime::counters::{StageCounterGuard, StageCounters};
 use dbep_runtime::hash::HashFn;
 use dbep_runtime::{ExecCtx, Morsels};
 use dbep_scheduler::{QueryRun, StageTimer, StageTrace};
@@ -61,6 +63,13 @@ pub struct ExecCfg<'a> {
     /// Per-pipeline-stage wall-time trace (attached by the adaptive
     /// driver when instrumenting a candidate engine; `None` otherwise).
     pub stage_trace: Option<&'a StageTrace>,
+    /// Span tracing for this execution: stage and morsel spans are
+    /// recorded into the trace's ring-buffer sink. `None` (the default)
+    /// costs nothing — not even a clock read — on the hot paths.
+    pub trace: Option<&'a QueryTrace<'a>>,
+    /// Per-stage hardware-counter accumulators (Table-1 attribution by
+    /// stage); attached by `experiments table1 --per-stage`.
+    pub stage_counters: Option<&'a StageCounters>,
 }
 
 impl Default for ExecCfg<'_> {
@@ -73,8 +82,25 @@ impl Default for ExecCfg<'_> {
             throttle: None,
             sched: None,
             stage_trace: None,
+            trace: None,
+            stage_counters: None,
         }
     }
+}
+
+/// Compound RAII guard for one pipeline stage: wall-time into the
+/// attached [`StageTrace`], a stage span into the attached
+/// [`QueryTrace`], and a hardware-counter delta into the attached
+/// [`StageCounters`] — whichever of the three are present. All fields
+/// are `None` on untraced runs and the guard is free. Fields drop in
+/// declaration order: counters close first so the span's duration
+/// covers the whole instrumented region.
+#[derive(Default)]
+pub struct StageGuard<'a> {
+    // RAII-only fields: never read, their Drop impls do the recording.
+    _counters: Option<StageCounterGuard<'a>>,
+    _span: Option<dbep_obs::SpanGuard<'a, 'a>>,
+    _timer: Option<StageTimer<'a>>,
 }
 
 impl<'a> ExecCfg<'a> {
@@ -112,16 +138,25 @@ impl<'a> ExecCfg<'a> {
         }
     }
 
-    /// Start timing pipeline stage `idx` (index into the plan's
-    /// [`QueryPlan::stages`]): elapsed wall time is recorded into the
-    /// attached [`StageTrace`] when the returned guard drops. No-op
-    /// (returns `None`, nothing recorded) when no trace is attached —
-    /// plans bracket every pipeline unconditionally and only
-    /// instrumented adaptive runs pay for it. Bind the guard for the
-    /// pipeline's scope: `let _stage = cfg.stage(0);`.
+    /// Enter pipeline stage `idx` (index into the plan's
+    /// [`QueryPlan::stages`]): when the returned guard drops, elapsed
+    /// wall time is recorded into the attached [`StageTrace`], a stage
+    /// span into the attached [`QueryTrace`], and a hardware-counter
+    /// delta into the attached [`StageCounters`] — for whichever are
+    /// attached. No-op (empty guard, nothing recorded, no clock read)
+    /// when the run is uninstrumented — plans bracket every pipeline
+    /// unconditionally and only instrumented runs pay for it. Bind the
+    /// guard for the pipeline's scope: `let _stage = cfg.stage(0);`.
     #[inline]
-    pub fn stage(&self, idx: usize) -> Option<StageTimer<'a>> {
-        self.stage_trace.map(|t| t.start(idx))
+    pub fn stage(&self, idx: usize) -> StageGuard<'a> {
+        // Span opens before the counter region and (by field order)
+        // closes after it, so the span brackets the counted work.
+        let span = self.trace.map(|t| t.stage_span(idx as u16));
+        StageGuard {
+            _counters: self.stage_counters.and_then(|c| c.start_stage(idx)),
+            _span: span,
+            _timer: self.stage_trace.map(|t| t.start(idx)),
+        }
     }
 
     /// The execution context parallel regions run on: pooled when a
@@ -156,8 +191,15 @@ impl<'a> ExecCfg<'a> {
         fold: impl Fn(&mut T, Range<usize>) + Sync,
     ) -> Vec<T> {
         self.exec().map_slots(Morsels::new(total), init, |state, r| {
+            // Morsel spans read the clock only when a trace is attached;
+            // untraced serving runs pay nothing here.
+            let t0 = self.trace.map(|t| t.now_ns());
             self.pace(r.len(), row_bits);
+            let rows = r.len();
             fold(state, r);
+            if let (Some(trace), Some(t0)) = (self.trace, t0) {
+                trace.record_morsel(t0, rows.min(u32::MAX as usize) as u32);
+            }
         })
     }
 }
@@ -203,6 +245,15 @@ impl Engine {
             Engine::Volcano => "volcano",
             Engine::Adaptive => "adaptive",
         }
+    }
+
+    /// Position in [`Engine::SELECTABLE`] — the small integer id span
+    /// traces record an engine as (`dbep_obs` name tables index by it).
+    pub fn ordinal(self) -> u8 {
+        Engine::SELECTABLE
+            .iter()
+            .position(|e| *e == self)
+            .expect("every engine is selectable") as u8
     }
 
     /// The static per-stage choice (§4's findings as a rule): hash-table
@@ -317,6 +368,15 @@ impl QueryId {
     /// ids — harnesses must not re-implement this with string matches).
     pub fn from_name(name: &str) -> Option<QueryId> {
         QueryId::ALL.into_iter().find(|q| q.name() == name)
+    }
+
+    /// Position in [`QueryId::ALL`] (== [`REGISTRY`] order, held there
+    /// by test) — the small integer id span traces record a query as.
+    pub fn ordinal(self) -> u16 {
+        QueryId::ALL
+            .iter()
+            .position(|q| *q == self)
+            .expect("QueryId::ALL is exhaustive") as u16
     }
 
     /// Total tuples scanned by this query's plan — the paper's
@@ -469,6 +529,23 @@ pub fn plan(query: QueryId) -> &'static dyn QueryPlan {
         .unwrap_or_else(|| panic!("no registered plan for {:?}", query))
 }
 
+/// Name tables for exporting span traces recorded against this
+/// registry's ordinals ([`QueryId::ordinal`] / [`Engine::ordinal`] /
+/// stage indices) — the bridge between the id-only `dbep_obs` sink and
+/// human-readable Chrome trace output.
+pub fn trace_names() -> dbep_obs::TraceNames {
+    dbep_obs::TraceNames {
+        queries: REGISTRY
+            .iter()
+            .map(|p| dbep_obs::TraceQuery {
+                name: p.id().name().to_string(),
+                stages: p.stages().iter().map(|s| s.name.to_string()).collect(),
+            })
+            .collect(),
+        engines: Engine::SELECTABLE.iter().map(|e| e.name().to_string()).collect(),
+    }
+}
+
 /// Run any benchmark query on any engine with the paper's default
 /// parameters (harness entry point; see [`run_with`] for bound
 /// parameters and `dbep_core::Session` for the prepare-once API).
@@ -555,6 +632,87 @@ mod registry_tests {
                 }
             }
         }
+    }
+
+    /// Ordinals are positions in the canonical arrays, and the exported
+    /// name tables line up with them — a span recorded with
+    /// `(q.ordinal(), e.ordinal(), stage_idx)` names back correctly.
+    #[test]
+    fn ordinals_and_trace_names_line_up() {
+        let names = trace_names();
+        assert_eq!(names.queries.len(), QueryId::ALL.len());
+        assert_eq!(names.engines.len(), Engine::SELECTABLE.len());
+        for q in QueryId::ALL {
+            assert_eq!(names.queries[q.ordinal() as usize].name, q.name());
+            let stages = plan(q).stages();
+            assert_eq!(names.queries[q.ordinal() as usize].stages.len(), stages.len());
+        }
+        for e in Engine::SELECTABLE {
+            assert_eq!(names.engines[e.ordinal() as usize], e.name());
+        }
+        assert_eq!(QueryId::Q1.ordinal(), 0);
+        assert_eq!(Engine::Typer.ordinal(), 0);
+    }
+
+    /// `ExecCfg::stage` with traces attached records into all three
+    /// instruments; without, the guard is inert.
+    #[test]
+    fn stage_guard_feeds_attached_instruments() {
+        let cfg = ExecCfg::default();
+        drop(cfg.stage(0)); // inert guard on an uninstrumented cfg
+
+        let sink = dbep_obs::TraceSink::new(64);
+        let qt = QueryTrace::new(&sink, QueryId::Q6.ordinal(), Engine::Typer.ordinal());
+        let st = StageTrace::new(2);
+        let sc = StageCounters::new(2);
+        let cfg = ExecCfg {
+            stage_trace: Some(&st),
+            trace: Some(&qt),
+            stage_counters: Some(&sc),
+            ..ExecCfg::default()
+        };
+        {
+            let _g = cfg.stage(1);
+            std::hint::black_box(std::time::Instant::now());
+        }
+        assert!(st.snapshot()[1] > 0, "stage timer recorded");
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 1, "one stage span recorded");
+        assert_eq!(events[0].stage, 1);
+        // Counter samples appear only where perf is available.
+        let samples = sc.snapshot()[1].samples;
+        assert!(samples <= 1);
+    }
+
+    /// Morsel spans from `map_scan` carry rows and land under the
+    /// current stage.
+    #[test]
+    fn map_scan_emits_morsel_spans_when_traced() {
+        let sink = dbep_obs::TraceSink::new(256);
+        let qt = QueryTrace::new(&sink, QueryId::Q6.ordinal(), Engine::Tectorwise.ordinal());
+        let cfg = ExecCfg {
+            trace: Some(&qt),
+            ..ExecCfg::default()
+        };
+        let total = 10_000;
+        let states = {
+            let _stage = cfg.stage(0);
+            cfg.map_scan(total, 64, |_| 0usize, |acc, r| *acc += r.len())
+        };
+        assert_eq!(states.iter().sum::<usize>(), total);
+        let events = sink.snapshot();
+        let morsels: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == dbep_obs::SpanKind::Morsel)
+            .collect();
+        assert!(!morsels.is_empty());
+        assert_eq!(morsels.iter().map(|e| e.rows as usize).sum::<usize>(), total);
+        assert!(morsels.iter().all(|e| e.stage == 0), "attributed to stage 0");
+
+        // Untraced cfg: same scan still works with no trace attached.
+        let cfg = ExecCfg::default();
+        let states = cfg.map_scan(total, 64, |_| 0usize, |acc, r| *acc += r.len());
+        assert_eq!(states.iter().sum::<usize>(), total);
     }
 
     #[test]

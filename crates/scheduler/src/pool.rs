@@ -53,6 +53,25 @@ pub struct RunStats {
     pub bytes_scanned: u64,
 }
 
+impl RunStats {
+    /// Morsels executed on pool workers (`morsels`, under the name the
+    /// observability layer exports it as).
+    pub fn morsels_executed(&self) -> u64 {
+        self.morsels
+    }
+
+    /// [`RunStats::queue_wait`] in integer nanoseconds, the unit the
+    /// query log and metrics registry record.
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.queue_wait.as_nanos() as u64
+    }
+
+    /// [`RunStats::admission_wait`] in integer nanoseconds.
+    pub fn admission_wait_ns(&self) -> u64 {
+        self.admission_wait.as_nanos() as u64
+    }
+}
+
 #[derive(Default)]
 struct StatsCell {
     admission_wait_ns: AtomicU64,
@@ -226,6 +245,17 @@ impl Scheduler {
     /// scheduler itself is gone (shutdown/leak tests).
     pub fn live_counter(&self) -> Arc<AtomicUsize> {
         Arc::clone(&self.inner.live)
+    }
+
+    /// Tasks (pipelines) currently queued or running on the pool — the
+    /// instantaneous work-queue depth a metrics gauge samples.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.state.lock().expect("pool state").tasks.len()
+    }
+
+    /// Query runs currently holding an admission slot.
+    pub fn inflight(&self) -> usize {
+        self.inner.state.lock().expect("pool state").inflight
     }
 
     /// Enter the admission gate: blocks while [`Scheduler::max_inflight`]
