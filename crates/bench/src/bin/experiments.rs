@@ -8,7 +8,8 @@
 //!
 //! Ids: `fig3 table1 fig4 fig5 ssb table2 fig6 fig7 fig8 fig9 fig10
 //! table3 table4 table5 fig11 oltp table6 query serve metrics
-//! compression all`. Each prints the
+//! compression all`, plus the standalone network experiments
+//! `serve-net` and `load` (excluded from `all`). Each prints the
 //! same rows/series the paper reports (EXPERIMENTS.md records paper-
 //! versus-measured). Scale-factor defaults are sized for a ~20 GB host;
 //! pass `--sf` to reproduce the paper's exact scales on bigger machines.
@@ -44,6 +45,26 @@
 //! and per-query scheduler stats (admission wait, queue wait,
 //! morsels, steals, bytes scanned). Example:
 //! `experiments -- serve --sf 0.1 --clients 1,4,16 --duration-ms 2000`.
+//!
+//! `serve-net` stands the TCP front-end (`dbep-net`) up for external
+//! clients: it binds `--addr`/`--port` (default `127.0.0.1:7878`),
+//! serves the mixed TPC-H + SSB workload over the length-prefixed wire
+//! protocol (pooled unless `--mode spawn`), and drains when a client
+//! sends the SHUTDOWN frame. `load` is the **open-loop** companion: it
+//! sweeps `--rate R[,R...]` offered rates (requests/second), scheduling
+//! arrivals by a seeded Poisson process *decoupled from completions* —
+//! latency is measured from the scheduled arrival, so queueing delay
+//! under overload is charged to the tail percentiles instead of
+//! silently throttling the offered rate the way closed-loop clients
+//! do. Each (mode, engine) curve reports goodput vs offered rate,
+//! interpolated p50/p95/p99, RETRY counts (admission-gate pushback on
+//! the wire), and the **knee** — the last swept rate with goodput ≥
+//! 95 % of offered. Without `--port` it self-hosts an in-process server
+//! per scenario on an ephemeral loopback port; with `--addr`/`--port`
+//! it drives an external `serve-net`. `--conns` sizes the connection
+//! pool carrying the schedule; `--duration-ms` is the window per sweep
+//! point. Example:
+//! `experiments -- load --sf 0.1 --rate 16,64,256 --duration-ms 2000 --json`.
 //!
 //! Observability surfaces: `query --trace out.json` attaches the span
 //! sink and exports the run as Chrome `trace_event` JSON (load in
@@ -86,10 +107,21 @@ struct Args {
     engine: Option<Engine>,
     /// `serve`: closed-loop client counts (`--clients 1,4,16`).
     clients: Vec<usize>,
-    /// `serve`: measured duration per scenario in milliseconds.
+    /// `serve`/`load`: measured duration per scenario in milliseconds.
     duration_ms: u64,
-    /// `serve`: `pool`, `spawn`, or `both`.
+    /// `serve`/`load`: `pool`, `spawn`, or `both`; `serve-net`: `spawn`
+    /// picks the pool-less baseline, anything else serves pooled.
     mode: String,
+    /// `load`: open-loop offered rates in requests/second
+    /// (`--rate 16,64,256`).
+    rate: Vec<u32>,
+    /// `serve-net`: bind address; `load`: server address to drive.
+    addr: Option<String>,
+    /// `serve-net`: listen port (default 7878); `load`: remote server
+    /// port — absent means self-host in-process on an ephemeral port.
+    port: Option<u16>,
+    /// `load`: connection workers carrying the open-loop schedule.
+    conns: usize,
     /// Build compressed companions after generation (`--encoded`).
     encoded: bool,
     /// `query`: export a Chrome `trace_event` JSON file (`--trace out.json`).
@@ -162,6 +194,27 @@ where
         .unwrap_or_else(|e| usage_error(&format!("{flag} got {value:?}: {e} (usage: {flag} {form})")))
 }
 
+/// Parse a comma-separated list of positive integers — the shared
+/// shape of `--clients` and `--rate`. Empty lists, zeros and garbage
+/// all exit 2 naming the flag and its accepted form.
+fn parse_u32_list(value: &str, flag: &str, form: &str) -> Vec<u32> {
+    if value.trim().is_empty() {
+        usage_error(&format!("{flag} got an empty list (usage: {flag} {form})"));
+    }
+    value
+        .split(',')
+        .map(|item| {
+            let n: u32 = parse_value(item.trim(), flag, form);
+            if n == 0 {
+                usage_error(&format!(
+                    "{flag} values must be at least 1 (usage: {flag} {form})"
+                ));
+            }
+            n
+        })
+        .collect()
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         id: String::new(),
@@ -175,6 +228,10 @@ fn parse_args() -> Args {
         clients: vec![4],
         duration_ms: 2000,
         mode: "both".to_string(),
+        rate: vec![16, 32, 64, 128, 256],
+        addr: None,
+        port: None,
+        conns: 32,
         encoded: false,
         trace: None,
         per_stage: false,
@@ -215,21 +272,40 @@ fn parse_args() -> Args {
             }
             "--clients" => {
                 let v = flag_value(&mut it, "--clients", "N[,N...]");
-                if v.trim().is_empty() {
+                args.clients = parse_u32_list(&v, "--clients", "N[,N...], e.g. --clients 1,4,16")
+                    .into_iter()
+                    .map(|n| n as usize)
+                    .collect();
+            }
+            "--rate" => {
+                let v = flag_value(&mut it, "--rate", "R[,R...]");
+                args.rate = parse_u32_list(&v, "--rate", "R[,R...] requests/second, e.g. --rate 16,64,256");
+            }
+            "--addr" => {
+                let v = flag_value(&mut it, "--addr", "<ip>");
+                if v.parse::<std::net::IpAddr>().is_err() {
+                    usage_error(&format!(
+                        "--addr got {v:?}: not an IP address (usage: --addr <ip>, e.g. --addr 127.0.0.1)"
+                    ));
+                }
+                args.addr = Some(v);
+            }
+            "--port" => {
+                let v = flag_value(&mut it, "--port", "<1-65535>");
+                let p: u16 = parse_value(&v, "--port", "<1-65535>, e.g. --port 7878");
+                if p == 0 {
                     usage_error(
-                        "--clients got an empty list (usage: --clients N[,N...], e.g. --clients 1,4,16)",
+                        "--port 0 would pick an ephemeral port; pass an explicit one (usage: --port <1-65535>)",
                     );
                 }
-                args.clients = v
-                    .split(',')
-                    .map(|c| {
-                        let n: usize = parse_value(c, "--clients", "N[,N...], e.g. --clients 1,4,16");
-                        if n == 0 {
-                            usage_error("--clients counts must be at least 1");
-                        }
-                        n
-                    })
-                    .collect();
+                args.port = Some(p);
+            }
+            "--conns" => {
+                let v = flag_value(&mut it, "--conns", "<count>");
+                args.conns = parse_value(&v, "--conns", "<count>, e.g. --conns 32");
+                if args.conns == 0 {
+                    usage_error("--conns must be at least 1 (usage: --conns <count>)");
+                }
             }
             "--duration-ms" => {
                 let v = flag_value(&mut it, "--duration-ms", "<milliseconds>");
@@ -2027,6 +2103,401 @@ fn compression(a: &Args) {
 
 type Experiment = fn(&Args);
 
+// ---------------------------------------------------------------------
+// serve-net: stand the TCP front-end up for external clients.
+// ---------------------------------------------------------------------
+fn serve_net(a: &Args) {
+    use dbep_net::{Server, ServerConfig};
+    let sf = a.sf.unwrap_or(0.1);
+    let threads = a.threads.unwrap_or_else(cores);
+    let pool = a.mode != "spawn"; // `both` (the default) serves pooled
+    let tpch = Arc::new(maybe_encode(gen_tpch(sf), a));
+    let ssb = Arc::new(maybe_encode(gen_ssb(sf), a));
+    let metrics = a.obs.then(dbep_core::EngineMetrics::new);
+    let cfg = ServerConfig {
+        threads,
+        pool,
+        metrics: metrics.clone(),
+        ..ServerConfig::default()
+    };
+    let addr = format!(
+        "{}:{}",
+        a.addr.as_deref().unwrap_or("127.0.0.1"),
+        a.port.unwrap_or(7878)
+    );
+    let server = Server::serve(&addr, Some(tpch), Some(ssb), cfg).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "serving TPC-H + SSB (SF={sf}) on {} — mode={}, {threads} threads; a SHUTDOWN frame drains",
+        server.local_addr(),
+        if pool { "pool" } else { "spawn" },
+    );
+    server.join();
+    if let Some(m) = &metrics {
+        println!("{}", m.registry().snapshot_json());
+    }
+    eprintln!("[serve-net] drained");
+}
+
+// ---------------------------------------------------------------------
+// load: open-loop latency-vs-offered-load sweep over TCP loopback.
+// Arrivals follow a Poisson schedule decoupled from completions, so
+// queueing delay is charged to latency (measured from the *scheduled*
+// arrival) instead of silently throttling the offered rate the way the
+// closed-loop `serve` experiment does.
+// ---------------------------------------------------------------------
+
+/// One open-loop request, timed against its schedule.
+struct LoadSample {
+    /// Scheduled arrival offset from the sweep-point start.
+    scheduled: Duration,
+    /// Completion offset from the sweep-point start.
+    done_at: Duration,
+    outcome: LoadOutcome,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum LoadOutcome {
+    /// RESULT frame: counts toward goodput.
+    Done,
+    /// RETRY frame: the admission gate pushed back.
+    Retried,
+    /// Typed error, transport failure, or no connection.
+    Failed,
+}
+
+/// One measured sweep point.
+struct LoadReport {
+    offered: u32,
+    sent: usize,
+    done: usize,
+    retried: usize,
+    failed: usize,
+    /// RESULT completions inside the window, per second.
+    goodput: f64,
+    /// Schedule-relative latency percentiles over RESULT completions.
+    p50: Duration,
+    p95: Duration,
+    p99: Duration,
+}
+
+/// One (mode, engine) curve over the swept rates.
+struct LoadCurve {
+    mode: &'static str,
+    engine: Engine,
+    points: Vec<LoadReport>,
+    /// Largest swept rate the server kept up with (goodput ≥ 95 % of
+    /// offered, monotone prefix); `None` = saturated below the sweep.
+    knee: Option<f64>,
+}
+
+/// Drive one Poisson schedule through `conns` connections sharing an
+/// atomic claim index. Lateness is never forgiven: a worker that falls
+/// behind sends immediately and the delay lands in the sample.
+fn open_loop(
+    addr: std::net::SocketAddr,
+    engine: Engine,
+    queries: &[QueryId],
+    arrivals: &[Duration],
+    conns: usize,
+    window: Duration,
+) -> Vec<LoadSample> {
+    use dbep_net::{Client, Response};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let samples = std::sync::Mutex::new(Vec::with_capacity(arrivals.len()));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..conns {
+            let (next, samples) = (&next, &samples);
+            s.spawn(move || {
+                let mut client = Client::connect(addr).ok();
+                let mut local = Vec::new();
+                loop {
+                    // ORDERING: a pure claim ticket — no data is
+                    // published through this counter.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&scheduled) = arrivals.get(i) else {
+                        break;
+                    };
+                    if let Some(wait) = scheduled.checked_sub(start.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    // Drain bound: past 2× the window the point is
+                    // already decided (nothing completing now lands
+                    // inside it) — shed the rest of the schedule as
+                    // failures instead of queueing on a saturated
+                    // server for minutes. Only spawn mode hits this;
+                    // pooled overload answers RETRY immediately.
+                    if start.elapsed() > window * 2 {
+                        local.push(LoadSample {
+                            scheduled,
+                            done_at: start.elapsed(),
+                            outcome: LoadOutcome::Failed,
+                        });
+                        continue;
+                    }
+                    let q = queries[i % queries.len()];
+                    if client.is_none() {
+                        client = Client::connect(addr).ok();
+                    }
+                    let mut lost = false;
+                    let outcome = match client.as_mut() {
+                        None => LoadOutcome::Failed,
+                        Some(c) => match c.run_params(q.name(), engine.name(), "") {
+                            Ok(Response::Result(_)) => LoadOutcome::Done,
+                            Ok(Response::Retry { .. }) => LoadOutcome::Retried,
+                            Ok(_) => LoadOutcome::Failed,
+                            Err(_) => {
+                                lost = true;
+                                LoadOutcome::Failed
+                            }
+                        },
+                    };
+                    if lost {
+                        client = None;
+                    }
+                    local.push(LoadSample {
+                        scheduled,
+                        done_at: start.elapsed(),
+                        outcome,
+                    });
+                }
+                samples.lock().expect("load samples").extend(local);
+            });
+        }
+    });
+    samples.into_inner().expect("load samples")
+}
+
+fn load_cmd(a: &Args) {
+    use dbep_bench::load::{find_knee, poisson_arrivals, LoadPoint};
+    use dbep_bench::serve_stats::{percentile, throughput};
+    use dbep_net::{Client, Server, ServerConfig};
+    use std::net::ToSocketAddrs;
+
+    let sf = a.sf.unwrap_or(0.1);
+    let threads = a.threads.unwrap_or_else(cores);
+    let window = Duration::from_millis(a.duration_ms);
+    let queries = a.queries(&QueryId::ALL);
+    let engines = match a.engine {
+        Some(e) => vec![e],
+        None => Engine::SELECTABLE.to_vec(),
+    };
+    // `--port` points the sweep at an externally started server (one
+    // fixed mode, labeled `remote`); otherwise each (mode, engine)
+    // scenario self-hosts a fresh in-process server on loopback.
+    let remote: Option<std::net::SocketAddr> = a.port.map(|p| {
+        let target = format!("{}:{p}", a.addr.as_deref().unwrap_or("127.0.0.1"));
+        target
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut i| i.next())
+            .unwrap_or_else(|| usage_error(&format!("--addr/--port: cannot resolve {target:?}")))
+    });
+    let modes: Vec<&'static str> = match (&remote, a.mode.as_str()) {
+        (Some(_), _) => vec!["remote"],
+        (None, "pool") => vec!["pool"],
+        (None, "spawn") => vec!["spawn"],
+        _ => vec!["spawn", "pool"],
+    };
+    let (tpch, ssb) = if remote.is_none() {
+        (
+            queries
+                .iter()
+                .any(|q| !QueryId::SSB.contains(q))
+                .then(|| Arc::new(maybe_encode(gen_tpch(sf), a))),
+            queries
+                .iter()
+                .any(|q| QueryId::SSB.contains(q))
+                .then(|| Arc::new(maybe_encode(gen_ssb(sf), a))),
+        )
+    } else {
+        (None, None)
+    };
+    let mut curves = Vec::new();
+    for mode in &modes {
+        for &engine in &engines {
+            let server = remote.is_none().then(|| {
+                Server::serve(
+                    "127.0.0.1:0",
+                    tpch.clone(),
+                    ssb.clone(),
+                    ServerConfig {
+                        threads,
+                        pool: *mode == "pool",
+                        ..ServerConfig::default()
+                    },
+                )
+                .expect("bind loopback server")
+            });
+            let addr = server
+                .as_ref()
+                .map(|s| s.local_addr())
+                .or(remote)
+                .expect("a server to drive");
+            // Warm-up outside the clock: first-touch effects, plan-cache
+            // fills, and (for Adaptive) both exploration runs.
+            let warmups = if engine == Engine::Adaptive { 2 } else { 1 };
+            let mut warm = Client::connect(addr).expect("warm-up connection");
+            for q in &queries {
+                for _ in 0..warmups {
+                    let _ = warm.run_params(q.name(), engine.name(), "");
+                }
+            }
+            drop(warm);
+            let mut points = Vec::new();
+            for &rate in &a.rate {
+                eprintln!(
+                    "[load] mode={mode} engine={} rate={rate}/s conns={} window={window:?}",
+                    engine.name(),
+                    a.conns
+                );
+                // Deterministic per-point schedule: re-runs sweep the
+                // same arrival offsets.
+                let seed = dbep_obs::fingerprint64(format!("{mode}/{}/{rate}", engine.name()).as_bytes());
+                let arrivals = poisson_arrivals(rate as f64, window, &mut SmallRng::seed_from_u64(seed));
+                let samples = open_loop(addr, engine, &queries, &arrivals, a.conns, window);
+                let mut lat: Vec<Duration> = samples
+                    .iter()
+                    .filter(|s| s.outcome == LoadOutcome::Done)
+                    .map(|s| s.done_at.saturating_sub(s.scheduled))
+                    .collect();
+                lat.sort_unstable();
+                let done_at: Vec<Duration> = samples
+                    .iter()
+                    .filter(|s| s.outcome == LoadOutcome::Done)
+                    .map(|s| s.done_at)
+                    .collect();
+                let count = |o: LoadOutcome| samples.iter().filter(|s| s.outcome == o).count();
+                points.push(LoadReport {
+                    offered: rate,
+                    sent: samples.len(),
+                    done: count(LoadOutcome::Done),
+                    retried: count(LoadOutcome::Retried),
+                    failed: count(LoadOutcome::Failed),
+                    goodput: throughput(&done_at, window).qps,
+                    p50: percentile(&lat, 0.50),
+                    p95: percentile(&lat, 0.95),
+                    p99: percentile(&lat, 0.99),
+                });
+            }
+            if let Some(server) = server {
+                server.shutdown();
+                server.join();
+            }
+            let knee = find_knee(
+                &points
+                    .iter()
+                    .map(|p| LoadPoint {
+                        offered: p.offered as f64,
+                        sent: p.sent as f64 / window.as_secs_f64(),
+                        goodput: p.goodput,
+                    })
+                    .collect::<Vec<_>>(),
+                0.95,
+            );
+            curves.push(LoadCurve {
+                mode,
+                engine,
+                points,
+                knee,
+            });
+        }
+    }
+    if a.json {
+        load_json(a, sf, threads, &queries, &curves);
+    } else {
+        load_text(sf, threads, a.conns, &queries, &curves);
+    }
+}
+
+fn load_text(sf: f64, threads: usize, conns: usize, queries: &[QueryId], curves: &[LoadCurve]) {
+    println!("# load — open-loop offered-rate sweep, SF={sf}, {threads} worker threads, {conns} connections");
+    println!(
+        "# mix: {}",
+        queries.iter().map(|q| q.name()).collect::<Vec<_>>().join(" ")
+    );
+    println!(
+        "{:<6} {:<11} {:>8} {:>7} {:>7} {:>7} {:>6} {:>10} {:>9} {:>9} {:>9}",
+        "mode", "engine", "offered", "sent", "done", "retry", "fail", "goodput", "p50", "p95", "p99"
+    );
+    for c in curves {
+        for p in &c.points {
+            println!(
+                "{:<6} {:<11} {:>8} {:>7} {:>7} {:>7} {:>6} {:>10.2} {:>9} {:>9} {:>9}",
+                c.mode,
+                c.engine.name(),
+                p.offered,
+                p.sent,
+                p.done,
+                p.retried,
+                p.failed,
+                p.goodput,
+                fmt_ms(p.p50),
+                fmt_ms(p.p95),
+                fmt_ms(p.p99),
+            );
+        }
+        match c.knee {
+            Some(k) => println!(
+                "       {} {}: knee at {k:.0}/s (last offered rate with goodput ≥ 95 %)",
+                c.mode,
+                c.engine.name()
+            ),
+            None => println!(
+                "       {} {}: saturated below the lowest swept rate",
+                c.mode,
+                c.engine.name()
+            ),
+        }
+    }
+}
+
+fn load_json(a: &Args, sf: f64, threads: usize, queries: &[QueryId], curves: &[LoadCurve]) {
+    use dbep_bench::json;
+    let rendered = curves.iter().map(|c| {
+        let points = c.points.iter().map(|p| {
+            json::Object::new()
+                .field("offered_per_s", format!("{}", p.offered))
+                .field("sent", format!("{}", p.sent))
+                .field("done", format!("{}", p.done))
+                .field("retried", format!("{}", p.retried))
+                .field("failed", format!("{}", p.failed))
+                .field("goodput_per_s", json::number(p.goodput))
+                .field("p50_ms", json::number(p.p50.as_secs_f64() * 1e3))
+                .field("p95_ms", json::number(p.p95.as_secs_f64() * 1e3))
+                .field("p99_ms", json::number(p.p99.as_secs_f64() * 1e3))
+                .build()
+        });
+        json::Object::new()
+            .field("mode", json::string(c.mode))
+            .field("engine", json::string(c.engine.name()))
+            .field("points", json::array(points))
+            .field("knee_per_s", c.knee.map_or("null".to_string(), json::number))
+            .build()
+    });
+    let doc = json::Object::new()
+        .field("experiment", json::string("load"))
+        .field("sf", json::number(sf))
+        .field("threads", format!("{threads}"))
+        .field("conns", format!("{}", a.conns))
+        .field("window_ms", format!("{}", a.duration_ms))
+        .field(
+            "mix",
+            json::array(queries.iter().map(|q| json::string(q.name()))),
+        )
+        .field(
+            "knee_definition",
+            json::string("largest swept offered rate whose goodput stays within 95% of offered, with every lower swept rate also keeping up"),
+        )
+        .field("curves", json::array(rendered))
+        .build();
+    println!("{doc}");
+}
+
 fn main() {
     let args = parse_args();
     let t = Instant::now();
@@ -2053,19 +2524,26 @@ fn main() {
         ("metrics", metrics_cmd),
         ("compression", compression),
     ];
+    // Standalone network experiments: excluded from `all` (serve-net
+    // blocks on the wire until a SHUTDOWN frame, load sweeps minutes).
+    let standalone: Vec<(&str, Experiment)> = vec![("serve-net", serve_net), ("load", load_cmd)];
     if args.id == "all" {
         for (name, f) in &all {
             println!("\n================ {name} ================");
             f(&args);
         }
     } else {
-        match all.iter().find(|(n, _)| *n == args.id) {
+        match all.iter().chain(standalone.iter()).find(|(n, _)| *n == args.id) {
             Some((_, f)) => f(&args),
             None => {
                 eprintln!(
                     "unknown experiment '{}'; known: {} all",
                     args.id,
-                    all.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+                    all.iter()
+                        .chain(standalone.iter())
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(" ")
                 );
                 std::process::exit(2);
             }

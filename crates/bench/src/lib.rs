@@ -4,6 +4,7 @@
 pub mod harness;
 pub mod hwinfo;
 pub mod json;
+pub mod load;
 pub mod serve_stats;
 
 use dbep_runtime::counters::{self, CounterValues};

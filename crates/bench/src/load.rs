@@ -1,0 +1,200 @@
+//! Open-loop load generation for the `load` experiment: Poisson
+//! arrival schedules, coordinated-omission-safe latency accounting, and
+//! knee detection on the offered-load sweep.
+//!
+//! The closed-loop `serve` benchmark cannot see queueing delay build
+//! up: each client waits for its previous response before sending the
+//! next request, so when the server slows down the *offered* load drops
+//! with it and tail latencies stay flattering. The open-loop harness
+//! decouples arrivals from completions — requests are scheduled by a
+//! Poisson process at a fixed offered rate, latency is measured from
+//! the *scheduled* arrival time (a late send is queueing delay, not a
+//! free pass), and saturation shows up as the goodput curve peeling
+//! away from the offered-rate diagonal. The **knee** is the last swept
+//! rate the server still keeps up with; past it, p99 explodes and
+//! goodput flatlines at capacity.
+
+use dbep_runtime::SmallRng;
+use std::time::Duration;
+
+/// Uniform draw in `[0, 1)` from the top 53 bits (the standard
+/// bit-perfect `u64 → f64` construction).
+fn uniform(rng: &mut SmallRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Poisson arrival schedule: cumulative offsets (from the scenario
+/// start) of every request scheduled in `[0, window)` at `rate`
+/// requests/second. Inter-arrival gaps are exponential
+/// (`-ln(1-U)/rate`), so the count is itself Poisson-distributed —
+/// callers report *actual* sent counts, not `rate × window`.
+pub fn poisson_arrivals(rate: f64, window: Duration, rng: &mut SmallRng) -> Vec<Duration> {
+    assert!(rate > 0.0, "offered rate must be positive");
+    let mut arrivals = Vec::with_capacity((rate * window.as_secs_f64() * 1.25) as usize + 4);
+    let mut t = 0.0_f64;
+    loop {
+        // 1-U keeps the argument in (0, 1]: ln is finite.
+        t += -(1.0 - uniform(rng)).ln() / rate;
+        if t >= window.as_secs_f64() {
+            return arrivals;
+        }
+        arrivals.push(Duration::from_secs_f64(t));
+    }
+}
+
+/// One point of an offered-load sweep, as consumed by [`find_knee`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadPoint {
+    /// Nominal offered rate (requests/second) the schedule was
+    /// generated at — the value a knee is reported as.
+    pub offered: f64,
+    /// Realized arrival rate of the Poisson schedule (sent / window).
+    /// The keep-up test compares goodput against *this*, so the
+    /// schedule's sampling noise (sd/mean = 1/√(rate·window)) cannot
+    /// fake or hide a knee.
+    pub sent: f64,
+    /// Completed-with-result rate within the window (RETRY and errors
+    /// excluded).
+    pub goodput: f64,
+}
+
+/// Largest swept offered rate whose goodput keeps up — within
+/// `tolerance` (e.g. `0.95`) of the realized arrival rate — with every
+/// lower swept rate also keeping up. Demanding the whole prefix rules
+/// out a lucky point past saturation. `None` means the server kept up
+/// with no swept rate (the knee is below the sweep) — not that there
+/// is no knee.
+pub fn find_knee(curve: &[LoadPoint], tolerance: f64) -> Option<f64> {
+    let mut sorted: Vec<LoadPoint> = curve.to_vec();
+    sorted.sort_by(|a, b| a.offered.total_cmp(&b.offered));
+    let mut knee = None;
+    for p in &sorted {
+        if p.goodput >= tolerance * p.sent {
+            knee = Some(p.offered);
+        } else {
+            break;
+        }
+    }
+    knee
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_sorted_and_poisson_ish() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let window = Duration::from_secs(10);
+        let arrivals = poisson_arrivals(100.0, window, &mut rng);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        assert!(arrivals.iter().all(|&a| a < window), "inside the window");
+        // Count concentrates around rate × window = 1000 (sd ≈ 32).
+        assert!(
+            (800..1200).contains(&arrivals.len()),
+            "got {} arrivals",
+            arrivals.len()
+        );
+        // Mean inter-arrival gap ≈ 1/rate = 10 ms.
+        let mean = arrivals.last().unwrap().as_secs_f64() / arrivals.len() as f64;
+        assert!((0.008..0.012).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_under_a_seed() {
+        let window = Duration::from_secs(1);
+        let a = poisson_arrivals(50.0, window, &mut SmallRng::seed_from_u64(9));
+        let b = poisson_arrivals(50.0, window, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = poisson_arrivals(50.0, window, &mut SmallRng::seed_from_u64(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn knee_is_the_last_rate_the_server_keeps_up_with() {
+        let curve = [
+            LoadPoint {
+                offered: 16.0,
+                sent: 16.2,
+                goodput: 16.0,
+            },
+            LoadPoint {
+                offered: 32.0,
+                sent: 32.5,
+                goodput: 31.5,
+            },
+            LoadPoint {
+                offered: 64.0,
+                sent: 63.0,
+                goodput: 62.0,
+            },
+            LoadPoint {
+                offered: 128.0,
+                sent: 126.0,
+                goodput: 90.0,
+            },
+            LoadPoint {
+                offered: 256.0,
+                sent: 250.0,
+                goodput: 88.0,
+            },
+        ];
+        assert_eq!(find_knee(&curve, 0.95), Some(64.0));
+    }
+
+    #[test]
+    fn knee_ignores_lucky_points_past_saturation() {
+        // 64 collapses but 128 happens to graze the tolerance — the
+        // prefix rule keeps the knee at 32.
+        let curve = [
+            LoadPoint {
+                offered: 128.0,
+                sent: 128.0,
+                goodput: 123.0,
+            },
+            LoadPoint {
+                offered: 32.0,
+                sent: 32.0,
+                goodput: 32.0,
+            },
+            LoadPoint {
+                offered: 64.0,
+                sent: 64.0,
+                goodput: 40.0,
+            },
+        ];
+        assert_eq!(find_knee(&curve, 0.95), Some(32.0));
+    }
+
+    #[test]
+    fn knee_uses_the_realized_rate_not_the_nominal_one() {
+        // A short window drew only 37 arrivals at nominal 80/s; all 37
+        // completed in time. Against the nominal rate this would read
+        // as saturation — against the realized rate it keeps up.
+        let curve = [
+            LoadPoint {
+                offered: 20.0,
+                sent: 20.0,
+                goodput: 20.0,
+            },
+            LoadPoint {
+                offered: 80.0,
+                sent: 74.0,
+                goodput: 74.0,
+            },
+        ];
+        assert_eq!(find_knee(&curve, 0.95), Some(80.0));
+    }
+
+    #[test]
+    fn knee_edge_cases() {
+        assert_eq!(find_knee(&[], 0.95), None);
+        // Saturated below the lowest swept rate.
+        let curve = [LoadPoint {
+            offered: 16.0,
+            sent: 15.8,
+            goodput: 2.0,
+        }];
+        assert_eq!(find_knee(&curve, 0.95), None);
+    }
+}

@@ -22,7 +22,7 @@ pub use dbep_vectorized as vectorized;
 pub use dbep_volcano as volcano;
 pub use metrics::EngineMetrics;
 pub use plan_cache::{PlanCache, PlanCacheStats};
-pub use session::{PreparedQuery, Session};
+pub use session::{params_fingerprint, PreparedQuery, Session};
 
 /// Everything needed for the common benchmark workflow.
 pub mod prelude {

@@ -43,10 +43,19 @@ use dbep_queries::params::Params;
 use dbep_queries::result::QueryResult;
 use dbep_queries::{Engine, ExecCfg, QueryId, QueryPlan};
 use dbep_runtime::counters::StageCounters;
-use dbep_scheduler::{RunStats, Scheduler, StageTrace, DEFAULT_PRIORITY};
+use dbep_scheduler::{QueryRun, RunStats, Scheduler, StageTrace, DEFAULT_PRIORITY};
 use dbep_storage::Database;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The canonical parameter-binding fingerprint: the one identity the
+/// query log, the wire protocol and log-mining tools all agree on.
+/// Stable across processes for a given binding (FNV-1a over the
+/// binding's debug rendering, whose shape is pinned by the typed
+/// [`Params`] structs).
+pub fn params_fingerprint(params: &Params) -> u64 {
+    fingerprint64(format!("{params:?}").as_bytes())
+}
 
 /// A connection-like handle owning a shared database, a default
 /// execution configuration, and the scheduler pool queries execute on.
@@ -313,11 +322,44 @@ impl PreparedQuery {
         self.run_traced(engine, &self.cfg)
     }
 
+    /// Non-blocking variant of [`PreparedQuery::run_with_stats`]: when
+    /// the session's scheduler admission gate is saturated, returns
+    /// `None` immediately instead of parking the caller. The serving
+    /// front door turns that `None` into a wire-level RETRY frame.
+    /// Pool-less sessions have no admission gate and always run.
+    pub fn try_run_with_stats(&self, engine: Engine) -> Option<(QueryResult, RunStats)> {
+        let admitted = match &self.sched {
+            Some(sched) => Some(sched.try_begin_query(self.priority)?),
+            None => None,
+        };
+        Some(self.run_admitted(engine, &self.cfg, admitted))
+    }
+
+    /// The canonical fingerprint of this query's parameter binding —
+    /// the same value the query log records, so wire responses and log
+    /// records join on it. See [`params_fingerprint`].
+    pub fn params_fp(&self) -> u64 {
+        params_fingerprint(&self.params)
+    }
+
+    /// Blocking-admission entry: acquires a slot (waiting at the gate
+    /// if needed), then runs through the instrumented choke point.
+    fn run_traced(&self, engine: Engine, cfg: &ExecCfg) -> (QueryResult, RunStats) {
+        let admitted = self.sched.as_ref().map(|s| s.begin_query(self.priority));
+        self.run_admitted(engine, cfg, admitted)
+    }
+
     /// The single completion choke point every run passes through: it
     /// attaches the session's observability instruments around the
     /// dispatch, then folds the outcome into the metrics bundle and the
-    /// structured query log.
-    fn run_traced(&self, engine: Engine, cfg: &ExecCfg) -> (QueryResult, RunStats) {
+    /// structured query log. `admitted` is the already-acquired
+    /// admission slot (`None` for pool-less sessions).
+    fn run_admitted(
+        &self,
+        engine: Engine,
+        cfg: &ExecCfg,
+        admitted: Option<QueryRun>,
+    ) -> (QueryResult, RunStats) {
         if let Some(m) = &self.metrics {
             m.queries_started.inc();
         }
@@ -338,11 +380,10 @@ impl PreparedQuery {
                 stage_trace: own_stage_trace.as_ref().or(cfg.stage_trace),
                 ..*cfg
             };
-            match &self.sched {
-                Some(sched) => {
-                    let run = sched.begin_query(self.priority);
+            match &admitted {
+                Some(run) => {
                     let cfg = ExecCfg {
-                        sched: Some(&run),
+                        sched: Some(run),
                         ..cfg
                     };
                     let result = self.dispatch(engine, &cfg);
@@ -361,7 +402,11 @@ impl PreparedQuery {
                 unix_ms: 0, // stamped by the log
                 query: self.query().name().to_string(),
                 engine: engine.name().to_string(),
-                params_fp: fingerprint64(format!("{:?}", self.params).as_bytes()),
+                // Wire fields stay empty for in-process runs; the
+                // network front-end logs its own records with them set.
+                client: String::new(),
+                wire_ns: 0,
+                params_fp: params_fingerprint(&self.params),
                 cache_hit: self.cache_hit,
                 planning_ns: self.planning_ns,
                 latency_ns,
@@ -520,6 +565,36 @@ mod tests {
         let spawning = Session::without_pool(tiny_db(), ExecCfg::default());
         let (_, stats) = spawning.prepare(QueryId::Q6).run_with_stats(Engine::Typer);
         assert_eq!(stats, RunStats::default());
+    }
+
+    #[test]
+    fn try_run_refuses_only_when_gate_is_full() {
+        // A pool whose gate admits exactly one query: hold the slot,
+        // then the non-blocking path must refuse instead of parking.
+        let sched = Arc::new(Scheduler::with_limits(1, 1));
+        let session = Session::with_scheduler(tiny_db(), ExecCfg::default(), Arc::clone(&sched));
+        let q6 = session.prepare(QueryId::Q6);
+        let held = sched.begin_query(DEFAULT_PRIORITY);
+        assert!(q6.try_run_with_stats(Engine::Typer).is_none(), "gate full");
+        drop(held);
+        let (result, _) = q6.try_run_with_stats(Engine::Typer).expect("gate free");
+        assert_eq!(result, q6.run(Engine::Typer));
+        // Pool-less sessions have no gate: always run.
+        let spawning = Session::without_pool(tiny_db(), ExecCfg::default());
+        assert!(spawning
+            .prepare(QueryId::Q6)
+            .try_run_with_stats(Engine::Typer)
+            .is_some());
+    }
+
+    #[test]
+    fn params_fp_matches_the_query_log_identity() {
+        let session = Session::new(tiny_db());
+        let a = session.prepare_params(Q6Params::new(1995, 3, 30).unwrap());
+        let b = session.prepare_params(Q6Params::new(1995, 3, 30).unwrap());
+        assert_eq!(a.params_fp(), b.params_fp(), "same binding, same identity");
+        assert_ne!(a.params_fp(), session.prepare(QueryId::Q6).params_fp());
+        assert_eq!(a.params_fp(), params_fingerprint(a.params()));
     }
 
     #[test]

@@ -53,6 +53,7 @@ const ATOMICS_SCOPE: &[&str] = &[
     "crates/core/src/plan_cache.rs",
     "crates/storage/src/throttle.rs",
     "crates/obs/src/",
+    "crates/net/src/",
 ];
 
 const VECTORIZED_SRC: &str = "crates/vectorized/src/";

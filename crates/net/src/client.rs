@@ -1,0 +1,117 @@
+//! A minimal blocking wire client: one TCP connection, one
+//! request/response exchange at a time.
+//!
+//! This is the load generator's and the tests' view of the protocol —
+//! deliberately thin: it frames requests, reads one response frame, and
+//! hands the typed [`Response`] back. Retry/backoff policy belongs to
+//! the caller (the open-loop harness counts RETRY frames instead of
+//! hiding them).
+
+use crate::frame::{read_frame, write_frame, FrameRead, FrameReadError, Request, Response};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why an exchange failed below the protocol level.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's bytes did not parse as a response frame.
+    Protocol(String),
+    /// The server closed the connection instead of responding.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(what) => write!(f, "protocol error: {what}"),
+            ClientError::Disconnected => f.write_str("server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One protocol connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect, with sane exchange timeouts (10 s) so a dead server
+    /// fails a test instead of hanging it. Tune via
+    /// [`Client::set_timeout`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let client = Client { stream };
+        client.set_timeout(Duration::from_secs(10))?;
+        Ok(client)
+    }
+
+    /// Set both read and write timeouts for subsequent exchanges.
+    pub fn set_timeout(&self, t: Duration) -> io::Result<()> {
+        self.stream.set_read_timeout(Some(t))?;
+        self.stream.set_write_timeout(Some(t))
+    }
+
+    /// Send one request and read its response frame.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        match read_frame(&mut self.stream) {
+            Ok(FrameRead::Frame { tag, payload }) => {
+                Response::decode(tag, &payload).map_err(|e| ClientError::Protocol(e.to_string()))
+            }
+            Ok(FrameRead::Closed) => Err(ClientError::Disconnected),
+            // The read timeout is the exchange budget: an idle tick
+            // while a response is owed means the server is stalled.
+            Ok(FrameRead::Idle) => Err(ClientError::Io(io::Error::from(io::ErrorKind::TimedOut))),
+            Err(FrameReadError::Io(e)) => Err(ClientError::Io(e)),
+            Err(e) => Err(ClientError::Protocol(format!("{e:?}"))),
+        }
+    }
+
+    /// PREPARE `query` under `spec` (empty = paper defaults).
+    pub fn prepare(&mut self, query: &str, spec: &str) -> Result<Response, ClientError> {
+        self.call(&Request::Prepare {
+            query: query.to_string(),
+            spec: spec.to_string(),
+        })
+    }
+
+    /// RUN a prepared handle on `engine`.
+    pub fn run(&mut self, handle: u32, engine: &str) -> Result<Response, ClientError> {
+        self.call(&Request::Run {
+            handle,
+            engine: engine.to_string(),
+        })
+    }
+
+    /// One-shot RUN_PARAMS exchange.
+    pub fn run_params(&mut self, query: &str, engine: &str, spec: &str) -> Result<Response, ClientError> {
+        self.call(&Request::RunParams {
+            query: query.to_string(),
+            engine: engine.to_string(),
+            spec: spec.to_string(),
+        })
+    }
+
+    /// Ask the server to drain; expects BYE.
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.call(&Request::Shutdown)
+    }
+
+    /// Raw access for malformed-input tests.
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

@@ -1,0 +1,710 @@
+//! The wire format: length-prefixed binary frames.
+//!
+//! A frame is `u32` little-endian length `n`, then `n` bytes: one tag
+//! byte plus a tag-specific payload. `n` covers the tag, so `n == 0` is
+//! malformed and `n` is capped at [`MAX_FRAME_LEN`]. Integers are
+//! little-endian; strings are `u16` length + UTF-8 bytes.
+//!
+//! | tag  | direction | frame        | payload |
+//! |------|-----------|--------------|---------|
+//! | 0x01 | request   | PREPARE      | query, spec |
+//! | 0x02 | request   | RUN          | handle `u32`, engine |
+//! | 0x03 | request   | RUN_PARAMS   | query, engine, spec |
+//! | 0x04 | request   | SHUTDOWN     | — |
+//! | 0x81 | response  | PREPARED     | handle `u32`, params_fp `u64` |
+//! | 0x82 | response  | RESULT       | engine, flags `u8`, then 12 × `u64` (see [`RunOutcome`]) |
+//! | 0x83 | response  | RETRY        | inflight `u32`, max_inflight `u32` |
+//! | 0x84 | response  | ERROR        | code `u8`, message |
+//! | 0x85 | response  | BYE          | — |
+//!
+//! Decoding is strict: unknown tags, short payloads and trailing bytes
+//! are all [`FrameError`]s — the server maps them to typed ERROR frames
+//! rather than dropping the connection, because the length prefix keeps
+//! the stream resynchronizable whenever the frame boundary itself was
+//! sound.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame's length field. Specs and error messages are
+/// short; anything larger is a corrupt stream or an abusive client, and
+/// refusing it bounds per-connection buffering.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024;
+
+pub const TAG_PREPARE: u8 = 0x01;
+pub const TAG_RUN: u8 = 0x02;
+pub const TAG_RUN_PARAMS: u8 = 0x03;
+pub const TAG_SHUTDOWN: u8 = 0x04;
+pub const TAG_PREPARED: u8 = 0x81;
+pub const TAG_RESULT: u8 = 0x82;
+pub const TAG_RETRY: u8 = 0x83;
+pub const TAG_ERROR: u8 = 0x84;
+pub const TAG_BYE: u8 = 0x85;
+
+/// Typed reason carried by an ERROR frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Payload did not decode (short fields, trailing bytes, bad UTF-8).
+    BadFrame = 1,
+    /// Length field exceeded [`MAX_FRAME_LEN`].
+    Oversized = 2,
+    /// Stream ended (or stalled past the read timeout) mid-frame.
+    Truncated = 3,
+    /// Tag byte names no known frame.
+    UnknownTag = 4,
+    /// Query name names no known query, or needs a database this
+    /// server does not serve.
+    UnknownQuery = 5,
+    /// Engine name names no selectable engine.
+    UnknownEngine = 6,
+    /// Parameter spec rejected by the validating constructors.
+    BadParams = 7,
+    /// RUN named a handle this connection never prepared.
+    UnknownHandle = 8,
+    /// Connection cap reached at accept time.
+    Busy = 9,
+    /// Server is draining after a SHUTDOWN frame.
+    ShuttingDown = 10,
+}
+
+impl ErrorCode {
+    pub fn from_u8(v: u8) -> Option<ErrorCode> {
+        use ErrorCode::*;
+        Some(match v {
+            1 => BadFrame,
+            2 => Oversized,
+            3 => Truncated,
+            4 => UnknownTag,
+            5 => UnknownQuery,
+            6 => UnknownEngine,
+            7 => BadParams,
+            8 => UnknownHandle,
+            9 => Busy,
+            10 => ShuttingDown,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        use ErrorCode::*;
+        match self {
+            BadFrame => "bad-frame",
+            Oversized => "oversized",
+            Truncated => "truncated",
+            UnknownTag => "unknown-tag",
+            UnknownQuery => "unknown-query",
+            UnknownEngine => "unknown-engine",
+            BadParams => "bad-params",
+            UnknownHandle => "unknown-handle",
+            Busy => "busy",
+            ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a frame failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Tag byte names no known frame (carries the tag).
+    UnknownTag(u8),
+    /// Structurally invalid payload.
+    Bad(&'static str),
+}
+
+impl FrameError {
+    /// The ERROR code the server answers this decode failure with.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            FrameError::UnknownTag(_) => ErrorCode::UnknownTag,
+            FrameError::Bad(_) => ErrorCode::BadFrame,
+        }
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::UnknownTag(t) => write!(f, "unknown frame tag 0x{t:02x}"),
+            FrameError::Bad(what) => write!(f, "malformed frame payload: {what}"),
+        }
+    }
+}
+
+/// A client-to-server frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Validate and bind `spec` (see `Params::from_spec`; empty = the
+    /// paper's defaults) for `query`, returning a connection-local
+    /// handle.
+    Prepare { query: String, spec: String },
+    /// Execute a prepared handle on `engine`.
+    Run { handle: u32, engine: String },
+    /// Prepare and execute in one round trip (the plan cache makes the
+    /// re-prepare cheap).
+    RunParams {
+        query: String,
+        engine: String,
+        spec: String,
+    },
+    /// Drain gracefully: in-flight requests finish, then the server
+    /// stops accepting and winds down. Answered with BYE.
+    Shutdown,
+}
+
+/// Execution facts carried by a RESULT frame — the checksum stands in
+/// for the rows, the rest mirrors what the query log records.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Engine the run was requested under (`Engine::name`).
+    pub engine: String,
+    /// Whether preparation hit the server's plan cache.
+    pub cache_hit: bool,
+    /// `QueryResult::checksum64` of the full result.
+    pub checksum: u64,
+    /// Result rows produced (not shipped).
+    pub rows: u64,
+    /// Fingerprint of the bound parameters (joins with the query log).
+    pub params_fp: u64,
+    /// Server-side preparation time.
+    pub planning_ns: u64,
+    /// Server-side execution wall time.
+    pub latency_ns: u64,
+    /// Server-side wire overhead: request decode + response encode.
+    pub wire_ns: u64,
+    /// Scheduler `RunStats` of the execution.
+    pub admission_wait_ns: u64,
+    pub queue_wait_ns: u64,
+    pub tasks: u64,
+    pub morsels: u64,
+    pub steals: u64,
+    pub bytes_scanned: u64,
+}
+
+/// A server-to-client frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// PREPARE succeeded: run it via `handle`; `params_fp` is the
+    /// binding's canonical fingerprint.
+    Prepared { handle: u32, params_fp: u64 },
+    /// RUN / RUN_PARAMS succeeded.
+    Result(RunOutcome),
+    /// Admission gate saturated — try again. Carries the gate state so
+    /// clients can back off proportionally.
+    Retry { inflight: u32, max_inflight: u32 },
+    /// Typed failure; the connection stays open unless the stream
+    /// itself is unrecoverable (oversized/truncated).
+    Error { code: ErrorCode, message: String },
+    /// Acknowledges SHUTDOWN; the connection closes after it.
+    Bye,
+}
+
+// ---------------------------------------------------------------------
+// Payload encoding primitives
+// ---------------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "protocol strings are short");
+    put_u16(buf, s.len() as u16);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Strict little-endian payload reader.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(FrameError::Bad("field extends past payload"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, FrameError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::Bad("string is not UTF-8"))
+    }
+
+    /// Trailing bytes mean the sender and receiver disagree on the
+    /// layout — reject rather than guess.
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::Bad("trailing bytes after payload"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame encode/decode
+// ---------------------------------------------------------------------
+
+/// Assemble a full frame (length prefix + tag + payload).
+pub fn encode_frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let len = 1 + payload.len();
+    assert!(len <= MAX_FRAME_LEN as usize, "frame exceeds MAX_FRAME_LEN");
+    let mut buf = Vec::with_capacity(4 + len);
+    put_u32(&mut buf, len as u32);
+    buf.push(tag);
+    buf.extend_from_slice(payload);
+    buf
+}
+
+impl Request {
+    /// Encode as a full frame, length prefix included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        let tag = match self {
+            Request::Prepare { query, spec } => {
+                put_str(&mut p, query);
+                put_str(&mut p, spec);
+                TAG_PREPARE
+            }
+            Request::Run { handle, engine } => {
+                put_u32(&mut p, *handle);
+                put_str(&mut p, engine);
+                TAG_RUN
+            }
+            Request::RunParams { query, engine, spec } => {
+                put_str(&mut p, query);
+                put_str(&mut p, engine);
+                put_str(&mut p, spec);
+                TAG_RUN_PARAMS
+            }
+            Request::Shutdown => TAG_SHUTDOWN,
+        };
+        encode_frame(tag, &p)
+    }
+
+    /// Decode from a tag byte and its payload.
+    pub fn decode(tag: u8, payload: &[u8]) -> Result<Request, FrameError> {
+        let mut c = Cursor::new(payload);
+        let req = match tag {
+            TAG_PREPARE => Request::Prepare {
+                query: c.str()?,
+                spec: c.str()?,
+            },
+            TAG_RUN => Request::Run {
+                handle: c.u32()?,
+                engine: c.str()?,
+            },
+            TAG_RUN_PARAMS => Request::RunParams {
+                query: c.str()?,
+                engine: c.str()?,
+                spec: c.str()?,
+            },
+            TAG_SHUTDOWN => Request::Shutdown,
+            other => return Err(FrameError::UnknownTag(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode as a full frame, length prefix included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        let tag = match self {
+            Response::Prepared { handle, params_fp } => {
+                put_u32(&mut p, *handle);
+                put_u64(&mut p, *params_fp);
+                TAG_PREPARED
+            }
+            Response::Result(o) => {
+                put_str(&mut p, &o.engine);
+                p.push(o.cache_hit as u8);
+                for v in [
+                    o.checksum,
+                    o.rows,
+                    o.params_fp,
+                    o.planning_ns,
+                    o.latency_ns,
+                    o.wire_ns,
+                    o.admission_wait_ns,
+                    o.queue_wait_ns,
+                    o.tasks,
+                    o.morsels,
+                    o.steals,
+                    o.bytes_scanned,
+                ] {
+                    put_u64(&mut p, v);
+                }
+                TAG_RESULT
+            }
+            Response::Retry {
+                inflight,
+                max_inflight,
+            } => {
+                put_u32(&mut p, *inflight);
+                put_u32(&mut p, *max_inflight);
+                TAG_RETRY
+            }
+            Response::Error { code, message } => {
+                p.push(*code as u8);
+                put_str(&mut p, message);
+                TAG_ERROR
+            }
+            Response::Bye => TAG_BYE,
+        };
+        encode_frame(tag, &p)
+    }
+
+    /// Decode from a tag byte and its payload.
+    pub fn decode(tag: u8, payload: &[u8]) -> Result<Response, FrameError> {
+        let mut c = Cursor::new(payload);
+        let resp = match tag {
+            TAG_PREPARED => Response::Prepared {
+                handle: c.u32()?,
+                params_fp: c.u64()?,
+            },
+            TAG_RESULT => {
+                let engine = c.str()?;
+                let cache_hit = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(FrameError::Bad("cache_hit flag is not 0/1")),
+                };
+                Response::Result(RunOutcome {
+                    engine,
+                    cache_hit,
+                    checksum: c.u64()?,
+                    rows: c.u64()?,
+                    params_fp: c.u64()?,
+                    planning_ns: c.u64()?,
+                    latency_ns: c.u64()?,
+                    wire_ns: c.u64()?,
+                    admission_wait_ns: c.u64()?,
+                    queue_wait_ns: c.u64()?,
+                    tasks: c.u64()?,
+                    morsels: c.u64()?,
+                    steals: c.u64()?,
+                    bytes_scanned: c.u64()?,
+                })
+            }
+            TAG_RETRY => Response::Retry {
+                inflight: c.u32()?,
+                max_inflight: c.u32()?,
+            },
+            TAG_ERROR => {
+                let code = c.u8()?;
+                Response::Error {
+                    code: ErrorCode::from_u8(code).ok_or(FrameError::Bad("unknown error code"))?,
+                    message: c.str()?,
+                }
+            }
+            TAG_BYE => Response::Bye,
+            other => return Err(FrameError::UnknownTag(other)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stream I/O
+// ---------------------------------------------------------------------
+
+/// Outcome of one blocking frame read.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame arrived.
+    Frame { tag: u8, payload: Vec<u8> },
+    /// Clean EOF at a frame boundary (peer closed).
+    Closed,
+    /// The read timed out before any byte of a new frame arrived — an
+    /// idle tick, letting the caller poll its shutdown flag.
+    Idle,
+}
+
+/// Why a frame read failed. [`FrameReadError::Truncated`] and
+/// [`FrameReadError::Oversized`] poison the stream (the frame boundary
+/// is lost), so the server answers a typed error and closes.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// EOF or read timeout struck mid-frame.
+    Truncated,
+    /// Length field exceeded [`MAX_FRAME_LEN`] (carries the length).
+    Oversized(u32),
+    /// Zero-length frame (no tag byte).
+    Empty,
+    /// Underlying transport error.
+    Io(io::Error),
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Fill `buf` from `r`, distinguishing "nothing arrived" from "stream
+/// died mid-fill". Returns false on clean EOF/timeout before byte 0.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, FrameReadError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(FrameReadError::Truncated)
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(FrameReadError::Truncated)
+                };
+            }
+            Err(e) => return Err(FrameReadError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame. With a read timeout set on `r`, an idle connection
+/// yields [`FrameRead::Idle`] periodically instead of blocking forever;
+/// a timeout striking *inside* a frame is [`FrameReadError::Truncated`]
+/// (a stalled or half-dead client must not pin the serving thread).
+pub fn read_frame(r: &mut impl Read) -> Result<FrameRead, FrameReadError> {
+    let mut len_buf = [0u8; 4];
+    let mut first = [0u8; 1];
+    // Read byte 0 separately: a timeout here is idleness, not damage.
+    match r.read(&mut first) {
+        Ok(0) => return Ok(FrameRead::Closed),
+        Ok(1) => len_buf[0] = first[0],
+        Ok(_) => unreachable!("read past a 1-byte buffer"),
+        Err(e) if e.kind() == io::ErrorKind::Interrupted || is_timeout(&e) => return Ok(FrameRead::Idle),
+        Err(e) => return Err(FrameReadError::Io(e)),
+    }
+    if !read_full(r, &mut len_buf[1..])? {
+        return Err(FrameReadError::Truncated);
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 {
+        return Err(FrameReadError::Empty);
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(FrameReadError::Oversized(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    if !read_full(r, &mut body)? {
+        return Err(FrameReadError::Truncated);
+    }
+    let tag = body[0];
+    body.drain(..1);
+    Ok(FrameRead::Frame { tag, payload: body })
+}
+
+/// Write one already-encoded frame.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let frame = req.encode();
+        let mut r = &frame[..];
+        match read_frame(&mut r).expect("readable") {
+            FrameRead::Frame { tag, payload } => {
+                assert_eq!(Request::decode(tag, &payload), Ok(req));
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let frame = resp.encode();
+        let mut r = &frame[..];
+        match read_frame(&mut r).expect("readable") {
+            FrameRead::Frame { tag, payload } => {
+                assert_eq!(Response::decode(tag, &payload), Ok(resp));
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        roundtrip_request(Request::Prepare {
+            query: "q6".into(),
+            spec: "year=1995;discount=3;quantity=30".into(),
+        });
+        roundtrip_request(Request::Run {
+            handle: 7,
+            engine: "adaptive".into(),
+        });
+        roundtrip_request(Request::RunParams {
+            query: "ssb-q2.1".into(),
+            engine: "tectorwise".into(),
+            spec: String::new(),
+        });
+        roundtrip_request(Request::Shutdown);
+        roundtrip_response(Response::Prepared {
+            handle: 3,
+            params_fp: u64::MAX,
+        });
+        roundtrip_response(Response::Result(RunOutcome {
+            engine: "typer".into(),
+            cache_hit: true,
+            checksum: 0xfeed_f00d,
+            rows: 4,
+            params_fp: 99,
+            planning_ns: 1200,
+            latency_ns: 3_400_000,
+            wire_ns: 8000,
+            admission_wait_ns: 17,
+            queue_wait_ns: 29,
+            tasks: 3,
+            morsels: 180,
+            steals: 2,
+            bytes_scanned: 1 << 30,
+        }));
+        roundtrip_response(Response::Retry {
+            inflight: 4,
+            max_inflight: 4,
+        });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::BadParams,
+            message: "year 2001 outside [1993, 1997]".into(),
+        });
+        roundtrip_response(Response::Bye);
+    }
+
+    #[test]
+    fn unknown_tags_and_bad_payloads_are_typed() {
+        assert_eq!(Request::decode(0x7f, &[]), Err(FrameError::UnknownTag(0x7f)));
+        assert_eq!(FrameError::UnknownTag(0x7f).code(), ErrorCode::UnknownTag);
+        // Short payload: RUN needs 4 handle bytes.
+        assert!(matches!(
+            Request::decode(TAG_RUN, &[1, 2]),
+            Err(FrameError::Bad(_))
+        ));
+        // Trailing garbage after a complete SHUTDOWN payload.
+        assert!(matches!(
+            Request::decode(TAG_SHUTDOWN, &[0]),
+            Err(FrameError::Bad(_))
+        ));
+        // String length pointing past the payload.
+        assert!(matches!(
+            Request::decode(TAG_PREPARE, &[0xff, 0xff, b'q']),
+            Err(FrameError::Bad(_))
+        ));
+        // Non-UTF-8 string bytes.
+        assert!(matches!(
+            Request::decode(TAG_PREPARE, &[2, 0, 0xc3, 0x28, 0, 0]),
+            Err(FrameError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn stream_reads_classify_damage() {
+        // Clean close at a boundary.
+        assert!(matches!(read_frame(&mut &[][..]), Ok(FrameRead::Closed)));
+        // Truncated length prefix.
+        assert!(matches!(
+            read_frame(&mut &[5u8, 0][..]),
+            Err(FrameReadError::Truncated)
+        ));
+        // Truncated body.
+        assert!(matches!(
+            read_frame(&mut &[5u8, 0, 0, 0, TAG_SHUTDOWN, 1][..]),
+            Err(FrameReadError::Truncated)
+        ));
+        // Zero-length frame.
+        assert!(matches!(
+            read_frame(&mut &[0u8, 0, 0, 0][..]),
+            Err(FrameReadError::Empty)
+        ));
+        // Oversized length field.
+        let huge = (MAX_FRAME_LEN + 1).to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut &huge[..]),
+            Err(FrameReadError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn max_len_frame_roundtrips() {
+        // The largest legal frame: tag + (MAX_FRAME_LEN - 1) payload.
+        let payload = vec![0xabu8; (MAX_FRAME_LEN - 1) as usize];
+        let frame = encode_frame(0x42, &payload);
+        let mut r = &frame[..];
+        match read_frame(&mut r).expect("readable") {
+            FrameRead::Frame { tag, payload: p } => {
+                assert_eq!(tag, 0x42);
+                assert_eq!(p, payload);
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_FRAME_LEN")]
+    fn encoding_an_oversized_frame_panics() {
+        encode_frame(0x01, &vec![0u8; MAX_FRAME_LEN as usize]);
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for v in 1..=10u8 {
+            let code = ErrorCode::from_u8(v).expect("valid code");
+            assert_eq!(code as u8, v);
+            assert!(!code.name().is_empty());
+        }
+        assert_eq!(ErrorCode::from_u8(0), None);
+        assert_eq!(ErrorCode::from_u8(11), None);
+    }
+}

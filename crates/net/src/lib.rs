@@ -1,0 +1,43 @@
+//! `dbep-net` — the TCP serve front-end.
+//!
+//! Everything before this crate measured the serving layer through
+//! in-process function calls; this crate puts a real wire on it. A
+//! [`Server`] owns one [`Session`] per database (sharing one
+//! [`Scheduler`] pool in pool mode), listens on a std
+//! [`std::net::TcpListener`], and speaks a small length-prefixed binary
+//! protocol (see [`frame`]): prepare a parameter binding, run it on a
+//! chosen engine, or do both in one round trip.
+//!
+//! Three serving behaviors are deliberate design points, not
+//! conveniences:
+//!
+//! * **Backpressure is a protocol fact.** The scheduler's admission
+//!   gate is surfaced per request through
+//!   `PreparedQuery::try_run_with_stats`: when the gate is full the
+//!   server answers an explicit RETRY frame instead of queueing the
+//!   request, and the accept loop bounds live connections the same way
+//!   (BUSY error + close beyond the cap). Saturation is visible to the
+//!   client, never silently absorbed server-side.
+//! * **Responses carry evidence, not rows.** A RESULT frame ships the
+//!   result's [`checksum`](dbep_core::queries::result::QueryResult::checksum64),
+//!   row count, server latency, wire overhead and the scheduler-side
+//!   `RunStats` — enough for a client to verify an execution against a
+//!   local oracle and for a load generator to attribute time, without
+//!   streaming result sets through the benchmark.
+//! * **Degradation is typed.** Malformed input (oversized or truncated
+//!   frames, unknown tags, bad specs) gets a typed ERROR frame; the
+//!   connection survives whenever the frame boundary was still sound.
+//!   Read/write timeouts bound how long a stalled client can pin a
+//!   serving thread, and a SHUTDOWN frame drains gracefully: in-flight
+//!   requests complete, then connections and the accept loop wind down.
+//!
+//! [`Session`]: dbep_core::Session
+//! [`Scheduler`]: dbep_core::scheduler::Scheduler
+
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use frame::{ErrorCode, FrameError, Request, Response, RunOutcome, MAX_FRAME_LEN};
+pub use server::{NetMetrics, Server, ServerConfig};

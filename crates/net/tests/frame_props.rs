@@ -1,0 +1,180 @@
+//! Property tests for the frame codec: random damage never panics, and
+//! whatever decodes must re-encode to the same bytes.
+
+use dbep_net::frame::{encode_frame, read_frame, FrameRead, FrameReadError, Request, Response, RunOutcome};
+use dbep_net::{ErrorCode, MAX_FRAME_LEN};
+use dbep_runtime::SmallRng;
+
+fn rng() -> SmallRng {
+    SmallRng::seed_from_u64(0xF4A3_E000_0000_0001)
+}
+
+fn random_string(rng: &mut SmallRng, max_len: usize) -> String {
+    let len = (rng.next_u64() as usize) % (max_len + 1);
+    (0..len)
+        .map(|_| {
+            // Mix ASCII with multi-byte codepoints to exercise UTF-8
+            // length accounting in the u16-prefixed string codec.
+            match rng.next_u64() % 8 {
+                0 => 'é',
+                1 => 'λ',
+                2 => ';',
+                3 => '=',
+                _ => (b'a' + (rng.next_u64() % 26) as u8) as char,
+            }
+        })
+        .collect()
+}
+
+fn random_request(rng: &mut SmallRng) -> Request {
+    match rng.next_u64() % 4 {
+        0 => Request::Prepare {
+            query: random_string(rng, 24),
+            spec: random_string(rng, 80),
+        },
+        1 => Request::Run {
+            handle: rng.next_u64() as u32,
+            engine: random_string(rng, 16),
+        },
+        2 => Request::RunParams {
+            query: random_string(rng, 24),
+            engine: random_string(rng, 16),
+            spec: random_string(rng, 80),
+        },
+        _ => Request::Shutdown,
+    }
+}
+
+fn random_response(rng: &mut SmallRng) -> Response {
+    match rng.next_u64() % 5 {
+        0 => Response::Prepared {
+            handle: rng.next_u64() as u32,
+            params_fp: rng.next_u64(),
+        },
+        1 => Response::Result(RunOutcome {
+            engine: random_string(rng, 16),
+            cache_hit: rng.next_u64().is_multiple_of(2),
+            checksum: rng.next_u64(),
+            rows: rng.next_u64(),
+            params_fp: rng.next_u64(),
+            planning_ns: rng.next_u64(),
+            latency_ns: rng.next_u64(),
+            wire_ns: rng.next_u64(),
+            admission_wait_ns: rng.next_u64(),
+            queue_wait_ns: rng.next_u64(),
+            tasks: rng.next_u64(),
+            morsels: rng.next_u64(),
+            steals: rng.next_u64(),
+            bytes_scanned: rng.next_u64(),
+        }),
+        2 => Response::Retry {
+            inflight: rng.next_u64() as u32,
+            max_inflight: rng.next_u64() as u32,
+        },
+        3 => Response::Error {
+            code: ErrorCode::from_u8((rng.next_u64() % 10 + 1) as u8).unwrap(),
+            message: random_string(rng, 120),
+        },
+        _ => Response::Bye,
+    }
+}
+
+/// Split an encoded frame into (tag, payload) without the length word.
+fn strip_header(frame: &[u8]) -> (u8, &[u8]) {
+    (frame[4], &frame[5..])
+}
+
+#[test]
+fn random_messages_round_trip() {
+    let mut rng = rng();
+    for _ in 0..500 {
+        let req = random_request(&mut rng);
+        let bytes = req.encode();
+        let (tag, payload) = strip_header(&bytes);
+        assert_eq!(Request::decode(tag, payload).unwrap(), req);
+
+        let resp = random_response(&mut rng);
+        let bytes = resp.encode();
+        let (tag, payload) = strip_header(&bytes);
+        assert_eq!(Response::decode(tag, payload).unwrap(), resp);
+    }
+}
+
+#[test]
+fn truncating_a_valid_frame_never_panics() {
+    let mut rng = rng();
+    for _ in 0..200 {
+        let bytes = random_request(&mut rng).encode();
+        for cut in 0..bytes.len() {
+            let mut partial = std::io::Cursor::new(&bytes[..cut]);
+            match read_frame(&mut partial) {
+                // A clean cut at byte 0 is an orderly close; anywhere
+                // else the codec must call it damage, never a frame.
+                Ok(FrameRead::Closed) => assert_eq!(cut, 0),
+                Ok(FrameRead::Frame { .. }) => {
+                    panic!("decoded a frame from a {cut}-byte prefix of {}", bytes.len())
+                }
+                Ok(FrameRead::Idle) => panic!("Idle from a finite cursor"),
+                Err(FrameReadError::Truncated) => {}
+                Err(e) => panic!("unexpected classification {e:?} at cut {cut}"),
+            }
+        }
+        // And the payload-level decoder must reject every proper prefix.
+        let (tag, payload) = strip_header(&bytes);
+        for cut in 0..payload.len() {
+            assert!(
+                Request::decode(tag, &payload[..cut]).is_err(),
+                "prefix of length {cut} decoded"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_bytes_never_panic_the_decoder() {
+    let mut rng = rng();
+    for _ in 0..500 {
+        let len = (rng.next_u64() as usize) % 256;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let mut cursor = std::io::Cursor::new(bytes.as_slice());
+        // Whatever happens, it is a value, not a panic.
+        let _ = read_frame(&mut cursor);
+        if len > 1 {
+            let _ = Request::decode(bytes[0], &bytes[1..]);
+            let _ = Response::decode(bytes[0], &bytes[1..]);
+        }
+    }
+}
+
+#[test]
+fn max_len_frames_are_accepted_and_one_more_is_not() {
+    // Exactly MAX_FRAME_LEN (tag + payload) round-trips through the
+    // stream reader.
+    let payload = vec![0x5a_u8; MAX_FRAME_LEN as usize - 1];
+    let frame = encode_frame(0x01, &payload);
+    let mut cursor = std::io::Cursor::new(frame.as_slice());
+    match read_frame(&mut cursor).unwrap() {
+        FrameRead::Frame { tag, payload: p } => {
+            assert_eq!(tag, 0x01);
+            assert_eq!(p.len(), MAX_FRAME_LEN as usize - 1);
+        }
+        other => panic!("got {other:?}"),
+    }
+    // One byte over: rejected from the length word alone, before any
+    // allocation of the body.
+    let mut over = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+    over.push(0x01);
+    let mut cursor = std::io::Cursor::new(over.as_slice());
+    match read_frame(&mut cursor) {
+        Err(FrameReadError::Oversized(n)) => assert_eq!(n, MAX_FRAME_LEN + 1),
+        other => panic!("got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_tags_are_typed_not_fatal() {
+    for tag in [0x00_u8, 0x05, 0x7f, 0x86, 0xff] {
+        let err = Request::decode(tag, &[]).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::UnknownTag);
+    }
+}

@@ -28,6 +28,9 @@ pub struct QueryLogRecord {
     pub query: String,
     /// Engine name the run was requested under (`Engine::name`).
     pub engine: String,
+    /// Peer address of the client the run was served to over the wire
+    /// (empty for in-process runs).
+    pub client: String,
     /// Stable fingerprint of the bound parameters
     /// ([`crate::fingerprint64`] over their debug rendering).
     pub params_fp: u64,
@@ -37,6 +40,9 @@ pub struct QueryLogRecord {
     pub planning_ns: u64,
     /// End-to-end execution wall time in nanoseconds.
     pub latency_ns: u64,
+    /// Server-side wire overhead in nanoseconds — request decode plus
+    /// response encode, excluding execution (0 for in-process runs).
+    pub wire_ns: u64,
     /// Result rows produced.
     pub rows: u64,
     /// Morsels executed on pool workers (`RunStats::morsels_executed`).
@@ -62,7 +68,8 @@ impl QueryLogRecord {
         let stages: Vec<String> = self.stage_ns.iter().map(u64::to_string).collect();
         format!(
             "{{\"seq\": {}, \"unix_ms\": {}, \"query\": \"{}\", \"engine\": \"{}\", \
-             \"params_fp\": {}, \"cache_hit\": {}, \"planning_ns\": {}, \"latency_ns\": {}, \
+             \"client\": \"{}\", \"params_fp\": {}, \"cache_hit\": {}, \"planning_ns\": {}, \
+             \"latency_ns\": {}, \"wire_ns\": {}, \
              \"rows\": {}, \"morsels_executed\": {}, \"queue_wait_ns\": {}, \
              \"admission_wait_ns\": {}, \"tasks\": {}, \"steals\": {}, \"bytes_scanned\": {}, \
              \"stage_ns\": [{}]}}",
@@ -70,10 +77,12 @@ impl QueryLogRecord {
             self.unix_ms,
             json_escape(&self.query),
             json_escape(&self.engine),
+            json_escape(&self.client),
             self.params_fp,
             self.cache_hit,
             self.planning_ns,
             self.latency_ns,
+            self.wire_ns,
             self.rows,
             self.morsels_executed,
             self.queue_wait_ns,
@@ -93,10 +102,14 @@ impl QueryLogRecord {
             unix_ms: json_u64(line, "unix_ms")?,
             query: json_str(line, "query")?,
             engine: json_str(line, "engine")?,
+            // Wire fields arrived with the network front-end; records
+            // written before it simply default them, so old logs parse.
+            client: json_str(line, "client").unwrap_or_default(),
             params_fp: json_u64(line, "params_fp")?,
             cache_hit: json_bool(line, "cache_hit")?,
             planning_ns: json_u64(line, "planning_ns")?,
             latency_ns: json_u64(line, "latency_ns")?,
+            wire_ns: json_u64(line, "wire_ns").unwrap_or_default(),
             rows: json_u64(line, "rows")?,
             morsels_executed: json_u64(line, "morsels_executed")?,
             queue_wait_ns: json_u64(line, "queue_wait_ns")?,
@@ -174,10 +187,12 @@ mod tests {
             unix_ms: 0,
             query: "q3".into(),
             engine: "adaptive".into(),
+            client: "127.0.0.1:50412".into(),
             params_fp: 0xdead_beef_cafe_f00d,
             cache_hit: true,
             planning_ns: 1200,
             latency_ns: 8_000_000,
+            wire_ns: 4200,
             rows: 11620,
             morsels_executed: 42,
             queue_wait_ns: 900,
@@ -202,6 +217,21 @@ mod tests {
             Some(empty_stages)
         );
         assert_eq!(QueryLogRecord::parse("{\"seq\": 1}"), None);
+    }
+
+    #[test]
+    fn records_without_wire_fields_still_parse() {
+        // A line written before the network front-end existed: no
+        // `client`, no `wire_ns`. It must parse with defaults.
+        let legacy = "{\"seq\": 7, \"unix_ms\": 5, \"query\": \"q6\", \"engine\": \"typer\", \
+                      \"params_fp\": 9, \"cache_hit\": false, \"planning_ns\": 1, \
+                      \"latency_ns\": 2, \"rows\": 1, \"morsels_executed\": 0, \
+                      \"queue_wait_ns\": 0, \"admission_wait_ns\": 0, \"tasks\": 0, \
+                      \"steals\": 0, \"bytes_scanned\": 0, \"stage_ns\": []}";
+        let rec = QueryLogRecord::parse(legacy).expect("legacy line parses");
+        assert_eq!(rec.client, "");
+        assert_eq!(rec.wire_ns, 0);
+        assert_eq!(rec.query, "q6");
     }
 
     /// A shared `Vec<u8>` sink observable after the log is dropped.

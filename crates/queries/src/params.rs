@@ -17,7 +17,7 @@
 use crate::QueryId;
 use dbep_datagen::ssb::REGIONS;
 use dbep_datagen::tpch::{COLORS, SEGMENTS, SHIPMODES};
-use dbep_storage::types::{date, format_date, Date};
+use dbep_storage::types::{civil, date, format_date, parse_date, Date};
 use std::fmt;
 
 /// A rejected parameter binding: which query, and why.
@@ -626,6 +626,187 @@ params_enum! {
     Ssb4_1 => SsbQ41Params / ssb4_1,
 }
 
+// ---------------------------------------------------------------------
+// The wire spec: a textual, domain-level parameter codec
+// ---------------------------------------------------------------------
+
+/// Accumulated `key=value` fields of one parameter spec, with usage
+/// tracking so unknown keys are rejected after the constructor has
+/// consumed the expected ones.
+struct SpecFields {
+    query: QueryId,
+    entries: Vec<(String, String)>,
+    used: std::cell::RefCell<Vec<bool>>,
+}
+
+impl SpecFields {
+    fn parse(query: QueryId, spec: &str) -> Result<SpecFields> {
+        let err = |what: String| ParamError::new(query, what);
+        let mut entries: Vec<(String, String)> = Vec::new();
+        for pair in spec.split(';') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| err(format!("spec field {pair:?} is not key=value")))?;
+            let (key, value) = (key.trim(), value.trim());
+            if key.is_empty() || value.is_empty() {
+                return Err(err(format!("spec field {pair:?} has an empty key or value")));
+            }
+            if entries.iter().any(|(k, _)| k == key) {
+                return Err(err(format!("duplicate spec key {key:?}")));
+            }
+            entries.push((key.to_string(), value.to_string()));
+        }
+        let used = std::cell::RefCell::new(vec![false; entries.len()]);
+        Ok(SpecFields { query, entries, used })
+    }
+
+    fn str(&self, key: &str) -> Result<&str> {
+        let i = self
+            .entries
+            .iter()
+            .position(|(k, _)| k == key)
+            .ok_or_else(|| ParamError::new(self.query, format!("spec is missing key {key:?}")))?;
+        self.used.borrow_mut()[i] = true;
+        Ok(&self.entries[i].1)
+    }
+
+    fn int<T: std::str::FromStr>(&self, key: &str) -> Result<T> {
+        let v = self.str(key)?;
+        v.parse().map_err(|_| {
+            ParamError::new(
+                self.query,
+                format!("spec key {key:?} has non-integer value {v:?}"),
+            )
+        })
+    }
+
+    fn date(&self, key: &str) -> Result<Date> {
+        let v = self.str(key)?;
+        parse_date(v).ok_or_else(|| {
+            ParamError::new(
+                self.query,
+                format!("spec key {key:?} is not a YYYY-MM-DD date: {v:?}"),
+            )
+        })
+    }
+
+    /// Reject any key no constructor asked for.
+    fn finish(&self) -> Result<()> {
+        let used = self.used.borrow();
+        for (i, (k, _)) in self.entries.iter().enumerate() {
+            if !used[i] {
+                return Err(ParamError::new(self.query, format!("unexpected spec key {k:?}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Params {
+    /// Render this binding as its wire spec: `;`-separated `key=value`
+    /// fields over the **substitution domain** (years, cents, dictionary
+    /// words — not the bound epoch-day/fixed-point values), so a spec is
+    /// human-writable and survives protocol hops as plain text.
+    /// [`Params::from_spec`] inverts it exactly.
+    pub fn to_spec(&self) -> String {
+        match self {
+            Params::Q1(p) => format!("delta={}", date(1998, 12, 1) - p.ship_cut),
+            Params::Q6(p) => {
+                let (year, _, _) = civil(p.ship_lo);
+                format!(
+                    "year={year};discount={};quantity={}",
+                    p.disc_lo + 1,
+                    p.qty_hi / 100
+                )
+            }
+            Params::Q3(p) => format!("segment={};cut={}", p.segment, format_date(p.cut)),
+            Params::Q4(p) => {
+                let (year, month, _) = civil(p.date_lo);
+                format!("year={year};quarter={}", (month - 1) / 3 + 1)
+            }
+            Params::Q9(p) => format!("color={}", p.needle),
+            Params::Q12(p) => {
+                let (year, _, _) = civil(p.receipt_lo);
+                format!("mode_a={};mode_b={};year={year}", p.modes[0], p.modes[1])
+            }
+            Params::Q14(p) => {
+                let (year, month, _) = civil(p.ship_lo);
+                format!("year={year};month={month}")
+            }
+            Params::Q18(p) => format!("quantity={}", p.qty_limit / 100),
+            Params::Ssb1_1(p) => format!(
+                "year={};disc_lo={};disc_hi={};quantity={}",
+                p.year,
+                p.disc_lo,
+                p.disc_hi,
+                p.qty_hi / 100
+            ),
+            Params::Ssb2_1(p) => format!(
+                "category=MFGR#{};region={}",
+                p.category, REGIONS[p.region as usize]
+            ),
+            Params::Ssb3_1(p) => format!(
+                "cust_region={};supp_region={};year_lo={};year_hi={}",
+                REGIONS[p.cust_region as usize], REGIONS[p.supp_region as usize], p.year_lo, p.year_hi
+            ),
+            Params::Ssb4_1(p) => format!(
+                "cust_region={};supp_region={};mfgr_a={};mfgr_b={}",
+                REGIONS[p.cust_region as usize], REGIONS[p.supp_region as usize], p.mfgrs[0], p.mfgrs[1]
+            ),
+        }
+    }
+
+    /// Parse a wire spec back into a validated binding for `query`. An
+    /// empty (or all-whitespace) spec means the paper's default
+    /// instance. Every value passes through the same validating
+    /// constructor as a native binding, so a malformed or out-of-domain
+    /// spec fails with the constructor's own [`ParamError`].
+    pub fn from_spec(query: QueryId, spec: &str) -> Result<Params> {
+        if spec.trim().is_empty() {
+            return Ok(Params::default_for(query));
+        }
+        let f = SpecFields::parse(query, spec)?;
+        let params: Params = match query {
+            QueryId::Q1 => Q1Params::new(f.int("delta")?)?.into(),
+            QueryId::Q6 => Q6Params::new(f.int("year")?, f.int("discount")?, f.int("quantity")?)?.into(),
+            QueryId::Q3 => Q3Params::new(f.str("segment")?, f.date("cut")?)?.into(),
+            QueryId::Q4 => Q4Params::new(f.int("year")?, f.int("quarter")?)?.into(),
+            QueryId::Q9 => Q9Params::new(f.str("color")?)?.into(),
+            QueryId::Q12 => Q12Params::new(f.str("mode_a")?, f.str("mode_b")?, f.int("year")?)?.into(),
+            QueryId::Q14 => Q14Params::new(f.int("year")?, f.int("month")?)?.into(),
+            QueryId::Q18 => Q18Params::new(f.int("quantity")?)?.into(),
+            QueryId::Ssb1_1 => SsbQ11Params::new(
+                f.int("year")?,
+                f.int("disc_lo")?,
+                f.int("disc_hi")?,
+                f.int("quantity")?,
+            )?
+            .into(),
+            QueryId::Ssb2_1 => SsbQ21Params::new(f.str("category")?, f.str("region")?)?.into(),
+            QueryId::Ssb3_1 => SsbQ31Params::new(
+                f.str("cust_region")?,
+                f.str("supp_region")?,
+                f.int("year_lo")?,
+                f.int("year_hi")?,
+            )?
+            .into(),
+            QueryId::Ssb4_1 => SsbQ41Params::new(
+                f.str("cust_region")?,
+                f.str("supp_region")?,
+                f.int("mfgr_a")?,
+                f.int("mfgr_b")?,
+            )?
+            .into(),
+        };
+        f.finish()?;
+        Ok(params)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -719,5 +900,75 @@ mod tests {
     #[should_panic(expected = "expected Q6 parameters")]
     fn accessor_mismatch_panics() {
         Params::default_for(QueryId::Q1).q6();
+    }
+
+    #[test]
+    fn specs_roundtrip_every_default() {
+        for q in QueryId::ALL {
+            let p = Params::default_for(q);
+            let spec = p.to_spec();
+            assert_eq!(
+                Params::from_spec(q, &spec).unwrap(),
+                p,
+                "{} spec {spec:?}",
+                q.name()
+            );
+            // The empty spec is shorthand for the default instance.
+            assert_eq!(Params::from_spec(q, "  ").unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn specs_roundtrip_non_default_bindings() {
+        let bindings: Vec<Params> = vec![
+            Q1Params::new(120).unwrap().into(),
+            Q6Params::new(1995, 3, 30).unwrap().into(),
+            Q3Params::new("MACHINERY", date(1995, 3, 7)).unwrap().into(),
+            Q4Params::new(1997, 4).unwrap().into(),
+            Q9Params::new("ivory").unwrap().into(),
+            // Values with spaces must survive the `;` field separator.
+            Q12Params::new("REG AIR", "TRUCK", 1996).unwrap().into(),
+            Q14Params::new(1997, 12).unwrap().into(),
+            Q18Params::new(315).unwrap().into(),
+            SsbQ11Params::new(1996, 4, 6, 26).unwrap().into(),
+            SsbQ21Params::new("MFGR#35", "MIDDLE EAST").unwrap().into(),
+            SsbQ31Params::new("EUROPE", "MIDDLE EAST", 1994, 1996)
+                .unwrap()
+                .into(),
+            SsbQ41Params::new("ASIA", "AFRICA", 5, 3).unwrap().into(),
+        ];
+        for p in bindings {
+            let spec = p.to_spec();
+            assert_eq!(Params::from_spec(p.query(), &spec).unwrap(), p, "spec {spec:?}");
+        }
+    }
+
+    #[test]
+    fn specs_are_order_insensitive_and_trimmed() {
+        assert_eq!(
+            Params::from_spec(QueryId::Q6, " quantity=24 ; year=1994 ; discount=6 ").unwrap(),
+            Params::default_for(QueryId::Q6)
+        );
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        // Not key=value.
+        assert!(Params::from_spec(QueryId::Q1, "delta").is_err());
+        // Empty value.
+        assert!(Params::from_spec(QueryId::Q1, "delta=").is_err());
+        // Missing key.
+        assert!(Params::from_spec(QueryId::Q6, "year=1994;discount=6").is_err());
+        // Unexpected key.
+        assert!(Params::from_spec(QueryId::Q1, "delta=90;bogus=1").is_err());
+        // Duplicate key.
+        assert!(Params::from_spec(QueryId::Q1, "delta=90;delta=90").is_err());
+        // Non-integer value.
+        assert!(Params::from_spec(QueryId::Q1, "delta=soon").is_err());
+        // Bad date.
+        assert!(Params::from_spec(QueryId::Q3, "segment=BUILDING;cut=1995-3").is_err());
+        // Out-of-domain values go through the validating constructors.
+        assert!(Params::from_spec(QueryId::Q1, "delta=30").is_err());
+        assert!(Params::from_spec(QueryId::Ssb2_1, "category=MFGR#62;region=AMERICA").is_err());
     }
 }

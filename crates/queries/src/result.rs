@@ -67,6 +67,28 @@ impl QueryResult {
         self.rows.is_empty()
     }
 
+    /// A stable 64-bit digest of the full result (column names, row
+    /// order, every value): FNV-1a over a canonical rendering with
+    /// unambiguous separators. The wire protocol ships this instead of
+    /// the rows, so a client can verify a served execution against a
+    /// locally computed oracle without streaming result sets.
+    pub fn checksum64(&self) -> u64 {
+        let mut canon = String::new();
+        for c in &self.columns {
+            canon.push_str(c);
+            canon.push('\u{1f}'); // unit separator: cannot occur in names/values
+        }
+        canon.push('\u{1e}'); // record separator between header and rows
+        for row in &self.rows {
+            for v in row {
+                canon.push_str(&v.to_string());
+                canon.push('\u{1f}');
+            }
+            canon.push('\u{1e}');
+        }
+        dbep_obs::fingerprint64(canon.as_bytes())
+    }
+
     /// Render as an aligned text table (examples, debugging).
     pub fn to_table(&self) -> String {
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
@@ -161,6 +183,19 @@ mod tests {
         let s = r.to_table();
         assert!(s.contains("flag"));
         assert!(s.contains("1234.56"));
+    }
+
+    #[test]
+    fn checksums_are_stable_and_discriminating() {
+        let a = QueryResult::new(&["k", "v"], vec![vec![Value::I64(1), Value::I64(10)]], &[], None);
+        assert_eq!(a.checksum64(), a.clone().checksum64(), "deterministic");
+        // Any change — value, arity split, column name — moves the digest.
+        let diff_value = QueryResult::new(&["k", "v"], vec![vec![Value::I64(1), Value::I64(11)]], &[], None);
+        assert_ne!(a.checksum64(), diff_value.checksum64());
+        let diff_cols = QueryResult::new(&["k", "w"], vec![vec![Value::I64(1), Value::I64(10)]], &[], None);
+        assert_ne!(a.checksum64(), diff_cols.checksum64());
+        let empty = QueryResult::new(&["k", "v"], vec![], &[], None);
+        assert_ne!(a.checksum64(), empty.checksum64());
     }
 
     #[test]

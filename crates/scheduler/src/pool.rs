@@ -292,6 +292,38 @@ impl Scheduler {
             stats,
         }
     }
+
+    /// Non-blocking admission: like [`Scheduler::begin_query`] but
+    /// returns `None` immediately when [`Scheduler::max_inflight`]
+    /// queries already hold slots, instead of parking the caller.
+    ///
+    /// This is the serving front door's backpressure primitive: a
+    /// network server calls it per request and turns `None` into an
+    /// explicit RETRY frame, so saturation surfaces to the client as a
+    /// protocol fact rather than as unbounded server-side queueing.
+    pub fn try_begin_query(&self, priority: usize) -> Option<QueryRun> {
+        let mut st = self.inner.state.lock().expect("pool state");
+        let shutdown = st.shutdown;
+        if !shutdown {
+            if st.inflight >= self.inner.max_inflight {
+                return None;
+            }
+            st.inflight += 1;
+        }
+        let run_seq = st.next_run_seq;
+        st.next_run_seq += 1;
+        // Panic only after releasing the lock so the mutex is not
+        // poisoned for other waiters.
+        drop(st);
+        assert!(!shutdown, "try_begin_query on a shut-down scheduler");
+        Some(QueryRun {
+            inner: Arc::clone(&self.inner),
+            priority: priority.clamp(1, MAX_PRIORITY),
+            run_seq,
+            // Admission never waited: the stats cell starts at zero.
+            stats: Arc::new(StatsCell::default()),
+        })
+    }
 }
 
 impl Drop for Scheduler {
@@ -581,6 +613,30 @@ mod tests {
         let stats = run.stats();
         assert_eq!(stats.tasks, 1);
         assert_eq!(stats.morsels, 100_000usize.div_ceil(1024) as u64);
+    }
+
+    #[test]
+    fn try_begin_query_refuses_when_saturated() {
+        let s = Scheduler::with_limits(1, 2);
+        let a = s.try_begin_query(DEFAULT_PRIORITY).expect("slot 1 free");
+        let b = s.try_begin_query(DEFAULT_PRIORITY).expect("slot 2 free");
+        assert_eq!(s.inflight(), 2);
+        assert!(
+            s.try_begin_query(DEFAULT_PRIORITY).is_none(),
+            "gate is full: non-blocking admission must refuse"
+        );
+        drop(a);
+        let c = s.try_begin_query(DEFAULT_PRIORITY).expect("slot freed by drop");
+        assert_eq!(s.inflight(), 2);
+        // Admitted runs execute exactly like blocking admissions.
+        let hits = AtomicUsize::new(0);
+        c.run_task(Morsels::with_size(100, 10), 1, &|_, r| {
+            hits.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(c.stats().admission_wait_ns(), 0, "try admission never waits");
+        drop((b, c));
+        assert_eq!(s.inflight(), 0);
     }
 
     #[test]

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Open-loop latency-vs-offered-load sweep (EXPERIMENTS.md "load").
+#
+# Runs the `load` experiment over TCP loopback — pool vs spawn, all
+# four engines, a geometric rate ladder — writes the raw sweep to
+# sweep.json, prints the per-curve knee summary, and (with --record)
+# merges the document into ../../BENCH_serve.json under "open_loop".
+#
+# Usage:
+#   ./run.sh [--sf 0.1] [--rate 16,32,64,128,256] [--duration-ms 2000]
+#            [--conns 32] [--record]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+SF=0.1
+RATES=16,32,64,128,256
+WINDOW_MS=2000
+CONNS=32
+RECORD=0
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --sf) SF="$2"; shift 2 ;;
+        --rate) RATES="$2"; shift 2 ;;
+        --duration-ms) WINDOW_MS="$2"; shift 2 ;;
+        --conns) CONNS="$2"; shift 2 ;;
+        --record) RECORD=1; shift ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+cargo build --release -p dbep-bench >&2
+
+../../target/release/experiments load \
+    --sf "$SF" --rate "$RATES" --duration-ms "$WINDOW_MS" \
+    --conns "$CONNS" --mode both --json > sweep.json
+
+python3 summarize.py sweep.json
+
+if [[ "$RECORD" == 1 ]]; then
+    python3 summarize.py sweep.json --merge-into ../../BENCH_serve.json
+    echo "recorded as the open_loop section of BENCH_serve.json" >&2
+fi

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Post-process an open-loop `load` sweep (see run.sh).
+
+Prints each (mode, engine) curve as an offered-vs-goodput table with
+tail latencies and the identified knee, then a cross-curve comparison
+of knees. With --merge-into, embeds the sweep document as the
+"open_loop" key of an existing BENCH_serve.json (the serving-layer
+perf record grown across PRs).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("experiment") != "load":
+        sys.exit(f"{path} is not a load sweep document")
+    return doc
+
+
+def print_curves(doc):
+    print(
+        f"# open-loop sweep: SF={doc['sf']}, {doc['threads']} worker thread(s), "
+        f"{doc['conns']} connections, {doc['window_ms']} ms windows"
+    )
+    for curve in doc["curves"]:
+        knee = curve["knee_per_s"]
+        knee_txt = f"knee {knee:.0f}/s" if knee is not None else "saturated below sweep"
+        print(f"\n## {curve['mode']} / {curve['engine']} — {knee_txt}")
+        print(f"{'offered':>8} {'sent':>6} {'done':>6} {'retry':>6} {'fail':>5} "
+              f"{'goodput':>8} {'p50ms':>8} {'p95ms':>8} {'p99ms':>8}")
+        for p in curve["points"]:
+            print(
+                f"{p['offered_per_s']:>8} {p['sent']:>6} {p['done']:>6} "
+                f"{p['retried']:>6} {p['failed']:>5} {p['goodput_per_s']:>8.1f} "
+                f"{p['p50_ms']:>8.1f} {p['p95_ms']:>8.1f} {p['p99_ms']:>8.1f}"
+            )
+    print("\n## knees (largest offered rate with goodput within 95% of the schedule)")
+    for curve in doc["curves"]:
+        knee = curve["knee_per_s"]
+        txt = f"{knee:.0f}/s" if knee is not None else "below sweep"
+        print(f"  {curve['mode']:<6} {curve['engine']:<11} {txt}")
+
+
+def merge(doc, target):
+    with open(target) as f:
+        bench = json.load(f)
+    bench["open_loop"] = doc
+    with open(target, "w") as f:
+        json.dump(bench, f, indent=2)
+        f.write("\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("sweep", help="sweep.json produced by `experiments load --json`")
+    ap.add_argument("--merge-into", metavar="BENCH_JSON",
+                    help="embed the sweep as the 'open_loop' key of this file")
+    args = ap.parse_args()
+    doc = load(args.sweep)
+    if args.merge_into:
+        merge(doc, args.merge_into)
+    else:
+        print_curves(doc)
+
+
+if __name__ == "__main__":
+    main()
